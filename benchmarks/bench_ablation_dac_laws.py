@@ -1,0 +1,77 @@
+"""Ablation — exponential PWL DAC vs a linear DAC (§3, Fig 3).
+
+Paper: a linear amplitude step requires exponential current control;
+the 7-bit PWL DAC "corresponds to an 11-bit linear DAC".  We quantify
+both claims: bits needed for the same range at the same worst-case
+relative resolution, and the relative-step behaviour across codes.
+"""
+
+import numpy as np
+
+from repro.core import (
+    EQUIVALENT_LINEAR_BITS,
+    ExponentialPWLDAC,
+    LinearDAC,
+)
+from repro.core.constants import I_LSB
+
+from common import save_result
+from repro.analysis import render_table
+
+
+def generate_ablation():
+    pwl = ExponentialPWLDAC()
+    linear11 = LinearDAC(bits=11, i_lsb=I_LSB)
+    linear7 = LinearDAC(bits=7, i_lsb=pwl.full_scale() / 127)
+
+    pwl_steps = pwl.relative_steps(start_code=17)
+    lin11_steps = linear11.relative_steps(start_code=17)
+    lin7_steps = linear7.relative_steps(start_code=2)
+
+    return {
+        "pwl_range": (pwl.current(16), pwl.full_scale()),
+        "pwl_codes": pwl.n_codes,
+        "lin11_covers": linear11.codes_for_same_range(pwl) <= linear11.n_codes,
+        "lin10_covers": LinearDAC(bits=10, i_lsb=I_LSB).codes_for_same_range(pwl)
+        <= LinearDAC(bits=10, i_lsb=I_LSB).n_codes,
+        "pwl_step_max": float(pwl_steps.max()),
+        "pwl_step_min": float(pwl_steps.min()),
+        # Linear DAC relative step at the working point equivalent to
+        # PWL code 17 (current = 17 LSB) and near full scale.
+        "lin11_step_at_17lsb": float(lin11_steps[0]),
+        "lin11_step_at_top": float(lin11_steps[-1]),
+        "lin7_step_worst": float(lin7_steps.max()),
+    }
+
+
+def test_ablation_dac_laws(benchmark):
+    r = benchmark.pedantic(generate_ablation, rounds=1, iterations=1)
+
+    # Range equivalence: 11 linear bits cover the PWL range, 10 do not.
+    assert r["lin11_covers"]
+    assert not r["lin10_covers"]
+    assert EQUIVALENT_LINEAR_BITS == 11
+    # PWL: near-constant relative step (factor < 2 across all codes).
+    assert r["pwl_step_max"] / r["pwl_step_min"] < 2.0
+    # Linear DAC at the same resolution: relative step varies by the
+    # full current ratio (~124x from 16 LSB to full scale).
+    assert r["lin11_step_at_17lsb"] / r["lin11_step_at_top"] > 100
+    # A 7-bit *linear* DAC over the same range would have a worst-case
+    # step of 100 % — unusable for 3-6 % amplitude control.
+    assert r["lin7_step_worst"] >= 0.99
+
+    save_result(
+        "ablation_dac_laws",
+        render_table(
+            ["metric", "value"],
+            [
+                ("PWL 7-bit worst/best rel step (codes>16)", f"{r['pwl_step_max']*100:.2f} % / {r['pwl_step_min']*100:.2f} %"),
+                ("11-bit linear covers PWL range", str(r["lin11_covers"])),
+                ("10-bit linear covers PWL range", str(r["lin10_covers"])),
+                ("11-bit linear rel step @17 LSB", f"{r['lin11_step_at_17lsb']*100:.2f} %"),
+                ("11-bit linear rel step @full scale", f"{r['lin11_step_at_top']*100:.3f} %"),
+                ("7-bit linear worst rel step", f"{r['lin7_step_worst']*100:.0f} %"),
+            ],
+            title="Ablation §3: exponential-PWL vs linear DAC",
+        ),
+    )

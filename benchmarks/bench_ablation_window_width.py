@@ -1,0 +1,77 @@
+"""Ablation — regulation window width vs the maximum DAC step (§4).
+
+Paper design rule: "The window for oscillator amplitude regulation is
+made wider than the maximum regulation step (6.25 %). In this way, the
+regulation step can never jump over the window and cause regulation
+oscillations."  We regulate the same plant with windows narrower and
+wider than the step and count code changes in steady state.
+"""
+
+from repro.core import ExponentialPWLDAC, RegulationLoop, WindowComparator, design_window
+
+from common import save_result
+from repro.analysis import render_table
+
+
+def run_loop(window, dac, target_current, ticks=300, start_code=105):
+    loop = RegulationLoop(comparator=window, initial_code=start_code)
+    scale = 1.0 / target_current
+    for k in range(ticks):
+        loop.tick(k * 1e-3, dac.current(loop.code) * scale)
+    tail = loop.history[-50:]
+    changes = sum(1 for e in tail if e.code_after != e.code_before)
+    return loop, changes
+
+
+def generate_ablation():
+    dac = ExponentialPWLDAC()
+    # Target between two codes in a max-step region (6.25 % around
+    # code 17) so a window narrower than the step has no resting
+    # place — the exact failure mode §4 designs against.
+    target = (dac.current(17) * dac.current(18)) ** 0.5
+    cases = []
+    for label, window in (
+        ("2% (narrower than step)", WindowComparator(low=0.99, high=1.01)),
+        ("4% (narrower than step)", WindowComparator(low=0.98, high=1.02)),
+        ("8.1% (paper: step x 1.3)", design_window(1.0, margin=1.3)),
+        ("12.5% (step x 2)", design_window(1.0, margin=2.0)),
+    ):
+        loop, changes = run_loop(window, dac, target)
+        cases.append(
+            {
+                "label": label,
+                "width": window.relative_width,
+                "changes_last_50": changes,
+                "limit_cycling": loop.is_limit_cycling(),
+            }
+        )
+    return cases
+
+
+def test_ablation_window_width(benchmark):
+    cases = benchmark.pedantic(generate_ablation, rounds=1, iterations=1)
+
+    narrow = [c for c in cases if c["width"] < 0.0625]
+    wide = [c for c in cases if c["width"] > 0.0625]
+    # Narrow windows limit-cycle; the paper's window does not.
+    assert all(c["limit_cycling"] for c in narrow)
+    assert all(not c["limit_cycling"] for c in wide)
+    assert all(c["changes_last_50"] == 0 for c in wide)
+    assert all(c["changes_last_50"] > 25 for c in narrow)
+
+    save_result(
+        "ablation_window_width",
+        render_table(
+            ["window", "rel width", "code changes (last 50 ticks)", "limit cycling"],
+            [
+                (
+                    c["label"],
+                    f"{c['width'] * 100:.1f} %",
+                    c["changes_last_50"],
+                    "YES" if c["limit_cycling"] else "no",
+                )
+                for c in cases
+            ],
+            title="Ablation §4: window width vs max DAC step (6.25 %)",
+        ),
+    )

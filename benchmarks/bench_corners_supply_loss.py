@@ -1,0 +1,63 @@
+"""Extension — Fig 17 isolation across automotive corners.
+
+The paper's driver works "in a harsh environment"; the supply-loss
+isolation of the Fig 11 stage must therefore survive process spread
+and -40..125 C.  Cold raises thresholds (wider dead zone, less
+current); hot lowers thresholds and multiplies junction leakage —
+the stressing direction.
+"""
+
+from repro.circuits.corners import FAST_COLD, FAST_HOT, SLOW_COLD, SLOW_HOT, TYPICAL
+from repro.core import run_supply_loss_sweep
+
+from common import save_result
+from repro.analysis import format_si, render_table
+
+CORNERS = (TYPICAL, SLOW_COLD, SLOW_HOT, FAST_COLD, FAST_HOT)
+
+
+def generate():
+    rows = []
+    for corner in CORNERS:
+        result = run_supply_loss_sweep("fig11", n_points=61, corner=corner)
+        rows.append(
+            {
+                "corner": corner.name,
+                "i_operating": max(
+                    abs(result.current_at(1.35)), abs(result.current_at(-1.35))
+                ),
+                "i_max": result.max_loading_current(),
+                "vdd_pump": result.vdd_at(3.0),
+            }
+        )
+    return rows
+
+
+def test_corners_supply_loss(benchmark):
+    rows = benchmark.pedantic(generate, rounds=1, iterations=1)
+
+    for row in rows:
+        # Isolation at the 2.7 Vpp operating point holds at all corners.
+        assert row["i_operating"] < 250e-6, row
+        # And the worst case stays sub-2 mA over the ±3 V sweep.
+        assert row["i_max"] < 2e-3, row
+    # Hot corners conduct more than cold ones (leakage + lower Vt).
+    by_name = {r["corner"]: r for r in rows}
+    assert by_name["ss-125C"]["i_operating"] >= by_name["ss-m40C"]["i_operating"]
+
+    save_result(
+        "corners_supply_loss",
+        render_table(
+            ["corner", "|I| at 2.7 Vpp", "max |I| (±3 V)", "Vdd pump at +3 V"],
+            [
+                (
+                    r["corner"],
+                    format_si(r["i_operating"], "A"),
+                    format_si(r["i_max"], "A"),
+                    f"{r['vdd_pump']:.2f} V",
+                )
+                for r in rows
+            ],
+            title="Extension: Fig 11 supply-loss isolation across corners",
+        ),
+    )

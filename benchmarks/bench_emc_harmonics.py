@@ -1,0 +1,80 @@
+"""§Abstract — "low EMC emissions": harmonic content of the coil signal.
+
+Mechanism quantified here: even though the limited driver current is
+rich in odd harmonics (a hard-limited current tends to a square wave,
+3rd harmonic at -9.5 dB), the high-Q parallel tank presents its Rp
+only at resonance — harmonic *currents* see a collapsed impedance and
+produce almost no harmonic *voltage* on the coil.  The radiating
+quantity (coil voltage/current) stays nearly sinusoidal.
+
+We measure both on the carrier-level MNA simulation: THD of the driver
+current vs THD of the tank differential voltage, plus the analytic
+tank rejection factors.
+"""
+
+import numpy as np
+
+from repro.analysis import Waveform, harmonic_spectrum, render_table, tank_harmonic_rejection
+from repro.core import OscillatorNetlist
+from repro.envelope import RLCTank, TanhLimiter
+
+from common import save_result
+
+TANK = RLCTank.from_frequency_and_q(4e6, 25.0, 1e-6)
+LIMITER = TanhLimiter(gm=8e-3, i_max=2e-3)
+
+
+def generate_emc():
+    netlist = OscillatorNetlist(TANK, vref=2.5)
+    t_stop = 120 / TANK.frequency
+    result = netlist.run_startup(code=0, t_stop=t_stop, limiter=LIMITER)
+    diff = result.differential.window(0.6 * t_stop, t_stop)
+    # Driver current waveform i(t) = -f(v_diff(t)).
+    i_drv = Waveform(diff.t, LIMITER.sample(diff.y), name="i_drv")
+    v_spec = harmonic_spectrum(diff, TANK.frequency, n_harmonics=5)
+    i_spec = harmonic_spectrum(i_drv, TANK.frequency, n_harmonics=5)
+    return v_spec, i_spec
+
+
+def test_emc_harmonics(benchmark):
+    v_spec, i_spec = benchmark.pedantic(generate_emc, rounds=1, iterations=1)
+
+    # The driver current is heavily distorted (deep limiting)...
+    assert i_spec.thd() > 0.10
+    # ...but the coil voltage is nearly sinusoidal: the tank filters.
+    assert v_spec.thd() < 0.03
+    assert v_spec.thd() < i_spec.thd() / 5.0
+    # The analytic tank rejection explains it per harmonic: the
+    # voltage harmonic is about the current harmonic times the tank's
+    # off-resonance impedance ratio (factor ~3 slack for envelope
+    # ripple and quadrature leakage).
+    c_diff = TANK.differential_capacitance
+    rp = TANK.parallel_resistance
+    for order in (3, 5):
+        rejection = tank_harmonic_rejection(TANK.inductance, c_diff, rp, order)
+        assert rejection < 0.1
+        v_rel = v_spec.harmonic(order) / v_spec.fundamental
+        i_rel = i_spec.harmonic(order) / i_spec.fundamental
+        assert v_rel < 3.0 * i_rel * rejection + 1e-3
+
+    rows = [
+        (
+            k,
+            f"{20*np.log10(max(i_spec.harmonic(k)/i_spec.fundamental, 1e-12)):.1f} dBc",
+            f"{20*np.log10(max(v_spec.harmonic(k)/v_spec.fundamental, 1e-12)):.1f} dBc",
+            f"{20*np.log10(tank_harmonic_rejection(TANK.inductance, c_diff, rp, k)):.1f} dB",
+        )
+        for k in (2, 3, 4, 5)
+    ]
+    save_result(
+        "emc_harmonics",
+        render_table(
+            ["harmonic", "driver current", "coil voltage", "tank rejection"],
+            rows,
+            title=(
+                "EMC: harmonic levels (limited driver vs filtered coil), "
+                f"THD i_drv = {i_spec.thd()*100:.1f} %, "
+                f"THD v_coil = {v_spec.thd()*100:.2f} %"
+            ),
+        ),
+    )

@@ -1,0 +1,46 @@
+"""Fig 2 — static driver output current (linear slope, limit at ±Im).
+
+Regenerates the normalized I-V characteristic of the current-limited
+driver and checks its defining shape properties.
+"""
+
+import numpy as np
+
+from repro.core import static_iv_curve
+from repro.envelope import HardLimiter
+
+from common import save_result
+from repro.analysis import render_series
+
+
+def generate_fig02():
+    limiter = HardLimiter(gm=5e-3, i_max=1e-3)
+    v, i = static_iv_curve(limiter, v_max=1.0, n=201)
+    return limiter, v, i
+
+
+def test_fig02_driver_iv(benchmark):
+    limiter, v, i = benchmark(generate_fig02)
+
+    # Shape assertions (the Fig 2 picture):
+    # 1. hard limits at ±Im,
+    assert i.max() == limiter.i_max
+    assert i.min() == -limiter.i_max
+    # 2. linear with slope gm through the origin,
+    mid = np.abs(v) < 0.5 * limiter.corner_voltage
+    slope = np.polyfit(v[mid], i[mid], 1)[0]
+    assert abs(slope / limiter.gm - 1.0) < 1e-9
+    # 3. odd symmetric.
+    assert np.allclose(i, -i[::-1])
+
+    save_result(
+        "fig02_driver_iv",
+        render_series(
+            v,
+            i * 1e3,
+            x_label="v (V)",
+            y_label="i (mA)",
+            title="Fig 2: driver current (static), gm=5 mS, Im=1 mA",
+            max_points=25,
+        ),
+    )

@@ -1,0 +1,51 @@
+"""Fig 3 — current multiplication factor of the 7-bit PWL exponential
+DAC (lin + log scale), including the per-segment step values 1,1,2,...,64."""
+
+import numpy as np
+
+from repro.core import ExponentialPWLDAC, SEGMENTS
+
+from common import save_result
+from repro.analysis import render_table
+
+
+def generate_fig03():
+    dac = ExponentialPWLDAC(i_lsb=1.0)  # factors, not amps
+    return dac, dac.transfer()
+
+
+def test_fig03_dac_transfer(benchmark):
+    dac, factors = benchmark(generate_fig03)
+
+    # Paper anchors: 0:1984 range over 128 codes, 8 segments with
+    # doubling steps, endpoint factors of Fig 3.
+    assert factors[0] == 0
+    assert factors[16] == 16
+    assert factors[127] == 1984
+    for segment in SEGMENTS:
+        assert factors[segment.code_min] == segment.range_min
+        assert factors[segment.code_max] == segment.range_max
+    steps = [s.step for s in SEGMENTS]
+    assert steps == [1, 1, 2, 4, 8, 16, 32, 64]
+    # Monotonic (ideal DAC).
+    assert np.all(np.diff(factors) >= 0)
+
+    rows = [
+        (
+            s.index,
+            s.step,
+            f"{s.code_min}..{s.code_max}",
+            s.range_min,
+            s.range_max,
+            f"{np.log2(max(s.range_min, 1)):.1f}",
+        )
+        for s in SEGMENTS
+    ]
+    save_result(
+        "fig03_dac_transfer",
+        render_table(
+            ["segment", "step", "codes", "M min", "M max", "log2(M min)"],
+            rows,
+            title="Fig 3: multiplication factor Mn, 7-bit PWL exponential DAC",
+        ),
+    )

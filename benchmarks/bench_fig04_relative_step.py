@@ -1,0 +1,44 @@
+"""Fig 4 — relative voltage step vs current-limitation code.
+
+Paper: "For codes above 16 the amplitude step varies between 3.23 %
+and 6.25 %" and the regulation window must exceed the largest step.
+"""
+
+import numpy as np
+
+from repro.core import ExponentialPWLDAC
+from repro.core.constants import MAX_RELATIVE_STEP, MIN_RELATIVE_STEP_ABOVE_16
+
+from common import save_result
+from repro.analysis import render_series
+
+
+def generate_fig04():
+    dac = ExponentialPWLDAC()
+    codes = np.arange(17, 128)
+    steps = dac.relative_steps(start_code=17)
+    return codes, steps
+
+
+def test_fig04_relative_step(benchmark):
+    codes, steps = benchmark(generate_fig04)
+
+    # The paper's exact band for codes above 16.
+    assert steps.min() * 100 == round(3.23, 2) or abs(steps.min() - 1 / 31) < 1e-12
+    assert abs(steps.min() - MIN_RELATIVE_STEP_ABOVE_16) < 1e-12
+    assert abs(steps.max() - MAX_RELATIVE_STEP) < 1e-12
+    assert abs(steps.min() * 100 - 3.23) < 0.01
+    assert abs(steps.max() * 100 - 6.25) < 0.001
+    # Eq 5: a relative current step IS the relative voltage step.
+
+    save_result(
+        "fig04_relative_step",
+        render_series(
+            codes,
+            steps * 100,
+            x_label="code",
+            y_label="rel step (%)",
+            title="Fig 4: relative voltage step vs code (3.23%..6.25% above 16)",
+            max_points=30,
+        ),
+    )

@@ -1,0 +1,50 @@
+"""Fig 13 — measured current limitation of the driver.
+
+Paper: 1 LSB is 12.5 uA, full scale ≈ 24.8 mA, measured on silicon
+with mirror/prescaler mismatch.  The structural DAC model with the
+measured-like mismatch profile regenerates the curve.
+"""
+
+import numpy as np
+
+from repro.core import HardwareDAC
+from repro.core.constants import I_LSB, I_MAX_DRIVER
+from repro.mc import MismatchProfile
+
+from common import save_result
+from repro.analysis import format_si, render_series
+
+
+def generate_fig13():
+    dac = HardwareDAC(mismatch=MismatchProfile.measured_like())
+    return dac, dac.transfer()
+
+
+def test_fig13_current_limitation(benchmark):
+    dac, currents = benchmark(generate_fig13)
+
+    # Anchors from the figure: LSB and ~24.8 mA full scale (few % of
+    # mismatch allowed — it is a *measured* curve).
+    assert abs(currents[1] / I_LSB - 1.0) < 0.02
+    assert abs(currents[127] / I_MAX_DRIVER - 1.0) < 0.05
+    # Log-scale span: >3 decades between code 1 and 127 (Fig 13 right axis).
+    assert currents[127] / currents[1] > 1000
+    # Exponential-like: roughly constant ratio per code above 16.
+    ratios = currents[17:] / currents[16:-1]
+    assert 0.98 < ratios.min() and ratios.max() < 1.07
+
+    save_result(
+        "fig13_current_limitation",
+        render_series(
+            np.arange(128),
+            currents * 1e3,
+            x_label="code",
+            y_label="I (mA)",
+            title=(
+                "Fig 13: measured current limitation "
+                f"(1 LSB = {format_si(I_LSB, 'A')}, "
+                f"full scale = {format_si(currents[127], 'A')})"
+            ),
+            max_points=33,
+        ),
+    )

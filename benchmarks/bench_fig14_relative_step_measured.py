@@ -1,0 +1,54 @@
+"""Fig 14 — measured relative current-limitation step.
+
+Paper: "Value for code 96 is negative (round 1 step in segment 7) and
+is removed for displaying in logarithmic scale.  The DAC is
+non-monotonic at this code, but this is not a problem, because the
+regulation loop will regulate the amplitude."
+"""
+
+import numpy as np
+
+from repro.core import HardwareDAC
+from repro.mc import MismatchProfile
+
+from common import save_result
+from repro.analysis import render_series
+
+
+def generate_fig14():
+    dac = HardwareDAC(mismatch=MismatchProfile.measured_like())
+    codes = np.arange(2, 128)
+    steps = dac.relative_steps(start_code=2)
+    return dac, codes, steps
+
+
+def test_fig14_relative_step_measured(benchmark):
+    dac, codes, steps = benchmark(generate_fig14)
+
+    # The paper's signature: exactly one non-monotonic code, at 96.
+    assert dac.non_monotonic_codes() == [96]
+    step_96 = steps[96 - 2]
+    assert step_96 < 0.0
+    # All other codes above 16 remain positive.
+    mask = (codes >= 17) & (codes != 96)
+    assert np.all(steps[mask] > 0)
+    # Still below the regulation window (margin 1.3 * 6.25 % = 8.1 %),
+    # so regulation is unaffected — the paper's argument.
+    assert dac.max_relative_step(start_code=17) < 0.081
+
+    # Fig 14 log display: negative value removed.
+    log_safe = np.where(steps > 0, steps * 100, np.nan)
+    save_result(
+        "fig14_relative_step_measured",
+        render_series(
+            codes,
+            log_safe,
+            x_label="code",
+            y_label="rel step (%)",
+            title=(
+                "Fig 14: measured relative step; code 96 negative "
+                f"({step_96 * 100:.2f} %, removed from log display)"
+            ),
+            max_points=33,
+        ),
+    )

@@ -1,0 +1,61 @@
+"""Fig 15 — oscillator regulation steps (detail).
+
+The scope shot shows the envelope stepping once per regulation period
+(1 ms) with the PWL-DAC's relative step size, walking into the window
+and holding.  Regenerated with the behavioural system started from a
+deliberately low NVM preset so several steps are visible.
+"""
+
+import numpy as np
+
+from repro.analysis import find_steps, render_table
+from repro.core.oscillator_system import OscillatorDriverSystem
+
+from common import save_result, standard_config
+
+
+def generate_fig15():
+    # Preset well below the target so the loop has to climb ~10 codes.
+    config = standard_config(nvm_code=50, substeps_per_tick=20)
+    system = OscillatorDriverSystem(config)
+    trace = system.run(0.02)
+    return config, trace
+
+
+def test_fig15_regulation_steps(benchmark):
+    config, trace = benchmark.pedantic(generate_fig15, rounds=1, iterations=1)
+
+    wave = trace.amplitude_waveform()
+    # Detect the staircase steps in the envelope (ignore startup).
+    settled = wave.window(2e-3, wave.t_stop)
+    steps = find_steps(settled, min_delta=0.005)
+    assert len(steps) >= 5, "several regulation steps must be visible"
+
+    # Steps arrive on the 1 ms regulation grid...
+    times = np.array([s.time for s in steps])
+    deltas = np.diff(times)
+    assert np.all(np.abs(deltas / config.regulation_period - np.round(deltas / config.regulation_period)) < 0.25)
+    # ...with the PWL-DAC relative step size (3.2 %..6.5 %).
+    rel = np.array([s.relative for s in steps])
+    climb = rel[rel > 0]
+    assert np.all(climb > 0.025) and np.all(climb < 0.07)
+
+    # The loop ends inside the window and holds.
+    tail_codes = trace.code[-40:]
+    assert tail_codes.max() - tail_codes.min() <= 1
+
+    rows = [
+        (f"{s.time * 1e3:.2f} ms", f"{s.before:.3f} V", f"{s.after:.3f} V", f"{s.relative * 100:+.2f} %")
+        for s in steps
+    ]
+    save_result(
+        "fig15_regulation_steps",
+        render_table(
+            ["time", "A before", "A after", "rel step"],
+            rows,
+            title=(
+                "Fig 15: regulation staircase detail "
+                f"(start code 50 -> final code {trace.final_code})"
+            ),
+        ),
+    )

@@ -1,0 +1,66 @@
+"""Fig 16 — oscillator startup after enabling the driver.
+
+Regenerated twice, at two levels of abstraction that must agree:
+
+* carrier-resolution MNA transient of the Fig 1 netlist,
+* the averaged envelope model.
+
+The paper's claim is a *fast* startup thanks to the code-105 POR
+preset; we check exponential growth, settling within tens of carrier
+cycles for the bench tank, and agreement of the two models.
+"""
+
+import numpy as np
+
+from repro.analysis import envelope_by_peaks, oscillation_frequency, render_table
+from repro.core import OscillatorNetlist
+from repro.envelope import EnvelopeModel, RLCTank, TanhLimiter
+
+from common import save_result
+
+TANK = RLCTank.from_frequency_and_q(4e6, 15.0, 1e-6)
+LIMITER = TanhLimiter(gm=6e-3, i_max=2e-3)
+
+
+def generate_fig16():
+    netlist = OscillatorNetlist(TANK, vref=2.5)
+    t_stop = 80 / TANK.frequency
+    result = netlist.run_startup(code=0, t_stop=t_stop, limiter=LIMITER)
+    return result, t_stop
+
+
+def test_fig16_startup(benchmark):
+    result, t_stop = benchmark.pedantic(generate_fig16, rounds=1, iterations=1)
+
+    diff = result.differential
+    envelope = envelope_by_peaks(diff)
+
+    # Growth from the seed, settling to the limited amplitude.
+    assert envelope.y[-1] > 10 * envelope.y[0]
+    model = EnvelopeModel(TANK, LIMITER)
+    a_predicted = model.steady_state()
+    a_measured = float(envelope.y[-1])
+    assert abs(a_measured / a_predicted - 1.0) < 0.05
+
+    # Carrier frequency equals the tank resonance.
+    tail = diff.window(0.6 * t_stop, t_stop)
+    f = oscillation_frequency(tail)
+    assert abs(f / TANK.frequency - 1.0) < 0.01
+
+    # 90 % settling measured in carrier cycles.
+    target = 0.9 * a_measured
+    above = np.where(envelope.y >= target)[0]
+    t90 = float(envelope.t[above[0]])
+    cycles_to_90 = t90 * TANK.frequency
+
+    rows = [
+        ("tank", f"{TANK.frequency / 1e6:.1f} MHz, Q={TANK.quality_factor:.0f}"),
+        ("steady amplitude (MNA)", f"{a_measured:.3f} V pk"),
+        ("steady amplitude (envelope model)", f"{a_predicted:.3f} V pk"),
+        ("carrier frequency", f"{f / 1e6:.3f} MHz"),
+        ("90% settling", f"{t90 * 1e6:.2f} us = {cycles_to_90:.0f} cycles"),
+    ]
+    save_result(
+        "fig16_startup",
+        render_table(["quantity", "value"], rows, title="Fig 16: oscillator startup"),
+    )

@@ -1,0 +1,47 @@
+"""Fig 17 — DC current through LC1/LC2 with Vdd floating.
+
+Paper shape: a dead zone for |V| below ~1.5 V differential (the bulk
+networks need a threshold/diode drop to conduct), sub-milliamp current
+at ±3 V, and "for the maximum operating amplitude of 2.7 Vpp the
+unsupplied system does not significantly influence the other system."
+"""
+
+import numpy as np
+
+from repro.core import run_supply_loss_sweep
+
+from common import save_result
+from repro.analysis import render_series
+
+
+def generate_fig17():
+    return run_supply_loss_sweep("fig11", v_max=3.0, n_points=121)
+
+
+def test_fig17_supply_loss_current(benchmark):
+    result = benchmark.pedantic(generate_fig17, rounds=1, iterations=1)
+
+    # Dead zone around zero.
+    assert abs(result.current_at(0.0)) < 1e-6
+    assert abs(result.current_at(0.75)) < 10e-6
+    assert abs(result.current_at(-0.75)) < 10e-6
+    # Sub-~1 mA current at the sweep extremes (paper: ~±0.6-0.8 mA).
+    assert 0.1e-3 < abs(result.current_at(3.0)) < 1.5e-3
+    assert 0.1e-3 < abs(result.current_at(-3.0)) < 1.5e-3
+    # Negligible at the 2.7 Vpp operating amplitude.
+    assert abs(result.current_at(1.35)) < 150e-6
+    assert abs(result.current_at(-1.35)) < 150e-6
+    # Odd-symmetric S shape: monotonic current.
+    assert np.all(np.diff(result.i_lc1) > -5e-6)
+
+    save_result(
+        "fig17_supply_loss_current",
+        render_series(
+            result.v_diff,
+            result.i_lc1 * 1e3,
+            x_label="V(LC1-LC2) (V)",
+            y_label="I (mA)",
+            title="Fig 17: current through LC1/LC2, Vdd floating (fig11 driver)",
+            max_points=31,
+        ),
+    )

@@ -1,0 +1,53 @@
+"""Fig 18 — voltages on LC1, LC2 and the floating Vdd during the
+supply-loss sweep.
+
+Paper shape: LC1/LC2 follow ±V/2 (the dead chip does not clamp them),
+and the floating Vdd is pumped toward |V/2| minus a diode drop by the
+MP1 bulk diode whenever either pin swings high.
+"""
+
+import numpy as np
+
+from repro.core import run_supply_loss_sweep
+
+from common import save_result
+from repro.analysis import render_table
+
+
+def generate_fig18():
+    return run_supply_loss_sweep("fig11", v_max=3.0, n_points=121)
+
+
+def test_fig18_supply_loss_voltage(benchmark):
+    result = benchmark.pedantic(generate_fig18, rounds=1, iterations=1)
+
+    # Pins track the drive — no clamping anywhere in ±3 V.
+    assert np.allclose(result.v_lc1, result.v_diff / 2, atol=0.06)
+    assert np.allclose(result.v_lc2, -result.v_diff / 2, atol=0.06)
+    # Vdd pump: near zero at the centre, ~|V/2| - Vdiode at the ends,
+    # symmetric (either pin can pump).
+    assert abs(result.vdd_at(0.0)) < 0.05
+    assert 0.5 < result.vdd_at(3.0) < 1.4
+    assert 0.5 < result.vdd_at(-3.0) < 1.4
+    assert abs(result.vdd_at(3.0) - result.vdd_at(-3.0)) < 0.1
+    # Vdd never exceeds the pin peak (passive pump).
+    assert np.all(result.v_vdd <= np.maximum(np.abs(result.v_lc1), np.abs(result.v_lc2)) + 1e-6)
+
+    idx = np.linspace(0, len(result.v_diff) - 1, 13).astype(int)
+    rows = [
+        (
+            f"{result.v_diff[i]:+.2f}",
+            f"{result.v_lc1[i]:+.3f}",
+            f"{result.v_lc2[i]:+.3f}",
+            f"{result.v_vdd[i]:+.3f}",
+        )
+        for i in idx
+    ]
+    save_result(
+        "fig18_supply_loss_voltage",
+        render_table(
+            ["V(LC1-LC2)", "LC1 (V)", "LC2 (V)", "Vdd (V)"],
+            rows,
+            title="Fig 18: voltages on LC1, LC2 and floating Vdd",
+        ),
+    )

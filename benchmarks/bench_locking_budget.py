@@ -1,0 +1,78 @@
+"""Extension — §8: "the two systems are running at the same frequency".
+
+For the redundant pair this is not free: two independently-built LC
+oscillators only share a frequency if the mutual coil coupling pulls
+them into injection lock.  Adler's lock range is k/(2Q) of the carrier
+— this bench computes the component-tolerance budget that guarantees
+lock across the paper's tank-quality range, plus the Leeson phase
+noise at the regulated amplitude (design levers: Q and amplitude).
+"""
+
+import pytest
+
+from repro.envelope import InjectionLocking, RLCTank
+from repro.envelope.locking import frequency_mismatch_from_tolerances
+from repro.envelope.phase_noise import LeesonModel
+
+from common import save_result
+from repro.analysis import render_table
+
+COUPLING = 0.6
+Q_VALUES = (8.0, 30.0, 100.0, 300.0)
+
+
+def generate():
+    rows = []
+    for q in Q_VALUES:
+        tank = RLCTank.from_frequency_and_q(4e6, q, 1e-6)
+        lock = InjectionLocking(tank, injection_ratio=COUPLING)
+        noise = LeesonModel(tank, amplitude_peak=1.35)
+        rows.append(
+            {
+                "q": q,
+                "lock_ppm": lock.relative_lock_range * 1e6,
+                "budget": lock.max_tolerable_detuning(),
+                "noise_10k": noise.phase_noise_dbc(10e3),
+            }
+        )
+    return rows
+
+
+def test_locking_budget(benchmark):
+    rows = benchmark.pedantic(generate, rounds=1, iterations=1)
+    by_q = {r["q"]: r for r in rows}
+
+    # Lock range shrinks as 1/Q; at Q=30 the budget is ±1 % — 0.5 %
+    # parts lock, 1 %+1 % parts do not.
+    assert by_q[30.0]["budget"] == pytest.approx(0.01, rel=1e-6)
+    lock30 = InjectionLocking(
+        RLCTank.from_frequency_and_q(4e6, 30.0, 1e-6), COUPLING
+    )
+    assert lock30.locks(frequency_mismatch_from_tolerances(0.004, 0.004))
+    assert not lock30.locks(frequency_mismatch_from_tolerances(0.01, 0.01))
+    # High-Q tanks demand tighter parts...
+    assert by_q[300.0]["budget"] < by_q[8.0]["budget"] / 10
+    # ...but reward with lower phase noise (the Leeson corner falls as
+    # 1/Q; at fixed amplitude the net 10 kHz improvement is ~10 dB
+    # over this Q span because the signal power also drops with Rp).
+    assert by_q[300.0]["noise_10k"] < by_q[8.0]["noise_10k"] - 8
+
+    save_result(
+        "locking_budget",
+        render_table(
+            ["Q", "lock range (ppm of f0)", "tolerance budget", "L(10 kHz) dBc/Hz"],
+            [
+                (
+                    f"{r['q']:.0f}",
+                    f"{r['lock_ppm']:.0f}",
+                    f"±{r['budget'] * 100:.2f} %",
+                    f"{r['noise_10k']:.1f}",
+                )
+                for r in rows
+            ],
+            title=(
+                "Extension §8: injection-lock budget (k = 0.6) and Leeson "
+                "phase noise at 2.7 Vpp"
+            ),
+        ),
+    )

@@ -1,0 +1,80 @@
+"""§9 — supply current vs tank quality over two decades of Q.
+
+Paper: "Current consumption of the driver depends on the quality of
+the used LC resonance network and varies from 250 uA to 30 mA" and low
+consumption is achieved "mainly for high quality resonance networks".
+"""
+
+import numpy as np
+
+from repro.core.oscillator_system import OscillatorConfig, OscillatorDriverSystem
+from repro.envelope import RLCTank
+
+from common import save_result
+from repro.analysis import format_si, render_table
+
+#: Two decades of quality factor (§1: "can vary two decades").  Q = 8
+#: is the poorest tank the driver's gm budget supports at the POR
+#: preset (critical gm at Q=8 is ~4.9 mS vs 6 mS available), exactly
+#: the kind of floor the paper's "wide range of external LC network
+#: parameters" implies.
+Q_VALUES = (8.0, 16.0, 40.0, 120.0, 300.0, 800.0)
+
+
+def generate_sec9():
+    rows = []
+    for q in Q_VALUES:
+        tank = RLCTank.from_frequency_and_q(4e6, q, 1e-6)
+        config = OscillatorConfig(tank=tank, target_peak_amplitude=1.0)
+        trace = OscillatorDriverSystem(config).run(0.05)
+        rows.append(
+            {
+                "q": q,
+                "code": trace.final_code,
+                "amplitude": trace.final_amplitude,
+                "i_supply": trace.mean_supply_current,
+                "failed": trace.any_failure,
+            }
+        )
+    return rows
+
+
+def test_sec9_current_consumption(benchmark):
+    rows = benchmark.pedantic(generate_sec9, rounds=1, iterations=1)
+
+    currents = np.array([r["i_supply"] for r in rows])
+    # All Q regulate to the target without failures.
+    assert all(not r["failed"] for r in rows)
+    assert all(abs(r["amplitude"] - 1.0) < 0.06 for r in rows)
+    # Consumption falls monotonically with Q...
+    assert np.all(np.diff(currents) < 0)
+    # ...and spans the paper's band shape: a few hundred uA for the
+    # best tank down from several mA for the poorest, ≈1.5 decades of
+    # current over 2 decades of Q.
+    assert currents[-1] < 0.5e-3
+    assert currents[0] > 3e-3
+    assert currents[0] < 35e-3
+    assert currents[0] / currents[-1] > 15
+    # The driver's absolute capability ceiling matches the paper's
+    # 30 mA figure: full code, deep limiting, plus bias.
+    from repro.core import driver_limiter_for_code
+
+    ceiling = driver_limiter_for_code(127).mean_abs(100.0) + 130e-6
+    assert 20e-3 < ceiling < 35e-3
+
+    save_result(
+        "sec9_current_consumption",
+        render_table(
+            ["Q", "final code", "amplitude (V pk)", "supply current"],
+            [
+                (
+                    f"{r['q']:.0f}",
+                    r["code"],
+                    f"{r['amplitude']:.3f}",
+                    format_si(r["i_supply"], "A"),
+                )
+                for r in rows
+            ],
+            title="§9: driver consumption vs tank quality (250 uA .. 30 mA band)",
+        ),
+    )

@@ -1,0 +1,65 @@
+"""Table 1 — coding of the driver control signals.
+
+Regenerates every static column of Table 1 from the control-bus
+encoder and checks the rows verbatim against the paper.
+"""
+
+from repro.core import table1_rows
+from repro.core.control_bus import verify_against_factors
+
+from common import save_result
+from repro.analysis import render_table
+
+# The rows of Table 1 as printed in the paper (static columns).
+PAPER_ROWS = [
+    # seg, prescaler, gm stages, step, min, max, OscD, OscE, OscF template
+    (0, 1, 1, 1, 0, 15, "000", "0000", "000B3B2B1B0"),
+    (1, 1, 2, 1, 16, 31, "000", "0001", "000B3B2B1B0"),
+    (2, 2, 2, 2, 32, 62, "001", "0001", "000B3B2B1B0"),
+    (3, 2, 3, 4, 64, 124, "001", "0011", "00B3B2B1B00"),
+    (4, 4, 3, 8, 128, 248, "011", "0011", "00B3B2B1B00"),
+    (5, 4, 5, 16, 256, 496, "011", "0111", "0B3B2B1B000"),
+    (6, 8, 5, 32, 512, 992, "111", "0111", "0B3B2B1B000"),
+    (7, 8, 9, 64, 1024, 1984, "111", "1111", "B3B2B1B0000"),
+]
+
+
+def generate_table1():
+    return table1_rows()
+
+
+def test_table1_control_codes(benchmark):
+    rows = benchmark(generate_table1)
+
+    assert verify_against_factors()
+    assert len(rows) == len(PAPER_ROWS)
+    for row, paper in zip(rows, PAPER_ROWS):
+        seg, prescale, gm, _step, rmin, rmax, osc_d, osc_e, osc_f = paper
+        assert row["segment"] == seg
+        assert row["prescale"] == prescale
+        assert row["active_gm_stages"] == gm
+        assert row["range_min"] == rmin
+        assert row["range_max"] == rmax
+        assert row["osc_d"] == osc_d
+        assert row["osc_e"] == osc_e
+        assert row["osc_f_template"] == osc_f
+
+    rendered = render_table(
+        ["seg", "step", "min", "max", "prescale", "Gm stages", "OscD", "OscE", "OscF"],
+        [
+            (
+                r["segment"],
+                r["step"],
+                r["range_min"],
+                r["range_max"],
+                r["prescale"],
+                r["active_gm_stages"],
+                r["osc_d"],
+                r["osc_e"],
+                r["osc_f_template"],
+            )
+            for r in rows
+        ],
+        title="Table 1: coding of driver control signals (all rows exact)",
+    )
+    save_result("table1_control_codes", rendered)

@@ -1,0 +1,63 @@
+"""Extension — the Fig 5/6 mirror path at transistor level.
+
+Cross-checks three models of the same hardware: the ideal segment law
+(Fig 3), the behavioural ratio model (HardwareDAC), and a two-stage
+NMOS mirror cascade solved in the MNA simulator.  The transistor path
+adds the systematic channel-length-modulation gain error a real
+mirror has — a fidelity level the paper's measured Fig 13 includes by
+construction.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core import HardwareDAC, multiplication_factor
+from repro.core.constants import I_LSB
+from repro.core.mirror_netlist import MirrorNetlistParams, transistor_dac_transfer
+
+from common import save_result
+
+CODES = (1, 8, 16, 31, 48, 64, 80, 96, 112, 127)
+
+
+def generate():
+    behavioural = HardwareDAC()
+    transistor = transistor_dac_transfer(CODES)
+    ideal = [multiplication_factor(c) * I_LSB for c in CODES]
+    behav = [behavioural.current(c) for c in CODES]
+    return ideal, behav, transistor
+
+
+def test_transistor_dac(benchmark):
+    ideal, behav, transistor = benchmark.pedantic(generate, rounds=1, iterations=1)
+
+    ideal_arr = np.asarray(ideal)
+    trans_arr = np.asarray(transistor)
+    errors = trans_arr / ideal_arr - 1.0
+    # Behavioural model is exact; transistor path within the CLM budget
+    # and monotonic.
+    assert np.allclose(behav, ideal, rtol=1e-12)
+    assert np.all(np.abs(errors) < 0.05)
+    assert np.all(np.diff(trans_arr) > 0)
+    # Ideal-device control: lam = 0 removes the error.
+    control = transistor_dac_transfer([64], MirrorNetlistParams(lam=0.0))[0]
+    assert abs(control / (multiplication_factor(64) * I_LSB) - 1.0) < 1e-4
+
+    rows = [
+        (
+            code,
+            f"{i * 1e3:.4f}",
+            f"{b * 1e3:.4f}",
+            f"{t * 1e3:.4f}",
+            f"{e * 100:+.2f} %",
+        )
+        for code, i, b, t, e in zip(CODES, ideal, behav, transistor, errors)
+    ]
+    save_result(
+        "transistor_dac",
+        render_table(
+            ["code", "ideal (mA)", "behavioural (mA)", "transistor (mA)", "CLM error"],
+            rows,
+            title="Extension: Fig 5/6 mirror path, three abstraction levels",
+        ),
+    )

@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper, prints it,
+and persists the rendered text under ``benchmarks/results/`` so the
+artifacts survive pytest's output capture.  EXPERIMENTS.md summarizes
+paper-vs-measured from these artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.core.oscillator_system import OscillatorConfig
+from repro.envelope import RLCTank
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    """Print the artifact and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n===== {name} =====")
+    print(text)
+
+
+def standard_tank() -> RLCTank:
+    """Baseline tank for system-level benches (4 MHz, Q=30, 1 uH)."""
+    return RLCTank.from_frequency_and_q(4e6, 30.0, 1e-6)
+
+
+def standard_config(**overrides) -> OscillatorConfig:
+    defaults = dict(tank=standard_tank())
+    defaults.update(overrides)
+    return OscillatorConfig(**defaults)

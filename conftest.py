@@ -1,0 +1,14 @@
+"""Repo-root pytest configuration.
+
+Puts ``src/`` on ``sys.path`` so the test and benchmark suites run
+even without installing the package (offline environments may lack
+the ``wheel`` package that ``pip install -e .`` needs; alternatively
+use ``python setup.py develop``).
+"""
+
+import pathlib
+import sys
+
+_SRC = str(pathlib.Path(__file__).parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,57 @@
+"""Dynamic behaviour of the redundant dual-oscillator pair (§8).
+
+Runs both regulated oscillators in one co-simulation with their coil
+coupling active, then checks the physics that makes the redundancy
+work: injection locking (Adler) for the "same frequency" requirement
+and the loop's reaction when one supply dies mid-flight.
+
+Run:  python examples/dual_system_dynamics.py
+"""
+
+import numpy as np
+
+from repro import OscillatorConfig, RLCTank
+from repro.envelope import InjectionLocking
+from repro.envelope.locking import frequency_mismatch_from_tolerances
+from repro.envelope.phase_noise import LeesonModel
+from repro.sensor import DualCoSimulation
+
+
+def main() -> None:
+    tank = RLCTank.from_frequency_and_q(4e6, 30.0, 1e-6)
+    make = lambda: OscillatorConfig(tank=tank)
+
+    # 1. Can the pair actually run "at the same frequency" (§8)?
+    lock = InjectionLocking(tank, injection_ratio=0.6)
+    budget = lock.max_tolerable_detuning()
+    parts = frequency_mismatch_from_tolerances(0.004, 0.004)
+    print(f"Injection lock range : ±{budget*100:.2f} % of f0 (k=0.6, Q=30)")
+    print(f"0.4% L + 0.4% C parts: ±{parts*100:.2f} % detuning -> "
+          f"{'LOCKED' if lock.locks(parts) else 'BEATS'}")
+
+    # 2. Both systems up, then system 2 loses its supply at 20 ms.
+    co = DualCoSimulation(
+        config_1=make(), config_2=make(), coupling=0.3, kill_2_at=0.02
+    )
+    trace = co.run(0.05)
+    i_kill = int(np.searchsorted(trace.t, 0.02))
+    print(f"\nCo-simulation (coupling 0.3, system 2 dies at 20 ms):")
+    print(f"  codes while coupled      : {trace.code_1[i_kill-1]} / "
+          f"{trace.code_2[i_kill-1]} (solo would need more)")
+    print(f"  survivor amplitude dip   : "
+          f"{trace.amplitude_1[i_kill-1]:.3f} -> "
+          f"{trace.amplitude_1[i_kill+20]:.3f} V pk")
+    print(f"  survivor recovers to     : {trace.amplitude_1[-1]:.3f} V pk "
+          f"at code {trace.code_1[-1]} (loop compensated "
+          f"{trace.code_1[-1] - trace.code_1[i_kill-1]:+d} codes)")
+    print(f"  dead system amplitude    : {trace.amplitude_2[-1]:.4f} V")
+
+    # 3. Spectral purity at the regulated amplitude.
+    noise = LeesonModel(tank, amplitude_peak=1.35)
+    print(f"\nLeeson phase noise at 10 kHz offset: "
+          f"{noise.phase_noise_dbc(10e3):.1f} dBc/Hz "
+          f"(corner {noise.leeson_corner/1e3:.0f} kHz)")
+
+
+if __name__ == "__main__":
+    main()

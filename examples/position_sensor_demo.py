@@ -1,0 +1,68 @@
+"""Position-sensor application (paper §1, Fig 9).
+
+The regulated oscillator excites the sensor coil; the rotor modulates
+the coupling into two receiving coils; the receiver compares the
+received amplitudes ratiometrically to estimate the rotor angle.
+
+The demo sweeps the rotor and shows that the position estimate is
+accurate and *independent of the oscillation amplitude* (which the
+digital loop only holds within the regulation window).
+
+Run:  python examples/position_sensor_demo.py
+"""
+
+import math
+
+from repro import OscillatorConfig, OscillatorDriverSystem, RLCTank
+from repro.analysis import render_table
+from repro.sensor import CouplingProfile, PositionReceiver, ReceivingCoilPair
+
+
+def main() -> None:
+    # 1. Run the oscillator to get the actual regulated amplitude.
+    tank = RLCTank.from_frequency_and_q(4e6, 30.0, 1e-6)
+    system = OscillatorDriverSystem(OscillatorConfig(tank=tank))
+    trace = system.run(0.03)
+    excitation = trace.final_amplitude
+    print(f"Regulated excitation amplitude: {excitation:.3f} V peak "
+          f"(code {trace.final_code})\n")
+
+    # 2. Sweep the rotor and decode position from the received pair.
+    profile = CouplingProfile(k_max=0.2, theta_range=math.pi / 3)
+    coils = ReceivingCoilPair(profile)
+    receiver = PositionReceiver(profile)
+
+    rows = []
+    for theta_deg in (-55, -30, -10, 0, 15, 40, 58):
+        theta = math.radians(theta_deg)
+        a1, a2 = coils.received_amplitudes(theta, excitation)
+        estimate = math.degrees(receiver.estimate_angle(a1, a2))
+        rows.append(
+            (
+                f"{theta_deg:+d}",
+                f"{a1*1e3:.1f} mV",
+                f"{a2*1e3:.1f} mV",
+                f"{estimate:+.2f}",
+                f"{estimate - theta_deg:+.2e}",
+            )
+        )
+    print(render_table(
+        ["angle (deg)", "RX1 amplitude", "RX2 amplitude", "estimate (deg)", "error"],
+        rows,
+        title="Rotor sweep (ratiometric decoding)",
+    ))
+
+    # 3. Amplitude independence: the estimate is unchanged anywhere in
+    # the regulation window.
+    theta = math.radians(25.0)
+    estimates = []
+    for amplitude_scale in (0.95, 1.0, 1.05):  # the window span
+        a1, a2 = coils.received_amplitudes(theta, excitation * amplitude_scale)
+        estimates.append(receiver.estimate_angle(a1, a2))
+    spread = max(estimates) - min(estimates)
+    print(f"\nEstimate spread over the regulation window: {spread:.2e} rad "
+          "(ratiometric -> zero)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""repro — reproduction of Horsky, "LC Oscillator Driver for Safety
+Critical Applications" (DATE 2005).
+
+The package is organized as:
+
+* :mod:`repro.core` — the paper's contribution (exponential PWL DAC,
+  current-limited Gm driver, digital amplitude regulation, safety
+  monitors, supply-loss tolerant output stage);
+* :mod:`repro.circuits` — a SPICE-like MNA circuit simulator;
+* :mod:`repro.envelope` — tank math, describing functions, envelope ODE;
+* :mod:`repro.digital` — event kernel, watchdog, NVM, POR;
+* :mod:`repro.mc` — mismatch and Monte-Carlo;
+* :mod:`repro.faults` — FMEA fault catalog and campaign;
+* :mod:`repro.sensor` — the position-sensor application (Fig 9);
+* :mod:`repro.analysis` — waveforms and measurements.
+
+Quickstart::
+
+    from repro import OscillatorConfig, OscillatorDriverSystem, RLCTank
+
+    tank = RLCTank.from_frequency_and_q(4e6, quality_factor=30,
+                                        inductance=1e-6)
+    system = OscillatorDriverSystem(OscillatorConfig(tank=tank))
+    trace = system.run(0.05)
+    print(trace.final_amplitude, trace.final_code)
+"""
+
+from .analysis import Waveform
+from .core import (
+    ExponentialPWLDAC,
+    FailureKind,
+    HardwareDAC,
+    OscillatorConfig,
+    OscillatorDriverSystem,
+    OscillatorNetlist,
+    encode,
+    multiplication_factor,
+    run_supply_loss_sweep,
+)
+from .envelope import (
+    EnvelopeModel,
+    HardLimiter,
+    InjectionLocking,
+    LeesonModel,
+    RLCTank,
+    TanhLimiter,
+)
+from .errors import ReproError
+from .faults import FaultCampaign, standard_fault_catalog
+from .mc import MismatchProfile
+from .sensor import DualCoSimulation, DualSystemScenario, PositionReceiver
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Waveform",
+    "ExponentialPWLDAC",
+    "FailureKind",
+    "HardwareDAC",
+    "OscillatorConfig",
+    "OscillatorDriverSystem",
+    "OscillatorNetlist",
+    "encode",
+    "multiplication_factor",
+    "run_supply_loss_sweep",
+    "EnvelopeModel",
+    "InjectionLocking",
+    "LeesonModel",
+    "HardLimiter",
+    "RLCTank",
+    "TanhLimiter",
+    "ReproError",
+    "FaultCampaign",
+    "standard_fault_catalog",
+    "MismatchProfile",
+    "DualCoSimulation",
+    "DualSystemScenario",
+    "PositionReceiver",
+    "__version__",
+]

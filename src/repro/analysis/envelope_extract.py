@@ -1,0 +1,77 @@
+"""Envelope extraction from carrier-resolution waveforms.
+
+The amplitude-regulation loop works on the *envelope* of the 2–5 MHz
+oscillation.  When a simulation produces the full carrier waveform
+(e.g. the MNA transient of Fig 16), these helpers recover the envelope
+so it can be compared against the averaged model of
+:mod:`repro.envelope`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .waveform import Waveform
+
+__all__ = ["envelope_by_peaks", "envelope_by_rectify_filter"]
+
+
+def envelope_by_peaks(wave: Waveform, polarity: str = "both") -> Waveform:
+    """Envelope from local extrema of the carrier.
+
+    Parameters
+    ----------
+    wave:
+        Carrier-resolution waveform (must contain several cycles).
+    polarity:
+        ``"upper"`` uses maxima, ``"lower"`` uses |minima|, ``"both"``
+        (default) averages the two, which rejects a DC offset.
+    """
+    y = wave.y
+    t = wave.t
+    interior = np.arange(1, len(wave) - 1)
+    is_max = (y[interior] >= y[interior - 1]) & (y[interior] > y[interior + 1])
+    is_min = (y[interior] <= y[interior - 1]) & (y[interior] < y[interior + 1])
+    max_idx = interior[is_max]
+    min_idx = interior[is_min]
+    if polarity == "upper":
+        if max_idx.size < 2:
+            raise AnalysisError("not enough maxima for an upper envelope")
+        return Waveform(t[max_idx], y[max_idx], name=f"{wave.name}:env")
+    if polarity == "lower":
+        if min_idx.size < 2:
+            raise AnalysisError("not enough minima for a lower envelope")
+        return Waveform(t[min_idx], -y[min_idx], name=f"{wave.name}:env")
+    if polarity != "both":
+        raise AnalysisError(f"unknown polarity {polarity!r}")
+    if max_idx.size < 2 or min_idx.size < 2:
+        raise AnalysisError("not enough extrema for a two-sided envelope")
+    upper = Waveform(t[max_idx], y[max_idx])
+    lower = Waveform(t[min_idx], y[min_idx])
+    t_common = t[max_idx]
+    lower_on_common = lower.resample(t_common)
+    env = 0.5 * (upper.y - lower_on_common.y)
+    return Waveform(t_common, env, name=f"{wave.name}:env")
+
+
+def envelope_by_rectify_filter(wave: Waveform, cutoff_hz: float) -> Waveform:
+    """Envelope the way the chip does it: full-wave rectify then low-pass.
+
+    A single-pole IIR low-pass (matched to the sample spacing) models the
+    on-chip RC filter of Fig 8.  The result converges to
+    ``2/pi * peak`` for a sine input — the same scale factor the real
+    detector sees, so thresholds must be set accordingly.
+    """
+    if cutoff_hz <= 0:
+        raise AnalysisError("cutoff_hz must be positive")
+    t = wave.t
+    rect = np.abs(wave.y)
+    out = np.empty_like(rect)
+    out[0] = rect[0]
+    tau = 1.0 / (2.0 * np.pi * cutoff_hz)
+    dt = np.diff(t)
+    alpha = dt / (tau + dt)
+    for i in range(1, len(rect)):
+        out[i] = out[i - 1] + alpha[i - 1] * (rect[i] - out[i - 1])
+    return Waveform(t, out, name=f"{wave.name}:rectlp")

@@ -1,0 +1,79 @@
+"""CSV import/export of waveforms and multi-column traces.
+
+Plain-text interchange so bench artifacts and simulated waveforms can
+be inspected or post-processed outside Python (the library has no
+plotting dependency by design).
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .waveform import Waveform
+
+__all__ = ["save_waveform_csv", "load_waveform_csv", "save_columns_csv", "load_columns_csv"]
+
+PathLike = Union[str, pathlib.Path]
+
+
+def save_waveform_csv(wave: Waveform, path: PathLike) -> None:
+    """Write a waveform as ``t,<name>`` CSV with a header row."""
+    label = wave.name or "y"
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["t", label])
+        for t, y in zip(wave.t, wave.y):
+            writer.writerow([repr(float(t)), repr(float(y))])
+
+
+def load_waveform_csv(path: PathLike) -> Waveform:
+    """Read a two-column CSV written by :func:`save_waveform_csv`."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or len(header) != 2:
+            raise AnalysisError(f"{path}: expected a 2-column CSV with header")
+        times: List[float] = []
+        values: List[float] = []
+        for row in reader:
+            if len(row) != 2:
+                raise AnalysisError(f"{path}: malformed row {row!r}")
+            times.append(float(row[0]))
+            values.append(float(row[1]))
+    return Waveform(times, values, name=header[1])
+
+
+def save_columns_csv(path: PathLike, columns: Dict[str, Sequence[float]]) -> None:
+    """Write named, equal-length columns (e.g. a SystemTrace)."""
+    if not columns:
+        raise AnalysisError("no columns to save")
+    lengths = {len(values) for values in columns.values()}
+    if len(lengths) != 1:
+        raise AnalysisError(f"column length mismatch: {sorted(lengths)}")
+    names = list(columns)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        for i in range(lengths.pop()):
+            writer.writerow([repr(float(columns[name][i])) for name in names])
+
+
+def load_columns_csv(path: PathLike) -> Dict[str, np.ndarray]:
+    """Read a CSV written by :func:`save_columns_csv`."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if not header:
+            raise AnalysisError(f"{path}: empty CSV")
+        data: List[List[float]] = [[] for _ in header]
+        for row in reader:
+            if len(row) != len(header):
+                raise AnalysisError(f"{path}: malformed row {row!r}")
+            for i, cell in enumerate(row):
+                data[i].append(float(cell))
+    return {name: np.asarray(col) for name, col in zip(header, data)}

@@ -1,0 +1,174 @@
+"""Scalar measurements on waveforms.
+
+These are the measurements the paper's evaluation relies on: peak
+amplitude, oscillation frequency (from zero crossings), settling time of
+the regulated envelope, and counting of regulation steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .waveform import Waveform
+
+__all__ = [
+    "zero_crossings",
+    "oscillation_frequency",
+    "oscillation_period",
+    "amplitude_peak",
+    "amplitude_rms_of_sine",
+    "settling_time",
+    "StepEvent",
+    "find_steps",
+    "crossing_time",
+]
+
+
+def zero_crossings(wave: Waveform, level: float = 0.0, rising: Optional[bool] = None) -> np.ndarray:
+    """Return interpolated times at which the waveform crosses ``level``.
+
+    Parameters
+    ----------
+    wave:
+        Input waveform.
+    level:
+        Crossing threshold.
+    rising:
+        ``True`` for rising-only, ``False`` for falling-only, ``None``
+        (default) for both.
+    """
+    y = wave.y - level
+    t = wave.t
+    sign = np.sign(y)
+    # Treat exact zeros as belonging to the previous sign so that each
+    # crossing is counted exactly once.
+    sign[sign == 0] = 1
+    change = np.diff(sign)
+    if rising is True:
+        idx = np.where(change > 0)[0]
+    elif rising is False:
+        idx = np.where(change < 0)[0]
+    else:
+        idx = np.where(change != 0)[0]
+    if idx.size == 0:
+        return np.empty(0)
+    # Linear interpolation between samples idx and idx+1.
+    y0, y1 = y[idx], y[idx + 1]
+    t0, t1 = t[idx], t[idx + 1]
+    frac = y0 / (y0 - y1)
+    return t0 + frac * (t1 - t0)
+
+
+def oscillation_period(wave: Waveform, level: float = 0.0) -> float:
+    """Average oscillation period from rising crossings of ``level``."""
+    times = zero_crossings(wave, level=level, rising=True)
+    if times.size < 2:
+        raise AnalysisError(
+            f"cannot measure period: only {times.size} rising crossings found"
+        )
+    return float(np.mean(np.diff(times)))
+
+
+def oscillation_frequency(wave: Waveform, level: float = 0.0) -> float:
+    """Average oscillation frequency in hertz."""
+    return 1.0 / oscillation_period(wave, level=level)
+
+
+def amplitude_peak(wave: Waveform, t_from: Optional[float] = None) -> float:
+    """Peak amplitude ``(max - min)/2`` over the tail of the waveform.
+
+    ``t_from`` restricts the measurement window; by default the last 20 %
+    of the record is used, which skips the startup transient.
+    """
+    if t_from is None:
+        t_from = wave.t_start + 0.8 * wave.duration
+    tail = wave.window(t_from, wave.t_stop)
+    return 0.5 * tail.peak_to_peak()
+
+
+def amplitude_rms_of_sine(peak: float) -> float:
+    """RMS of a sine with the given peak value (the paper's 'effective' V)."""
+    return peak / np.sqrt(2.0)
+
+
+def settling_time(
+    wave: Waveform,
+    final_value: Optional[float] = None,
+    tolerance: float = 0.05,
+) -> float:
+    """Time after which the waveform stays within ``tolerance`` of final value.
+
+    ``final_value`` defaults to the last sample.  Returns the time
+    relative to the start of the waveform.  Raises if the waveform never
+    settles (i.e. the last sample itself is outside the band, which
+    cannot happen with the default ``final_value``).
+    """
+    y = wave.y
+    t = wave.t
+    if final_value is None:
+        final_value = float(y[-1])
+    band = tolerance * max(abs(final_value), np.finfo(float).tiny)
+    outside = np.abs(y - final_value) > band
+    if not outside.any():
+        return 0.0
+    last_outside = int(np.where(outside)[0][-1])
+    if last_outside == len(wave) - 1:
+        raise AnalysisError("waveform does not settle within the record")
+    return float(t[last_outside + 1] - t[0])
+
+
+def crossing_time(wave: Waveform, level: float, rising: bool = True) -> float:
+    """First time the waveform crosses ``level`` in the given direction."""
+    times = zero_crossings(wave, level=level, rising=rising)
+    if times.size == 0:
+        raise AnalysisError(f"waveform never crosses level {level:g}")
+    return float(times[0])
+
+
+@dataclass(frozen=True)
+class StepEvent:
+    """A detected discrete step in a staircase-like waveform."""
+
+    time: float
+    before: float
+    after: float
+
+    @property
+    def delta(self) -> float:
+        return self.after - self.before
+
+    @property
+    def relative(self) -> float:
+        if self.before == 0.0:
+            raise AnalysisError("relative step undefined for zero baseline")
+        return self.delta / self.before
+
+
+def find_steps(wave: Waveform, min_delta: float) -> List[StepEvent]:
+    """Detect steps larger than ``min_delta`` in a staircase waveform.
+
+    Used to analyse the regulation-loop amplitude staircase (Fig 15).
+    Consecutive samples whose difference exceeds ``min_delta`` are
+    merged into a single event.
+    """
+    if min_delta <= 0:
+        raise AnalysisError("min_delta must be positive")
+    y = wave.y
+    t = wave.t
+    events: List[StepEvent] = []
+    i = 0
+    n = len(wave)
+    while i < n - 1:
+        if abs(y[i + 1] - y[i]) >= min_delta:
+            j = i + 1
+            while j < n - 1 and abs(y[j + 1] - y[j]) >= min_delta:
+                j += 1
+            events.append(StepEvent(time=float(t[i]), before=float(y[i]), after=float(y[j])))
+            i = j
+        else:
+            i += 1
+    return events

@@ -1,0 +1,78 @@
+"""ASCII rendering of result tables and series for the benchmark harness.
+
+Every bench prints the rows/series of the paper's table or figure using
+these helpers so outputs are uniform and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["render_table", "render_series", "format_si"]
+
+_SI_PREFIXES = [
+    (1e9, "G"), (1e6, "M"), (1e3, "k"), (1.0, ""),
+    (1e-3, "m"), (1e-6, "u"), (1e-9, "n"), (1e-12, "p"), (1e-15, "f"),
+]
+
+
+def format_si(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format a value with an engineering SI prefix, e.g. ``12.5 uA``."""
+    if value == 0.0:
+        return f"0 {unit}".rstrip()
+    magnitude = abs(value)
+    for scale, prefix in _SI_PREFIXES:
+        if magnitude >= scale:
+            return f"{value / scale:.{digits}g} {prefix}{unit}".rstrip()
+    scale, prefix = _SI_PREFIXES[-1]
+    return f"{value / scale:.{digits}g} {prefix}{unit}".rstrip()
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a simple aligned ASCII table."""
+    str_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_series(
+    x: Sequence[float],
+    y: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+    title: Optional[str] = None,
+    max_points: int = 40,
+) -> str:
+    """Render an (x, y) series as a table, subsampling long series."""
+    if len(x) != len(y):
+        raise ValueError("series length mismatch")
+    n = len(x)
+    if n > max_points:
+        stride = max(1, n // max_points)
+        idx = list(range(0, n, stride))
+        if idx[-1] != n - 1:
+            idx.append(n - 1)
+    else:
+        idx = list(range(n))
+    rows = [(f"{x[i]:.6g}", f"{y[i]:.6g}") for i in idx]
+    return render_table([x_label, y_label], rows, title=title)

@@ -1,0 +1,193 @@
+"""Waveform container used by every simulator in the library.
+
+A :class:`Waveform` is an immutable pair of equal-length numpy arrays
+``(t, y)`` with strictly increasing time.  It supports arithmetic with
+other waveforms sharing the same time base and with scalars, slicing by
+time window, resampling, and simple calculus, which is all the
+measurement layer (:mod:`repro.analysis.measurements`) needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Union
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+__all__ = ["Waveform"]
+
+_Scalar = Union[int, float]
+
+
+class Waveform:
+    """A sampled real-valued signal ``y(t)``.
+
+    Parameters
+    ----------
+    t:
+        Sample times in seconds, strictly increasing.
+    y:
+        Sample values, same length as ``t``.
+    name:
+        Optional label used in error messages and table rendering.
+    """
+
+    __slots__ = ("_t", "_y", "name")
+
+    def __init__(self, t: Iterable[float], y: Iterable[float], name: str = ""):
+        t_arr = np.asarray(t, dtype=float)
+        y_arr = np.asarray(y, dtype=float)
+        if t_arr.ndim != 1 or y_arr.ndim != 1:
+            raise AnalysisError("Waveform arrays must be one-dimensional")
+        if t_arr.shape != y_arr.shape:
+            raise AnalysisError(
+                f"Waveform time/value length mismatch: {t_arr.size} vs {y_arr.size}"
+            )
+        if t_arr.size < 2:
+            raise AnalysisError("Waveform needs at least two samples")
+        if not np.all(np.diff(t_arr) > 0):
+            raise AnalysisError("Waveform time axis must be strictly increasing")
+        self._t = t_arr
+        self._y = y_arr
+        self.name = name
+
+    # -- basic accessors -------------------------------------------------
+
+    @property
+    def t(self) -> np.ndarray:
+        """Time axis (read-only view)."""
+        view = self._t.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def y(self) -> np.ndarray:
+        """Value axis (read-only view)."""
+        view = self._y.view()
+        view.flags.writeable = False
+        return view
+
+    def __len__(self) -> int:
+        return self._t.size
+
+    @property
+    def t_start(self) -> float:
+        return float(self._t[0])
+
+    @property
+    def t_stop(self) -> float:
+        return float(self._t[-1])
+
+    @property
+    def duration(self) -> float:
+        return self.t_stop - self.t_start
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<Waveform{label} n={len(self)} t=[{self.t_start:.3e}, "
+            f"{self.t_stop:.3e}] y=[{self._y.min():.3e}, {self._y.max():.3e}]>"
+        )
+
+    # -- construction helpers --------------------------------------------
+
+    @classmethod
+    def from_function(
+        cls,
+        func: Callable[[np.ndarray], np.ndarray],
+        t_start: float,
+        t_stop: float,
+        n: int = 1001,
+        name: str = "",
+    ) -> "Waveform":
+        """Sample ``func`` uniformly on ``[t_start, t_stop]``."""
+        if t_stop <= t_start:
+            raise AnalysisError("from_function requires t_stop > t_start")
+        t = np.linspace(t_start, t_stop, n)
+        return cls(t, np.asarray(func(t), dtype=float), name=name)
+
+    # -- arithmetic --------------------------------------------------------
+
+    def _binary(self, other: Union["Waveform", _Scalar], op) -> "Waveform":
+        if isinstance(other, Waveform):
+            if len(other) != len(self) or not np.allclose(other._t, self._t):
+                raise AnalysisError(
+                    "Waveform arithmetic requires an identical time base; "
+                    "use resample() first"
+                )
+            return Waveform(self._t, op(self._y, other._y), name=self.name)
+        return Waveform(self._t, op(self._y, float(other)), name=self.name)
+
+    def __add__(self, other):
+        return self._binary(other, np.add)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._binary(other, np.subtract)
+
+    def __rsub__(self, other):
+        return Waveform(self._t, float(other) - self._y, name=self.name)
+
+    def __mul__(self, other):
+        return self._binary(other, np.multiply)
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        return Waveform(self._t, -self._y, name=self.name)
+
+    def abs(self) -> "Waveform":
+        """Full-wave rectified copy (|y|), as done by the amplitude detector."""
+        return Waveform(self._t, np.abs(self._y), name=self.name)
+
+    # -- slicing / resampling ----------------------------------------------
+
+    def window(self, t_from: float, t_to: float) -> "Waveform":
+        """Return the sub-waveform with ``t_from <= t <= t_to``."""
+        if t_to <= t_from:
+            raise AnalysisError("window() requires t_to > t_from")
+        mask = (self._t >= t_from) & (self._t <= t_to)
+        if int(mask.sum()) < 2:
+            raise AnalysisError(
+                f"window [{t_from:g}, {t_to:g}] contains fewer than 2 samples"
+            )
+        return Waveform(self._t[mask], self._y[mask], name=self.name)
+
+    def resample(self, t_new: Iterable[float]) -> "Waveform":
+        """Linear interpolation onto a new time axis."""
+        t_arr = np.asarray(t_new, dtype=float)
+        y_new = np.interp(t_arr, self._t, self._y)
+        return Waveform(t_arr, y_new, name=self.name)
+
+    def value_at(self, t: float) -> float:
+        """Linearly-interpolated value at time ``t`` (clamped at the ends)."""
+        return float(np.interp(t, self._t, self._y))
+
+    # -- calculus ------------------------------------------------------------
+
+    def derivative(self) -> "Waveform":
+        """Numerical derivative dy/dt (second-order central differences)."""
+        return Waveform(self._t, np.gradient(self._y, self._t), name=self.name)
+
+    def integral(self) -> float:
+        """Trapezoidal integral of y over the full time span."""
+        return float(np.trapezoid(self._y, self._t))
+
+    def mean(self) -> float:
+        """Time-weighted average value."""
+        return self.integral() / self.duration
+
+    def rms(self) -> float:
+        """Root-mean-square value (time weighted)."""
+        return float(np.sqrt(np.trapezoid(self._y ** 2, self._t) / self.duration))
+
+    def min(self) -> float:
+        return float(self._y.min())
+
+    def max(self) -> float:
+        return float(self._y.max())
+
+    def peak_to_peak(self) -> float:
+        return self.max() - self.min()

@@ -1,0 +1,74 @@
+"""A small SPICE-like circuit simulator (MNA) used as the substrate for
+all netlist-level experiments in the reproduction.
+
+Public surface:
+
+* :class:`Circuit` — the netlist container with factory helpers.
+* Components: :class:`Resistor`, :class:`Capacitor`, :class:`Inductor`,
+  :class:`Switch`, :class:`VoltageSource`, :class:`CurrentSource`,
+  :class:`VCCS`, :class:`VCVS`, :class:`NonlinearVCCS`, :class:`Diode`,
+  :class:`Mosfet` (+ :class:`MosfetParams`).
+* Analyses: :func:`solve_dc`, :func:`dc_sweep`, :func:`run_transient`,
+  :func:`run_ac`.
+* Stimuli: :func:`dc`, :func:`sine`, :func:`pulse`, :func:`pwl`.
+"""
+
+from .ac import ACResult, run_ac
+from .corners import FAST_COLD, FAST_HOT, SLOW_COLD, SLOW_HOT, TYPICAL, ProcessCorner
+from .component import Component, MNASystem, StampContext
+from .controlled import VCCS, VCVS, NonlinearVCCS
+from .dcop import NewtonOptions, OperatingPoint, SweepResult, dc_sweep, solve_dc
+from .diode import Diode, junction_iv
+from .elements import Capacitor, Inductor, Resistor, Switch
+from .mosfet import Mosfet, MosfetParams, NMOS_DEFAULT, PMOS_DEFAULT
+from .netlist import Circuit
+from .noise import NoiseResult, run_noise
+from .subcircuit import CellBuilder, SubcircuitDefinition
+from .sources import CurrentSource, VoltageSource, dc, pulse, pwl, sine
+from .transient import TransientOptions, TransientResult, run_transient
+
+__all__ = [
+    "ACResult",
+    "run_ac",
+    "ProcessCorner",
+    "TYPICAL",
+    "SLOW_COLD",
+    "SLOW_HOT",
+    "FAST_COLD",
+    "FAST_HOT",
+    "Component",
+    "MNASystem",
+    "StampContext",
+    "VCCS",
+    "VCVS",
+    "NonlinearVCCS",
+    "NewtonOptions",
+    "OperatingPoint",
+    "SweepResult",
+    "dc_sweep",
+    "solve_dc",
+    "Diode",
+    "junction_iv",
+    "Capacitor",
+    "Inductor",
+    "Resistor",
+    "Switch",
+    "Mosfet",
+    "MosfetParams",
+    "NMOS_DEFAULT",
+    "PMOS_DEFAULT",
+    "Circuit",
+    "NoiseResult",
+    "run_noise",
+    "CellBuilder",
+    "SubcircuitDefinition",
+    "CurrentSource",
+    "VoltageSource",
+    "dc",
+    "pulse",
+    "pwl",
+    "sine",
+    "TransientOptions",
+    "TransientResult",
+    "run_transient",
+]

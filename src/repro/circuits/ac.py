@@ -1,0 +1,112 @@
+"""Small-signal AC analysis.
+
+Nonlinear devices are linearized around a DC operating point; the
+complex MNA system is then solved at each requested frequency.  Used to
+verify the resonance (ω0, Q) of the external LC network against the
+analytic tank model in :mod:`repro.envelope.tank`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .component import ACStampContext
+from .dcop import NewtonOptions, OperatingPoint, solve_dc
+from .netlist import Circuit
+
+__all__ = ["ACResult", "run_ac"]
+
+
+@dataclass
+class ACResult:
+    """Complex node responses versus frequency."""
+
+    circuit: Circuit
+    frequencies: np.ndarray
+    x: np.ndarray  # complex, shape (n_freq, size)
+
+    def response(self, node: str) -> np.ndarray:
+        idx = self.circuit.node_index(node)
+        if idx < 0:
+            return np.zeros(len(self.frequencies), dtype=complex)
+        return self.x[:, idx]
+
+    def differential(self, node_p: str, node_n: str) -> np.ndarray:
+        return self.response(node_p) - self.response(node_n)
+
+    def magnitude(self, node: str) -> np.ndarray:
+        return np.abs(self.response(node))
+
+    def resonance_frequency(self, node: str) -> float:
+        """Frequency of the magnitude peak at ``node`` (grid resolution)."""
+        mag = self.magnitude(node)
+        if mag.size < 3:
+            raise AnalysisError("need at least 3 frequency points")
+        return float(self.frequencies[int(np.argmax(mag))])
+
+    def quality_factor(self, node: str) -> float:
+        """Q from the -3 dB bandwidth of the magnitude peak at ``node``."""
+        mag = self.magnitude(node)
+        peak_idx = int(np.argmax(mag))
+        peak = mag[peak_idx]
+        if peak_idx in (0, mag.size - 1):
+            raise AnalysisError("resonance peak is at the edge of the sweep")
+        half = peak / np.sqrt(2.0)
+        lower = upper = None
+        for i in range(peak_idx, 0, -1):
+            if mag[i - 1] <= half:
+                f0, f1 = self.frequencies[i - 1], self.frequencies[i]
+                m0, m1 = mag[i - 1], mag[i]
+                lower = f0 + (half - m0) / (m1 - m0) * (f1 - f0)
+                break
+        for i in range(peak_idx, mag.size - 1):
+            if mag[i + 1] <= half:
+                f0, f1 = self.frequencies[i], self.frequencies[i + 1]
+                m0, m1 = mag[i], mag[i + 1]
+                upper = f0 + (half - m0) / (m1 - m0) * (f1 - f0)
+                break
+        if lower is None or upper is None:
+            raise AnalysisError("-3 dB points not bracketed by the sweep")
+        bandwidth = upper - lower
+        return float(self.frequencies[peak_idx] / bandwidth)
+
+
+def run_ac(
+    circuit: Circuit,
+    frequencies: Sequence[float],
+    operating_point: Optional[OperatingPoint] = None,
+    newton: Optional[NewtonOptions] = None,
+) -> ACResult:
+    """Solve the linearized circuit at each frequency.
+
+    AC stimuli are taken from each source's ``ac_magnitude``.
+    """
+    circuit.prepare()
+    freqs = np.asarray(list(frequencies), dtype=float)
+    if freqs.size == 0 or np.any(freqs <= 0):
+        raise AnalysisError("frequencies must be positive and non-empty")
+    if operating_point is None:
+        operating_point = solve_dc(circuit, options=newton)
+    size = circuit.size
+    solutions = np.zeros((freqs.size, size), dtype=complex)
+    for k, freq in enumerate(freqs):
+        omega = 2.0 * np.pi * freq
+        ctx = ACStampContext(
+            G=np.zeros((size, size), dtype=complex),
+            rhs=np.zeros(size, dtype=complex),
+            omega=omega,
+            x_op=operating_point.x,
+        )
+        for component in circuit:
+            component.stamp_ac(ctx)
+        for i in range(circuit.n_nodes):
+            ctx.G[i, i] += 1e-12
+        try:
+            solutions[k] = np.linalg.solve(ctx.G, ctx.rhs)
+        except np.linalg.LinAlgError:
+            solutions[k], *_ = np.linalg.lstsq(ctx.G, ctx.rhs, rcond=None)
+    return ACResult(circuit=circuit, frequencies=freqs, x=solutions)

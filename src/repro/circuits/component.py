@@ -1,0 +1,211 @@
+"""Component base class and MNA stamping infrastructure.
+
+The simulator uses classic Modified Nodal Analysis (MNA): the unknown
+vector ``x`` holds node voltages (ground excluded) followed by branch
+currents for components that need them (voltage sources, inductors,
+VCVS).  Each component *stamps* its contribution into the system matrix
+``G`` and right-hand side ``rhs`` so that ``G @ x = rhs`` is the
+linearized circuit equation at the current Newton iterate.
+
+Sign conventions (SPICE compatible)
+-----------------------------------
+* KCL rows: currents *leaving* a node through components appear with a
+  positive sign on the matrix side.
+* A current source ``(n+, n-)`` drives positive current from ``n+``
+  through itself to ``n-`` (it removes current from ``n+``).
+* A voltage-source branch current is positive when flowing from ``n+``
+  through the source to ``n-``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import NetlistError
+
+__all__ = ["MNASystem", "StampContext", "ACStampContext", "Component", "GROUND"]
+
+#: Index used for the ground node; stamps against it are discarded.
+GROUND = -1
+
+
+class MNASystem:
+    """Dense MNA matrix and right-hand side with ground-aware stamping."""
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise NetlistError("MNA system must have at least one unknown")
+        self.size = size
+        self.G = np.zeros((size, size))
+        self.rhs = np.zeros(size)
+
+    def clear(self) -> None:
+        self.G[:, :] = 0.0
+        self.rhs[:] = 0.0
+
+    def add_G(self, row: int, col: int, value: float) -> None:
+        """Add ``value`` at (row, col); ground indices are ignored."""
+        if row >= 0 and col >= 0:
+            self.G[row, col] += value
+
+    def add_rhs(self, row: int, value: float) -> None:
+        """Add ``value`` to the RHS at ``row``; ground is ignored."""
+        if row >= 0:
+            self.rhs[row] += value
+
+    def stamp_conductance(self, a: int, b: int, g: float) -> None:
+        """Stamp a two-terminal conductance ``g`` between nodes a and b."""
+        self.add_G(a, a, g)
+        self.add_G(b, b, g)
+        self.add_G(a, b, -g)
+        self.add_G(b, a, -g)
+
+    def stamp_current(self, a: int, b: int, current: float) -> None:
+        """Stamp a current flowing from node a through the element to b."""
+        self.add_rhs(a, -current)
+        self.add_rhs(b, current)
+
+
+@dataclass
+class StampContext:
+    """Everything a component needs to stamp itself for DC or transient.
+
+    Attributes
+    ----------
+    system:
+        The MNA system being assembled.
+    x:
+        Current Newton iterate (node voltages then branch currents).
+    time:
+        Simulation time of the step being solved (0 for DC).
+    dt:
+        Time step, or ``None`` for DC / operating-point analysis.
+    method:
+        Integration method, ``"trap"`` or ``"be"`` (backward Euler);
+        only meaningful when ``dt`` is not ``None``.
+    source_scale:
+        Homotopy factor in [0, 1] applied to independent sources during
+        source-stepping; 1.0 for normal solves.
+    gmin:
+        Conductance added from every device junction to help
+        convergence (also swept during gmin-stepping).
+    states:
+        Mapping from component name to its integrator state (previous
+        voltages/currents), managed by the transient engine.
+    """
+
+    system: MNASystem
+    x: np.ndarray
+    time: float = 0.0
+    dt: Optional[float] = None
+    method: str = "trap"
+    source_scale: float = 1.0
+    gmin: float = 1e-12
+    states: Dict[str, object] = field(default_factory=dict)
+
+    def v(self, index: int) -> float:
+        """Voltage (or branch current) at unknown ``index``; ground is 0 V."""
+        if index < 0:
+            return 0.0
+        return float(self.x[index])
+
+    @property
+    def is_transient(self) -> bool:
+        return self.dt is not None
+
+
+@dataclass
+class ACStampContext:
+    """Stamping context for small-signal AC analysis.
+
+    ``x_op`` is the DC operating point around which nonlinear devices
+    are linearized.  ``system``/``rhs`` are complex.
+    """
+
+    G: np.ndarray
+    rhs: np.ndarray
+    omega: float
+    x_op: np.ndarray
+
+    def add_G(self, row: int, col: int, value: complex) -> None:
+        if row >= 0 and col >= 0:
+            self.G[row, col] += value
+
+    def add_rhs(self, row: int, value: complex) -> None:
+        if row >= 0:
+            self.rhs[row] += value
+
+    def stamp_admittance(self, a: int, b: int, y: complex) -> None:
+        self.add_G(a, a, y)
+        self.add_G(b, b, y)
+        self.add_G(a, b, -y)
+        self.add_G(b, a, -y)
+
+    def v_op(self, index: int) -> float:
+        if index < 0:
+            return 0.0
+        return float(self.x_op[index])
+
+
+class Component(ABC):
+    """Base class for all circuit components.
+
+    Subclasses declare how many extra branch-current unknowns they need
+    via :attr:`n_branches` and implement :meth:`stamp`.
+    """
+
+    #: Number of extra branch-current unknowns this component adds.
+    n_branches: int = 0
+
+    def __init__(self, name: str, nodes: Sequence[str]):
+        if not name:
+            raise NetlistError("component name must be non-empty")
+        self.name = name
+        self.nodes: Tuple[str, ...] = tuple(str(n) for n in nodes)
+        # Resolved by Circuit.prepare():
+        self._n: List[int] = []
+        self._b: List[int] = []
+
+    # -- wiring -----------------------------------------------------------
+
+    def assign_indices(self, node_indices: Sequence[int], branch_start: int) -> None:
+        """Called by the circuit once node/branch numbering is known."""
+        if len(node_indices) != len(self.nodes):
+            raise NetlistError(
+                f"{self.name}: expected {len(self.nodes)} node indices, "
+                f"got {len(node_indices)}"
+            )
+        self._n = list(node_indices)
+        self._b = list(range(branch_start, branch_start + self.n_branches))
+
+    @property
+    def branch_indices(self) -> Tuple[int, ...]:
+        return tuple(self._b)
+
+    # -- behaviour ----------------------------------------------------------
+
+    @abstractmethod
+    def stamp(self, ctx: StampContext) -> None:
+        """Stamp the (possibly linearized) component into the system."""
+
+    def stamp_ac(self, ctx: ACStampContext) -> None:
+        """Stamp the small-signal model; default: open circuit."""
+
+    def is_nonlinear(self) -> bool:
+        """Whether the component requires Newton iteration."""
+        return False
+
+    def init_state(self, x: np.ndarray) -> Optional[object]:
+        """Initial integrator state from a converged DC solution."""
+        return None
+
+    def update_state(self, ctx: StampContext) -> Optional[object]:
+        """New integrator state after a converged transient step."""
+        return None
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name} {self.nodes}>"

@@ -1,0 +1,150 @@
+"""Controlled sources: VCCS, VCVS, and a nonlinear behavioural VCCS.
+
+The nonlinear VCCS is the workhorse of the oscillator model: the
+current-limited Gm driver of the paper (Fig 2) is a transconductor
+whose output current saturates at ``±IM``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..errors import NetlistError
+from .component import ACStampContext, Component, StampContext
+
+__all__ = ["VCCS", "VCVS", "NonlinearVCCS"]
+
+
+class VCCS(Component):
+    """Linear voltage-controlled current source.
+
+    Output current ``gm * (v(cp) - v(cn))`` flows from ``out_p`` through
+    the source to ``out_n``.
+    Node order: (out_p, out_n, ctrl_p, ctrl_n).
+    """
+
+    def __init__(self, name: str, out_p: str, out_n: str, ctrl_p: str, ctrl_n: str, gm: float):
+        super().__init__(name, (out_p, out_n, ctrl_p, ctrl_n))
+        self.gm = float(gm)
+
+    def stamp(self, ctx: StampContext) -> None:
+        op, on, cp, cn = self._n
+        sys = ctx.system
+        sys.add_G(op, cp, self.gm)
+        sys.add_G(op, cn, -self.gm)
+        sys.add_G(on, cp, -self.gm)
+        sys.add_G(on, cn, self.gm)
+
+    def stamp_ac(self, ctx: ACStampContext) -> None:
+        op, on, cp, cn = self._n
+        ctx.add_G(op, cp, self.gm)
+        ctx.add_G(op, cn, -self.gm)
+        ctx.add_G(on, cp, -self.gm)
+        ctx.add_G(on, cn, self.gm)
+
+
+class VCVS(Component):
+    """Linear voltage-controlled voltage source with gain ``mu``.
+
+    ``v(out_p) - v(out_n) = mu * (v(ctrl_p) - v(ctrl_n))``.
+    Node order: (out_p, out_n, ctrl_p, ctrl_n).
+    """
+
+    n_branches = 1
+
+    def __init__(self, name: str, out_p: str, out_n: str, ctrl_p: str, ctrl_n: str, mu: float):
+        super().__init__(name, (out_p, out_n, ctrl_p, ctrl_n))
+        self.mu = float(mu)
+
+    def _stamp_common(self, add_G) -> None:
+        op, on, cp, cn = self._n
+        br = self._b[0]
+        add_G(op, br, 1.0)
+        add_G(on, br, -1.0)
+        add_G(br, op, 1.0)
+        add_G(br, on, -1.0)
+        add_G(br, cp, -self.mu)
+        add_G(br, cn, self.mu)
+
+    def stamp(self, ctx: StampContext) -> None:
+        self._stamp_common(ctx.system.add_G)
+
+    def stamp_ac(self, ctx: ACStampContext) -> None:
+        self._stamp_common(ctx.add_G)
+
+
+class NonlinearVCCS(Component):
+    """Behavioural transconductor ``i = f(v_ctrl)`` with Newton stamping.
+
+    Parameters
+    ----------
+    func:
+        Output current as a function of the differential control voltage
+        ``v(ctrl_p) - v(ctrl_n)``.  Current flows from ``out_p`` through
+        the source to ``out_n``.
+    dfunc:
+        Optional analytic derivative.  When omitted the derivative is
+        computed by central finite differences with a small step, which
+        is adequate for the smooth saturating characteristics used here.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        out_p: str,
+        out_n: str,
+        ctrl_p: str,
+        ctrl_n: str,
+        func: Callable[[float], float],
+        dfunc: Optional[Callable[[float], float]] = None,
+        fd_step: float = 1e-6,
+    ):
+        super().__init__(name, (out_p, out_n, ctrl_p, ctrl_n))
+        if not callable(func):
+            raise NetlistError(f"{name}: func must be callable")
+        self.func = func
+        self.dfunc = dfunc
+        if fd_step <= 0:
+            raise NetlistError(f"{name}: fd_step must be positive")
+        self.fd_step = fd_step
+
+    def is_nonlinear(self) -> bool:
+        return True
+
+    def _derivative(self, v: float) -> float:
+        if self.dfunc is not None:
+            return float(self.dfunc(v))
+        h = self.fd_step
+        return (self.func(v + h) - self.func(v - h)) / (2.0 * h)
+
+    def stamp(self, ctx: StampContext) -> None:
+        op, on, cp, cn = self._n
+        v_ctrl = ctx.v(cp) - ctx.v(cn)
+        i_now = float(self.func(v_ctrl))
+        gm = self._derivative(v_ctrl)
+        sys = ctx.system
+        # Linearized: i = i_now + gm*(v_ctrl - v_ctrl*)
+        sys.add_G(op, cp, gm)
+        sys.add_G(op, cn, -gm)
+        sys.add_G(on, cp, -gm)
+        sys.add_G(on, cn, gm)
+        i_eq = i_now - gm * v_ctrl
+        sys.stamp_current(op, on, i_eq)
+
+    def stamp_ac(self, ctx: ACStampContext) -> None:
+        op, on, cp, cn = self._n
+        v_ctrl = ctx.v_op(cp) - ctx.v_op(cn)
+        gm = self._derivative(v_ctrl)
+        ctx.add_G(op, cp, gm)
+        ctx.add_G(op, cn, -gm)
+        ctx.add_G(on, cp, -gm)
+        ctx.add_G(on, cn, gm)
+
+    def output_current(self, x: np.ndarray) -> float:
+        """Output current at a converged solution ``x``."""
+        cp, cn = self._n[2], self._n[3]
+        vp = x[cp] if cp >= 0 else 0.0
+        vn = x[cn] if cn >= 0 else 0.0
+        return float(self.func(vp - vn))

@@ -1,0 +1,84 @@
+"""Process and temperature corners for device cards.
+
+The paper's driver lives in an automotive "harsh environment"; the
+safety properties (notably the supply-loss isolation of Fig 11) must
+hold across process spread and -40..150 C.  A :class:`ProcessCorner`
+rescales a level-1 model card with the standard first-order laws:
+
+* threshold: ``vt(T) = vt(27C) - 1 mV/K * (T - 27)`` plus a process
+  shift (slow = higher |vt|, fast = lower),
+* mobility/beta: ``beta(T) = beta(27C) * (300/T_K)^1.5`` times a
+  process scale,
+* junction saturation current: doubles roughly every 10 K.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .mosfet import MosfetParams
+
+__all__ = ["ProcessCorner", "TYPICAL", "SLOW_COLD", "SLOW_HOT", "FAST_COLD", "FAST_HOT"]
+
+_VT_TEMPCO = -1.0e-3  # V/K
+_T_NOM_C = 27.0
+_ISAT_DOUBLING_K = 10.0
+
+
+@dataclass(frozen=True)
+class ProcessCorner:
+    """A (process, temperature) pair with first-order scaling laws."""
+
+    name: str
+    temperature_c: float = _T_NOM_C
+    #: Process shift of |vt| in volts (positive = slower devices).
+    vt_process_shift: float = 0.0
+    #: Process multiplier on beta (mobility / oxide spread).
+    beta_process_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not -55.0 <= self.temperature_c <= 175.0:
+            raise ConfigurationError("temperature outside -55..175 C")
+        if self.beta_process_scale <= 0:
+            raise ConfigurationError("beta_process_scale must be positive")
+
+    @property
+    def temperature_k(self) -> float:
+        return self.temperature_c + 273.15
+
+    def scale(self, params: MosfetParams) -> MosfetParams:
+        """Model card at this corner."""
+        dt = self.temperature_c - _T_NOM_C
+        vt0 = max(params.vt0 + self.vt_process_shift + _VT_TEMPCO * dt, 0.05)
+        beta = (
+            params.beta
+            * self.beta_process_scale
+            * (300.15 / self.temperature_k) ** 1.5
+        )
+        i_sat = params.i_sat_body * 2.0 ** (dt / _ISAT_DOUBLING_K)
+        return MosfetParams(
+            polarity=params.polarity,
+            beta=beta,
+            vt0=vt0,
+            lam=params.lam,
+            gamma=params.gamma,
+            phi=params.phi,
+            i_sat_body=i_sat,
+        )
+
+
+TYPICAL = ProcessCorner("tt-27C")
+SLOW_COLD = ProcessCorner(
+    "ss-m40C", temperature_c=-40.0, vt_process_shift=+0.08, beta_process_scale=0.85
+)
+SLOW_HOT = ProcessCorner(
+    "ss-125C", temperature_c=125.0, vt_process_shift=+0.08, beta_process_scale=0.85
+)
+FAST_COLD = ProcessCorner(
+    "ff-m40C", temperature_c=-40.0, vt_process_shift=-0.08, beta_process_scale=1.15
+)
+FAST_HOT = ProcessCorner(
+    "ff-125C", temperature_c=125.0, vt_process_shift=-0.08, beta_process_scale=1.15
+)

@@ -1,0 +1,215 @@
+"""DC operating point and DC sweep analyses.
+
+The Newton solver uses update damping plus two homotopy fallbacks
+(gmin stepping, then source stepping), which is enough for every
+circuit in this library including the floating-supply output-stage
+sweeps of Fig 17/18.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from .component import MNASystem, StampContext
+from .netlist import Circuit
+from .sources import CurrentSource, VoltageSource
+
+__all__ = ["NewtonOptions", "OperatingPoint", "solve_dc", "dc_sweep", "SweepResult"]
+
+
+@dataclass
+class NewtonOptions:
+    """Tuning knobs for the Newton solve."""
+
+    max_iterations: int = 200
+    abstol_v: float = 1e-9
+    reltol: float = 1e-6
+    #: Largest per-iteration change applied to any unknown (damping).
+    max_step: float = 0.5
+    gmin: float = 1e-12
+    #: Sequence of gmin values for gmin stepping (largest first).
+    gmin_steps: Sequence[float] = (1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10, 1e-12)
+    #: Number of source-stepping points.
+    source_steps: int = 20
+
+
+@dataclass
+class OperatingPoint:
+    """Converged DC solution with name-based access."""
+
+    circuit: Circuit
+    x: np.ndarray
+    iterations: int
+
+    def voltage(self, node: str) -> float:
+        return self.circuit.voltage(self.x, node)
+
+    def differential(self, node_p: str, node_n: str) -> float:
+        return self.circuit.differential(self.x, node_p, node_n)
+
+    def branch_current(self, component_name: str) -> float:
+        """Branch current of a voltage source / inductor / VCVS."""
+        component = self.circuit[component_name]
+        branches = component.branch_indices
+        if not branches:
+            raise ConvergenceError(
+                f"{component_name} has no branch current; "
+                "only voltage-defined components do"
+            )
+        return float(self.x[branches[0]])
+
+    def voltages(self) -> Dict[str, float]:
+        return {node: self.voltage(node) for node in self.circuit.node_names}
+
+
+def _assemble(circuit: Circuit, x: np.ndarray, gmin: float, source_scale: float) -> MNASystem:
+    system = MNASystem(circuit.size)
+    ctx = StampContext(system=system, x=x, gmin=gmin, source_scale=source_scale)
+    for component in circuit:
+        component.stamp(ctx)
+    # Global gmin from every node to ground keeps floating nets solvable.
+    for i in range(circuit.n_nodes):
+        system.add_G(i, i, gmin)
+    return system
+
+
+def _solve_linear(system: MNASystem) -> np.ndarray:
+    try:
+        return np.linalg.solve(system.G, system.rhs)
+    except np.linalg.LinAlgError:
+        solution, *_ = np.linalg.lstsq(system.G, system.rhs, rcond=None)
+        return solution
+
+
+def _newton(
+    circuit: Circuit,
+    x0: np.ndarray,
+    options: NewtonOptions,
+    gmin: float,
+    source_scale: float,
+) -> np.ndarray:
+    x = x0.copy()
+    if not circuit.has_nonlinear():
+        system = _assemble(circuit, x, gmin, source_scale)
+        return _solve_linear(system)
+    n_nodes = circuit.n_nodes
+    last_delta = np.inf
+    for iteration in range(options.max_iterations):
+        system = _assemble(circuit, x, gmin, source_scale)
+        x_new = _solve_linear(system)
+        delta = x_new - x
+        # Damping applies to node *voltages* only; branch currents are
+        # linear consequences of the voltages and may legitimately move
+        # by large amounts in one iteration.
+        v_delta = delta[:n_nodes]
+        max_delta = float(np.max(np.abs(v_delta))) if v_delta.size else 0.0
+        if max_delta > options.max_step:
+            scale = options.max_step / max_delta
+            delta = delta * scale
+        x = x + delta
+        last_delta = float(np.max(np.abs(delta[:n_nodes]))) if n_nodes else 0.0
+        tol = options.abstol_v + options.reltol * float(np.max(np.abs(x[:n_nodes])))
+        if last_delta < tol:
+            return x
+    raise ConvergenceError(
+        "Newton iteration did not converge",
+        iterations=options.max_iterations,
+        residual=last_delta,
+    )
+
+
+def solve_dc(
+    circuit: Circuit,
+    options: Optional[NewtonOptions] = None,
+    x0: Optional[np.ndarray] = None,
+) -> OperatingPoint:
+    """Compute the DC operating point.
+
+    Tries a plain Newton solve first, then gmin stepping, then source
+    stepping.  Raises :class:`~repro.errors.ConvergenceError` if all
+    fail.
+    """
+    options = options or NewtonOptions()
+    circuit.prepare()
+    x = x0.copy() if x0 is not None else np.zeros(circuit.size)
+
+    try:
+        solution = _newton(circuit, x, options, options.gmin, 1.0)
+        return OperatingPoint(circuit, solution, iterations=0)
+    except ConvergenceError:
+        pass
+
+    # Gmin stepping: solve with huge gmin, tighten progressively.
+    try:
+        x_g = x.copy()
+        for gmin in options.gmin_steps:
+            x_g = _newton(circuit, x_g, options, gmin, 1.0)
+        solution = _newton(circuit, x_g, options, options.gmin, 1.0)
+        return OperatingPoint(circuit, solution, iterations=0)
+    except ConvergenceError:
+        pass
+
+    # Source stepping: ramp all independent sources from 0 to 100 %.
+    x_s = np.zeros(circuit.size)
+    for k in range(1, options.source_steps + 1):
+        scale = k / options.source_steps
+        x_s = _newton(circuit, x_s, options, options.gmin, scale)
+    return OperatingPoint(circuit, x_s, iterations=0)
+
+
+@dataclass
+class SweepResult:
+    """Result of a DC sweep: swept values plus per-probe traces."""
+
+    values: np.ndarray
+    traces: Dict[str, np.ndarray]
+
+    def trace(self, name: str) -> np.ndarray:
+        return self.traces[name]
+
+
+def dc_sweep(
+    circuit: Circuit,
+    source_name: str,
+    values: Sequence[float],
+    probes: Dict[str, Callable[[OperatingPoint], float]],
+    options: Optional[NewtonOptions] = None,
+) -> SweepResult:
+    """Sweep an independent source and record probe values.
+
+    Each sweep point starts from the previous solution (continuation),
+    which makes sweeps through device turn-on robust.
+
+    Parameters
+    ----------
+    source_name:
+        Name of a :class:`VoltageSource` or :class:`CurrentSource`.
+    values:
+        Sweep values applied to the source.
+    probes:
+        Mapping from output-trace name to a function of the operating
+        point, e.g. ``{"i": lambda op: op.branch_current("Vsweep")}``.
+    """
+    source = circuit[source_name]
+    if not isinstance(source, (VoltageSource, CurrentSource)):
+        raise ConvergenceError(f"{source_name} is not an independent source")
+    options = options or NewtonOptions()
+    circuit.prepare()
+    values_arr = np.asarray(list(values), dtype=float)
+    traces: Dict[str, List[float]] = {name: [] for name in probes}
+    x_prev: Optional[np.ndarray] = None
+    original = source._func  # restored afterwards
+    try:
+        for value in values_arr:
+            source.set_value(float(value))
+            op = solve_dc(circuit, options=options, x0=x_prev)
+            x_prev = op.x
+            for name, probe in probes.items():
+                traces[name].append(float(probe(op)))
+    finally:
+        source._func = original
+    return SweepResult(values=values_arr, traces={k: np.asarray(v) for k, v in traces.items()})

@@ -1,0 +1,98 @@
+"""Exponential junction diode with overflow-safe linearized tail.
+
+The same junction math is reused by the MOSFET body diodes, so the
+evaluation lives in a standalone function :func:`junction_iv`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import NetlistError
+from .component import ACStampContext, Component, StampContext
+
+__all__ = ["Diode", "junction_iv", "DEFAULT_IS", "DEFAULT_N", "VT_300K"]
+
+#: Thermal voltage at ~300 K.
+VT_300K = 0.02585
+#: Default junction saturation current (A).
+DEFAULT_IS = 1e-14
+#: Default emission coefficient.
+DEFAULT_N = 1.0
+
+#: Junction voltage beyond which the exponential is continued linearly to
+#: keep Newton iterations overflow-free (about 40 * n * Vt ≈ 1 V).
+_EXP_LIMIT = 40.0
+
+
+def junction_iv(v: float, i_sat: float, n: float = DEFAULT_N, vt: float = VT_300K) -> Tuple[float, float]:
+    """Diode current and conductance at junction voltage ``v``.
+
+    For ``v`` above ``_EXP_LIMIT * n * vt`` the exponential is continued
+    with its tangent so the value stays finite during wild Newton
+    excursions; the continuation is C1 so convergence is unaffected
+    once the iterate returns to the physical region.
+    """
+    nvt = n * vt
+    v_lim = _EXP_LIMIT * nvt
+    if v <= v_lim:
+        # Guard deep reverse bias too: exp underflows gracefully.
+        e = math.exp(max(v, -_EXP_LIMIT * nvt) / nvt)
+        i = i_sat * (e - 1.0)
+        g = i_sat * e / nvt
+    else:
+        e = math.exp(_EXP_LIMIT)
+        g = i_sat * e / nvt
+        i = i_sat * (e - 1.0) + g * (v - v_lim)
+    return i, g
+
+
+class Diode(Component):
+    """Junction diode from anode to cathode."""
+
+    def __init__(
+        self,
+        name: str,
+        anode: str,
+        cathode: str,
+        i_sat: float = DEFAULT_IS,
+        n: float = DEFAULT_N,
+        vt: float = VT_300K,
+    ):
+        super().__init__(name, (anode, cathode))
+        if i_sat <= 0:
+            raise NetlistError(f"{name}: saturation current must be positive")
+        if n <= 0 or vt <= 0:
+            raise NetlistError(f"{name}: emission coefficient and Vt must be positive")
+        self.i_sat = float(i_sat)
+        self.n = float(n)
+        self.vt = float(vt)
+
+    def is_nonlinear(self) -> bool:
+        return True
+
+    def stamp(self, ctx: StampContext) -> None:
+        a, c = self._n
+        v = ctx.v(a) - ctx.v(c)
+        i, g = junction_iv(v, self.i_sat, self.n, self.vt)
+        g += ctx.gmin
+        i += ctx.gmin * v
+        sys = ctx.system
+        sys.stamp_conductance(a, c, g)
+        sys.stamp_current(a, c, i - g * v)
+
+    def stamp_ac(self, ctx: ACStampContext) -> None:
+        a, c = self._n
+        v = ctx.v_op(a) - ctx.v_op(c)
+        _i, g = junction_iv(v, self.i_sat, self.n, self.vt)
+        ctx.stamp_admittance(a, c, g)
+
+    def current(self, x: np.ndarray) -> float:
+        a, c = self._n
+        va = x[a] if a >= 0 else 0.0
+        vc = x[c] if c >= 0 else 0.0
+        i, _g = junction_iv(va - vc, self.i_sat, self.n, self.vt)
+        return i

@@ -1,0 +1,207 @@
+"""Passive elements: resistor, capacitor, inductor, ideal switch."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import NetlistError
+from .component import ACStampContext, Component, StampContext
+
+__all__ = ["Resistor", "Capacitor", "Inductor", "Switch"]
+
+
+class Resistor(Component):
+    """Linear resistor between two nodes."""
+
+    def __init__(self, name: str, a: str, b: str, resistance: float):
+        super().__init__(name, (a, b))
+        if resistance <= 0.0 or not np.isfinite(resistance):
+            raise NetlistError(f"{name}: resistance must be positive and finite")
+        self.resistance = float(resistance)
+
+    @property
+    def conductance(self) -> float:
+        return 1.0 / self.resistance
+
+    def stamp(self, ctx: StampContext) -> None:
+        ctx.system.stamp_conductance(self._n[0], self._n[1], self.conductance)
+
+    def stamp_ac(self, ctx: ACStampContext) -> None:
+        ctx.stamp_admittance(self._n[0], self._n[1], self.conductance)
+
+    def current(self, x: np.ndarray) -> float:
+        """Current flowing from node ``a`` to node ``b``."""
+        va = x[self._n[0]] if self._n[0] >= 0 else 0.0
+        vb = x[self._n[1]] if self._n[1] >= 0 else 0.0
+        return (va - vb) * self.conductance
+
+
+class _CapState:
+    """Integrator state of a capacitor: previous voltage and current."""
+
+    __slots__ = ("v", "i")
+
+    def __init__(self, v: float, i: float):
+        self.v = v
+        self.i = i
+
+
+class Capacitor(Component):
+    """Linear capacitor.  Open in DC, companion model in transient."""
+
+    def __init__(self, name: str, a: str, b: str, capacitance: float, ic: Optional[float] = None):
+        super().__init__(name, (a, b))
+        if capacitance <= 0.0 or not np.isfinite(capacitance):
+            raise NetlistError(f"{name}: capacitance must be positive and finite")
+        self.capacitance = float(capacitance)
+        #: Optional initial voltage for use_ic transient starts.
+        self.ic = ic
+
+    def _voltage(self, ctx: StampContext) -> float:
+        return ctx.v(self._n[0]) - ctx.v(self._n[1])
+
+    def stamp(self, ctx: StampContext) -> None:
+        if not ctx.is_transient:
+            # Open circuit in DC; a tiny gmin keeps floating nodes solvable.
+            ctx.system.stamp_conductance(self._n[0], self._n[1], ctx.gmin)
+            return
+        state: _CapState = ctx.states[self.name]
+        if ctx.method == "be":
+            geq = self.capacitance / ctx.dt
+            ieq = -geq * state.v
+        else:  # trapezoidal
+            geq = 2.0 * self.capacitance / ctx.dt
+            ieq = -geq * state.v - state.i
+        ctx.system.stamp_conductance(self._n[0], self._n[1], geq)
+        # Companion current source from a to b: i = geq*v + ieq
+        ctx.system.stamp_current(self._n[0], self._n[1], ieq)
+
+    def stamp_ac(self, ctx: ACStampContext) -> None:
+        ctx.stamp_admittance(self._n[0], self._n[1], 1j * ctx.omega * self.capacitance)
+
+    def init_state(self, x: np.ndarray) -> _CapState:
+        va = x[self._n[0]] if self._n[0] >= 0 else 0.0
+        vb = x[self._n[1]] if self._n[1] >= 0 else 0.0
+        v0 = self.ic if self.ic is not None else va - vb
+        return _CapState(v=v0, i=0.0)
+
+    def update_state(self, ctx: StampContext) -> _CapState:
+        v_new = self._voltage(ctx)
+        state: _CapState = ctx.states[self.name]
+        if ctx.method == "be":
+            i_new = self.capacitance * (v_new - state.v) / ctx.dt
+        else:
+            i_new = 2.0 * self.capacitance * (v_new - state.v) / ctx.dt - state.i
+        return _CapState(v=v_new, i=i_new)
+
+
+class _IndState:
+    """Integrator state of an inductor: previous voltage and current."""
+
+    __slots__ = ("v", "i")
+
+    def __init__(self, v: float, i: float):
+        self.v = v
+        self.i = i
+
+
+class Inductor(Component):
+    """Linear inductor.  Short in DC, companion model in transient.
+
+    Uses one branch-current unknown; positive branch current flows from
+    node ``a`` through the inductor to node ``b``.
+    """
+
+    n_branches = 1
+
+    def __init__(self, name: str, a: str, b: str, inductance: float, ic: Optional[float] = None):
+        super().__init__(name, (a, b))
+        if inductance <= 0.0 or not np.isfinite(inductance):
+            raise NetlistError(f"{name}: inductance must be positive and finite")
+        self.inductance = float(inductance)
+        #: Optional initial current for use_ic transient starts.
+        self.ic = ic
+
+    def stamp(self, ctx: StampContext) -> None:
+        a, b = self._n
+        br = self._b[0]
+        sys = ctx.system
+        # KCL: branch current leaves node a, enters node b.
+        sys.add_G(a, br, 1.0)
+        sys.add_G(b, br, -1.0)
+        # Branch (KVL) row:
+        sys.add_G(br, a, 1.0)
+        sys.add_G(br, b, -1.0)
+        if not ctx.is_transient:
+            # v = 0 (DC short); row reads v(a) - v(b) = 0.
+            return
+        state: _IndState = ctx.states[self.name]
+        if ctx.method == "be":
+            # v_n = (L/dt) (i_n - i_prev)
+            req = self.inductance / ctx.dt
+            sys.add_G(br, br, -req)
+            sys.add_rhs(br, -req * state.i)
+        else:
+            # (v_n + v_prev)/2 = (L/dt)(i_n - i_prev)
+            req = 2.0 * self.inductance / ctx.dt
+            sys.add_G(br, br, -req)
+            sys.add_rhs(br, -state.v - req * state.i)
+
+    def stamp_ac(self, ctx: ACStampContext) -> None:
+        a, b = self._n
+        br = self._b[0]
+        ctx.add_G(a, br, 1.0)
+        ctx.add_G(b, br, -1.0)
+        ctx.add_G(br, a, 1.0)
+        ctx.add_G(br, b, -1.0)
+        ctx.add_G(br, br, -1j * ctx.omega * self.inductance)
+
+    def init_state(self, x: np.ndarray) -> _IndState:
+        i0 = self.ic if self.ic is not None else float(x[self._b[0]])
+        return _IndState(v=0.0, i=i0)
+
+    def update_state(self, ctx: StampContext) -> _IndState:
+        v_new = ctx.v(self._n[0]) - ctx.v(self._n[1])
+        i_new = float(ctx.x[self._b[0]])
+        return _IndState(v=v_new, i=i_new)
+
+    def current(self, x: np.ndarray) -> float:
+        """Branch current from node ``a`` to node ``b``."""
+        return float(x[self._b[0]])
+
+
+class Switch(Component):
+    """Ideal switch modelled as a two-state resistor.
+
+    The state is set programmatically (``switch.closed = True``) rather
+    than by a controlling voltage, which is what the behavioural test
+    benches need (enable signals, fault injection).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        a: str,
+        b: str,
+        r_on: float = 1.0,
+        r_off: float = 1e12,
+        closed: bool = False,
+    ):
+        super().__init__(name, (a, b))
+        if r_on <= 0 or r_off <= 0 or r_on >= r_off:
+            raise NetlistError(f"{name}: require 0 < r_on < r_off")
+        self.r_on = float(r_on)
+        self.r_off = float(r_off)
+        self.closed = bool(closed)
+
+    @property
+    def resistance(self) -> float:
+        return self.r_on if self.closed else self.r_off
+
+    def stamp(self, ctx: StampContext) -> None:
+        ctx.system.stamp_conductance(self._n[0], self._n[1], 1.0 / self.resistance)
+
+    def stamp_ac(self, ctx: ACStampContext) -> None:
+        ctx.stamp_admittance(self._n[0], self._n[1], 1.0 / self.resistance)

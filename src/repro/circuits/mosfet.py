@@ -1,0 +1,211 @@
+"""Level-1 (square-law) MOSFET with bulk terminal and body diodes.
+
+This is the device model behind the supply-loss experiments (Fig 10/11,
+Fig 17/18 of the paper).  Those are DC curves dominated by threshold
+switching and body-diode conduction, which the level-1 model captures.
+Channel capacitances are not modelled (the experiments are static).
+
+Terminal order is ``(drain, gate, source, bulk)``.  NMOS and PMOS share
+one implementation via a polarity transform; drain/source are swapped
+internally so the square-law equations always see ``vds >= 0``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import NetlistError
+from .component import ACStampContext, Component, StampContext
+from .diode import DEFAULT_IS, VT_300K, junction_iv
+
+__all__ = ["MosfetParams", "Mosfet", "NMOS_DEFAULT", "PMOS_DEFAULT"]
+
+
+@dataclass(frozen=True)
+class MosfetParams:
+    """Level-1 model card.
+
+    Attributes
+    ----------
+    polarity:
+        ``+1`` for NMOS, ``-1`` for PMOS.
+    beta:
+        Transconductance factor ``kp * W / L`` in A/V^2.
+    vt0:
+        Zero-bias threshold voltage (positive for both polarities).
+    lam:
+        Channel-length modulation (1/V).
+    gamma:
+        Body-effect coefficient (V^0.5); 0 disables the body effect.
+    phi:
+        Surface potential used with ``gamma``.
+    i_sat_body:
+        Saturation current of the bulk junction diodes.
+    """
+
+    polarity: int
+    beta: float = 1e-3
+    vt0: float = 0.6
+    lam: float = 0.01
+    gamma: float = 0.0
+    phi: float = 0.7
+    i_sat_body: float = DEFAULT_IS
+
+    def __post_init__(self) -> None:
+        if self.polarity not in (+1, -1):
+            raise NetlistError("polarity must be +1 (NMOS) or -1 (PMOS)")
+        if self.beta <= 0:
+            raise NetlistError("beta must be positive")
+        if self.vt0 < 0:
+            raise NetlistError("vt0 must be non-negative (magnitude)")
+        if self.lam < 0 or self.gamma < 0 or self.phi <= 0:
+            raise NetlistError("lam/gamma must be >= 0 and phi > 0")
+
+
+NMOS_DEFAULT = MosfetParams(polarity=+1, beta=2e-3, vt0=0.55, lam=0.02)
+PMOS_DEFAULT = MosfetParams(polarity=-1, beta=1e-3, vt0=0.65, lam=0.02)
+
+
+class Mosfet(Component):
+    """Square-law MOSFET with body diodes; terminals (d, g, s, b)."""
+
+    def __init__(self, name: str, d: str, g: str, s: str, b: str, params: MosfetParams):
+        super().__init__(name, (d, g, s, b))
+        self.params = params
+
+    def is_nonlinear(self) -> bool:
+        return True
+
+    # -- core square-law evaluation ------------------------------------------
+
+    def _channel(self, vg: float, vd: float, vs: float, vb: float) -> Tuple[float, float, float, float, bool]:
+        """Return (ids', gm, gds, gmbs, swapped) in the effective domain.
+
+        ``ids'`` is the effective-domain (NMOS-like) channel current from
+        the internal drain to the internal source; ``swapped`` says
+        whether internal drain/source are the reverse of the terminals.
+        """
+        p = self.params.polarity
+        vd_e, vg_e, vs_e, vb_e = p * vd, p * vg, p * vs, p * vb
+        swapped = vd_e < vs_e
+        if swapped:
+            vd_e, vs_e = vs_e, vd_e
+        vgs = vg_e - vs_e
+        vds = vd_e - vs_e
+        # Threshold with optional body effect.
+        vt = self.params.vt0
+        gmbs = 0.0
+        if self.params.gamma > 0.0:
+            vsb = max(vs_e - vb_e, -0.5 * self.params.phi)
+            sqrt_term = math.sqrt(self.params.phi + vsb)
+            vt = vt + self.params.gamma * (sqrt_term - math.sqrt(self.params.phi))
+            dvt_dvsb = self.params.gamma / (2.0 * sqrt_term)
+        else:
+            dvt_dvsb = 0.0
+        vov = vgs - vt
+        beta = self.params.beta
+        lam = self.params.lam
+        if vov <= 0.0:
+            ids = 0.0
+            gm = 0.0
+            gds = 0.0
+        elif vds < vov:
+            clm = 1.0 + lam * vds
+            ids = beta * (vov * vds - 0.5 * vds * vds) * clm
+            gm = beta * vds * clm
+            gds = beta * (vov - vds) * clm + beta * (vov * vds - 0.5 * vds * vds) * lam
+        else:
+            clm = 1.0 + lam * vds
+            ids = 0.5 * beta * vov * vov * clm
+            gm = beta * vov * clm
+            gds = 0.5 * beta * vov * vov * lam
+        if gm > 0.0 and dvt_dvsb > 0.0:
+            gmbs = gm * dvt_dvsb
+        return ids, gm, gds, gmbs, swapped
+
+    # -- stamping ---------------------------------------------------------------
+
+    def stamp(self, ctx: StampContext) -> None:
+        nd, ng, ns, nb = self._n
+        vd, vg, vs, vb = (ctx.v(i) for i in self._n)
+        ids_e, gm, gds, gmbs, swapped = self._channel(vg, vd, vs, vb)
+        p = self.params.polarity
+        if swapped:
+            nd_i, ns_i = ns, nd
+            vd_i, vs_i = vs, vd
+        else:
+            nd_i, ns_i = nd, ns
+            vd_i, vs_i = vd, vs
+        # Actual current from internal drain to internal source.
+        i_actual = p * ids_e
+        sys = ctx.system
+        gs_total = gm + gds + gmbs
+        sys.add_G(nd_i, ng, gm)
+        sys.add_G(nd_i, nd_i, gds)
+        sys.add_G(nd_i, nb, gmbs)
+        sys.add_G(nd_i, ns_i, -gs_total)
+        sys.add_G(ns_i, ng, -gm)
+        sys.add_G(ns_i, nd_i, -gds)
+        sys.add_G(ns_i, nb, -gmbs)
+        sys.add_G(ns_i, ns_i, gs_total)
+        i_eq = i_actual - gm * vg - gds * vd_i - gmbs * vb + gs_total * vs_i
+        sys.stamp_current(nd_i, ns_i, i_eq)
+        # Leakage to keep isolated drains solvable.
+        sys.stamp_conductance(nd, ns, ctx.gmin)
+        # Body diodes: bulk->source and bulk->drain for NMOS, reversed
+        # for PMOS.
+        self._stamp_body_diode(ctx, nb, ns, vb, vs)
+        self._stamp_body_diode(ctx, nb, nd, vb, vd)
+
+    def _stamp_body_diode(self, ctx: StampContext, nb: int, nx: int, vb: float, vx: float) -> None:
+        if self.params.polarity > 0:
+            anode, cathode, v = nb, nx, vb - vx
+        else:
+            anode, cathode, v = nx, nb, vx - vb
+        i, g = junction_iv(v, self.params.i_sat_body)
+        g += ctx.gmin
+        i += ctx.gmin * v
+        sys = ctx.system
+        sys.stamp_conductance(anode, cathode, g)
+        sys.stamp_current(anode, cathode, i - g * v)
+
+    def stamp_ac(self, ctx: ACStampContext) -> None:
+        nd, ng, ns, nb = self._n
+        vd, vg, vs, vb = (ctx.v_op(i) for i in self._n)
+        _ids, gm, gds, gmbs, swapped = self._channel(vg, vd, vs, vb)
+        if swapped:
+            nd_i, ns_i = ns, nd
+        else:
+            nd_i, ns_i = nd, ns
+        gs_total = gm + gds + gmbs
+        ctx.add_G(nd_i, ng, gm)
+        ctx.add_G(nd_i, nd_i, gds)
+        ctx.add_G(nd_i, nb, gmbs)
+        ctx.add_G(nd_i, ns_i, -gs_total)
+        ctx.add_G(ns_i, ng, -gm)
+        ctx.add_G(ns_i, nd_i, -gds)
+        ctx.add_G(ns_i, nb, -gmbs)
+        ctx.add_G(ns_i, ns_i, gs_total)
+        # Body diodes small-signal conductance.
+        for nx, vx in ((ns, vs), (nd, vd)):
+            if self.params.polarity > 0:
+                v = vb - vx
+            else:
+                v = vx - vb
+            _i, g = junction_iv(v, self.params.i_sat_body)
+            ctx.stamp_admittance(nb, nx, g)
+
+    # -- measurement -----------------------------------------------------------
+
+    def channel_current(self, x: np.ndarray) -> float:
+        """Channel current flowing into the drain terminal (excl. diodes)."""
+        vd, vg, vs, vb = (float(x[i]) if i >= 0 else 0.0 for i in self._n)
+        ids_e, _gm, _gds, _gmbs, swapped = self._channel(vg, vd, vs, vb)
+        i_actual = self.params.polarity * ids_e
+        # i_actual flows internal-drain -> internal-source; into the
+        # *terminal* drain it is negated when swapped.
+        return -i_actual if swapped else i_actual

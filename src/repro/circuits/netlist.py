@@ -1,0 +1,189 @@
+"""Circuit container: nodes, components, and index assignment.
+
+A :class:`Circuit` is a flat netlist.  Nodes are referenced by name;
+``"0"`` and ``"gnd"`` are the ground node.  Convenience factory methods
+(``circuit.resistor(...)`` etc.) build, register, and return the
+component in one call, which keeps netlist-builder code readable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import NetlistError
+from .component import GROUND, Component
+from .controlled import VCCS, VCVS, NonlinearVCCS
+from .diode import DEFAULT_IS, DEFAULT_N, Diode
+from .elements import Capacitor, Inductor, Resistor, Switch
+from .mosfet import Mosfet, MosfetParams
+from .sources import CurrentSource, ValueSpec, VoltageSource
+
+__all__ = ["Circuit", "GROUND_NAMES"]
+
+GROUND_NAMES = frozenset({"0", "gnd", "GND"})
+
+
+class Circuit:
+    """A mutable netlist that can be prepared for MNA analysis."""
+
+    def __init__(self, title: str = ""):
+        self.title = title
+        self._components: Dict[str, Component] = {}
+        self._node_order: List[str] = []
+        self._node_index: Dict[str, int] = {}
+        self._prepared = False
+        self._n_branches = 0
+
+    # -- netlist construction ------------------------------------------------
+
+    def add(self, component: Component) -> Component:
+        """Register a component; names must be unique."""
+        if component.name in self._components:
+            raise NetlistError(f"duplicate component name {component.name!r}")
+        for node in component.nodes:
+            self._register_node(node)
+        self._components[component.name] = component
+        self._prepared = False
+        return component
+
+    def _register_node(self, name: str) -> None:
+        if name in GROUND_NAMES or name in self._node_index:
+            return
+        self._node_index[name] = len(self._node_order)
+        self._node_order.append(name)
+
+    def remove(self, name: str) -> Component:
+        """Remove a component by name (used by fault injection)."""
+        try:
+            component = self._components.pop(name)
+        except KeyError:
+            raise NetlistError(f"no component named {name!r}") from None
+        self._prepared = False
+        return component
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._components
+
+    def __getitem__(self, name: str) -> Component:
+        try:
+            return self._components[name]
+        except KeyError:
+            raise NetlistError(f"no component named {name!r}") from None
+
+    def __iter__(self) -> Iterator[Component]:
+        return iter(self._components.values())
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    @property
+    def component_names(self) -> Tuple[str, ...]:
+        return tuple(self._components)
+
+    @property
+    def node_names(self) -> Tuple[str, ...]:
+        """Non-ground node names in index order."""
+        return tuple(self._node_order)
+
+    # -- factory helpers ---------------------------------------------------------
+
+    def resistor(self, name: str, a: str, b: str, resistance: float) -> Resistor:
+        return self.add(Resistor(name, a, b, resistance))  # type: ignore[return-value]
+
+    def capacitor(self, name: str, a: str, b: str, capacitance: float, ic: Optional[float] = None) -> Capacitor:
+        return self.add(Capacitor(name, a, b, capacitance, ic=ic))  # type: ignore[return-value]
+
+    def inductor(self, name: str, a: str, b: str, inductance: float, ic: Optional[float] = None) -> Inductor:
+        return self.add(Inductor(name, a, b, inductance, ic=ic))  # type: ignore[return-value]
+
+    def switch(self, name: str, a: str, b: str, r_on: float = 1.0, r_off: float = 1e12, closed: bool = False) -> Switch:
+        return self.add(Switch(name, a, b, r_on=r_on, r_off=r_off, closed=closed))  # type: ignore[return-value]
+
+    def voltage_source(self, name: str, positive: str, negative: str, value: ValueSpec, ac_magnitude: float = 0.0) -> VoltageSource:
+        return self.add(VoltageSource(name, positive, negative, value, ac_magnitude))  # type: ignore[return-value]
+
+    def current_source(self, name: str, positive: str, negative: str, value: ValueSpec, ac_magnitude: float = 0.0) -> CurrentSource:
+        return self.add(CurrentSource(name, positive, negative, value, ac_magnitude))  # type: ignore[return-value]
+
+    def vccs(self, name: str, out_p: str, out_n: str, ctrl_p: str, ctrl_n: str, gm: float) -> VCCS:
+        return self.add(VCCS(name, out_p, out_n, ctrl_p, ctrl_n, gm))  # type: ignore[return-value]
+
+    def vcvs(self, name: str, out_p: str, out_n: str, ctrl_p: str, ctrl_n: str, mu: float) -> VCVS:
+        return self.add(VCVS(name, out_p, out_n, ctrl_p, ctrl_n, mu))  # type: ignore[return-value]
+
+    def nonlinear_vccs(
+        self,
+        name: str,
+        out_p: str,
+        out_n: str,
+        ctrl_p: str,
+        ctrl_n: str,
+        func: Callable[[float], float],
+        dfunc: Optional[Callable[[float], float]] = None,
+    ) -> NonlinearVCCS:
+        return self.add(NonlinearVCCS(name, out_p, out_n, ctrl_p, ctrl_n, func, dfunc))  # type: ignore[return-value]
+
+    def diode(self, name: str, anode: str, cathode: str, i_sat: float = DEFAULT_IS, n: float = DEFAULT_N) -> Diode:
+        return self.add(Diode(name, anode, cathode, i_sat=i_sat, n=n))  # type: ignore[return-value]
+
+    def mosfet(self, name: str, d: str, g: str, s: str, b: str, params: MosfetParams) -> Mosfet:
+        return self.add(Mosfet(name, d, g, s, b, params))  # type: ignore[return-value]
+
+    # -- preparation -------------------------------------------------------------
+
+    def prepare(self) -> int:
+        """Assign node and branch indices; return the system size.
+
+        Idempotent; called automatically by the analyses.
+        """
+        if self._prepared:
+            return self.size
+        if not self._components:
+            raise NetlistError("circuit has no components")
+        n_nodes = len(self._node_order)
+        branch_start = n_nodes
+        for component in self._components.values():
+            indices = [self.node_index(node) for node in component.nodes]
+            component.assign_indices(indices, branch_start)
+            branch_start += component.n_branches
+        self._n_branches = branch_start - n_nodes
+        self._prepared = True
+        return self.size
+
+    def node_index(self, name: str) -> int:
+        """MNA index for a node name (ground -> -1)."""
+        if name in GROUND_NAMES:
+            return GROUND
+        try:
+            return self._node_index[name]
+        except KeyError:
+            raise NetlistError(f"unknown node {name!r}") from None
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._node_order)
+
+    @property
+    def n_branches(self) -> int:
+        self.prepare()
+        return self._n_branches
+
+    @property
+    def size(self) -> int:
+        """Total number of MNA unknowns."""
+        return self.n_nodes + self._n_branches
+
+    def has_nonlinear(self) -> bool:
+        return any(c.is_nonlinear() for c in self._components.values())
+
+    # -- solution access helpers ---------------------------------------------------
+
+    def voltage(self, x: np.ndarray, node: str) -> float:
+        """Node voltage from a solution vector."""
+        idx = self.node_index(node)
+        return 0.0 if idx < 0 else float(x[idx])
+
+    def differential(self, x: np.ndarray, node_p: str, node_n: str) -> float:
+        return self.voltage(x, node_p) - self.voltage(x, node_n)

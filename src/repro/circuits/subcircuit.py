@@ -1,0 +1,104 @@
+"""Hierarchical netlist composition.
+
+A :class:`SubcircuitDefinition` is a reusable cell described by a
+builder function over a :class:`CellBuilder`; instantiating it into a
+parent :class:`~repro.circuits.netlist.Circuit` prefixes all internal
+component and node names and splices the declared ports onto parent
+nodes — the standard SPICE ``.subckt`` mechanism.
+
+Example::
+
+    def divider(cell: CellBuilder) -> None:
+        cell.circuit.resistor(cell.name("R1"), cell.port("in"), cell.node("mid"), 1e3)
+        cell.circuit.resistor(cell.name("R2"), cell.node("mid"), cell.port("out"), 1e3)
+
+    DIVIDER = SubcircuitDefinition("div", ports=("in", "out"), build=divider)
+    DIVIDER.instantiate(circuit, "X1", {"in": "a", "out": "0"})
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Sequence, Tuple
+
+from ..errors import NetlistError
+from .netlist import GROUND_NAMES, Circuit
+
+__all__ = ["CellBuilder", "SubcircuitDefinition"]
+
+
+class CellBuilder:
+    """Name-scoping helper handed to a subcircuit's build function."""
+
+    def __init__(self, circuit: Circuit, instance: str, port_map: Mapping[str, str]):
+        self.circuit = circuit
+        self.instance = instance
+        self._ports = dict(port_map)
+
+    def name(self, local: str) -> str:
+        """Component name scoped to this instance (``X1.R1``)."""
+        return f"{self.instance}.{local}"
+
+    def node(self, local: str) -> str:
+        """Internal node scoped to this instance (``X1.mid``)."""
+        if local in GROUND_NAMES:
+            return local
+        return f"{self.instance}.{local}"
+
+    def port(self, port_name: str) -> str:
+        """Parent node attached to a declared port."""
+        try:
+            return self._ports[port_name]
+        except KeyError:
+            raise NetlistError(
+                f"{self.instance}: unknown port {port_name!r}; "
+                f"declared ports: {sorted(self._ports)}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class SubcircuitDefinition:
+    """A reusable cell: declared ports plus a builder function."""
+
+    cell_name: str
+    ports: Tuple[str, ...]
+    build: Callable[[CellBuilder], None]
+
+    def __init__(self, cell_name: str, ports: Sequence[str], build: Callable[[CellBuilder], None]):
+        if not cell_name:
+            raise NetlistError("subcircuit needs a name")
+        if len(set(ports)) != len(ports):
+            raise NetlistError(f"{cell_name}: duplicate port names")
+        if not callable(build):
+            raise NetlistError(f"{cell_name}: build must be callable")
+        object.__setattr__(self, "cell_name", cell_name)
+        object.__setattr__(self, "ports", tuple(ports))
+        object.__setattr__(self, "build", build)
+
+    def instantiate(
+        self,
+        circuit: Circuit,
+        instance: str,
+        connections: Mapping[str, str],
+    ) -> CellBuilder:
+        """Splice one instance of the cell into ``circuit``.
+
+        ``connections`` maps every declared port to a parent node name.
+        Returns the builder (whose ``node``/``name`` helpers are handy
+        for probing internals in tests).
+        """
+        if not instance:
+            raise NetlistError("instance name must be non-empty")
+        missing = set(self.ports) - set(connections)
+        if missing:
+            raise NetlistError(
+                f"{instance} ({self.cell_name}): unconnected ports {sorted(missing)}"
+            )
+        extra = set(connections) - set(self.ports)
+        if extra:
+            raise NetlistError(
+                f"{instance} ({self.cell_name}): unknown ports {sorted(extra)}"
+            )
+        builder = CellBuilder(circuit, instance, connections)
+        self.build(builder)
+        return builder

@@ -1,0 +1,130 @@
+"""Amplitude detection (Fig 8): full-wave rectification and filtering.
+
+Each LC pin swings ``A/2`` around the mid-point voltage VR1 for a peak
+differential amplitude ``A``.  Full-wave rectifying both pins against
+VR1 and low-pass filtering yields a DC value of ``(2/pi) * (A/2)``
+above VR1 — the detector gain is ``1/pi`` per volt of differential
+peak amplitude.
+
+The on-chip RC filter is modelled as a single pole so the regulation
+loop sees realistic detector lag.  The same synchronous-rectification
+principle applied to the *mid-point* VR0 gives the asymmetry detector
+of §7.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+__all__ = ["AmplitudeDetector", "AsymmetryDetector", "DETECTOR_GAIN"]
+
+#: DC output per volt of peak differential amplitude: (2/pi) * (1/2).
+DETECTOR_GAIN = 1.0 / math.pi
+
+
+@dataclass
+class AmplitudeDetector:
+    """Rectifier + single-pole filter producing the detector voltage.
+
+    Parameters
+    ----------
+    gain:
+        DC output per volt of peak differential amplitude.
+    tau:
+        Filter time constant; 0 gives an ideal (instant) detector.
+    """
+
+    gain: float = DETECTOR_GAIN
+    tau: float = 50e-6
+    _state: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.gain <= 0:
+            raise ConfigurationError("detector gain must be positive")
+        if self.tau < 0:
+            raise ConfigurationError("detector tau must be >= 0")
+
+    def reset(self, value: float = 0.0) -> None:
+        self._state = float(value)
+
+    @property
+    def output(self) -> float:
+        """Current (filtered) detector voltage."""
+        return self._state
+
+    def target_for_amplitude(self, peak_amplitude: float) -> float:
+        """Detector DC value for a steady peak amplitude."""
+        if peak_amplitude < 0:
+            raise ConfigurationError("amplitude must be non-negative")
+        return self.gain * peak_amplitude
+
+    def amplitude_for_output(self, detector_voltage: float) -> float:
+        """Invert the detector gain (used to design window thresholds)."""
+        return detector_voltage / self.gain
+
+    def update(self, peak_amplitude: float, dt: float) -> float:
+        """Advance the filter by ``dt`` with the given input amplitude."""
+        if dt < 0:
+            raise ConfigurationError("dt must be >= 0")
+        target = self.target_for_amplitude(peak_amplitude)
+        if self.tau == 0.0 or dt == 0.0:
+            self._state = target
+        else:
+            alpha = 1.0 - math.exp(-dt / self.tau)
+            self._state += alpha * (target - self._state)
+        return self._state
+
+    def ripple(self, peak_amplitude: float, carrier_frequency: float) -> float:
+        """Residual ripple amplitude on the detector output.
+
+        A full-wave rectified sine has its first ripple component at
+        ``2 f_carrier`` with amplitude ``(2/3)`` of the DC value (the
+        k=1 term of the rectified-sine Fourier series); the RC filter
+        attenuates it by its single pole::
+
+            ripple ≈ (2/3) * V_dc / (2π * 2 f_c * tau)
+
+        (high-frequency asymptote).  The regulation window must exceed
+        the worst-case DAC step *plus* this ripple plus comparator
+        noise — the margin the ``design_window`` factor provides.
+        """
+        if carrier_frequency <= 0:
+            raise ConfigurationError("carrier frequency must be positive")
+        v_dc = self.target_for_amplitude(peak_amplitude)
+        if self.tau == 0.0:
+            return (2.0 / 3.0) * v_dc
+        attenuation = 2.0 * math.pi * (2.0 * carrier_frequency) * self.tau
+        return (2.0 / 3.0) * v_dc / max(attenuation, 1.0)
+
+
+@dataclass
+class AsymmetryDetector:
+    """Mid-point synchronous rectifier (§7, third bullet).
+
+    If one of the external capacitors fails, the amplitudes on LC1 and
+    LC2 differ and the mid-point VR0 is no longer DC; synchronous
+    rectification of its ripple yields ``(2/pi) * |A1 - A2| / 2``,
+    which is compared against a reference.
+    """
+
+    gain: float = 2.0 / math.pi
+    threshold: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.gain <= 0:
+            raise ConfigurationError("gain must be positive")
+        if self.threshold <= 0:
+            raise ConfigurationError("threshold must be positive")
+
+    def output(self, amplitude_lc1: float, amplitude_lc2: float) -> float:
+        """Rectified mid-point ripple for per-pin peak amplitudes."""
+        if amplitude_lc1 < 0 or amplitude_lc2 < 0:
+            raise ConfigurationError("amplitudes must be non-negative")
+        ripple_peak = 0.5 * abs(amplitude_lc1 - amplitude_lc2)
+        return self.gain * ripple_peak
+
+    def asymmetric(self, amplitude_lc1: float, amplitude_lc2: float) -> bool:
+        return self.output(amplitude_lc1, amplitude_lc2) > self.threshold

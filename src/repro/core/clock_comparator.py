@@ -1,0 +1,100 @@
+"""Fast clock comparator (paper §7, "Missing oscillations").
+
+"A fast comparator is connected between the pins LC1 and LC2 to create
+a clock signal.  A missing clock is detected by a time-out circuit."
+
+This model extracts clock edges from a carrier-resolution differential
+waveform (offset + hysteresis included) and feeds them to the
+:class:`~repro.digital.watchdog.WatchdogTimer` — the carrier-level
+companion of the behavioural amplitude check used by
+:class:`~repro.core.safety.SafetyMonitors`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..analysis.waveform import Waveform
+from ..digital.watchdog import WatchdogTimer
+from ..errors import ConfigurationError
+
+__all__ = ["ClockComparator", "supervise_waveform"]
+
+
+@dataclass(frozen=True)
+class ClockComparator:
+    """Hysteresis comparator across LC1/LC2.
+
+    Parameters
+    ----------
+    hysteresis:
+        Total hysteresis width; the output toggles high above
+        ``+hysteresis/2`` and low below ``-hysteresis/2``.  This sets
+        the minimum oscillation amplitude that still produces a clock —
+        the comparator's sensitivity in the safety concept.
+    offset:
+        Input-referred offset voltage.
+    """
+
+    hysteresis: float = 0.05
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.hysteresis <= 0:
+            raise ConfigurationError("hysteresis must be positive")
+
+    @property
+    def minimum_amplitude(self) -> float:
+        """Smallest differential peak that still toggles the clock."""
+        return 0.5 * self.hysteresis + abs(self.offset)
+
+    def rising_edges(self, differential: Waveform) -> np.ndarray:
+        """Times of rising clock edges extracted from the waveform."""
+        high = self.offset + 0.5 * self.hysteresis
+        low = self.offset - 0.5 * self.hysteresis
+        y = differential.y
+        t = differential.t
+        edges: List[float] = []
+        state = y[0] > high
+        for i in range(1, len(y)):
+            if not state and y[i] > high:
+                # Interpolate the crossing of the upper threshold.
+                frac = (high - y[i - 1]) / (y[i] - y[i - 1])
+                edges.append(float(t[i - 1] + frac * (t[i] - t[i - 1])))
+                state = True
+            elif state and y[i] < low:
+                state = False
+        return np.asarray(edges)
+
+    def clock_frequency(self, differential: Waveform) -> float:
+        """Average clock frequency (0.0 if fewer than 2 edges)."""
+        edges = self.rising_edges(differential)
+        if edges.size < 2:
+            return 0.0
+        return float(1.0 / np.mean(np.diff(edges)))
+
+
+def supervise_waveform(
+    differential: Waveform,
+    comparator: ClockComparator,
+    watchdog: WatchdogTimer,
+) -> bool:
+    """Run the §7 missing-oscillation supervision over a waveform.
+
+    Arms the watchdog at the start of the record, kicks it on every
+    clock edge, and evaluates expiry at every sample time.  Returns
+    ``True`` when a missing-clock failure latched.
+    """
+    watchdog.arm(differential.t_start)
+    edges = list(comparator.rising_edges(differential))
+    edge_index = 0
+    for t in differential.t:
+        while edge_index < len(edges) and edges[edge_index] <= t:
+            watchdog.kick(edges[edge_index])
+            edge_index += 1
+        if watchdog.expired(float(t)):
+            return True
+    return watchdog.expired(differential.t_stop)

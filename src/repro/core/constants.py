@@ -1,0 +1,83 @@
+"""Numerical constants taken directly from the paper.
+
+Every value here is traceable to a sentence, figure, or table of
+Horsky, "LC Oscillator Driver for Safety Critical Applications",
+DATE 2005.  See DESIGN.md for the experiment mapping.
+"""
+
+from __future__ import annotations
+
+from ..units import MA, MHZ, MS, UA, US
+
+__all__ = [
+    "CODE_BITS", "SEGMENT_BITS", "MANTISSA_BITS", "N_CODES", "MAX_CODE",
+    "MAX_MULTIPLICATION_FACTOR", "DYNAMIC_RANGE",
+    "I_LSB", "I_MAX_DRIVER",
+    "POR_CODE", "REGULATION_PERIOD", "NVM_READ_DELAY",
+    "MIN_REGULATED_CODE", "MAX_RELATIVE_STEP", "MIN_RELATIVE_STEP_ABOVE_16",
+    "F_OSC_MIN", "F_OSC_MAX",
+    "SUPPLY_CURRENT_MIN", "SUPPLY_CURRENT_MAX",
+    "MAX_OPERATING_AMPLITUDE_PP", "MAX_EQUIVALENT_GM",
+    "OVERDRIVE_EXTRA_CONSUMPTION", "Q_RANGE_DECADES",
+    "LAYOUT_AREA_DRIVER_MM2", "LAYOUT_AREA_FULL_MM2",
+]
+
+# -- DAC geometry (Fig 3, Table 1) ---------------------------------------------
+
+#: The current-control DAC accepts a 7-bit code...
+CODE_BITS = 7
+#: ...split into a 3-bit segment (MSBs)...
+SEGMENT_BITS = 3
+#: ...and a 4-bit mantissa (LSBs).
+MANTISSA_BITS = 4
+N_CODES = 1 << CODE_BITS
+MAX_CODE = N_CODES - 1
+#: Multiplication factor at code 127 (Table 1 "Range max" of segment 7).
+MAX_MULTIPLICATION_FACTOR = 1984
+#: "wide dynamic range of output current (0:1984)" (§5).
+DYNAMIC_RANGE = (0, 1984)
+
+# -- Currents (Fig 13, §9) --------------------------------------------------------
+
+#: "1 LSB is 12.5 uA" (Fig 13 caption).
+I_LSB = 12.5 * UA
+#: Full-scale driver current limit = 1984 LSB ≈ 24.8 mA (Fig 13 y-axis).
+I_MAX_DRIVER = MAX_MULTIPLICATION_FACTOR * I_LSB
+
+# -- Regulation loop (§4) -----------------------------------------------------------
+
+#: Power-on-reset preset ("sets the current limitation to code 105").
+POR_CODE = 105
+#: "Every 1 ms the oscillator driver current limitation is increased by
+#: one, decreased by one, or remains unchanged."
+REGULATION_PERIOD = 1.0 * MS
+#: "A few us after startup an internal non-volatile memory is read."
+NVM_READ_DELAY = 4.0 * US
+#: "the amplitude regulation code remains above code 16" (§3).
+MIN_REGULATED_CODE = 16
+#: "the amplitude step varies between 3.23% and 6.25%" for codes > 16.
+MAX_RELATIVE_STEP = 1.0 / 16.0
+MIN_RELATIVE_STEP_ABOVE_16 = 1.0 / 31.0
+
+# -- Oscillator operating range (§9) ---------------------------------------------------
+
+#: "designed for an oscillation frequency from 2 MHz to 5 MHz".
+F_OSC_MIN = 2.0 * MHZ
+F_OSC_MAX = 5.0 * MHZ
+#: "Current consumption ... varies from 250 uA to 30 mA".
+SUPPLY_CURRENT_MIN = 250.0 * UA
+SUPPLY_CURRENT_MAX = 30.0 * MA
+#: "maximum operating amplitude, which is 2.7 Vpp" (§8).
+MAX_OPERATING_AMPLITUDE_PP = 2.7
+#: "equivalent transconductance up to around 10 mS" (§9).
+MAX_EQUIVALENT_GM = 10e-3
+#: "additional power consumption (typically 120 uA)" of the Vref buffer
+#: when overdriven in dual-system mode (§6).
+OVERDRIVE_EXTRA_CONSUMPTION = 120.0 * UA
+#: "Quality factor of the external LC network can vary two decades".
+Q_RANGE_DECADES = 2
+
+# -- Silicon (§9, informational only) ------------------------------------------------------
+
+LAYOUT_AREA_DRIVER_MM2 = 0.22
+LAYOUT_AREA_FULL_MM2 = 0.40

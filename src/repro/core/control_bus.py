@@ -1,0 +1,158 @@
+"""Control-bus coding of the current limitation (Table 1, §5).
+
+Three independent buses set the driver current:
+
+* ``OscD<2:0>`` — prescaler control, thermometer coded so that the
+  prescale factor is ``OscD + 1`` ∈ {1, 2, 4, 8},
+* ``OscE<3:0>`` — Gm-stage / fixed-mirror-current enables (stages
+  Gm, Gm, Gm, 2·Gm, 4·Gm; fixed currents 16, 16, 32, 64 units),
+* ``OscF<6:0>`` — binary weighted current-mirror DAC, fed with the
+  4-bit mantissa shifted left by the segment's sub-shift.
+
+The output current follows the paper's formula::
+
+    Iout = Iunit * (1 + OscD) * (OscF + 16*(OscE<0>) + 16*(OscE<1>)
+                                 + 32*(OscE<2>) + 64*(OscE<3>))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import CodingError
+from .constants import MAX_CODE
+from .segments import SEGMENTS, Segment, multiplication_factor, split_code
+
+__all__ = ["ControlWord", "encode", "decode_units", "table1_rows"]
+
+#: OscD thermometer codes per segment (Table 1, column OscD<2:0>).
+_OSC_D_BY_SEGMENT = (0b000, 0b000, 0b001, 0b001, 0b011, 0b011, 0b111, 0b111)
+#: OscE enable codes per segment (Table 1, column OscE<3:0>).
+_OSC_E_BY_SEGMENT = (0b0000, 0b0001, 0b0001, 0b0011, 0b0011, 0b0111, 0b0111, 0b1111)
+#: Left shift applied to the mantissa to form OscF (Table 1, column OscF<6:0>).
+_OSC_F_SHIFT_BY_SEGMENT = (0, 0, 0, 1, 1, 2, 2, 3)
+
+#: Fixed mirror currents in units, gated by OscE bits 0..3.
+_FIXED_MIRROR_UNITS = (16, 16, 32, 64)
+#: Relative Gm of the five output stages; stage 0 is always on, stages
+#: 1..4 are gated by OscE bits 0..3 (Fig 7).
+_GM_STAGE_WEIGHTS = (1, 1, 1, 2, 4)
+
+
+@dataclass(frozen=True)
+class ControlWord:
+    """The three control buses for one DAC code."""
+
+    osc_d: int
+    osc_e: int
+    osc_f: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.osc_d <= 0b111:
+            raise CodingError(f"OscD {self.osc_d:#05b} outside 3 bits")
+        if self.osc_d not in (0b000, 0b001, 0b011, 0b111):
+            raise CodingError(f"OscD {self.osc_d:#05b} is not thermometer coded")
+        if not 0 <= self.osc_e <= 0b1111:
+            raise CodingError(f"OscE {self.osc_e:#06b} outside 4 bits")
+        if not 0 <= self.osc_f <= 0b1111111:
+            raise CodingError(f"OscF {self.osc_f:#09b} outside 7 bits")
+
+    @property
+    def prescale_factor(self) -> int:
+        """Prescaler current gain ``1 + OscD`` ∈ {1, 2, 4, 8}."""
+        return 1 + self.osc_d
+
+    @property
+    def fixed_mirror_units(self) -> int:
+        """Sum of enabled fixed mirror outputs (units of Iref2)."""
+        return sum(
+            units
+            for bit, units in enumerate(_FIXED_MIRROR_UNITS)
+            if self.osc_e & (1 << bit)
+        )
+
+    @property
+    def active_gm_stages(self) -> int:
+        """Relative total transconductance of the enabled Gm stages."""
+        total = _GM_STAGE_WEIGHTS[0]
+        for bit in range(4):
+            if self.osc_e & (1 << bit):
+                total += _GM_STAGE_WEIGHTS[bit + 1]
+        return total
+
+    @property
+    def mirror_units(self) -> int:
+        """Total mirror output in units of Iref2 (fixed + binary DAC)."""
+        return self.fixed_mirror_units + self.osc_f
+
+    @property
+    def output_units(self) -> int:
+        """Output current in units of the LSB (the paper's formula)."""
+        return self.prescale_factor * self.mirror_units
+
+    def bus_strings(self) -> List[str]:
+        """Rendered bus values as in Table 1 (for the bench output)."""
+        return [
+            format(self.osc_d, "03b"),
+            format(self.osc_e, "04b"),
+            format(self.osc_f, "07b"),
+        ]
+
+
+def encode(code: int) -> ControlWord:
+    """Control word for a 7-bit DAC code, per Table 1."""
+    seg_index, mantissa = split_code(code)
+    shift = _OSC_F_SHIFT_BY_SEGMENT[seg_index]
+    return ControlWord(
+        osc_d=_OSC_D_BY_SEGMENT[seg_index],
+        osc_e=_OSC_E_BY_SEGMENT[seg_index],
+        osc_f=mantissa << shift,
+    )
+
+
+def decode_units(word: ControlWord) -> int:
+    """Output units for an arbitrary (valid) control word."""
+    return word.output_units
+
+
+def table1_rows() -> List[dict]:
+    """Reconstruct the static rows of Table 1 for all 8 segments.
+
+    Each row reports the segment, step, range, prescaler output, active
+    Gm stages and the three bus codes (evaluated at mantissa = 0), plus
+    a consistency check against :func:`multiplication_factor`.
+    """
+    rows = []
+    for segment in SEGMENTS:
+        word_min = encode(segment.code_min)
+        word_max = encode(segment.code_max)
+        rows.append(
+            {
+                "segment": segment.index,
+                "step": segment.step,
+                "range_min": word_min.output_units,
+                "range_max": word_max.output_units,
+                "prescale": word_min.prescale_factor,
+                "active_gm_stages": word_min.active_gm_stages,
+                "osc_d": word_min.bus_strings()[0],
+                "osc_e": word_min.bus_strings()[1],
+                "osc_f_template": _osc_f_template(segment),
+            }
+        )
+    return rows
+
+
+def _osc_f_template(segment: Segment) -> str:
+    """Render the OscF column as in Table 1, e.g. '00B3B2B1B00'."""
+    shift = _OSC_F_SHIFT_BY_SEGMENT[segment.index]
+    bits = ["0"] * (3 - shift) + ["B3", "B2", "B1", "B0"] + ["0"] * shift
+    return "".join(bits)
+
+
+def verify_against_factors() -> bool:
+    """True iff the bus coding reproduces M(n) for every code."""
+    return all(
+        encode(code).output_units == multiplication_factor(code)
+        for code in range(MAX_CODE + 1)
+    )

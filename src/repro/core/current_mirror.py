@@ -1,0 +1,72 @@
+"""Complementary current mirrors (Fig 6).
+
+Each mirror (top PMOS, bottom NMOS) has two parts:
+
+* fixed outputs of 16, 16, 32 and 64 x Iref2, switched to the output
+  by the Gm blocks under control of ``OscE<3:0>``;
+* a 7-bit binary weighted DAC part delivering 0..127 x Iref2 under
+  control of ``OscF<6:0>``.
+
+The class computes the total output in *units of Iref2*, including
+mismatch of each ratio.  Top and bottom mirrors get independent
+mismatch in :class:`ComplementaryMirrors`; the effective current limit
+of the driver is their average (the tank responds to the fundamental,
+which averages the two half-waves).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import CodingError
+from ..mc.mismatch import MismatchProfile
+
+__all__ = ["CurrentMirror", "ComplementaryMirrors"]
+
+
+class CurrentMirror:
+    """One (top or bottom) output mirror with optional mismatch."""
+
+    def __init__(self, mismatch: Optional[MismatchProfile] = None):
+        self.mismatch = mismatch if mismatch is not None else MismatchProfile.ideal()
+
+    def fixed_units(self, osc_e: int) -> float:
+        """Enabled fixed outputs (16/16/32/64) in units of Iref2."""
+        if not 0 <= osc_e <= 0b1111:
+            raise CodingError(f"OscE {osc_e:#06b} outside 4 bits")
+        return self.mismatch.fixed_mirror_units(osc_e)
+
+    def binary_units(self, osc_f: int) -> float:
+        """Binary DAC part output in units of Iref2."""
+        if not 0 <= osc_f <= 0b1111111:
+            raise CodingError(f"OscF {osc_f:#09b} outside 7 bits")
+        return self.mismatch.binary_units(osc_f)
+
+    def output_units(self, osc_e: int, osc_f: int) -> float:
+        """Total mirror output in units of Iref2."""
+        return self.fixed_units(osc_e) + self.binary_units(osc_f)
+
+
+class ComplementaryMirrors:
+    """Top + bottom mirror pair feeding the Gm output stages."""
+
+    def __init__(
+        self,
+        top_mismatch: Optional[MismatchProfile] = None,
+        bottom_mismatch: Optional[MismatchProfile] = None,
+    ):
+        self.top = CurrentMirror(top_mismatch)
+        self.bottom = CurrentMirror(bottom_mismatch)
+
+    def output_units(self, osc_e: int, osc_f: int) -> float:
+        """Effective (average of top/bottom) output units."""
+        return 0.5 * (
+            self.top.output_units(osc_e, osc_f)
+            + self.bottom.output_units(osc_e, osc_f)
+        )
+
+    def asymmetry_units(self, osc_e: int, osc_f: int) -> float:
+        """Top-bottom difference — source of even-harmonic content."""
+        return self.top.output_units(osc_e, osc_f) - self.bottom.output_units(
+            osc_e, osc_f
+        )

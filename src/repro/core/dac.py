@@ -1,0 +1,174 @@
+"""Current-limitation DACs.
+
+Three models, all sharing the same 7-bit code space:
+
+* :class:`ExponentialPWLDAC` — the ideal segment law of Fig 3
+  (``M(n)`` times ``I_LSB``).
+* :class:`HardwareDAC` — the structural model (prescaler, mirrors, Gm
+  switching per Table 1) with optional mismatch; this reproduces the
+  *measured* Fig 13/14 including the non-monotonic code.
+* :class:`LinearDAC` — an N-bit linear DAC used by the ablation bench
+  to demonstrate why the paper chose the exponential PWL law (a linear
+  DAC needs 11 bits for the same worst-case relative step, and its
+  relative step explodes at low codes).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import CodingError
+from ..mc.mismatch import MismatchProfile
+from .constants import I_LSB, MAX_CODE, N_CODES
+from .control_bus import ControlWord, encode
+from .current_mirror import ComplementaryMirrors
+from .gm_block import GmBlock
+from .prescaler import Prescaler
+from .segments import multiplication_factor
+
+__all__ = ["ExponentialPWLDAC", "HardwareDAC", "LinearDAC", "EQUIVALENT_LINEAR_BITS"]
+
+#: The 7-bit PWL DAC spans factors 0..1984, i.e. the range of an 11-bit
+#: linear DAC (2048 codes) — "corresponding to a 11-bit linear DAC".
+EQUIVALENT_LINEAR_BITS = 11
+
+
+class ExponentialPWLDAC:
+    """Ideal PWL-approximated exponential DAC (Fig 3)."""
+
+    def __init__(self, i_lsb: float = I_LSB):
+        if i_lsb <= 0:
+            raise CodingError("i_lsb must be positive")
+        self.i_lsb = float(i_lsb)
+
+    @property
+    def n_codes(self) -> int:
+        return N_CODES
+
+    def factor(self, code: int) -> int:
+        """Multiplication factor M(n)."""
+        return multiplication_factor(code)
+
+    def current(self, code: int) -> float:
+        """Output current limit for a code."""
+        return self.i_lsb * self.factor(code)
+
+    def full_scale(self) -> float:
+        return self.current(MAX_CODE)
+
+    def transfer(self) -> np.ndarray:
+        """Currents for all 128 codes (the Fig 13 ideal curve)."""
+        return np.asarray([self.current(code) for code in range(N_CODES)])
+
+    def relative_steps(self, start_code: int = 2) -> np.ndarray:
+        """Relative current steps for codes >= start_code (Fig 4)."""
+        if start_code < 2:
+            raise CodingError("relative steps defined for codes >= 2")
+        currents = self.transfer()
+        previous = currents[start_code - 1 : -1]
+        return (currents[start_code:] - previous) / previous
+
+    def is_monotonic(self) -> bool:
+        transfer = self.transfer()
+        return bool(np.all(np.diff(transfer) >= 0))
+
+
+class HardwareDAC:
+    """Structural model of the current limitation path (Fig 5/6/7).
+
+    Composes the prescaler, the complementary mirrors and the Gm block
+    exactly as the control buses drive them.  With an ideal mismatch
+    profile it reproduces :class:`ExponentialPWLDAC`; with a sampled or
+    measured-like profile it produces realistic INL/DNL.
+    """
+
+    def __init__(
+        self,
+        i_lsb: float = I_LSB,
+        gm_unit: float = 1.2e-3,
+        mismatch: Optional[MismatchProfile] = None,
+        top_mismatch: Optional[MismatchProfile] = None,
+        bottom_mismatch: Optional[MismatchProfile] = None,
+    ):
+        if i_lsb <= 0:
+            raise CodingError("i_lsb must be positive")
+        profile = mismatch if mismatch is not None else MismatchProfile.ideal()
+        self.i_lsb = float(i_lsb)
+        self.profile = profile
+        self.prescaler = Prescaler(i_ref=i_lsb, mismatch=profile)
+        self.mirrors = ComplementaryMirrors(
+            top_mismatch=top_mismatch if top_mismatch is not None else profile,
+            bottom_mismatch=bottom_mismatch if bottom_mismatch is not None else profile,
+        )
+        self.gm_block = GmBlock(gm_unit=gm_unit, mismatch=profile)
+
+    def control_word(self, code: int) -> ControlWord:
+        return encode(code)
+
+    def current(self, code: int) -> float:
+        """Realized current limit for a code."""
+        word = self.control_word(code)
+        i_ref2 = self.prescaler.output_current(word.osc_d)
+        units = self.mirrors.output_units(word.osc_e, word.osc_f)
+        return i_ref2 * units
+
+    def transconductance(self, code: int) -> float:
+        """Realized driver small-signal transconductance for a code."""
+        word = self.control_word(code)
+        return self.gm_block.transconductance(word.osc_e)
+
+    def transfer(self) -> np.ndarray:
+        return np.asarray([self.current(code) for code in range(N_CODES)])
+
+    def relative_steps(self, start_code: int = 2) -> np.ndarray:
+        transfer = self.transfer()
+        previous = transfer[start_code - 1 : -1]
+        if np.any(previous <= 0):
+            raise CodingError("relative steps need positive baseline currents")
+        return (transfer[start_code:] - previous) / previous
+
+    def is_monotonic(self) -> bool:
+        return bool(np.all(np.diff(self.transfer()) >= 0))
+
+    def non_monotonic_codes(self) -> List[int]:
+        """Codes whose current is below the previous code's current."""
+        transfer = self.transfer()
+        return [int(c) for c in np.where(np.diff(transfer) < 0)[0] + 1]
+
+    def max_relative_step(self, start_code: int = 17) -> float:
+        """Largest relative step at/above ``start_code`` (loop design)."""
+        return float(np.max(self.relative_steps(start_code=start_code)))
+
+
+class LinearDAC:
+    """Plain N-bit linear current DAC (ablation baseline)."""
+
+    def __init__(self, bits: int, i_lsb: float):
+        if not 1 <= bits <= 16:
+            raise CodingError("bits must be in 1..16")
+        if i_lsb <= 0:
+            raise CodingError("i_lsb must be positive")
+        self.bits = int(bits)
+        self.i_lsb = float(i_lsb)
+
+    @property
+    def n_codes(self) -> int:
+        return 1 << self.bits
+
+    def current(self, code: int) -> float:
+        if not 0 <= code < self.n_codes:
+            raise CodingError(f"code {code} outside 0..{self.n_codes - 1}")
+        return self.i_lsb * code
+
+    def transfer(self) -> np.ndarray:
+        return self.i_lsb * np.arange(self.n_codes)
+
+    def relative_steps(self, start_code: int = 2) -> np.ndarray:
+        codes = np.arange(start_code, self.n_codes)
+        return 1.0 / (codes - 1.0)
+
+    def codes_for_same_range(self, pwl: ExponentialPWLDAC) -> int:
+        """Number of linear codes needed to cover the PWL full scale."""
+        return int(np.ceil(pwl.full_scale() / self.i_lsb)) + 1

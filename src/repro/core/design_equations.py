@@ -1,0 +1,126 @@
+"""The paper's design equations (Eq 1–6) in executable form.
+
+Conventions (derived for the Fig 1 topology, see DESIGN.md §3):
+
+* the driver is modelled as one lumped differential transconductor
+  across the tank; the classical two-stage cross-coupled pair with
+  per-stage transconductance ``Gm_stage`` presents a lumped
+  ``Gm = Gm_stage / 2`` (negative resistance ``-2/Gm_stage``);
+* oscillation condition (Eq 1):  lumped ``Gm >= 1/Rp`` with
+  ``Rp = 2 L / (C Rs)``, equivalently ``Gm_stage >= 2/Rp = Rs C / L``;
+* steady-state RMS amplitude (Eq 4): ``V = k * Rp * IM`` with
+  ``k = 2 sqrt(2) / pi ≈ 0.90`` for a hard-limited driver — the
+  paper's ``V = 2 k IM / Gm0``;
+* amplitude step (Eq 5): ``dV/V = dIM/IM`` — a *relative* current step
+  gives the same relative voltage step;
+* exponential code law (Eq 6): ``I_n = I0 (1+delta)^n``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..envelope.describing import K_SQUARE_WAVE
+from ..envelope.tank import RLCTank
+from ..errors import ConfigurationError
+from .segments import multiplication_factor
+
+__all__ = [
+    "critical_gm_lumped",
+    "critical_gm_stage",
+    "oscillation_condition_met",
+    "steady_state_rms",
+    "steady_state_peak",
+    "current_limit_for_rms",
+    "relative_voltage_step",
+    "exponential_current_law",
+    "delta_for_range",
+    "pwl_approximation_error",
+]
+
+
+def critical_gm_lumped(tank: RLCTank) -> float:
+    """Eq 1 (lumped form): minimum differential transconductance ``1/Rp``."""
+    return 1.0 / tank.parallel_resistance
+
+
+def critical_gm_stage(tank: RLCTank) -> float:
+    """Eq 1 (per-stage form): ``2/Rp = Rs C / L`` for the cross-coupled pair."""
+    return 2.0 / tank.parallel_resistance
+
+
+def oscillation_condition_met(tank: RLCTank, gm_lumped: float, margin: float = 1.0) -> bool:
+    """Whether oscillations build up, with an optional gm margin factor."""
+    if margin <= 0:
+        raise ConfigurationError("margin must be positive")
+    return gm_lumped >= margin * critical_gm_lumped(tank)
+
+
+def steady_state_rms(tank: RLCTank, i_max: float, k: float = K_SQUARE_WAVE) -> float:
+    """Eq 4: RMS differential amplitude ``V = k * Rp * IM``."""
+    if i_max < 0:
+        raise ConfigurationError("i_max must be non-negative")
+    if not 0 < k <= 4.0 / math.pi:
+        raise ConfigurationError("k out of physical range")
+    return k * tank.parallel_resistance * i_max
+
+
+def steady_state_peak(tank: RLCTank, i_max: float, k: float = K_SQUARE_WAVE) -> float:
+    """Peak differential amplitude, ``sqrt(2)`` times the RMS value."""
+    return math.sqrt(2.0) * steady_state_rms(tank, i_max, k=k)
+
+
+def current_limit_for_rms(tank: RLCTank, v_rms: float, k: float = K_SQUARE_WAVE) -> float:
+    """Invert Eq 4: the IM needed for a target RMS amplitude."""
+    if v_rms < 0:
+        raise ConfigurationError("v_rms must be non-negative")
+    return v_rms / (k * tank.parallel_resistance)
+
+
+def relative_voltage_step(relative_current_step: float) -> float:
+    """Eq 5: ``dV/V = dIM/IM`` (amplitude tracks the current limit)."""
+    return relative_current_step
+
+
+def exponential_current_law(i0: float, delta: float, n: int) -> float:
+    """Eq 6: ``I_n = I0 * (1 + delta)^n``."""
+    if i0 <= 0:
+        raise ConfigurationError("i0 must be positive")
+    if delta <= -1.0:
+        raise ConfigurationError("delta must be > -1")
+    if n < 0:
+        raise ConfigurationError("n must be non-negative")
+    return i0 * (1.0 + delta) ** n
+
+
+def delta_for_range(span: float, n_steps: int) -> float:
+    """The per-code delta needed to cover a current span in n steps.
+
+    ``(1+delta)^n = span`` — e.g. covering 16:1984 (=124x) in 111 codes
+    needs delta ≈ 4.44 %, inside the paper's 3.23–6.25 % PWL band.
+    """
+    if span <= 1.0:
+        raise ConfigurationError("span must exceed 1")
+    if n_steps <= 0:
+        raise ConfigurationError("n_steps must be positive")
+    return span ** (1.0 / n_steps) - 1.0
+
+
+def pwl_approximation_error(start_code: int = 16) -> List[float]:
+    """Relative deviation of the PWL law from the best-fit exponential.
+
+    Fits ``I0 (1+delta)^n`` through the factors at ``start_code`` and
+    127, then reports ``M_pwl(n)/M_exp(n) - 1`` for every code in
+    between.  Quantifies how good the mu-law-style approximation is
+    (stays within about ±6 %).
+    """
+    m_start = multiplication_factor(start_code)
+    m_end = multiplication_factor(127)
+    n_steps = 127 - start_code
+    delta = (m_end / m_start) ** (1.0 / n_steps) - 1.0
+    errors = []
+    for code in range(start_code, 128):
+        ideal = m_start * (1.0 + delta) ** (code - start_code)
+        errors.append(multiplication_factor(code) / ideal - 1.0)
+    return errors

@@ -1,0 +1,87 @@
+"""Static driver output characteristic (Fig 2) and its code dependence.
+
+The driver behaves as a transconductor that is linear for small
+differential voltages and limits at ``±IM`` (Fig 2).  ``IM`` is set by
+the DAC code; the small-signal slope is set by the number of active Gm
+stages (Table 1), so both are functions of the code.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..envelope.describing import HardLimiter, LimiterCharacteristic, TanhLimiter
+from ..errors import CodingError
+from ..mc.mismatch import MismatchProfile
+from .constants import I_LSB
+from .control_bus import encode
+from .dac import HardwareDAC
+from .gm_block import GmBlock
+from .segments import multiplication_factor
+
+__all__ = ["DriverIV", "driver_limiter_for_code", "static_iv_curve"]
+
+#: Default transconductance of one unit Gm stage.  Chosen so that all
+#: nine stages give the paper's "equivalent transconductance up to
+#: around 10 mS" (§9): 9 * 1.2 mS ≈ 10.8 mS.
+DEFAULT_GM_UNIT = 1.2e-3
+
+
+class DriverIV:
+    """Code-dependent driver I–V characteristic factory."""
+
+    def __init__(
+        self,
+        i_lsb: float = I_LSB,
+        gm_unit: float = DEFAULT_GM_UNIT,
+        mismatch: Optional[MismatchProfile] = None,
+        smooth: bool = False,
+    ):
+        self.dac = HardwareDAC(i_lsb=i_lsb, gm_unit=gm_unit, mismatch=mismatch)
+        self.smooth = bool(smooth)
+
+    def limiter(self, code: int) -> LimiterCharacteristic:
+        """The limiter (gm, IM) realized at a DAC code.
+
+        Code 0 has zero output current; a tiny floor current keeps the
+        limiter object valid (the oscillator cannot start there, which
+        is the physically correct behaviour).
+        """
+        i_max = self.dac.current(code)
+        if i_max <= 0.0:
+            i_max = 1e-12
+        gm = self.dac.transconductance(code)
+        cls = TanhLimiter if self.smooth else HardLimiter
+        return cls(gm=gm, i_max=i_max)
+
+
+def driver_limiter_for_code(
+    code: int,
+    i_lsb: float = I_LSB,
+    gm_unit: float = DEFAULT_GM_UNIT,
+    smooth: bool = False,
+) -> LimiterCharacteristic:
+    """Convenience: the ideal limiter for a code (no mismatch)."""
+    factor = multiplication_factor(code)
+    i_max = max(factor * i_lsb, 1e-12)
+    stages = encode(code).active_gm_stages
+    gm = GmBlock(gm_unit=gm_unit).gm_unit * stages
+    cls = TanhLimiter if smooth else HardLimiter
+    return cls(gm=gm, i_max=i_max)
+
+
+def static_iv_curve(
+    limiter: LimiterCharacteristic,
+    v_max: float,
+    n: int = 201,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sampled static I–V curve (the Fig 2 plot).
+
+    Returns (v, i) arrays spanning ``[-v_max, +v_max]``.
+    """
+    if v_max <= 0:
+        raise CodingError("v_max must be positive")
+    v = np.linspace(-v_max, v_max, n)
+    return v, limiter.sample(v)

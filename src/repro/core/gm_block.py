@@ -1,0 +1,51 @@
+"""Oscillator Gm output block (Fig 7, Table 1).
+
+Five transconductance stages (Gm, Gm, Gm, 2Gm, 4Gm) work in parallel;
+stage 0 is always active and stages 1..4 are enabled by ``OscE<3:0>``.
+Enabling a stage also routes the corresponding fixed mirror current
+(16/16/32/64 units) to the output — both functions are integrated in
+one block on silicon, which this model mirrors.
+
+The *speed* requirement of §5 ("the driver must be much faster than the
+oscillation frequency") translates here into the total small-signal
+transconductance: more stages => more gm => faster limiting edges.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..errors import CodingError
+from ..mc.mismatch import MismatchProfile
+
+__all__ = ["GmBlock", "GM_STAGE_WEIGHTS"]
+
+#: Relative strength of the five parallel output stages (Fig 7).
+GM_STAGE_WEIGHTS: Tuple[int, ...] = (1, 1, 1, 2, 4)
+
+
+class GmBlock:
+    """Parallel Gm output stages with optional per-stage mismatch."""
+
+    def __init__(self, gm_unit: float, mismatch: Optional[MismatchProfile] = None):
+        if gm_unit <= 0:
+            raise CodingError("unit transconductance must be positive")
+        self.gm_unit = float(gm_unit)
+        self.mismatch = mismatch if mismatch is not None else MismatchProfile.ideal()
+
+    @staticmethod
+    def active_stage_weight(osc_e: int) -> int:
+        """Nominal total relative Gm (Table 1 'Active Gm stages')."""
+        if not 0 <= osc_e <= 0b1111:
+            raise CodingError(f"OscE {osc_e:#06b} outside 4 bits")
+        total = GM_STAGE_WEIGHTS[0]
+        for bit in range(4):
+            if osc_e & (1 << bit):
+                total += GM_STAGE_WEIGHTS[bit + 1]
+        return total
+
+    def transconductance(self, osc_e: int) -> float:
+        """Realized total transconductance for an OscE code."""
+        if not 0 <= osc_e <= 0b1111:
+            raise CodingError(f"OscE {osc_e:#06b} outside 4 bits")
+        return self.gm_unit * self.mismatch.gm_gain(osc_e)

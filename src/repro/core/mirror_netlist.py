@@ -1,0 +1,129 @@
+"""Transistor-level realization of the current-limitation path.
+
+The behavioural :class:`~repro.core.dac.HardwareDAC` multiplies ideal
+ratios; this module builds the same Fig 5/6 structure out of level-1
+MOSFETs in the MNA simulator — a two-stage NMOS mirror cascade:
+
+* **prescale mirror**: a diode-connected input device carrying
+  ``Iref`` with a single output leg of width 1, 2, 4 or 8 (OscD),
+* **output mirror**: a diode-connected input carrying ``Iref2`` with
+  one leg per enabled fixed current (16/16/32/64, OscE) and one per
+  set binary bit (1..64, OscF), all drains tied to the measurement
+  node.
+
+The prescaled current is re-injected into the output mirror's diode
+device by an ideal fold (the real chip folds through the complementary
+PMOS top mirror, Fig 5); this isolates exactly the NMOS ratio
+mechanics.  The transfer reproduces the segment law with *systematic*
+errors the ideal model cannot show: channel-length modulation makes
+each leg's current depend on its drain voltage, so the realized gain
+deviates from the W-ratio whenever the output node sits away from the
+diode device's Vgs — the classic mirror output-resistance error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..circuits import Circuit, MosfetParams, solve_dc
+from ..errors import ConfigurationError
+from .constants import I_LSB
+from .control_bus import encode
+
+__all__ = [
+    "MirrorNetlistParams",
+    "transistor_dac_current",
+    "transistor_dac_transfer",
+]
+
+#: Fixed mirror output weights gated by OscE (Fig 6).
+_FIXED_WEIGHTS = (16, 16, 32, 64)
+
+
+@dataclass(frozen=True)
+class MirrorNetlistParams:
+    """Device and bias parameters of the mirror cascade."""
+
+    #: Unit-device transconductance factor (scaled by leg width).
+    beta_unit: float = 0.5e-3
+    vt0: float = 0.55
+    #: Channel-length modulation — the source of systematic gain error.
+    lam: float = 0.02
+    #: Supply and output measurement voltage.
+    vdd: float = 3.3
+    v_out: float = 1.5
+    i_ref: float = I_LSB
+
+    def __post_init__(self) -> None:
+        if self.beta_unit <= 0 or self.i_ref <= 0:
+            raise ConfigurationError("beta_unit and i_ref must be positive")
+        if self.lam < 0:
+            raise ConfigurationError("lam must be >= 0")
+        if not 0 < self.v_out < self.vdd:
+            raise ConfigurationError("v_out must lie inside the supply")
+
+    def device(self, weight: float) -> MosfetParams:
+        """Model card of a mirror leg of the given relative width."""
+        return MosfetParams(
+            polarity=+1,
+            beta=self.beta_unit * weight,
+            vt0=self.vt0,
+            lam=self.lam,
+        )
+
+
+def _output_legs(code: int) -> List[Tuple[str, int]]:
+    """(name, weight) of every enabled output-mirror leg for a code."""
+    word = encode(code)
+    legs: List[Tuple[str, int]] = []
+    for bit, weight in enumerate(_FIXED_WEIGHTS):
+        if word.osc_e & (1 << bit):
+            legs.append((f"fix{bit}", weight))
+    for bit in range(7):
+        if word.osc_f & (1 << bit):
+            legs.append((f"bin{bit}", 1 << bit))
+    return legs
+
+
+def _prescaled_current(code: int, params: MirrorNetlistParams) -> float:
+    """Stage 1: the prescale mirror's output current (Iref2)."""
+    word = encode(code)
+    circuit = Circuit("prescale-mirror")
+    circuit.voltage_source("Vdd", "vdd", "0", params.vdd)
+    circuit.current_source("Iref", "vdd", "npre", params.i_ref)
+    circuit.mosfet("Mpre_in", "npre", "npre", "0", "0", params.device(1))
+    circuit.voltage_source("Vm", "vm", "0", params.v_out)
+    circuit.mosfet(
+        "Mpre_out", "vm", "npre", "0", "0", params.device(word.prescale_factor)
+    )
+    op = solve_dc(circuit)
+    # The leg sinks current out of the Vm source: branch current > 0.
+    return float(abs(op.branch_current("Vm")))
+
+
+def transistor_dac_current(
+    code: int, params: MirrorNetlistParams = MirrorNetlistParams()
+) -> float:
+    """Realized output current of the transistor mirror path."""
+    legs = _output_legs(code)
+    if not legs:
+        return 0.0
+    i_ref2 = _prescaled_current(code, params)
+    circuit = Circuit("output-mirror")
+    circuit.voltage_source("Vdd", "vdd", "0", params.vdd)
+    circuit.current_source("Iref2", "vdd", "nmain", i_ref2)
+    circuit.mosfet("Mmain_in", "nmain", "nmain", "0", "0", params.device(1))
+    circuit.voltage_source("Vout", "vout", "0", params.v_out)
+    for name, weight in legs:
+        circuit.mosfet(f"M_{name}", "vout", "nmain", "0", "0", params.device(weight))
+    op = solve_dc(circuit)
+    return float(abs(op.branch_current("Vout")))
+
+
+def transistor_dac_transfer(
+    codes: Sequence[int],
+    params: MirrorNetlistParams = MirrorNetlistParams(),
+) -> List[float]:
+    """Realized currents for a sequence of codes."""
+    return [transistor_dac_current(int(code), params) for code in codes]

@@ -1,0 +1,408 @@
+"""Whole-system behavioural model of the oscillator driver.
+
+This is the model behind the regulation-loop experiments (Fig 15/16 at
+envelope resolution, the §9 consumption sweep, and the §7 FMEA
+campaign).  It couples:
+
+* the envelope dynamics of the external tank (:mod:`repro.envelope`),
+* the code-dependent driver limiter (:mod:`repro.core.driver_iv`),
+* the amplitude detector and its filter lag,
+* the 1 ms regulation state machine,
+* the startup sequencer (POR code 105 → NVM preset),
+* the safety monitors and their failure reaction.
+
+The simulation is multi-rate: the envelope ODE is integrated with an
+internal step bounded by the tank's ring time constant, while the
+digital loop runs at the regulation period.  A quasi-equilibrium
+shortcut freezes the integration once the envelope has converged for
+the active code, so second-long runs stay cheap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.waveform import Waveform
+from ..envelope.describing import LimiterCharacteristic
+from ..envelope.dynamics import small_signal_growth_rate, steady_state_amplitude
+from ..envelope.tank import RLCTank
+from ..errors import ConfigurationError, SimulationError
+from ..mc.mismatch import MismatchProfile
+from ..digital.nvm import NonVolatileMemory
+from .amplitude_detector import AmplitudeDetector
+from .constants import (
+    I_LSB,
+    MAX_CODE,
+    MAX_RELATIVE_STEP,
+    NVM_READ_DELAY,
+    POR_CODE,
+    REGULATION_PERIOD,
+)
+from .design_equations import current_limit_for_rms
+from .driver_iv import DEFAULT_GM_UNIT, DriverIV
+from .regulation_loop import RegulationLoop
+from .safety import FailureKind, SafetyConfig, SafetyMonitors, SafetyReaction
+from .segments import code_for_factor
+from .startup import StartupSequencer
+from .window_comparator import WindowComparator, design_window
+
+__all__ = ["OscillatorConfig", "PlantState", "SystemTrace", "OscillatorDriverSystem"]
+
+#: A fault mutator receives the running system and changes its plant.
+FaultMutator = Callable[["OscillatorDriverSystem"], None]
+
+
+@dataclass
+class OscillatorConfig:
+    """Configuration of the complete oscillator driver system."""
+
+    tank: RLCTank
+    #: Regulation target, peak differential volts (2.7 Vpp -> 1.35 V).
+    target_peak_amplitude: float = 1.35
+    i_lsb: float = I_LSB
+    gm_unit: float = DEFAULT_GM_UNIT
+    mismatch: Optional[MismatchProfile] = None
+    #: NVM preset code; None derives it from the design equations.
+    nvm_code: Optional[int] = None
+    por_code: int = POR_CODE
+    nvm_delay: float = NVM_READ_DELAY
+    regulation_period: float = REGULATION_PERIOD
+    #: Window width margin over the worst-case DAC step (must be > 1).
+    window_margin: float = 1.3
+    detector_tau: float = 50e-6
+    safety: SafetyConfig = field(default_factory=SafetyConfig)
+    seed_amplitude: float = 1e-4
+    #: Envelope/detector sub-steps per regulation period.
+    substeps_per_tick: int = 10
+    #: Fixed analog overhead (references, comparators, Vref buffer).
+    bias_current: float = 130e-6
+    #: RMS noise added to the detector voltage at each comparator
+    #: sampling instant (models comparator input noise + residual
+    #: detector ripple).  The window design absorbs it.
+    detector_noise_rms: float = 0.0
+    #: Seed for the detector-noise generator (reproducible runs).
+    noise_seed: int = 20050307
+
+    def __post_init__(self) -> None:
+        if self.detector_noise_rms < 0:
+            raise ConfigurationError("detector_noise_rms must be >= 0")
+        if self.target_peak_amplitude <= 0:
+            raise ConfigurationError("target amplitude must be positive")
+        if self.substeps_per_tick < 1:
+            raise ConfigurationError("substeps_per_tick must be >= 1")
+        if self.window_margin <= 1.0:
+            raise ConfigurationError("window_margin must exceed 1")
+        if self.bias_current < 0:
+            raise ConfigurationError("bias_current must be >= 0")
+
+    def derived_nvm_code(self) -> int:
+        """Code whose current limit hits the target amplitude (Eq 4)."""
+        v_rms = self.target_peak_amplitude / math.sqrt(2.0)
+        i_needed = current_limit_for_rms(self.tank, v_rms)
+        return code_for_factor(i_needed / self.i_lsb)
+
+
+@dataclass
+class PlantState:
+    """Mutable state of the *external* world (tank + fault effects).
+
+    Fault mutators act on this object; the system re-derives limiter
+    caches when it changes.
+    """
+
+    tank: RLCTank
+    #: False once a hard fault (open coil, pin short) kills resonance.
+    oscillation_possible: bool = True
+    #: Per-pin amplitude split: (A1, A2) = (split, 2-split) * A/2.
+    #: 1.0 means symmetric; a failed Cosc makes it asymmetric (§7).
+    amplitude_split: float = 1.0
+    #: Supply present (False models loss of Vdd of this system).
+    supply_ok: bool = True
+    #: Decay time constant used when oscillation is impossible.
+    kill_tau: float = 2e-6
+    version: int = 0
+
+    def touch(self) -> None:
+        self.version += 1
+
+    def set_tank(self, tank: RLCTank) -> None:
+        self.tank = tank
+        self.touch()
+
+    def kill_oscillation(self) -> None:
+        self.oscillation_possible = False
+        self.touch()
+
+    def set_amplitude_split(self, split: float) -> None:
+        if not 0.0 <= split <= 2.0:
+            raise ConfigurationError("amplitude split must be in [0, 2]")
+        self.amplitude_split = split
+        self.touch()
+
+    def lose_supply(self) -> None:
+        self.supply_ok = False
+        self.touch()
+
+
+@dataclass
+class SystemTrace:
+    """Recorded behaviour of one run."""
+
+    t: np.ndarray
+    amplitude: np.ndarray
+    code: np.ndarray
+    detector: np.ndarray
+    supply_current: np.ndarray
+    failures: Dict[FailureKind, float]
+    final_code: int
+    regulation_events: list
+
+    def amplitude_waveform(self) -> Waveform:
+        return Waveform(self.t, self.amplitude, name="amplitude")
+
+    def code_waveform(self) -> Waveform:
+        return Waveform(self.t, self.code.astype(float), name="code")
+
+    def detector_waveform(self) -> Waveform:
+        return Waveform(self.t, self.detector, name="detector")
+
+    def supply_current_waveform(self) -> Waveform:
+        return Waveform(self.t, self.supply_current, name="i_supply")
+
+    @property
+    def final_amplitude(self) -> float:
+        return float(self.amplitude[-1])
+
+    @property
+    def mean_supply_current(self) -> float:
+        """Time-averaged supply current over the last half of the run."""
+        half = len(self.t) // 2
+        return float(np.mean(self.supply_current[half:]))
+
+    def failure_detected(self, kind: FailureKind) -> bool:
+        return kind in self.failures
+
+    @property
+    def any_failure(self) -> bool:
+        return bool(self.failures)
+
+
+class OscillatorDriverSystem:
+    """The complete regulated oscillator driver (behavioural)."""
+
+    def __init__(self, config: OscillatorConfig):
+        self.config = config
+        self.driver = DriverIV(
+            i_lsb=config.i_lsb,
+            gm_unit=config.gm_unit,
+            mismatch=config.mismatch,
+        )
+        self.detector = AmplitudeDetector(tau=config.detector_tau)
+        detector_target = self.detector.target_for_amplitude(
+            config.target_peak_amplitude
+        )
+        self.window: WindowComparator = design_window(
+            detector_target,
+            max_relative_step=MAX_RELATIVE_STEP,
+            margin=config.window_margin,
+        )
+        nvm = NonVolatileMemory()
+        nvm_code = (
+            config.nvm_code if config.nvm_code is not None else config.derived_nvm_code()
+        )
+        if not 0 <= nvm_code <= MAX_CODE:
+            raise ConfigurationError(f"nvm code {nvm_code} out of range")
+        nvm.program_amplitude_code(nvm_code)
+        self.startup = StartupSequencer(
+            nvm=nvm, por_code=config.por_code, nvm_delay=config.nvm_delay
+        )
+        self.loop = RegulationLoop(
+            comparator=self.window,
+            initial_code=nvm_code,
+            period=config.regulation_period,
+        )
+        self.monitors = SafetyMonitors(
+            config=config.safety, detector_target=detector_target
+        )
+        self.reaction = SafetyReaction()
+        self.plant = PlantState(tank=config.tank)
+        # Per-(code, plant-version) limiter cache with derived rates.
+        self._cache: Dict[Tuple[int, int], Tuple[LimiterCharacteristic, float, float]] = {}
+
+    # -- cached per-code quantities --------------------------------------------
+
+    def _limiter_info(self, code: int) -> Tuple[LimiterCharacteristic, float, float]:
+        """(limiter, steady_state_amplitude, max_rate) for a code."""
+        key = (code, self.plant.version)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        limiter = self.driver.limiter(code)
+        tank = self.plant.tank
+        try:
+            a_ss = steady_state_amplitude(tank, limiter)
+        except Exception:
+            a_ss = 0.0
+        growth = abs(small_signal_growth_rate(tank, limiter.gm))
+        ring = 1.0 / tank.ring_down_tau()
+        max_rate = max(growth, ring)
+        info = (limiter, a_ss, max_rate)
+        self._cache[key] = info
+        return info
+
+    # -- envelope integration ------------------------------------------------------
+
+    def _advance_envelope(self, amplitude: float, code: int, dt: float) -> float:
+        """Integrate the envelope ODE over ``dt`` for a fixed code."""
+        if not self.plant.oscillation_possible or not self.plant.supply_ok:
+            # Hard fault or dead supply: tank rings down fast (the kill
+            # tau lumps de-tuned/damped decay).
+            return amplitude * math.exp(-dt / self.plant.kill_tau)
+        limiter, a_ss, max_rate = self._limiter_info(code)
+        # Quasi-equilibrium shortcut.
+        if a_ss > 0.0 and abs(amplitude - a_ss) <= 1e-9 * a_ss:
+            return a_ss
+        tank = self.plant.tank
+        two_c = 2.0 * tank.differential_capacitance
+        rp = tank.parallel_resistance
+
+        def rate(a: float) -> float:
+            if a <= 0.0:
+                return 0.0
+            return (limiter.fundamental(a) - a / rp) / two_c
+
+        n_sub = max(1, int(math.ceil(dt * max_rate / 0.2)))
+        h = dt / n_sub
+        a = max(amplitude, 0.0)
+        for _ in range(n_sub):
+            k1 = rate(a)
+            k2 = rate(max(a + 0.5 * h * k1, 0.0))
+            k3 = rate(max(a + 0.5 * h * k2, 0.0))
+            k4 = rate(max(a + h * k3, 0.0))
+            a = max(a + (h / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4), 0.0)
+            # Snap onto the equilibrium when overshooting across it.
+            if a_ss > 0.0 and abs(a - a_ss) <= 1e-9 * a_ss:
+                return a_ss
+        return a
+
+    def _supply_current(self, amplitude: float, code: int) -> float:
+        """Driver + bias supply current at the present operating point."""
+        if not self.plant.supply_ok:
+            return 0.0
+        limiter, _a_ss, _rate = self._limiter_info(code)
+        return self.config.bias_current + limiter.mean_abs(amplitude)
+
+    # -- the run loop -----------------------------------------------------------------
+
+    def run(
+        self,
+        t_stop: float,
+        faults: Optional[Sequence[Tuple[float, FaultMutator]]] = None,
+        initial_amplitude: Optional[float] = None,
+    ) -> SystemTrace:
+        """Simulate from enable (t = 0) to ``t_stop``.
+
+        ``faults`` is a sequence of (time, mutator) pairs applied once
+        when the simulation time crosses each fault time.
+        """
+        if t_stop <= 0:
+            raise SimulationError("t_stop must be positive")
+        config = self.config
+        dt = config.regulation_period / config.substeps_per_tick
+        n_steps = int(round(t_stop / dt))
+        if n_steps < 1:
+            raise SimulationError("t_stop shorter than one sub-step")
+        pending_faults = sorted(faults or [], key=lambda pair: pair[0])
+        fault_index = 0
+        noise_rng = np.random.default_rng(config.noise_seed)
+
+        self.startup.enable(0.0)
+        self.monitors.arm(0.0)
+        self.detector.reset(0.0)
+        amplitude = (
+            config.seed_amplitude if initial_amplitude is None else initial_amplitude
+        )
+
+        times = np.empty(n_steps + 1)
+        amplitudes = np.empty(n_steps + 1)
+        codes = np.empty(n_steps + 1, dtype=int)
+        detector_values = np.empty(n_steps + 1)
+        supply = np.empty(n_steps + 1)
+
+        regulation_started = False
+        next_tick = config.regulation_period
+        code = self.startup.code_at(0.0)
+
+        times[0] = 0.0
+        amplitudes[0] = amplitude
+        codes[0] = code
+        detector_values[0] = self.detector.output
+        supply[0] = self._supply_current(amplitude, code)
+
+        for step in range(1, n_steps + 1):
+            t = step * dt
+            # Apply any scheduled faults crossed by this step.
+            while (
+                fault_index < len(pending_faults)
+                and pending_faults[fault_index][0] <= t
+            ):
+                pending_faults[fault_index][1](self)
+                fault_index += 1
+            # Active code: startup sequencer until regulation begins.
+            if regulation_started:
+                code = self.loop.code
+            else:
+                code = self.startup.code_at(t)
+            amplitude = self._advance_envelope(amplitude, code, dt)
+            powered = self.plant.supply_ok
+            if powered:
+                # An unpowered chip cannot observe anything: its own
+                # detection of a supply loss is a *system level* job
+                # (§7); the on-chip monitors and the digital loop
+                # freeze with the supply.
+                self.detector.update(amplitude, dt)
+                self.monitors.observe_oscillation(t, amplitude)
+
+            if t + 1e-15 >= next_tick:
+                if powered:
+                    regulation_started = True
+                    detector_sample = self.detector.output
+                    if config.detector_noise_rms > 0.0:
+                        detector_sample += config.detector_noise_rms * float(
+                            noise_rng.standard_normal()
+                        )
+                    a1 = amplitude * 0.5 * self.plant.amplitude_split
+                    a2 = amplitude * 0.5 * (2.0 - self.plant.amplitude_split)
+                    self.monitors.observe_tick(
+                        t,
+                        detector_sample,
+                        amplitude_lc1=a1,
+                        amplitude_lc2=a2,
+                    )
+                    if self.monitors.any_failure and self.reaction.force_max_code:
+                        self.loop.set_code(self.reaction.forced_code())
+                    else:
+                        self.loop.tick(t, detector_sample)
+                    code = self.loop.code
+                next_tick += config.regulation_period
+
+            times[step] = t
+            amplitudes[step] = amplitude
+            codes[step] = code
+            detector_values[step] = self.detector.output
+            supply[step] = self._supply_current(amplitude, code)
+
+        return SystemTrace(
+            t=times,
+            amplitude=amplitudes,
+            code=codes,
+            detector=detector_values,
+            supply_current=supply,
+            failures=dict(self.monitors._first_detection),
+            final_code=int(codes[-1]),
+            regulation_events=list(self.loop.history),
+        )

@@ -1,0 +1,246 @@
+"""Output driver topologies and the supply-loss experiments (§8).
+
+Three driver cells are modelled as transistor-level netlists:
+
+* ``fig10a`` — the standard CMOS push-pull: its intrinsic bulk diodes
+  load the live system when this system's supply floats;
+* ``fig10b`` — a series PMOS (MP1d) blocks the positive path and lets
+  the pin go negative, but costs output voltage range when powered;
+* ``fig11``  — the paper's bulk-switched driver: MN5/MN3 tie the NMOS
+  bulk and gate to the pin for negative excursions, MP3 lifts the PMOS
+  gate to cancel the positive path, so the floating system draws only
+  microamp-to-sub-mA resistive currents (Fig 17) while the floating
+  Vdd is gently pumped by the MP1 bulk diode (Fig 18).
+
+The experiment (Fig 17/18): both pins of the *unsupplied* chip are
+driven differentially (LC1 = +V/2, LC2 = -V/2, the live system's
+tank voltage), the DC current through the pins and the voltages on
+LC1/LC2/Vdd are recorded while Vdd floats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..circuits import Circuit, MosfetParams, NewtonOptions, dc_sweep, solve_dc
+from ..circuits.corners import TYPICAL, ProcessCorner
+from ..errors import ConfigurationError
+
+__all__ = [
+    "TOPOLOGIES",
+    "build_supply_loss_testbench",
+    "SupplyLossResult",
+    "run_supply_loss_sweep",
+    "powered_output_low_voltage",
+]
+
+#: 0.35 um-flavoured device cards for the I3T80-like output devices.
+NMOS_OUT = MosfetParams(polarity=+1, beta=8e-3, vt0=0.55, lam=0.02, i_sat_body=1e-13)
+PMOS_OUT = MosfetParams(polarity=-1, beta=4e-3, vt0=0.65, lam=0.02, i_sat_body=1e-13)
+
+#: Gate/bulk network resistors of the Fig 11 cell and the lumped load
+#: the rest of the (unpowered) chip presents on Vdd.
+R_NG1 = 5e3
+R_NG2 = 10e3
+R_NG6 = 50e3
+R_VDD_LOAD = 2.5e3
+#: Impedance of the live system's tank driving the dead chip's pins.
+R_SOURCE = 10.0
+
+TOPOLOGIES = ("fig10a", "fig10b", "fig11")
+
+
+def _add_fig10a_cell(circuit: Circuit, pin: str, prefix: str, nmos: MosfetParams, pmos: MosfetParams) -> None:
+    """Standard CMOS driver: bulk diodes directly on the pin."""
+    circuit.mosfet(f"{prefix}MP1", pin, "vdd", "vdd", "vdd", pmos)
+    circuit.mosfet(f"{prefix}MN1", pin, "0", "0", "0", nmos)
+
+
+def _add_fig10b_cell(circuit: Circuit, pin: str, prefix: str, nmos: MosfetParams, pmos: MosfetParams) -> None:
+    """Series-PMOS driver (Fig 10b): the pin may go negative.
+
+    MP1d (a PMOS with its well at Vdd) sits in the pull-down branch
+    between the pin and MN1.  For negative pin excursions MP1d's
+    channel and junctions are off, so — unlike Fig 10a — no current
+    flows; the price is that the powered driver cannot pull the pin
+    below roughly ``|Vt_p|`` ("voltage needed to open MP1d").  The
+    positive path (MP1 channel and bulk diode) still loads the live
+    system.
+    """
+    internal = f"{prefix}y"
+    circuit.mosfet(f"{prefix}MP1", pin, "vdd", "vdd", "vdd", pmos)
+    circuit.mosfet(f"{prefix}MP1d", internal, "0", pin, "vdd", pmos)
+    circuit.mosfet(f"{prefix}MN1", internal, "0", "0", "0", nmos)
+
+
+def _add_fig11_cell(circuit: Circuit, pin: str, prefix: str, nmos: MosfetParams, pmos: MosfetParams) -> None:
+    """The paper's bulk-switched output driver (Fig 11, simplified).
+
+    Keeps the components that set the DC supply-loss behaviour: MP1,
+    MN1 (switched bulk), MN3/MN5 (negative-excursion bulk/gate tie),
+    MN6 (powered bulk short), MP3 (positive-path cancellation), and
+    the R1/R2 gate network.
+    """
+    ng1 = f"{prefix}ng1"
+    ng2 = f"{prefix}ng2"
+    ng6 = f"{prefix}ng6"
+    m6 = f"{prefix}m6"
+    nbulk = f"{prefix}nbulk"
+    circuit.mosfet(f"{prefix}MP1", pin, ng2, "vdd", "vdd", pmos)
+    circuit.mosfet(f"{prefix}MN1", pin, ng1, "0", nbulk, nmos)
+    circuit.mosfet(f"{prefix}MN3", ng1, "0", pin, nbulk, nmos)
+    circuit.mosfet(f"{prefix}MN5", nbulk, "0", pin, nbulk, nmos)
+    # MN6 shorts Nbulk to ground when powered.  Its gate is driven by
+    # the MP6 stack: "without supply, the voltage on Vdd is lower than
+    # 2 PMOS Vt needed to switch on MP6; MN6 is also off" — so a
+    # bulk-diode-pumped Vdd (~0.9 V) cannot enable MN6.
+    circuit.mosfet(f"{prefix}MP6a", m6, m6, "vdd", "vdd", pmos)
+    circuit.mosfet(f"{prefix}MP6b", ng6, ng6, m6, "vdd", pmos)
+    circuit.resistor(f"{prefix}R3", ng6, "0", R_NG6)
+    circuit.mosfet(f"{prefix}MN6", nbulk, ng6, "0", nbulk, nmos)
+    # MN4 ties MN6's gate to the pin during negative excursions so the
+    # Nbulk-to-ground switch cannot self-turn-on (gate at 0 V, source
+    # dragged negative) — same trick MN3 plays for MN1's gate.
+    circuit.mosfet(f"{prefix}MN4", ng6, "0", pin, nbulk, nmos)
+    circuit.mosfet(f"{prefix}MP3", ng2, "vdd", pin, "vdd", pmos)
+    circuit.resistor(f"{prefix}R1", ng1, "0", R_NG1)
+    # The PMOS gate defaults to Vdd (off); the powered pre-driver pulls
+    # it low through a path not needed for the supply-loss experiment.
+    circuit.resistor(f"{prefix}R2", ng2, "vdd", R_NG2)
+
+
+_CELL_BUILDERS = {
+    "fig10a": _add_fig10a_cell,
+    "fig10b": _add_fig10b_cell,
+    "fig11": _add_fig11_cell,
+}
+
+
+def build_supply_loss_testbench(
+    topology: str, corner: ProcessCorner = TYPICAL
+) -> Circuit:
+    """Two driver cells (LC1, LC2) with floating Vdd, driven at ±V/2.
+
+    The differential stimulus is the source ``Vdiff``; VCVS halves
+    generate LC1 = +V/2 and LC2 = -V/2.  The pin currents are the
+    branch currents of the ``Elc1``/``Elc2`` sources (positive =
+    current flowing *into* the chip pin).
+    """
+    if topology not in _CELL_BUILDERS:
+        raise ConfigurationError(
+            f"unknown topology {topology!r}; choose from {TOPOLOGIES}"
+        )
+    circuit = Circuit(f"supply-loss-{topology}")
+    circuit.voltage_source("Vdiff", "vd", "0", 0.0)
+    circuit.vcvs("Elc1", "lc1s", "0", "vd", "0", +0.5)
+    circuit.vcvs("Elc2", "lc2s", "0", "vd", "0", -0.5)
+    # The live system drives the pins through its tank; a small source
+    # impedance keeps hard-diode currents physical.
+    circuit.resistor("Rsrc1", "lc1s", "lc1", R_SOURCE)
+    circuit.resistor("Rsrc2", "lc2s", "lc2", R_SOURCE)
+    # Floating Vdd: only the (off) chip load holds it.
+    circuit.resistor("Rvddload", "vdd", "0", R_VDD_LOAD)
+    nmos = corner.scale(NMOS_OUT)
+    pmos = corner.scale(PMOS_OUT)
+    build_cell = _CELL_BUILDERS[topology]
+    build_cell(circuit, "lc1", "a_", nmos, pmos)
+    build_cell(circuit, "lc2", "b_", nmos, pmos)
+    return circuit
+
+
+@dataclass
+class SupplyLossResult:
+    """Traces of the Fig 17/18 DC sweep."""
+
+    topology: str
+    v_diff: np.ndarray
+    i_lc1: np.ndarray
+    v_lc1: np.ndarray
+    v_lc2: np.ndarray
+    v_vdd: np.ndarray
+
+    def max_loading_current(self) -> float:
+        """Worst-case |pin current| over the sweep."""
+        return float(np.max(np.abs(self.i_lc1)))
+
+    def current_at(self, v: float) -> float:
+        return float(np.interp(v, self.v_diff, self.i_lc1))
+
+    def vdd_at(self, v: float) -> float:
+        return float(np.interp(v, self.v_diff, self.v_vdd))
+
+
+def run_supply_loss_sweep(
+    topology: str,
+    v_max: float = 3.0,
+    n_points: int = 121,
+    corner: ProcessCorner = TYPICAL,
+) -> SupplyLossResult:
+    """Reproduce Fig 17/18 for one topology.
+
+    Sweeps the differential pin voltage over ``[-v_max, +v_max]`` with
+    the chip's Vdd floating and records pin current and node voltages.
+    """
+    if v_max <= 0:
+        raise ConfigurationError("v_max must be positive")
+    if n_points < 3:
+        raise ConfigurationError("need at least 3 sweep points")
+    circuit = build_supply_loss_testbench(topology, corner=corner)
+    values = np.linspace(-v_max, v_max, n_points)
+    # Branch current of Elc1 is positive when flowing out of lc1 into
+    # the VCVS; the current into the chip pin is its negation.
+    result = dc_sweep(
+        circuit,
+        "Vdiff",
+        values,
+        probes={
+            "i_lc1": lambda op: -op.branch_current("Elc1"),
+            "v_lc1": lambda op: op.voltage("lc1"),
+            "v_lc2": lambda op: op.voltage("lc2"),
+            "v_vdd": lambda op: op.voltage("vdd"),
+        },
+        options=NewtonOptions(max_step=0.3),
+    )
+    return SupplyLossResult(
+        topology=topology,
+        v_diff=result.values,
+        i_lc1=result.trace("i_lc1"),
+        v_lc1=result.trace("v_lc1"),
+        v_lc2=result.trace("v_lc2"),
+        v_vdd=result.trace("v_vdd"),
+    )
+
+
+def powered_output_low_voltage(
+    topology: str,
+    vdd: float = 3.3,
+    load_resistance: float = 10e3,
+) -> float:
+    """Output voltage-range check of §8 (powered mode, pull-down).
+
+    Drives the pull-down path fully on against a resistive load to Vdd
+    and returns the reached pin voltage.  Fig 10a and Fig 11 pull to
+    within millivolts of ground; Fig 10b stalls roughly a PMOS
+    threshold above ground because MP1d needs ``|Vgs| > |Vt_p|`` to
+    conduct — the paper's "voltage range of the driver is limited".
+    """
+    if topology not in _CELL_BUILDERS:
+        raise ConfigurationError(
+            f"unknown topology {topology!r}; choose from {TOPOLOGIES}"
+        )
+    if vdd <= 0 or load_resistance <= 0:
+        raise ConfigurationError("vdd and load_resistance must be positive")
+    circuit = Circuit(f"powered-range-{topology}")
+    circuit.voltage_source("Vdd", "vdd", "0", vdd)
+    circuit.resistor("Rload", "vdd", "pin", load_resistance)
+    if topology == "fig10b":
+        # Pull-down path: pin -> MP1d (gate at 0, fully driven) -> MN1.
+        circuit.mosfet("MP1d", "y", "0", "pin", "vdd", PMOS_OUT)
+        circuit.mosfet("MN1", "y", "vdd", "0", "0", NMOS_OUT)
+    else:  # fig10a and fig11 pull down directly through MN1.
+        circuit.mosfet("MN1", "pin", "vdd", "0", "0", NMOS_OUT)
+    op = solve_dc(circuit)
+    return op.voltage("pin")

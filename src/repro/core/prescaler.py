@@ -1,0 +1,46 @@
+"""Prescale block (Fig 5): scales the reference current by 1/2/4/8.
+
+The prescaler receives ``Iref`` and delivers ``Iref2`` into the two
+complementary current mirrors.  Control is the thermometer-coded
+``OscD<2:0>`` bus so the gain is ``1 + OscD``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import CodingError
+from ..mc.mismatch import MismatchProfile
+
+__all__ = ["Prescaler", "VALID_OSC_D"]
+
+#: Thermometer codes accepted on the OscD bus (Table 1).
+VALID_OSC_D = (0b000, 0b001, 0b011, 0b111)
+
+
+class Prescaler:
+    """Current prescaler with optional ratio mismatch."""
+
+    def __init__(self, i_ref: float, mismatch: Optional[MismatchProfile] = None):
+        if i_ref <= 0:
+            raise CodingError("reference current must be positive")
+        self.i_ref = float(i_ref)
+        self.mismatch = mismatch if mismatch is not None else MismatchProfile.ideal()
+
+    @staticmethod
+    def factor_for(osc_d: int) -> int:
+        """Nominal prescale factor for an OscD code."""
+        if osc_d not in VALID_OSC_D:
+            raise CodingError(
+                f"OscD {osc_d:#05b} invalid; must be thermometer coded "
+                f"{[format(v, '03b') for v in VALID_OSC_D]}"
+            )
+        return 1 + osc_d
+
+    def gain(self, osc_d: int) -> float:
+        """Realized (mismatched) prescale gain."""
+        return self.mismatch.prescale_gain(self.factor_for(osc_d))
+
+    def output_current(self, osc_d: int) -> float:
+        """``Iref2`` delivered to the mirrors."""
+        return self.i_ref * self.gain(osc_d)

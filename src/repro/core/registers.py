@@ -1,0 +1,150 @@
+"""Digital register interface of the oscillator driver.
+
+Models the product-level view of the block: a control register
+(enable, test modes, forced code) and a status register (current code,
+comparator state, failure flags) — the packing/unpacking a downstream
+microcontroller or test program would use.  Layout:
+
+Control register (8 bit)::
+
+    bit 7    : ENABLE
+    bit 6..0 : FORCED_CODE (used when FORCE_CODE test mode active)
+
+Extended control (8 bit)::
+
+    bit 0    : FORCE_CODE test mode (bypass regulation)
+    bit 1    : FREEZE_REGULATION (hold the present code)
+    bit 2..7 : reserved, read as 0
+
+Status register (16 bit)::
+
+    bit 15      : ANY_FAILURE
+    bit 14      : MISSING_OSCILLATION
+    bit 13      : LOW_AMPLITUDE
+    bit 12      : ASYMMETRY
+    bit 11..10  : COMPARATOR (00 below, 01 inside, 10 above)
+    bit 9..7    : reserved
+    bit 6..0    : CODE
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set
+
+from ..errors import CodingError
+from .constants import MAX_CODE
+from .safety import FailureKind
+from .window_comparator import ComparatorState
+
+__all__ = ["ControlRegister", "StatusRegister"]
+
+_COMPARATOR_CODES = {
+    ComparatorState.BELOW: 0b00,
+    ComparatorState.INSIDE: 0b01,
+    ComparatorState.ABOVE: 0b10,
+}
+_COMPARATOR_FROM_CODE = {v: k for k, v in _COMPARATOR_CODES.items()}
+
+_FAILURE_BITS = {
+    FailureKind.MISSING_OSCILLATION: 14,
+    FailureKind.LOW_AMPLITUDE: 13,
+    FailureKind.ASYMMETRY: 12,
+}
+
+
+@dataclass(frozen=True)
+class ControlRegister:
+    """Enable / test-mode control word."""
+
+    enable: bool = False
+    forced_code: int = 0
+    force_code_mode: bool = False
+    freeze_regulation: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.forced_code <= MAX_CODE:
+            raise CodingError(f"forced code {self.forced_code} out of range")
+
+    def pack(self) -> int:
+        """(main << 8) | extended, as two bytes."""
+        main = (int(self.enable) << 7) | self.forced_code
+        ext = int(self.force_code_mode) | (int(self.freeze_regulation) << 1)
+        return (main << 8) | ext
+
+    @classmethod
+    def unpack(cls, word: int) -> "ControlRegister":
+        if not 0 <= word <= 0xFFFF:
+            raise CodingError("control word outside 16 bits")
+        main = (word >> 8) & 0xFF
+        ext = word & 0xFF
+        if ext & ~0b11:
+            raise CodingError("reserved control bits must be zero")
+        return cls(
+            enable=bool(main & 0x80),
+            forced_code=main & 0x7F,
+            force_code_mode=bool(ext & 0b01),
+            freeze_regulation=bool(ext & 0b10),
+        )
+
+
+@dataclass(frozen=True)
+class StatusRegister:
+    """Read-only status snapshot of the driver."""
+
+    code: int
+    comparator: ComparatorState
+    failures: frozenset
+
+    def __init__(self, code: int, comparator: ComparatorState, failures: Set[FailureKind] = frozenset()):
+        if not 0 <= code <= MAX_CODE:
+            raise CodingError(f"code {code} out of range")
+        object.__setattr__(self, "code", int(code))
+        object.__setattr__(self, "comparator", comparator)
+        object.__setattr__(self, "failures", frozenset(failures))
+
+    @property
+    def any_failure(self) -> bool:
+        return bool(self.failures)
+
+    def pack(self) -> int:
+        word = self.code & 0x7F
+        word |= _COMPARATOR_CODES[self.comparator] << 10
+        for kind, bit in _FAILURE_BITS.items():
+            if kind in self.failures:
+                word |= 1 << bit
+        if self.any_failure:
+            word |= 1 << 15
+        return word
+
+    @classmethod
+    def unpack(cls, word: int) -> "StatusRegister":
+        if not 0 <= word <= 0xFFFF:
+            raise CodingError("status word outside 16 bits")
+        comparator_code = (word >> 10) & 0b11
+        if comparator_code not in _COMPARATOR_FROM_CODE:
+            raise CodingError(f"invalid comparator field {comparator_code:#04b}")
+        failures = {
+            kind for kind, bit in _FAILURE_BITS.items() if word & (1 << bit)
+        }
+        status = cls(
+            code=word & 0x7F,
+            comparator=_COMPARATOR_FROM_CODE[comparator_code],
+            failures=failures,
+        )
+        # Consistency: the summary bit must match the detail bits.
+        if bool(word & (1 << 15)) != status.any_failure:
+            raise CodingError("ANY_FAILURE bit inconsistent with flags")
+        return status
+
+    @classmethod
+    def from_system_trace(cls, trace) -> "StatusRegister":
+        """Snapshot the end state of a SystemTrace."""
+        comparator = ComparatorState.INSIDE
+        if trace.regulation_events:
+            comparator = trace.regulation_events[-1].comparator
+        return cls(
+            code=trace.final_code,
+            comparator=comparator,
+            failures=set(trace.failures),
+        )

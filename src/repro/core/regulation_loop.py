@@ -1,0 +1,151 @@
+"""Digital amplitude-regulation state machine (§4).
+
+Every regulation period (1 ms in the paper) the current-limitation
+code moves by +1, -1 or stays, depending on the window comparator.
+Because the window is wider than the largest relative DAC step the
+loop cannot jump across the window and limit-cycle; it also tolerates
+a non-monotonic DAC (the ±1 stepping eventually walks through any
+local reversal).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+from .constants import MAX_CODE, REGULATION_PERIOD
+from .window_comparator import ComparatorState, WindowComparator
+
+__all__ = ["RegulationAction", "RegulationEvent", "RegulationLoop"]
+
+
+class RegulationAction(enum.Enum):
+    """Decision taken at a regulation tick."""
+
+    UP = "up"
+    DOWN = "down"
+    HOLD = "hold"
+
+
+@dataclass(frozen=True)
+class RegulationEvent:
+    """One tick of the loop (for traceability / Fig 15 analysis)."""
+
+    time: float
+    detector_voltage: float
+    comparator: ComparatorState
+    action: RegulationAction
+    code_before: int
+    code_after: int
+
+
+@dataclass
+class RegulationLoop:
+    """The ±1/hold code regulator.
+
+    Parameters
+    ----------
+    comparator:
+        The amplitude window (detector-output volts).
+    initial_code:
+        Starting current-limitation code.
+    min_code / max_code:
+        Clamping range of the code counter.
+    period:
+        Tick period (informational; stepping is driven externally).
+    """
+
+    comparator: WindowComparator
+    initial_code: int
+    min_code: int = 0
+    max_code: int = MAX_CODE
+    period: float = REGULATION_PERIOD
+    enabled: bool = True
+    history: List[RegulationEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.min_code <= self.max_code <= MAX_CODE:
+            raise ConfigurationError("invalid code clamp range")
+        if not self.min_code <= self.initial_code <= self.max_code:
+            raise ConfigurationError("initial code outside clamp range")
+        if self.period <= 0:
+            raise ConfigurationError("period must be positive")
+        self._code = int(self.initial_code)
+
+    @property
+    def code(self) -> int:
+        """Current current-limitation code."""
+        return self._code
+
+    def set_code(self, code: int) -> None:
+        """Force the code (POR preset, NVM load, safety override)."""
+        if not self.min_code <= code <= self.max_code:
+            raise ConfigurationError(
+                f"code {code} outside {self.min_code}..{self.max_code}"
+            )
+        self._code = int(code)
+
+    def tick(self, time: float, detector_voltage: float) -> RegulationEvent:
+        """One regulation period: compare and step the code.
+
+        Low amplitude -> more current (code up); high amplitude ->
+        less current (code down); inside the window -> hold.
+        """
+        state = self.comparator.compare(detector_voltage)
+        before = self._code
+        if not self.enabled:
+            action = RegulationAction.HOLD
+        elif state is ComparatorState.BELOW:
+            action = RegulationAction.UP
+            self._code = min(self._code + 1, self.max_code)
+        elif state is ComparatorState.ABOVE:
+            action = RegulationAction.DOWN
+            self._code = max(self._code - 1, self.min_code)
+        else:
+            action = RegulationAction.HOLD
+        event = RegulationEvent(
+            time=time,
+            detector_voltage=detector_voltage,
+            comparator=state,
+            action=action,
+            code_before=before,
+            code_after=self._code,
+        )
+        self.history.append(event)
+        return event
+
+    # -- analysis helpers ------------------------------------------------------
+
+    def steps_taken(self) -> int:
+        """Number of ticks whose action changed the code."""
+        return sum(
+            1 for e in self.history if e.action is not RegulationAction.HOLD
+        )
+
+    def settled_at(self, consecutive_holds: int = 3) -> Optional[float]:
+        """Time of the first tick opening a run of N holds to the end."""
+        if consecutive_holds <= 0:
+            raise ConfigurationError("consecutive_holds must be positive")
+        run = 0
+        start: Optional[float] = None
+        for event in self.history:
+            if event.action is RegulationAction.HOLD:
+                if run == 0:
+                    start = event.time
+                run += 1
+            else:
+                run = 0
+                start = None
+        if run >= consecutive_holds:
+            return start
+        return None
+
+    def is_limit_cycling(self, window: int = 8, min_changes: int = 6) -> bool:
+        """Heuristic: many code changes among the last ``window`` ticks."""
+        tail = self.history[-window:]
+        if len(tail) < window:
+            return False
+        changes = sum(1 for e in tail if e.action is not RegulationAction.HOLD)
+        return changes >= min_changes

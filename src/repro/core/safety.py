@@ -1,0 +1,159 @@
+"""Safety monitors and failure reaction (§7, §9).
+
+Three on-chip detections are modelled:
+
+* **missing oscillations** — a fast comparator across LC1/LC2 makes a
+  clock; a watchdog flags when no edge arrives within the timeout;
+* **low amplitude** — the detector output stays below a fraction of
+  the regulation target for several regulation periods;
+* **asymmetry** — the synchronously-rectified mid-point ripple exceeds
+  a threshold (failed Cosc1/Cosc2).
+
+Reaction (§9): "If low amplitude or missing oscillations are detected,
+the oscillator driver is set to maximum output current and outputs of
+the complete system are set to safe values."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from ..digital.watchdog import WatchdogTimer
+from ..errors import ConfigurationError
+from .amplitude_detector import AsymmetryDetector
+from .constants import MAX_CODE
+
+__all__ = ["FailureKind", "SafetyConfig", "SafetyMonitors", "SafetyReaction"]
+
+
+class FailureKind(enum.Enum):
+    MISSING_OSCILLATION = "missing-oscillation"
+    LOW_AMPLITUDE = "low-amplitude"
+    ASYMMETRY = "asymmetry"
+
+
+@dataclass(frozen=True)
+class SafetyConfig:
+    """Thresholds of the three monitors.
+
+    Attributes
+    ----------
+    clock_min_amplitude:
+        Minimum peak differential amplitude for the fast comparator to
+        produce a clock (its input offset/sensitivity).
+    watchdog_timeout:
+        Missing-clock timeout.
+    low_amplitude_fraction:
+        Low-amplitude threshold as a fraction of the regulation target.
+    low_amplitude_ticks:
+        Consecutive regulation ticks below threshold before latching.
+    asymmetry_threshold:
+        Detector-output volts of rectified mid-point ripple.
+    """
+
+    clock_min_amplitude: float = 0.05
+    watchdog_timeout: float = 20e-6
+    low_amplitude_fraction: float = 0.5
+    low_amplitude_ticks: int = 3
+    asymmetry_threshold: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.clock_min_amplitude <= 0:
+            raise ConfigurationError("clock_min_amplitude must be positive")
+        if self.watchdog_timeout <= 0:
+            raise ConfigurationError("watchdog_timeout must be positive")
+        if not 0 < self.low_amplitude_fraction < 1:
+            raise ConfigurationError("low_amplitude_fraction must be in (0,1)")
+        if self.low_amplitude_ticks < 1:
+            raise ConfigurationError("low_amplitude_ticks must be >= 1")
+        if self.asymmetry_threshold <= 0:
+            raise ConfigurationError("asymmetry_threshold must be positive")
+
+
+@dataclass
+class SafetyReaction:
+    """What the chip does once a failure latches."""
+
+    force_max_code: bool = True
+    safe_outputs: bool = True
+
+    def forced_code(self) -> int:
+        return MAX_CODE
+
+
+class SafetyMonitors:
+    """Stateful evaluation of the three failure detections."""
+
+    def __init__(
+        self,
+        config: Optional[SafetyConfig] = None,
+        detector_target: float = 0.4,
+    ):
+        if detector_target <= 0:
+            raise ConfigurationError("detector_target must be positive")
+        self.config = config if config is not None else SafetyConfig()
+        self.detector_target = float(detector_target)
+        self.watchdog = WatchdogTimer(self.config.watchdog_timeout)
+        self.asymmetry_detector = AsymmetryDetector(
+            threshold=self.config.asymmetry_threshold
+        )
+        self._low_amp_count = 0
+        self._latched: Set[FailureKind] = set()
+        self._first_detection: Dict[FailureKind, float] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def arm(self, time: float) -> None:
+        """Start supervision (driver enable)."""
+        self.watchdog.arm(time)
+        self._low_amp_count = 0
+        self._latched.clear()
+        self._first_detection.clear()
+
+    @property
+    def failures(self) -> Set[FailureKind]:
+        return set(self._latched)
+
+    @property
+    def any_failure(self) -> bool:
+        return bool(self._latched)
+
+    def first_detection_time(self, kind: FailureKind) -> Optional[float]:
+        return self._first_detection.get(kind)
+
+    def _latch(self, kind: FailureKind, time: float) -> None:
+        if kind not in self._latched:
+            self._latched.add(kind)
+            self._first_detection[kind] = time
+
+    # -- fast path (sub-tick): clock supervision ---------------------------------
+
+    def observe_oscillation(self, time: float, peak_amplitude: float) -> None:
+        """Feed the fast comparator: amplitude above sensitivity = clock."""
+        if peak_amplitude >= self.config.clock_min_amplitude:
+            self.watchdog.kick(time)
+        if self.watchdog.expired(time):
+            self._latch(FailureKind.MISSING_OSCILLATION, time)
+
+    # -- slow path (per regulation tick) --------------------------------------------
+
+    def observe_tick(
+        self,
+        time: float,
+        detector_voltage: float,
+        amplitude_lc1: Optional[float] = None,
+        amplitude_lc2: Optional[float] = None,
+    ) -> None:
+        """Per-tick checks: low amplitude and (optionally) asymmetry."""
+        threshold = self.config.low_amplitude_fraction * self.detector_target
+        if detector_voltage < threshold:
+            self._low_amp_count += 1
+        else:
+            self._low_amp_count = 0
+        if self._low_amp_count >= self.config.low_amplitude_ticks:
+            self._latch(FailureKind.LOW_AMPLITUDE, time)
+        if amplitude_lc1 is not None and amplitude_lc2 is not None:
+            if self.asymmetry_detector.asymmetric(amplitude_lc1, amplitude_lc2):
+                self._latch(FailureKind.ASYMMETRY, time)

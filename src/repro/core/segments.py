@@ -1,0 +1,142 @@
+"""The 8-segment piece-wise-linear exponential law (Fig 3, Table 1).
+
+The 7-bit DAC code ``n`` splits into a 3-bit segment ``s = n >> 4`` and
+a 4-bit mantissa ``B = n & 15``.  The multiplication factor is::
+
+    M(n) = B                      for segment 0
+    M(n) = (16 + B) * 2**(s-1)    for segments 1..7
+
+which approximates the exponential ``I0 * (1+delta)**n`` required for a
+constant *relative* amplitude step (Eq 5/6) with a constant *absolute*
+step inside each segment — exactly the segmented mu-law idea the paper
+cites [4].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..errors import CodingError
+from .constants import MANTISSA_BITS, MAX_CODE, N_CODES
+
+__all__ = [
+    "Segment",
+    "SEGMENTS",
+    "split_code",
+    "join_code",
+    "segment_of_code",
+    "multiplication_factor",
+    "relative_step",
+    "all_multiplication_factors",
+    "code_for_factor",
+]
+
+_MANTISSA_MASK = (1 << MANTISSA_BITS) - 1
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One row of Table 1 (static part).
+
+    Attributes mirror the table columns: the per-code step, the factor
+    range covered, the prescaler setting, and how many Gm stages are
+    active.
+    """
+
+    index: int
+    step: int
+    range_min: int
+    range_max: int
+    prescale: int
+    active_gm_stages: int
+
+    @property
+    def code_min(self) -> int:
+        return self.index << MANTISSA_BITS
+
+    @property
+    def code_max(self) -> int:
+        return self.code_min + _MANTISSA_MASK
+
+
+#: Table 1, static columns.  step = 1,1,2,4,8,16,32,64;
+#: prescaler output = 1,1,2,2,4,4,8,8; active Gm stages = 1,2,2,3,3,5,5,9.
+SEGMENTS: Tuple[Segment, ...] = (
+    Segment(0, 1, 0, 15, 1, 1),
+    Segment(1, 1, 16, 31, 1, 2),
+    Segment(2, 2, 32, 62, 2, 2),
+    Segment(3, 4, 64, 124, 2, 3),
+    Segment(4, 8, 128, 248, 4, 3),
+    Segment(5, 16, 256, 496, 4, 5),
+    Segment(6, 32, 512, 992, 8, 5),
+    Segment(7, 64, 1024, 1984, 8, 9),
+)
+
+
+def _check_code(code: int) -> int:
+    if not isinstance(code, (int,)) or isinstance(code, bool):
+        raise CodingError(f"code must be an int, got {type(code).__name__}")
+    if not 0 <= code <= MAX_CODE:
+        raise CodingError(f"code {code} outside 0..{MAX_CODE}")
+    return int(code)
+
+
+def split_code(code: int) -> Tuple[int, int]:
+    """Split a 7-bit code into (segment, mantissa)."""
+    code = _check_code(code)
+    return code >> MANTISSA_BITS, code & _MANTISSA_MASK
+
+
+def join_code(segment: int, mantissa: int) -> int:
+    """Inverse of :func:`split_code`."""
+    if not 0 <= segment < len(SEGMENTS):
+        raise CodingError(f"segment {segment} outside 0..{len(SEGMENTS) - 1}")
+    if not 0 <= mantissa <= _MANTISSA_MASK:
+        raise CodingError(f"mantissa {mantissa} outside 0..{_MANTISSA_MASK}")
+    return (segment << MANTISSA_BITS) | mantissa
+
+
+def segment_of_code(code: int) -> Segment:
+    """The :class:`Segment` a code belongs to."""
+    seg, _b = split_code(code)
+    return SEGMENTS[seg]
+
+
+def multiplication_factor(code: int) -> int:
+    """Ideal multiplication factor ``M(n)`` of Fig 3."""
+    seg, mantissa = split_code(code)
+    if seg == 0:
+        return mantissa
+    return (16 + mantissa) * (1 << (seg - 1))
+
+
+def relative_step(code: int) -> float:
+    """Relative factor step ``(M(n) - M(n-1)) / M(n-1)`` (Fig 4).
+
+    Defined for codes >= 2 (M(0) = 0 and M(1) = 1 give an infinite /
+    100 % step which the paper's Fig 4 also omits).
+    """
+    code = _check_code(code)
+    if code < 2:
+        raise CodingError("relative step defined for codes >= 2")
+    previous = multiplication_factor(code - 1)
+    return (multiplication_factor(code) - previous) / previous
+
+
+def all_multiplication_factors() -> List[int]:
+    """M(n) for every code 0..127 (the Fig 3 curve)."""
+    return [multiplication_factor(code) for code in range(N_CODES)]
+
+
+def code_for_factor(target: float) -> int:
+    """Smallest code whose factor is >= ``target`` (clamped to 127).
+
+    Handy for picking an NVM preset from a desired current limit.
+    """
+    if target <= 0:
+        return 0
+    for code in range(N_CODES):
+        if multiplication_factor(code) >= target:
+            return code
+    return MAX_CODE

@@ -1,0 +1,87 @@
+"""Startup sequencing (§4, last paragraph).
+
+At power-on-reset the current limitation is preset to code 105 — below
+the maximum code but high enough to start the oscillator even when the
+application will finally need the full amplitude, and drawing only
+about 40 % of the maximum current during startup.  A few microseconds
+later the NVM is read and the code jumps to the application preset,
+which speeds up amplitude settling; regulation then takes over.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..digital.nvm import NonVolatileMemory
+from ..errors import ConfigurationError
+from .constants import NVM_READ_DELAY, POR_CODE
+from .segments import multiplication_factor
+
+__all__ = ["StartupPhase", "StartupSequencer", "startup_current_fraction"]
+
+
+def startup_current_fraction(por_code: int = POR_CODE) -> float:
+    """Current at the POR preset relative to the maximum code.
+
+    The paper quotes "approx. 40 % of the maximum current consumption";
+    code 105 gives M(105)/M(127) = 832/1984 ≈ 0.42.
+    """
+    return multiplication_factor(por_code) / multiplication_factor(127)
+
+
+class StartupPhase(enum.Enum):
+    DISABLED = "disabled"
+    POR_PRESET = "por-preset"
+    NVM_PRESET = "nvm-preset"
+    REGULATING = "regulating"
+
+
+@dataclass
+class StartupSequencer:
+    """Time-driven code source during the startup sequence.
+
+    Call :meth:`enable` at t0, then :meth:`phase_at`/:meth:`code_at`
+    with simulation time.  After ``nvm_delay`` the code is the NVM
+    preset; regulation (external) should take over from the first
+    regulation tick, at which point callers stop consulting the
+    sequencer.
+    """
+
+    nvm: NonVolatileMemory
+    por_code: int = POR_CODE
+    nvm_delay: float = NVM_READ_DELAY
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.por_code <= 127:
+            raise ConfigurationError("POR code must be 7-bit")
+        if self.nvm_delay < 0:
+            raise ConfigurationError("nvm_delay must be >= 0")
+        self._enable_time: Optional[float] = None
+
+    def enable(self, time: float) -> None:
+        self._enable_time = float(time)
+
+    def disable(self) -> None:
+        self._enable_time = None
+
+    @property
+    def enabled(self) -> bool:
+        return self._enable_time is not None
+
+    def phase_at(self, time: float) -> StartupPhase:
+        if self._enable_time is None or time < self._enable_time:
+            return StartupPhase.DISABLED
+        if time < self._enable_time + self.nvm_delay:
+            return StartupPhase.POR_PRESET
+        return StartupPhase.NVM_PRESET
+
+    def code_at(self, time: float) -> int:
+        """The forced code during startup (0 when disabled)."""
+        phase = self.phase_at(time)
+        if phase is StartupPhase.DISABLED:
+            return 0
+        if phase is StartupPhase.POR_PRESET:
+            return self.por_code
+        return self.nvm.read_amplitude_code()

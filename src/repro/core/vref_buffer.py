@@ -1,0 +1,99 @@
+"""Mid-supply reference buffer (paper §6).
+
+"The Vref point is connected to the middle of the supply voltage to
+control the DC operating point of the oscillator.  To keep the DC
+operating point constant when the oscillator in dual system mode is
+overdriven from the other system, despite additional power consumption
+(typically 120 uA) a transimpedance amplifier is used with two output
+stages working in class A."
+
+The behavioural model: a transimpedance buffer holding ``Vdd/2`` with
+finite output resistance, class-A source/sink limits, and a quiescent
+consumption that rises by the overdrive current (class A: the stage
+conducts the injected current on top of its bias).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["VrefBuffer", "OVERDRIVE_CONSUMPTION_TYPICAL"]
+
+#: Paper §6: "additional power consumption (typically 120 uA)".
+OVERDRIVE_CONSUMPTION_TYPICAL = 120e-6
+
+
+@dataclass
+class VrefBuffer:
+    """Class-A mid-supply buffer with transimpedance regulation.
+
+    Parameters
+    ----------
+    vdd:
+        Supply voltage; the reference sits at ``vdd/2``.
+    output_resistance:
+        Closed-loop output resistance of the transimpedance stage.
+    class_a_limit:
+        Maximum current each output stage can source or sink while
+        staying in class A; beyond it the reference starts to slip.
+    quiescent_current:
+        Bias consumption with no injected current.
+    """
+
+    vdd: float = 3.3
+    output_resistance: float = 50.0
+    class_a_limit: float = 250e-6
+    quiescent_current: float = 40e-6
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0:
+            raise ConfigurationError("vdd must be positive")
+        if self.output_resistance <= 0:
+            raise ConfigurationError("output_resistance must be positive")
+        if self.class_a_limit <= 0:
+            raise ConfigurationError("class_a_limit must be positive")
+        if self.quiescent_current < 0:
+            raise ConfigurationError("quiescent_current must be >= 0")
+
+    @property
+    def nominal_vref(self) -> float:
+        return self.vdd / 2.0
+
+    def output_voltage(self, injected_current: float) -> float:
+        """Vref under an injected (overdrive) DC current.
+
+        Positive ``injected_current`` flows *into* the Vref pin (the
+        buffer must sink it).  Within the class-A limit the reference
+        moves only by ``i * Rout``; beyond the limit the stage runs out
+        of bias and the excess current slips the node hard (modelled
+        with a 20x higher incremental resistance).
+        """
+        i = injected_current
+        limit = self.class_a_limit
+        if abs(i) <= limit:
+            return self.nominal_vref - i * self.output_resistance
+        excess = abs(i) - limit
+        drop = limit * self.output_resistance + excess * 20.0 * self.output_resistance
+        return self.nominal_vref - drop * (1.0 if i > 0 else -1.0)
+
+    def supply_current(self, injected_current: float) -> float:
+        """Total buffer consumption under overdrive.
+
+        Class A: the stage carries the injected current on top of the
+        quiescent bias (clamped at the class-A limit — beyond it the
+        stage cannot conduct more).
+        """
+        conducted = min(abs(injected_current), self.class_a_limit)
+        return self.quiescent_current + conducted
+
+    def regulation_ok(self, injected_current: float, tolerance: float = 0.1) -> bool:
+        """Is the DC operating point held within ``tolerance`` volts?"""
+        if tolerance <= 0:
+            raise ConfigurationError("tolerance must be positive")
+        return abs(self.output_voltage(injected_current) - self.nominal_vref) <= tolerance
+
+    def typical_overdrive_consumption(self) -> float:
+        """Consumption at the paper's typical overdrive (§6)."""
+        return self.supply_current(OVERDRIVE_CONSUMPTION_TYPICAL)

@@ -1,0 +1,81 @@
+"""Window comparator for amplitude regulation (Fig 8, §4).
+
+The rectified-and-filtered amplitude is compared against two reference
+voltages (VR3, VR4 in the paper, derived from the bandgap).  A window
+comparator — rather than a single threshold — minimizes the number of
+current-limitation changes in steady state.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .constants import MAX_RELATIVE_STEP
+
+__all__ = ["ComparatorState", "WindowComparator", "design_window"]
+
+
+class ComparatorState(enum.Enum):
+    """Output of the window comparator."""
+
+    BELOW = "below"
+    INSIDE = "inside"
+    ABOVE = "above"
+
+
+@dataclass(frozen=True)
+class WindowComparator:
+    """Two-threshold comparator; thresholds in detector-output volts."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low <= 0:
+            raise ConfigurationError("window low threshold must be positive")
+        if self.high <= self.low:
+            raise ConfigurationError("window high must exceed low")
+
+    @property
+    def center(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    @property
+    def relative_width(self) -> float:
+        """Window width relative to its center."""
+        return (self.high - self.low) / self.center
+
+    def compare(self, value: float) -> ComparatorState:
+        if value < self.low:
+            return ComparatorState.BELOW
+        if value > self.high:
+            return ComparatorState.ABOVE
+        return ComparatorState.INSIDE
+
+    def is_wider_than_step(self, max_relative_step: float = MAX_RELATIVE_STEP) -> bool:
+        """§4 design rule: the window must exceed the largest DAC step.
+
+        Otherwise a single ±1 code step could jump across the window
+        and the loop would limit-cycle.
+        """
+        return self.relative_width > max_relative_step
+
+
+def design_window(
+    target: float,
+    max_relative_step: float = MAX_RELATIVE_STEP,
+    margin: float = 1.3,
+) -> WindowComparator:
+    """Build a window centred on ``target``, wider than the max step.
+
+    ``margin`` > 1 scales the window beyond the strict minimum; the
+    default gives a window of ~8.1 % for the 6.25 % worst-case step.
+    """
+    if target <= 0:
+        raise ConfigurationError("target must be positive")
+    if margin <= 1.0:
+        raise ConfigurationError("margin must exceed 1 (window must beat the step)")
+    half = 0.5 * margin * max_relative_step * target
+    return WindowComparator(low=target - half, high=target + half)

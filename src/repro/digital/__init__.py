@@ -1,0 +1,14 @@
+"""Digital building blocks: event kernel, watchdog, NVM, POR."""
+
+from .events import EventScheduler, RecurringEvent
+from .nvm import NonVolatileMemory
+from .por import PowerOnReset
+from .watchdog import WatchdogTimer
+
+__all__ = [
+    "EventScheduler",
+    "RecurringEvent",
+    "NonVolatileMemory",
+    "PowerOnReset",
+    "WatchdogTimer",
+]

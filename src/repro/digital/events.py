@@ -1,0 +1,112 @@
+"""A minimal discrete-event simulation kernel.
+
+Used for the digital side of the oscillator (regulation tick, watchdog
+timeout, POR/NVM sequencing).  Events are callbacks scheduled at
+absolute times; ties are broken by insertion order so behaviour is
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+__all__ = ["EventScheduler", "RecurringEvent"]
+
+
+class EventScheduler:
+    """Deterministic event queue with absolute-time scheduling."""
+
+    def __init__(self):
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute ``time`` (>= now)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past (t={time:g} < now={self._now:g})"
+            )
+        heapq.heappush(self._queue, (time, next(self._counter), callback))
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError("delay must be non-negative")
+        self.schedule_at(self._now + delay, callback)
+
+    def run_until(self, t_stop: float) -> int:
+        """Execute all events up to and including ``t_stop``.
+
+        Returns the number of events executed and leaves ``now`` at
+        ``t_stop``.
+        """
+        if t_stop < self._now:
+            raise SimulationError("t_stop is in the past")
+        executed = 0
+        while self._queue and self._queue[0][0] <= t_stop:
+            time, _seq, callback = heapq.heappop(self._queue)
+            self._now = time
+            callback()
+            executed += 1
+        self._now = t_stop
+        return executed
+
+    def run_next(self) -> bool:
+        """Execute the single next event; returns False if queue empty."""
+        if not self._queue:
+            return False
+        time, _seq, callback = heapq.heappop(self._queue)
+        self._now = time
+        callback()
+        return True
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+
+class RecurringEvent:
+    """A periodic callback (e.g. the 1 ms regulation tick).
+
+    The callback receives the scheduler time.  Cancelling stops future
+    occurrences.
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        period: float,
+        callback: Callable[[float], None],
+        start_delay: Optional[float] = None,
+    ):
+        if period <= 0:
+            raise SimulationError("period must be positive")
+        self._scheduler = scheduler
+        self._period = period
+        self._callback = callback
+        self._cancelled = False
+        first = period if start_delay is None else start_delay
+        scheduler.schedule_after(first, self._fire)
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self._callback(self._scheduler.now)
+        self._scheduler.schedule_after(self._period, self._fire)
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled

@@ -1,0 +1,52 @@
+"""Behavioural non-volatile memory holding the amplitude preset code.
+
+The paper (§4): a power-on-reset sets the current limitation to code
+105; a few microseconds later the NVM is read and the code jumps to a
+predefined value to speed up amplitude settling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import ConfigurationError
+
+__all__ = ["NonVolatileMemory"]
+
+
+class NonVolatileMemory:
+    """A tiny word-addressable NVM with a read latency.
+
+    Only the amplitude preset word is used by the oscillator, but the
+    model is generic enough for the rest of the product family.
+    """
+
+    #: Address of the oscillator amplitude preset code.
+    ADDR_AMPLITUDE_CODE = 0x00
+
+    def __init__(self, read_latency: float = 2e-6):
+        if read_latency < 0:
+            raise ConfigurationError("read latency must be >= 0")
+        self.read_latency = float(read_latency)
+        self._words: Dict[int, int] = {}
+
+    def program(self, address: int, value: int) -> None:
+        """Factory programming of a word (0..255)."""
+        if not 0 <= value <= 255:
+            raise ConfigurationError("NVM stores 8-bit words")
+        if address < 0:
+            raise ConfigurationError("address must be non-negative")
+        self._words[address] = int(value)
+
+    def read(self, address: int) -> int:
+        """Read a word; unprogrammed cells read as erased (0xFF)."""
+        return self._words.get(address, 0xFF)
+
+    def program_amplitude_code(self, code: int) -> None:
+        if not 0 <= code <= 127:
+            raise ConfigurationError("amplitude code must be a 7-bit value")
+        self.program(self.ADDR_AMPLITUDE_CODE, code)
+
+    def read_amplitude_code(self) -> int:
+        """The preset code, clamped into the 7-bit DAC range."""
+        return min(self.read(self.ADDR_AMPLITUDE_CODE), 127)

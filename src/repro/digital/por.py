@@ -1,0 +1,39 @@
+"""Power-on-reset model.
+
+Generates a reset that asserts while the supply is below a threshold
+and releases a fixed delay after the supply is good, as the startup
+sequencing of the oscillator expects.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+__all__ = ["PowerOnReset"]
+
+
+class PowerOnReset:
+    """Threshold + delay POR, driven by explicit (time, vdd) samples."""
+
+    def __init__(self, threshold: float = 2.4, release_delay: float = 10e-6):
+        if threshold <= 0:
+            raise ConfigurationError("POR threshold must be positive")
+        if release_delay < 0:
+            raise ConfigurationError("release delay must be >= 0")
+        self.threshold = float(threshold)
+        self.release_delay = float(release_delay)
+        self._good_since = None  # type: float | None
+
+    def update(self, time: float, vdd: float) -> bool:
+        """Feed a supply sample; returns True while reset is asserted."""
+        if vdd < self.threshold:
+            self._good_since = None
+            return True
+        if self._good_since is None:
+            self._good_since = float(time)
+        return (time - self._good_since) < self.release_delay
+
+    @property
+    def supply_good_since(self):
+        """Time the supply last became good, or None."""
+        return self._good_since

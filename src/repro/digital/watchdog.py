@@ -1,0 +1,61 @@
+"""Missing-clock timeout circuit (paper §7, "Missing oscillations").
+
+A fast comparator across the LC1/LC2 pins produces a clock; this
+watchdog flags a failure when no clock edge arrives within the timeout.
+It is written time-explicitly (``kick(t)`` / ``expired(t)``) so it can
+be driven both from the event kernel and from the fixed-tick system
+simulation.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+__all__ = ["WatchdogTimer"]
+
+
+class WatchdogTimer:
+    """Retriggerable timeout detector."""
+
+    def __init__(self, timeout: float):
+        if timeout <= 0:
+            raise ConfigurationError("watchdog timeout must be positive")
+        self.timeout = float(timeout)
+        self._last_kick = 0.0
+        self._armed = False
+        self._latched = False
+
+    def arm(self, time: float) -> None:
+        """Start supervision at ``time`` (e.g. driver enable)."""
+        self._armed = True
+        self._latched = False
+        self._last_kick = float(time)
+
+    def disarm(self) -> None:
+        self._armed = False
+
+    @property
+    def armed(self) -> bool:
+        return self._armed
+
+    def kick(self, time: float) -> None:
+        """Record a clock edge at ``time``."""
+        if not self._armed:
+            return
+        if time >= self._last_kick:
+            self._last_kick = float(time)
+
+    def expired(self, time: float) -> bool:
+        """True if the timeout elapsed without a kick (latched)."""
+        if not self._armed:
+            return False
+        if self._latched:
+            return True
+        if time - self._last_kick > self.timeout:
+            self._latched = True
+        return self._latched
+
+    def clear(self, time: float) -> None:
+        """Clear a latched failure and restart supervision."""
+        self._latched = False
+        self._last_kick = float(time)

@@ -1,0 +1,37 @@
+"""Averaged (envelope) oscillator models: tank math, describing
+functions of saturating drivers, and amplitude dynamics."""
+
+from .describing import (
+    HardLimiter,
+    K_SQUARE_WAVE,
+    LimiterCharacteristic,
+    TanhLimiter,
+    delivered_power,
+    effective_gm,
+    fundamental_current,
+    k_factor,
+    mean_abs_current,
+)
+from .phase_noise import LeesonModel
+from .locking import InjectionLocking, frequency_mismatch_from_tolerances
+from .dynamics import EnvelopeModel, small_signal_growth_rate, steady_state_amplitude
+from .tank import RLCTank
+
+__all__ = [
+    "HardLimiter",
+    "K_SQUARE_WAVE",
+    "LimiterCharacteristic",
+    "TanhLimiter",
+    "delivered_power",
+    "effective_gm",
+    "fundamental_current",
+    "k_factor",
+    "mean_abs_current",
+    "LeesonModel",
+    "InjectionLocking",
+    "frequency_mismatch_from_tolerances",
+    "EnvelopeModel",
+    "small_signal_growth_rate",
+    "steady_state_amplitude",
+    "RLCTank",
+]

@@ -1,0 +1,106 @@
+"""Injection locking of coupled oscillators (Adler's equation).
+
+Paper §8: in the redundant configuration "the two systems are running
+at the same frequency" with mutually coupled excitation coils.  Two
+free-running LC oscillators only share a frequency when the coupling
+pulls them into injection lock; this module provides the classic Adler
+analysis to check that the sensor's coupling and component tolerances
+actually guarantee lock.
+
+For an oscillator of resonance ``w0`` and quality ``Q`` receiving an
+injected signal ``V_inj`` relative to its own swing ``V_osc``::
+
+    lock range (one side):  w_L = (w0 / (2 Q)) * (V_inj / V_osc)
+    locked phase offset:    sin(phi) = dw / w_L
+    unlocked beat:          w_beat = sqrt(dw^2 - w_L^2)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .tank import RLCTank
+
+__all__ = ["InjectionLocking", "frequency_mismatch_from_tolerances"]
+
+
+def frequency_mismatch_from_tolerances(
+    l_tolerance: float, c_tolerance: float
+) -> float:
+    """Worst-case relative frequency mismatch of two LC oscillators.
+
+    ``w0 = sqrt(2/(L C))`` so a relative error ``dL`` and ``dC`` shift
+    the frequency by approximately ``(dL + dC) / 2``; two units can be
+    off in opposite directions, doubling it again.
+    """
+    if l_tolerance < 0 or c_tolerance < 0:
+        raise ConfigurationError("tolerances must be >= 0")
+    return l_tolerance + c_tolerance
+
+
+@dataclass(frozen=True)
+class InjectionLocking:
+    """Adler-model analysis of one oscillator under injection.
+
+    Parameters
+    ----------
+    tank:
+        The oscillator's resonance network (supplies w0 and Q).
+    injection_ratio:
+        ``V_inj / V_osc`` — for coupled excitation coils running at
+        similar amplitudes this is approximately the coupling
+        coefficient ``k``.
+    """
+
+    tank: RLCTank
+    injection_ratio: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.injection_ratio < 1:
+            raise ConfigurationError("injection_ratio must be in (0, 1)")
+
+    @property
+    def lock_range(self) -> float:
+        """One-sided lock range in rad/s."""
+        return (
+            self.tank.omega0
+            / (2.0 * self.tank.quality_factor)
+            * self.injection_ratio
+        )
+
+    @property
+    def relative_lock_range(self) -> float:
+        """Lock range as a fraction of the carrier frequency."""
+        return self.lock_range / self.tank.omega0
+
+    def locks(self, relative_detuning: float) -> bool:
+        """Does an oscillator detuned by ``df/f0`` lock to the injection?"""
+        delta_omega = abs(relative_detuning) * self.tank.omega0
+        return delta_omega <= self.lock_range
+
+    def locked_phase(self, relative_detuning: float) -> float:
+        """Steady phase offset (radians) inside the lock range."""
+        delta_omega = relative_detuning * self.tank.omega0
+        ratio = delta_omega / self.lock_range
+        if abs(ratio) > 1.0 + 1e-9:
+            raise ConfigurationError(
+                "detuning outside the lock range — no steady phase exists"
+            )
+        return math.asin(max(-1.0, min(1.0, ratio)))
+
+    def beat_frequency(self, relative_detuning: float) -> float:
+        """Average beat frequency (Hz) outside the lock range.
+
+        Inside the lock range the beat is zero (the oscillators run
+        synchronously).
+        """
+        delta_omega = abs(relative_detuning) * self.tank.omega0
+        if delta_omega <= self.lock_range:
+            return 0.0
+        return math.sqrt(delta_omega**2 - self.lock_range**2) / (2.0 * math.pi)
+
+    def max_tolerable_detuning(self) -> float:
+        """Largest ``df/f0`` that still locks — the tolerance budget."""
+        return self.relative_lock_range

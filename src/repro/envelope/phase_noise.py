@@ -1,0 +1,100 @@
+"""Leeson-model phase-noise estimate for the LC oscillator.
+
+The paper cites Hajimiri & Lee, "Design issues in CMOS differential LC
+oscillators" [3]; while it reports no phase-noise figure, the driver's
+design levers (tank Q, oscillation amplitude = signal power, limiting)
+map directly onto Leeson's formula::
+
+    L(df) = 10 log10( (2 F k T / P_sig) * (1 + (f0 / (2 Q df))^2) )
+
+with ``P_sig = V_rms^2 / Rp`` the power dissipated in the tank and
+``F`` an empirical noise factor of the active device.  This module
+gives the standard engineering estimate used to sanity-check such a
+driver — higher Q and higher regulated amplitude both lower the noise,
+which is why the amplitude regulation indirectly also serves spectral
+purity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .tank import RLCTank
+
+__all__ = ["LeesonModel", "BOLTZMANN"]
+
+BOLTZMANN = 1.380649e-23
+
+
+@dataclass(frozen=True)
+class LeesonModel:
+    """Phase-noise estimate of the driven tank.
+
+    Parameters
+    ----------
+    tank:
+        The resonance network (Q, Rp, f0).
+    amplitude_peak:
+        Regulated peak differential amplitude.
+    noise_factor:
+        Leeson's F (>= 1); 2..3 is typical for a hard-limited
+        cross-coupled pair.
+    temperature_k:
+        Absolute temperature.
+    """
+
+    tank: RLCTank
+    amplitude_peak: float
+    noise_factor: float = 2.5
+    temperature_k: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.amplitude_peak <= 0:
+            raise ConfigurationError("amplitude must be positive")
+        if self.noise_factor < 1.0:
+            raise ConfigurationError("noise factor must be >= 1")
+        if self.temperature_k <= 0:
+            raise ConfigurationError("temperature must be positive")
+
+    @property
+    def signal_power(self) -> float:
+        """Power dissipated in the tank at the regulated amplitude."""
+        v_rms = self.amplitude_peak / math.sqrt(2.0)
+        return v_rms * v_rms / self.tank.parallel_resistance
+
+    @property
+    def leeson_corner(self) -> float:
+        """Half bandwidth ``f0 / (2 Q)`` — the -20 dB/dec corner."""
+        return self.tank.frequency / (2.0 * self.tank.quality_factor)
+
+    def phase_noise_dbc(self, offset_hz: float) -> float:
+        """L(df) in dBc/Hz at the given offset from the carrier."""
+        if offset_hz <= 0:
+            raise ConfigurationError("offset must be positive")
+        thermal = 2.0 * self.noise_factor * BOLTZMANN * self.temperature_k
+        corner = self.leeson_corner / offset_hz
+        ratio = (thermal / self.signal_power) * (1.0 + corner * corner)
+        return 10.0 * math.log10(ratio)
+
+    def jitter_ppm(self, offset_hz: float, bandwidth_hz: float) -> float:
+        """Crude integrated phase jitter over a band around ``offset``.
+
+        Integrates the -20 dB/dec region analytically between
+        ``offset`` and ``offset + bandwidth``; returned as RMS ppm of
+        the carrier period.  Good enough for comparing design points.
+        """
+        if bandwidth_hz <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        thermal = 2.0 * self.noise_factor * BOLTZMANN * self.temperature_k
+        corner = self.leeson_corner
+        # Integral of (corner/f)^2 df from f1 to f2 = corner^2 (1/f1 - 1/f2)
+        f1 = offset_hz
+        f2 = offset_hz + bandwidth_hz
+        power = (thermal / self.signal_power) * (
+            (bandwidth_hz) + corner * corner * (1.0 / f1 - 1.0 / f2)
+        )
+        # Phase variance (rad^2) -> rms radians -> ppm of a period.
+        rms_rad = math.sqrt(2.0 * power)
+        return rms_rad / (2.0 * math.pi) * 1e6

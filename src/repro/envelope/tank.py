@@ -1,0 +1,127 @@
+"""Analytic model of the external LC resonance network (Fig 1).
+
+Topology: the sensor coil ``L`` with all losses lumped into a series
+resistance ``Rs`` is connected between the LC1 and LC2 pins; equal
+capacitors ``C = Cosc1 = Cosc2`` go from each pin to an AC ground
+(Vref).  Differentially the two capacitors appear in series, so the
+tank seen by the driver is ``L + Rs`` in parallel with ``C/2``.
+
+Derived quantities (documented convention, see DESIGN.md):
+
+* ``omega0 = sqrt(2 / (L C))`` — resonance (high-Q approximation),
+* ``Q = omega0 L / Rs``,
+* ``Rp = (Rs^2 + (omega0 L)^2) / Rs ≈ 2 L / (C Rs)`` — equivalent
+  parallel loss resistance at resonance,
+* loss power at peak differential amplitude ``A``: ``A^2 / (2 Rp)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["RLCTank"]
+
+
+@dataclass(frozen=True)
+class RLCTank:
+    """External resonance network parameters (all SI units)."""
+
+    inductance: float
+    capacitance: float  # each of Cosc1 / Cosc2
+    series_resistance: float
+
+    def __post_init__(self) -> None:
+        if self.inductance <= 0:
+            raise ConfigurationError("inductance must be positive")
+        if self.capacitance <= 0:
+            raise ConfigurationError("capacitance must be positive")
+        if self.series_resistance <= 0:
+            raise ConfigurationError("series_resistance must be positive")
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_frequency_and_q(
+        cls, frequency: float, quality_factor: float, inductance: float
+    ) -> "RLCTank":
+        """Build a tank with given resonance frequency, Q, and coil L."""
+        if frequency <= 0 or quality_factor <= 0 or inductance <= 0:
+            raise ConfigurationError("frequency, Q, and L must be positive")
+        omega0 = 2.0 * math.pi * frequency
+        capacitance = 2.0 / (omega0 * omega0 * inductance)
+        series_resistance = omega0 * inductance / quality_factor
+        return cls(inductance, capacitance, series_resistance)
+
+    # -- derived quantities ----------------------------------------------------
+
+    @property
+    def differential_capacitance(self) -> float:
+        """Capacitance seen differentially across the coil (C/2)."""
+        return 0.5 * self.capacitance
+
+    @property
+    def omega0(self) -> float:
+        """Angular resonance frequency (rad/s)."""
+        return math.sqrt(2.0 / (self.inductance * self.capacitance))
+
+    @property
+    def frequency(self) -> float:
+        """Resonance frequency in Hz."""
+        return self.omega0 / (2.0 * math.pi)
+
+    @property
+    def quality_factor(self) -> float:
+        """Unloaded quality factor ``omega0 L / Rs``."""
+        return self.omega0 * self.inductance / self.series_resistance
+
+    @property
+    def parallel_resistance(self) -> float:
+        """Exact series-to-parallel transformed loss resistance at omega0."""
+        xl = self.omega0 * self.inductance
+        rs = self.series_resistance
+        return (rs * rs + xl * xl) / rs
+
+    @property
+    def characteristic_impedance(self) -> float:
+        """``sqrt(L / C_diff)`` — peak-energy impedance scale of the tank."""
+        return math.sqrt(self.inductance / self.differential_capacitance)
+
+    # -- energies and powers -------------------------------------------------------
+
+    def stored_energy(self, peak_amplitude: float) -> float:
+        """Total stored energy for a peak differential voltage ``A``."""
+        if peak_amplitude < 0:
+            raise ConfigurationError("amplitude must be non-negative")
+        c = self.differential_capacitance
+        return 0.5 * c * peak_amplitude * peak_amplitude
+
+    def loss_power(self, peak_amplitude: float) -> float:
+        """Average power dissipated in Rs at peak amplitude ``A``."""
+        if peak_amplitude < 0:
+            raise ConfigurationError("amplitude must be non-negative")
+        return peak_amplitude * peak_amplitude / (2.0 * self.parallel_resistance)
+
+    def ring_down_tau(self) -> float:
+        """Amplitude decay time constant of the unloaded tank.
+
+        ``A(t) = A0 exp(-t / tau)`` with ``tau = 2 Q / omega0``
+        (equivalently ``2 Rp C_diff``).
+        """
+        return 2.0 * self.quality_factor / self.omega0
+
+    def scaled(self, q_factor_scale: float) -> "RLCTank":
+        """A tank with the same L, C but Q scaled by ``q_factor_scale``.
+
+        Used for the paper's "quality factor can vary two decades"
+        sweeps: scaling Q means scaling Rs inversely.
+        """
+        if q_factor_scale <= 0:
+            raise ConfigurationError("q_factor_scale must be positive")
+        return RLCTank(
+            self.inductance,
+            self.capacitance,
+            self.series_resistance / q_factor_scale,
+        )

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError` so callers can catch library errors without
+catching programming mistakes (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "NetlistError",
+    "ConvergenceError",
+    "AnalysisError",
+    "CodingError",
+    "SimulationError",
+    "FaultError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NetlistError(ReproError):
+    """Raised for malformed circuit netlists.
+
+    Examples: duplicate component names, references to undeclared
+    nodes, components with a non-positive element value where one is
+    required.
+    """
+
+
+class ConvergenceError(ReproError):
+    """Raised when a nonlinear (Newton) solve fails to converge.
+
+    Carries the iteration count and the final residual norm so the
+    caller can decide whether to retry with different homotopy settings.
+    """
+
+    def __init__(self, message: str, iterations: int = 0, residual: float = float("nan")):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class AnalysisError(ReproError):
+    """Raised when a waveform measurement cannot be performed.
+
+    Example: asking for the oscillation frequency of a waveform that
+    contains no zero crossings.
+    """
+
+
+class CodingError(ReproError):
+    """Raised for invalid DAC codes or control-bus words."""
+
+
+class SimulationError(ReproError):
+    """Raised when a behavioural simulation is configured inconsistently."""
+
+
+class FaultError(ReproError):
+    """Raised for unknown fault identifiers or invalid fault parameters."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when user-supplied configuration values are out of range."""

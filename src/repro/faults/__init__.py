@@ -1,0 +1,16 @@
+"""FMEA fault catalog, injection campaign and coverage reporting."""
+
+from .campaign import CampaignResult, FaultCampaign, FaultResult
+from .coverage import coverage_summary, coverage_table
+from .models import FaultSpec, fault_by_name, standard_fault_catalog
+
+__all__ = [
+    "CampaignResult",
+    "FaultCampaign",
+    "FaultResult",
+    "coverage_summary",
+    "coverage_table",
+    "FaultSpec",
+    "fault_by_name",
+    "standard_fault_catalog",
+]

@@ -1,0 +1,139 @@
+"""FMEA campaign runner: inject every fault, record every detection.
+
+For each fault in the catalog a fresh system is built, run fault-free
+until the loop settles, the fault is injected, and the run continues.
+The campaign records which on-chip detection latched and how long it
+took — the reproduction of the §7 FMEA evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..core.oscillator_system import OscillatorConfig, OscillatorDriverSystem
+from ..core.safety import FailureKind
+from ..errors import FaultError
+from .models import FaultSpec, standard_fault_catalog
+
+__all__ = ["FaultResult", "CampaignResult", "FaultCampaign"]
+
+
+@dataclass(frozen=True)
+class FaultResult:
+    """Outcome of one fault injection."""
+
+    spec: FaultSpec
+    detections: dict
+    injection_time: float
+    final_code: int
+    final_amplitude: float
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.detections)
+
+    @property
+    def correctly_detected(self) -> bool:
+        """Expected detection raised (system-level faults: no on-chip
+        flag expected, so 'correct' means silent)."""
+        if self.spec.expected_detection is None:
+            return True
+        return self.spec.expected_detection in self.detections
+
+    @property
+    def detection_latency(self) -> Optional[float]:
+        """Time from injection to the expected flag, if raised."""
+        kind = self.spec.expected_detection
+        if kind is None or kind not in self.detections:
+            return None
+        return self.detections[kind] - self.injection_time
+
+
+@dataclass
+class CampaignResult:
+    """All fault results plus the fault-free baseline."""
+
+    results: List[FaultResult]
+    baseline_failures: dict
+
+    @property
+    def n_faults(self) -> int:
+        return len(self.results)
+
+    @property
+    def n_correct(self) -> int:
+        return sum(1 for r in self.results if r.correctly_detected)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of on-chip-detectable faults correctly detected."""
+        detectable = [r for r in self.results if r.spec.on_chip_detectable]
+        if not detectable:
+            return 1.0
+        return sum(1 for r in detectable if r.correctly_detected) / len(detectable)
+
+    @property
+    def false_positive_free(self) -> bool:
+        return not self.baseline_failures
+
+    def result_for(self, name: str) -> FaultResult:
+        for result in self.results:
+            if result.spec.name == name:
+                return result
+        raise FaultError(f"no result for fault {name!r}")
+
+
+@dataclass
+class FaultCampaign:
+    """Configuration of the FMEA run.
+
+    Parameters
+    ----------
+    config_factory:
+        Builds a fresh :class:`OscillatorConfig` per fault (systems are
+        stateful; never share them between injections).
+    injection_time:
+        When the fault strikes (after the loop has settled).
+    t_stop:
+        Total simulated time per fault.
+    """
+
+    config_factory: Callable[[], OscillatorConfig]
+    injection_time: float = 0.03
+    t_stop: float = 0.06
+    catalog: Sequence[FaultSpec] = field(default_factory=standard_fault_catalog)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.injection_time < self.t_stop:
+            raise FaultError("need 0 < injection_time < t_stop")
+
+    def run_single(self, spec: FaultSpec) -> FaultResult:
+        """Inject one fault into a fresh system.
+
+        Intermittent faults also schedule their recovery; detections
+        must latch through it.
+        """
+        system = OscillatorDriverSystem(self.config_factory())
+        schedule = [(self.injection_time, spec.mutate)]
+        if spec.recover is not None:
+            schedule.append(
+                (self.injection_time + spec.recovery_delay, spec.recover)
+            )
+        trace = system.run(self.t_stop, faults=schedule)
+        return FaultResult(
+            spec=spec,
+            detections=dict(trace.failures),
+            injection_time=self.injection_time,
+            final_code=trace.final_code,
+            final_amplitude=trace.final_amplitude,
+        )
+
+    def run(self) -> CampaignResult:
+        """Run the fault-free baseline plus every catalog fault."""
+        baseline = OscillatorDriverSystem(self.config_factory())
+        baseline_trace = baseline.run(self.t_stop)
+        results = [self.run_single(spec) for spec in self.catalog]
+        return CampaignResult(
+            results=results, baseline_failures=dict(baseline_trace.failures)
+        )

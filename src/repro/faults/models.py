@@ -1,0 +1,189 @@
+"""Fault catalog for the FMEA campaign (§7).
+
+Each :class:`FaultSpec` names an external error condition from the
+paper, a mutator that applies it to a running
+:class:`~repro.core.oscillator_system.OscillatorDriverSystem`, and the
+detection the chip is expected to raise.  Faults whose detection
+happens at the *complete system* level (supply monitoring, coil-to-
+receiver shorts) carry ``system_level=True`` and no on-chip
+expectation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from ..core.oscillator_system import OscillatorDriverSystem
+from ..core.safety import FailureKind
+from ..envelope.tank import RLCTank
+from ..errors import FaultError
+
+__all__ = ["FaultSpec", "standard_fault_catalog", "fault_by_name"]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One row of the FMEA table.
+
+    ``recover``/``recovery_delay`` model *intermittent* faults: the
+    mutator is applied at the injection time and the recovery callable
+    ``recovery_delay`` seconds later.  Detections must latch — a fault
+    that healed itself still has to leave the system in its safe state.
+    """
+
+    name: str
+    description: str
+    mutate: Callable[[OscillatorDriverSystem], None]
+    expected_detection: Optional[FailureKind]
+    paper_ref: str
+    system_level: bool = False
+    recover: Optional[Callable[[OscillatorDriverSystem], None]] = None
+    recovery_delay: float = 0.0
+
+    @property
+    def on_chip_detectable(self) -> bool:
+        return self.expected_detection is not None
+
+    @property
+    def intermittent(self) -> bool:
+        return self.recover is not None
+
+
+def _kill(system: OscillatorDriverSystem) -> None:
+    system.plant.kill_oscillation()
+
+
+def _lose_supply(system: OscillatorDriverSystem) -> None:
+    system.plant.lose_supply()
+
+
+def _scale_tank(
+    l_scale: float, rs_scale: float, c_scale: float = 1.0
+) -> Callable[[OscillatorDriverSystem], None]:
+    def mutate(system: OscillatorDriverSystem) -> None:
+        tank = system.plant.tank
+        system.plant.set_tank(
+            RLCTank(
+                tank.inductance * l_scale,
+                tank.capacitance * c_scale,
+                tank.series_resistance * rs_scale,
+            )
+        )
+
+    return mutate
+
+
+def _asymmetry(split: float) -> Callable[[OscillatorDriverSystem], None]:
+    def mutate(system: OscillatorDriverSystem) -> None:
+        system.plant.set_amplitude_split(split)
+
+    return mutate
+
+
+def standard_fault_catalog() -> Tuple[FaultSpec, ...]:
+    """The external error conditions evaluated in §7."""
+    return (
+        FaultSpec(
+            name="open-coil",
+            description="Open connection to the sensor coil",
+            mutate=_kill,
+            expected_detection=FailureKind.MISSING_OSCILLATION,
+            paper_ref="§7 'Missing oscillations': open connection to the coil",
+        ),
+        FaultSpec(
+            name="lc1-short-to-ground",
+            description="LC1 pin shorted to ground",
+            mutate=_kill,
+            expected_detection=FailureKind.MISSING_OSCILLATION,
+            paper_ref="§7 'Missing oscillations': short to ground",
+        ),
+        FaultSpec(
+            name="lc1-short-to-supply",
+            description="LC1 pin shorted to the supply",
+            mutate=_kill,
+            expected_detection=FailureKind.MISSING_OSCILLATION,
+            paper_ref="§7 'Missing oscillations': short to supply",
+        ),
+        FaultSpec(
+            name="coil-shorted-turns",
+            description="Short in the coil: inductance down, losses up",
+            mutate=_scale_tank(l_scale=0.6, rs_scale=1.5),
+            expected_detection=FailureKind.LOW_AMPLITUDE,
+            paper_ref="§7 'Low amplitude': a short in the coil",
+        ),
+        FaultSpec(
+            name="increased-series-resistance",
+            description="Corroded contact: series resistance x 2.5",
+            mutate=_scale_tank(l_scale=1.0, rs_scale=2.5),
+            expected_detection=FailureKind.LOW_AMPLITUDE,
+            paper_ref="§7 'Low amplitude': increased serial resistance",
+        ),
+        FaultSpec(
+            name="missing-cosc1",
+            description="External capacitor Cosc1 missing",
+            mutate=_asymmetry(1.6),
+            expected_detection=FailureKind.ASYMMETRY,
+            paper_ref="§7 'Asymmetry': Cosc1 or Cosc2 missing or defective",
+        ),
+        FaultSpec(
+            name="cosc2-degraded",
+            description="External capacitor Cosc2 at half value",
+            mutate=_asymmetry(0.7),
+            expected_detection=FailureKind.ASYMMETRY,
+            paper_ref="§7 'Asymmetry': Cosc1 or Cosc2 missing or defective",
+        ),
+        FaultSpec(
+            name="supply-loss",
+            description="This system's Vdd lost (redundant partner case)",
+            mutate=_lose_supply,
+            expected_detection=None,
+            paper_ref="§8: handled by the output stage + system-level monitor",
+            system_level=True,
+        ),
+        FaultSpec(
+            name="tank-detuned",
+            description="Capacitor drift: resonance moves, amplitude intact",
+            mutate=_scale_tank(l_scale=1.0, rs_scale=1.0, c_scale=0.7),
+            expected_detection=None,
+            paper_ref="§7 last para: frequency plausibility is a system-level check",
+            system_level=True,
+        ),
+        _intermittent_contact_spec(),
+    )
+
+
+def _intermittent_contact_spec(rs_scale: float = 2.5, burst: float = 8e-3) -> FaultSpec:
+    """A cracked solder joint: Rs bursts up for ``burst`` seconds.
+
+    The detection must latch: after the joint re-seats, the system
+    stays in its safe state (max code) — intermittent faults are the
+    classic FMEA trap for unlatched monitors.
+    """
+    stash = {}
+
+    def mutate(system: OscillatorDriverSystem) -> None:
+        stash["tank"] = system.plant.tank
+        _scale_tank(l_scale=1.0, rs_scale=rs_scale)(system)
+
+    def recover(system: OscillatorDriverSystem) -> None:
+        if "tank" in stash:
+            system.plant.set_tank(stash.pop("tank"))
+
+    return FaultSpec(
+        name="intermittent-contact",
+        description=f"Cracked solder joint: Rs x{rs_scale} for {burst * 1e3:.0f} ms",
+        mutate=mutate,
+        expected_detection=FailureKind.LOW_AMPLITUDE,
+        paper_ref="§7 'Low amplitude': increased serial resistance (transient)",
+        recover=recover,
+        recovery_delay=burst,
+    )
+
+
+def fault_by_name(name: str) -> FaultSpec:
+    """Look up a fault in the standard catalog."""
+    for spec in standard_fault_catalog():
+        if spec.name == name:
+            return spec
+    raise FaultError(f"unknown fault {name!r}")

@@ -1,0 +1,19 @@
+"""Monte-Carlo and mismatch modelling."""
+
+from .distributions import make_rng, relative_errors
+from .mismatch import DEFAULT_SIGMAS, MismatchProfile, MismatchSigmas
+from .pelgrom import PelgromCoefficients, current_mismatch_sigma, sigmas_for_areas
+from .montecarlo import MonteCarloResult, run_monte_carlo
+
+__all__ = [
+    "make_rng",
+    "relative_errors",
+    "DEFAULT_SIGMAS",
+    "MismatchProfile",
+    "MismatchSigmas",
+    "PelgromCoefficients",
+    "current_mismatch_sigma",
+    "sigmas_for_areas",
+    "MonteCarloResult",
+    "run_monte_carlo",
+]

@@ -1,0 +1,48 @@
+"""Random draws for mismatch modelling.
+
+Relative matching errors of identically-drawn devices are modelled as
+zero-mean normal variables, optionally truncated to guard against
+unphysical tail draws (a mirror ratio cannot be negative).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["relative_errors", "make_rng"]
+
+
+def make_rng(seed: Optional[int] = None) -> np.random.Generator:
+    """A numpy Generator with an explicit, reproducible seed."""
+    return np.random.default_rng(seed)
+
+
+def relative_errors(
+    rng: np.random.Generator,
+    n: int,
+    sigma: float,
+    truncate_at: float = 4.0,
+) -> np.ndarray:
+    """Draw ``n`` zero-mean relative errors with std ``sigma``.
+
+    Draws beyond ``truncate_at`` sigmas are redrawn (rejection), which
+    keeps ratios positive for any realistic sigma.
+    """
+    if n < 0:
+        raise ConfigurationError("n must be non-negative")
+    if sigma < 0:
+        raise ConfigurationError("sigma must be non-negative")
+    if truncate_at <= 0:
+        raise ConfigurationError("truncate_at must be positive")
+    if sigma == 0.0 or n == 0:
+        return np.zeros(n)
+    out = rng.normal(0.0, sigma, size=n)
+    bad = np.abs(out) > truncate_at * sigma
+    while bad.any():
+        out[bad] = rng.normal(0.0, sigma, size=int(bad.sum()))
+        bad = np.abs(out) > truncate_at * sigma
+    return out

@@ -1,0 +1,172 @@
+"""Mismatch model of the current-limitation DAC hardware (Fig 5–7).
+
+The paper's measured transfer (Fig 13/14) deviates from the ideal
+segment law because the prescaler ratios, the fixed mirror outputs, the
+binary-weighted mirror bits, and the Gm stages are real transistors
+with finite matching.  The tell-tale signature is the *negative*
+relative step at code 96 — the boundary between segments 5 and 6 where
+the prescaler switches from x4 to x8 and the binary DAC part drops from
+60 to 0 units: a fraction-of-a-percent ratio error there flips the sign
+of a 3.2 % ideal step... only at the boundary, exactly as measured.
+
+:class:`MismatchProfile` carries one relative error per matched ratio;
+:meth:`MismatchProfile.sample` draws a Monte-Carlo instance and
+:meth:`MismatchProfile.measured_like` returns a fixed, documented
+profile that reproduces the Fig 13/14 signature (including the
+non-monotonic code 96).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .distributions import make_rng, relative_errors
+
+__all__ = ["MismatchProfile", "DEFAULT_SIGMAS", "MismatchSigmas"]
+
+
+@dataclass(frozen=True)
+class MismatchSigmas:
+    """Standard deviations of the relative matching errors.
+
+    Values are typical for medium-size mirror devices in a 0.35 um
+    flow (Pelgrom-style area scaling is left to the caller: larger
+    sigma for the small prescaler devices, smaller for the wide output
+    mirrors).
+    """
+
+    prescale: float = 0.008
+    fixed_mirror: float = 0.005
+    binary_bit: float = 0.01
+    gm_stage: float = 0.02
+
+
+DEFAULT_SIGMAS = MismatchSigmas()
+
+
+@dataclass(frozen=True)
+class MismatchProfile:
+    """One mismatch instance of the full current-limitation path.
+
+    All entries are *relative* errors: a ratio nominally ``r`` realizes
+    as ``r * (1 + error)``.
+
+    Attributes
+    ----------
+    prescale_errors:
+        Errors of the four prescaler gains (x1, x2, x4, x8).
+    fixed_mirror_errors:
+        Errors of the fixed mirror outputs (16a, 16b, 32, 64 units).
+    binary_bit_errors:
+        Errors of the 7 binary-weighted mirror bits (LSB first).
+    gm_stage_errors:
+        Errors of the five Gm output stages (Gm, Gm, Gm, 2Gm, 4Gm).
+    """
+
+    prescale_errors: Tuple[float, float, float, float] = (0.0, 0.0, 0.0, 0.0)
+    fixed_mirror_errors: Tuple[float, float, float, float] = (0.0, 0.0, 0.0, 0.0)
+    binary_bit_errors: Tuple[float, ...] = (0.0,) * 7
+    gm_stage_errors: Tuple[float, float, float, float, float] = (0.0,) * 5
+
+    def __post_init__(self) -> None:
+        if len(self.prescale_errors) != 4:
+            raise ConfigurationError("need 4 prescale errors")
+        if len(self.fixed_mirror_errors) != 4:
+            raise ConfigurationError("need 4 fixed mirror errors")
+        if len(self.binary_bit_errors) != 7:
+            raise ConfigurationError("need 7 binary bit errors")
+        if len(self.gm_stage_errors) != 5:
+            raise ConfigurationError("need 5 gm stage errors")
+        for group in (
+            self.prescale_errors,
+            self.fixed_mirror_errors,
+            self.binary_bit_errors,
+            self.gm_stage_errors,
+        ):
+            if any(e <= -1.0 for e in group):
+                raise ConfigurationError("relative errors must be > -100 %")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def ideal(cls) -> "MismatchProfile":
+        """A profile with zero errors (the ideal DAC)."""
+        return cls()
+
+    @classmethod
+    def sample(
+        cls,
+        seed: Optional[int] = None,
+        sigmas: MismatchSigmas = DEFAULT_SIGMAS,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "MismatchProfile":
+        """Draw a Monte-Carlo mismatch instance."""
+        generator = rng if rng is not None else make_rng(seed)
+        return cls(
+            prescale_errors=tuple(relative_errors(generator, 4, sigmas.prescale)),
+            fixed_mirror_errors=tuple(relative_errors(generator, 4, sigmas.fixed_mirror)),
+            binary_bit_errors=tuple(relative_errors(generator, 7, sigmas.binary_bit)),
+            gm_stage_errors=tuple(relative_errors(generator, 5, sigmas.gm_stage)),
+        )
+
+    @classmethod
+    def measured_like(cls) -> "MismatchProfile":
+        """A fixed profile reproducing the Fig 13/14 measurement signature.
+
+        The x8 prescaler gain is 2.5 % low and the x4 gain 1.8 % high;
+        at the segment 5 -> 6 boundary (code 95 -> 96) the ideal +3.23 %
+        step becomes ≈ -1 %, exactly the non-monotonic code the paper
+        reports ("value for code 96 is negative").  All other errors
+        are a few tenths of a percent, so every other boundary stays
+        monotonic.
+        """
+        return cls(
+            prescale_errors=(0.0, 0.002, 0.018, -0.025),
+            fixed_mirror_errors=(0.003, -0.002, 0.004, -0.003),
+            binary_bit_errors=(0.004, -0.003, 0.002, -0.002, 0.003, -0.004, 0.005),
+            gm_stage_errors=(0.01, -0.008, 0.005, -0.004, 0.006),
+        )
+
+    # -- realized ratios ------------------------------------------------------
+
+    def prescale_gain(self, nominal_factor: int) -> float:
+        """Realized prescaler gain for a nominal factor in {1, 2, 4, 8}."""
+        try:
+            index = (1, 2, 4, 8).index(nominal_factor)
+        except ValueError:
+            raise ConfigurationError(
+                f"prescale factor must be 1, 2, 4 or 8, got {nominal_factor}"
+            ) from None
+        return nominal_factor * (1.0 + self.prescale_errors[index])
+
+    def fixed_mirror_units(self, enabled_mask: int) -> float:
+        """Realized fixed-mirror output (units) for an OscE mask."""
+        nominal = (16.0, 16.0, 32.0, 64.0)
+        total = 0.0
+        for bit in range(4):
+            if enabled_mask & (1 << bit):
+                total += nominal[bit] * (1.0 + self.fixed_mirror_errors[bit])
+        return total
+
+    def binary_units(self, osc_f: int) -> float:
+        """Realized binary-weighted mirror output (units) for OscF."""
+        if not 0 <= osc_f <= 0b1111111:
+            raise ConfigurationError("OscF outside 7 bits")
+        total = 0.0
+        for bit in range(7):
+            if osc_f & (1 << bit):
+                total += float(1 << bit) * (1.0 + self.binary_bit_errors[bit])
+        return total
+
+    def gm_gain(self, enabled_mask: int) -> float:
+        """Realized relative Gm of the enabled stages (stage 0 always on)."""
+        weights = (1.0, 1.0, 1.0, 2.0, 4.0)
+        total = weights[0] * (1.0 + self.gm_stage_errors[0])
+        for bit in range(4):
+            if enabled_mask & (1 << bit):
+                total += weights[bit + 1] * (1.0 + self.gm_stage_errors[bit + 1])
+        return total

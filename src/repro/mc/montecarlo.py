@@ -1,0 +1,70 @@
+"""Monte-Carlo campaign runner over mismatch instances."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .mismatch import DEFAULT_SIGMAS, MismatchProfile, MismatchSigmas
+
+__all__ = ["MonteCarloResult", "run_monte_carlo"]
+
+
+@dataclass
+class MonteCarloResult:
+    """Per-sample metric values with summary statistics."""
+
+    metric_name: str
+    values: np.ndarray
+    seeds: List[int]
+
+    @property
+    def n(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.values, ddof=1)) if self.n > 1 else 0.0
+
+    def quantile(self, q: float) -> float:
+        return float(np.quantile(self.values, q))
+
+    def fraction_true(self) -> float:
+        """For boolean metrics: fraction of samples that were truthy."""
+        return float(np.mean(self.values != 0.0))
+
+    def summary(self) -> str:
+        return (
+            f"{self.metric_name}: n={self.n} mean={self.mean:.6g} "
+            f"std={self.std:.3g} min={self.values.min():.6g} "
+            f"max={self.values.max():.6g}"
+        )
+
+
+def run_monte_carlo(
+    metric: Callable[[MismatchProfile], float],
+    n_samples: int,
+    metric_name: str = "metric",
+    base_seed: int = 12345,
+    sigmas: MismatchSigmas = DEFAULT_SIGMAS,
+) -> MonteCarloResult:
+    """Evaluate ``metric`` on ``n_samples`` seeded mismatch draws.
+
+    Sample ``i`` uses seed ``base_seed + i`` so individual samples can
+    be reproduced in isolation.
+    """
+    if n_samples <= 0:
+        raise ConfigurationError("n_samples must be positive")
+    seeds = [base_seed + i for i in range(n_samples)]
+    values = np.empty(n_samples)
+    for i, seed in enumerate(seeds):
+        profile = MismatchProfile.sample(seed=seed, sigmas=sigmas)
+        values[i] = float(metric(profile))
+    return MonteCarloResult(metric_name=metric_name, values=values, seeds=seeds)

@@ -1,0 +1,98 @@
+"""Assemble the benchmark artifacts into one reproduction report.
+
+Usage (after ``pytest benchmarks/ --benchmark-only``)::
+
+    python -m repro.report [results_dir] [output_file]
+
+Collects every ``benchmarks/results/*.txt`` artifact in the paper's
+figure/table order and writes a single ``REPORT.txt`` that mirrors the
+structure of the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+from typing import List, Optional, Sequence
+
+__all__ = ["ARTIFACT_ORDER", "assemble_report", "main"]
+
+#: Artifacts in the order the paper presents them.
+ARTIFACT_ORDER: Sequence[str] = (
+    "fig02_driver_iv",
+    "fig03_dac_transfer",
+    "fig04_relative_step",
+    "table1_control_codes",
+    "fig13_current_limitation",
+    "fig14_relative_step_measured",
+    "fig15_regulation_steps",
+    "fig16_startup",
+    "fig17_supply_loss_current",
+    "fig18_supply_loss_voltage",
+    "sec7_fault_coverage",
+    "sec9_current_consumption",
+    "emc_harmonics",
+    "transistor_dac",
+    "corners_supply_loss",
+    "locking_budget",
+    "ablation_window_width",
+    "ablation_dac_laws",
+    "ablation_output_stage",
+    "ablation_startup_code",
+    "ablation_nvm_preset",
+)
+
+_HEADER = """\
+Reproduction report — Horsky, "LC Oscillator Driver for Safety
+Critical Applications", DATE 2005.
+
+Generated from benchmarks/results/ (run `pytest benchmarks/
+--benchmark-only` first).  Each section below is the regenerated
+counterpart of one table or figure of the paper; the assertions that
+verify it live in the bench of the same name.
+"""
+
+
+def assemble_report(results_dir: pathlib.Path) -> str:
+    """Concatenate the artifacts in paper order.
+
+    Missing artifacts are listed at the end rather than failing, so a
+    partial bench run still produces a useful report.
+    """
+    sections: List[str] = [_HEADER]
+    missing: List[str] = []
+    for name in ARTIFACT_ORDER:
+        path = results_dir / f"{name}.txt"
+        if not path.exists():
+            missing.append(name)
+            continue
+        bar = "=" * 70
+        sections.append(f"{bar}\n{name}\n{bar}\n{path.read_text().rstrip()}\n")
+    # Any extra artifacts not in the canonical order.
+    known = {f"{name}.txt" for name in ARTIFACT_ORDER}
+    for path in sorted(results_dir.glob("*.txt")):
+        if path.name not in known:
+            bar = "=" * 70
+            sections.append(f"{bar}\n{path.stem}\n{bar}\n{path.read_text().rstrip()}\n")
+    if missing:
+        sections.append(
+            "MISSING ARTIFACTS (bench not run?): " + ", ".join(missing)
+        )
+    return "\n".join(sections)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    results_dir = pathlib.Path(args[0]) if args else pathlib.Path("benchmarks/results")
+    output = pathlib.Path(args[1]) if len(args) > 1 else pathlib.Path("REPORT.txt")
+    if not results_dir.is_dir():
+        print(f"error: results directory {results_dir} not found", file=sys.stderr)
+        return 1
+    report = assemble_report(results_dir)
+    output.write_text(report)
+    print(f"wrote {output} ({len(report.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,22 @@
+"""Position-sensor application substrate (Fig 9)."""
+
+from .coils import CouplingProfile, ReceivingCoilPair, tank_with_parallel_load
+from .receiver import PositionReceiver
+from .dual_cosim import DualCoSimulation, DualTrace
+from .redundant import (
+    DualSystemOutcome,
+    DualSystemScenario,
+    effective_load_resistance,
+)
+
+__all__ = [
+    "CouplingProfile",
+    "ReceivingCoilPair",
+    "tank_with_parallel_load",
+    "PositionReceiver",
+    "DualCoSimulation",
+    "DualTrace",
+    "DualSystemOutcome",
+    "DualSystemScenario",
+    "effective_load_resistance",
+]

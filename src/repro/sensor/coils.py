@@ -1,0 +1,97 @@
+"""Coupled-coil model of the position sensor (Fig 9).
+
+The excitation coil (the oscillator coil) couples into two receiving
+coils; a rotor modulates the coupling coefficients with its angle.
+Receiving-coil voltage amplitudes are ``k_i(theta) * A_osc``; the
+receiver compares them to extract position (§1).
+
+Mutual coupling between the two *excitation* coils of a redundant
+dual-oscillator system is modelled by reflecting the other system's
+loading impedance into the tank (:func:`tank_with_parallel_load`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..envelope.tank import RLCTank
+from ..errors import ConfigurationError
+
+__all__ = ["CouplingProfile", "ReceivingCoilPair", "tank_with_parallel_load"]
+
+
+@dataclass(frozen=True)
+class CouplingProfile:
+    """Angle-dependent coupling of the rotor.
+
+    The two receiving coils see complementary couplings::
+
+        k1(theta) = k_max * (1 + sin(theta)) / 2
+        k2(theta) = k_max * (1 - sin(theta)) / 2
+
+    over the mechanical range ``±theta_range`` — a standard inductive
+    position-sensor characteristic: the *sum* is angle-independent
+    (useful for diagnostics) and the normalized *difference* is
+    monotonic in the angle.
+    """
+
+    k_max: float = 0.2
+    theta_range: float = math.pi / 3.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.k_max <= 1:
+            raise ConfigurationError("k_max must be in (0, 1]")
+        if not 0 < self.theta_range <= math.pi / 2.0:
+            raise ConfigurationError("theta_range must be in (0, pi/2]")
+
+    def couplings(self, theta: float) -> Tuple[float, float]:
+        """(k1, k2) at mechanical angle ``theta`` (radians)."""
+        if abs(theta) > self.theta_range:
+            raise ConfigurationError(
+                f"angle {theta:g} outside ±{self.theta_range:g} rad"
+            )
+        s = math.sin(theta) / math.sin(self.theta_range)
+        k1 = self.k_max * (1.0 + s) / 2.0
+        k2 = self.k_max * (1.0 - s) / 2.0
+        return k1, k2
+
+
+@dataclass(frozen=True)
+class ReceivingCoilPair:
+    """The two receiving coils seen from the excitation coil."""
+
+    profile: CouplingProfile
+
+    def received_amplitudes(self, theta: float, excitation_peak: float) -> Tuple[float, float]:
+        """Peak voltages induced in the two receiving coils."""
+        if excitation_peak < 0:
+            raise ConfigurationError("excitation amplitude must be >= 0")
+        k1, k2 = self.profile.couplings(theta)
+        return k1 * excitation_peak, k2 * excitation_peak
+
+
+def tank_with_parallel_load(tank: RLCTank, r_parallel: float) -> RLCTank:
+    """A tank whose Rp is loaded by an extra parallel resistance.
+
+    Used to reflect the other system's pin loading (through the mutual
+    coil coupling) into this system's resonance network.  The loaded
+    ``Rp' = Rp || r_parallel`` is converted back to an equivalent
+    series resistance at the same L and C.
+    """
+    if r_parallel <= 0:
+        raise ConfigurationError("r_parallel must be positive")
+    rp = tank.parallel_resistance
+    rp_loaded = rp * r_parallel / (rp + r_parallel)
+    xl = tank.omega0 * tank.inductance
+    # Invert the exact series->parallel transform: Rp = (Rs^2 + XL^2)/Rs.
+    # Solve Rs^2 - Rp*Rs + XL^2 = 0 for the low-loss root.
+    disc = rp_loaded * rp_loaded - 4.0 * xl * xl
+    if disc < 0:
+        # Loading so heavy the tank stops being a resonator; report the
+        # critically-damped equivalent.
+        rs_loaded = rp_loaded / 2.0
+    else:
+        rs_loaded = (rp_loaded - math.sqrt(disc)) / 2.0
+    return RLCTank(tank.inductance, tank.capacitance, rs_loaded)

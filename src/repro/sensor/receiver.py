@@ -1,0 +1,51 @@
+"""Receiver: amplitude comparison to position (§1).
+
+"This harmonic signal is coupled into receiving coils and the
+amplitudes of the received signals are compared and then used to
+determine position of the sensor."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .coils import CouplingProfile
+
+__all__ = ["PositionReceiver"]
+
+
+@dataclass(frozen=True)
+class PositionReceiver:
+    """Ratiometric amplitude comparator.
+
+    Ratiometric processing makes the estimate independent of the
+    absolute excitation amplitude (which the oscillator regulates only
+    to within the window width).
+    """
+
+    profile: CouplingProfile
+    #: Minimum summed amplitude for a valid reading (diagnostics).
+    min_signal: float = 1e-3
+
+    def normalized_difference(self, a1: float, a2: float) -> float:
+        """``(a1 - a2) / (a1 + a2)`` with validity check."""
+        if a1 < 0 or a2 < 0:
+            raise ConfigurationError("amplitudes must be non-negative")
+        total = a1 + a2
+        if total < self.min_signal:
+            raise ConfigurationError(
+                f"received signal too small ({total:g} < {self.min_signal:g})"
+            )
+        return (a1 - a2) / total
+
+    def estimate_angle(self, a1: float, a2: float) -> float:
+        """Invert the coupling profile: amplitudes -> angle (radians)."""
+        ratio = self.normalized_difference(a1, a2)
+        ratio = max(-1.0, min(1.0, ratio))
+        return math.asin(ratio * math.sin(self.profile.theta_range))
+
+    def signal_valid(self, a1: float, a2: float) -> bool:
+        """Sum-of-amplitudes plausibility check (system-level FMEA)."""
+        return (a1 + a2) >= self.min_signal

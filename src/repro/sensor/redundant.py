@@ -1,0 +1,142 @@
+"""Redundant dual-oscillator system (Fig 9, §8).
+
+Two complete oscillator systems with mutually-coupled excitation coils
+run at the same frequency.  The safety claim reproduced here: if one
+system loses its supply or ground, it must not load the other, which
+keeps working.  Whether that holds depends on the *output stage
+topology* of the dead system — the paper's Fig 11 driver passes, the
+standard Fig 10a driver fails.
+
+The dead system's pins present the DC loading measured by
+:func:`repro.core.output_stage.run_supply_loss_sweep`; its effective
+shunt resistance at the live system's operating amplitude is reflected
+through the coil coupling into the live tank.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.oscillator_system import (
+    OscillatorConfig,
+    OscillatorDriverSystem,
+    SystemTrace,
+)
+from ..core.output_stage import SupplyLossResult, run_supply_loss_sweep
+from ..errors import ConfigurationError
+from .coils import tank_with_parallel_load
+
+__all__ = ["DualSystemScenario", "DualSystemOutcome", "effective_load_resistance"]
+
+
+def effective_load_resistance(
+    sweep: SupplyLossResult, amplitude_peak: float, n: int = 256
+) -> float:
+    """Equivalent shunt resistance of the dead system's pins.
+
+    The live tank swings ``v(t) = A sin(wt)`` across the dead pins;
+    the average power they absorb is the cycle integral of ``v * i(v)``
+    over the measured DC characteristic (the loading of Fig 10a is
+    one-sided, so a single-point secant would miss it).  The power is
+    expressed as an equivalent parallel resistance
+    ``R = A^2 / (2 P)``.  An ideal topology absorbs ~nothing —
+    infinite resistance.
+    """
+    if amplitude_peak <= 0:
+        raise ConfigurationError("amplitude must be positive")
+    import numpy as np
+
+    theta = np.linspace(0.0, 2.0 * np.pi, n, endpoint=False)
+    v = amplitude_peak * np.sin(theta)
+    i = np.interp(v, sweep.v_diff, sweep.i_lc1)
+    power = float(np.mean(v * i))
+    if power < 1e-12:
+        return math.inf
+    return amplitude_peak * amplitude_peak / (2.0 * power)
+
+
+@dataclass
+class DualSystemOutcome:
+    """Result of a supply-loss scenario on the live system."""
+
+    trace: SystemTrace
+    amplitude_before: float
+    amplitude_after: float
+    load_resistance: float
+    survived: bool
+
+    @property
+    def amplitude_drop(self) -> float:
+        """Relative amplitude sag caused by the dead system."""
+        if self.amplitude_before == 0:
+            return 1.0
+        return 1.0 - self.amplitude_after / self.amplitude_before
+
+
+@dataclass
+class DualSystemScenario:
+    """System 2 loses its supply while system 1 keeps running.
+
+    Parameters
+    ----------
+    config:
+        The live system's configuration.
+    topology:
+        Output stage of the *dead* system ("fig10a", "fig10b", "fig11").
+    coupling:
+        Coupling coefficient between the two excitation coils; the dead
+        system's shunt resistance is reflected by ``1/k^2``.
+    fault_time / t_stop:
+        When the supply is lost, and how long to simulate.
+    """
+
+    config: OscillatorConfig
+    topology: str = "fig11"
+    coupling: float = 0.3
+    fault_time: float = 0.025
+    t_stop: float = 0.05
+    sweep: Optional[SupplyLossResult] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.coupling <= 1:
+            raise ConfigurationError("coupling must be in (0, 1]")
+        if not 0 < self.fault_time < self.t_stop:
+            raise ConfigurationError("need 0 < fault_time < t_stop")
+
+    def run(self) -> DualSystemOutcome:
+        """Simulate the live system through the partner's supply loss."""
+        if self.sweep is None:
+            self.sweep = run_supply_loss_sweep(self.topology)
+        amplitude = self.config.target_peak_amplitude
+        r_pins = effective_load_resistance(self.sweep, amplitude)
+        r_reflected = (
+            math.inf if math.isinf(r_pins) else r_pins / (self.coupling**2)
+        )
+        base_tank = self.config.tank
+
+        def partner_dies(system: OscillatorDriverSystem) -> None:
+            if math.isinf(r_reflected):
+                return
+            system.plant.set_tank(
+                tank_with_parallel_load(base_tank, r_reflected)
+            )
+
+        system = OscillatorDriverSystem(self.config)
+        trace = system.run(self.t_stop, faults=[(self.fault_time, partner_dies)])
+        wave = trace.amplitude_waveform()
+        before = wave.value_at(self.fault_time * 0.98)
+        after = trace.final_amplitude
+        # Survival: still oscillating near target and no failure latched.
+        survived = (
+            after > 0.5 * self.config.target_peak_amplitude
+            and not trace.any_failure
+        )
+        return DualSystemOutcome(
+            trace=trace,
+            amplitude_before=before,
+            amplitude_after=after,
+            load_resistance=r_pins,
+            survived=survived,
+        )

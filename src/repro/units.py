@@ -1,0 +1,91 @@
+"""Unit constants and small helpers used across the library.
+
+The library works internally in SI units (volts, amperes, seconds,
+henries, farads).  These constants make the code that mirrors the
+paper's numbers read like the paper, e.g. ``12.5 * UA`` for the DAC
+LSB or ``5 * MHZ`` for the top oscillation frequency.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "FEMTO", "PICO", "NANO", "MICRO", "MILLI", "KILO", "MEGA", "GIGA",
+    "UA", "MA", "MV", "UV", "NH", "UH", "MH", "PF", "NF", "UF",
+    "NS", "US", "MS", "KHZ", "MHZ",
+    "TWO_PI",
+    "db", "from_db", "parallel", "clamp",
+]
+
+FEMTO = 1e-15
+PICO = 1e-12
+NANO = 1e-9
+MICRO = 1e-6
+MILLI = 1e-3
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+
+# Currents / voltages
+UA = MICRO
+MA = MILLI
+MV = MILLI
+UV = MICRO
+
+# Inductance / capacitance
+NH = NANO
+UH = MICRO
+MH = MILLI
+PF = PICO
+NF = NANO
+UF = MICRO
+
+# Time / frequency
+NS = NANO
+US = MICRO
+MS = MILLI
+KHZ = KILO
+MHZ = MEGA
+
+TWO_PI = 2.0 * math.pi
+
+
+def db(ratio: float) -> float:
+    """Return ``20*log10(ratio)`` (voltage/current decibels)."""
+    if ratio <= 0.0:
+        raise ValueError("db() requires a positive ratio")
+    return 20.0 * math.log10(ratio)
+
+
+def from_db(value_db: float) -> float:
+    """Inverse of :func:`db`."""
+    return 10.0 ** (value_db / 20.0)
+
+
+def parallel(*values: float) -> float:
+    """Parallel combination of resistances (or series of capacitances).
+
+    ``parallel(r1, r2, ...) = 1 / (1/r1 + 1/r2 + ...)``.  Any value of
+    ``inf`` is ignored (an open branch); a value of zero short-circuits
+    the result to zero.
+    """
+    if not values:
+        raise ValueError("parallel() requires at least one value")
+    conductance = 0.0
+    for value in values:
+        if value == 0.0:
+            return 0.0
+        if math.isinf(value):
+            continue
+        conductance += 1.0 / value
+    if conductance == 0.0:
+        return math.inf
+    return 1.0 / conductance
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the closed interval ``[low, high]``."""
+    if low > high:
+        raise ValueError(f"clamp(): low ({low}) > high ({high})")
+    return max(low, min(high, value))

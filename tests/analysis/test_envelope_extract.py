@@ -1,0 +1,64 @@
+"""Unit tests for envelope extraction."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Waveform, envelope_by_peaks, envelope_by_rectify_filter
+from repro.errors import AnalysisError
+
+
+def am_wave(carrier=1e6, mod_tau=20e-6, cycles=100, amp=1.0):
+    fs = carrier * 50
+    t = np.arange(int(cycles * 50)) / fs
+    env = amp * (1 - np.exp(-t / mod_tau))
+    return Waveform(t, env * np.sin(2 * np.pi * carrier * t)), env, t
+
+
+class TestEnvelopeByPeaks:
+    def test_tracks_growing_envelope(self):
+        wave, env, t = am_wave()
+        detected = envelope_by_peaks(wave)
+        # Compare on the tail (skip the low-amplitude head).
+        tail = detected.window(40e-6, detected.t_stop)
+        expected = np.interp(tail.t, t, env)
+        assert np.allclose(tail.y, expected, rtol=0.05)
+
+    def test_upper_lower(self):
+        wave, _env, _t = am_wave()
+        up = envelope_by_peaks(wave, polarity="upper")
+        low = envelope_by_peaks(wave, polarity="lower")
+        assert up.y[-1] == pytest.approx(low.y[-1], rel=0.05)
+
+    def test_rejects_dc(self):
+        w = Waveform(np.linspace(0, 1, 100), np.ones(100))
+        with pytest.raises(AnalysisError):
+            envelope_by_peaks(w)
+
+    def test_bad_polarity(self):
+        wave, _e, _t = am_wave(cycles=10)
+        with pytest.raises(AnalysisError):
+            envelope_by_peaks(wave, polarity="sideways")
+
+    def test_offset_rejection(self):
+        wave, env, t = am_wave()
+        shifted = wave + 0.25
+        detected = envelope_by_peaks(shifted)
+        tail = detected.window(40e-6, detected.t_stop)
+        expected = np.interp(tail.t, t, env)
+        assert np.allclose(tail.y, expected, rtol=0.05)
+
+
+class TestRectifyFilter:
+    def test_converges_to_average_of_rectified_sine(self):
+        carrier = 1e6
+        fs = carrier * 100
+        t = np.arange(20000) / fs
+        w = Waveform(t, np.sin(2 * np.pi * carrier * t))
+        out = envelope_by_rectify_filter(w, cutoff_hz=20e3)
+        # Full-wave rectified sine averages 2/pi of the peak.
+        assert out.y[-1] == pytest.approx(2 / np.pi, rel=0.05)
+
+    def test_invalid_cutoff(self):
+        w = Waveform([0, 1], [0, 1])
+        with pytest.raises(AnalysisError):
+            envelope_by_rectify_filter(w, 0.0)

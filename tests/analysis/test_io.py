@@ -1,0 +1,82 @@
+"""Tests for waveform / trace CSV round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Waveform
+from repro.analysis.io import (
+    load_columns_csv,
+    load_waveform_csv,
+    save_columns_csv,
+    save_waveform_csv,
+)
+from repro.errors import AnalysisError
+
+
+class TestWaveformRoundtrip:
+    def test_exact_roundtrip(self, tmp_path):
+        wave = Waveform.from_function(np.sin, 0.0, 1e-3, n=101, name="v_lc1")
+        path = tmp_path / "w.csv"
+        save_waveform_csv(wave, path)
+        loaded = load_waveform_csv(path)
+        assert loaded.name == "v_lc1"
+        assert np.array_equal(loaded.t, wave.t)
+        assert np.array_equal(loaded.y, wave.y)
+
+    def test_unnamed_waveform(self, tmp_path):
+        wave = Waveform([0.0, 1.0], [2.0, 3.0])
+        path = tmp_path / "w.csv"
+        save_waveform_csv(wave, path)
+        assert load_waveform_csv(path).name == "y"
+
+    def test_malformed_file(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("t,y\n1,2,3\n")
+        with pytest.raises(AnalysisError):
+            load_waveform_csv(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(AnalysisError):
+            load_waveform_csv(path)
+
+
+class TestColumnsRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        columns = {
+            "t": np.linspace(0, 1, 11),
+            "amplitude": np.linspace(0, 1.35, 11),
+            "code": np.arange(11, dtype=float),
+        }
+        path = tmp_path / "trace.csv"
+        save_columns_csv(path, columns)
+        loaded = load_columns_csv(path)
+        assert set(loaded) == set(columns)
+        for name in columns:
+            assert np.array_equal(loaded[name], np.asarray(columns[name]))
+
+    def test_system_trace_export(self, tmp_path, standard_config):
+        from repro.core.oscillator_system import OscillatorDriverSystem
+
+        trace = OscillatorDriverSystem(standard_config).run(0.01)
+        path = tmp_path / "system.csv"
+        save_columns_csv(
+            path,
+            {
+                "t": trace.t,
+                "amplitude": trace.amplitude,
+                "code": trace.code,
+                "i_supply": trace.supply_current,
+            },
+        )
+        loaded = load_columns_csv(path)
+        assert loaded["code"][-1] == trace.final_code
+
+    def test_length_mismatch(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            save_columns_csv(tmp_path / "x.csv", {"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_empty_columns(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            save_columns_csv(tmp_path / "x.csv", {})

@@ -1,0 +1,134 @@
+"""Unit tests for waveform measurements."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    StepEvent,
+    Waveform,
+    amplitude_peak,
+    amplitude_rms_of_sine,
+    crossing_time,
+    find_steps,
+    oscillation_frequency,
+    oscillation_period,
+    settling_time,
+    zero_crossings,
+)
+from repro.errors import AnalysisError
+
+
+def sine_wave(freq=1e6, amp=1.0, cycles=20, fs_per_cycle=100, offset=0.0):
+    t = np.arange(cycles * fs_per_cycle) / (freq * fs_per_cycle)
+    return Waveform(t, offset + amp * np.sin(2 * np.pi * freq * t))
+
+
+class TestZeroCrossings:
+    def test_counts(self):
+        w = sine_wave(cycles=10)
+        rising = zero_crossings(w, rising=True)
+        falling = zero_crossings(w, rising=False)
+        assert len(rising) in (9, 10)
+        assert len(falling) in (9, 10)
+
+    def test_interpolation_accuracy(self):
+        w = sine_wave(freq=1.0, cycles=3, fs_per_cycle=37)
+        rising = zero_crossings(w, rising=True)
+        # Crossings of sin at integer times.
+        for t in rising:
+            assert abs(t - round(t)) < 1e-3
+
+    def test_level(self):
+        w = sine_wave(freq=1.0, amp=2.0, cycles=2)
+        ups = zero_crossings(w, level=1.0, rising=True)
+        assert len(ups) >= 1
+        assert w.value_at(ups[0]) == pytest.approx(1.0, abs=1e-3)
+
+    def test_no_crossings(self):
+        w = Waveform([0, 1, 2], [5, 5, 5])
+        assert zero_crossings(w).size == 0
+
+
+class TestFrequency:
+    def test_frequency_of_sine(self):
+        w = sine_wave(freq=2.5e6, cycles=40)
+        assert oscillation_frequency(w) == pytest.approx(2.5e6, rel=1e-4)
+
+    def test_period(self):
+        w = sine_wave(freq=4e6, cycles=40)
+        assert oscillation_period(w) == pytest.approx(0.25e-6, rel=1e-4)
+
+    def test_dc_raises(self):
+        w = Waveform([0, 1, 2], [1, 1, 1])
+        with pytest.raises(AnalysisError):
+            oscillation_frequency(w)
+
+
+class TestAmplitude:
+    def test_amplitude_peak_of_sine(self):
+        w = sine_wave(amp=1.35, cycles=50)
+        assert amplitude_peak(w) == pytest.approx(1.35, rel=1e-3)
+
+    def test_rms_of_sine_helper(self):
+        assert amplitude_rms_of_sine(1.0) == pytest.approx(1 / np.sqrt(2))
+
+    def test_amplitude_with_offset_rejected_by_two_sided(self):
+        w = sine_wave(amp=1.0, offset=0.3, cycles=50)
+        # (max-min)/2 is offset-free.
+        assert amplitude_peak(w) == pytest.approx(1.0, rel=1e-3)
+
+
+class TestSettling:
+    def test_exponential_settling(self):
+        t = np.linspace(0, 10, 1001)
+        y = 1 - np.exp(-t)
+        w = Waveform(t, y)
+        ts = settling_time(w, final_value=1.0, tolerance=0.05)
+        assert ts == pytest.approx(3.0, abs=0.1)  # ln(20) ≈ 3.0
+
+    def test_already_settled(self):
+        w = Waveform([0, 1, 2], [1.0, 1.0, 1.0])
+        assert settling_time(w) == 0.0
+
+    def test_never_settles(self):
+        t = np.linspace(0, 1, 101)
+        w = Waveform(t, t)
+        with pytest.raises(AnalysisError):
+            settling_time(w, final_value=0.0, tolerance=0.01)
+
+
+class TestCrossingTime:
+    def test_first_crossing(self):
+        t = np.linspace(0, 1, 101)
+        w = Waveform(t, t)
+        assert crossing_time(w, 0.5) == pytest.approx(0.5, abs=1e-6)
+
+    def test_missing_level_raises(self):
+        w = Waveform([0, 1], [0, 0.1])
+        with pytest.raises(AnalysisError):
+            crossing_time(w, 5.0)
+
+
+class TestFindSteps:
+    def test_staircase(self):
+        t = np.linspace(0, 3, 301)
+        y = np.where(t < 1, 1.0, np.where(t < 2, 1.5, 2.25))
+        steps = find_steps(Waveform(t, y), min_delta=0.25)
+        assert len(steps) == 2
+        assert steps[0].delta == pytest.approx(0.5)
+        assert steps[0].relative == pytest.approx(0.5)
+        assert steps[1].relative == pytest.approx(0.5)
+
+    def test_no_steps(self):
+        t = np.linspace(0, 1, 101)
+        assert find_steps(Waveform(t, np.ones_like(t)), 0.1) == []
+
+    def test_invalid_min_delta(self):
+        w = Waveform([0, 1], [0, 1])
+        with pytest.raises(AnalysisError):
+            find_steps(w, 0.0)
+
+    def test_relative_of_zero_baseline_raises(self):
+        event = StepEvent(time=0.0, before=0.0, after=1.0)
+        with pytest.raises(AnalysisError):
+            _ = event.relative

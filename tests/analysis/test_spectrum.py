@@ -1,0 +1,108 @@
+"""Tests for harmonic/THD analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    HarmonicSpectrum,
+    Waveform,
+    harmonic_spectrum,
+    tank_harmonic_rejection,
+    thd,
+)
+from repro.errors import AnalysisError
+
+
+def multi_tone(f0=1e6, amps=(1.0, 0.0, 0.2), cycles=50, fs_per_cycle=64):
+    t = np.arange(int(cycles * fs_per_cycle)) / (f0 * fs_per_cycle)
+    y = np.zeros_like(t)
+    for k, amp in enumerate(amps, start=1):
+        y += amp * np.sin(2 * np.pi * k * f0 * t)
+    return Waveform(t, y)
+
+
+class TestHarmonicSpectrum:
+    def test_pure_sine(self):
+        w = multi_tone(amps=(1.0,))
+        spec = harmonic_spectrum(w, 1e6, n_harmonics=5)
+        assert spec.fundamental == pytest.approx(1.0, rel=1e-3)
+        for k in range(2, 6):
+            assert spec.harmonic(k) < 1e-3
+
+    def test_third_harmonic_recovered(self):
+        w = multi_tone(amps=(1.0, 0.0, 0.2))
+        spec = harmonic_spectrum(w, 1e6, n_harmonics=5)
+        assert spec.harmonic(3) == pytest.approx(0.2, rel=1e-2)
+        assert spec.harmonic(2) < 1e-3
+
+    def test_dc_removed(self):
+        w = multi_tone(amps=(1.0,)) + 2.5
+        spec = harmonic_spectrum(w, 1e6)
+        assert spec.fundamental == pytest.approx(1.0, rel=1e-3)
+
+    def test_square_wave_odd_harmonics(self):
+        f0 = 1e6
+        t = np.arange(3200) / (f0 * 64)
+        w = Waveform(t, np.sign(np.sin(2 * np.pi * f0 * t)))
+        spec = harmonic_spectrum(w, f0, n_harmonics=5)
+        assert spec.fundamental == pytest.approx(4 / np.pi, rel=0.02)
+        assert spec.harmonic(3) == pytest.approx(4 / (3 * np.pi), rel=0.05)
+        assert spec.harmonic(2) < 0.02
+
+    def test_too_short_record(self):
+        t = np.linspace(0, 1e-6, 100)
+        w = Waveform(t, np.sin(2 * np.pi * 1e6 * t))
+        with pytest.raises(AnalysisError):
+            harmonic_spectrum(w, 1e6)
+
+    def test_validation(self):
+        w = multi_tone()
+        with pytest.raises(AnalysisError):
+            harmonic_spectrum(w, -1.0)
+        with pytest.raises(AnalysisError):
+            harmonic_spectrum(w, 1e6, n_harmonics=0)
+
+
+class TestTHD:
+    def test_known_thd(self):
+        w = multi_tone(amps=(1.0, 0.0, 0.1, 0.0, 0.05))
+        expected = np.sqrt(0.1**2 + 0.05**2)
+        assert thd(w, 1e6, n_harmonics=5) == pytest.approx(expected, rel=0.02)
+
+    def test_clean_sine_near_zero(self):
+        assert thd(multi_tone(amps=(1.0,)), 1e6) < 1e-2
+
+    def test_zero_fundamental_raises(self):
+        spec = HarmonicSpectrum(1e6, (0.0, 0.1))
+        with pytest.raises(AnalysisError):
+            spec.thd()
+
+    def test_relative_levels(self):
+        spec = HarmonicSpectrum(1e6, (1.0, 0.1))
+        levels = spec.relative_levels_db()
+        assert levels[2] == pytest.approx(-20.0)
+
+
+class TestTankRejection:
+    def test_unity_at_fundamental(self):
+        assert tank_harmonic_rejection(1e-6, 1e-9, 1e3, 1) == pytest.approx(
+            1.0, rel=1e-6
+        )
+
+    def test_strong_attenuation_of_harmonics(self):
+        """The high-Q tank rejects harmonics by >> 20 dB."""
+        # Q = Rp / Z0 = 1000/31.6 ≈ 31.6
+        for order in (2, 3, 5):
+            rejection = tank_harmonic_rejection(1e-6, 1e-9, 1e3, order)
+            assert rejection < 0.05  # < -26 dB
+
+    def test_higher_harmonics_more_attenuated(self):
+        r2 = tank_harmonic_rejection(1e-6, 1e-9, 1e3, 2)
+        r5 = tank_harmonic_rejection(1e-6, 1e-9, 1e3, 5)
+        assert r5 < r2
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            tank_harmonic_rejection(1e-6, 1e-9, 1e3, 0)
+        with pytest.raises(AnalysisError):
+            tank_harmonic_rejection(-1e-6, 1e-9, 1e3, 2)

@@ -1,0 +1,52 @@
+"""Unit tests for ASCII table rendering."""
+
+import pytest
+
+from repro.analysis import format_si, render_series, render_table
+
+
+class TestFormatSi:
+    def test_microamp(self):
+        assert format_si(12.5e-6, "A") == "12.5 uA"
+
+    def test_megahertz(self):
+        assert format_si(5e6, "Hz") == "5 MHz"
+
+    def test_zero(self):
+        assert format_si(0.0, "V") == "0 V"
+
+    def test_negative(self):
+        assert format_si(-3.3e-3, "A") == "-3.3 mA"
+
+    def test_unity(self):
+        assert format_si(2.0) == "2"
+
+    def test_tiny(self):
+        assert "f" in format_si(2e-15, "F")
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        out = render_table(["a", "bb"], [[1, 2], [33, 44]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "33" in lines[-1]
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+
+class TestRenderSeries:
+    def test_subsampling(self):
+        x = list(range(1000))
+        y = [v * 2 for v in x]
+        out = render_series(x, y, max_points=20)
+        assert len(out.splitlines()) <= 25
+        # Last point always included.
+        assert "999" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_series([1, 2], [1])

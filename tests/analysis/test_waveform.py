@@ -1,0 +1,154 @@
+"""Unit tests for the Waveform container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import Waveform
+from repro.errors import AnalysisError
+
+
+def make_ramp(n=11, t_stop=1.0):
+    t = np.linspace(0.0, t_stop, n)
+    return Waveform(t, t.copy(), name="ramp")
+
+
+class TestConstruction:
+    def test_basic(self):
+        w = Waveform([0.0, 1.0, 2.0], [1.0, 2.0, 3.0])
+        assert len(w) == 3
+        assert w.t_start == 0.0
+        assert w.t_stop == 2.0
+        assert w.duration == 2.0
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(AnalysisError):
+            Waveform([0.0, 1.0], [1.0])
+
+    def test_rejects_non_increasing_time(self):
+        with pytest.raises(AnalysisError):
+            Waveform([0.0, 1.0, 1.0], [0.0, 1.0, 2.0])
+        with pytest.raises(AnalysisError):
+            Waveform([0.0, 2.0, 1.0], [0.0, 1.0, 2.0])
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(AnalysisError):
+            Waveform([0.0], [1.0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(AnalysisError):
+            Waveform(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_from_function(self):
+        w = Waveform.from_function(np.sin, 0.0, 2 * np.pi, n=101)
+        assert len(w) == 101
+        assert abs(w.y[0]) < 1e-12
+
+    def test_arrays_read_only(self):
+        w = make_ramp()
+        with pytest.raises(ValueError):
+            w.t[0] = 5.0
+        with pytest.raises(ValueError):
+            w.y[0] = 5.0
+
+
+class TestArithmetic:
+    def test_add_scalar(self):
+        w = make_ramp() + 1.0
+        assert w.y[0] == pytest.approx(1.0)
+
+    def test_add_waveform(self):
+        w = make_ramp()
+        total = w + w
+        assert np.allclose(total.y, 2 * w.y)
+
+    def test_subtract(self):
+        w = make_ramp()
+        z = w - w
+        assert np.allclose(z.y, 0.0)
+
+    def test_rsub(self):
+        w = make_ramp()
+        z = 1.0 - w
+        assert np.allclose(z.y, 1.0 - w.y)
+
+    def test_multiply(self):
+        w = make_ramp() * 3.0
+        assert w.y[-1] == pytest.approx(3.0)
+
+    def test_neg_and_abs(self):
+        w = -make_ramp()
+        assert w.y[-1] == pytest.approx(-1.0)
+        assert w.abs().y[-1] == pytest.approx(1.0)
+
+    def test_mismatched_time_base_rejected(self):
+        a = make_ramp(n=11)
+        b = make_ramp(n=21)
+        with pytest.raises(AnalysisError):
+            _ = a + b
+
+
+class TestSlicing:
+    def test_window(self):
+        w = make_ramp(n=101)
+        sub = w.window(0.25, 0.75)
+        assert sub.t_start >= 0.25
+        assert sub.t_stop <= 0.75
+
+    def test_window_empty_raises(self):
+        w = make_ramp(n=11)
+        with pytest.raises(AnalysisError):
+            w.window(0.001, 0.002)
+
+    def test_window_backwards_raises(self):
+        w = make_ramp()
+        with pytest.raises(AnalysisError):
+            w.window(0.5, 0.2)
+
+    def test_resample(self):
+        w = make_ramp(n=11)
+        r = w.resample(np.linspace(0, 1, 101))
+        assert len(r) == 101
+        assert np.allclose(r.y, r.t)
+
+    def test_value_at(self):
+        w = make_ramp()
+        assert w.value_at(0.5) == pytest.approx(0.5)
+
+
+class TestCalculus:
+    def test_integral_of_ramp(self):
+        assert make_ramp(n=1001).integral() == pytest.approx(0.5, rel=1e-6)
+
+    def test_mean(self):
+        assert make_ramp(n=1001).mean() == pytest.approx(0.5, rel=1e-6)
+
+    def test_rms_of_sine(self):
+        w = Waveform.from_function(np.sin, 0.0, 2 * np.pi, n=20001)
+        assert w.rms() == pytest.approx(1 / np.sqrt(2), rel=1e-3)
+
+    def test_derivative_of_ramp(self):
+        d = make_ramp(n=101).derivative()
+        assert np.allclose(d.y, 1.0)
+
+    def test_peak_to_peak(self):
+        w = Waveform.from_function(np.sin, 0.0, 2 * np.pi, n=2001)
+        assert w.peak_to_peak() == pytest.approx(2.0, rel=1e-4)
+
+
+@given(
+    offset=st.floats(-5, 5),
+    scale=st.floats(0.1, 10),
+)
+def test_property_linear_ops_commute(offset, scale):
+    """(w * a) + b equals samplewise a*y + b."""
+    w = make_ramp(n=17)
+    out = (w * scale) + offset
+    assert np.allclose(out.y, scale * w.y + offset)
+
+
+@given(st.integers(3, 50))
+def test_property_resample_identity(n):
+    w = make_ramp(n=n)
+    r = w.resample(w.t)
+    assert np.allclose(r.y, w.y)

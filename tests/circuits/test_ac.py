@@ -1,0 +1,85 @@
+"""Tests for small-signal AC analysis."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, run_ac
+from repro.errors import AnalysisError
+
+
+class TestRCFilter:
+    def test_pole_frequency(self):
+        c = Circuit()
+        c.voltage_source("V1", "in", "0", 0.0, ac_magnitude=1.0)
+        c.resistor("R1", "in", "out", 1e3)
+        c.capacitor("C1", "out", "0", 1e-9)
+        f_pole = 1 / (2 * np.pi * 1e3 * 1e-9)
+        res = run_ac(c, [f_pole])
+        assert abs(res.response("out")[0]) == pytest.approx(1 / np.sqrt(2), rel=1e-6)
+
+    def test_rolloff_20db_per_decade(self):
+        c = Circuit()
+        c.voltage_source("V1", "in", "0", 0.0, ac_magnitude=1.0)
+        c.resistor("R1", "in", "out", 1e3)
+        c.capacitor("C1", "out", "0", 1e-9)
+        f_pole = 1 / (2 * np.pi * 1e3 * 1e-9)
+        res = run_ac(c, [f_pole * 100, f_pole * 1000])
+        m = res.magnitude("out")
+        assert m[0] / m[1] == pytest.approx(10.0, rel=1e-2)
+
+
+class TestRLCResonance:
+    def make_tank(self, l=100e-6, cap=1e-9, rs=10.0):
+        c = Circuit()
+        c.current_source("I1", "0", "t", 0.0, ac_magnitude=1e-3)
+        c.inductor("L1", "t", "m", l)
+        c.resistor("Rs", "m", "0", rs)
+        c.capacitor("C1", "t", "0", cap)
+        return c
+
+    def test_resonance_frequency(self):
+        c = self.make_tank()
+        f0 = 1 / (2 * np.pi * np.sqrt(100e-6 * 1e-9))
+        res = run_ac(c, np.linspace(0.7 * f0, 1.3 * f0, 1201))
+        assert res.resonance_frequency("t") == pytest.approx(f0, rel=2e-3)
+
+    def test_quality_factor(self):
+        c = self.make_tank()
+        f0 = 1 / (2 * np.pi * np.sqrt(100e-6 * 1e-9))
+        q_expected = np.sqrt(100e-6 / 1e-9) / 10.0  # Z0 / Rs ≈ 31.6
+        res = run_ac(c, np.linspace(0.7 * f0, 1.3 * f0, 2401))
+        assert res.quality_factor("t") == pytest.approx(q_expected, rel=0.02)
+
+    def test_peak_impedance_is_rp(self):
+        c = self.make_tank()
+        f0 = 1 / (2 * np.pi * np.sqrt(100e-6 * 1e-9))
+        res = run_ac(c, np.linspace(0.9 * f0, 1.1 * f0, 2401))
+        rp = 100e-6 / (1e-9 * 10.0)  # L/(C*Rs)
+        peak_v = res.magnitude("t").max()
+        assert peak_v / 1e-3 == pytest.approx(rp, rel=0.02)
+
+
+class TestValidation:
+    def test_empty_frequencies(self):
+        c = Circuit()
+        c.voltage_source("V1", "a", "0", 0.0, ac_magnitude=1.0)
+        c.resistor("R1", "a", "0", 1.0)
+        with pytest.raises(AnalysisError):
+            run_ac(c, [])
+
+    def test_negative_frequency(self):
+        c = Circuit()
+        c.voltage_source("V1", "a", "0", 0.0, ac_magnitude=1.0)
+        c.resistor("R1", "a", "0", 1.0)
+        with pytest.raises(AnalysisError):
+            run_ac(c, [-1.0])
+
+    def test_nonlinear_linearized_at_op(self):
+        """A diode biased forward shows its small-signal conductance."""
+        c = Circuit()
+        c.voltage_source("V1", "in", "0", 5.0, ac_magnitude=1.0)
+        c.resistor("R1", "in", "a", 1e3)
+        c.diode("D1", "a", "0")
+        res = run_ac(c, [1e3])
+        # rd = nVt/Id ≈ 0.02585/4.3mA ≈ 6 ohm << 1k: output tiny.
+        assert abs(res.response("a")[0]) < 0.05

@@ -1,0 +1,105 @@
+"""Tests for controlled sources."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, solve_dc
+from repro.errors import NetlistError
+
+
+class TestVCCS:
+    def test_transconductance(self):
+        c = Circuit()
+        c.voltage_source("Vc", "ctl", "0", 2.0)
+        c.vccs("G1", "0", "out", "ctl", "0", gm=1e-3)
+        c.resistor("RL", "out", "0", 1e3)
+        op = solve_dc(c)
+        # 2 mA from 0 into out across 1k -> +2 V.
+        assert op.voltage("out") == pytest.approx(2.0, rel=1e-6)
+
+    def test_negative_resistance_connection(self):
+        """Cross-connected VCCS realizes a negative conductance."""
+        c = Circuit()
+        c.current_source("I1", "0", "a", 1e-3)
+        c.resistor("R1", "a", "0", 1e3)
+        c.vccs("G1", "a", "0", "a", "0", gm=-0.5e-3)
+        op = solve_dc(c)
+        # Effective conductance 1m - 0.5m = 0.5 mS -> 2 V.
+        assert op.voltage("a") == pytest.approx(2.0, rel=1e-6)
+
+
+class TestVCVS:
+    def test_gain(self):
+        c = Circuit()
+        c.voltage_source("Vc", "ctl", "0", 0.5)
+        c.vcvs("E1", "out", "0", "ctl", "0", mu=10.0)
+        c.resistor("RL", "out", "0", 1e3)
+        op = solve_dc(c)
+        assert op.voltage("out") == pytest.approx(5.0, rel=1e-9)
+
+    def test_differential_output(self):
+        c = Circuit()
+        c.voltage_source("Vc", "ctl", "0", 1.0)
+        c.vcvs("E1", "p", "n", "ctl", "0", mu=2.0)
+        c.resistor("Rp", "p", "0", 1e3)
+        c.resistor("Rn", "n", "0", 1e3)
+        op = solve_dc(c)
+        assert op.differential("p", "n") == pytest.approx(2.0, rel=1e-9)
+
+
+class TestNonlinearVCCS:
+    def test_limited_output(self):
+        imax = 1e-3
+
+        def f(v):
+            return float(np.clip(5e-3 * v, -imax, imax))
+
+        c = Circuit()
+        c.voltage_source("Vc", "ctl", "0", 10.0)  # deep limiting
+        c.nonlinear_vccs("G1", "0", "out", "ctl", "0", f)
+        c.resistor("RL", "out", "0", 1e3)
+        op = solve_dc(c)
+        assert op.voltage("out") == pytest.approx(1.0, rel=1e-3)
+
+    def test_linear_region(self):
+        def f(v):
+            return float(np.clip(5e-3 * v, -1, 1))
+
+        c = Circuit()
+        c.voltage_source("Vc", "ctl", "0", 0.1)
+        c.nonlinear_vccs("G1", "0", "out", "ctl", "0", f)
+        c.resistor("RL", "out", "0", 1e3)
+        op = solve_dc(c)
+        assert op.voltage("out") == pytest.approx(0.5, rel=1e-3)
+
+    def test_analytic_derivative_used(self):
+        calls = {"d": 0}
+
+        def f(v):
+            return 1e-3 * np.tanh(v)
+
+        def df(v):
+            calls["d"] += 1
+            return 1e-3 / np.cosh(v) ** 2
+
+        c = Circuit()
+        c.voltage_source("Vc", "ctl", "0", 0.3)
+        c.nonlinear_vccs("G1", "0", "out", "ctl", "0", f, dfunc=df)
+        c.resistor("RL", "out", "0", 1e3)
+        solve_dc(c)
+        assert calls["d"] > 0
+
+    def test_output_current_helper(self):
+        def f(v):
+            return 2e-3 * v
+
+        c = Circuit()
+        c.voltage_source("Vc", "ctl", "0", 1.0)
+        g = c.nonlinear_vccs("G1", "0", "out", "ctl", "0", f)
+        c.resistor("RL", "out", "0", 1e3)
+        op = solve_dc(c)
+        assert g.output_current(op.x) == pytest.approx(2e-3, rel=1e-6)
+
+    def test_requires_callable(self):
+        with pytest.raises(NetlistError):
+            Circuit().nonlinear_vccs("G1", "a", "b", "c", "d", 42)

@@ -1,0 +1,84 @@
+"""Tests for process/temperature corners."""
+
+import pytest
+
+from repro.circuits import MosfetParams
+from repro.circuits.corners import (
+    FAST_COLD,
+    FAST_HOT,
+    SLOW_COLD,
+    SLOW_HOT,
+    TYPICAL,
+    ProcessCorner,
+)
+from repro.errors import ConfigurationError
+
+BASE = MosfetParams(polarity=+1, beta=2e-3, vt0=0.5, lam=0.02, i_sat_body=1e-13)
+
+
+class TestScaling:
+    def test_typical_is_identity_like(self):
+        scaled = TYPICAL.scale(BASE)
+        assert scaled.vt0 == pytest.approx(BASE.vt0)
+        assert scaled.beta == pytest.approx(BASE.beta, rel=1e-3)
+        assert scaled.i_sat_body == pytest.approx(BASE.i_sat_body)
+
+    def test_hot_lowers_vt_and_beta(self):
+        hot = ProcessCorner("hot", temperature_c=125.0)
+        scaled = hot.scale(BASE)
+        assert scaled.vt0 == pytest.approx(0.5 - 98e-3, abs=1e-6)
+        assert scaled.beta < BASE.beta
+
+    def test_cold_raises_vt_and_beta(self):
+        cold = ProcessCorner("cold", temperature_c=-40.0)
+        scaled = cold.scale(BASE)
+        assert scaled.vt0 > BASE.vt0
+        assert scaled.beta > BASE.beta
+
+    def test_leakage_doubles_every_10K(self):
+        hot = ProcessCorner("hot", temperature_c=_t(BASE) + 20.0)
+        scaled = hot.scale(BASE)
+        assert scaled.i_sat_body == pytest.approx(4e-13, rel=1e-6)
+
+    def test_process_shift(self):
+        slow = ProcessCorner("slow", vt_process_shift=0.08, beta_process_scale=0.85)
+        scaled = slow.scale(BASE)
+        assert scaled.vt0 == pytest.approx(0.58)
+        assert scaled.beta == pytest.approx(0.85 * 2e-3, rel=1e-3)
+
+    def test_polarity_preserved(self):
+        pmos = MosfetParams(polarity=-1, beta=1e-3, vt0=0.65)
+        assert SLOW_HOT.scale(pmos).polarity == -1
+
+    def test_vt_floor(self):
+        """vt never scales below a small positive floor."""
+        extreme = ProcessCorner("x", temperature_c=175.0, vt_process_shift=-0.4)
+        assert extreme.scale(BASE).vt0 >= 0.05
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProcessCorner("bad", temperature_c=300.0)
+        with pytest.raises(ConfigurationError):
+            ProcessCorner("bad", beta_process_scale=0.0)
+
+
+def _t(_params):
+    return 27.0
+
+
+class TestSupplyLossAcrossCorners:
+    """The §8 isolation must hold over the automotive range."""
+
+    @pytest.mark.parametrize(
+        "corner", [TYPICAL, SLOW_COLD, SLOW_HOT, FAST_COLD, FAST_HOT],
+        ids=lambda c: c.name,
+    )
+    def test_fig11_isolation_holds(self, corner):
+        from repro.core.output_stage import run_supply_loss_sweep
+
+        result = run_supply_loss_sweep("fig11", n_points=31, corner=corner)
+        # Operating-amplitude loading stays negligible at every corner.
+        assert abs(result.current_at(1.35)) < 250e-6
+        assert abs(result.current_at(-1.35)) < 250e-6
+        # Worst case over the full ±3 V stays comfortably sub-5 mA.
+        assert result.max_loading_current() < 2e-3

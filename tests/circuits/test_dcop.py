@@ -1,0 +1,113 @@
+"""Tests for the DC operating-point solver and sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, NewtonOptions, dc_sweep, solve_dc
+from repro.errors import ConvergenceError
+
+
+class TestLinearSolve:
+    def test_wheatstone_bridge(self):
+        c = Circuit()
+        c.voltage_source("V1", "top", "0", 10.0)
+        c.resistor("R1", "top", "l", 1e3)
+        c.resistor("R2", "l", "0", 2e3)
+        c.resistor("R3", "top", "r", 2e3)
+        c.resistor("R4", "r", "0", 1e3)
+        c.resistor("Rb", "l", "r", 5e3)
+        op = solve_dc(c)
+        # Bridge arms: V(l) without bridge = 6.667, V(r) = 3.333;
+        # with the bridge resistor current flows l -> r.
+        assert op.voltage("l") > op.voltage("r")
+        i_bridge = (op.voltage("l") - op.voltage("r")) / 5e3
+        assert i_bridge > 0
+
+    def test_floating_node_held_by_gmin(self):
+        c = Circuit()
+        c.voltage_source("V1", "a", "0", 5.0)
+        c.resistor("R1", "a", "0", 1e3)
+        c.capacitor("Cf", "float", "0", 1e-12)
+        op = solve_dc(c)
+        assert abs(op.voltage("float")) < 1.0  # not NaN, not wild
+
+    def test_voltages_dict(self):
+        c = Circuit()
+        c.voltage_source("V1", "a", "0", 1.0)
+        c.resistor("R1", "a", "0", 1e3)
+        v = solve_dc(c).voltages()
+        assert set(v) == {"a"}
+
+
+class TestNonlinearSolve:
+    def test_diode_stack_converges(self):
+        c = Circuit()
+        c.voltage_source("V1", "in", "0", 5.0)
+        c.resistor("R1", "in", "a", 100.0)
+        c.diode("D1", "a", "b")
+        c.diode("D2", "b", "c")
+        c.diode("D3", "c", "0")
+        op = solve_dc(c)
+        assert op.voltage("a") == pytest.approx(3 * 0.72, abs=0.3)
+
+    def test_nonconvergent_raises_with_metadata(self):
+        """An impossible tolerance must raise ConvergenceError."""
+        c = Circuit()
+        c.voltage_source("V1", "in", "0", 5.0)
+        c.resistor("R1", "in", "a", 100.0)
+        c.diode("D1", "a", "0")
+        options = NewtonOptions(
+            max_iterations=1,
+            abstol_v=0.0,
+            reltol=0.0,
+            gmin_steps=(),
+            source_steps=1,
+        )
+        with pytest.raises(ConvergenceError):
+            # One iteration from a cold start with zero tolerance and
+            # no homotopy fallback cannot converge.
+            solve_dc(c, options=options)
+
+
+class TestDCSweep:
+    def test_resistor_iv_line(self):
+        c = Circuit()
+        c.voltage_source("Vs", "a", "0", 0.0)
+        c.resistor("R1", "a", "0", 1e3)
+        sweep = dc_sweep(
+            c,
+            "Vs",
+            np.linspace(-1, 1, 11),
+            probes={"i": lambda op: -op.branch_current("Vs")},
+        )
+        assert np.allclose(sweep.trace("i"), sweep.values / 1e3)
+
+    def test_diode_iv_curve(self):
+        c = Circuit()
+        c.voltage_source("Vs", "a", "0", 0.0)
+        c.resistor("Rser", "a", "d", 10.0)
+        c.diode("D1", "d", "0")
+        sweep = dc_sweep(
+            c,
+            "Vs",
+            np.linspace(-1, 1, 41),
+            probes={"i": lambda op: -op.branch_current("Vs")},
+        )
+        i = sweep.trace("i")
+        assert i[0] == pytest.approx(0.0, abs=1e-9)  # reverse
+        assert i[-1] > 1e-3  # forward
+        assert np.all(np.diff(i) >= -1e-12)  # monotonic
+
+    def test_source_restored_after_sweep(self):
+        c = Circuit()
+        src = c.voltage_source("Vs", "a", "0", 7.0)
+        c.resistor("R1", "a", "0", 1e3)
+        dc_sweep(c, "Vs", [0.0, 1.0], probes={"v": lambda op: op.voltage("a")})
+        assert src.value_at(0.0) == 7.0
+
+    def test_sweeping_non_source_rejected(self):
+        c = Circuit()
+        c.voltage_source("Vs", "a", "0", 0.0)
+        c.resistor("R1", "a", "0", 1e3)
+        with pytest.raises(ConvergenceError):
+            dc_sweep(c, "R1", [0.0], probes={})

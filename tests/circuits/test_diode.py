@@ -1,0 +1,85 @@
+"""Tests for the junction diode model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuits import Circuit, solve_dc
+from repro.circuits.diode import VT_300K, junction_iv
+from repro.errors import NetlistError
+
+
+class TestJunctionIV:
+    def test_zero_bias(self):
+        i, g = junction_iv(0.0, 1e-14)
+        assert i == pytest.approx(0.0)
+        assert g > 0
+
+    def test_forward_exponential(self):
+        i1, _ = junction_iv(0.6, 1e-14)
+        i2, _ = junction_iv(0.6 + VT_300K * math.log(10), 1e-14)
+        assert i2 / i1 == pytest.approx(10.0, rel=1e-3)
+
+    def test_reverse_saturation(self):
+        i, _ = junction_iv(-5.0, 1e-14)
+        assert i == pytest.approx(-1e-14, rel=1e-3)
+
+    def test_no_overflow_at_huge_bias(self):
+        i, g = junction_iv(100.0, 1e-14)
+        assert math.isfinite(i) and math.isfinite(g)
+
+    @given(st.floats(-2.0, 3.0))
+    def test_property_monotonic_and_continuous(self, v):
+        """i(v) is increasing; the linear tail is C1 continuous."""
+        h = 1e-6
+        i_lo, g = junction_iv(v - h, 1e-14)
+        i_hi, _ = junction_iv(v + h, 1e-14)
+        assert i_hi >= i_lo
+        # Finite-difference slope matches the reported conductance.
+        fd = (i_hi - i_lo) / (2 * h)
+        assert fd == pytest.approx(g, rel=1e-2, abs=1e-18)
+
+
+class TestDiodeInCircuit:
+    def test_forward_drop(self):
+        c = Circuit()
+        c.voltage_source("V1", "in", "0", 5.0)
+        c.resistor("R1", "in", "a", 1e3)
+        c.diode("D1", "a", "0")
+        op = solve_dc(c)
+        assert 0.55 < op.voltage("a") < 0.8
+
+    def test_reverse_blocks(self):
+        c = Circuit()
+        c.voltage_source("V1", "in", "0", -5.0)
+        c.resistor("R1", "in", "a", 1e3)
+        c.diode("D1", "a", "0")
+        op = solve_dc(c)
+        assert op.voltage("a") == pytest.approx(-5.0, abs=1e-3)
+
+    def test_current_helper(self):
+        c = Circuit()
+        c.voltage_source("V1", "in", "0", 5.0)
+        c.resistor("R1", "in", "a", 1e3)
+        d = c.diode("D1", "a", "0")
+        op = solve_dc(c)
+        i_r = (5.0 - op.voltage("a")) / 1e3
+        assert d.current(op.x) == pytest.approx(i_r, rel=1e-3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(NetlistError):
+            Circuit().diode("D1", "a", "b", i_sat=0.0)
+
+    def test_full_wave_rectifier(self):
+        """Two diodes rectify a differential pair of sources."""
+        c = Circuit()
+        c.voltage_source("Vp", "p", "0", 2.0)
+        c.voltage_source("Vn", "n", "0", -2.0)
+        c.diode("Dp", "p", "out")
+        c.diode("Dn", "n", "out")
+        c.resistor("RL", "out", "0", 10e3)
+        op = solve_dc(c)
+        # Only the positive side conducts.
+        assert op.voltage("out") == pytest.approx(2.0 - 0.65, abs=0.15)

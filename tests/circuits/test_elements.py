@@ -1,0 +1,158 @@
+"""Tests for passive elements against hand-solved circuits."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    NewtonOptions,
+    TransientOptions,
+    run_transient,
+    solve_dc,
+)
+from repro.errors import NetlistError
+
+
+class TestResistor:
+    def test_voltage_divider(self):
+        c = Circuit()
+        c.voltage_source("V1", "in", "0", 9.0)
+        c.resistor("R1", "in", "mid", 2e3)
+        c.resistor("R2", "mid", "0", 1e3)
+        op = solve_dc(c)
+        assert op.voltage("mid") == pytest.approx(3.0, rel=1e-6)
+
+    def test_source_current(self):
+        c = Circuit()
+        c.voltage_source("V1", "in", "0", 10.0)
+        c.resistor("R1", "in", "0", 1e3)
+        op = solve_dc(c)
+        # SPICE convention: source sinks 10 mA at its + terminal.
+        assert op.branch_current("V1") == pytest.approx(-0.01, rel=1e-6)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(NetlistError):
+            Circuit().resistor("R1", "a", "b", 0.0)
+        with pytest.raises(NetlistError):
+            Circuit().resistor("R1", "a", "b", -5.0)
+
+    def test_current_helper(self):
+        c = Circuit()
+        c.voltage_source("V1", "in", "0", 5.0)
+        r = c.resistor("R1", "in", "0", 1e3)
+        op = solve_dc(c)
+        assert r.current(op.x) == pytest.approx(5e-3, rel=1e-6)
+
+
+class TestCapacitorDC:
+    def test_open_in_dc(self):
+        c = Circuit()
+        c.voltage_source("V1", "in", "0", 5.0)
+        c.resistor("R1", "in", "out", 1e3)
+        c.capacitor("C1", "out", "0", 1e-9)
+        op = solve_dc(c)
+        # No DC path through the cap: out floats to the input value.
+        assert op.voltage("out") == pytest.approx(5.0, rel=1e-3)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(NetlistError):
+            Circuit().capacitor("C1", "a", "b", -1e-9)
+
+
+class TestInductorDC:
+    def test_short_in_dc(self):
+        c = Circuit()
+        c.voltage_source("V1", "in", "0", 5.0)
+        c.resistor("R1", "in", "mid", 1e3)
+        c.inductor("L1", "mid", "0", 1e-6)
+        op = solve_dc(c)
+        assert op.voltage("mid") == pytest.approx(0.0, abs=1e-6)
+        assert op.branch_current("L1") == pytest.approx(5e-3, rel=1e-6)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(NetlistError):
+            Circuit().inductor("L1", "a", "b", 0.0)
+
+
+class TestRCTransient:
+    def test_charging_curve(self):
+        c = Circuit()
+        c.voltage_source("V1", "in", "0", 1.0)
+        c.resistor("R1", "in", "out", 1e3)
+        c.capacitor("C1", "out", "0", 1e-6, ic=0.0)
+        res = run_transient(
+            c,
+            TransientOptions(t_stop=5e-3, dt=5e-6, use_dc_operating_point=False),
+        )
+        w = res.waveform("out")
+        tau = 1e-3
+        for t_probe in (0.5e-3, 1e-3, 2e-3):
+            assert w.value_at(t_probe) == pytest.approx(
+                1 - np.exp(-t_probe / tau), rel=5e-3
+            )
+
+    def test_backward_euler_also_converges(self):
+        c = Circuit()
+        c.voltage_source("V1", "in", "0", 1.0)
+        c.resistor("R1", "in", "out", 1e3)
+        c.capacitor("C1", "out", "0", 1e-6, ic=0.0)
+        res = run_transient(
+            c,
+            TransientOptions(
+                t_stop=5e-3, dt=2e-6, method="be", use_dc_operating_point=False
+            ),
+        )
+        assert res.waveform("out").value_at(1e-3) == pytest.approx(
+            1 - np.exp(-1), rel=2e-2
+        )
+
+
+class TestLRTransient:
+    def test_current_rise(self):
+        c = Circuit()
+        c.voltage_source("V1", "in", "0", 1.0)
+        c.resistor("R1", "in", "mid", 100.0)
+        c.inductor("L1", "mid", "0", 1e-3, ic=0.0)
+        res = run_transient(
+            c,
+            TransientOptions(t_stop=50e-6, dt=50e-9, use_dc_operating_point=False),
+        )
+        i = res.branch_current("L1")
+        tau = 1e-3 / 100.0  # 10 us
+        assert i.value_at(10e-6) == pytest.approx((1 - np.exp(-1)) / 100, rel=5e-3)
+
+
+class TestLCEnergyConservation:
+    def test_trapezoidal_is_lossless(self):
+        """Trapezoidal integration must not damp an ideal LC tank."""
+        c = Circuit()
+        c.inductor("L1", "a", "0", 10e-6, ic=1e-3)
+        c.capacitor("C1", "a", "0", 1e-9, ic=0.0)
+        f0 = 1 / (2 * np.pi * np.sqrt(10e-6 * 1e-9))
+        res = run_transient(
+            c,
+            TransientOptions(
+                t_stop=50 / f0, dt=1 / (f0 * 64), use_dc_operating_point=False
+            ),
+        )
+        v = res.waveform("a")
+        first = v.window(0, 5 / f0).peak_to_peak()
+        last = v.window(45 / f0, 50 / f0).peak_to_peak()
+        assert last == pytest.approx(first, rel=1e-3)
+
+
+class TestSwitch:
+    def test_open_closed(self):
+        c = Circuit()
+        c.voltage_source("V1", "in", "0", 1.0)
+        sw = c.switch("S1", "in", "out", r_on=1.0, r_off=1e9)
+        c.resistor("RL", "out", "0", 1e3)
+        op_open = solve_dc(c)
+        assert op_open.voltage("out") < 1e-3
+        sw.closed = True
+        op_closed = solve_dc(c)
+        assert op_closed.voltage("out") == pytest.approx(1.0, rel=1e-2)
+
+    def test_invalid_resistances(self):
+        with pytest.raises(NetlistError):
+            Circuit().switch("S1", "a", "b", r_on=10.0, r_off=1.0)

@@ -1,0 +1,153 @@
+"""Tests for the level-1 MOSFET model."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    Mosfet,
+    MosfetParams,
+    NMOS_DEFAULT,
+    PMOS_DEFAULT,
+    solve_dc,
+)
+from repro.errors import NetlistError
+
+NMOS = MosfetParams(polarity=+1, beta=2e-3, vt0=0.5, lam=0.0)
+PMOS = MosfetParams(polarity=-1, beta=2e-3, vt0=0.5, lam=0.0)
+
+
+def nmos_bias(vg, vd, params=NMOS):
+    c = Circuit()
+    c.voltage_source("Vg", "g", "0", vg)
+    c.voltage_source("Vd", "d", "0", vd)
+    m = c.mosfet("M1", "d", "g", "0", "0", params)
+    op = solve_dc(c)
+    return m.channel_current(op.x)
+
+
+class TestNMOSRegions:
+    def test_cutoff(self):
+        assert nmos_bias(vg=0.3, vd=2.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_saturation_square_law(self):
+        # vov = 1.0, sat: I = beta/2 * vov^2 = 1 mA
+        assert nmos_bias(vg=1.5, vd=3.0) == pytest.approx(1e-3, rel=1e-6)
+
+    def test_saturation_scales_quadratically(self):
+        i1 = nmos_bias(vg=1.0, vd=3.0)  # vov = 0.5
+        i2 = nmos_bias(vg=1.5, vd=3.0)  # vov = 1.0
+        assert i2 / i1 == pytest.approx(4.0, rel=1e-6)
+
+    def test_triode(self):
+        # vov = 1.0, vds = 0.2: I = beta*(vov*vds - vds^2/2)
+        expected = 2e-3 * (1.0 * 0.2 - 0.02)
+        assert nmos_bias(vg=1.5, vd=0.2) == pytest.approx(expected, rel=1e-6)
+
+    def test_boundary_continuity(self):
+        i_triode = nmos_bias(vg=1.5, vd=0.999999)
+        i_sat = nmos_bias(vg=1.5, vd=1.000001)
+        assert i_triode == pytest.approx(i_sat, rel=1e-4)
+
+    def test_channel_length_modulation(self):
+        params = MosfetParams(polarity=+1, beta=2e-3, vt0=0.5, lam=0.1)
+        i1 = nmos_bias(vg=1.5, vd=2.0, params=params)
+        i2 = nmos_bias(vg=1.5, vd=3.0, params=params)
+        assert i2 > i1
+        assert i2 / i1 == pytest.approx(1.3 / 1.2, rel=1e-6)
+
+
+class TestSymmetry:
+    def test_drain_source_swap(self):
+        """Current reverses cleanly when the terminals swap roles."""
+        c = Circuit()
+        c.voltage_source("Vg", "g", "0", 1.5)
+        c.voltage_source("Vs", "s", "0", 0.5)
+        m = c.mosfet("M1", "0", "g", "s", "0", NMOS)  # drain grounded
+        op = solve_dc(c)
+        # Effective vgs = 1.5-0, vds = 0-0.5 < 0 -> swapped internally;
+        # conventional current flows source terminal -> drain terminal.
+        assert m.channel_current(op.x) < 0
+
+
+class TestPMOS:
+    def test_mirror_of_nmos(self):
+        c = Circuit()
+        c.voltage_source("Vdd", "vdd", "0", 3.0)
+        c.voltage_source("Vg", "g", "0", 1.5)
+        m = c.mosfet("M1", "0", "g", "vdd", "vdd", PMOS)
+        op = solve_dc(c)
+        # vsg = 1.5, vov = 1.0 -> 1 mA flowing source->drain, i.e.
+        # channel current into the drain terminal is negative... the
+        # PMOS delivers current out of its drain into the ground node.
+        assert abs(m.channel_current(op.x)) == pytest.approx(1e-3, rel=1e-6)
+
+    def test_pmos_cutoff(self):
+        c = Circuit()
+        c.voltage_source("Vdd", "vdd", "0", 3.0)
+        c.voltage_source("Vg", "g", "0", 3.0)
+        m = c.mosfet("M1", "0", "g", "vdd", "vdd", PMOS)
+        op = solve_dc(c)
+        assert m.channel_current(op.x) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestInverter:
+    def test_static_transfer(self):
+        def vout(vin):
+            c = Circuit()
+            c.voltage_source("Vdd", "vdd", "0", 3.3)
+            c.voltage_source("Vin", "g", "0", vin)
+            c.mosfet("MN", "out", "g", "0", "0", NMOS_DEFAULT)
+            c.mosfet("MP", "out", "g", "vdd", "vdd", PMOS_DEFAULT)
+            return solve_dc(c).voltage("out")
+
+        assert vout(0.0) > 3.2
+        assert vout(3.3) < 0.1
+        # Switching threshold for these device strengths is ~1.42 V.
+        assert 0.3 < vout(1.42) < 3.0  # transition region
+
+
+class TestBodyDiodes:
+    def test_nmos_bulk_diode_conducts_below_ground(self):
+        c = Circuit()
+        c.voltage_source("Vd", "d", "0", -1.5)
+        c.resistor("Rs", "d", "pin", 10.0)
+        c.mosfet("M1", "pin", "0", "0", "0", NMOS)
+        op = solve_dc(c)
+        # Bulk (gnd) -> drain diode clamps the pin near -0.7 V.
+        assert -0.85 < op.voltage("pin") < -0.5
+
+    def test_pmos_bulk_diode_pumps_well(self):
+        c = Circuit()
+        c.voltage_source("Vd", "d", "0", 2.0)
+        c.resistor("Rs", "d", "pin", 10.0)
+        c.mosfet("M1", "pin", "well", "well", "well", PMOS)
+        c.resistor("Rload", "well", "0", 10e3)
+        op = solve_dc(c)
+        # Drain -> well diode charges the floating well a drop below.
+        assert op.voltage("well") == pytest.approx(2.0 - 0.75, abs=0.2)
+
+
+class TestValidation:
+    def test_bad_polarity(self):
+        with pytest.raises(NetlistError):
+            MosfetParams(polarity=0)
+
+    def test_bad_beta(self):
+        with pytest.raises(NetlistError):
+            MosfetParams(polarity=1, beta=-1.0)
+
+
+class TestBodyEffect:
+    def test_gamma_raises_threshold(self):
+        base = MosfetParams(polarity=+1, beta=2e-3, vt0=0.5, lam=0.0)
+        body = MosfetParams(polarity=+1, beta=2e-3, vt0=0.5, lam=0.0, gamma=0.5)
+        c = Circuit()
+        c.voltage_source("Vg", "g", "0", 1.5)
+        c.voltage_source("Vd", "d", "0", 3.0)
+        c.voltage_source("Vs", "s", "0", 0.5)
+        c.voltage_source("Vb", "b", "0", 0.0)  # vsb = 0.5
+        m0 = c.mosfet("M0", "d", "g", "s", "b", base)
+        m1 = c.mosfet("M1", "d", "g", "s", "b", body)
+        op = solve_dc(c)
+        assert abs(m1.channel_current(op.x)) < abs(m0.channel_current(op.x))

@@ -1,0 +1,75 @@
+"""Property-based tests of the MOSFET model's physical invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import Circuit, MosfetParams, solve_dc
+
+NMOS = MosfetParams(polarity=+1, beta=2e-3, vt0=0.5, lam=0.0, i_sat_body=1e-30)
+NMOS_CLM = MosfetParams(polarity=+1, beta=2e-3, vt0=0.5, lam=0.03, i_sat_body=1e-30)
+PMOS = MosfetParams(polarity=-1, beta=2e-3, vt0=0.5, lam=0.0, i_sat_body=1e-30)
+
+
+def channel_current(params, vg, vd, vs, vb=0.0):
+    circuit = Circuit()
+    circuit.voltage_source("Vg", "g", "0", vg)
+    circuit.voltage_source("Vd", "d", "0", vd)
+    circuit.voltage_source("Vs", "s", "0", vs)
+    circuit.voltage_source("Vb", "b", "0", vb)
+    device = circuit.mosfet("M1", "d", "g", "s", "b", params)
+    op = solve_dc(circuit)
+    return device.channel_current(op.x)
+
+
+@settings(max_examples=40)
+@given(
+    vg=st.floats(0.0, 3.0),
+    vd=st.floats(0.0, 3.0),
+    vs=st.floats(0.0, 3.0),
+)
+def test_property_source_drain_antisymmetry(vg, vd, vs):
+    """A symmetric device: swapping D and S negates the current."""
+    forward = channel_current(NMOS, vg, vd, vs)
+    reverse = channel_current(NMOS, vg, vs, vd)
+    assert forward == pytest.approx(-reverse, abs=1e-12)
+
+
+@settings(max_examples=40)
+@given(
+    vg=st.floats(0.0, 3.0),
+    vd=st.floats(0.0, 3.0),
+)
+def test_property_nmos_pmos_mirror(vg, vd):
+    """PMOS with negated terminal voltages mirrors the NMOS exactly
+    (for lam = 0 both polarities share one square law)."""
+    i_n = channel_current(NMOS, vg, vd, 0.0, 0.0)
+    i_p = channel_current(PMOS, -vg, -vd, 0.0, 0.0)
+    assert i_p == pytest.approx(-i_n, abs=1e-12)
+
+
+@settings(max_examples=40)
+@given(
+    vg=st.floats(0.6, 3.0),
+    vd1=st.floats(0.0, 3.0),
+    vd2=st.floats(0.0, 3.0),
+)
+def test_property_monotonic_in_vds(vg, vd1, vd2):
+    """With lam >= 0, channel current never decreases with vds."""
+    lo, hi = sorted((vd1, vd2))
+    i_lo = channel_current(NMOS_CLM, vg, lo, 0.0)
+    i_hi = channel_current(NMOS_CLM, vg, hi, 0.0)
+    assert i_hi >= i_lo - 1e-12
+
+
+@settings(max_examples=40)
+@given(
+    vd=st.floats(0.5, 3.0),
+    vg1=st.floats(0.0, 3.0),
+    vg2=st.floats(0.0, 3.0),
+)
+def test_property_monotonic_in_vgs(vd, vg1, vg2):
+    """Channel current never decreases with gate drive."""
+    lo, hi = sorted((vg1, vg2))
+    i_lo = channel_current(NMOS, lo, vd, 0.0)
+    i_hi = channel_current(NMOS, hi, vd, 0.0)
+    assert i_hi >= i_lo - 1e-12

@@ -1,0 +1,95 @@
+"""Tests for the Circuit container."""
+
+import pytest
+
+from repro.circuits import Circuit, solve_dc
+from repro.errors import NetlistError
+
+
+class TestNodes:
+    def test_ground_aliases(self):
+        c = Circuit()
+        c.resistor("R1", "a", "0", 1.0)
+        c.resistor("R2", "b", "gnd", 1.0)
+        c.prepare()
+        assert c.node_index("0") == -1
+        assert c.node_index("gnd") == -1
+        assert c.node_index("a") >= 0
+
+    def test_unknown_node(self):
+        c = Circuit()
+        c.resistor("R1", "a", "0", 1.0)
+        with pytest.raises(NetlistError):
+            c.node_index("zz")
+
+    def test_node_names_ordered(self):
+        c = Circuit()
+        c.resistor("R1", "x", "y", 1.0)
+        c.resistor("R2", "y", "z", 1.0)
+        assert c.node_names == ("x", "y", "z")
+
+
+class TestComponents:
+    def test_duplicate_name_rejected(self):
+        c = Circuit()
+        c.resistor("R1", "a", "0", 1.0)
+        with pytest.raises(NetlistError):
+            c.resistor("R1", "b", "0", 1.0)
+
+    def test_remove(self):
+        c = Circuit()
+        c.resistor("R1", "a", "0", 1.0)
+        c.remove("R1")
+        assert "R1" not in c
+        with pytest.raises(NetlistError):
+            c.remove("R1")
+
+    def test_getitem(self):
+        c = Circuit()
+        r = c.resistor("R1", "a", "0", 1.0)
+        assert c["R1"] is r
+        with pytest.raises(NetlistError):
+            _ = c["nope"]
+
+    def test_len_and_iter(self):
+        c = Circuit()
+        c.resistor("R1", "a", "0", 1.0)
+        c.resistor("R2", "a", "0", 1.0)
+        assert len(c) == 2
+        assert {comp.name for comp in c} == {"R1", "R2"}
+
+
+class TestPreparation:
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(NetlistError):
+            Circuit().prepare()
+
+    def test_size_accounts_for_branches(self):
+        c = Circuit()
+        c.voltage_source("V1", "a", "0", 1.0)  # 1 branch
+        c.inductor("L1", "a", "b", 1e-6)  # 1 branch
+        c.resistor("R1", "b", "0", 1.0)
+        assert c.prepare() == 2 + 2  # 2 nodes + 2 branches
+
+    def test_prepare_idempotent(self):
+        c = Circuit()
+        c.voltage_source("V1", "a", "0", 1.0)
+        c.resistor("R1", "a", "0", 1.0)
+        assert c.prepare() == c.prepare()
+
+    def test_adding_after_prepare_reprepares(self):
+        c = Circuit()
+        c.voltage_source("V1", "a", "0", 1.0)
+        c.resistor("R1", "a", "0", 1e3)
+        solve_dc(c)
+        c.resistor("R2", "a", "b", 1e3)
+        c.resistor("R3", "b", "0", 1e3)
+        op = solve_dc(c)
+        assert op.voltage("b") == pytest.approx(0.5, rel=1e-6)
+
+    def test_has_nonlinear(self):
+        c = Circuit()
+        c.resistor("R1", "a", "0", 1.0)
+        assert not c.has_nonlinear()
+        c.diode("D1", "a", "0")
+        assert c.has_nonlinear()

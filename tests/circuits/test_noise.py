@@ -1,0 +1,104 @@
+"""Tests for thermal-noise analysis against textbook results."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.noise import BOLTZMANN, T_ROOM, run_noise
+from repro.errors import AnalysisError
+
+
+def rc_circuit(r=10e3, c=1e-9):
+    circuit = Circuit("rc-noise")
+    circuit.voltage_source("Vb", "in", "0", 0.0)
+    circuit.resistor("R1", "in", "out", r)
+    circuit.capacitor("C1", "out", "0", c)
+    return circuit
+
+
+class TestRCNoise:
+    def test_low_frequency_density_is_4ktr(self):
+        r = 10e3
+        circuit = rc_circuit(r=r)
+        f_pole = 1 / (2 * np.pi * r * 1e-9)
+        result = run_noise(circuit, [f_pole / 1000], "out")
+        expected = np.sqrt(4 * BOLTZMANN * T_ROOM * r)
+        assert result.total_density[0] == pytest.approx(expected, rel=1e-3)
+
+    def test_density_rolls_off_at_pole(self):
+        r, c = 10e3, 1e-9
+        circuit = rc_circuit(r, c)
+        f_pole = 1 / (2 * np.pi * r * c)
+        result = run_noise(circuit, [f_pole / 1000, f_pole], "out")
+        assert result.total_density[1] == pytest.approx(
+            result.total_density[0] / np.sqrt(2), rel=1e-3
+        )
+
+    def test_integrated_noise_is_kt_over_c(self):
+        """The classic: total RC noise is kT/C, independent of R."""
+        for r in (1e3, 100e3):
+            c = 1e-9
+            circuit = rc_circuit(r=r, c=c)
+            f_pole = 1 / (2 * np.pi * r * c)
+            freqs = np.logspace(
+                np.log10(f_pole / 1e3), np.log10(f_pole * 1e3), 4000
+            )
+            result = run_noise(circuit, freqs, "out")
+            expected = np.sqrt(BOLTZMANN * T_ROOM / c)
+            assert result.integrated_rms() == pytest.approx(expected, rel=0.02)
+
+
+class TestBreakdown:
+    def test_dominant_source(self):
+        circuit = Circuit("div-noise")
+        circuit.voltage_source("Vb", "in", "0", 0.0)
+        circuit.resistor("Rbig", "in", "out", 100e3)
+        circuit.resistor("Rsmall", "out", "0", 1e3)
+        circuit.capacitor("C1", "out", "0", 1e-12)
+        result = run_noise(circuit, [1e3], "out")
+        # Parallel combination: the small resistor shunts the node, so
+        # its own noise current sees ~Rsmall... both see the same
+        # impedance; the larger noise CURRENT comes from the small R,
+        # but the output noise from each is i_n^2 * Rpar^2: the small
+        # resistor dominates (i_n^2 ∝ 1/R).
+        assert result.dominant_source(1e3) == "Rsmall"
+
+    def test_contributions_sum_to_total(self):
+        circuit = rc_circuit()
+        result = run_noise(circuit, [1e4, 1e5], "out")
+        total_sq = sum(c for c in result.contributions.values())
+        assert np.allclose(np.sqrt(total_sq), result.total_density)
+
+
+class TestTankNoise:
+    def test_tank_noise_peaks_at_resonance(self):
+        """The tank's Rs noise peaks at f0 — the physical origin of
+        the oscillator's phase noise (Leeson's starting point)."""
+        circuit = Circuit("tank-noise")
+        circuit.inductor("L", "t", "m", 1e-6)
+        circuit.resistor("Rs", "m", "0", 5.0)
+        circuit.capacitor("C", "t", "0", 1.58e-9)
+        f0 = 1 / (2 * np.pi * np.sqrt(1e-6 * 1.58e-9))
+        freqs = np.linspace(0.5 * f0, 1.5 * f0, 301)
+        result = run_noise(circuit, freqs, "t")
+        peak_f = freqs[int(np.argmax(result.total_density))]
+        assert peak_f == pytest.approx(f0, rel=0.02)
+
+
+class TestValidation:
+    def test_no_resistors(self):
+        circuit = Circuit("lc")
+        circuit.inductor("L", "a", "0", 1e-6)
+        circuit.capacitor("C", "a", "0", 1e-9)
+        with pytest.raises(AnalysisError):
+            run_noise(circuit, [1e6], "a")
+
+    def test_ground_output_rejected(self):
+        with pytest.raises(AnalysisError):
+            run_noise(rc_circuit(), [1e3], "0")
+
+    def test_bad_frequencies(self):
+        with pytest.raises(AnalysisError):
+            run_noise(rc_circuit(), [], "out")
+        with pytest.raises(AnalysisError):
+            run_noise(rc_circuit(), [-1.0], "out")

@@ -1,0 +1,97 @@
+"""Property-based tests of the MNA solver on random passive networks.
+
+Physics gives us strong invariants that hold for *any* resistive
+network: the maximum principle (node voltages bounded by the source),
+superposition, reciprocity, and passivity (the source never absorbs
+power from a passive network).  Hypothesis generates the networks.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import Circuit, solve_dc
+
+# A ladder is encoded by alternating series/shunt resistances.
+resistances = st.lists(
+    st.floats(10.0, 1e5), min_size=2, max_size=8
+)
+
+
+def build_ladder(values, v_in=5.0):
+    """R-ladder: series elements with shunts to ground at each node."""
+    circuit = Circuit("ladder")
+    circuit.voltage_source("Vs", "n0", "0", v_in)
+    previous = "n0"
+    for i, value in enumerate(values):
+        node = f"n{i + 1}"
+        circuit.resistor(f"Rs{i}", previous, node, value)
+        circuit.resistor(f"Rp{i}", node, "0", value * 2.0)
+        previous = node
+    return circuit, [f"n{i + 1}" for i in range(len(values))]
+
+
+@settings(max_examples=40)
+@given(values=resistances)
+def test_maximum_principle(values):
+    """All node voltages of a resistive divider network lie inside
+    [0, V_source]."""
+    circuit, nodes = build_ladder(values)
+    op = solve_dc(circuit)
+    for node in nodes:
+        v = op.voltage(node)
+        assert -1e-9 <= v <= 5.0 + 1e-9
+
+
+@settings(max_examples=40)
+@given(values=resistances)
+def test_voltages_decrease_along_ladder(values):
+    """With shunts everywhere, voltage falls monotonically."""
+    circuit, nodes = build_ladder(values)
+    op = solve_dc(circuit)
+    voltages = [5.0] + [op.voltage(n) for n in nodes]
+    assert all(a >= b - 1e-9 for a, b in zip(voltages, voltages[1:]))
+
+
+@settings(max_examples=40)
+@given(values=resistances)
+def test_passivity(values):
+    """The source delivers power into a passive network (its branch
+    current is negative in SPICE convention)."""
+    circuit, _nodes = build_ladder(values)
+    op = solve_dc(circuit)
+    assert op.branch_current("Vs") < 1e-12
+
+
+@settings(max_examples=25)
+@given(values=resistances, scale=st.floats(0.1, 10.0))
+def test_linearity(values, scale):
+    """Scaling the source scales every node voltage (superposition)."""
+    circuit, nodes = build_ladder(values, v_in=5.0)
+    op1 = solve_dc(circuit)
+    circuit2, nodes2 = build_ladder(values, v_in=5.0 * scale)
+    op2 = solve_dc(circuit2)
+    for n in nodes:
+        assert op2.voltage(n) == pytest.approx(scale * op1.voltage(n), rel=1e-6)
+
+
+@settings(max_examples=25)
+@given(
+    r12=st.floats(100.0, 1e4),
+    r1=st.floats(100.0, 1e4),
+    r2=st.floats(100.0, 1e4),
+)
+def test_reciprocity(r12, r1, r2):
+    """Transfer resistance is symmetric: V2/I1 == V1/I2 for a passive
+    two-port."""
+
+    def transfer(inject_at, measure_at):
+        circuit = Circuit("twoport")
+        circuit.resistor("R12", "a", "b", r12)
+        circuit.resistor("R1", "a", "0", r1)
+        circuit.resistor("R2", "b", "0", r2)
+        circuit.current_source("I", "0", inject_at, 1e-3)
+        op = solve_dc(circuit)
+        return op.voltage(measure_at)
+
+    assert transfer("a", "b") == pytest.approx(transfer("b", "a"), rel=1e-9)

@@ -1,0 +1,91 @@
+"""Tests for stimulus functions and independent sources."""
+
+import math
+
+import pytest
+
+from repro.circuits import Circuit, CurrentSource, dc, pulse, pwl, sine, solve_dc
+from repro.errors import NetlistError
+
+
+class TestStimuli:
+    def test_dc(self):
+        f = dc(3.3)
+        assert f(0.0) == 3.3
+        assert f(1e9) == 3.3
+
+    def test_sine_basics(self):
+        f = sine(amplitude=2.0, frequency=1e6, offset=1.0)
+        assert f(0.0) == pytest.approx(1.0)
+        assert f(0.25e-6) == pytest.approx(3.0)
+
+    def test_sine_delay(self):
+        f = sine(amplitude=1.0, frequency=1e6, delay=1e-6)
+        assert f(0.5e-6) == pytest.approx(0.0)
+
+    def test_sine_phase(self):
+        f = sine(amplitude=1.0, frequency=1e6, phase_deg=90.0)
+        assert f(0.0) == pytest.approx(1.0)
+
+    def test_sine_invalid_frequency(self):
+        with pytest.raises(NetlistError):
+            sine(1.0, 0.0)
+
+    def test_pulse_shape(self):
+        f = pulse(0.0, 1.0, delay=1e-6, rise=1e-7, width=1e-6, fall=1e-7)
+        assert f(0.0) == 0.0
+        assert f(1.05e-6) == pytest.approx(0.5)
+        assert f(1.5e-6) == 1.0
+        assert f(2.15e-6) == pytest.approx(0.5)
+        assert f(3e-6) == 0.0
+
+    def test_pulse_periodic(self):
+        f = pulse(0.0, 1.0, rise=1e-9, width=0.4e-6, fall=1e-9, period=1e-6)
+        assert f(0.2e-6) == pytest.approx(1.0)
+        assert f(1.2e-6) == pytest.approx(1.0)
+        assert f(0.8e-6) == pytest.approx(0.0)
+
+    def test_pwl(self):
+        f = pwl([(0.0, 0.0), (1.0, 2.0), (2.0, 2.0)])
+        assert f(0.5) == pytest.approx(1.0)
+        assert f(1.5) == pytest.approx(2.0)
+        assert f(5.0) == pytest.approx(2.0)  # clamps at the end
+
+    def test_pwl_validation(self):
+        with pytest.raises(NetlistError):
+            pwl([(0.0, 1.0)])
+        with pytest.raises(NetlistError):
+            pwl([(0.0, 1.0), (0.0, 2.0)])
+
+
+class TestCurrentSource:
+    def test_drives_resistor(self):
+        c = Circuit()
+        c.current_source("I1", "0", "out", 1e-3)
+        c.resistor("R1", "out", "0", 1e3)
+        op = solve_dc(c)
+        # Current flows 0 -> out through the source, raising "out".
+        assert op.voltage("out") == pytest.approx(1.0, rel=1e-6)
+
+    def test_set_value(self):
+        c = Circuit()
+        src = c.current_source("I1", "0", "out", 1e-3)
+        c.resistor("R1", "out", "0", 1e3)
+        src.set_value(2e-3)
+        op = solve_dc(c)
+        assert op.voltage("out") == pytest.approx(2.0, rel=1e-6)
+
+
+class TestVoltageSource:
+    def test_time_dependent_value(self):
+        c = Circuit()
+        src = c.voltage_source("V1", "a", "0", sine(1.0, 1e6))
+        assert src.value_at(0.25e-6) == pytest.approx(1.0)
+
+    def test_two_sources_stack(self):
+        c = Circuit()
+        c.voltage_source("V1", "a", "0", 1.0)
+        c.voltage_source("V2", "b", "a", 2.0)
+        c.resistor("R", "b", "0", 1e3)
+        op = solve_dc(c)
+        assert op.voltage("b") == pytest.approx(3.0, rel=1e-9)

@@ -1,0 +1,94 @@
+"""Tests for hierarchical subcircuits."""
+
+import pytest
+
+from repro.circuits import Circuit, solve_dc
+from repro.circuits.subcircuit import CellBuilder, SubcircuitDefinition
+from repro.errors import NetlistError
+
+
+def divider_cell(cell: CellBuilder) -> None:
+    cell.circuit.resistor(cell.name("R1"), cell.port("in"), cell.node("mid"), 1e3)
+    cell.circuit.resistor(cell.name("R2"), cell.node("mid"), cell.port("out"), 1e3)
+
+
+DIVIDER = SubcircuitDefinition("div", ports=("in", "out"), build=divider_cell)
+
+
+class TestInstantiation:
+    def test_two_instances_are_isolated(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "a", "0", 4.0)
+        DIVIDER.instantiate(circuit, "X1", {"in": "a", "out": "0"})
+        DIVIDER.instantiate(circuit, "X2", {"in": "a", "out": "0"})
+        op = solve_dc(circuit)
+        assert op.voltage("X1.mid") == pytest.approx(2.0, rel=1e-9)
+        assert op.voltage("X2.mid") == pytest.approx(2.0, rel=1e-9)
+        # Internal nodes are distinct.
+        assert "X1.R1" in circuit and "X2.R1" in circuit
+
+    def test_cascaded_cells(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "a", "0", 8.0)
+        DIVIDER.instantiate(circuit, "X1", {"in": "a", "out": "b"})
+        circuit.resistor("RL", "b", "0", 2e3)
+        op = solve_dc(circuit)
+        # 1k + 1k in series, then 2k load: V(b) = 8 * 2/(2+2) = 4.
+        assert op.voltage("b") == pytest.approx(4.0, rel=1e-6)
+
+    def test_ground_passthrough_inside_cell(self):
+        def grounded(cell: CellBuilder) -> None:
+            cell.circuit.resistor(cell.name("R"), cell.port("p"), cell.node("0"), 1e3)
+
+        definition = SubcircuitDefinition("g", ports=("p",), build=grounded)
+        circuit = Circuit()
+        circuit.voltage_source("V1", "a", "0", 1.0)
+        definition.instantiate(circuit, "X1", {"p": "a"})
+        op = solve_dc(circuit)
+        assert op.branch_current("V1") == pytest.approx(-1e-3, rel=1e-9)
+
+    def test_builder_returned_for_probing(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "a", "0", 2.0)
+        cell = DIVIDER.instantiate(circuit, "X9", {"in": "a", "out": "0"})
+        assert cell.node("mid") == "X9.mid"
+        assert cell.name("R1") == "X9.R1"
+
+
+class TestValidation:
+    def test_missing_port(self):
+        circuit = Circuit()
+        with pytest.raises(NetlistError):
+            DIVIDER.instantiate(circuit, "X1", {"in": "a"})
+
+    def test_extra_port(self):
+        circuit = Circuit()
+        with pytest.raises(NetlistError):
+            DIVIDER.instantiate(circuit, "X1", {"in": "a", "out": "0", "zz": "b"})
+
+    def test_unknown_port_access(self):
+        def bad(cell: CellBuilder) -> None:
+            cell.port("nope")
+
+        definition = SubcircuitDefinition("bad", ports=("p",), build=bad)
+        circuit = Circuit()
+        with pytest.raises(NetlistError):
+            definition.instantiate(circuit, "X1", {"p": "a"})
+
+    def test_duplicate_ports_rejected(self):
+        with pytest.raises(NetlistError):
+            SubcircuitDefinition("d", ports=("a", "a"), build=lambda c: None)
+
+    def test_empty_names(self):
+        with pytest.raises(NetlistError):
+            SubcircuitDefinition("", ports=("a",), build=lambda c: None)
+        circuit = Circuit()
+        with pytest.raises(NetlistError):
+            DIVIDER.instantiate(circuit, "", {"in": "a", "out": "0"})
+
+    def test_duplicate_instance_names_collide(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "a", "0", 1.0)
+        DIVIDER.instantiate(circuit, "X1", {"in": "a", "out": "0"})
+        with pytest.raises(NetlistError):
+            DIVIDER.instantiate(circuit, "X1", {"in": "a", "out": "0"})

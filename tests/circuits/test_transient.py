@@ -1,0 +1,121 @@
+"""Tests for the transient engine beyond the basic RC/LR cases."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import oscillation_frequency
+from repro.circuits import (
+    Circuit,
+    TransientOptions,
+    run_transient,
+    sine,
+)
+from repro.errors import SimulationError
+
+
+class TestOptionsValidation:
+    def test_bad_times(self):
+        with pytest.raises(SimulationError):
+            TransientOptions(t_stop=0.0, dt=1e-6)
+        with pytest.raises(SimulationError):
+            TransientOptions(t_stop=1e-6, dt=1e-3)
+
+    def test_bad_method(self):
+        with pytest.raises(SimulationError):
+            TransientOptions(t_stop=1e-3, dt=1e-6, method="euler")
+
+    def test_bad_stride(self):
+        with pytest.raises(SimulationError):
+            TransientOptions(t_stop=1e-3, dt=1e-6, record_stride=0)
+
+
+class TestLCRing:
+    def test_frequency_accuracy(self):
+        c = Circuit()
+        c.inductor("L1", "a", "0", 10e-6, ic=1e-3)
+        c.capacitor("C1", "a", "0", 1e-9, ic=0.0)
+        f0 = 1 / (2 * np.pi * np.sqrt(10e-6 * 1e-9))
+        res = run_transient(
+            c,
+            TransientOptions(
+                t_stop=20 / f0, dt=1 / (f0 * 80), use_dc_operating_point=False
+            ),
+        )
+        measured = oscillation_frequency(res.waveform("a"))
+        assert measured == pytest.approx(f0, rel=2e-3)
+
+    def test_damped_decay_rate(self):
+        """Series RLC rings down with tau = 2L/R."""
+        c = Circuit()
+        c.inductor("L1", "a", "m", 10e-6, ic=1e-3)
+        c.resistor("R1", "m", "0", 5.0)
+        c.capacitor("C1", "a", "0", 1e-9, ic=0.0)
+        f0 = 1 / (2 * np.pi * np.sqrt(10e-6 * 1e-9))
+        res = run_transient(
+            c,
+            TransientOptions(
+                t_stop=30 / f0, dt=1 / (f0 * 80), use_dc_operating_point=False
+            ),
+        )
+        v = res.waveform("a")
+        tau = 2 * 10e-6 / 5.0  # 4 us
+        a_early = v.window(0, 3 / f0).peak_to_peak()
+        t_late = 20 / f0
+        a_late = v.window(t_late, t_late + 3 / f0).peak_to_peak()
+        expected_ratio = np.exp(-t_late / tau)
+        assert a_late / a_early == pytest.approx(expected_ratio, rel=0.1)
+
+
+class TestDrivenCircuits:
+    def test_sine_drive_amplitude(self):
+        c = Circuit()
+        c.voltage_source("V1", "in", "0", sine(1.0, 1e6))
+        c.resistor("R1", "in", "out", 1e3)
+        c.resistor("R2", "out", "0", 1e3)
+        res = run_transient(
+            c, TransientOptions(t_stop=5e-6, dt=5e-9, use_dc_operating_point=False)
+        )
+        assert res.waveform("out").max() == pytest.approx(0.5, rel=1e-3)
+
+    def test_record_stride(self):
+        c = Circuit()
+        c.voltage_source("V1", "in", "0", 1.0)
+        c.resistor("R1", "in", "0", 1e3)
+        res_full = run_transient(
+            c, TransientOptions(t_stop=1e-3, dt=1e-5, use_dc_operating_point=False)
+        )
+        res_strided = run_transient(
+            c,
+            TransientOptions(
+                t_stop=1e-3, dt=1e-5, record_stride=10, use_dc_operating_point=False
+            ),
+        )
+        assert len(res_strided.t) < len(res_full.t)
+
+    def test_start_from_dc_operating_point(self):
+        """With use_dc_operating_point the run starts settled."""
+        c = Circuit()
+        c.voltage_source("V1", "in", "0", 2.0)
+        c.resistor("R1", "in", "out", 1e3)
+        c.capacitor("C1", "out", "0", 1e-6)
+        res = run_transient(c, TransientOptions(t_stop=1e-3, dt=1e-5))
+        w = res.waveform("out")
+        assert np.allclose(w.y, 2.0, atol=1e-6)
+
+
+class TestNonlinearTransient:
+    def test_diode_rectifier(self):
+        c = Circuit()
+        c.voltage_source("V1", "in", "0", sine(2.0, 1e5))
+        c.diode("D1", "in", "out")
+        c.resistor("RL", "out", "0", 10e3)
+        c.capacitor("CL", "out", "0", 1e-6, ic=0.0)
+        res = run_transient(
+            c,
+            TransientOptions(t_stop=100e-6, dt=0.1e-6, use_dc_operating_point=False),
+        )
+        w = res.waveform("out")
+        # Peak detector holds near peak minus a diode drop.
+        assert 1.0 < w.max() < 2.0
+        # Never goes significantly negative.
+        assert w.min() > -0.1

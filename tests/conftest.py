@@ -1,0 +1,41 @@
+"""Shared fixtures: representative tanks and system configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.oscillator_system import OscillatorConfig
+from repro.envelope import HardLimiter, RLCTank
+
+
+@pytest.fixture
+def standard_tank() -> RLCTank:
+    """The baseline tank used across system-level tests.
+
+    4 MHz, Q = 30, L = 1 uH: lands the regulated code in the middle of
+    the DAC range (around segment 3/4), like the paper's typical
+    application.
+    """
+    return RLCTank.from_frequency_and_q(4e6, 30, 1e-6)
+
+
+@pytest.fixture
+def high_q_tank() -> RLCTank:
+    """A high-quality resonator (low driver current)."""
+    return RLCTank.from_frequency_and_q(4e6, 300, 1e-6)
+
+
+@pytest.fixture
+def low_q_tank() -> RLCTank:
+    """A poor resonator (near the driver's gm budget)."""
+    return RLCTank.from_frequency_and_q(4e6, 8, 1e-6)
+
+
+@pytest.fixture
+def standard_limiter() -> HardLimiter:
+    return HardLimiter(gm=5e-3, i_max=1e-3)
+
+
+@pytest.fixture
+def standard_config(standard_tank) -> OscillatorConfig:
+    return OscillatorConfig(tank=standard_tank)

@@ -1,0 +1,47 @@
+"""Tests for the Fig 12 / §9 area budget."""
+
+import pytest
+
+from repro.core.area import AreaBudget, default_area_budget
+from repro.core.constants import LAYOUT_AREA_DRIVER_MM2, LAYOUT_AREA_FULL_MM2
+from repro.errors import ConfigurationError
+
+
+class TestDefaultBudget:
+    def test_matches_paper_subtotals(self):
+        budget = default_area_budget()
+        ok, message = budget.check_against_paper(tolerance=0.005)
+        assert ok, message
+        assert budget.driver_total == pytest.approx(LAYOUT_AREA_DRIVER_MM2, abs=5e-3)
+        assert budget.total == pytest.approx(LAYOUT_AREA_FULL_MM2, abs=5e-3)
+
+    def test_driver_is_majority_of_die(self):
+        """§9: the driver dominates the block (0.22 of 0.40 mm2)."""
+        budget = default_area_budget()
+        assert 0.5 < budget.driver_total / budget.total < 0.6
+
+    def test_fractions_sum_to_one(self):
+        budget = default_area_budget()
+        assert sum(budget.fraction(n) for n in budget.blocks) == pytest.approx(1.0)
+
+
+class TestBookkeeping:
+    def test_duplicate_rejected(self):
+        budget = AreaBudget()
+        budget.add("x", 0.1)
+        with pytest.raises(ConfigurationError):
+            budget.add("x", 0.2)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AreaBudget().add("x", 0.0)
+
+    def test_unknown_fraction(self):
+        with pytest.raises(ConfigurationError):
+            default_area_budget().fraction("nope")
+
+    def test_check_fails_for_wrong_budget(self):
+        budget = AreaBudget()
+        budget.add("only-block", 0.01, driver=True)
+        ok, _message = budget.check_against_paper()
+        assert not ok

@@ -1,0 +1,74 @@
+"""Tests for the fast clock comparator + watchdog supervision (§7)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Waveform
+from repro.core import ClockComparator, supervise_waveform
+from repro.digital import WatchdogTimer
+from repro.errors import ConfigurationError
+
+
+def carrier(freq=4e6, amp=1.0, cycles=40, die_after=None):
+    fs = freq * 50
+    t = np.arange(int(cycles * 50)) / fs
+    envelope = np.ones_like(t) * amp
+    if die_after is not None:
+        envelope = np.where(t < die_after, amp, amp * np.exp(-(t - die_after) / 0.2e-6))
+    return Waveform(t, envelope * np.sin(2 * np.pi * freq * t))
+
+
+class TestEdgeExtraction:
+    def test_one_edge_per_cycle(self):
+        comp = ClockComparator(hysteresis=0.1)
+        edges = comp.rising_edges(carrier(cycles=20))
+        assert 18 <= len(edges) <= 20
+
+    def test_clock_frequency(self):
+        comp = ClockComparator(hysteresis=0.1)
+        assert comp.clock_frequency(carrier(freq=4e6)) == pytest.approx(
+            4e6, rel=1e-3
+        )
+
+    def test_small_signal_no_clock(self):
+        comp = ClockComparator(hysteresis=0.1)
+        quiet = carrier(amp=0.01)
+        assert comp.clock_frequency(quiet) == 0.0
+
+    def test_minimum_amplitude(self):
+        comp = ClockComparator(hysteresis=0.1, offset=0.02)
+        assert comp.minimum_amplitude == pytest.approx(0.07)
+
+    def test_hysteresis_rejects_noise(self):
+        """Noise smaller than the hysteresis produces no extra edges."""
+        rng = np.random.default_rng(0)
+        wave = carrier(cycles=20)
+        noisy = Waveform(wave.t, wave.y + 0.01 * rng.standard_normal(len(wave)))
+        comp = ClockComparator(hysteresis=0.1)
+        clean_edges = len(comp.rising_edges(wave))
+        noisy_edges = len(comp.rising_edges(noisy))
+        assert abs(noisy_edges - clean_edges) <= 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClockComparator(hysteresis=0.0)
+
+
+class TestSupervision:
+    def test_healthy_oscillation_passes(self):
+        comp = ClockComparator(hysteresis=0.1)
+        wd = WatchdogTimer(timeout=2e-6)  # 8 carrier periods
+        assert not supervise_waveform(carrier(), comp, wd)
+
+    def test_dying_oscillation_latches(self):
+        comp = ClockComparator(hysteresis=0.1)
+        wd = WatchdogTimer(timeout=2e-6)
+        dying = carrier(cycles=40, die_after=4e-6)
+        assert supervise_waveform(dying, comp, wd)
+
+    def test_timeout_longer_than_record_tail(self):
+        """A watchdog slower than the record's dead tail stays quiet."""
+        comp = ClockComparator(hysteresis=0.1)
+        wd = WatchdogTimer(timeout=1.0)
+        dying = carrier(cycles=40, die_after=4e-6)
+        assert not supervise_waveform(dying, comp, wd)

@@ -1,0 +1,76 @@
+"""Consistency checks of the paper constants against each other.
+
+Every number in ``repro.core.constants`` is quoted from the paper;
+several of them are redundant, which gives cross-checks that guard
+against transcription errors.
+"""
+
+import pytest
+
+from repro.core import constants as k
+from repro.core.segments import SEGMENTS, multiplication_factor
+
+
+class TestDACGeometry:
+    def test_bit_split(self):
+        assert k.SEGMENT_BITS + k.MANTISSA_BITS == k.CODE_BITS
+        assert k.N_CODES == 2**k.CODE_BITS == 128
+        assert k.MAX_CODE == 127
+
+    def test_dynamic_range_consistent_with_segments(self):
+        assert k.DYNAMIC_RANGE == (0, k.MAX_MULTIPLICATION_FACTOR)
+        assert SEGMENTS[-1].range_max == k.MAX_MULTIPLICATION_FACTOR
+
+    def test_full_scale_current(self):
+        """Fig 13 axis: 1984 x 12.5 uA = 24.8 mA."""
+        assert k.I_MAX_DRIVER == pytest.approx(24.8e-3)
+        assert k.I_MAX_DRIVER == pytest.approx(
+            k.MAX_MULTIPLICATION_FACTOR * k.I_LSB
+        )
+
+
+class TestRegulation:
+    def test_step_band_vs_segments(self):
+        assert k.MAX_RELATIVE_STEP == pytest.approx(1 / 16)
+        assert k.MIN_RELATIVE_STEP_ABOVE_16 == pytest.approx(1 / 31)
+
+    def test_por_code_fraction(self):
+        """§4: code 105 is ~40 % of maximum consumption."""
+        fraction = multiplication_factor(k.POR_CODE) / multiplication_factor(127)
+        assert fraction == pytest.approx(0.42, abs=0.02)
+
+    def test_min_regulated_code_marks_step_band(self):
+        """Above code 16 the relative step is bounded — below it the
+        steps explode, which is why the loop must stay above."""
+        from repro.core.segments import relative_step
+
+        assert relative_step(k.MIN_REGULATED_CODE) > k.MAX_RELATIVE_STEP
+        assert relative_step(k.MIN_REGULATED_CODE + 1) <= k.MAX_RELATIVE_STEP
+
+
+class TestOperatingRange:
+    def test_frequency_band(self):
+        assert k.F_OSC_MIN == 2e6
+        assert k.F_OSC_MAX == 5e6
+
+    def test_consumption_band_ordering(self):
+        assert k.SUPPLY_CURRENT_MIN < k.SUPPLY_CURRENT_MAX
+        assert k.SUPPLY_CURRENT_MIN == pytest.approx(250e-6)
+        assert k.SUPPLY_CURRENT_MAX == pytest.approx(30e-3)
+
+    def test_max_current_capability_consistent(self):
+        """The 30 mA consumption ceiling exceeds the 24.8 mA drive
+        full-scale (bias overhead on top)."""
+        assert k.SUPPLY_CURRENT_MAX > k.I_MAX_DRIVER
+
+    def test_gm_budget(self):
+        """§9: ~10 mS equivalent transconductance at full drive."""
+        from repro.core.driver_iv import DEFAULT_GM_UNIT
+        from repro.core.gm_block import GmBlock
+
+        full = GmBlock(gm_unit=DEFAULT_GM_UNIT).transconductance(0b1111)
+        assert full == pytest.approx(k.MAX_EQUIVALENT_GM, rel=0.15)
+
+    def test_amplitude_and_areas(self):
+        assert k.MAX_OPERATING_AMPLITUDE_PP == pytest.approx(2.7)
+        assert k.LAYOUT_AREA_DRIVER_MM2 < k.LAYOUT_AREA_FULL_MM2

@@ -1,0 +1,104 @@
+"""Tests of the OscD/OscE/OscF control-bus coding against Table 1."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import control_bus as cb
+from repro.core.segments import multiplication_factor
+from repro.errors import CodingError
+
+
+class TestEncode:
+    def test_every_code_matches_factor(self):
+        """The paper's bus formula reproduces M(n) for all 128 codes."""
+        for code in range(128):
+            word = cb.encode(code)
+            assert word.output_units == multiplication_factor(code), code
+
+    def test_segment0_buses(self):
+        word = cb.encode(5)
+        assert word.osc_d == 0b000
+        assert word.osc_e == 0b0000
+        assert word.osc_f == 5
+
+    def test_segment7_buses(self):
+        word = cb.encode(127)
+        assert word.osc_d == 0b111
+        assert word.osc_e == 0b1111
+        assert word.osc_f == 0b1111000  # mantissa 15 shifted by 3
+
+    def test_prescale_factors(self):
+        assert cb.encode(0).prescale_factor == 1
+        assert cb.encode(40).prescale_factor == 2
+        assert cb.encode(70).prescale_factor == 4
+        assert cb.encode(127).prescale_factor == 8
+
+    def test_active_gm_stages_match_table(self):
+        assert cb.encode(0).active_gm_stages == 1
+        assert cb.encode(16).active_gm_stages == 2
+        assert cb.encode(48).active_gm_stages == 3
+        assert cb.encode(80).active_gm_stages == 5
+        assert cb.encode(112).active_gm_stages == 9
+
+
+class TestControlWordValidation:
+    def test_non_thermometer_osc_d_rejected(self):
+        with pytest.raises(CodingError):
+            cb.ControlWord(osc_d=0b010, osc_e=0, osc_f=0)
+
+    def test_out_of_width(self):
+        with pytest.raises(CodingError):
+            cb.ControlWord(osc_d=0b1000, osc_e=0, osc_f=0)
+        with pytest.raises(CodingError):
+            cb.ControlWord(osc_d=0, osc_e=0b10000, osc_f=0)
+        with pytest.raises(CodingError):
+            cb.ControlWord(osc_d=0, osc_e=0, osc_f=1 << 7)
+
+    def test_bus_strings(self):
+        word = cb.encode(127)
+        assert word.bus_strings() == ["111", "1111", "1111000"]
+
+
+class TestTable1Rows:
+    def test_row_count(self):
+        assert len(cb.table1_rows()) == 8
+
+    def test_osc_f_templates(self):
+        rows = cb.table1_rows()
+        assert rows[0]["osc_f_template"] == "000B3B2B1B0"
+        assert rows[3]["osc_f_template"] == "00B3B2B1B00"
+        assert rows[5]["osc_f_template"] == "0B3B2B1B000"
+        assert rows[7]["osc_f_template"] == "B3B2B1B0000"
+
+    def test_ranges_in_rows(self):
+        rows = cb.table1_rows()
+        assert rows[7]["range_min"] == 1024
+        assert rows[7]["range_max"] == 1984
+
+    def test_verify_helper(self):
+        assert cb.verify_against_factors()
+
+
+class TestMirrorSplit:
+    def test_fixed_units_by_osc_e(self):
+        assert cb.encode(0).fixed_mirror_units == 0
+        assert cb.encode(16).fixed_mirror_units == 16
+        assert cb.encode(64).fixed_mirror_units == 32
+        assert cb.encode(80).fixed_mirror_units == 64
+        assert cb.encode(127).fixed_mirror_units == 128
+
+    def test_output_decomposition(self):
+        """Iout = prescale * (fixed + OscF) for every code."""
+        for code in range(128):
+            word = cb.encode(code)
+            assert word.output_units == word.prescale_factor * (
+                word.fixed_mirror_units + word.osc_f
+            )
+
+
+@given(code=st.integers(0, 127))
+def test_property_encode_valid_word(code):
+    word = cb.encode(code)
+    assert word.osc_d in (0b000, 0b001, 0b011, 0b111)
+    assert 0 <= word.osc_e <= 0b1111
+    assert 0 <= word.osc_f <= 0b1111111

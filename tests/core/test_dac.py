@@ -1,0 +1,116 @@
+"""Tests for the current-limitation DAC models (Fig 3/13/14)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import EQUIVALENT_LINEAR_BITS, ExponentialPWLDAC, HardwareDAC, LinearDAC
+from repro.core.constants import I_LSB, I_MAX_DRIVER
+from repro.errors import CodingError
+from repro.mc import MismatchProfile
+
+
+class TestIdealDAC:
+    def test_lsb_scaling(self):
+        dac = ExponentialPWLDAC()
+        assert dac.current(1) == pytest.approx(I_LSB)
+        assert dac.current(127) == pytest.approx(I_MAX_DRIVER)
+
+    def test_full_scale_is_24_8_ma(self):
+        """Fig 13: 1984 * 12.5 uA = 24.8 mA full scale."""
+        assert ExponentialPWLDAC().full_scale() == pytest.approx(24.8e-3, rel=1e-6)
+
+    def test_monotonic(self):
+        assert ExponentialPWLDAC().is_monotonic()
+
+    def test_transfer_length(self):
+        assert len(ExponentialPWLDAC().transfer()) == 128
+
+    def test_relative_steps_match_fig4(self):
+        steps = ExponentialPWLDAC().relative_steps(start_code=17)
+        assert steps.min() == pytest.approx(1 / 31, rel=1e-9)
+        assert steps.max() == pytest.approx(1 / 16, rel=1e-9)
+
+    def test_invalid_lsb(self):
+        with pytest.raises(CodingError):
+            ExponentialPWLDAC(i_lsb=0.0)
+
+
+class TestHardwareDACIdeal:
+    def test_matches_ideal_without_mismatch(self):
+        """The structural path (prescaler x mirrors) equals M(n)*LSB."""
+        ideal = ExponentialPWLDAC()
+        hardware = HardwareDAC()
+        for code in range(128):
+            assert hardware.current(code) == pytest.approx(
+                ideal.current(code), rel=1e-12
+            )
+
+    def test_transconductance_steps_with_segments(self):
+        hw = HardwareDAC(gm_unit=1.2e-3)
+        assert hw.transconductance(0) == pytest.approx(1.2e-3)
+        assert hw.transconductance(127) == pytest.approx(9 * 1.2e-3)
+
+    def test_monotonic_when_ideal(self):
+        assert HardwareDAC().is_monotonic()
+        assert HardwareDAC().non_monotonic_codes() == []
+
+
+class TestHardwareDACMeasuredLike:
+    """The Fig 13/14 signature: non-monotonic at code 96 only."""
+
+    @pytest.fixture
+    def dac(self):
+        return HardwareDAC(mismatch=MismatchProfile.measured_like())
+
+    def test_non_monotonic_exactly_at_96(self, dac):
+        assert dac.non_monotonic_codes() == [96]
+
+    def test_negative_step_at_96(self, dac):
+        steps = dac.relative_steps(start_code=2)
+        # steps[i] corresponds to code i+2.
+        assert steps[96 - 2] < 0.0
+
+    def test_full_scale_close_to_nominal(self, dac):
+        assert dac.current(127) == pytest.approx(I_MAX_DRIVER, rel=0.05)
+
+    def test_max_relative_step_still_below_window(self, dac):
+        """Even with mismatch the max step stays below ~8% so the
+        regulation window designed for 6.25% + margin still works."""
+        assert dac.max_relative_step(start_code=17) < 0.08
+
+
+class TestLinearDACAblation:
+    def test_needs_11_bits_for_same_range(self):
+        pwl = ExponentialPWLDAC()
+        lin = LinearDAC(bits=EQUIVALENT_LINEAR_BITS, i_lsb=I_LSB)
+        assert lin.codes_for_same_range(pwl) <= lin.n_codes
+        smaller = LinearDAC(bits=10, i_lsb=I_LSB)
+        assert smaller.codes_for_same_range(pwl) > smaller.n_codes
+
+    def test_relative_step_explodes_at_low_codes(self):
+        lin = LinearDAC(bits=11, i_lsb=I_LSB)
+        steps = lin.relative_steps(start_code=2)
+        assert steps[0] == pytest.approx(1.0)  # 100 % at the bottom
+        assert steps[-1] < 0.001  # sub-0.1 % at the top
+
+    def test_transfer_is_line(self):
+        lin = LinearDAC(bits=4, i_lsb=1e-6)
+        assert np.allclose(lin.transfer(), np.arange(16) * 1e-6)
+
+    def test_validation(self):
+        with pytest.raises(CodingError):
+            LinearDAC(bits=0, i_lsb=1e-6)
+        with pytest.raises(CodingError):
+            LinearDAC(bits=4, i_lsb=1e-6).current(16)
+
+
+@settings(max_examples=25)
+@given(seed=st.integers(0, 5000))
+def test_property_mismatch_preserves_scale(seed):
+    """Any realistic mismatch draw keeps the transfer within 10 % of
+    nominal and keeps relative steps below the regulation window."""
+    dac = HardwareDAC(mismatch=MismatchProfile.sample(seed=seed))
+    transfer = dac.transfer()
+    nominal = ExponentialPWLDAC().transfer()
+    assert np.all(np.abs(transfer[1:] / nominal[1:] - 1.0) < 0.10)

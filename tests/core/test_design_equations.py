@@ -1,0 +1,97 @@
+"""Tests for the executable design equations (Eq 1-6)."""
+
+import math
+
+import pytest
+
+from repro.core import design_equations as eq
+from repro.envelope import HardLimiter, K_SQUARE_WAVE, RLCTank, steady_state_amplitude
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def tank():
+    return RLCTank.from_frequency_and_q(4e6, 30.0, 1e-6)
+
+
+class TestOscillationCondition:
+    def test_critical_gm_values(self, tank):
+        assert eq.critical_gm_lumped(tank) == pytest.approx(
+            1 / tank.parallel_resistance
+        )
+        assert eq.critical_gm_stage(tank) == pytest.approx(
+            2 / tank.parallel_resistance
+        )
+
+    def test_stage_form_equals_rsc_over_l(self, tank):
+        """Eq 1 rearranged: Gm_stage = Rs C / L (high-Q limit)."""
+        expected = (
+            tank.series_resistance * tank.capacitance / tank.inductance
+        )
+        assert eq.critical_gm_stage(tank) == pytest.approx(expected, rel=2e-3)
+
+    def test_condition_met(self, tank):
+        g0 = eq.critical_gm_lumped(tank)
+        assert eq.oscillation_condition_met(tank, 2 * g0)
+        assert not eq.oscillation_condition_met(tank, 0.5 * g0)
+        assert not eq.oscillation_condition_met(tank, 1.5 * g0, margin=2.0)
+
+
+class TestAmplitude:
+    def test_eq4_agrees_with_describing_function(self, tank):
+        """Eq 4 (closed form) vs the envelope fixed point."""
+        i_max = 2e-3
+        lim = HardLimiter(gm=50 * eq.critical_gm_lumped(tank), i_max=i_max)
+        a_numeric = steady_state_amplitude(tank, lim)
+        a_eq4 = eq.steady_state_peak(tank, i_max)
+        assert a_eq4 == pytest.approx(a_numeric, rel=1e-2)
+
+    def test_rms_peak_ratio(self, tank):
+        assert eq.steady_state_peak(tank, 1e-3) == pytest.approx(
+            math.sqrt(2) * eq.steady_state_rms(tank, 1e-3)
+        )
+
+    def test_inverse(self, tank):
+        i_max = eq.current_limit_for_rms(tank, 1.0)
+        assert eq.steady_state_rms(tank, i_max) == pytest.approx(1.0, rel=1e-12)
+
+    def test_k_range_guard(self, tank):
+        with pytest.raises(ConfigurationError):
+            eq.steady_state_rms(tank, 1e-3, k=2.0)
+
+
+class TestStepLaws:
+    def test_eq5_identity(self):
+        assert eq.relative_voltage_step(0.05) == 0.05
+
+    def test_eq6_exponential(self):
+        assert eq.exponential_current_law(1e-6, 0.045, 0) == pytest.approx(1e-6)
+        assert eq.exponential_current_law(1e-6, 0.045, 10) == pytest.approx(
+            1e-6 * 1.045**10
+        )
+
+    def test_eq6_validation(self):
+        with pytest.raises(ConfigurationError):
+            eq.exponential_current_law(0.0, 0.05, 1)
+        with pytest.raises(ConfigurationError):
+            eq.exponential_current_law(1.0, -2.0, 1)
+        with pytest.raises(ConfigurationError):
+            eq.exponential_current_law(1.0, 0.05, -1)
+
+    def test_delta_for_range(self):
+        """Covering 16 -> 1984 in 111 steps needs ~4.4 % per code —
+        inside the PWL band of 3.23-6.25 %."""
+        delta = eq.delta_for_range(1984 / 16, 111)
+        assert 0.0323 < delta < 0.0625
+        assert delta == pytest.approx(0.0444, abs=0.002)
+
+
+class TestPWLApproximation:
+    def test_stays_within_6_percent(self):
+        errors = eq.pwl_approximation_error(start_code=16)
+        assert max(abs(e) for e in errors) < 0.065
+
+    def test_endpoints_exact(self):
+        errors = eq.pwl_approximation_error(start_code=16)
+        assert errors[0] == pytest.approx(0.0, abs=1e-12)
+        assert errors[-1] == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,128 @@
+"""Tests for prescaler, mirrors, Gm block, and the driver I-V factory."""
+
+import numpy as np
+import pytest
+
+from repro.core import GmBlock, Prescaler
+from repro.core.current_mirror import ComplementaryMirrors, CurrentMirror
+from repro.core.driver_iv import (
+    DEFAULT_GM_UNIT,
+    DriverIV,
+    driver_limiter_for_code,
+    static_iv_curve,
+)
+from repro.envelope import HardLimiter, TanhLimiter
+from repro.errors import CodingError
+from repro.mc import MismatchProfile
+
+
+class TestPrescaler:
+    def test_factors(self):
+        assert Prescaler.factor_for(0b000) == 1
+        assert Prescaler.factor_for(0b001) == 2
+        assert Prescaler.factor_for(0b011) == 4
+        assert Prescaler.factor_for(0b111) == 8
+
+    def test_invalid_code(self):
+        with pytest.raises(CodingError):
+            Prescaler.factor_for(0b010)
+
+    def test_output_current(self):
+        p = Prescaler(i_ref=12.5e-6)
+        assert p.output_current(0b011) == pytest.approx(50e-6)
+
+    def test_mismatch_applied(self):
+        profile = MismatchProfile(prescale_errors=(0.0, 0.0, 0.01, 0.0))
+        p = Prescaler(i_ref=1e-6, mismatch=profile)
+        assert p.gain(0b011) == pytest.approx(4.04)
+
+    def test_invalid_iref(self):
+        with pytest.raises(CodingError):
+            Prescaler(i_ref=-1.0)
+
+
+class TestCurrentMirror:
+    def test_fixed_and_binary(self):
+        m = CurrentMirror()
+        assert m.fixed_units(0b0111) == 64
+        assert m.binary_units(0b0101) == 5
+        assert m.output_units(0b1111, 0b1111000) == 128 + 120
+
+    def test_validation(self):
+        m = CurrentMirror()
+        with pytest.raises(CodingError):
+            m.fixed_units(1 << 4)
+        with pytest.raises(CodingError):
+            m.binary_units(1 << 7)
+
+    def test_complementary_average_and_asymmetry(self):
+        top = MismatchProfile(fixed_mirror_errors=(0.02, 0.0, 0.0, 0.0))
+        bottom = MismatchProfile(fixed_mirror_errors=(-0.02, 0.0, 0.0, 0.0))
+        pair = ComplementaryMirrors(top_mismatch=top, bottom_mismatch=bottom)
+        assert pair.output_units(0b0001, 0) == pytest.approx(16.0)
+        assert pair.asymmetry_units(0b0001, 0) == pytest.approx(0.64)
+
+
+class TestGmBlock:
+    def test_stage_weights(self):
+        assert GmBlock.active_stage_weight(0b0000) == 1
+        assert GmBlock.active_stage_weight(0b0001) == 2
+        assert GmBlock.active_stage_weight(0b0011) == 3
+        assert GmBlock.active_stage_weight(0b0111) == 5
+        assert GmBlock.active_stage_weight(0b1111) == 9
+
+    def test_transconductance(self):
+        block = GmBlock(gm_unit=1.2e-3)
+        assert block.transconductance(0b1111) == pytest.approx(10.8e-3)
+
+    def test_max_gm_matches_paper(self):
+        """§9: equivalent transconductance up to around 10 mS."""
+        block = GmBlock(gm_unit=DEFAULT_GM_UNIT)
+        assert 9e-3 < block.transconductance(0b1111) < 12e-3
+
+    def test_validation(self):
+        with pytest.raises(CodingError):
+            GmBlock(gm_unit=0.0)
+        with pytest.raises(CodingError):
+            GmBlock(gm_unit=1e-3).transconductance(1 << 4)
+
+
+class TestDriverIV:
+    def test_limiter_for_code(self):
+        driver = DriverIV()
+        lim = driver.limiter(100)
+        assert isinstance(lim, HardLimiter)
+        # Code 100 = segment 6, mantissa 4 -> (16+4)*32 = 640 units.
+        assert lim.i_max == pytest.approx(640 * 12.5e-6, rel=1e-9)
+        assert lim.gm == pytest.approx(5 * DEFAULT_GM_UNIT, rel=1e-9)
+
+    def test_smooth_variant(self):
+        driver = DriverIV(smooth=True)
+        assert isinstance(driver.limiter(50), TanhLimiter)
+
+    def test_code0_floor(self):
+        lim = DriverIV().limiter(0)
+        assert lim.i_max > 0  # valid object, physically ~zero
+
+    def test_convenience_matches_class(self):
+        a = DriverIV().limiter(77)
+        b = driver_limiter_for_code(77)
+        assert a.i_max == pytest.approx(b.i_max)
+        assert a.gm == pytest.approx(b.gm)
+
+
+class TestStaticIVCurve:
+    def test_fig2_shape(self):
+        """Fig 2: linear through zero, flat at ±Im."""
+        lim = HardLimiter(gm=1e-3, i_max=1e-4)
+        v, i = static_iv_curve(lim, v_max=1.0, n=401)
+        assert i[0] == pytest.approx(-1e-4)
+        assert i[-1] == pytest.approx(1e-4)
+        mid = np.argmin(np.abs(v))
+        assert i[mid] == pytest.approx(0.0, abs=1e-9)
+        # Odd symmetry.
+        assert np.allclose(i, -i[::-1])
+
+    def test_validation(self):
+        with pytest.raises(CodingError):
+            static_iv_curve(HardLimiter(gm=1e-3, i_max=1e-4), v_max=0.0)

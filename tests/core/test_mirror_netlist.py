@@ -1,0 +1,81 @@
+"""Tests for the transistor-level mirror realization of the DAC."""
+
+import numpy as np
+import pytest
+
+from repro.core import multiplication_factor
+from repro.core.constants import I_LSB
+from repro.core.mirror_netlist import (
+    MirrorNetlistParams,
+    transistor_dac_current,
+    transistor_dac_transfer,
+)
+from repro.errors import ConfigurationError
+
+
+class TestIdealDevices:
+    """With lam = 0 the mirror ratios are exact W ratios."""
+
+    @pytest.mark.parametrize("code", [1, 16, 40, 64, 96, 127])
+    def test_exact_segment_law(self, code):
+        params = MirrorNetlistParams(lam=0.0)
+        i = transistor_dac_current(code, params)
+        ideal = multiplication_factor(code) * I_LSB
+        assert i == pytest.approx(ideal, rel=1e-4)
+
+    def test_code_zero(self):
+        assert transistor_dac_current(0) == 0.0
+
+
+class TestRealDevices:
+    """Channel-length modulation produces the classic systematic
+    mirror gain error — bounded and monotone-preserving here."""
+
+    def test_gain_error_bounded(self):
+        codes = [1, 16, 48, 96, 127]
+        currents = transistor_dac_transfer(codes)
+        for code, current in zip(codes, currents):
+            ideal = multiplication_factor(code) * I_LSB
+            assert abs(current / ideal - 1.0) < 0.05
+
+    def test_transfer_monotonic(self):
+        codes = list(range(1, 128, 3))  # ends at 127
+        currents = transistor_dac_transfer(codes)
+        assert np.all(np.diff(currents) > 0)
+
+    def test_error_grows_with_lambda(self):
+        code = 64
+        ideal = multiplication_factor(code) * I_LSB
+        small = transistor_dac_current(code, MirrorNetlistParams(lam=0.01))
+        large = transistor_dac_current(code, MirrorNetlistParams(lam=0.05))
+        assert abs(large / ideal - 1.0) > abs(small / ideal - 1.0)
+
+    def test_error_depends_on_output_voltage(self):
+        """Mirror output resistance: more Vds, more current."""
+        code = 64
+        low = transistor_dac_current(code, MirrorNetlistParams(v_out=0.8))
+        high = transistor_dac_current(code, MirrorNetlistParams(v_out=2.5))
+        assert high > low
+
+
+class TestAgainstBehaviouralModel:
+    def test_matches_hardware_dac_within_clm_error(self):
+        """The behavioural HardwareDAC (ideal profile) and the
+        transistor path agree to the CLM error budget."""
+        from repro.core import HardwareDAC
+
+        behavioural = HardwareDAC()
+        codes = [16, 48, 96, 127]
+        for code in codes:
+            transistor = transistor_dac_current(code)
+            assert transistor == pytest.approx(behavioural.current(code), rel=0.05)
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            MirrorNetlistParams(beta_unit=0.0)
+        with pytest.raises(ConfigurationError):
+            MirrorNetlistParams(lam=-0.1)
+        with pytest.raises(ConfigurationError):
+            MirrorNetlistParams(v_out=5.0)

@@ -1,0 +1,148 @@
+"""System-level tests of the complete oscillator driver."""
+
+import numpy as np
+import pytest
+
+from repro.core import FailureKind
+from repro.core.oscillator_system import OscillatorConfig, OscillatorDriverSystem
+from repro.envelope import RLCTank
+from repro.errors import ConfigurationError, SimulationError
+
+
+class TestConfig:
+    def test_derived_nvm_code_reasonable(self, standard_tank):
+        code = OscillatorConfig(tank=standard_tank).derived_nvm_code()
+        assert 16 <= code <= 127
+
+    def test_validation(self, standard_tank):
+        with pytest.raises(ConfigurationError):
+            OscillatorConfig(tank=standard_tank, target_peak_amplitude=0.0)
+        with pytest.raises(ConfigurationError):
+            OscillatorConfig(tank=standard_tank, window_margin=0.9)
+        with pytest.raises(ConfigurationError):
+            OscillatorConfig(tank=standard_tank, substeps_per_tick=0)
+
+
+class TestRegulation:
+    def test_settles_to_target(self, standard_config):
+        system = OscillatorDriverSystem(standard_config)
+        trace = system.run(0.05)
+        target = standard_config.target_peak_amplitude
+        # Inside the regulation window (±~5.3 % of target with the
+        # default 1.3 margin) — allow the window width.
+        assert abs(trace.final_amplitude / target - 1.0) < 0.06
+        assert not trace.any_failure
+
+    def test_final_code_matches_design_equation(self, standard_config):
+        system = OscillatorDriverSystem(standard_config)
+        trace = system.run(0.05)
+        derived = standard_config.derived_nvm_code()
+        assert abs(trace.final_code - derived) <= 3
+
+    def test_startup_sequence_codes(self, standard_tank):
+        config = OscillatorConfig(tank=standard_tank, nvm_code=70)
+        system = OscillatorDriverSystem(config)
+        trace = system.run(0.02)
+        # First sample: POR code.
+        assert trace.code[0] == config.por_code
+        # Shortly after the NVM delay but before the first tick: NVM code.
+        idx = np.searchsorted(trace.t, config.regulation_period * 0.5)
+        assert trace.code[idx] == 70
+
+    def test_regulates_from_wrong_nvm_preset(self, standard_tank):
+        """Even a badly-programmed NVM code converges to the target."""
+        config = OscillatorConfig(tank=standard_tank, nvm_code=120)
+        trace = OscillatorDriverSystem(config).run(0.12)
+        assert abs(
+            trace.final_amplitude / config.target_peak_amplitude - 1.0
+        ) < 0.06
+
+    def test_steady_state_holds(self, standard_config):
+        system = OscillatorDriverSystem(standard_config)
+        trace = system.run(0.06)
+        tail_codes = trace.code[-20:]
+        assert tail_codes.max() - tail_codes.min() <= 1  # no limit cycle
+
+
+class TestQualityFactorRange:
+    """§1/§9: the driver works over two decades of tank Q."""
+
+    @pytest.mark.parametrize("q", [8.0, 30.0, 100.0, 500.0])
+    def test_regulates_across_q(self, q):
+        tank = RLCTank.from_frequency_and_q(4e6, q, 1e-6)
+        config = OscillatorConfig(tank=tank, target_peak_amplitude=1.0)
+        trace = OscillatorDriverSystem(config).run(0.08)
+        assert abs(trace.final_amplitude - 1.0) < 0.06
+        assert not trace.any_failure
+
+    def test_higher_q_needs_less_current(self):
+        results = []
+        for q in (10.0, 100.0):
+            tank = RLCTank.from_frequency_and_q(4e6, q, 1e-6)
+            config = OscillatorConfig(tank=tank, target_peak_amplitude=1.0)
+            trace = OscillatorDriverSystem(config).run(0.05)
+            results.append(trace.mean_supply_current)
+        assert results[1] < results[0] / 3
+
+
+class TestSupplyCurrentRange:
+    def test_paper_consumption_band(self):
+        """§9: 250 uA (good tank) to 30 mA (poor tank) — the model's
+        supply current must span the same order of magnitudes."""
+        good = RLCTank.from_frequency_and_q(4e6, 400.0, 2e-6)
+        poor = RLCTank.from_frequency_and_q(4e6, 6.0, 1e-6)
+        i_good = (
+            OscillatorDriverSystem(OscillatorConfig(tank=good))
+            .run(0.05)
+            .mean_supply_current
+        )
+        i_poor = (
+            OscillatorDriverSystem(OscillatorConfig(tank=poor))
+            .run(0.05)
+            .mean_supply_current
+        )
+        assert i_good < 1e-3
+        assert i_poor > 5e-3
+        assert i_poor < 35e-3
+
+
+class TestFaultsAndSafety:
+    def test_killed_oscillation_detected_and_forced_max(self, standard_config):
+        system = OscillatorDriverSystem(standard_config)
+        trace = system.run(
+            0.05, faults=[(0.02, lambda s: s.plant.kill_oscillation())]
+        )
+        assert FailureKind.MISSING_OSCILLATION in trace.failures
+        assert trace.failures[FailureKind.MISSING_OSCILLATION] >= 0.02
+        # §9 reaction: driver forced to maximum output current.
+        assert trace.final_code == 127
+
+    def test_asymmetry_detected(self, standard_config):
+        system = OscillatorDriverSystem(standard_config)
+        trace = system.run(
+            0.05, faults=[(0.02, lambda s: s.plant.set_amplitude_split(1.5))]
+        )
+        assert FailureKind.ASYMMETRY in trace.failures
+
+    def test_supply_loss_freezes_chip(self, standard_config):
+        system = OscillatorDriverSystem(standard_config)
+        trace = system.run(0.05, faults=[(0.02, lambda s: s.plant.lose_supply())])
+        # Unpowered: no on-chip detection fires; amplitude dies; supply
+        # current is zero at the end.
+        assert not trace.any_failure
+        assert trace.final_amplitude < 1e-3
+        assert trace.supply_current[-1] == 0.0
+
+
+class TestTraceAccessors:
+    def test_waveform_helpers(self, standard_config):
+        trace = OscillatorDriverSystem(standard_config).run(0.01)
+        assert len(trace.amplitude_waveform()) == len(trace.t)
+        assert trace.code_waveform().y[0] == standard_config.por_code
+        assert trace.detector_waveform().y[-1] > 0
+        assert trace.supply_current_waveform().y[-1] > 0
+
+    def test_run_validation(self, standard_config):
+        system = OscillatorDriverSystem(standard_config)
+        with pytest.raises(SimulationError):
+            system.run(0.0)

@@ -1,0 +1,115 @@
+"""Tests for the output-stage topologies (Fig 10/11, 17/18)."""
+
+import numpy as np
+import pytest
+
+from repro.core.output_stage import (
+    TOPOLOGIES,
+    build_supply_loss_testbench,
+    powered_output_low_voltage,
+    run_supply_loss_sweep,
+)
+from repro.errors import ConfigurationError
+
+# One sweep per topology, shared across tests (they are DC solves and
+# take a noticeable fraction of a second each).
+_SWEEPS = {}
+
+
+def sweep(topology):
+    if topology not in _SWEEPS:
+        _SWEEPS[topology] = run_supply_loss_sweep(topology, n_points=61)
+    return _SWEEPS[topology]
+
+
+class TestTestbench:
+    def test_unknown_topology(self):
+        with pytest.raises(ConfigurationError):
+            build_supply_loss_testbench("fig99")
+        with pytest.raises(ConfigurationError):
+            run_supply_loss_sweep("fig99")
+
+    def test_differential_drive(self):
+        r = sweep("fig11")
+        # LC1 = +V/2, LC2 = -V/2 (minus the small source drop).
+        i = np.argmax(r.v_diff)
+        assert r.v_lc1[i] == pytest.approx(+1.5, abs=0.05)
+        assert r.v_lc2[i] == pytest.approx(-1.5, abs=0.05)
+
+
+class TestFig11:
+    """The paper's driver: Fig 17/18 shapes."""
+
+    def test_dead_zone_at_small_amplitude(self):
+        r = sweep("fig11")
+        assert abs(r.current_at(0.5)) < 5e-6
+        assert abs(r.current_at(-0.5)) < 5e-6
+
+    def test_sub_milliamp_at_3v(self):
+        """Fig 17: current stays below ~1 mA over the full ±3 V."""
+        r = sweep("fig11")
+        assert r.max_loading_current() < 1.5e-3
+
+    def test_negligible_at_operating_amplitude(self):
+        """§9: at 2.7 Vpp the dead system does not significantly load
+        the live one."""
+        r = sweep("fig11")
+        assert abs(r.current_at(1.35)) < 200e-6
+        assert abs(r.current_at(-1.35)) < 200e-6
+
+    def test_vdd_pumped_by_bulk_diode(self):
+        """Fig 18: floating Vdd rises toward |V/2| - Vdiode."""
+        r = sweep("fig11")
+        assert 0.5 < r.vdd_at(3.0) < 1.3
+        assert 0.5 < r.vdd_at(-3.0) < 1.3
+        assert abs(r.vdd_at(0.0)) < 0.05
+
+    def test_current_odd_symmetric(self):
+        r = sweep("fig11")
+        assert r.current_at(3.0) == pytest.approx(-r.current_at(-3.0), rel=0.25)
+
+
+class TestFig10aAblation:
+    """Standard CMOS driver: must load heavily (the paper's problem)."""
+
+    def test_negative_half_conducts_hard(self):
+        r = sweep("fig10a")
+        assert r.current_at(-3.0) < -10e-3  # tens of mA
+
+    def test_orders_of_magnitude_worse_than_fig11(self):
+        bad = sweep("fig10a").max_loading_current()
+        good = sweep("fig11").max_loading_current()
+        assert bad > 30 * good
+
+
+class TestFig10bAblation:
+    """Series PMOS: negative blocked, but output range lost."""
+
+    def test_negative_blocked(self):
+        r = sweep("fig10b")
+        assert abs(r.current_at(-3.0)) < 50e-6
+
+    def test_voltage_range_cost(self):
+        """§8: 'voltage needed to open MP1d' — output low stalls about
+        a PMOS threshold above ground; fig10a/fig11 reach ~0 V."""
+        low_b = powered_output_low_voltage("fig10b")
+        low_a = powered_output_low_voltage("fig10a")
+        low_11 = powered_output_low_voltage("fig11")
+        assert low_b > 0.6
+        assert low_a < 0.1
+        assert low_11 < 0.1
+
+    def test_powered_range_validation(self):
+        with pytest.raises(ConfigurationError):
+            powered_output_low_voltage("fig99")
+
+
+class TestSweepValidation:
+    def test_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            run_supply_loss_sweep("fig11", v_max=0.0)
+        with pytest.raises(ConfigurationError):
+            run_supply_loss_sweep("fig11", n_points=2)
+
+    def test_topology_list(self):
+        assert set(TOPOLOGIES) == {"fig10a", "fig10b", "fig11"}

@@ -1,0 +1,99 @@
+"""Tests for the digital register interface."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import ComparatorState, FailureKind
+from repro.core.registers import ControlRegister, StatusRegister
+from repro.errors import CodingError
+
+
+class TestControlRegister:
+    def test_roundtrip(self):
+        reg = ControlRegister(
+            enable=True, forced_code=105, force_code_mode=True, freeze_regulation=False
+        )
+        assert ControlRegister.unpack(reg.pack()) == reg
+
+    def test_default_is_disabled(self):
+        assert not ControlRegister().enable
+
+    def test_reserved_bits_rejected(self):
+        with pytest.raises(CodingError):
+            ControlRegister.unpack(0x0004)
+
+    def test_code_range(self):
+        with pytest.raises(CodingError):
+            ControlRegister(forced_code=128)
+
+    @given(
+        enable=st.booleans(),
+        code=st.integers(0, 127),
+        force=st.booleans(),
+        freeze=st.booleans(),
+    )
+    def test_property_roundtrip(self, enable, code, force, freeze):
+        reg = ControlRegister(enable, code, force, freeze)
+        assert ControlRegister.unpack(reg.pack()) == reg
+
+
+class TestStatusRegister:
+    def test_roundtrip_clean(self):
+        status = StatusRegister(code=61, comparator=ComparatorState.INSIDE)
+        assert StatusRegister.unpack(status.pack()) == status
+        assert not status.any_failure
+
+    def test_roundtrip_with_failures(self):
+        status = StatusRegister(
+            code=127,
+            comparator=ComparatorState.BELOW,
+            failures={FailureKind.MISSING_OSCILLATION, FailureKind.LOW_AMPLITUDE},
+        )
+        unpacked = StatusRegister.unpack(status.pack())
+        assert unpacked.failures == status.failures
+        assert unpacked.any_failure
+
+    def test_any_failure_bit_set(self):
+        status = StatusRegister(
+            code=0,
+            comparator=ComparatorState.ABOVE,
+            failures={FailureKind.ASYMMETRY},
+        )
+        assert status.pack() & (1 << 15)
+
+    def test_inconsistent_summary_bit_rejected(self):
+        clean = StatusRegister(code=5, comparator=ComparatorState.INSIDE).pack()
+        with pytest.raises(CodingError):
+            StatusRegister.unpack(clean | (1 << 15))
+
+    def test_invalid_comparator_field(self):
+        with pytest.raises(CodingError):
+            StatusRegister.unpack(0b11 << 10)
+
+    def test_from_system_trace(self, standard_config):
+        from repro.core.oscillator_system import OscillatorDriverSystem
+
+        trace = OscillatorDriverSystem(standard_config).run(0.02)
+        status = StatusRegister.from_system_trace(trace)
+        assert status.code == trace.final_code
+        assert not status.any_failure
+
+    def test_from_faulted_trace(self, standard_config):
+        from repro.core.oscillator_system import OscillatorDriverSystem
+
+        system = OscillatorDriverSystem(standard_config)
+        trace = system.run(
+            0.03, faults=[(0.015, lambda s: s.plant.kill_oscillation())]
+        )
+        status = StatusRegister.from_system_trace(trace)
+        assert FailureKind.MISSING_OSCILLATION in status.failures
+        assert status.code == 127
+
+    @given(
+        code=st.integers(0, 127),
+        comparator=st.sampled_from(list(ComparatorState)),
+        failures=st.sets(st.sampled_from(list(FailureKind))),
+    )
+    def test_property_roundtrip(self, code, comparator, failures):
+        status = StatusRegister(code=code, comparator=comparator, failures=failures)
+        assert StatusRegister.unpack(status.pack()) == status

@@ -1,0 +1,172 @@
+"""Tests for the ±1/hold regulation state machine (§4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ComparatorState,
+    RegulationAction,
+    RegulationLoop,
+    WindowComparator,
+    design_window,
+)
+from repro.core.dac import ExponentialPWLDAC, HardwareDAC
+from repro.errors import ConfigurationError
+from repro.mc import MismatchProfile
+
+
+def make_loop(initial=60, target=1.0, margin=1.3):
+    return RegulationLoop(comparator=design_window(target, margin=margin), initial_code=initial)
+
+
+class TestStepping:
+    def test_below_steps_up(self):
+        loop = make_loop()
+        event = loop.tick(0.001, 0.5)
+        assert event.action is RegulationAction.UP
+        assert loop.code == 61
+
+    def test_above_steps_down(self):
+        loop = make_loop()
+        event = loop.tick(0.001, 2.0)
+        assert event.action is RegulationAction.DOWN
+        assert loop.code == 59
+
+    def test_inside_holds(self):
+        loop = make_loop()
+        event = loop.tick(0.001, 1.0)
+        assert event.action is RegulationAction.HOLD
+        assert loop.code == 60
+
+    def test_clamps_at_limits(self):
+        loop = RegulationLoop(
+            comparator=design_window(1.0), initial_code=127
+        )
+        loop.tick(0.001, 0.0)
+        assert loop.code == 127
+        loop2 = RegulationLoop(comparator=design_window(1.0), initial_code=0)
+        loop2.tick(0.001, 9.9)
+        assert loop2.code == 0
+
+    def test_disabled_holds(self):
+        loop = make_loop()
+        loop.enabled = False
+        event = loop.tick(0.001, 0.0)
+        assert event.action is RegulationAction.HOLD
+
+    def test_set_code(self):
+        loop = make_loop()
+        loop.set_code(127)
+        assert loop.code == 127
+        with pytest.raises(ConfigurationError):
+            loop.set_code(200)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RegulationLoop(comparator=design_window(1.0), initial_code=200)
+        with pytest.raises(ConfigurationError):
+            RegulationLoop(
+                comparator=design_window(1.0), initial_code=5, min_code=10, max_code=5
+            )
+
+
+class TestConvergenceAgainstDACPlant:
+    """Close the loop around the actual DAC law: detector voltage is
+    proportional to the DAC current (amplitude tracks IM, Eq 5)."""
+
+    def run_loop(self, dac, start_code, target_current, margin=1.3, ticks=200):
+        scale = 1.0 / target_current  # detector volts per amp: target -> 1.0
+        loop = RegulationLoop(
+            comparator=design_window(1.0, margin=margin), initial_code=start_code
+        )
+        for k in range(ticks):
+            loop.tick(k * 1e-3, dac.current(loop.code) * scale)
+        return loop
+
+    def test_settles_into_window_from_above(self):
+        dac = ExponentialPWLDAC()
+        target = dac.current(60)
+        loop = self.run_loop(dac, start_code=105, target_current=target)
+        assert abs(dac.current(loop.code) / target - 1.0) < 0.06
+        assert loop.settled_at() is not None
+        assert not loop.is_limit_cycling()
+
+    def test_settles_from_below(self):
+        dac = ExponentialPWLDAC()
+        target = dac.current(90)
+        loop = self.run_loop(dac, start_code=20, target_current=target)
+        assert abs(dac.current(loop.code) / target - 1.0) < 0.07
+        assert not loop.is_limit_cycling()
+
+    def test_narrow_window_limit_cycles(self):
+        """§4 ablation: a window narrower than the max step (6.25 %)
+        makes the loop oscillate forever around the target."""
+        dac = ExponentialPWLDAC()
+        # Target between two codes so no code can land inside the
+        # too-narrow window.
+        target = (dac.current(17) * dac.current(18)) ** 0.5
+        scale = 1.0 / target
+        loop = RegulationLoop(
+            comparator=WindowComparator(low=0.99, high=1.01),  # 2 % window
+            initial_code=30,
+        )
+        for k in range(100):
+            loop.tick(k * 1e-3, dac.current(loop.code) * scale)
+        assert loop.is_limit_cycling()
+        assert loop.settled_at() is None
+
+    def test_tolerates_non_monotonic_dac(self):
+        """§4: 'the converter can even be non-monotonic' — regulation
+        around code 96 with the measured-like DAC still settles."""
+        dac = HardwareDAC(mismatch=MismatchProfile.measured_like())
+        target = dac.current(96)
+        loop = self.run_loop(dac, start_code=70, target_current=target, ticks=300)
+        assert abs(dac.current(loop.code) / target - 1.0) < 0.08
+        assert not loop.is_limit_cycling()
+
+
+class TestHistoryAnalysis:
+    def test_steps_taken(self):
+        loop = make_loop()
+        loop.tick(0.001, 0.1)
+        loop.tick(0.002, 0.1)
+        loop.tick(0.003, 1.0)
+        assert loop.steps_taken() == 2
+
+    def test_settled_at_reports_first_hold_of_run(self):
+        loop = make_loop()
+        loop.tick(0.001, 0.1)  # up
+        loop.tick(0.002, 1.0)  # hold
+        loop.tick(0.003, 1.0)  # hold
+        loop.tick(0.004, 1.0)  # hold
+        assert loop.settled_at() == pytest.approx(0.002)
+
+    def test_validation(self):
+        loop = make_loop()
+        with pytest.raises(ConfigurationError):
+            loop.settled_at(consecutive_holds=0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    start=st.integers(17, 127),
+    target_code=st.integers(20, 120),
+)
+def test_property_loop_converges_for_random_plants(start, target_code):
+    """From any start code the loop reaches the window around any
+    target code and stays there (window > max step guarantees no
+    overshoot oscillation)."""
+    dac = ExponentialPWLDAC()
+    target = dac.current(target_code)
+    scale = 1.0 / target
+    loop = RegulationLoop(
+        comparator=design_window(1.0, margin=1.3), initial_code=start
+    )
+    for k in range(250):
+        loop.tick(k * 1e-3, dac.current(loop.code) * scale)
+    # Inside the window at the end...
+    final = dac.current(loop.code) * scale
+    assert loop.comparator.low <= final <= loop.comparator.high
+    # ...and holding.
+    tail = loop.history[-3:]
+    assert all(e.action is RegulationAction.HOLD for e in tail)

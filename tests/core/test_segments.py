@@ -1,0 +1,142 @@
+"""Tests for the PWL exponential segment law against Table 1 / Fig 3/4."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import segments as seg
+from repro.core.constants import (
+    MAX_MULTIPLICATION_FACTOR,
+    MAX_RELATIVE_STEP,
+    MIN_RELATIVE_STEP_ABOVE_16,
+)
+from repro.errors import CodingError
+
+
+class TestTable1Exact:
+    """Every static number of Table 1 must be reproduced exactly."""
+
+    EXPECTED = [
+        # (segment, step, range_min, range_max, prescale, gm_stages)
+        (0, 1, 0, 15, 1, 1),
+        (1, 1, 16, 31, 1, 2),
+        (2, 2, 32, 62, 2, 2),
+        (3, 4, 64, 124, 2, 3),
+        (4, 8, 128, 248, 4, 3),
+        (5, 16, 256, 496, 4, 5),
+        (6, 32, 512, 992, 8, 5),
+        (7, 64, 1024, 1984, 8, 9),
+    ]
+
+    @pytest.mark.parametrize("row", EXPECTED)
+    def test_segment_row(self, row):
+        index, step, rmin, rmax, prescale, gm = row
+        s = seg.SEGMENTS[index]
+        assert s.step == step
+        assert s.range_min == rmin
+        assert s.range_max == rmax
+        assert s.prescale == prescale
+        assert s.active_gm_stages == gm
+        assert seg.multiplication_factor(s.code_min) == rmin
+        assert seg.multiplication_factor(s.code_max) == rmax
+
+    def test_full_scale(self):
+        assert seg.multiplication_factor(127) == MAX_MULTIPLICATION_FACTOR
+
+    def test_step_inside_segment(self):
+        for s in seg.SEGMENTS:
+            for code in range(s.code_min + 1, s.code_max + 1):
+                delta = seg.multiplication_factor(code) - seg.multiplication_factor(
+                    code - 1
+                )
+                assert delta == s.step
+
+
+class TestCodeHandling:
+    def test_split_join_roundtrip(self):
+        for code in range(128):
+            assert seg.join_code(*seg.split_code(code)) == code
+
+    def test_split(self):
+        assert seg.split_code(0) == (0, 0)
+        assert seg.split_code(96) == (6, 0)
+        assert seg.split_code(127) == (7, 15)
+
+    def test_out_of_range(self):
+        with pytest.raises(CodingError):
+            seg.multiplication_factor(128)
+        with pytest.raises(CodingError):
+            seg.multiplication_factor(-1)
+        with pytest.raises(CodingError):
+            seg.multiplication_factor(1.5)  # type: ignore[arg-type]
+        with pytest.raises(CodingError):
+            seg.multiplication_factor(True)  # type: ignore[arg-type]
+
+    def test_join_validation(self):
+        with pytest.raises(CodingError):
+            seg.join_code(8, 0)
+        with pytest.raises(CodingError):
+            seg.join_code(0, 16)
+
+    def test_segment_of_code(self):
+        assert seg.segment_of_code(96).index == 6
+        assert seg.segment_of_code(15).index == 0
+
+
+class TestRelativeStep:
+    """Fig 4: for codes above 16 the step is between 3.23% and 6.25%."""
+
+    def test_bounds_above_16(self):
+        steps = [seg.relative_step(c) for c in range(17, 128)]
+        assert min(steps) == pytest.approx(MIN_RELATIVE_STEP_ABOVE_16, rel=1e-6)
+        assert max(steps) == pytest.approx(MAX_RELATIVE_STEP, rel=1e-6)
+        assert min(steps) == pytest.approx(0.0323, abs=2e-4)  # 3.23 %
+        assert max(steps) == pytest.approx(0.0625, abs=1e-9)  # 6.25 %
+
+    def test_max_step_at_mantissa_zero_to_one(self):
+        """The 6.25% worst case is the 16 -> 17 type step (1/16)."""
+        assert seg.relative_step(17) == pytest.approx(1 / 16)
+
+    def test_min_step_at_segment_boundary(self):
+        """The 3.23% best case is the 1/31 step entering a segment
+        (e.g. code 31 -> 32: factor 31 -> 32)."""
+        assert seg.relative_step(32) == pytest.approx(1 / 31)
+
+    def test_defined_from_code_2(self):
+        assert seg.relative_step(2) == pytest.approx(1.0)
+        with pytest.raises(CodingError):
+            seg.relative_step(1)
+
+
+class TestIdealMonotonicity:
+    def test_strictly_monotonic_above_zero(self):
+        factors = seg.all_multiplication_factors()
+        assert all(b > a for a, b in zip(factors[1:], factors[2:]))
+
+    def test_dynamic_range(self):
+        factors = seg.all_multiplication_factors()
+        assert factors[0] == 0
+        assert factors[-1] == 1984  # "0:1984" (§5)
+
+
+class TestCodeForFactor:
+    def test_exact_hits(self):
+        assert seg.code_for_factor(16) == 16
+        assert seg.code_for_factor(1984) == 127
+
+    def test_between_codes_rounds_up(self):
+        assert seg.multiplication_factor(seg.code_for_factor(33)) >= 33
+
+    def test_clamps(self):
+        assert seg.code_for_factor(1e9) == 127
+        assert seg.code_for_factor(0) == 0
+
+
+@given(code=st.integers(2, 127))
+def test_property_relative_step_positive(code):
+    assert seg.relative_step(code) > 0
+
+
+@given(code=st.integers(17, 127))
+def test_property_step_band(code):
+    step = seg.relative_step(code)
+    assert MIN_RELATIVE_STEP_ABOVE_16 - 1e-12 <= step <= MAX_RELATIVE_STEP + 1e-12

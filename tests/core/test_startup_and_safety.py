@@ -1,0 +1,122 @@
+"""Tests for startup sequencing (§4) and the safety monitors (§7)."""
+
+import pytest
+
+from repro.core import (
+    FailureKind,
+    SafetyConfig,
+    SafetyMonitors,
+    SafetyReaction,
+    StartupPhase,
+    StartupSequencer,
+    startup_current_fraction,
+)
+from repro.core.constants import NVM_READ_DELAY, POR_CODE
+from repro.digital import NonVolatileMemory
+from repro.errors import ConfigurationError
+
+
+class TestStartupFraction:
+    def test_paper_40_percent(self):
+        """§4: startup at code 105 draws ~40 % of max consumption."""
+        fraction = startup_current_fraction()
+        assert fraction == pytest.approx(0.42, abs=0.02)
+
+    def test_por_code_below_max(self):
+        assert POR_CODE < 127
+
+
+class TestStartupSequencer:
+    @pytest.fixture
+    def sequencer(self):
+        nvm = NonVolatileMemory()
+        nvm.program_amplitude_code(61)
+        return StartupSequencer(nvm=nvm)
+
+    def test_disabled_phase(self, sequencer):
+        assert sequencer.phase_at(1.0) is StartupPhase.DISABLED
+        assert sequencer.code_at(1.0) == 0
+
+    def test_por_then_nvm(self, sequencer):
+        sequencer.enable(0.0)
+        assert sequencer.phase_at(1e-6) is StartupPhase.POR_PRESET
+        assert sequencer.code_at(1e-6) == POR_CODE
+        assert sequencer.phase_at(NVM_READ_DELAY + 1e-6) is StartupPhase.NVM_PRESET
+        assert sequencer.code_at(NVM_READ_DELAY + 1e-6) == 61
+
+    def test_disable(self, sequencer):
+        sequencer.enable(0.0)
+        sequencer.disable()
+        assert not sequencer.enabled
+        assert sequencer.code_at(1.0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StartupSequencer(nvm=NonVolatileMemory(), por_code=128)
+
+
+class TestSafetyMonitors:
+    def make(self, **kwargs):
+        config = SafetyConfig(**kwargs)
+        monitors = SafetyMonitors(config=config, detector_target=0.43)
+        monitors.arm(0.0)
+        return monitors
+
+    def test_missing_oscillation(self):
+        m = self.make(watchdog_timeout=10e-6)
+        # Healthy oscillation for a while.
+        for k in range(10):
+            m.observe_oscillation(k * 1e-6, peak_amplitude=1.0)
+        assert not m.any_failure
+        # Oscillation stops: amplitude below comparator sensitivity.
+        for k in range(10, 40):
+            m.observe_oscillation(k * 1e-6, peak_amplitude=0.001)
+        assert FailureKind.MISSING_OSCILLATION in m.failures
+        assert m.first_detection_time(FailureKind.MISSING_OSCILLATION) > 10e-6
+
+    def test_low_amplitude_needs_persistence(self):
+        m = self.make(low_amplitude_ticks=3)
+        m.observe_tick(0.001, detector_voltage=0.05)
+        m.observe_tick(0.002, detector_voltage=0.05)
+        assert FailureKind.LOW_AMPLITUDE not in m.failures
+        m.observe_tick(0.003, detector_voltage=0.05)
+        assert FailureKind.LOW_AMPLITUDE in m.failures
+
+    def test_low_amplitude_counter_resets(self):
+        m = self.make(low_amplitude_ticks=3)
+        m.observe_tick(0.001, 0.05)
+        m.observe_tick(0.002, 0.40)  # healthy tick resets the count
+        m.observe_tick(0.003, 0.05)
+        m.observe_tick(0.004, 0.05)
+        assert FailureKind.LOW_AMPLITUDE not in m.failures
+
+    def test_asymmetry(self):
+        m = self.make()
+        m.observe_tick(0.001, 0.43, amplitude_lc1=0.9, amplitude_lc2=0.4)
+        assert FailureKind.ASYMMETRY in m.failures
+
+    def test_symmetric_quiet(self):
+        m = self.make()
+        m.observe_tick(0.001, 0.43, amplitude_lc1=0.675, amplitude_lc2=0.675)
+        assert not m.any_failure
+
+    def test_arm_clears(self):
+        m = self.make(low_amplitude_ticks=1)
+        m.observe_tick(0.001, 0.0)
+        assert m.any_failure
+        m.arm(0.002)
+        assert not m.any_failure
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            SafetyConfig(low_amplitude_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            SafetyConfig(watchdog_timeout=0.0)
+        with pytest.raises(ConfigurationError):
+            SafetyMonitors(detector_target=0.0)
+
+
+class TestSafetyReaction:
+    def test_forced_code_is_max(self):
+        """§9: on failure the driver is set to maximum output current."""
+        assert SafetyReaction().forced_code() == 127

@@ -1,0 +1,88 @@
+"""Tests for the carrier-level oscillator netlist (Fig 16)."""
+
+import math
+
+import pytest
+
+from repro.analysis import envelope_by_peaks, oscillation_frequency
+from repro.core import OscillatorNetlist, driver_limiter_for_code
+from repro.envelope import EnvelopeModel, RLCTank, TanhLimiter
+from repro.errors import SimulationError
+
+
+@pytest.fixture(scope="module")
+def small_tank():
+    """A modest-Q tank so startup completes in few carrier cycles."""
+    return RLCTank.from_frequency_and_q(4e6, 15.0, 1e-6)
+
+
+@pytest.fixture(scope="module")
+def startup_run(small_tank):
+    netlist = OscillatorNetlist(small_tank, vref=2.5)
+    limiter = TanhLimiter(gm=6e-3, i_max=2e-3)
+    t_stop = 60 / small_tank.frequency
+    return (
+        netlist.run_startup(code=0, t_stop=t_stop, limiter=limiter),
+        limiter,
+        t_stop,
+    )
+
+
+class TestStartup:
+    def test_oscillation_grows_from_seed(self, startup_run):
+        result, _limiter, t_stop = startup_run
+        early = result.differential.window(0, t_stop / 10).peak_to_peak()
+        late = result.differential.window(0.8 * t_stop, t_stop).peak_to_peak()
+        assert late > 5 * early
+
+    def test_frequency_matches_tank(self, startup_run, small_tank):
+        result, _limiter, t_stop = startup_run
+        tail = result.differential.window(0.5 * t_stop, t_stop)
+        assert oscillation_frequency(tail) == pytest.approx(
+            small_tank.frequency, rel=0.01
+        )
+
+    def test_amplitude_matches_envelope_model(self, startup_run, small_tank):
+        result, limiter, t_stop = startup_run
+        tail = result.differential.window(0.8 * t_stop, t_stop)
+        a_mna = 0.5 * tail.peak_to_peak()
+        a_env = EnvelopeModel(small_tank, limiter).steady_state()
+        assert a_mna == pytest.approx(a_env, rel=0.05)
+
+    def test_pins_swing_around_vref(self, startup_run):
+        result, _limiter, t_stop = startup_run
+        lc1_tail = result.lc1.window(0.8 * t_stop, t_stop)
+        mid = 0.5 * (lc1_tail.max() + lc1_tail.min())
+        assert mid == pytest.approx(2.5, abs=0.1)
+
+    def test_complementary_pins(self, startup_run):
+        """LC1 and LC2 swing in antiphase: their sum is ~2*Vref DC."""
+        result, _limiter, t_stop = startup_run
+        total = result.lc1 + result.lc2
+        tail = total.window(0.8 * t_stop, t_stop)
+        assert tail.peak_to_peak() < 0.2 * result.differential.peak_to_peak()
+
+
+class TestHelpers:
+    def test_expected_period(self, small_tank):
+        netlist = OscillatorNetlist(small_tank)
+        assert netlist.expected_period() == pytest.approx(
+            1 / small_tank.frequency
+        )
+
+    def test_cycles_to_settle(self, small_tank):
+        netlist = OscillatorNetlist(small_tank)
+        critical = 1 / small_tank.parallel_resistance
+        assert math.isinf(netlist.cycles_to_settle(0.5 * critical))
+        assert netlist.cycles_to_settle(5 * critical) < 1000
+
+    def test_validation(self, small_tank):
+        netlist = OscillatorNetlist(small_tank)
+        with pytest.raises(SimulationError):
+            netlist.run_startup(code=10, t_stop=0.0)
+        with pytest.raises(SimulationError):
+            netlist.run_startup(code=10, t_stop=1e-6, points_per_cycle=4)
+
+    def test_default_limiter_from_code(self, small_tank):
+        lim = driver_limiter_for_code(100, smooth=True)
+        assert lim.i_max == pytest.approx(640 * 12.5e-6)

@@ -1,0 +1,61 @@
+"""Tests for the §6 mid-supply reference buffer."""
+
+import pytest
+
+from repro.core import OVERDRIVE_CONSUMPTION_TYPICAL, VrefBuffer
+from repro.errors import ConfigurationError
+
+
+class TestDCOperatingPoint:
+    def test_nominal_is_mid_supply(self):
+        assert VrefBuffer(vdd=3.3).nominal_vref == pytest.approx(1.65)
+
+    def test_holds_under_small_overdrive(self):
+        buf = VrefBuffer()
+        # 120 uA typical overdrive: Vref moves by i*Rout = 6 mV only.
+        v = buf.output_voltage(OVERDRIVE_CONSUMPTION_TYPICAL)
+        assert abs(v - buf.nominal_vref) < 0.01
+        assert buf.regulation_ok(OVERDRIVE_CONSUMPTION_TYPICAL)
+
+    def test_sink_and_source_symmetric(self):
+        buf = VrefBuffer()
+        up = buf.output_voltage(-100e-6) - buf.nominal_vref
+        down = buf.nominal_vref - buf.output_voltage(100e-6)
+        assert up == pytest.approx(down)
+
+    def test_slips_beyond_class_a_limit(self):
+        buf = VrefBuffer(class_a_limit=250e-6)
+        inside = abs(buf.output_voltage(240e-6) - buf.nominal_vref)
+        outside = abs(buf.output_voltage(500e-6) - buf.nominal_vref)
+        assert outside > 10 * inside
+        assert not buf.regulation_ok(2e-3)
+
+
+class TestConsumption:
+    def test_quiescent(self):
+        buf = VrefBuffer(quiescent_current=40e-6)
+        assert buf.supply_current(0.0) == pytest.approx(40e-6)
+
+    def test_class_a_carries_overdrive(self):
+        """§6: overdrive costs its own current on top of the bias —
+        'additional power consumption (typically 120 uA)'."""
+        buf = VrefBuffer(quiescent_current=40e-6)
+        extra = buf.supply_current(120e-6) - buf.supply_current(0.0)
+        assert extra == pytest.approx(120e-6)
+        assert buf.typical_overdrive_consumption() == pytest.approx(160e-6)
+
+    def test_consumption_clamps_at_class_a_limit(self):
+        buf = VrefBuffer(class_a_limit=250e-6, quiescent_current=40e-6)
+        assert buf.supply_current(10e-3) == pytest.approx(290e-6)
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            VrefBuffer(vdd=0.0)
+        with pytest.raises(ConfigurationError):
+            VrefBuffer(output_resistance=-1.0)
+        with pytest.raises(ConfigurationError):
+            VrefBuffer(class_a_limit=0.0)
+        with pytest.raises(ConfigurationError):
+            VrefBuffer().regulation_ok(0.0, tolerance=0.0)

@@ -1,0 +1,152 @@
+"""Tests for the window comparator and amplitude/asymmetry detectors."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    AmplitudeDetector,
+    AsymmetryDetector,
+    ComparatorState,
+    DETECTOR_GAIN,
+    WindowComparator,
+    design_window,
+)
+from repro.core.constants import MAX_RELATIVE_STEP
+from repro.errors import ConfigurationError
+
+
+class TestWindowComparator:
+    def test_three_states(self):
+        w = WindowComparator(low=0.9, high=1.1)
+        assert w.compare(0.5) is ComparatorState.BELOW
+        assert w.compare(1.0) is ComparatorState.INSIDE
+        assert w.compare(1.5) is ComparatorState.ABOVE
+
+    def test_boundaries_inclusive(self):
+        w = WindowComparator(low=0.9, high=1.1)
+        assert w.compare(0.9) is ComparatorState.INSIDE
+        assert w.compare(1.1) is ComparatorState.INSIDE
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WindowComparator(low=1.1, high=0.9)
+        with pytest.raises(ConfigurationError):
+            WindowComparator(low=0.0, high=1.0)
+
+    def test_relative_width(self):
+        w = WindowComparator(low=0.95, high=1.05)
+        assert w.relative_width == pytest.approx(0.1)
+        assert w.center == pytest.approx(1.0)
+
+
+class TestDesignWindow:
+    def test_wider_than_max_step(self):
+        """§4 rule: window > 6.25 % so a step can never jump across."""
+        w = design_window(1.0)
+        assert w.is_wider_than_step(MAX_RELATIVE_STEP)
+        assert w.relative_width > 0.0625
+
+    def test_margin_scales_width(self):
+        narrow = design_window(1.0, margin=1.1)
+        wide = design_window(1.0, margin=2.0)
+        assert wide.relative_width > narrow.relative_width
+
+    def test_margin_must_exceed_one(self):
+        with pytest.raises(ConfigurationError):
+            design_window(1.0, margin=0.9)
+
+    def test_target_positive(self):
+        with pytest.raises(ConfigurationError):
+            design_window(0.0)
+
+
+class TestAmplitudeDetector:
+    def test_gain_is_one_over_pi(self):
+        """Full-wave rectified pin swing A/2 averages (2/pi)(A/2)."""
+        assert DETECTOR_GAIN == pytest.approx(1 / math.pi)
+
+    def test_instant_detector(self):
+        d = AmplitudeDetector(tau=0.0)
+        d.update(math.pi, dt=1e-6)
+        assert d.output == pytest.approx(1.0)
+
+    def test_filter_lag(self):
+        d = AmplitudeDetector(tau=50e-6)
+        d.update(1.0, dt=50e-6)  # one tau
+        target = d.target_for_amplitude(1.0)
+        assert d.output == pytest.approx(target * (1 - math.exp(-1)), rel=1e-6)
+
+    def test_inverse(self):
+        d = AmplitudeDetector()
+        assert d.amplitude_for_output(d.target_for_amplitude(1.35)) == pytest.approx(
+            1.35
+        )
+
+    def test_reset(self):
+        d = AmplitudeDetector()
+        d.update(1.0, 1.0)
+        d.reset()
+        assert d.output == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AmplitudeDetector(gain=0.0)
+        with pytest.raises(ConfigurationError):
+            AmplitudeDetector(tau=-1.0)
+        with pytest.raises(ConfigurationError):
+            AmplitudeDetector().update(1.0, dt=-1.0)
+
+
+class TestAsymmetryDetector:
+    def test_symmetric_is_quiet(self):
+        det = AsymmetryDetector(threshold=0.05)
+        assert det.output(0.675, 0.675) == 0.0
+        assert not det.asymmetric(0.675, 0.675)
+
+    def test_missing_cap_detected(self):
+        det = AsymmetryDetector(threshold=0.05)
+        # Strong imbalance: one pin at 1.0, the other at 0.35.
+        assert det.asymmetric(1.0, 0.35)
+
+    def test_output_value(self):
+        det = AsymmetryDetector()
+        assert det.output(1.0, 0.5) == pytest.approx((2 / math.pi) * 0.25)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AsymmetryDetector(threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            AsymmetryDetector().output(-1.0, 0.5)
+
+
+@given(target=st.floats(0.1, 10.0), margin=st.floats(1.01, 3.0))
+def test_property_designed_window_always_beats_step(target, margin):
+    w = design_window(target, margin=margin)
+    assert w.is_wider_than_step()
+    assert w.low < target < w.high
+
+
+class TestDetectorRipple:
+    def test_ripple_small_vs_window(self):
+        """With the default 50 us filter at 4 MHz carrier, the ripple
+        is tiny compared to the regulation window half-width."""
+        d = AmplitudeDetector(tau=50e-6)
+        ripple = d.ripple(1.35, carrier_frequency=4e6)
+        window = design_window(d.target_for_amplitude(1.35))
+        half_width = (window.high - window.low) / 2
+        assert ripple < 0.02 * half_width
+
+    def test_ripple_scales_inverse_tau(self):
+        fast = AmplitudeDetector(tau=10e-6).ripple(1.0, 4e6)
+        slow = AmplitudeDetector(tau=100e-6).ripple(1.0, 4e6)
+        assert fast / slow == pytest.approx(10.0, rel=1e-6)
+
+    def test_unfiltered_ripple_is_two_thirds_dc(self):
+        d = AmplitudeDetector(tau=0.0)
+        assert d.ripple(math.pi, 4e6) == pytest.approx(2.0 / 3.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AmplitudeDetector().ripple(1.0, 0.0)

@@ -1,0 +1,88 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.digital import EventScheduler, RecurringEvent
+from repro.errors import SimulationError
+
+
+class TestScheduler:
+    def test_order_of_execution(self):
+        sched = EventScheduler()
+        log = []
+        sched.schedule_at(2.0, lambda: log.append("b"))
+        sched.schedule_at(1.0, lambda: log.append("a"))
+        sched.schedule_at(3.0, lambda: log.append("c"))
+        sched.run_until(10.0)
+        assert log == ["a", "b", "c"]
+        assert sched.now == 10.0
+
+    def test_tie_break_by_insertion(self):
+        sched = EventScheduler()
+        log = []
+        sched.schedule_at(1.0, lambda: log.append("first"))
+        sched.schedule_at(1.0, lambda: log.append("second"))
+        sched.run_until(1.0)
+        assert log == ["first", "second"]
+
+    def test_partial_run(self):
+        sched = EventScheduler()
+        log = []
+        sched.schedule_at(1.0, lambda: log.append(1))
+        sched.schedule_at(5.0, lambda: log.append(5))
+        executed = sched.run_until(2.0)
+        assert executed == 1
+        assert log == [1]
+        assert sched.pending == 1
+
+    def test_schedule_during_event(self):
+        sched = EventScheduler()
+        log = []
+
+        def cascade():
+            log.append("outer")
+            sched.schedule_after(1.0, lambda: log.append("inner"))
+
+        sched.schedule_at(1.0, cascade)
+        sched.run_until(5.0)
+        assert log == ["outer", "inner"]
+
+    def test_past_scheduling_rejected(self):
+        sched = EventScheduler()
+        sched.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sched.schedule_at(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sched.schedule_after(-1.0, lambda: None)
+
+    def test_run_next(self):
+        sched = EventScheduler()
+        log = []
+        sched.schedule_at(1.0, lambda: log.append(1))
+        assert sched.run_next() is True
+        assert sched.run_next() is False
+        assert log == [1]
+
+
+class TestRecurring:
+    def test_period_and_cancel(self):
+        sched = EventScheduler()
+        times = []
+        event = RecurringEvent(sched, period=1.0, callback=times.append)
+        sched.run_until(3.5)
+        assert times == [1.0, 2.0, 3.0]
+        event.cancel()
+        sched.run_until(10.0)
+        assert times == [1.0, 2.0, 3.0]
+        assert event.cancelled
+
+    def test_start_delay(self):
+        sched = EventScheduler()
+        times = []
+        RecurringEvent(sched, period=1.0, callback=times.append, start_delay=0.25)
+        sched.run_until(2.5)
+        assert times == [0.25, 1.25, 2.25]
+
+    def test_invalid_period(self):
+        with pytest.raises(SimulationError):
+            RecurringEvent(EventScheduler(), period=0.0, callback=lambda t: None)

@@ -1,0 +1,36 @@
+"""Tests for the NVM model."""
+
+import pytest
+
+from repro.digital import NonVolatileMemory
+from repro.errors import ConfigurationError
+
+
+class TestNVM:
+    def test_program_and_read(self):
+        nvm = NonVolatileMemory()
+        nvm.program(0x10, 42)
+        assert nvm.read(0x10) == 42
+
+    def test_erased_reads_ff(self):
+        assert NonVolatileMemory().read(0x33) == 0xFF
+
+    def test_amplitude_code_roundtrip(self):
+        nvm = NonVolatileMemory()
+        nvm.program_amplitude_code(88)
+        assert nvm.read_amplitude_code() == 88
+
+    def test_erased_amplitude_code_clamped_to_max(self):
+        """An unprogrammed part must not produce an out-of-range code."""
+        assert NonVolatileMemory().read_amplitude_code() == 127
+
+    def test_validation(self):
+        nvm = NonVolatileMemory()
+        with pytest.raises(ConfigurationError):
+            nvm.program(0, 256)
+        with pytest.raises(ConfigurationError):
+            nvm.program(-1, 0)
+        with pytest.raises(ConfigurationError):
+            nvm.program_amplitude_code(128)
+        with pytest.raises(ConfigurationError):
+            NonVolatileMemory(read_latency=-1.0)

@@ -1,0 +1,40 @@
+"""Tests for the power-on-reset model."""
+
+import pytest
+
+from repro.digital import PowerOnReset
+from repro.errors import ConfigurationError
+
+
+class TestPOR:
+    def test_asserts_below_threshold(self):
+        por = PowerOnReset(threshold=2.4, release_delay=10e-6)
+        assert por.update(0.0, 1.0) is True
+
+    def test_releases_after_delay(self):
+        por = PowerOnReset(threshold=2.4, release_delay=10e-6)
+        assert por.update(0.0, 3.3) is True
+        assert por.update(5e-6, 3.3) is True
+        assert por.update(11e-6, 3.3) is False
+
+    def test_brownout_rearms(self):
+        por = PowerOnReset(threshold=2.4, release_delay=10e-6)
+        por.update(0.0, 3.3)
+        assert por.update(20e-6, 3.3) is False
+        # Supply dips: reset asserts again and the delay restarts.
+        assert por.update(30e-6, 1.0) is True
+        assert por.update(31e-6, 3.3) is True
+        assert por.update(42e-6, 3.3) is False
+
+    def test_supply_good_since(self):
+        por = PowerOnReset()
+        por.update(0.0, 1.0)
+        assert por.supply_good_since is None
+        por.update(1.0, 3.3)
+        assert por.supply_good_since == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PowerOnReset(threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            PowerOnReset(release_delay=-1.0)

@@ -1,0 +1,55 @@
+"""Tests for the missing-clock watchdog."""
+
+import pytest
+
+from repro.digital import WatchdogTimer
+from repro.errors import ConfigurationError
+
+
+class TestWatchdog:
+    def test_not_expired_while_kicked(self):
+        wd = WatchdogTimer(timeout=10e-6)
+        wd.arm(0.0)
+        for k in range(1, 100):
+            t = k * 1e-6
+            wd.kick(t)
+            assert not wd.expired(t)
+
+    def test_expires_after_timeout(self):
+        wd = WatchdogTimer(timeout=10e-6)
+        wd.arm(0.0)
+        wd.kick(5e-6)
+        assert not wd.expired(14e-6)
+        assert wd.expired(15.1e-6)
+
+    def test_latches(self):
+        wd = WatchdogTimer(timeout=1e-6)
+        wd.arm(0.0)
+        assert wd.expired(2e-6)
+        # A late kick does not clear the latch.
+        wd.kick(3e-6)
+        assert wd.expired(3e-6)
+
+    def test_clear(self):
+        wd = WatchdogTimer(timeout=1e-6)
+        wd.arm(0.0)
+        assert wd.expired(2e-6)
+        wd.clear(2e-6)
+        assert not wd.expired(2.5e-6)
+
+    def test_disarmed_never_expires(self):
+        wd = WatchdogTimer(timeout=1e-6)
+        assert not wd.expired(100.0)
+        wd.arm(0.0)
+        wd.disarm()
+        assert not wd.expired(100.0)
+
+    def test_kick_ignored_when_disarmed(self):
+        wd = WatchdogTimer(timeout=1e-6)
+        wd.kick(5.0)  # no crash, no effect
+        wd.arm(10.0)
+        assert not wd.expired(10.0 + 0.5e-6)
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ConfigurationError):
+            WatchdogTimer(timeout=0.0)

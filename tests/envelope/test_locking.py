@@ -1,0 +1,106 @@
+"""Tests for injection locking (Adler) of the dual oscillators."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.envelope import RLCTank
+from repro.envelope.locking import (
+    InjectionLocking,
+    frequency_mismatch_from_tolerances,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def tank():
+    return RLCTank.from_frequency_and_q(4e6, 30.0, 1e-6)
+
+
+class TestLockRange:
+    def test_adler_formula(self, tank):
+        lock = InjectionLocking(tank, injection_ratio=0.3)
+        expected = tank.omega0 / (2 * 30.0) * 0.3
+        assert lock.lock_range == pytest.approx(expected)
+
+    def test_scales_with_coupling(self, tank):
+        weak = InjectionLocking(tank, injection_ratio=0.1)
+        strong = InjectionLocking(tank, injection_ratio=0.4)
+        assert strong.lock_range == pytest.approx(4 * weak.lock_range)
+
+    def test_higher_q_narrower_lock(self):
+        low_q = RLCTank.from_frequency_and_q(4e6, 10.0, 1e-6)
+        high_q = RLCTank.from_frequency_and_q(4e6, 100.0, 1e-6)
+        ratio = 0.3
+        assert (
+            InjectionLocking(high_q, ratio).relative_lock_range
+            < InjectionLocking(low_q, ratio).relative_lock_range
+        )
+
+    def test_invalid_ratio(self, tank):
+        with pytest.raises(ConfigurationError):
+            InjectionLocking(tank, injection_ratio=0.0)
+        with pytest.raises(ConfigurationError):
+            InjectionLocking(tank, injection_ratio=1.5)
+
+
+class TestLockDecision:
+    def test_locks_inside_range(self, tank):
+        lock = InjectionLocking(tank, injection_ratio=0.6)
+        # Relative lock range = 0.6 / 60 = 1 %.
+        assert lock.relative_lock_range == pytest.approx(0.01)
+        assert lock.locks(0.005)
+        assert lock.locks(-0.009)
+        assert not lock.locks(0.02)
+
+    def test_paper_scenario_with_1pct_parts(self, tank):
+        """Q=30 sensor, k=0.6 coupling: 1 %-tolerance L *or* C keeps
+        the two systems inside the lock range — 'running at the same
+        frequency' as §8 assumes; 1 % on both is marginal-to-out."""
+        lock = InjectionLocking(tank, injection_ratio=0.6)
+        mismatch_good = frequency_mismatch_from_tolerances(0.004, 0.004)
+        mismatch_bad = frequency_mismatch_from_tolerances(0.01, 0.01)
+        assert lock.locks(mismatch_good)
+        assert not lock.locks(mismatch_bad)
+
+    def test_phase_offset(self, tank):
+        lock = InjectionLocking(tank, injection_ratio=0.3)
+        assert lock.locked_phase(0.0) == 0.0
+        edge = lock.max_tolerable_detuning()
+        assert lock.locked_phase(edge) == pytest.approx(math.pi / 2)
+        with pytest.raises(ConfigurationError):
+            lock.locked_phase(2 * edge)
+
+    def test_beat_frequency(self, tank):
+        lock = InjectionLocking(tank, injection_ratio=0.3)
+        assert lock.beat_frequency(lock.max_tolerable_detuning() / 2) == 0.0
+        outside = 2 * lock.max_tolerable_detuning()
+        beat = lock.beat_frequency(outside)
+        assert beat > 0
+        # Far outside, the beat approaches the raw detuning.
+        far = 20 * lock.max_tolerable_detuning()
+        assert lock.beat_frequency(far) == pytest.approx(
+            far * tank.frequency, rel=0.01
+        )
+
+
+class TestTolerances:
+    def test_sum_of_tolerances(self):
+        assert frequency_mismatch_from_tolerances(0.01, 0.02) == pytest.approx(0.03)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            frequency_mismatch_from_tolerances(-0.01, 0.0)
+
+
+@given(ratio=st.floats(0.01, 0.99), detuning=st.floats(0, 0.05))
+def test_property_lock_consistency(ratio, detuning):
+    """locks() iff beat_frequency() == 0 iff locked_phase() exists."""
+    tank = RLCTank.from_frequency_and_q(4e6, 30.0, 1e-6)
+    lock = InjectionLocking(tank, injection_ratio=ratio)
+    if lock.locks(detuning):
+        assert lock.beat_frequency(detuning) == 0.0
+        assert abs(lock.locked_phase(detuning)) <= math.pi / 2
+    else:
+        assert lock.beat_frequency(detuning) > 0.0

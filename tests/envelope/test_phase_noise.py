@@ -1,0 +1,70 @@
+"""Tests for the Leeson phase-noise estimate."""
+
+import math
+
+import pytest
+
+from repro.envelope import RLCTank
+from repro.envelope.phase_noise import LeesonModel
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def model():
+    tank = RLCTank.from_frequency_and_q(4e6, 30.0, 1e-6)
+    return LeesonModel(tank=tank, amplitude_peak=1.35)
+
+
+class TestLeeson:
+    def test_minus_20db_per_decade_inside_corner(self, model):
+        """Well inside the Leeson corner: -20 dB per decade of offset."""
+        f = model.leeson_corner / 100.0
+        l1 = model.phase_noise_dbc(f)
+        l2 = model.phase_noise_dbc(10 * f)
+        assert l1 - l2 == pytest.approx(20.0, abs=0.2)
+
+    def test_flat_floor_beyond_corner(self, model):
+        far = model.leeson_corner * 100
+        l1 = model.phase_noise_dbc(far)
+        l2 = model.phase_noise_dbc(10 * far)
+        assert abs(l1 - l2) < 0.1
+
+    def test_corner_value(self, model):
+        assert model.leeson_corner == pytest.approx(4e6 / 60.0)
+
+    def test_higher_q_is_quieter(self):
+        low = LeesonModel(RLCTank.from_frequency_and_q(4e6, 10, 1e-6), 1.35)
+        high = LeesonModel(RLCTank.from_frequency_and_q(4e6, 100, 1e-6), 1.35)
+        f = 10e3
+        assert high.phase_noise_dbc(f) < low.phase_noise_dbc(f)
+
+    def test_higher_amplitude_is_quieter(self, model):
+        quiet = LeesonModel(model.tank, amplitude_peak=2.7)
+        f = 10e3
+        # 2x amplitude = 4x signal power = -6 dB... but P_sig also
+        # enters the floor; inside the corner the full 6 dB shows.
+        delta = model.phase_noise_dbc(f) - quiet.phase_noise_dbc(f)
+        assert delta == pytest.approx(6.0, abs=0.1)
+
+    def test_plausible_absolute_level(self, model):
+        """A low-frequency (4 MHz), mW-level LC oscillator is quiet:
+        order −150 dBc/Hz at 10 kHz offset (phase noise scales with
+        carrier frequency squared — GHz VCOs are ~55 dB worse)."""
+        value = model.phase_noise_dbc(10e3)
+        assert -160 < value < -120
+
+    def test_jitter_positive_and_improves_with_q(self, model):
+        j = model.jitter_ppm(1e3, 100e3)
+        assert j > 0
+        high_q = LeesonModel(RLCTank.from_frequency_and_q(4e6, 300, 1e-6), 1.35)
+        assert high_q.jitter_ppm(1e3, 100e3) < j
+
+    def test_validation(self, model):
+        with pytest.raises(ConfigurationError):
+            LeesonModel(model.tank, amplitude_peak=0.0)
+        with pytest.raises(ConfigurationError):
+            LeesonModel(model.tank, 1.0, noise_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            model.phase_noise_dbc(0.0)
+        with pytest.raises(ConfigurationError):
+            model.jitter_ppm(1e3, 0.0)

@@ -1,0 +1,93 @@
+"""Tests for the RLC tank math."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.envelope import RLCTank
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_direct(self):
+        tank = RLCTank(10e-6, 1e-9, 5.0)
+        assert tank.inductance == 10e-6
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            RLCTank(0.0, 1e-9, 1.0)
+        with pytest.raises(ConfigurationError):
+            RLCTank(1e-6, -1e-9, 1.0)
+        with pytest.raises(ConfigurationError):
+            RLCTank(1e-6, 1e-9, 0.0)
+
+    def test_from_frequency_and_q_roundtrip(self):
+        tank = RLCTank.from_frequency_and_q(4e6, 30.0, 1e-6)
+        assert tank.frequency == pytest.approx(4e6, rel=1e-12)
+        assert tank.quality_factor == pytest.approx(30.0, rel=1e-12)
+
+
+class TestDerived:
+    def test_omega0_uses_differential_capacitance(self):
+        tank = RLCTank(10e-6, 1e-9, 5.0)
+        # C_diff = C/2 -> omega0 = sqrt(2/(L C)).
+        assert tank.omega0 == pytest.approx(math.sqrt(2 / (10e-6 * 1e-9)))
+        assert tank.differential_capacitance == pytest.approx(0.5e-9)
+
+    def test_parallel_resistance_high_q_limit(self):
+        tank = RLCTank.from_frequency_and_q(4e6, 100.0, 1e-6)
+        approx = 2 * tank.inductance / (tank.capacitance * tank.series_resistance)
+        assert tank.parallel_resistance == pytest.approx(approx, rel=1e-3)
+
+    def test_ring_down_tau(self):
+        tank = RLCTank.from_frequency_and_q(4e6, 30.0, 1e-6)
+        assert tank.ring_down_tau() == pytest.approx(
+            2 * 30.0 / tank.omega0, rel=1e-12
+        )
+
+    def test_stored_energy(self):
+        tank = RLCTank(10e-6, 1e-9, 5.0)
+        assert tank.stored_energy(2.0) == pytest.approx(0.5 * 0.5e-9 * 4.0)
+
+    def test_loss_power(self):
+        tank = RLCTank.from_frequency_and_q(4e6, 30.0, 1e-6)
+        # P = A^2 / (2 Rp)
+        assert tank.loss_power(1.0) == pytest.approx(
+            1.0 / (2 * tank.parallel_resistance)
+        )
+
+    def test_negative_amplitude_rejected(self):
+        tank = RLCTank(10e-6, 1e-9, 5.0)
+        with pytest.raises(ConfigurationError):
+            tank.stored_energy(-1.0)
+        with pytest.raises(ConfigurationError):
+            tank.loss_power(-1.0)
+
+
+class TestScaling:
+    def test_scaled_q(self):
+        tank = RLCTank.from_frequency_and_q(4e6, 30.0, 1e-6)
+        better = tank.scaled(10.0)
+        assert better.quality_factor == pytest.approx(300.0, rel=1e-9)
+        assert better.frequency == pytest.approx(tank.frequency, rel=1e-12)
+
+    def test_invalid_scale(self):
+        tank = RLCTank(1e-6, 1e-9, 1.0)
+        with pytest.raises(ConfigurationError):
+            tank.scaled(0.0)
+
+
+@given(
+    f=st.floats(2e6, 5e6),
+    q=st.floats(2.0, 500.0),
+    l=st.floats(0.5e-6, 50e-6),
+)
+def test_property_constructor_consistency(f, q, l):
+    """from_frequency_and_q round-trips for the paper's whole range."""
+    tank = RLCTank.from_frequency_and_q(f, q, l)
+    assert tank.frequency == pytest.approx(f, rel=1e-9)
+    assert tank.quality_factor == pytest.approx(q, rel=1e-9)
+    # Rp >= ... always exceeds Rs for Q > 1
+    if q > 1:
+        assert tank.parallel_resistance > tank.series_resistance

@@ -1,0 +1,71 @@
+"""Tests for the fault catalog."""
+
+import pytest
+
+from repro.core import FailureKind
+from repro.core.oscillator_system import OscillatorConfig, OscillatorDriverSystem
+from repro.envelope import RLCTank
+from repro.errors import FaultError
+from repro.faults import fault_by_name, standard_fault_catalog
+
+
+class TestCatalog:
+    def test_covers_all_paper_conditions(self):
+        names = {spec.name for spec in standard_fault_catalog()}
+        assert "open-coil" in names
+        assert "lc1-short-to-ground" in names
+        assert "lc1-short-to-supply" in names
+        assert "coil-shorted-turns" in names
+        assert "increased-series-resistance" in names
+        assert "missing-cosc1" in names
+        assert "supply-loss" in names
+
+    def test_every_on_chip_fault_has_expected_kind(self):
+        for spec in standard_fault_catalog():
+            if not spec.system_level:
+                assert spec.expected_detection is not None
+                assert isinstance(spec.expected_detection, FailureKind)
+
+    def test_paper_refs_present(self):
+        for spec in standard_fault_catalog():
+            assert "§" in spec.paper_ref
+
+    def test_lookup(self):
+        spec = fault_by_name("open-coil")
+        assert spec.expected_detection is FailureKind.MISSING_OSCILLATION
+        with pytest.raises(FaultError):
+            fault_by_name("gremlins")
+
+
+class TestMutators:
+    def make_system(self):
+        tank = RLCTank.from_frequency_and_q(4e6, 30.0, 1e-6)
+        return OscillatorDriverSystem(OscillatorConfig(tank=tank))
+
+    def test_open_coil_kills_plant(self):
+        system = self.make_system()
+        fault_by_name("open-coil").mutate(system)
+        assert not system.plant.oscillation_possible
+
+    def test_tank_scaling(self):
+        system = self.make_system()
+        rs0 = system.plant.tank.series_resistance
+        fault_by_name("increased-series-resistance").mutate(system)
+        assert system.plant.tank.series_resistance == pytest.approx(2.5 * rs0)
+
+    def test_asymmetry_split(self):
+        system = self.make_system()
+        fault_by_name("missing-cosc1").mutate(system)
+        assert system.plant.amplitude_split != 1.0
+
+    def test_supply_loss(self):
+        system = self.make_system()
+        fault_by_name("supply-loss").mutate(system)
+        assert not system.plant.supply_ok
+
+    def test_plant_version_bumped(self):
+        """Mutators must invalidate the limiter cache via version."""
+        system = self.make_system()
+        v0 = system.plant.version
+        fault_by_name("coil-shorted-turns").mutate(system)
+        assert system.plant.version > v0

@@ -1,0 +1,82 @@
+"""Tests for mismatch profiles."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.mc import DEFAULT_SIGMAS, MismatchProfile, MismatchSigmas
+
+
+class TestProfiles:
+    def test_ideal_is_exact(self):
+        p = MismatchProfile.ideal()
+        assert p.prescale_gain(4) == 4.0
+        assert p.fixed_mirror_units(0b1111) == 128.0
+        assert p.binary_units(0b1111111) == 127.0
+        assert p.gm_gain(0b1111) == 9.0
+
+    def test_sample_reproducible(self):
+        a = MismatchProfile.sample(seed=7)
+        b = MismatchProfile.sample(seed=7)
+        assert a == b
+        c = MismatchProfile.sample(seed=8)
+        assert a != c
+
+    def test_sample_magnitudes(self):
+        p = MismatchProfile.sample(seed=1, sigmas=MismatchSigmas(0.01, 0.01, 0.01, 0.01))
+        for group in (
+            p.prescale_errors,
+            p.fixed_mirror_errors,
+            p.binary_bit_errors,
+            p.gm_stage_errors,
+        ):
+            assert all(abs(e) < 0.05 for e in group)
+
+    def test_measured_like_prescale_signature(self):
+        """The x8/x4 prescale skew that makes code 96 non-monotonic."""
+        p = MismatchProfile.measured_like()
+        assert p.prescale_errors[3] < 0  # x8 low
+        assert p.prescale_errors[2] > 0  # x4 high
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MismatchProfile(prescale_errors=(0.0, 0.0, 0.0))
+        with pytest.raises(ConfigurationError):
+            MismatchProfile(prescale_errors=(-1.5, 0.0, 0.0, 0.0))
+
+    def test_invalid_prescale_factor(self):
+        with pytest.raises(ConfigurationError):
+            MismatchProfile.ideal().prescale_gain(3)
+
+    def test_invalid_osc_f(self):
+        with pytest.raises(ConfigurationError):
+            MismatchProfile.ideal().binary_units(1 << 7)
+
+
+class TestRealizedRatios:
+    def test_fixed_mirror_partial_mask(self):
+        p = MismatchProfile.ideal()
+        assert p.fixed_mirror_units(0b0001) == 16.0
+        assert p.fixed_mirror_units(0b0011) == 32.0
+        assert p.fixed_mirror_units(0b0111) == 64.0
+
+    def test_binary_units_bits(self):
+        p = MismatchProfile.ideal()
+        assert p.binary_units(0b0000001) == 1.0
+        assert p.binary_units(0b1000000) == 64.0
+
+    def test_gm_gain_stage0_always_on(self):
+        p = MismatchProfile.ideal()
+        assert p.gm_gain(0b0000) == 1.0
+        assert p.gm_gain(0b0001) == 2.0
+        assert p.gm_gain(0b1000) == 5.0
+
+
+@given(seed=st.integers(0, 10_000))
+def test_property_sampled_ratios_positive(seed):
+    """All realized ratios stay positive for any seed (truncation)."""
+    p = MismatchProfile.sample(seed=seed)
+    assert p.prescale_gain(1) > 0
+    assert p.prescale_gain(8) > 0
+    assert p.fixed_mirror_units(0b1111) > 0
+    assert p.gm_gain(0b1111) > 0

@@ -1,0 +1,43 @@
+"""Tests for the Monte-Carlo runner."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mc import MismatchProfile, run_monte_carlo
+
+
+class TestRunner:
+    def test_deterministic(self):
+        metric = lambda p: p.prescale_errors[0]
+        a = run_monte_carlo(metric, 20, base_seed=5)
+        b = run_monte_carlo(metric, 20, base_seed=5)
+        assert (a.values == b.values).all()
+
+    def test_statistics(self):
+        result = run_monte_carlo(lambda p: 2.0, 10)
+        assert result.mean == 2.0
+        assert result.std == 0.0
+        assert result.n == 10
+        assert result.quantile(0.5) == 2.0
+
+    def test_fraction_true(self):
+        result = run_monte_carlo(
+            lambda p: float(p.prescale_errors[0] > 0), 200, base_seed=0
+        )
+        # Zero-mean draws: roughly half positive.
+        assert 0.3 < result.fraction_true() < 0.7
+
+    def test_summary_format(self):
+        result = run_monte_carlo(lambda p: 1.0, 3, metric_name="dnl")
+        assert "dnl" in result.summary()
+        assert "n=3" in result.summary()
+
+    def test_seed_isolation(self):
+        """Sample i is reproducible alone from base_seed + i."""
+        result = run_monte_carlo(lambda p: p.gm_stage_errors[0], 5, base_seed=100)
+        lone = MismatchProfile.sample(seed=103)
+        assert result.values[3] == lone.gm_stage_errors[0]
+
+    def test_invalid_n(self):
+        with pytest.raises(ConfigurationError):
+            run_monte_carlo(lambda p: 0.0, 0)

@@ -1,0 +1,54 @@
+"""Tests for the Pelgrom matching model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mc import DEFAULT_SIGMAS
+from repro.mc.pelgrom import (
+    PelgromCoefficients,
+    current_mismatch_sigma,
+    sigmas_for_areas,
+)
+
+
+class TestCurrentMismatch:
+    def test_scales_with_inverse_sqrt_area(self):
+        small = current_mismatch_sigma(10.0, 0.35)
+        large = current_mismatch_sigma(40.0, 0.35)
+        assert small / large == pytest.approx(2.0, rel=1e-9)
+
+    def test_more_overdrive_matches_better(self):
+        low = current_mismatch_sigma(20.0, 0.15)
+        high = current_mismatch_sigma(20.0, 0.6)
+        assert high < low
+
+    def test_representative_magnitude(self):
+        """A 20 um^2 mirror device at 350 mV overdrive: ~1 % sigma —
+        the regime the paper's DAC lives in."""
+        sigma = current_mismatch_sigma(20.0, 0.35)
+        assert 0.005 < sigma < 0.02
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            current_mismatch_sigma(0.0, 0.35)
+        with pytest.raises(ConfigurationError):
+            current_mismatch_sigma(10.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            PelgromCoefficients(a_vt=0.0)
+
+
+class TestSigmasForAreas:
+    def test_default_areas_near_library_defaults(self):
+        """The documented layout areas must justify DEFAULT_SIGMAS to
+        within a factor ~2 in every group."""
+        derived = sigmas_for_areas()
+        for name in ("prescale", "fixed_mirror", "binary_bit", "gm_stage"):
+            lib = getattr(DEFAULT_SIGMAS, name)
+            phys = getattr(derived, name)
+            assert 0.4 < phys / lib < 2.5, (name, phys, lib)
+
+    def test_bigger_mirrors_match_better(self):
+        base = sigmas_for_areas()
+        upsized = sigmas_for_areas(fixed_mirror_area_um2=240.0)
+        assert upsized.fixed_mirror < base.fixed_mirror
+        assert upsized.prescale == base.prescale

@@ -1,0 +1,88 @@
+"""Tests for the coupled-coil position-sensor model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.envelope import RLCTank
+from repro.errors import ConfigurationError
+from repro.sensor import CouplingProfile, ReceivingCoilPair, tank_with_parallel_load
+
+
+class TestCouplingProfile:
+    def test_center_position_symmetric(self):
+        k1, k2 = CouplingProfile().couplings(0.0)
+        assert k1 == pytest.approx(k2)
+
+    def test_sum_is_constant(self):
+        profile = CouplingProfile(k_max=0.2, theta_range=math.pi / 3)
+        totals = [
+            sum(profile.couplings(theta))
+            for theta in (-math.pi / 3, -0.2, 0.0, 0.4, math.pi / 3)
+        ]
+        assert all(t == pytest.approx(0.2) for t in totals)
+
+    def test_extremes(self):
+        profile = CouplingProfile(k_max=0.2, theta_range=math.pi / 3)
+        k1, k2 = profile.couplings(math.pi / 3)
+        assert k1 == pytest.approx(0.2)
+        assert k2 == pytest.approx(0.0, abs=1e-12)
+
+    def test_out_of_range_angle(self):
+        with pytest.raises(ConfigurationError):
+            CouplingProfile().couplings(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CouplingProfile(k_max=0.0)
+        with pytest.raises(ConfigurationError):
+            CouplingProfile(theta_range=2.0)
+
+
+class TestReceivingCoils:
+    def test_amplitudes_scale_with_excitation(self):
+        pair = ReceivingCoilPair(CouplingProfile())
+        a1, a2 = pair.received_amplitudes(0.3, excitation_peak=1.35)
+        b1, b2 = pair.received_amplitudes(0.3, excitation_peak=2.7)
+        assert b1 == pytest.approx(2 * a1)
+        assert b2 == pytest.approx(2 * a2)
+
+    def test_negative_excitation_rejected(self):
+        pair = ReceivingCoilPair(CouplingProfile())
+        with pytest.raises(ConfigurationError):
+            pair.received_amplitudes(0.0, -1.0)
+
+
+class TestTankLoading:
+    def test_infinite_load_is_identity(self):
+        tank = RLCTank.from_frequency_and_q(4e6, 30.0, 1e-6)
+        loaded = tank_with_parallel_load(tank, 1e12)
+        assert loaded.series_resistance == pytest.approx(
+            tank.series_resistance, rel=1e-3
+        )
+
+    def test_parallel_load_reduces_rp(self):
+        tank = RLCTank.from_frequency_and_q(4e6, 30.0, 1e-6)
+        rp = tank.parallel_resistance
+        loaded = tank_with_parallel_load(tank, rp)  # equal load halves Rp
+        assert loaded.parallel_resistance == pytest.approx(rp / 2, rel=0.02)
+
+    def test_q_drops_with_load(self):
+        tank = RLCTank.from_frequency_and_q(4e6, 30.0, 1e-6)
+        loaded = tank_with_parallel_load(tank, tank.parallel_resistance / 3)
+        assert loaded.quality_factor < tank.quality_factor / 2
+
+    def test_validation(self):
+        tank = RLCTank.from_frequency_and_q(4e6, 30.0, 1e-6)
+        with pytest.raises(ConfigurationError):
+            tank_with_parallel_load(tank, 0.0)
+
+
+@given(theta=st.floats(-1.0, 1.0))
+def test_property_couplings_bounded(theta):
+    profile = CouplingProfile(k_max=0.2, theta_range=1.0)
+    k1, k2 = profile.couplings(theta)
+    assert 0.0 <= k1 <= 0.2
+    assert 0.0 <= k2 <= 0.2
+    assert k1 + k2 == pytest.approx(0.2)

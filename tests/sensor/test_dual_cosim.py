@@ -1,0 +1,126 @@
+"""Tests for the dynamic dual-oscillator co-simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.oscillator_system import OscillatorConfig, OscillatorDriverSystem
+from repro.envelope import RLCTank
+from repro.errors import ConfigurationError, SimulationError
+from repro.sensor.dual_cosim import DualCoSimulation
+
+
+def make_config():
+    tank = RLCTank.from_frequency_and_q(4e6, 30.0, 1e-6)
+    return OscillatorConfig(tank=tank)
+
+
+class TestSteadyState:
+    def test_both_regulate_into_window(self):
+        co = DualCoSimulation(
+            config_1=make_config(), config_2=make_config(), coupling=0.3
+        )
+        trace = co.run(0.04)
+        for amp in (trace.amplitude_1[-1], trace.amplitude_2[-1]):
+            assert abs(amp / 1.35 - 1.0) < 0.06
+
+    def test_mutual_coupling_reduces_drive_codes(self):
+        """The partners feed each other energy, so both need less
+        drive current than a solo system."""
+        solo_trace = OscillatorDriverSystem(make_config()).run(0.04)
+        co = DualCoSimulation(
+            config_1=make_config(), config_2=make_config(), coupling=0.3
+        )
+        trace = co.run(0.04)
+        assert trace.code_1[-1] < solo_trace.final_code
+        assert trace.code_2[-1] < solo_trace.final_code
+
+    def test_zero_coupling_matches_solo(self):
+        solo_trace = OscillatorDriverSystem(make_config()).run(0.04)
+        co = DualCoSimulation(
+            config_1=make_config(), config_2=make_config(), coupling=0.0
+        )
+        trace = co.run(0.04)
+        assert trace.code_1[-1] == solo_trace.final_code
+        assert trace.amplitude_1[-1] == pytest.approx(
+            solo_trace.final_amplitude, rel=1e-6
+        )
+
+    def test_symmetric_systems_identical(self):
+        co = DualCoSimulation(
+            config_1=make_config(), config_2=make_config(), coupling=0.3
+        )
+        trace = co.run(0.04)
+        assert trace.amplitude_1[-1] == pytest.approx(trace.amplitude_2[-1])
+        assert trace.code_1[-1] == trace.code_2[-1]
+
+
+class TestPartnerDeath:
+    def test_survivor_recovers_into_window(self):
+        co = DualCoSimulation(
+            config_1=make_config(),
+            config_2=make_config(),
+            coupling=0.3,
+            kill_2_at=0.02,
+        )
+        trace = co.run(0.05)
+        # System 2 dies.
+        assert trace.amplitude_2[-1] < 0.01
+        # System 1 dips but the loop compensates by raising the code.
+        i_before = int(np.searchsorted(trace.t, 0.0195))
+        assert trace.code_1[-1] > trace.code_1[i_before]
+        assert abs(trace.amplitude_1[-1] / 1.35 - 1.0) < 0.06
+
+    def test_dip_stays_inside_safety_margin(self):
+        """Losing the partner's contribution must never trip the
+        survivor's low-amplitude monitor (k = 0.3 contributes ~30 %,
+        the monitor threshold is 50 %)."""
+        co = DualCoSimulation(
+            config_1=make_config(),
+            config_2=make_config(),
+            coupling=0.3,
+            kill_2_at=0.02,
+        )
+        trace = co.run(0.05)
+        after = trace.amplitude_1[int(np.searchsorted(trace.t, 0.02)) :]
+        assert after.min() > 0.5 * 1.35
+
+
+class TestStaggeredEnable:
+    def test_late_system_comes_up(self):
+        co = DualCoSimulation(
+            config_1=make_config(),
+            config_2=make_config(),
+            coupling=0.3,
+            enable_2_at=0.01,
+        )
+        trace = co.run(0.04)
+        i_early = int(np.searchsorted(trace.t, 0.005))
+        assert trace.amplitude_2[i_early] == 0.0
+        assert abs(trace.amplitude_2[-1] / 1.35 - 1.0) < 0.06
+
+    def test_startup_time_helper(self):
+        co = DualCoSimulation(
+            config_1=make_config(), config_2=make_config(), coupling=0.3
+        )
+        trace = co.run(0.03)
+        assert trace.startup_time(1) < 0.002
+        with pytest.raises(ConfigurationError):
+            trace.amplitude(3)
+
+
+class TestValidation:
+    def test_bad_coupling(self):
+        with pytest.raises(ConfigurationError):
+            DualCoSimulation(make_config(), make_config(), coupling=1.0)
+
+    def test_bad_kill_time(self):
+        co = DualCoSimulation(
+            make_config(), make_config(), coupling=0.3, kill_2_at=1.0
+        )
+        with pytest.raises(ConfigurationError):
+            co.run(0.05)
+
+    def test_bad_t_stop(self):
+        co = DualCoSimulation(make_config(), make_config())
+        with pytest.raises(SimulationError):
+            co.run(0.0)

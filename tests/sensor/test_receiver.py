@@ -1,0 +1,60 @@
+"""Tests for the ratiometric position receiver."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sensor import CouplingProfile, PositionReceiver, ReceivingCoilPair
+
+
+@pytest.fixture
+def receiver():
+    return PositionReceiver(CouplingProfile(k_max=0.2, theta_range=math.pi / 3))
+
+
+class TestEstimation:
+    def test_roundtrip_through_coils(self, receiver):
+        """coils(theta) -> amplitudes -> estimate == theta."""
+        pair = ReceivingCoilPair(receiver.profile)
+        for theta in (-0.9, -0.3, 0.0, 0.456, 1.0):
+            a1, a2 = pair.received_amplitudes(theta, excitation_peak=1.35)
+            assert receiver.estimate_angle(a1, a2) == pytest.approx(
+                theta, abs=1e-9
+            )
+
+    def test_ratiometric_amplitude_independent(self, receiver):
+        """The estimate must not depend on the excitation amplitude
+        (which regulation only holds within the window width)."""
+        pair = ReceivingCoilPair(receiver.profile)
+        estimates = []
+        for excitation in (1.0, 1.35, 1.4):
+            a1, a2 = pair.received_amplitudes(0.5, excitation)
+            estimates.append(receiver.estimate_angle(a1, a2))
+        assert max(estimates) - min(estimates) < 1e-12
+
+    def test_normalized_difference(self, receiver):
+        assert receiver.normalized_difference(0.3, 0.1) == pytest.approx(0.5)
+
+    def test_weak_signal_rejected(self, receiver):
+        with pytest.raises(ConfigurationError):
+            receiver.estimate_angle(1e-6, 1e-6)
+
+    def test_signal_valid(self, receiver):
+        assert receiver.signal_valid(0.1, 0.1)
+        assert not receiver.signal_valid(1e-6, 1e-6)
+
+    def test_negative_amplitudes_rejected(self, receiver):
+        with pytest.raises(ConfigurationError):
+            receiver.normalized_difference(-0.1, 0.2)
+
+
+@given(theta=st.floats(-1.0, 1.0))
+def test_property_estimate_monotonic(theta):
+    profile = CouplingProfile(k_max=0.2, theta_range=1.0)
+    receiver = PositionReceiver(profile)
+    pair = ReceivingCoilPair(profile)
+    a1, a2 = pair.received_amplitudes(theta, 1.0)
+    recovered = receiver.estimate_angle(a1, a2)
+    assert recovered == pytest.approx(theta, abs=1e-6)

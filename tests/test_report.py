@@ -1,0 +1,60 @@
+"""Tests for the report assembler."""
+
+import pathlib
+
+import pytest
+
+from repro.report import ARTIFACT_ORDER, assemble_report, main
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    d = tmp_path / "results"
+    d.mkdir()
+    (d / "fig02_driver_iv.txt").write_text("FIG2 CONTENT")
+    (d / "table1_control_codes.txt").write_text("TABLE1 CONTENT")
+    (d / "custom_extra.txt").write_text("EXTRA CONTENT")
+    return d
+
+
+class TestAssemble:
+    def test_contains_present_artifacts(self, results_dir):
+        report = assemble_report(results_dir)
+        assert "FIG2 CONTENT" in report
+        assert "TABLE1 CONTENT" in report
+
+    def test_orders_by_paper(self, results_dir):
+        report = assemble_report(results_dir)
+        assert report.index("FIG2 CONTENT") < report.index("TABLE1 CONTENT")
+
+    def test_extra_artifacts_appended(self, results_dir):
+        report = assemble_report(results_dir)
+        assert "EXTRA CONTENT" in report
+
+    def test_missing_listed(self, results_dir):
+        report = assemble_report(results_dir)
+        assert "MISSING ARTIFACTS" in report
+        assert "fig16_startup" in report
+
+    def test_order_covers_all_benches(self):
+        # Keep ARTIFACT_ORDER in sync with the bench files.
+        bench_dir = pathlib.Path(__file__).parent.parent / "benchmarks"
+        bench_names = {
+            p.stem.replace("bench_", "")
+            for p in bench_dir.glob("bench_*.py")
+        }
+        order_names = set(ARTIFACT_ORDER)
+        # Every bench writes an artifact whose name starts with its own.
+        for bench in bench_names:
+            assert any(a.startswith(bench) or bench.startswith(a.split("_")[0]) or a in bench or bench in a
+                       for a in order_names), bench
+
+
+class TestCLI:
+    def test_main_writes_report(self, results_dir, tmp_path):
+        out = tmp_path / "REPORT.txt"
+        assert main([str(results_dir), str(out)]) == 0
+        assert "FIG2 CONTENT" in out.read_text()
+
+    def test_main_missing_dir(self, tmp_path):
+        assert main([str(tmp_path / "nope"), str(tmp_path / "r.txt")]) == 1
