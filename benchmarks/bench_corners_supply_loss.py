@@ -7,6 +7,7 @@ current); hot lowers thresholds and multiplies junction leakage —
 the stressing direction.
 """
 
+from repro.campaigns import corner_sweep
 from repro.circuits.corners import FAST_COLD, FAST_HOT, SLOW_COLD, SLOW_HOT, TYPICAL
 from repro.core import run_supply_loss_sweep
 
@@ -16,21 +17,21 @@ from repro.analysis import format_si, render_table
 CORNERS = (TYPICAL, SLOW_COLD, SLOW_HOT, FAST_COLD, FAST_HOT)
 
 
+def _corner_metrics(corner):
+    result = run_supply_loss_sweep("fig11", n_points=61, corner=corner)
+    return {
+        "corner": corner.name,
+        "i_operating": max(
+            abs(result.current_at(1.35)), abs(result.current_at(-1.35))
+        ),
+        "i_max": result.max_loading_current(),
+        "vdd_pump": result.vdd_at(3.0),
+    }
+
+
 def generate():
-    rows = []
-    for corner in CORNERS:
-        result = run_supply_loss_sweep("fig11", n_points=61, corner=corner)
-        rows.append(
-            {
-                "corner": corner.name,
-                "i_operating": max(
-                    abs(result.current_at(1.35)), abs(result.current_at(-1.35))
-                ),
-                "i_max": result.max_loading_current(),
-                "vdd_pump": result.vdd_at(3.0),
-            }
-        )
-    return rows
+    by_corner = corner_sweep(_corner_metrics, CORNERS)
+    return [by_corner[corner.name] for corner in CORNERS]
 
 
 def test_corners_supply_loss(benchmark):

@@ -1,0 +1,204 @@
+"""Performance harness for the transient engine and its campaigns.
+
+Times the three workloads the incremental-stamping engine was built
+for and writes ``BENCH_transient.json`` (repo root by default) so
+future PRs have a perf trajectory to regress against:
+
+* ``fig16_startup`` — the Fig 16 carrier-resolution MNA startup (80
+  carrier cycles, trapezoidal).  Baseline: the preserved seed engine
+  (:func:`repro.circuits.reference.run_transient_reference`) run live
+  on the same machine, so speedups are hardware-independent.
+* ``mc_startup`` — a Monte-Carlo campaign of short carrier-resolution
+  startups over mismatch draws (driver gm / tank Q spread), routed
+  through the shared campaign runner.  Baseline: the same campaign on
+  the seed engine.
+* ``fault_coverage`` — the §7 FMEA campaign (behavioural system
+  model).  Its simulation core is not MNA-based, so the recorded
+  baseline is the same code path; the entry tracks absolute seconds.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_perf.py [--out PATH] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import numpy as np
+
+from repro.campaigns import run_batch
+from repro.circuits import TransientOptions, run_transient, run_transient_reference
+from repro.core import FailureKind, OscillatorNetlist
+from repro.envelope import RLCTank, TanhLimiter
+from repro.faults import FaultCampaign
+from repro.mc.mismatch import MismatchProfile
+
+from common import standard_config
+
+#: Fig 16 bench tank and driver (mirrors bench_fig16_startup.py).
+TANK = RLCTank.from_frequency_and_q(4e6, 15.0, 1e-6)
+LIMITER = TanhLimiter(gm=6e-3, i_max=2e-3)
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+# -- fig16 startup -----------------------------------------------------------
+
+
+def _startup_options(cycles: int) -> TransientOptions:
+    return TransientOptions(
+        t_stop=cycles / TANK.frequency,
+        dt=1.0 / (TANK.frequency * 40),
+        method="trap",
+        use_dc_operating_point=False,
+    )
+
+
+def _run_startup(engine, cycles: int) -> float:
+    netlist = OscillatorNetlist(TANK, vref=2.5)
+    circuit = netlist.build(LIMITER)
+    result = engine(circuit, _startup_options(cycles))
+    diff = result.waveform("lc1").y - result.waveform("lc2").y
+    return float(np.max(np.abs(diff[-80:])))
+
+
+def bench_fig16_startup(cycles: int = 80) -> dict:
+    seed_seconds, seed_amp = _timed(
+        lambda: _run_startup(run_transient_reference, cycles)
+    )
+    opt_seconds, opt_amp = _timed(lambda: _run_startup(run_transient, cycles))
+    assert abs(seed_amp - opt_amp) < 1e-6 * max(seed_amp, 1.0), (
+        "engines disagree on the startup amplitude"
+    )
+    return {
+        "workload": f"carrier-resolution startup, {cycles} cycles, trap",
+        "baseline": "seed engine (live, same machine)",
+        "seed_seconds": seed_seconds,
+        "optimized_seconds": opt_seconds,
+        "speedup": seed_seconds / opt_seconds,
+    }
+
+
+# -- Monte-Carlo startup campaign -------------------------------------------
+
+
+def _mc_startup_metric(profile: MismatchProfile, engine) -> float:
+    """Startup amplitude of one mismatch instance (short run)."""
+    gm_scale = 1.0 + profile.gm_stage_errors[0]
+    q_scale = 1.0 + profile.prescale_errors[0]
+    tank = RLCTank.from_frequency_and_q(4e6, 15.0 * q_scale, 1e-6)
+    limiter = TanhLimiter(gm=6e-3 * gm_scale, i_max=2e-3)
+    netlist = OscillatorNetlist(tank, vref=2.5)
+    circuit = netlist.build(limiter)
+    options = TransientOptions(
+        t_stop=20 / tank.frequency,
+        dt=1.0 / (tank.frequency * 40),
+        method="trap",
+        use_dc_operating_point=False,
+        record_nodes=None if engine is run_transient_reference else ("lc1", "lc2"),
+    )
+    result = engine(circuit, options)
+    diff = result.waveform("lc1").y - result.waveform("lc2").y
+    return float(np.max(np.abs(diff)))
+
+
+def _run_mc_campaign(engine, n_samples: int) -> list:
+    profiles = [MismatchProfile.sample(seed=1000 + i) for i in range(n_samples)]
+    return run_batch(lambda p: _mc_startup_metric(p, engine), profiles)
+
+
+def bench_mc_startup(n_samples: int = 16) -> dict:
+    seed_seconds, seed_vals = _timed(
+        lambda: _run_mc_campaign(run_transient_reference, n_samples)
+    )
+    opt_seconds, opt_vals = _timed(
+        lambda: _run_mc_campaign(run_transient, n_samples)
+    )
+    np.testing.assert_allclose(opt_vals, seed_vals, rtol=1e-6)
+    return {
+        "workload": f"MC startup campaign, {n_samples} mismatch samples, "
+        "20 carrier cycles each",
+        "baseline": "seed engine (live, same machine)",
+        "seed_seconds": seed_seconds,
+        "optimized_seconds": opt_seconds,
+        "speedup": seed_seconds / opt_seconds,
+    }
+
+
+# -- FMEA fault coverage -----------------------------------------------------
+
+
+def bench_fault_coverage() -> dict:
+    def campaign():
+        result = FaultCampaign(
+            config_factory=standard_config, injection_time=0.02, t_stop=0.04
+        ).run()
+        assert result.coverage == 1.0
+        assert FailureKind.MISSING_OSCILLATION in result.result_for(
+            "open-coil"
+        ).detections
+        return result
+
+    seconds, _ = _timed(campaign)
+    return {
+        "workload": "sec7 FMEA campaign (behavioural model, full catalog)",
+        "baseline": "same code path (campaign core is not MNA-based)",
+        "seed_seconds": seconds,
+        "optimized_seconds": seconds,
+        "speedup": 1.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_transient.json",
+        help="output JSON path (default: repo root BENCH_transient.json)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller workloads (smoke-testing the harness itself)",
+    )
+    args = parser.parse_args(argv)
+
+    cycles = 20 if args.quick else 80
+    samples = 4 if args.quick else 16
+    benches = {
+        "fig16_startup": bench_fig16_startup(cycles),
+        "mc_startup": bench_mc_startup(samples),
+        "fault_coverage": bench_fault_coverage(),
+    }
+    payload = {
+        "generated_by": "benchmarks/run_perf.py",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "quick": bool(args.quick),
+        "benches": benches,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    for name, bench in benches.items():
+        print(
+            f"{name:16s} seed {bench['seed_seconds']:.3f}s -> optimized "
+            f"{bench['optimized_seconds']:.3f}s  ({bench['speedup']:.2f}x)"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,8 @@ The package is organized as:
 * :mod:`repro.digital` — event kernel, watchdog, NVM, POR;
 * :mod:`repro.mc` — mismatch and Monte-Carlo;
 * :mod:`repro.faults` — FMEA fault catalog and campaign;
+* :mod:`repro.campaigns` — shared batch-campaign engine (sequential,
+  warm-started, or process-parallel execution of many runs);
 * :mod:`repro.sensor` — the position-sensor application (Fig 9);
 * :mod:`repro.analysis` — waveforms and measurements.
 
@@ -26,6 +28,7 @@ Quickstart::
 """
 
 from .analysis import Waveform
+from .campaigns import BatchOptions, run_batch, run_chain
 from .core import (
     ExponentialPWLDAC,
     FailureKind,
@@ -54,6 +57,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Waveform",
+    "BatchOptions",
+    "run_batch",
+    "run_chain",
     "ExponentialPWLDAC",
     "FailureKind",
     "HardwareDAC",

@@ -1,0 +1,28 @@
+"""Batch-campaign subsystem: one API for many independent runs.
+
+The reproduction's expensive workloads are campaigns — the same
+simulation executed over many samples (Monte-Carlo), faults (FMEA),
+stimulus values (DC sweeps) or process corners.  This package owns
+the execution of that shape:
+
+* :class:`BatchOptions`, :func:`run_batch` — independent tasks, with
+  optional ``concurrent.futures`` process parallelism;
+* :func:`run_chain` — warm-started (continuation) task chains;
+* :func:`labelled_sweep`, :func:`corner_sweep` — batches keyed by a
+  task label.
+
+See :mod:`repro.campaigns.runner` for the execution semantics.  The
+package deliberately depends only on the standard library (plus the
+shared error types) so every simulation layer can build on it.
+"""
+
+from .runner import BatchOptions, run_batch, run_chain
+from .sweeps import corner_sweep, labelled_sweep
+
+__all__ = [
+    "BatchOptions",
+    "run_batch",
+    "run_chain",
+    "corner_sweep",
+    "labelled_sweep",
+]

@@ -1,0 +1,108 @@
+"""Batched execution of many independent simulations.
+
+Every campaign-shaped workload in this library — Monte-Carlo sampling
+over mismatch draws, FMEA fault injection, DC continuation sweeps,
+process-corner benches — reduces to *one worker applied to a list of
+tasks*.  This module is the single execution engine for that shape, so
+scaling decisions (process parallelism, chunking, warm starts) are
+made in one place instead of being reimplemented per campaign:
+
+* :func:`run_batch` — independent tasks, optionally fanned out over a
+  ``concurrent.futures.ProcessPoolExecutor``.  Results always come
+  back in task order, so seeded campaigns stay reproducible no matter
+  how they were scheduled.
+* :func:`run_chain` — ordered tasks threaded through a *carry* (warm
+  start): each worker call receives the previous call's carry, which
+  is how continuation sweeps reuse the last operating point as the
+  next initial guess.
+
+Only the Python standard library is used here; the module sits below
+every simulation layer so any of them can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from ..errors import ConfigurationError
+
+__all__ = ["BatchOptions", "run_batch", "run_chain"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+C = TypeVar("C")
+
+
+@dataclass(frozen=True)
+class BatchOptions:
+    """Execution policy for :func:`run_batch`.
+
+    Parameters
+    ----------
+    max_workers:
+        ``None``, 0 or 1 run the batch sequentially in-process (the
+        default — always correct, and on single-core containers also
+        the fastest).  Larger values fan tasks out over that many
+        worker processes; the worker and its tasks must then be
+        picklable (module-level functions, no closures).
+    chunksize:
+        Tasks submitted per inter-process message in parallel mode;
+        raise it when individual tasks are much cheaper than a pickle
+        round-trip.
+    """
+
+    max_workers: Optional[int] = None
+    chunksize: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_workers is not None and self.max_workers < 0:
+            raise ConfigurationError("max_workers must be >= 0 or None")
+        if self.chunksize < 1:
+            raise ConfigurationError("chunksize must be >= 1")
+
+    @property
+    def parallel(self) -> bool:
+        return bool(self.max_workers) and self.max_workers > 1
+
+
+def run_batch(
+    worker: Callable[[T], R],
+    tasks: Iterable[T],
+    options: Optional[BatchOptions] = None,
+) -> List[R]:
+    """Apply ``worker`` to every task; results in task order.
+
+    The sequential path is a plain loop — no pickling, closures and
+    stateful workers welcome.  The parallel path requires picklable
+    workers/tasks and is worthwhile only when tasks are expensive and
+    cores are actually available.
+    """
+    task_list = list(tasks)
+    if options is None or not options.parallel or len(task_list) <= 1:
+        return [worker(task) for task in task_list]
+    with ProcessPoolExecutor(max_workers=options.max_workers) as executor:
+        return list(
+            executor.map(worker, task_list, chunksize=options.chunksize)
+        )
+
+
+def run_chain(
+    worker: Callable[[T, Optional[C]], Tuple[R, C]],
+    tasks: Sequence[T],
+    carry: Optional[C] = None,
+) -> List[R]:
+    """Warm-started sequential campaign.
+
+    ``worker(task, carry)`` returns ``(result, next_carry)``; the carry
+    of each call seeds the next one (first call receives ``carry``).
+    This is the execution shape of continuation: a DC sweep starting
+    every point from the previous solution, a corner ladder reusing
+    the last bias point, a parameter stepper walking a turn-on curve.
+    """
+    results: List[R] = []
+    for task in tasks:
+        result, carry = worker(task, carry)
+        results.append(result)
+    return results

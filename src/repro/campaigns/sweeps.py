@@ -1,0 +1,51 @@
+"""Campaign adapters for common sweep shapes.
+
+Thin, dependency-free helpers that express the library's recurring
+sweep patterns in terms of the :mod:`~repro.campaigns.runner`
+primitives, so benches and analyses share one vocabulary instead of
+hand-rolled loops.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+
+from .runner import BatchOptions, run_batch
+
+__all__ = ["labelled_sweep", "corner_sweep"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def labelled_sweep(
+    worker: Callable[[T], R],
+    tasks: Sequence[T],
+    label: Callable[[T], str],
+    options: Optional[BatchOptions] = None,
+) -> Dict[str, R]:
+    """Run a batch and key the results by a task label.
+
+    Labels must be unique; duplicate labels would silently drop
+    results, so they raise instead.
+    """
+    labels: List[str] = [label(task) for task in tasks]
+    if len(set(labels)) != len(labels):
+        raise ValueError(f"duplicate sweep labels: {labels}")
+    results = run_batch(worker, tasks, options)
+    return dict(zip(labels, results))
+
+
+def corner_sweep(
+    worker: Callable[[T], R],
+    corners: Sequence[T],
+    options: Optional[BatchOptions] = None,
+) -> Dict[str, R]:
+    """Evaluate ``worker`` at every process corner, keyed by name.
+
+    Works with anything exposing a ``name`` attribute, which is what
+    :class:`~repro.circuits.corners.ProcessCorner` provides.
+    """
+    return labelled_sweep(
+        worker, corners, lambda corner: str(corner.name), options
+    )

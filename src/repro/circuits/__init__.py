@@ -11,6 +11,17 @@ Public surface:
 * Analyses: :func:`solve_dc`, :func:`dc_sweep`, :func:`run_transient`,
   :func:`run_ac`.
 * Stimuli: :func:`dc`, :func:`sine`, :func:`pulse`, :func:`pwl`.
+
+Solver internals (importable for tests/benchmarks):
+
+* :mod:`~repro.circuits.linsolve` — shared dense solve, Newton
+  damping, reusable LU factorizations.
+* :mod:`~repro.circuits.assembly` — incremental transient stamping:
+  linear stamps cached once per run, nonlinear devices restamped per
+  Newton iteration.
+* :mod:`~repro.circuits.reference` — the preserved seed transient
+  engine (:func:`run_transient_reference`), golden baseline for the
+  optimized engine.
 """
 
 from .ac import ACResult, run_ac
@@ -24,6 +35,7 @@ from .mosfet import Mosfet, MosfetParams, NMOS_DEFAULT, PMOS_DEFAULT
 from .netlist import Circuit
 from .noise import NoiseResult, run_noise
 from .subcircuit import CellBuilder, SubcircuitDefinition
+from .reference import run_transient_reference
 from .sources import CurrentSource, VoltageSource, dc, pulse, pwl, sine
 from .transient import TransientOptions, TransientResult, run_transient
 
@@ -71,4 +83,5 @@ __all__ = [
     "TransientOptions",
     "TransientResult",
     "run_transient",
+    "run_transient_reference",
 ]

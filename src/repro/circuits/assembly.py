@@ -1,0 +1,327 @@
+"""Incremental MNA assembly for the transient engine.
+
+The seed engine rebuilt the full dense system with a Python loop over
+every component at every Newton iteration of every step.  For the
+circuits this library simulates — the Fig 1 oscillator is one
+nonlinear VCCS among six components — that loop is ~85 % redundant:
+linear stamps never change during a run.
+
+:class:`TransientAssembly` exploits the component stamp split (see
+:class:`~repro.circuits.component.Component`) to assemble each part of
+the system exactly as often as it can change:
+
+* **once per run** — the base matrix ``G_base``: all linear matrix
+  stamps (R, switches, L/C companion conductances, source branch rows,
+  VCVS/VCCS) plus the global ``gmin`` diagonal, for one
+  ``(dt, method, gmin)`` setup;
+* **once per step** — the linear right-hand side: source values at the
+  step time plus the reactive companion currents, evaluated from the
+  integrator state with vectorized numpy instead of per-component
+  Python (`plain :class:`~repro.circuits.elements.Capacitor` and
+  :class:`~repro.circuits.elements.Inductor` states live in flat
+  arrays);
+* **once per Newton iteration** — only the nonlinear (or split-
+  incapable) components, restamped onto copies of the cached parts.
+
+The assembly also recognizes the **rank-1 Jacobian** special case: a
+single :class:`~repro.circuits.controlled.NonlinearVCCS` perturbs the
+cached base matrix by ``gm * u v^T`` with constant ``u, v``, so each
+Newton solve collapses to a Sherman–Morrison update around one cached
+factorization of ``G_base`` — no matrix assembly or LAPACK call at
+all in the inner loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .component import Component, MNASystem, StampContext
+from .controlled import NonlinearVCCS
+from .elements import Capacitor, Inductor
+from .netlist import Circuit
+
+__all__ = ["TransientAssembly"]
+
+
+class _ReactiveSet:
+    """Vectorized companion-model state for plain capacitors/inductors.
+
+    Stores the (previous voltage, previous current) integrator state of
+    every plain :class:`Capacitor` and :class:`Inductor` in flat numpy
+    arrays, with precomputed coefficients so that the per-step
+    companion RHS and the post-step state update are a handful of
+    vector operations instead of a Python loop over components.
+    """
+
+    def __init__(
+        self,
+        caps: List[Capacitor],
+        inds: List[Inductor],
+        size: int,
+        dt: float,
+        method: str,
+    ):
+        self.caps = caps
+        self.inds = inds
+        self.size = size
+        n = len(caps) + len(inds)
+        self.n = n
+        # Gather indices; ground (-1) redirects to a padded zero slot.
+        pad = size
+        self.a_idx = np.array(
+            [c._n[0] if c._n[0] >= 0 else pad for c in caps]
+            + [l._n[0] if l._n[0] >= 0 else pad for l in inds],
+            dtype=np.intp,
+        )
+        self.b_idx = np.array(
+            [c._n[1] if c._n[1] >= 0 else pad for c in caps]
+            + [l._n[1] if l._n[1] >= 0 else pad for l in inds],
+            dtype=np.intp,
+        )
+        self.br_idx = np.array([l._b[0] for l in inds], dtype=np.intp)
+        self.n_caps = len(caps)
+
+        geq = np.array(
+            [c.companion_conductance(dt, method) for c in caps], dtype=float
+        )
+        req = np.array(
+            [l.companion_resistance(dt, method) for l in inds], dtype=float
+        )
+        trap = method != "be"
+        # Companion RHS term per element: alpha*v_state + beta*i_state.
+        #   cap:  ieq = -geq*v - i (trap) | -geq*v (be)
+        #   ind:  rhs = -v - req*i (trap) | -req*i (be)
+        self.alpha = np.concatenate(
+            [-geq, np.full(len(inds), -1.0 if trap else 0.0)]
+        )
+        self.beta = np.concatenate(
+            [np.full(len(caps), -1.0 if trap else 0.0), -req]
+        )
+        # Scatter matrix: rhs += S @ term.  A cap's ieq flows a->b
+        # (rhs[a] -= ieq, rhs[b] += ieq); an inductor's term lands on
+        # its own branch row.
+        S = np.zeros((size, n))
+        for j, c in enumerate(caps):
+            a, b = c._n
+            if a >= 0:
+                S[a, j] -= 1.0
+            if b >= 0:
+                S[b, j] += 1.0
+        for j, l in enumerate(inds):
+            S[l._b[0], len(caps) + j] += 1.0
+        self.scatter = S
+        # State-update coefficients: i' = upd_g*(v'-v) - upd_m*i for
+        # caps (upd_g is 2C/dt for trap, C/dt for BE); inductor slots
+        # are placeholders, overwritten by their branch currents.
+        self.upd_g = np.concatenate([geq, np.zeros(len(inds))])
+        self.upd_m = 1.0 if trap else 0.0
+
+        # State arrays, filled by init_state().
+        self.v = np.zeros(n)
+        self.i = np.zeros(n)
+
+    def init_state(self, x: np.ndarray) -> None:
+        """Seed integrator state from a converged starting point.
+
+        Delegates to each component's ``init_state`` so the ``ic``
+        handling stays in exactly one place.
+        """
+        for j, c in enumerate(self.caps):
+            st = c.init_state(x)
+            self.v[j], self.i[j] = st.v, st.i
+        for j, l in enumerate(self.inds):
+            st = l.init_state(x)
+            self.v[self.n_caps + j], self.i[self.n_caps + j] = st.v, st.i
+
+    def companion_rhs(self) -> np.ndarray:
+        """The companion RHS of the current state (fresh vector)."""
+        if not self.n:
+            return np.zeros(self.size)
+        term = self.alpha * self.v + self.beta * self.i
+        return self.scatter.dot(term)
+
+    def commit(self, x_padded: np.ndarray, x: np.ndarray) -> None:
+        """Advance the integrator state after a converged step.
+
+        ``x_padded`` is ``x`` with one trailing zero so ground indices
+        gather 0.0.
+        """
+        if not self.n:
+            return
+        v_new = x_padded[self.a_idx] - x_padded[self.b_idx]
+        i_new = self.upd_g * (v_new - self.v)
+        if self.upd_m:
+            i_new -= self.i
+        if len(self.inds):
+            i_new[self.n_caps:] = x[self.br_idx]
+        self.v = v_new
+        self.i = i_new
+
+
+class TransientAssembly:
+    """Cached linear system for one transient run.
+
+    Built once per :func:`~repro.circuits.transient.run_transient`
+    call for a fixed ``(dt, method, gmin)``; exposes the three
+    assembly tiers described in the module docstring.
+    """
+
+    def __init__(self, circuit: Circuit, dt: float, method: str, gmin: float):
+        circuit.prepare()
+        self.circuit = circuit
+        self.dt = dt
+        self.method = method
+        self.gmin = gmin
+        self.size = circuit.size
+        self.n_nodes = circuit.n_nodes
+
+        split, full = circuit.partition_components()
+        self.full: List[Component] = full
+
+        # Plain reactive elements get the vectorized state path;
+        # subclasses fall back to the generic split methods.
+        caps = [c for c in split if type(c) is Capacitor]
+        inds = [c for c in split if type(c) is Inductor]
+        vectorized = set(id(c) for c in caps + inds)
+        #: Names of components whose integrator state lives in the
+        #: vectorized arrays rather than the generic ``states`` dict.
+        self.vectorized_names = {c.name for c in caps + inds}
+        self.reactive = _ReactiveSet(caps, inds, self.size, dt, method)
+        # Split components with per-step RHS work (sources, reactive
+        # subclasses) — skip ones whose stamp_dynamic is the base
+        # no-op so large resistive networks pay nothing per step.
+        self.dynamic: List[Component] = [
+            c
+            for c in split
+            if id(c) not in vectorized
+            and type(c).stamp_dynamic is not Component.stamp_dynamic
+        ]
+
+        # --- once per run: the base matrix -------------------------------
+        system = MNASystem(self.size)
+        ctx = StampContext(
+            system=system,
+            x=np.zeros(self.size),
+            time=0.0,
+            dt=dt,
+            method=method,
+            gmin=gmin,
+        )
+        for component in split:
+            component.stamp_static(ctx)
+        for i in range(self.n_nodes):
+            system.add_G(i, i, gmin)
+        self.G_base = system.G
+        # Freeze the cache: a stamp_dynamic that (incorrectly) writes
+        # matrix entries must fail loudly, not corrupt every later
+        # iteration's base copy.
+        self.G_base.setflags(write=False)
+
+        # Scratch system and context reused by per-step/per-iteration
+        # stamping so the hot loop constructs no MNASystem or
+        # StampContext objects.
+        self._scratch = MNASystem(self.size)
+        self._ctx = StampContext(
+            system=self._scratch,
+            x=np.zeros(self.size),
+            time=0.0,
+            dt=dt,
+            method=method,
+            gmin=gmin,
+        )
+        # Padded iterate buffer: trailing slot stays 0.0 so ground
+        # indices gather zero.
+        self._xp = np.zeros(self.size + 1)
+
+    # -- strategy discovery ---------------------------------------------------
+
+    @property
+    def is_linear(self) -> bool:
+        """No per-iteration restamping needed at all."""
+        return not self.full
+
+    def rank1_device(self) -> Optional[NonlinearVCCS]:
+        """The single nonlinear VCCS, if that is the *only* full-stamp
+        component — the cached-Jacobian (Sherman–Morrison) case."""
+        if len(self.full) == 1 and type(self.full[0]) is NonlinearVCCS:
+            return self.full[0]
+        return None
+
+    def rank1_vectors(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(u, v)`` with the device stamp ``G = G_base + gm*u@v.T``
+        and RHS contribution ``-i_eq*u``."""
+        device = self.rank1_device()
+        op, on, cp, cn = device._n
+        u = np.zeros(self.size)
+        if op >= 0:
+            u[op] += 1.0
+        if on >= 0:
+            u[on] -= 1.0
+        v = np.zeros(self.size)
+        if cp >= 0:
+            v[cp] += 1.0
+        if cn >= 0:
+            v[cn] -= 1.0
+        return u, v
+
+    # -- once per step --------------------------------------------------------
+
+    def step_rhs(
+        self, time: float, states: Dict[str, object], x: np.ndarray
+    ) -> np.ndarray:
+        """Linear right-hand side for one step (iterate-independent)."""
+        rhs = self.reactive.companion_rhs()
+        if self.dynamic:
+            ctx = self._ctx
+            self._scratch.G = self.G_base  # not written by stamp_dynamic
+            self._scratch.rhs = rhs
+            ctx.x = x
+            ctx.time = time
+            ctx.states = states
+            for component in self.dynamic:
+                component.stamp_dynamic(ctx)
+        return rhs
+
+    # -- once per Newton iteration --------------------------------------------
+
+    def assemble(
+        self,
+        x: np.ndarray,
+        rhs_lin: np.ndarray,
+        time: float,
+        states: Dict[str, object],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Full system at iterate ``x``: cached copies + full stamps."""
+        G = self.G_base.copy()
+        rhs = rhs_lin.copy()
+        if self.full:
+            ctx = self._ctx
+            self._scratch.G = G
+            self._scratch.rhs = rhs
+            ctx.x = x
+            ctx.time = time
+            ctx.states = states
+            for component in self.full:
+                component.stamp(ctx)
+        return G, rhs
+
+    # -- after a converged step ----------------------------------------------
+
+    def commit(
+        self, x: np.ndarray, time: float, states: Dict[str, object]
+    ) -> np.ndarray:
+        """Advance all integrator states; returns the padded iterate
+        (reused by callers that gather with ground indices)."""
+        xp = self._xp
+        xp[: self.size] = x
+        self.reactive.commit(xp, x)
+        if states:
+            ctx = self._ctx
+            ctx.x = x
+            ctx.time = time
+            ctx.states = states
+            for name in list(states):
+                states[name] = self.circuit[name].update_state(ctx)
+        return xp

@@ -156,10 +156,41 @@ class Component(ABC):
 
     Subclasses declare how many extra branch-current unknowns they need
     via :attr:`n_branches` and implement :meth:`stamp`.
+
+    Linear/nonlinear stamp split
+    ----------------------------
+    The transient engine assembles the system at every Newton iteration
+    of every step; re-running every component's :meth:`stamp` there is
+    almost entirely wasted work because linear components contribute
+    the *same* matrix entries each time.  Components that can promise
+    this set :attr:`supports_stamp_split` and factor their transient
+    stamp into two halves:
+
+    * :meth:`stamp_static` — matrix (``G``) entries that depend only on
+      the component parameters and the integration setup ``(dt,
+      method)``.  Assembled **once per run** into a cached base matrix.
+    * :meth:`stamp_dynamic` — right-hand-side entries that may depend
+      on the step time and the integrator state, but never on the
+      Newton iterate ``x``.  Assembled **once per step**.
+
+    The contract: in transient mode, ``stamp(ctx)`` must produce
+    exactly the union of ``stamp_static(ctx)`` and
+    ``stamp_dynamic(ctx)``.  Because a subclass can override
+    :meth:`stamp` in ways the parent's split no longer describes, the
+    engine only honours ``supports_stamp_split`` when it is declared
+    in the component's own class body (see
+    :meth:`~repro.circuits.netlist.Circuit.partition_components`);
+    everything else — nonlinear devices, subclasses that did not
+    re-declare the flag — is restamped in full at every iteration,
+    which is always correct, just slower.
     """
 
     #: Number of extra branch-current unknowns this component adds.
     n_branches: int = 0
+
+    #: Whether this component's transient stamp decomposes into a
+    #: run-constant matrix part and an iterate-independent RHS part.
+    supports_stamp_split: bool = False
 
     def __init__(self, name: str, nodes: Sequence[str]):
         if not name:
@@ -191,6 +222,22 @@ class Component(ABC):
     @abstractmethod
     def stamp(self, ctx: StampContext) -> None:
         """Stamp the (possibly linearized) component into the system."""
+
+    def stamp_static(self, ctx: StampContext) -> None:
+        """Stamp the run-constant matrix entries (transient only).
+
+        Only called when :attr:`supports_stamp_split` is true.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support the stamp split"
+        )
+
+    def stamp_dynamic(self, ctx: StampContext) -> None:
+        """Stamp the per-step RHS entries (transient only).
+
+        Only called when :attr:`supports_stamp_split` is true.  The
+        default is a no-op for components whose stamp is fully static.
+        """
 
     def stamp_ac(self, ctx: ACStampContext) -> None:
         """Stamp the small-signal model; default: open circuit."""

@@ -13,8 +13,10 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..campaigns.runner import run_chain
 from ..errors import ConvergenceError
 from .component import MNASystem, StampContext
+from .linsolve import damp_voltage_delta, solve_dense
 from .netlist import Circuit
 from .sources import CurrentSource, VoltageSource
 
@@ -77,14 +79,6 @@ def _assemble(circuit: Circuit, x: np.ndarray, gmin: float, source_scale: float)
     return system
 
 
-def _solve_linear(system: MNASystem) -> np.ndarray:
-    try:
-        return np.linalg.solve(system.G, system.rhs)
-    except np.linalg.LinAlgError:
-        solution, *_ = np.linalg.lstsq(system.G, system.rhs, rcond=None)
-        return solution
-
-
 def _newton(
     circuit: Circuit,
     x0: np.ndarray,
@@ -95,23 +89,19 @@ def _newton(
     x = x0.copy()
     if not circuit.has_nonlinear():
         system = _assemble(circuit, x, gmin, source_scale)
-        return _solve_linear(system)
+        return solve_dense(system.G, system.rhs)
     n_nodes = circuit.n_nodes
     last_delta = np.inf
     for iteration in range(options.max_iterations):
         system = _assemble(circuit, x, gmin, source_scale)
-        x_new = _solve_linear(system)
-        delta = x_new - x
+        x_new = solve_dense(system.G, system.rhs)
         # Damping applies to node *voltages* only; branch currents are
         # linear consequences of the voltages and may legitimately move
         # by large amounts in one iteration.
-        v_delta = delta[:n_nodes]
-        max_delta = float(np.max(np.abs(v_delta))) if v_delta.size else 0.0
-        if max_delta > options.max_step:
-            scale = options.max_step / max_delta
-            delta = delta * scale
+        delta, last_delta = damp_voltage_delta(
+            x_new - x, n_nodes, options.max_step
+        )
         x = x + delta
-        last_delta = float(np.max(np.abs(delta[:n_nodes]))) if n_nodes else 0.0
         tol = options.abstol_v + options.reltol * float(np.max(np.abs(x[:n_nodes])))
         if last_delta < tol:
             return x
@@ -200,16 +190,19 @@ def dc_sweep(
     options = options or NewtonOptions()
     circuit.prepare()
     values_arr = np.asarray(list(values), dtype=float)
-    traces: Dict[str, List[float]] = {name: [] for name in probes}
-    x_prev: Optional[np.ndarray] = None
     original = source._func  # restored afterwards
+
+    def solve_point(value, x_prev):
+        """Campaign worker: previous solution warm-starts this point."""
+        source.set_value(float(value))
+        op = solve_dc(circuit, options=options, x0=x_prev)
+        return {name: float(probe(op)) for name, probe in probes.items()}, op.x
+
     try:
-        for value in values_arr:
-            source.set_value(float(value))
-            op = solve_dc(circuit, options=options, x0=x_prev)
-            x_prev = op.x
-            for name, probe in probes.items():
-                traces[name].append(float(probe(op)))
+        rows = run_chain(solve_point, values_arr)
     finally:
         source._func = original
-    return SweepResult(values=values_arr, traces={k: np.asarray(v) for k, v in traces.items()})
+    traces = {
+        name: np.asarray([row[name] for row in rows]) for name in probes
+    }
+    return SweepResult(values=values_arr, traces=traces)

@@ -15,6 +15,8 @@ __all__ = ["Resistor", "Capacitor", "Inductor", "Switch"]
 class Resistor(Component):
     """Linear resistor between two nodes."""
 
+    supports_stamp_split = True
+
     def __init__(self, name: str, a: str, b: str, resistance: float):
         super().__init__(name, (a, b))
         if resistance <= 0.0 or not np.isfinite(resistance):
@@ -27,6 +29,9 @@ class Resistor(Component):
 
     def stamp(self, ctx: StampContext) -> None:
         ctx.system.stamp_conductance(self._n[0], self._n[1], self.conductance)
+
+    def stamp_static(self, ctx: StampContext) -> None:
+        self.stamp(ctx)
 
     def stamp_ac(self, ctx: ACStampContext) -> None:
         ctx.stamp_admittance(self._n[0], self._n[1], self.conductance)
@@ -49,7 +54,15 @@ class _CapState:
 
 
 class Capacitor(Component):
-    """Linear capacitor.  Open in DC, companion model in transient."""
+    """Linear capacitor.  Open in DC, companion model in transient.
+
+    The companion conductance ``geq`` depends only on ``(dt, method)``,
+    so it lands in the static half of the stamp split; the companion
+    current ``ieq`` tracks the integrator state and is re-stamped each
+    step by :meth:`stamp_dynamic`.
+    """
+
+    supports_stamp_split = True
 
     def __init__(self, name: str, a: str, b: str, capacitance: float, ic: Optional[float] = None):
         super().__init__(name, (a, b))
@@ -62,19 +75,31 @@ class Capacitor(Component):
     def _voltage(self, ctx: StampContext) -> float:
         return ctx.v(self._n[0]) - ctx.v(self._n[1])
 
+    def companion_conductance(self, dt: float, method: str) -> float:
+        """``geq`` of the companion model for the given integrator."""
+        if method == "be":
+            return self.capacitance / dt
+        return 2.0 * self.capacitance / dt
+
     def stamp(self, ctx: StampContext) -> None:
         if not ctx.is_transient:
             # Open circuit in DC; a tiny gmin keeps floating nodes solvable.
             ctx.system.stamp_conductance(self._n[0], self._n[1], ctx.gmin)
             return
+        self.stamp_static(ctx)
+        self.stamp_dynamic(ctx)
+
+    def stamp_static(self, ctx: StampContext) -> None:
+        geq = self.companion_conductance(ctx.dt, ctx.method)
+        ctx.system.stamp_conductance(self._n[0], self._n[1], geq)
+
+    def stamp_dynamic(self, ctx: StampContext) -> None:
         state: _CapState = ctx.states[self.name]
+        geq = self.companion_conductance(ctx.dt, ctx.method)
         if ctx.method == "be":
-            geq = self.capacitance / ctx.dt
             ieq = -geq * state.v
         else:  # trapezoidal
-            geq = 2.0 * self.capacitance / ctx.dt
             ieq = -geq * state.v - state.i
-        ctx.system.stamp_conductance(self._n[0], self._n[1], geq)
         # Companion current source from a to b: i = geq*v + ieq
         ctx.system.stamp_current(self._n[0], self._n[1], ieq)
 
@@ -115,6 +140,7 @@ class Inductor(Component):
     """
 
     n_branches = 1
+    supports_stamp_split = True
 
     def __init__(self, name: str, a: str, b: str, inductance: float, ic: Optional[float] = None):
         super().__init__(name, (a, b))
@@ -124,30 +150,48 @@ class Inductor(Component):
         #: Optional initial current for use_ic transient starts.
         self.ic = ic
 
+    def companion_resistance(self, dt: float, method: str) -> float:
+        """``req`` of the companion model for the given integrator."""
+        if method == "be":
+            return self.inductance / dt
+        return 2.0 * self.inductance / dt
+
     def stamp(self, ctx: StampContext) -> None:
+        if ctx.is_transient:
+            self.stamp_static(ctx)
+            self.stamp_dynamic(ctx)
+            return
         a, b = self._n
         br = self._b[0]
         sys = ctx.system
         # KCL: branch current leaves node a, enters node b.
         sys.add_G(a, br, 1.0)
         sys.add_G(b, br, -1.0)
-        # Branch (KVL) row:
+        # Branch (KVL) row reads v(a) - v(b) = 0 (DC short).
         sys.add_G(br, a, 1.0)
         sys.add_G(br, b, -1.0)
-        if not ctx.is_transient:
-            # v = 0 (DC short); row reads v(a) - v(b) = 0.
-            return
+
+    def stamp_static(self, ctx: StampContext) -> None:
+        a, b = self._n
+        br = self._b[0]
+        sys = ctx.system
+        # KCL: branch current leaves node a, enters node b.
+        sys.add_G(a, br, 1.0)
+        sys.add_G(b, br, -1.0)
+        # Branch (KVL) row: v(a) - v(b) - req*i = <state terms>.
+        sys.add_G(br, a, 1.0)
+        sys.add_G(br, b, -1.0)
+        sys.add_G(br, br, -self.companion_resistance(ctx.dt, ctx.method))
+
+    def stamp_dynamic(self, ctx: StampContext) -> None:
         state: _IndState = ctx.states[self.name]
+        req = self.companion_resistance(ctx.dt, ctx.method)
         if ctx.method == "be":
             # v_n = (L/dt) (i_n - i_prev)
-            req = self.inductance / ctx.dt
-            sys.add_G(br, br, -req)
-            sys.add_rhs(br, -req * state.i)
+            ctx.system.add_rhs(self._b[0], -req * state.i)
         else:
             # (v_n + v_prev)/2 = (L/dt)(i_n - i_prev)
-            req = 2.0 * self.inductance / ctx.dt
-            sys.add_G(br, br, -req)
-            sys.add_rhs(br, -state.v - req * state.i)
+            ctx.system.add_rhs(self._b[0], -state.v - req * state.i)
 
     def stamp_ac(self, ctx: ACStampContext) -> None:
         a, b = self._n
@@ -177,8 +221,13 @@ class Switch(Component):
 
     The state is set programmatically (``switch.closed = True``) rather
     than by a controlling voltage, which is what the behavioural test
-    benches need (enable signals, fault injection).
+    benches need (enable signals, fault injection).  The state is
+    frozen for the duration of one transient run (it is sampled when
+    the cached base matrix is built); toggle it between runs, not
+    inside one.
     """
+
+    supports_stamp_split = True
 
     def __init__(
         self,
@@ -202,6 +251,9 @@ class Switch(Component):
 
     def stamp(self, ctx: StampContext) -> None:
         ctx.system.stamp_conductance(self._n[0], self._n[1], 1.0 / self.resistance)
+
+    def stamp_static(self, ctx: StampContext) -> None:
+        self.stamp(ctx)
 
     def stamp_ac(self, ctx: ACStampContext) -> None:
         ctx.stamp_admittance(self._n[0], self._n[1], 1.0 / self.resistance)

@@ -1,0 +1,131 @@
+"""Shared dense linear-solve and Newton-damping utilities.
+
+Both analyses (:mod:`~repro.circuits.dcop` and
+:mod:`~repro.circuits.transient`) solve ``G @ x = rhs`` systems and
+damp Newton updates the same way; this module is the single home for
+that logic so the two engines cannot drift apart again.
+
+Three layers:
+
+* :func:`solve_dense` — one-shot solve with a least-squares fallback
+  for singular systems (floating nodes under fault injection).
+* :func:`damp_voltage_delta` — the update-damping rule: clamp the
+  per-iteration change of the *node voltages* only.  Branch currents
+  are linear consequences of the voltages and may legitimately jump
+  by large amounts in one iteration, so they are never the limiting
+  unknowns (this was historically inconsistent between the DC and
+  transient Newton loops).
+* :class:`ReusableLU` — a factorization cached across many solves
+  with the same matrix: LU (``scipy.linalg.lu_factor``/``lu_solve``)
+  for large systems, an explicit inverse for small ones where the
+  LAPACK call overhead dominates the arithmetic.  Used by the
+  transient engine for fully linear circuits (one factorization for
+  the whole run) and as the frozen Jacobian of the chord-Newton mode.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+try:  # scipy is an optional accelerator; numpy covers every path.
+    from scipy.linalg import lu_factor as _lu_factor, lu_solve as _lu_solve
+
+    _HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _HAVE_SCIPY = False
+
+__all__ = ["solve_dense", "damp_voltage_delta", "ReusableLU"]
+
+#: Below this system size an explicit inverse plus ``dot`` beats the
+#: per-call overhead of LAPACK's triangular solves by a wide margin.
+_SMALL_SYSTEM = 64
+
+
+def solve_dense(G: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``G @ x = rhs`` with a least-squares fallback.
+
+    The fallback keeps pathological (singular) systems — floating
+    nodes mid fault-injection, fully open switches — from aborting an
+    analysis; the minimum-norm solution is the physically sensible
+    answer there.
+    """
+    try:
+        return np.linalg.solve(G, rhs)
+    except np.linalg.LinAlgError:
+        solution, *_ = np.linalg.lstsq(G, rhs, rcond=None)
+        return solution
+
+
+def damp_voltage_delta(
+    delta: np.ndarray, n_nodes: int, max_step: float
+) -> Tuple[np.ndarray, float]:
+    """Clamp a Newton update by its largest node-voltage component.
+
+    Returns ``(damped_delta, max_v_delta)`` where ``max_v_delta`` is
+    the largest absolute node-voltage change *after* damping (the
+    quantity the convergence test monitors).  The whole vector is
+    scaled uniformly so the search direction is preserved.
+    """
+    v_delta = delta[:n_nodes]
+    max_delta = float(np.abs(v_delta).max()) if v_delta.size else 0.0
+    if max_delta > max_step:
+        delta = delta * (max_step / max_delta)
+        max_delta = max_step
+    return delta, max_delta
+
+
+class ReusableLU:
+    """A cached factorization of a dense MNA matrix.
+
+    ``factor(G)`` captures the matrix; ``solve(rhs)`` reuses the
+    factorization for any number of right-hand sides.  Singular
+    matrices degrade to the least-squares fallback transparently so
+    callers never need their own error handling.
+
+    Strategy by size: small systems (< ``_SMALL_SYSTEM`` unknowns) are
+    inverted explicitly once — a 6x6 ``inv`` costs one LAPACK call and
+    each subsequent solve is a sub-microsecond ``dot`` — while larger
+    systems use partial-pivoting LU, which is the numerically careful
+    choice when conditioning matters more than call overhead.
+    """
+
+    def __init__(self, G: Optional[np.ndarray] = None):
+        self._inv: Optional[np.ndarray] = None
+        self._lu = None
+        self._g: Optional[np.ndarray] = None
+        self._singular = False
+        self.n_factorizations = 0
+        if G is not None:
+            self.factor(G)
+
+    def factor(self, G: np.ndarray) -> None:
+        """(Re)factorize; counts factorizations for diagnostics."""
+        self._g = np.array(G, dtype=float, copy=True)
+        self._inv = None
+        self._lu = None
+        self._singular = False
+        self.n_factorizations += 1
+        try:
+            if G.shape[0] < _SMALL_SYSTEM or not _HAVE_SCIPY:
+                self._inv = np.linalg.inv(self._g)
+            else:
+                self._lu = _lu_factor(self._g, check_finite=False)
+        except (np.linalg.LinAlgError, ValueError):
+            self._singular = True
+
+    @property
+    def is_factored(self) -> bool:
+        return self._g is not None
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve against the captured matrix for one right-hand side."""
+        if self._g is None:
+            raise ValueError("ReusableLU.solve() before factor()")
+        if self._singular:
+            solution, *_ = np.linalg.lstsq(self._g, rhs, rcond=None)
+            return solution
+        if self._inv is not None:
+            return self._inv.dot(rhs)
+        return _lu_solve(self._lu, rhs, check_finite=False)

@@ -122,8 +122,9 @@ class Circuit:
         ctrl_n: str,
         func: Callable[[float], float],
         dfunc: Optional[Callable[[float], float]] = None,
+        pair: Optional[Callable[[float], Tuple[float, float]]] = None,
     ) -> NonlinearVCCS:
-        return self.add(NonlinearVCCS(name, out_p, out_n, ctrl_p, ctrl_n, func, dfunc))  # type: ignore[return-value]
+        return self.add(NonlinearVCCS(name, out_p, out_n, ctrl_p, ctrl_n, func, dfunc, pair=pair))  # type: ignore[return-value]
 
     def diode(self, name: str, anode: str, cathode: str, i_sat: float = DEFAULT_IS, n: float = DEFAULT_N) -> Diode:
         return self.add(Diode(name, anode, cathode, i_sat=i_sat, n=n))  # type: ignore[return-value]
@@ -177,6 +178,32 @@ class Circuit:
 
     def has_nonlinear(self) -> bool:
         return any(c.is_nonlinear() for c in self._components.values())
+
+    def partition_components(self) -> Tuple[List[Component], List[Component]]:
+        """Split components for incremental transient assembly.
+
+        Returns ``(split, full)``: *split* components are linear and
+        honour the static/dynamic stamp contract, so their matrix
+        entries can be assembled once per run; *full* components
+        (nonlinear devices, or subclasses that never opted into the
+        split) must be restamped at every Newton iteration.
+
+        The split flag is deliberately **not** inherited: a subclass
+        may override :meth:`~Component.stamp` with behaviour the
+        parent's static/dynamic halves no longer describe, so only
+        classes that declare ``supports_stamp_split`` in their own
+        body are trusted.  Everything else takes the always-correct
+        full-restamp path.
+        """
+        split: List[Component] = []
+        full: List[Component] = []
+        for component in self._components.values():
+            declared = type(component).__dict__.get("supports_stamp_split", False)
+            if declared and not component.is_nonlinear():
+                split.append(component)
+            else:
+                full.append(component)
+        return split, full
 
     # -- solution access helpers ---------------------------------------------------
 

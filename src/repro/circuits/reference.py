@@ -1,0 +1,139 @@
+"""The pre-optimization transient engine, preserved as a golden
+baseline.
+
+:func:`run_transient_reference` is the seed implementation of the
+fixed-step transient analysis: it rebuilds the full dense MNA system
+with a Python loop over *every* component at *every* Newton iteration
+of *every* step, and records into Python lists finished by
+``np.vstack``.  It is deliberately kept naive — its only job is to
+define the waveforms the incremental-stamping engine in
+:mod:`~repro.circuits.transient` must reproduce, which the golden
+equivalence tests assert to ``rtol = 1e-9``.
+
+Two shared pieces intentionally differ from the original seed text,
+in both engines equally, so the equivalence tests isolate the
+*assembly/solver* optimization:
+
+* Newton damping clamps node voltages only (the seed transient loop
+  clamped branch currents too, inconsistently with the DC solver);
+  both engines use :func:`~repro.circuits.linsolve.damp_voltage_delta`.
+* The dense solve with least-squares fallback lives in
+  :func:`~repro.circuits.linsolve.solve_dense`.
+
+Do not use this engine for real workloads; it exists for tests and
+for the perf harness (``benchmarks/run_perf.py``), which times it to
+report the optimized engine's speedup against the seed behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from .component import MNASystem, StampContext
+from .dcop import NewtonOptions, solve_dc
+from .linsolve import damp_voltage_delta, solve_dense
+from .netlist import Circuit
+from .transient import TransientOptions, TransientResult
+
+__all__ = ["run_transient_reference"]
+
+
+def _newton_step(
+    circuit: Circuit,
+    x_guess: np.ndarray,
+    states: Dict[str, object],
+    time: float,
+    dt: float,
+    method: str,
+    options: NewtonOptions,
+) -> np.ndarray:
+    x = x_guess.copy()
+    nonlinear = circuit.has_nonlinear()
+    n_nodes = circuit.n_nodes
+    last_delta = np.inf
+    for _iteration in range(options.max_iterations):
+        system = MNASystem(circuit.size)
+        ctx = StampContext(
+            system=system,
+            x=x,
+            time=time,
+            dt=dt,
+            method=method,
+            gmin=options.gmin,
+            states=states,
+        )
+        for component in circuit:
+            component.stamp(ctx)
+        for i in range(circuit.n_nodes):
+            system.add_G(i, i, options.gmin)
+        x_new = solve_dense(system.G, system.rhs)
+        if not nonlinear:
+            return x_new
+        delta, last_delta = damp_voltage_delta(
+            x_new - x, n_nodes, options.max_step
+        )
+        x = x + delta
+        tol = options.abstol_v + options.reltol * float(
+            np.max(np.abs(x[:n_nodes]))
+        )
+        if last_delta < tol:
+            return x
+    raise ConvergenceError(
+        f"transient Newton failed at t={time:.4e}",
+        iterations=options.max_iterations,
+        residual=last_delta,
+    )
+
+
+def run_transient_reference(
+    circuit: Circuit, options: Optional[TransientOptions] = None
+) -> TransientResult:
+    """Integrate with the naive full-restamp engine (see module doc)."""
+    options = options or TransientOptions()
+    circuit.prepare()
+
+    if options.use_dc_operating_point:
+        op = solve_dc(circuit, options=options.newton)
+        x = op.x.copy()
+    else:
+        x = np.zeros(circuit.size)
+
+    states: Dict[str, object] = {}
+    for component in circuit:
+        state = component.init_state(x)
+        if state is not None:
+            states[component.name] = state
+
+    n_steps = int(round(options.t_stop / options.dt))
+    times: List[float] = [0.0]
+    records: List[np.ndarray] = [x.copy()]
+    time = 0.0
+    for step in range(1, n_steps + 1):
+        time = step * options.dt
+        x = _newton_step(
+            circuit, x, states, time, options.dt, options.method, options.newton
+        )
+        # Commit integrator states.
+        ctx = StampContext(
+            system=MNASystem(circuit.size),
+            x=x,
+            time=time,
+            dt=options.dt,
+            method=options.method,
+            states=states,
+        )
+        for component in circuit:
+            if component.name in states:
+                states[component.name] = component.update_state(ctx)
+        if step % options.record_stride == 0:
+            times.append(time)
+            records.append(x.copy())
+    return TransientResult(
+        circuit=circuit,
+        t=np.asarray(times),
+        x=np.vstack(records),
+        stats={"strategy": "reference", "steps": n_steps},
+    )

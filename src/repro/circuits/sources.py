@@ -110,6 +110,7 @@ class VoltageSource(Component):
     """
 
     n_branches = 1
+    supports_stamp_split = True
 
     def __init__(self, name: str, positive: str, negative: str, value: ValueSpec, ac_magnitude: float = 0.0):
         super().__init__(name, (positive, negative))
@@ -124,6 +125,10 @@ class VoltageSource(Component):
         self._func = value if callable(value) else dc(float(value))
 
     def stamp(self, ctx: StampContext) -> None:
+        self.stamp_static(ctx)
+        self.stamp_dynamic(ctx)
+
+    def stamp_static(self, ctx: StampContext) -> None:
         a, b = self._n
         br = self._b[0]
         sys = ctx.system
@@ -131,7 +136,11 @@ class VoltageSource(Component):
         sys.add_G(b, br, -1.0)
         sys.add_G(br, a, 1.0)
         sys.add_G(br, b, -1.0)
-        sys.add_rhs(br, ctx.source_scale * self.value_at(ctx.time))
+
+    def stamp_dynamic(self, ctx: StampContext) -> None:
+        ctx.system.add_rhs(
+            self._b[0], ctx.source_scale * self.value_at(ctx.time)
+        )
 
     def stamp_ac(self, ctx: ACStampContext) -> None:
         a, b = self._n
@@ -154,6 +163,8 @@ class CurrentSource(Component):
     and injects it into the ``n-`` node.
     """
 
+    supports_stamp_split = True
+
     def __init__(self, name: str, positive: str, negative: str, value: ValueSpec, ac_magnitude: float = 0.0):
         super().__init__(name, (positive, negative))
         self._func = value if callable(value) else dc(float(value))
@@ -166,6 +177,12 @@ class CurrentSource(Component):
         self._func = value if callable(value) else dc(float(value))
 
     def stamp(self, ctx: StampContext) -> None:
+        self.stamp_dynamic(ctx)
+
+    def stamp_static(self, ctx: StampContext) -> None:
+        """A current source has no matrix footprint at all."""
+
+    def stamp_dynamic(self, ctx: StampContext) -> None:
         current = ctx.source_scale * self.value_at(ctx.time)
         ctx.system.stamp_current(self._n[0], self._n[1], current)
 

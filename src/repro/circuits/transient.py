@@ -6,20 +6,56 @@ cycles of a 2–5 MHz LC tank; a fixed step of ~1/60 of the carrier
 period with trapezoidal integration keeps both amplitude and frequency
 errors well below a percent, which is plenty for shape-level
 reproduction.
+
+Engine architecture (incremental stamping)
+------------------------------------------
+This is the hot path behind the startup bench, the supply-loss
+corners, and every Monte-Carlo / FMEA campaign, so the system is
+assembled incrementally via :class:`~repro.circuits.assembly.
+TransientAssembly`: linear matrix stamps once per run, the linear RHS
+once per step, and only nonlinear devices per Newton iteration.  On
+top of the cache the engine picks a solve strategy per run:
+
+* ``linear`` — no nonlinear devices: one cached factorization
+  (:class:`~repro.circuits.linsolve.ReusableLU`) serves every step.
+* ``linear-restamp`` — linear circuit containing components outside
+  the stamp split (possibly time-varying): fresh assembly and one
+  undamped solve per step, never Newton iteration.
+* ``rank1`` — exactly one :class:`~repro.circuits.controlled.
+  NonlinearVCCS` (the Fig 1 oscillator): the Jacobian is the cached
+  base matrix plus a rank-1 update, so each Newton iterate is a
+  Sherman–Morrison formula around one cached factorization — the
+  inner loop performs no matrix assembly and no LAPACK call.
+* ``general`` — full Newton; each iteration copies the cached parts
+  and restamps only the nonlinear devices.
+* ``chord`` (opt-in via ``TransientOptions(jacobian="chord")``) —
+  quasi-Newton with a frozen, factored Jacobian reused across
+  iterations *and* steps; it refactors only when convergence slows
+  below ``chord_refactor_ratio`` per iteration.
+
+Results are recorded into a preallocated ``(n_records, n_columns)``
+array; pass ``record_nodes`` to store only the node voltages a
+campaign actually consumes.
+
+Waveform equivalence with the pre-optimization engine is pinned by the
+golden tests against :func:`~repro.circuits.reference.
+run_transient_reference`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..analysis.waveform import Waveform
-from ..errors import ConvergenceError, SimulationError
-from .component import MNASystem, StampContext
+from ..errors import ConvergenceError, NetlistError, SimulationError
+from .assembly import TransientAssembly
+from .component import StampContext
 from .dcop import NewtonOptions, solve_dc
-from .netlist import Circuit
+from .linsolve import ReusableLU, damp_voltage_delta, solve_dense
+from .netlist import GROUND_NAMES, Circuit
 
 __all__ = ["TransientOptions", "TransientResult", "run_transient"]
 
@@ -36,6 +72,17 @@ class TransientOptions:
     newton: NewtonOptions = field(default_factory=NewtonOptions)
     #: Record every n-th step (1 = all).
     record_stride: int = 1
+    #: Node names to record (None = every unknown, including branch
+    #: currents).  Campaigns that consume two traces stop paying for
+    #: the full state vector.
+    record_nodes: Optional[Sequence[str]] = None
+    #: Jacobian strategy: "auto" picks the fastest exact-Newton path,
+    #: "full" forces per-iteration assembly + solve, "chord" reuses a
+    #: frozen LU factorization and refactors only when Newton slows.
+    jacobian: str = "auto"
+    #: Chord mode: refactor when an iteration shrinks the update by
+    #: less than this factor (1.0 would demand monotone convergence).
+    chord_refactor_ratio: float = 0.5
 
     def __post_init__(self) -> None:
         if self.t_stop <= 0 or self.dt <= 0:
@@ -46,22 +93,57 @@ class TransientOptions:
             raise SimulationError(f"unknown method {self.method!r}")
         if self.record_stride < 1:
             raise SimulationError("record_stride must be >= 1")
+        if self.jacobian not in ("auto", "full", "chord"):
+            raise SimulationError(f"unknown jacobian mode {self.jacobian!r}")
+        if not 0.0 < self.chord_refactor_ratio <= 1.0:
+            raise SimulationError("chord_refactor_ratio must be in (0, 1]")
 
 
 @dataclass
 class TransientResult:
-    """Recorded node voltages (and branch currents) over time."""
+    """Recorded node voltages (and branch currents) over time.
+
+    With ``record_nodes`` the column space shrinks to the requested
+    node voltages; asking for anything that was not recorded raises
+    :class:`~repro.errors.SimulationError` rather than guessing.
+    """
 
     circuit: Circuit
     t: np.ndarray
-    x: np.ndarray  # shape (n_samples, system_size)
+    x: np.ndarray  # shape (n_samples, n_recorded_columns)
+    #: Column names when a ``record_nodes`` subset was recorded.
+    recorded_nodes: Optional[Tuple[str, ...]] = None
+    #: Engine diagnostics: strategy, Newton iteration totals, LU
+    #: refactorization count.
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    def _column(self, node: str) -> Optional[int]:
+        """Recorded column for a node; None means ground (zero trace)."""
+        if node in GROUND_NAMES:
+            return None
+        if self.recorded_nodes is not None:
+            try:
+                return self.recorded_nodes.index(node)
+            except ValueError:
+                raise SimulationError(
+                    f"node {node!r} was not recorded; record_nodes="
+                    f"{list(self.recorded_nodes)}"
+                ) from None
+        try:
+            idx = self.circuit.node_index(node)
+        except NetlistError:
+            raise SimulationError(
+                f"unknown node {node!r}; known nodes: "
+                f"{list(self.circuit.node_names)}"
+            ) from None
+        return idx if idx >= 0 else None
 
     def waveform(self, node: str) -> Waveform:
-        idx = self.circuit.node_index(node)
-        if idx < 0:
+        column = self._column(node)
+        if column is None:
             y = np.zeros_like(self.t)
         else:
-            y = self.x[:, idx]
+            y = self.x[:, column]
         return Waveform(self.t, y, name=node)
 
     def differential(self, node_p: str, node_n: str) -> Waveform:
@@ -74,56 +156,235 @@ class TransientResult:
         branches = component.branch_indices
         if not branches:
             raise SimulationError(f"{component_name} has no branch current")
+        if self.recorded_nodes is not None:
+            raise SimulationError(
+                "branch currents are not available when record_nodes "
+                "restricts recording to node voltages"
+            )
         return Waveform(self.t, self.x[:, branches[0]], name=f"i({component_name})")
 
 
-def _newton_step(
-    circuit: Circuit,
-    x_guess: np.ndarray,
-    states: Dict[str, object],
-    time: float,
-    dt: float,
-    method: str,
-    options: NewtonOptions,
-) -> np.ndarray:
-    x = x_guess.copy()
-    nonlinear = circuit.has_nonlinear()
-    last_delta = np.inf
-    for _iteration in range(options.max_iterations):
-        system = MNASystem(circuit.size)
-        ctx = StampContext(
-            system=system,
-            x=x,
-            time=time,
-            dt=dt,
-            method=method,
-            gmin=options.gmin,
-            states=states,
+def _voltage_tol(x: np.ndarray, n_nodes: int, options: NewtonOptions) -> float:
+    return options.abstol_v + options.reltol * float(np.abs(x[:n_nodes]).max())
+
+
+class _StepSolver:
+    """Per-run solver state shared across steps (caches, statistics)."""
+
+    def __init__(
+        self,
+        assembly: TransientAssembly,
+        options: NewtonOptions,
+        jacobian: str,
+        chord_refactor_ratio: float,
+    ):
+        self.assembly = assembly
+        self.options = options
+        self.n_nodes = assembly.n_nodes
+        self.newton_iterations = 0
+        self.chord_refactor_ratio = chord_refactor_ratio
+
+        self.lu: Optional[ReusableLU] = None
+        device = assembly.rank1_device()
+        if assembly.is_linear:
+            self.strategy = "linear"
+            self.lu = ReusableLU(assembly.G_base)
+        elif not assembly.circuit.has_nonlinear():
+            # Linear circuit containing components that did not opt
+            # into the stamp split (their stamps may vary with time):
+            # one fresh assembly and one undamped solve per step, the
+            # seed engine's exact linear behaviour.
+            self.strategy = "linear-restamp"
+        elif jacobian == "chord":
+            self.strategy = "chord"
+            self.lu = ReusableLU()
+        elif device is not None and jacobian == "auto":
+            self.strategy = "rank1"
+            self.lu = ReusableLU(assembly.G_base)
+            self._device = device
+            op, on, cp, cn = device._n
+            self._cp, self._cn = cp, cn
+            u, _v = assembly.rank1_vectors()
+            self._u = u
+            self._w = self.lu.solve(u)
+            self._vw = self._ctrl_diff(self._w)
+            w_v = self._w[: self.n_nodes]
+            self._w_vmax = float(np.abs(w_v).max()) if w_v.size else 0.0
+        else:
+            self.strategy = "general"
+
+    def _ctrl_diff(self, vec: np.ndarray) -> float:
+        cp, cn = self._cp, self._cn
+        value = vec[cp] if cp >= 0 else 0.0
+        if cn >= 0:
+            value = value - vec[cn]
+        return float(value)
+
+    @property
+    def lu_refactorizations(self) -> int:
+        return self.lu.n_factorizations if self.lu is not None else 0
+
+    # -- one time step ------------------------------------------------------
+
+    def step(
+        self,
+        x: np.ndarray,
+        rhs_lin: np.ndarray,
+        time: float,
+        states: Dict[str, object],
+    ) -> np.ndarray:
+        if self.strategy == "linear":
+            return self.lu.solve(rhs_lin)
+        if self.strategy == "linear-restamp":
+            G, rhs = self.assembly.assemble(x, rhs_lin, time, states)
+            self.newton_iterations += 1
+            return solve_dense(G, rhs)
+        if self.strategy == "rank1":
+            return self._step_rank1(x, rhs_lin, time, states)
+        if self.strategy == "chord":
+            return self._step_chord(x, rhs_lin, time, states)
+        return self._step_general(x, rhs_lin, time, states)
+
+    def _fail(self, time: float, residual: float) -> ConvergenceError:
+        return ConvergenceError(
+            f"transient Newton failed at t={time:.4e}",
+            iterations=self.options.max_iterations,
+            residual=residual,
         )
-        for component in circuit:
-            component.stamp(ctx)
-        for i in range(circuit.n_nodes):
-            system.add_G(i, i, options.gmin)
-        try:
-            x_new = np.linalg.solve(system.G, system.rhs)
-        except np.linalg.LinAlgError:
-            x_new, *_ = np.linalg.lstsq(system.G, system.rhs, rcond=None)
-        if not nonlinear:
-            return x_new
-        delta = x_new - x
-        max_delta = float(np.max(np.abs(delta)))
-        if max_delta > options.max_step:
-            delta *= options.max_step / max_delta
-        x = x + delta
-        last_delta = float(np.max(np.abs(delta)))
-        tol = options.abstol_v + options.reltol * float(np.max(np.abs(x)))
-        if last_delta < tol:
-            return x
-    raise ConvergenceError(
-        f"transient Newton failed at t={time:.4e}",
-        iterations=options.max_iterations,
-        residual=last_delta,
-    )
+
+    def _step_general(
+        self,
+        x: np.ndarray,
+        rhs_lin: np.ndarray,
+        time: float,
+        states: Dict[str, object],
+    ) -> np.ndarray:
+        options = self.options
+        last_delta = np.inf
+        for _iteration in range(options.max_iterations):
+            G, rhs = self.assembly.assemble(x, rhs_lin, time, states)
+            x_new = solve_dense(G, rhs)
+            self.newton_iterations += 1
+            delta, last_delta = damp_voltage_delta(
+                x_new - x, self.n_nodes, options.max_step
+            )
+            x = x + delta
+            if last_delta < _voltage_tol(x, self.n_nodes, options):
+                return x
+        raise self._fail(time, last_delta)
+
+    def _step_rank1(
+        self,
+        x: np.ndarray,
+        rhs_lin: np.ndarray,
+        time: float,
+        states: Dict[str, object],
+    ) -> np.ndarray:
+        """Sherman–Morrison Newton around the cached base factorization.
+
+        The Jacobian is always ``G_base + gm*u@v.T``, so every Newton
+        solve collapses to ``x_new = z_lin - q*w`` with cached vectors
+        ``z_lin`` (once per step) and ``w`` (once per run), and a
+        scalar ``q`` from the device linearization.  Once an undamped
+        iterate lands exactly on that line, the remaining iterations —
+        update, damping, convergence test — reduce to *scalar*
+        arithmetic; the solution vector is materialized once at
+        convergence.
+        """
+        options = self.options
+        linearize = self._device.linearize
+        w, vw = self._w, self._vw
+        w_vmax = self._w_vmax
+        n = self.n_nodes
+        max_step = options.max_step
+        z_lin = self.lu.solve(rhs_lin)
+        zl_c = self._ctrl_diff(z_lin)
+        x_v = x[:n]
+        tol = options.abstol_v + options.reltol * (
+            float(np.abs(x_v).max()) if x_v.size else 0.0
+        )
+        v_ctrl = self._ctrl_diff(x)
+        on_line = False  # is x exactly z_lin - c*w?
+        c = 0.0
+        last_delta = np.inf
+        for _iteration in range(options.max_iterations):
+            gm, i_eq = linearize(v_ctrl)
+            denom = 1.0 + gm * vw
+            self.newton_iterations += 1
+            if abs(denom) < 1e-12:
+                # Jacobian momentarily singular along the rank-1
+                # direction; fall back to a dense solve.
+                if on_line:
+                    x = z_lin - c * w
+                    on_line = False
+                G, rhs = self.assembly.assemble(x, rhs_lin, time, states)
+                x_new = solve_dense(G, rhs)
+                delta, last_delta = damp_voltage_delta(
+                    x_new - x, n, options.max_step
+                )
+                x = x + delta
+                v_ctrl = self._ctrl_diff(x)
+                if last_delta < tol:
+                    return x
+                continue
+            q = i_eq + gm * (zl_c - i_eq * vw) / denom
+            if on_line:
+                last_delta = abs(c - q) * w_vmax
+                if last_delta > max_step:
+                    c = c + (max_step / last_delta) * (q - c)
+                    last_delta = max_step
+                else:
+                    c = q
+                v_ctrl = zl_c - c * vw
+                if last_delta < tol:
+                    return z_lin - c * w
+            else:
+                x_new = z_lin - q * w
+                delta, last_delta = damp_voltage_delta(x_new - x, n, max_step)
+                if last_delta == max_step:  # damped: stays off the line
+                    x = x + delta
+                    v_ctrl = self._ctrl_diff(x)
+                else:
+                    x = x_new
+                    on_line = True
+                    c = q
+                    v_ctrl = zl_c - c * vw
+                if last_delta < tol:
+                    return x
+        raise self._fail(time, last_delta)
+
+    def _step_chord(
+        self,
+        x: np.ndarray,
+        rhs_lin: np.ndarray,
+        time: float,
+        states: Dict[str, object],
+    ) -> np.ndarray:
+        """Frozen-Jacobian Newton with refactor-on-slow-convergence."""
+        options = self.options
+        last_delta = np.inf
+        previous_delta = np.inf
+        for _iteration in range(options.max_iterations):
+            G, rhs = self.assembly.assemble(x, rhs_lin, time, states)
+            if not self.lu.is_factored:
+                self.lu.factor(G)
+            residual = G.dot(x) - rhs
+            dx = -self.lu.solve(residual)
+            self.newton_iterations += 1
+            delta, last_delta = damp_voltage_delta(
+                dx, self.n_nodes, options.max_step
+            )
+            x = x + delta
+            if last_delta < _voltage_tol(x, self.n_nodes, options):
+                return x
+            if last_delta > self.chord_refactor_ratio * previous_delta:
+                # Convergence stalled: the frozen Jacobian has drifted
+                # too far from the current linearization — refresh it.
+                self.lu.factor(G)
+                previous_delta = np.inf
+            else:
+                previous_delta = last_delta
+        raise self._fail(time, last_delta)
 
 
 def run_transient(circuit: Circuit, options: Optional[TransientOptions] = None) -> TransientResult:
@@ -142,34 +403,68 @@ def run_transient(circuit: Circuit, options: Optional[TransientOptions] = None) 
     else:
         x = np.zeros(circuit.size)
 
+    assembly = TransientAssembly(
+        circuit, options.dt, options.method, options.newton.gmin
+    )
+    assembly.reactive.init_state(x)
     states: Dict[str, object] = {}
     for component in circuit:
+        if component.name in assembly.vectorized_names:
+            continue
         state = component.init_state(x)
         if state is not None:
             states[component.name] = state
 
+    solver = _StepSolver(
+        assembly, options.newton, options.jacobian, options.chord_refactor_ratio
+    )
+
+    # -- preallocated recording ---------------------------------------------
     n_steps = int(round(options.t_stop / options.dt))
-    times: List[float] = [0.0]
-    records: List[np.ndarray] = [x.copy()]
-    time = 0.0
+    stride = options.record_stride
+    n_records = n_steps // stride + 1
+    record_indices: Optional[np.ndarray] = None
+    recorded_nodes: Optional[Tuple[str, ...]] = None
+    if options.record_nodes is not None:
+        recorded_nodes = tuple(options.record_nodes)
+        indices = []
+        for name in recorded_nodes:
+            idx = circuit.node_index(name)  # unknown name -> NetlistError
+            if idx < 0:
+                raise SimulationError(
+                    f"cannot record ground node {name!r}; it is 0 V by "
+                    "definition"
+                )
+            indices.append(idx)
+        record_indices = np.asarray(indices, dtype=np.intp)
+    n_columns = circuit.size if record_indices is None else len(record_indices)
+    records = np.empty((n_records, n_columns))
+    times = np.empty(n_records)
+
+    def record(row: int, time: float, x: np.ndarray) -> None:
+        times[row] = time
+        records[row] = x if record_indices is None else x[record_indices]
+
+    record(0, 0.0, x)
+    row = 1
     for step in range(1, n_steps + 1):
         time = step * options.dt
-        x = _newton_step(
-            circuit, x, states, time, options.dt, options.method, options.newton
-        )
-        # Commit integrator states.
-        ctx = StampContext(
-            system=MNASystem(circuit.size),
-            x=x,
-            time=time,
-            dt=options.dt,
-            method=options.method,
-            states=states,
-        )
-        for component in circuit:
-            if component.name in states:
-                states[component.name] = component.update_state(ctx)
-        if step % options.record_stride == 0:
-            times.append(time)
-            records.append(x.copy())
-    return TransientResult(circuit=circuit, t=np.asarray(times), x=np.vstack(records))
+        rhs_lin = assembly.step_rhs(time, states, x)
+        x = solver.step(x, rhs_lin, time, states)
+        assembly.commit(x, time, states)
+        if step % stride == 0:
+            record(row, time, x)
+            row += 1
+    stats = {
+        "strategy": solver.strategy,
+        "steps": n_steps,
+        "newton_iterations": solver.newton_iterations,
+        "lu_refactorizations": solver.lu_refactorizations,
+    }
+    return TransientResult(
+        circuit=circuit,
+        t=times,
+        x=records,
+        recorded_nodes=recorded_nodes,
+        stats=stats,
+    )

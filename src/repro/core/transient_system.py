@@ -70,13 +70,29 @@ class OscillatorNetlist:
         circuit.resistor("Rs", "mid", "lc2", self.tank.series_resistance)
         circuit.capacitor("Cosc1", "lc1", "vref", self.tank.capacitance, ic=0.0)
         circuit.capacitor("Cosc2", "lc2", "vref", self.tank.capacitance, ic=0.0)
+        def driver(v: float) -> float:
+            return -limiter(v)
+
+        pair = None
+        if hasattr(limiter, "value_and_slope"):
+            try:
+                limiter.value_and_slope(0.0)
+            except NotImplementedError:
+                pass
+            else:
+
+                def pair(v: float):
+                    i, g = limiter.value_and_slope(v)
+                    return -i, -g
+
         circuit.nonlinear_vccs(
             "Gdrv",
             "lc1",
             "lc2",
             "lc1",
             "lc2",
-            lambda v: -limiter(v),
+            driver,
+            pair=pair,
         )
         return circuit
 
@@ -106,6 +122,9 @@ class OscillatorNetlist:
             dt=dt,
             method="trap",
             use_dc_operating_point=False,
+            # Startup analysis consumes the two tank nodes only; skip
+            # recording the remaining unknowns.
+            record_nodes=("lc1", "lc2"),
         )
         result = run_transient(circuit, options)
         lc1 = result.waveform("lc1")

@@ -74,6 +74,16 @@ class LimiterCharacteristic:
     def __call__(self, v: float) -> float:
         raise NotImplementedError
 
+    def value_and_slope(self, v: float) -> "tuple[float, float]":
+        """``(i(v), di/dv)`` in one evaluation.
+
+        Subclasses with a closed-form derivative override this; the
+        MNA transient engine uses it to linearize the driver with a
+        single characteristic evaluation per Newton iterate instead of
+        three finite-difference ones.
+        """
+        raise NotImplementedError
+
     def sample(self, v: np.ndarray) -> np.ndarray:
         """Vectorized evaluation (default: loop over scalars)."""
         return np.asarray([self(float(x)) for x in np.asarray(v).ravel()])
@@ -112,6 +122,14 @@ class HardLimiter(LimiterCharacteristic):
 
     def __call__(self, v: float) -> float:
         return float(np.clip(self.gm * v, -self.i_max, self.i_max))
+
+    def value_and_slope(self, v: float) -> "tuple[float, float]":
+        i = self.gm * v
+        if i > self.i_max:
+            return self.i_max, 0.0
+        if i < -self.i_max:
+            return -self.i_max, 0.0
+        return i, self.gm
 
     def sample(self, v: np.ndarray) -> np.ndarray:
         return np.clip(self.gm * np.asarray(v, dtype=float), -self.i_max, self.i_max)
@@ -155,6 +173,10 @@ class TanhLimiter(LimiterCharacteristic):
 
     def __call__(self, v: float) -> float:
         return float(self.i_max * math.tanh(self.gm * v / self.i_max))
+
+    def value_and_slope(self, v: float) -> "tuple[float, float]":
+        t = math.tanh(self.gm * v / self.i_max)
+        return self.i_max * t, self.gm * (1.0 - t * t)
 
     def sample(self, v: np.ndarray) -> np.ndarray:
         return self.i_max * np.tanh(self.gm * np.asarray(v, dtype=float) / self.i_max)

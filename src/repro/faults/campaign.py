@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
+from ..campaigns import BatchOptions, run_batch
 from ..core.oscillator_system import OscillatorConfig, OscillatorDriverSystem
 from ..core.safety import FailureKind
 from ..errors import FaultError
@@ -97,12 +98,19 @@ class FaultCampaign:
         When the fault strikes (after the loop has settled).
     t_stop:
         Total simulated time per fault.
+    batch:
+        Execution policy for the per-fault runs (shared campaign
+        engine).  The default runs sequentially; process parallelism
+        pickles the bound ``run_single`` — i.e. this whole campaign,
+        ``config_factory`` and catalog included — so every field must
+        then be picklable (module-level functions, no lambdas).
     """
 
     config_factory: Callable[[], OscillatorConfig]
     injection_time: float = 0.03
     t_stop: float = 0.06
     catalog: Sequence[FaultSpec] = field(default_factory=standard_fault_catalog)
+    batch: Optional[BatchOptions] = None
 
     def __post_init__(self) -> None:
         if not 0 < self.injection_time < self.t_stop:
@@ -133,7 +141,7 @@ class FaultCampaign:
         """Run the fault-free baseline plus every catalog fault."""
         baseline = OscillatorDriverSystem(self.config_factory())
         baseline_trace = baseline.run(self.t_stop)
-        results = [self.run_single(spec) for spec in self.catalog]
+        results = run_batch(self.run_single, self.catalog, self.batch)
         return CampaignResult(
             results=results, baseline_failures=dict(baseline_trace.failures)
         )

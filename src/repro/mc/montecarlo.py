@@ -1,12 +1,21 @@
-"""Monte-Carlo campaign runner over mismatch instances."""
+"""Monte-Carlo campaign runner over mismatch instances.
+
+Sample execution is delegated to the shared batch-campaign engine
+(:mod:`repro.campaigns`), so MC runs can opt into process parallelism
+with a :class:`~repro.campaigns.BatchOptions` without changing their
+statistics: sample ``i`` always uses seed ``base_seed + i`` and
+results always come back in sample order, whatever the scheduling.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from ..campaigns import BatchOptions, run_batch
 from ..errors import ConfigurationError
 from .mismatch import DEFAULT_SIGMAS, MismatchProfile, MismatchSigmas
 
@@ -48,23 +57,33 @@ class MonteCarloResult:
         )
 
 
+def _evaluate_sample(
+    seed: int,
+    metric: Callable[[MismatchProfile], float],
+    sigmas: MismatchSigmas,
+) -> float:
+    """One seeded draw -> metric value (module-level: picklable)."""
+    profile = MismatchProfile.sample(seed=seed, sigmas=sigmas)
+    return float(metric(profile))
+
+
 def run_monte_carlo(
     metric: Callable[[MismatchProfile], float],
     n_samples: int,
     metric_name: str = "metric",
     base_seed: int = 12345,
     sigmas: MismatchSigmas = DEFAULT_SIGMAS,
+    batch: Optional[BatchOptions] = None,
 ) -> MonteCarloResult:
     """Evaluate ``metric`` on ``n_samples`` seeded mismatch draws.
 
     Sample ``i`` uses seed ``base_seed + i`` so individual samples can
-    be reproduced in isolation.
+    be reproduced in isolation.  ``batch`` selects the execution
+    policy (process parallelism needs a picklable ``metric``).
     """
     if n_samples <= 0:
         raise ConfigurationError("n_samples must be positive")
     seeds = [base_seed + i for i in range(n_samples)]
-    values = np.empty(n_samples)
-    for i, seed in enumerate(seeds):
-        profile = MismatchProfile.sample(seed=seed, sigmas=sigmas)
-        values[i] = float(metric(profile))
+    worker = partial(_evaluate_sample, metric=metric, sigmas=sigmas)
+    values = np.asarray(run_batch(worker, seeds, batch))
     return MonteCarloResult(metric_name=metric_name, values=values, seeds=seeds)

@@ -1,0 +1,90 @@
+"""Tests for the shared batch-campaign engine."""
+
+import pytest
+
+from repro.campaigns import (
+    BatchOptions,
+    corner_sweep,
+    labelled_sweep,
+    run_batch,
+    run_chain,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBatchOptions:
+    def test_defaults_are_sequential(self):
+        assert not BatchOptions().parallel
+        assert not BatchOptions(max_workers=1).parallel
+        assert not BatchOptions(max_workers=0).parallel
+        assert BatchOptions(max_workers=2).parallel
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BatchOptions(max_workers=-1)
+        with pytest.raises(ConfigurationError):
+            BatchOptions(chunksize=0)
+
+
+class TestRunBatch:
+    def test_sequential_order_and_results(self):
+        calls = []
+
+        def worker(task):
+            calls.append(task)
+            return task * task
+
+        assert run_batch(worker, [3, 1, 2]) == [9, 1, 4]
+        assert calls == [3, 1, 2]
+
+    def test_empty_batch(self):
+        assert run_batch(abs, []) == []
+
+    def test_sequential_allows_closures(self):
+        total = {"sum": 0.0}
+
+        def worker(task):
+            total["sum"] += task
+            return total["sum"]
+
+        assert run_batch(worker, [1.0, 2.0]) == [1.0, 3.0]
+
+    def test_parallel_preserves_task_order(self):
+        options = BatchOptions(max_workers=2)
+        assert run_batch(abs, [-5, 3, -1, 0], options) == [5, 3, 1, 0]
+
+
+class TestRunChain:
+    def test_carry_threads_through(self):
+        def worker(task, carry):
+            carry = (carry or 0) + task
+            return carry, carry
+
+        assert run_chain(worker, [1, 2, 3]) == [1, 3, 6]
+
+    def test_initial_carry(self):
+        def worker(task, carry):
+            return task + carry, carry
+
+        assert run_chain(worker, [1, 2], carry=10) == [11, 12]
+
+
+class _Corner:
+    def __init__(self, name, value):
+        self.name = name
+        self.value = value
+
+
+class TestSweeps:
+    def test_labelled_sweep(self):
+        result = labelled_sweep(abs, [-1, -2], label=str)
+        assert result == {"-1": 1, "-2": 2}
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError):
+            labelled_sweep(abs, [1, 1], label=str)
+
+    def test_corner_sweep_keys_by_name(self):
+        corners = [_Corner("tt", 1.0), _Corner("ss", 2.0)]
+        result = corner_sweep(lambda c: c.value * 2, corners)
+        assert result == {"tt": 2.0, "ss": 4.0}

@@ -10,7 +10,7 @@ from repro.circuits import (
     run_transient,
     sine,
 )
-from repro.errors import SimulationError
+from repro.errors import NetlistError, SimulationError
 
 
 class TestOptionsValidation:
@@ -119,3 +119,237 @@ class TestNonlinearTransient:
         assert 1.0 < w.max() < 2.0
         # Never goes significantly negative.
         assert w.min() > -0.1
+
+
+def _divider():
+    c = Circuit()
+    c.voltage_source("V1", "in", "0", sine(1.0, 1e5))
+    c.resistor("R1", "in", "out", 1e3)
+    c.resistor("R2", "out", "0", 1e3)
+    return c
+
+
+def _rectifier():
+    c = Circuit()
+    c.voltage_source("V1", "in", "0", sine(2.0, 1e5))
+    c.diode("D1", "in", "out")
+    c.resistor("RL", "out", "0", 10e3)
+    c.capacitor("CL", "out", "0", 1e-6, ic=0.0)
+    return c
+
+
+class TestWaveformAccess:
+    def test_unknown_node_raises_simulation_error(self):
+        res = run_transient(
+            _divider(),
+            TransientOptions(t_stop=1e-5, dt=1e-7, use_dc_operating_point=False),
+        )
+        with pytest.raises(SimulationError):
+            res.waveform("no_such_node")
+
+    def test_ground_is_a_zero_trace(self):
+        res = run_transient(
+            _divider(),
+            TransientOptions(t_stop=1e-5, dt=1e-7, use_dc_operating_point=False),
+        )
+        assert np.all(res.waveform("0").y == 0.0)
+        # differential against ground keeps working.
+        np.testing.assert_array_equal(
+            res.differential("out", "0").y, res.waveform("out").y
+        )
+
+
+class TestRecordNodes:
+    def _options(self, **kw):
+        return TransientOptions(
+            t_stop=1e-5, dt=1e-7, use_dc_operating_point=False, **kw
+        )
+
+    def test_subset_matches_full_recording(self):
+        full = run_transient(_divider(), self._options())
+        subset = run_transient(
+            _divider(), self._options(record_nodes=("out",))
+        )
+        assert subset.x.shape[1] == 1
+        np.testing.assert_array_equal(subset.t, full.t)
+        np.testing.assert_allclose(
+            subset.waveform("out").y, full.waveform("out").y, rtol=0, atol=0
+        )
+
+    def test_unrecorded_node_raises(self):
+        res = run_transient(_divider(), self._options(record_nodes=("out",)))
+        with pytest.raises(SimulationError):
+            res.waveform("in")
+
+    def test_branch_current_unavailable(self):
+        res = run_transient(_divider(), self._options(record_nodes=("out",)))
+        with pytest.raises(SimulationError):
+            res.branch_current("V1")
+
+    def test_unknown_record_node_rejected(self):
+        with pytest.raises(NetlistError):
+            run_transient(
+                _divider(), self._options(record_nodes=("missing",))
+            )
+
+    def test_ground_record_node_rejected(self):
+        with pytest.raises(SimulationError):
+            run_transient(_divider(), self._options(record_nodes=("0",)))
+
+
+class TestRecordPreallocation:
+    def test_stride_not_dividing_step_count(self):
+        """10 steps at stride 3 record t = {0, 3, 6, 9}*dt."""
+        dt = 1e-6
+        res = run_transient(
+            _divider(),
+            TransientOptions(
+                t_stop=10e-6,
+                dt=dt,
+                record_stride=3,
+                use_dc_operating_point=False,
+            ),
+        )
+        assert res.t.shape == (4,)
+        assert res.x.shape[0] == 4
+        np.testing.assert_allclose(res.t, np.array([0, 3, 6, 9]) * dt)
+
+    def test_stride_equal_to_step_count(self):
+        res = run_transient(
+            _divider(),
+            TransientOptions(
+                t_stop=10e-6,
+                dt=1e-6,
+                record_stride=10,
+                use_dc_operating_point=False,
+            ),
+        )
+        assert res.t.shape == (2,)  # t = 0 and the final step
+
+    def test_stride_larger_than_step_count(self):
+        res = run_transient(
+            _divider(),
+            TransientOptions(
+                t_stop=10e-6,
+                dt=1e-6,
+                record_stride=40,
+                use_dc_operating_point=False,
+            ),
+        )
+        assert res.t.shape == (1,)  # only the initial condition
+
+
+class TestStampSplitSafety:
+    def test_subclass_overriding_stamp_is_not_frozen(self):
+        """A subclass that overrides stamp() without re-declaring
+        supports_stamp_split must take the full-restamp path — the
+        parent's static/dynamic split no longer describes it."""
+        from repro.circuits import Resistor
+
+        class TimeVaryingResistor(Resistor):
+            def stamp(self, ctx):
+                g = self.conductance * (1.0 + ctx.time * 1e5)
+                ctx.system.stamp_conductance(self._n[0], self._n[1], g)
+
+        c = Circuit()
+        c.voltage_source("V1", "in", "0", 1.0)
+        c.resistor("R1", "in", "out", 1e3)
+        c.add(TimeVaryingResistor("R2", "out", "0", 1e3))
+        res = run_transient(
+            c,
+            TransientOptions(t_stop=10e-6, dt=1e-6, use_dc_operating_point=False),
+        )
+        # R2 is restamped every step, so the divider ratio drifts:
+        # at t = k*dt its conductance is g0*(1 + 0.1*k).
+        assert res.stats["strategy"] == "linear-restamp"
+        y = res.waveform("out").y
+        assert y[1] == pytest.approx(1.0 / 2.1, rel=1e-9)  # t = 1 us
+        assert y[-1] == pytest.approx(1.0 / 3.0, rel=1e-9)  # t = 10 us
+
+    def test_linear_non_split_circuit_is_never_damped(self):
+        """Seed behaviour: a linear circuit solves in one undamped
+        step even when a component skipped the stamp split — a 120 V
+        source edge must not trip Newton damping/ConvergenceError."""
+        from repro.circuits import Resistor, pulse
+
+        class PlainResistor(Resistor):
+            def stamp(self, ctx):  # opts out of the split
+                super().stamp(ctx)
+
+        c = Circuit()
+        c.voltage_source("V1", "in", "0", pulse(0.0, 120.0, delay=1e-6, width=1e-3))
+        c.add(PlainResistor("R1", "in", "out", 1e3))
+        c.resistor("R2", "out", "0", 1e3)
+        res = run_transient(
+            c,
+            TransientOptions(t_stop=5e-6, dt=1e-7, use_dc_operating_point=False),
+        )
+        assert res.stats["strategy"] == "linear-restamp"
+        # One solve per step, no Newton iteration pile-up.
+        assert res.stats["newton_iterations"] == res.stats["steps"]
+        assert res.waveform("out").y[-1] == pytest.approx(60.0, rel=1e-9)
+
+    def test_base_matrix_cache_is_frozen(self):
+        from repro.circuits.assembly import TransientAssembly
+
+        c = _divider()
+        c.prepare()
+        assembly = TransientAssembly(c, 1e-7, "trap", 1e-12)
+        with pytest.raises(ValueError):
+            assembly.G_base[0, 0] = 1.0
+
+
+class TestJacobianModes:
+    def test_stats_report_strategy(self):
+        res = run_transient(
+            _divider(),
+            TransientOptions(t_stop=1e-5, dt=1e-7, use_dc_operating_point=False),
+        )
+        assert res.stats["strategy"] == "linear"
+        assert res.stats["steps"] == 100
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(SimulationError):
+            TransientOptions(t_stop=1e-3, dt=1e-6, jacobian="newton-krylov")
+
+    def test_chord_matches_full_newton(self):
+        options = TransientOptions(
+            t_stop=60e-6, dt=0.1e-6, use_dc_operating_point=False
+        )
+        baseline = run_transient(_rectifier(), options)
+        chord_options = TransientOptions(
+            t_stop=60e-6,
+            dt=0.1e-6,
+            use_dc_operating_point=False,
+            jacobian="chord",
+        )
+        chord = run_transient(_rectifier(), chord_options)
+        assert chord.stats["strategy"] == "chord"
+        # Chord Newton converges linearly, so each step lands within
+        # the Newton tolerance rather than quadratically inside it;
+        # sub-mV agreement on a ~2 V waveform is the expected bound.
+        np.testing.assert_allclose(
+            chord.waveform("out").y,
+            baseline.waveform("out").y,
+            rtol=1e-4,
+            atol=1e-4,
+        )
+
+    def test_chord_refactors_on_slow_convergence(self):
+        """The diode turning on invalidates the frozen Jacobian; the
+        engine must notice the stalled convergence and refactorize."""
+        chord = run_transient(
+            _rectifier(),
+            TransientOptions(
+                t_stop=60e-6,
+                dt=0.1e-6,
+                use_dc_operating_point=False,
+                jacobian="chord",
+            ),
+        )
+        assert chord.stats["lu_refactorizations"] > 1
+        # ... but far less often than full Newton assembles Jacobians.
+        assert (
+            chord.stats["lu_refactorizations"]
+            < chord.stats["newton_iterations"] / 2
+        )

@@ -1,0 +1,106 @@
+"""Golden equivalence: the incremental-stamping engine must reproduce
+the seed (full-restamp) engine's waveforms to float tolerance.
+
+The Fig 16 startup is the reference workload: the bench tank, the
+tanh-limited driver, carrier resolution, both integration methods.
+The reference engine lives in :mod:`repro.circuits.reference` and is
+the preserved pre-optimization implementation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    TransientOptions,
+    run_transient,
+    run_transient_reference,
+    sine,
+)
+from repro.core import OscillatorNetlist
+from repro.envelope import RLCTank, TanhLimiter
+
+TANK = RLCTank.from_frequency_and_q(4e6, 15.0, 1e-6)
+LIMITER = TanhLimiter(gm=6e-3, i_max=2e-3)
+
+
+def _fig16_options(method):
+    return TransientOptions(
+        t_stop=80 / TANK.frequency,
+        dt=1.0 / (TANK.frequency * 40),
+        method=method,
+        use_dc_operating_point=False,
+    )
+
+
+def _assert_waveforms_match(res_a, res_b, nodes, rtol=1e-9):
+    assert np.array_equal(res_a.t, res_b.t)
+    for node in nodes:
+        y_a = res_a.waveform(node).y
+        y_b = res_b.waveform(node).y
+        scale = float(np.max(np.abs(y_b)))
+        np.testing.assert_allclose(
+            y_a, y_b, rtol=rtol, atol=rtol * scale, err_msg=f"node {node}"
+        )
+
+
+class TestFig16Golden:
+    @pytest.mark.parametrize("method", ["trap", "be"])
+    def test_startup_waveform_parity(self, method):
+        netlist = OscillatorNetlist(TANK, vref=2.5)
+        reference = run_transient_reference(
+            netlist.build(LIMITER), _fig16_options(method)
+        )
+        optimized = run_transient(netlist.build(LIMITER), _fig16_options(method))
+        # The Fig 1 oscillator must hit the cached-Jacobian fast path.
+        assert optimized.stats["strategy"] == "rank1"
+        _assert_waveforms_match(optimized, reference, ["lc1", "lc2", "mid"])
+
+    def test_rank1_matches_forced_full_newton(self):
+        netlist = OscillatorNetlist(TANK, vref=2.5)
+        options = _fig16_options("trap")
+        fast = run_transient(netlist.build(LIMITER), options)
+        options_full = _fig16_options("trap")
+        options_full.jacobian = "full"
+        full = run_transient(netlist.build(LIMITER), options_full)
+        assert full.stats["strategy"] == "general"
+        _assert_waveforms_match(fast, full, ["lc1", "lc2"])
+
+
+class TestLinearAndGeneralGolden:
+    def _rc_filter(self):
+        c = Circuit()
+        c.voltage_source("V1", "in", "0", sine(1.0, 1e5))
+        c.resistor("R1", "in", "out", 1e3)
+        c.capacitor("C1", "out", "0", 1e-9, ic=0.0)
+        c.inductor("L1", "out", "tail", 1e-3)
+        c.resistor("R2", "tail", "0", 50.0)
+        return c
+
+    @pytest.mark.parametrize("method", ["trap", "be"])
+    def test_linear_circuit_parity(self, method):
+        options = TransientOptions(
+            t_stop=50e-6, dt=50e-9, method=method, use_dc_operating_point=False
+        )
+        reference = run_transient_reference(self._rc_filter(), options)
+        optimized = run_transient(self._rc_filter(), options)
+        assert optimized.stats["strategy"] == "linear"
+        _assert_waveforms_match(optimized, reference, ["in", "out", "tail"])
+
+    def _rectifier(self):
+        c = Circuit()
+        c.voltage_source("V1", "in", "0", sine(2.0, 1e5))
+        c.diode("D1", "in", "out")
+        c.resistor("RL", "out", "0", 10e3)
+        c.capacitor("CL", "out", "0", 1e-6, ic=0.0)
+        return c
+
+    def test_general_newton_parity(self):
+        """A diode (not a lone VCCS) exercises the general strategy."""
+        options = TransientOptions(
+            t_stop=60e-6, dt=0.1e-6, use_dc_operating_point=False
+        )
+        reference = run_transient_reference(self._rectifier(), options)
+        optimized = run_transient(self._rectifier(), options)
+        assert optimized.stats["strategy"] == "general"
+        _assert_waveforms_match(optimized, reference, ["in", "out"])
