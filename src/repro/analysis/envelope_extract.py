@@ -5,6 +5,14 @@ oscillation.  When a simulation produces the full carrier waveform
 (e.g. the MNA transient of Fig 16), these helpers recover the envelope
 so it can be compared against the averaged model of
 :mod:`repro.envelope`.
+
+Both extractors work on non-uniform grids: peak picking uses local
+extrema of the recorded samples wherever they fall, and the
+rectify-and-filter path computes its IIR coefficient from each
+individual sample interval.  Peak-picking accuracy is bounded by the
+sample density per carrier cycle, so adaptive transient runs cap
+their step at a fraction of the carrier period (``dt_max``) when an
+envelope is going to be extracted.
 """
 
 from __future__ import annotations

@@ -3,6 +3,17 @@
 These are the measurements the paper's evaluation relies on: peak
 amplitude, oscillation frequency (from zero crossings), settling time of
 the regulated envelope, and counting of regulation steps.
+
+All measurements are grid-agnostic: crossings are interpolated from
+the actual sample times, periods average crossing-to-crossing
+intervals, and settling/step detection index the recorded times
+directly — waveforms from the adaptive (non-uniform-grid) transient
+engine measure identically to fixed-grid ones.  The one caveat is
+:func:`find_steps`, which compares *consecutive samples*: a
+``min_delta`` chosen for a dense grid still works on a sparser one
+(the step is still a jump between adjacent samples), but a slow ramp
+coarsely sampled can exceed ``min_delta`` per sample — pick
+``min_delta`` against the signal's step height, not its slew rate.
 """
 
 from __future__ import annotations

@@ -5,6 +5,13 @@ A :class:`Waveform` is an immutable pair of equal-length numpy arrays
 other waveforms sharing the same time base and with scalars, slicing by
 time window, resampling, and simple calculus, which is all the
 measurement layer (:mod:`repro.analysis.measurements`) needs.
+
+The time axis is **not** assumed uniform: the adaptive transient
+engine records on the accepted-step grid, so every operation here
+(derivative, integral, mean, rms, resampling, windowing) is written
+against the actual sample times.  Consumers that genuinely need a
+uniform grid — FFT-style processing, fixed-rate export — should go
+through :meth:`Waveform.resample_uniform` first.
 """
 
 from __future__ import annotations
@@ -160,6 +167,25 @@ class Waveform:
         t_arr = np.asarray(t_new, dtype=float)
         y_new = np.interp(t_arr, self._t, self._y)
         return Waveform(t_arr, y_new, name=self.name)
+
+    @property
+    def is_uniform(self) -> bool:
+        """Whether the sample grid is (numerically) uniform."""
+        dt = np.diff(self._t)
+        return bool(np.allclose(dt, dt[0], rtol=1e-9, atol=0.0))
+
+    def resample_uniform(self, n: int = 0) -> "Waveform":
+        """Linear interpolation onto a uniform grid over the same span.
+
+        ``n`` defaults to the current sample count, i.e. the average
+        sample rate is preserved.  Use before any processing that
+        assumes constant spacing (FFTs, decimating filters).
+        """
+        if n <= 0:
+            n = len(self)
+        if n < 2:
+            raise AnalysisError("resample_uniform needs at least 2 samples")
+        return self.resample(np.linspace(self.t_start, self.t_stop, n))
 
     def value_at(self, t: float) -> float:
         """Linearly-interpolated value at time ``t`` (clamped at the ends)."""

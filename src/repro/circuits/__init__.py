@@ -17,8 +17,11 @@ Solver internals (importable for tests/benchmarks):
 * :mod:`~repro.circuits.linsolve` — shared dense solve, Newton
   damping, reusable LU factorizations.
 * :mod:`~repro.circuits.assembly` — incremental transient stamping:
-  linear stamps cached once per run, nonlinear devices restamped per
-  Newton iteration.
+  linear stamps cached once per step size (small per-``dt`` LRU),
+  nonlinear devices restamped per Newton iteration.
+* :mod:`~repro.circuits.stepcontrol` — LTE-based adaptive step
+  control (step-doubling error estimate, breakpoint forcing) driving
+  ``run_transient(step_control="adaptive")``.
 * :mod:`~repro.circuits.reference` — the preserved seed transient
   engine (:func:`run_transient_reference`), golden baseline for the
   optimized engine.
@@ -36,7 +39,8 @@ from .netlist import Circuit
 from .noise import NoiseResult, run_noise
 from .subcircuit import CellBuilder, SubcircuitDefinition
 from .reference import run_transient_reference
-from .sources import CurrentSource, VoltageSource, dc, pulse, pwl, sine
+from .sources import CurrentSource, VoltageSource, dc, pulse, pwl, sine, source_breakpoints
+from .stepcontrol import StepController, collect_breakpoints
 from .transient import TransientOptions, TransientResult, run_transient
 
 __all__ = [
@@ -80,6 +84,9 @@ __all__ = [
     "pulse",
     "pwl",
     "sine",
+    "source_breakpoints",
+    "StepController",
+    "collect_breakpoints",
     "TransientOptions",
     "TransientResult",
     "run_transient",

@@ -10,29 +10,38 @@ linear stamps never change during a run.
 :class:`~repro.circuits.component.Component`) to assemble each part of
 the system exactly as often as it can change:
 
-* **once per run** — the base matrix ``G_base``: all linear matrix
-  stamps (R, switches, L/C companion conductances, source branch rows,
-  VCVS/VCCS) plus the global ``gmin`` diagonal, for one
-  ``(dt, method, gmin)`` setup;
+* **once per step size** — the base matrix ``G_base``: all linear
+  matrix stamps (R, switches, L/C companion conductances, source
+  branch rows, VCVS/VCCS) plus the global ``gmin`` diagonal.  Every
+  ``(dt, method)``-dependent product — the base matrix, its cached
+  factorization, the vectorized companion coefficients, the rank-k
+  solve data — lives in a per-``dt`` cache entry; a small LRU of
+  those entries lets the adaptive step controller revisit its few
+  quantized step sizes without refactorizing anything
+  (:meth:`TransientAssembly.set_dt`).  A fixed-step run simply never
+  leaves its first entry.
 * **once per step** — the linear right-hand side: source values at the
   step time plus the reactive companion currents, evaluated from the
   integrator state with vectorized numpy instead of per-component
-  Python (`plain :class:`~repro.circuits.elements.Capacitor` and
+  Python (plain :class:`~repro.circuits.elements.Capacitor` and
   :class:`~repro.circuits.elements.Inductor` states live in flat
   arrays);
 * **once per Newton iteration** — only the nonlinear (or split-
   incapable) components, restamped onto copies of the cached parts.
 
-The assembly also recognizes the **rank-1 Jacobian** special case: a
-single :class:`~repro.circuits.controlled.NonlinearVCCS` perturbs the
-cached base matrix by ``gm * u v^T`` with constant ``u, v``, so each
-Newton solve collapses to a Sherman–Morrison update around one cached
-factorization of ``G_base`` — no matrix assembly or LAPACK call at
-all in the inner loop.
+The assembly also recognizes **low-rank Jacobian** special cases: when
+the only full-stamp components are ``k`` :class:`~repro.circuits.
+controlled.NonlinearVCCS` devices, the Jacobian is the cached base
+matrix plus a rank-``k`` update ``U diag(gm) V^T`` with constant
+``U, V``.  For ``k = 1`` each Newton solve collapses to a
+Sherman–Morrison update; for small ``k`` (2–4, the mirror-cascade
+netlists) to a Woodbury identity around one cached factorization — no
+matrix assembly or LAPACK factorization at all in the inner loop.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -40,9 +49,39 @@ import numpy as np
 from .component import Component, MNASystem, StampContext
 from .controlled import NonlinearVCCS
 from .elements import Capacitor, Inductor
+from .linsolve import ReusableLU
 from .netlist import Circuit
 
 __all__ = ["TransientAssembly"]
+
+#: Maximum number of *additional* NonlinearVCCS devices the Woodbury
+#: fast path covers (k in 2..4); beyond that the dense general Newton
+#: path wins because the small-matrix bookkeeping stops being small.
+MAX_WOODBURY_RANK = 4
+
+
+class _ReactiveCoeffs:
+    """Per-``(dt, method)`` companion coefficients of a :class:`_ReactiveSet`.
+
+    The integrator *state* (previous voltage/current of every plain
+    cap and inductor) is step-size independent; these vectors are the
+    only part of the vectorized companion model that changes when the
+    step controller picks a new ``dt``.
+    """
+
+    __slots__ = ("alpha", "beta", "upd_g", "upd_m")
+
+    def __init__(
+        self,
+        alpha: np.ndarray,
+        beta: np.ndarray,
+        upd_g: np.ndarray,
+        upd_m: float,
+    ):
+        self.alpha = alpha
+        self.beta = beta
+        self.upd_g = upd_g
+        self.upd_m = upd_m
 
 
 class _ReactiveSet:
@@ -50,19 +89,14 @@ class _ReactiveSet:
 
     Stores the (previous voltage, previous current) integrator state of
     every plain :class:`Capacitor` and :class:`Inductor` in flat numpy
-    arrays, with precomputed coefficients so that the per-step
-    companion RHS and the post-step state update are a handful of
-    vector operations instead of a Python loop over components.
+    arrays, with a scatter matrix so that the per-step companion RHS
+    and the post-step state update are a handful of vector operations
+    instead of a Python loop over components.  The ``(dt, method)``-
+    dependent coefficient vectors are built by :meth:`coeffs` and owned
+    by the per-``dt`` cache entries of :class:`TransientAssembly`.
     """
 
-    def __init__(
-        self,
-        caps: List[Capacitor],
-        inds: List[Inductor],
-        size: int,
-        dt: float,
-        method: str,
-    ):
+    def __init__(self, caps: List[Capacitor], inds: List[Inductor], size: int):
         self.caps = caps
         self.inds = inds
         self.size = size
@@ -83,22 +117,6 @@ class _ReactiveSet:
         self.br_idx = np.array([l._b[0] for l in inds], dtype=np.intp)
         self.n_caps = len(caps)
 
-        geq = np.array(
-            [c.companion_conductance(dt, method) for c in caps], dtype=float
-        )
-        req = np.array(
-            [l.companion_resistance(dt, method) for l in inds], dtype=float
-        )
-        trap = method != "be"
-        # Companion RHS term per element: alpha*v_state + beta*i_state.
-        #   cap:  ieq = -geq*v - i (trap) | -geq*v (be)
-        #   ind:  rhs = -v - req*i (trap) | -req*i (be)
-        self.alpha = np.concatenate(
-            [-geq, np.full(len(inds), -1.0 if trap else 0.0)]
-        )
-        self.beta = np.concatenate(
-            [np.full(len(caps), -1.0 if trap else 0.0), -req]
-        )
         # Scatter matrix: rhs += S @ term.  A cap's ieq flows a->b
         # (rhs[a] -= ieq, rhs[b] += ieq); an inductor's term lands on
         # its own branch row.
@@ -112,15 +130,33 @@ class _ReactiveSet:
         for j, l in enumerate(inds):
             S[l._b[0], len(caps) + j] += 1.0
         self.scatter = S
-        # State-update coefficients: i' = upd_g*(v'-v) - upd_m*i for
-        # caps (upd_g is 2C/dt for trap, C/dt for BE); inductor slots
-        # are placeholders, overwritten by their branch currents.
-        self.upd_g = np.concatenate([geq, np.zeros(len(inds))])
-        self.upd_m = 1.0 if trap else 0.0
 
         # State arrays, filled by init_state().
         self.v = np.zeros(n)
         self.i = np.zeros(n)
+
+    def coeffs(self, dt: float, method: str) -> _ReactiveCoeffs:
+        """Companion coefficients for one ``(dt, method)`` setup."""
+        geq = np.array(
+            [c.companion_conductance(dt, method) for c in self.caps], dtype=float
+        )
+        req = np.array(
+            [l.companion_resistance(dt, method) for l in self.inds], dtype=float
+        )
+        trap = method != "be"
+        n_inds = len(self.inds)
+        # Companion RHS term per element: alpha*v_state + beta*i_state.
+        #   cap:  ieq = -geq*v - i (trap) | -geq*v (be)
+        #   ind:  rhs = -v - req*i (trap) | -req*i (be)
+        alpha = np.concatenate([-geq, np.full(n_inds, -1.0 if trap else 0.0)])
+        beta = np.concatenate(
+            [np.full(len(self.caps), -1.0 if trap else 0.0), -req]
+        )
+        # State-update coefficients: i' = upd_g*(v'-v) - upd_m*i for
+        # caps (upd_g is 2C/dt for trap, C/dt for BE); inductor slots
+        # are placeholders, overwritten by their branch currents.
+        upd_g = np.concatenate([geq, np.zeros(n_inds)])
+        return _ReactiveCoeffs(alpha, beta, upd_g, 1.0 if trap else 0.0)
 
     def init_state(self, x: np.ndarray) -> None:
         """Seed integrator state from a converged starting point.
@@ -135,14 +171,14 @@ class _ReactiveSet:
             st = l.init_state(x)
             self.v[self.n_caps + j], self.i[self.n_caps + j] = st.v, st.i
 
-    def companion_rhs(self) -> np.ndarray:
+    def companion_rhs(self, co: _ReactiveCoeffs) -> np.ndarray:
         """The companion RHS of the current state (fresh vector)."""
         if not self.n:
             return np.zeros(self.size)
-        term = self.alpha * self.v + self.beta * self.i
+        term = co.alpha * self.v + co.beta * self.i
         return self.scatter.dot(term)
 
-    def commit(self, x_padded: np.ndarray, x: np.ndarray) -> None:
+    def commit(self, co: _ReactiveCoeffs, x_padded: np.ndarray, x: np.ndarray) -> None:
         """Advance the integrator state after a converged step.
 
         ``x_padded`` is ``x`` with one trailing zero so ground indices
@@ -151,8 +187,8 @@ class _ReactiveSet:
         if not self.n:
             return
         v_new = x_padded[self.a_idx] - x_padded[self.b_idx]
-        i_new = self.upd_g * (v_new - self.v)
-        if self.upd_m:
+        i_new = co.upd_g * (v_new - self.v)
+        if co.upd_m:
             i_new -= self.i
         if len(self.inds):
             i_new[self.n_caps:] = x[self.br_idx]
@@ -160,24 +196,57 @@ class _ReactiveSet:
         self.i = i_new
 
 
+class _DtEntry:
+    """Everything the engine caches for one quantized step size."""
+
+    __slots__ = ("dt", "G_base", "coeffs", "lu", "rank1", "woodbury", "chord")
+
+    def __init__(self, dt: float, G_base: np.ndarray, coeffs: _ReactiveCoeffs):
+        self.dt = dt
+        self.G_base = G_base
+        self.coeffs = coeffs
+        self.lu: Optional[ReusableLU] = None  # lazy
+        self.rank1: Optional[tuple] = None  # lazy (w, vw, w_vmax)
+        self.woodbury: Optional[tuple] = None  # lazy (WU, VWU)
+        #: Frozen chord-Newton Jacobian for this step size (lazy).  A
+        #: per-entry slot keeps the chord strategy's whole point —
+        #: reusing one factorization across iterations *and* steps —
+        #: intact when the adaptive controller alternates between a
+        #: step size and its half.
+        self.chord: Optional[ReusableLU] = None
+
+
 class TransientAssembly:
-    """Cached linear system for one transient run.
+    """Cached linear system(s) for one transient run.
 
     Built once per :func:`~repro.circuits.transient.run_transient`
-    call for a fixed ``(dt, method, gmin)``; exposes the three
-    assembly tiers described in the module docstring.
+    call for a fixed ``(method, gmin)``; exposes the assembly tiers
+    described in the module docstring.  The ``dt``-dependent products
+    live in a small LRU of per-step-size cache entries; switch the
+    active entry with :meth:`set_dt` (a fixed-step run stays on its
+    initial entry forever).
     """
 
-    def __init__(self, circuit: Circuit, dt: float, method: str, gmin: float):
+    def __init__(
+        self,
+        circuit: Circuit,
+        dt: float,
+        method: str,
+        gmin: float,
+        max_dt_entries: int = 8,
+    ):
         circuit.prepare()
         self.circuit = circuit
-        self.dt = dt
         self.method = method
         self.gmin = gmin
         self.size = circuit.size
         self.n_nodes = circuit.n_nodes
+        if max_dt_entries < 1:
+            raise ValueError("max_dt_entries must be >= 1")
+        self.max_dt_entries = max_dt_entries
 
         split, full = circuit.partition_components()
+        self._split: List[Component] = split
         self.full: List[Component] = full
 
         # Plain reactive elements get the vectorized state path;
@@ -188,7 +257,7 @@ class TransientAssembly:
         #: Names of components whose integrator state lives in the
         #: vectorized arrays rather than the generic ``states`` dict.
         self.vectorized_names = {c.name for c in caps + inds}
-        self.reactive = _ReactiveSet(caps, inds, self.size, dt, method)
+        self.reactive = _ReactiveSet(caps, inds, self.size)
         # Split components with per-step RHS work (sources, reactive
         # subclasses) — skip ones whose stamp_dynamic is the base
         # no-op so large resistive networks pay nothing per step.
@@ -199,29 +268,9 @@ class TransientAssembly:
             and type(c).stamp_dynamic is not Component.stamp_dynamic
         ]
 
-        # --- once per run: the base matrix -------------------------------
-        system = MNASystem(self.size)
-        ctx = StampContext(
-            system=system,
-            x=np.zeros(self.size),
-            time=0.0,
-            dt=dt,
-            method=method,
-            gmin=gmin,
-        )
-        for component in split:
-            component.stamp_static(ctx)
-        for i in range(self.n_nodes):
-            system.add_G(i, i, gmin)
-        self.G_base = system.G
-        # Freeze the cache: a stamp_dynamic that (incorrectly) writes
-        # matrix entries must fail loudly, not corrupt every later
-        # iteration's base copy.
-        self.G_base.setflags(write=False)
-
         # Scratch system and context reused by per-step/per-iteration
         # stamping so the hot loop constructs no MNASystem or
-        # StampContext objects.
+        # StampContext objects.  ``_ctx.dt`` tracks the active entry.
         self._scratch = MNASystem(self.size)
         self._ctx = StampContext(
             system=self._scratch,
@@ -235,6 +284,127 @@ class TransientAssembly:
         # indices gather zero.
         self._xp = np.zeros(self.size + 1)
 
+        # Constant low-rank structure (dt independent), built lazily.
+        self._rankk_U: Optional[np.ndarray] = None
+        self._rankk_ctrl: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+        #: Factorizations performed inside entries that were later
+        #: evicted from the LRU (kept so diagnostics never undercount).
+        self.retired_factorizations = 0
+        self._entries: "OrderedDict[float, _DtEntry]" = OrderedDict()
+        #: Scratch slots for one-shot (breakpoint-truncated) step
+        #: sizes: the (dt, dt/2) pair of the current truncated step.
+        self._ephemeral: Dict[float, _DtEntry] = {}
+        self._active: _DtEntry
+        self.set_dt(dt)
+
+    # -- dt-keyed cache -------------------------------------------------------
+
+    def _build_entry(self, dt: float) -> _DtEntry:
+        system = MNASystem(self.size)
+        ctx = StampContext(
+            system=system,
+            x=np.zeros(self.size),
+            time=0.0,
+            dt=dt,
+            method=self.method,
+            gmin=self.gmin,
+        )
+        for component in self._split:
+            component.stamp_static(ctx)
+        for i in range(self.n_nodes):
+            system.add_G(i, i, self.gmin)
+        G = system.G
+        # Freeze the cache: a stamp_dynamic that (incorrectly) writes
+        # matrix entries must fail loudly, not corrupt every later
+        # iteration's base copy.
+        G.setflags(write=False)
+        return _DtEntry(dt, G, self.reactive.coeffs(dt, self.method))
+
+    def set_dt(self, dt: float, ephemeral: bool = False) -> None:
+        """Make ``dt`` the active step size, building or reusing its
+        cache entry (LRU eviction beyond ``max_dt_entries``).
+
+        ``ephemeral`` marks a step size that will not recur — a
+        breakpoint-truncated step, whose ``dt`` is an arbitrary float
+        set by the event time.  It is served from a two-slot scratch
+        area instead of the LRU (a truncated candidate step solves at
+        ``dt`` *and* ``dt/2``, and a Newton-reject retry revisits the
+        same pair), so one-shot sizes never evict the controller's
+        quantized grid entries.
+        """
+        dt = float(dt)
+        entry = self._entries.get(dt)
+        if entry is not None:
+            self._entries.move_to_end(dt)
+        elif ephemeral:
+            entry = self._ephemeral.get(dt)
+            if entry is None:
+                if len(self._ephemeral) >= 2:
+                    # A new truncated step: the previous pair is done.
+                    for old in self._ephemeral.values():
+                        self._retire(old)
+                    self._ephemeral.clear()
+                entry = self._build_entry(dt)
+                self._ephemeral[dt] = entry
+        else:
+            entry = self._build_entry(dt)
+            self._entries[dt] = entry
+            while len(self._entries) > self.max_dt_entries:
+                _, evicted = self._entries.popitem(last=False)
+                self._retire(evicted)
+        self._active = entry
+        self._ctx.dt = dt
+
+    def _retire(self, entry: Optional[_DtEntry]) -> None:
+        """Keep the factorization count honest across evictions."""
+        if entry is None:
+            return
+        for lu in (entry.lu, entry.chord):
+            if lu is not None:
+                self.retired_factorizations += lu.n_factorizations
+
+    @property
+    def dt(self) -> float:
+        """The active step size."""
+        return self._active.dt
+
+    @property
+    def G_base(self) -> np.ndarray:
+        """The cached (frozen) base matrix of the active step size."""
+        return self._active.G_base
+
+    @property
+    def n_dt_entries(self) -> int:
+        return len(self._entries)
+
+    def lu(self) -> ReusableLU:
+        """Cached factorization of the active base matrix (lazy)."""
+        entry = self._active
+        if entry.lu is None:
+            entry.lu = ReusableLU(entry.G_base)
+        return entry.lu
+
+    def chord_lu(self) -> ReusableLU:
+        """The active step size's frozen chord Jacobian slot (lazy,
+        unfactored until the solver captures a Jacobian in it)."""
+        entry = self._active
+        if entry.chord is None:
+            entry.chord = ReusableLU()
+        return entry.chord
+
+    @property
+    def lu_factorizations(self) -> int:
+        """Total factorizations across all (live + evicted) entries."""
+        entries = list(self._entries.values()) + list(self._ephemeral.values())
+        live = sum(
+            lu.n_factorizations
+            for e in entries
+            for lu in (e.lu, e.chord)
+            if lu is not None
+        )
+        return live + self.retired_factorizations
+
     # -- strategy discovery ---------------------------------------------------
 
     @property
@@ -247,6 +417,15 @@ class TransientAssembly:
         component — the cached-Jacobian (Sherman–Morrison) case."""
         if len(self.full) == 1 and type(self.full[0]) is NonlinearVCCS:
             return self.full[0]
+        return None
+
+    def rankk_devices(self) -> Optional[List[NonlinearVCCS]]:
+        """The nonlinear VCCS devices, if they are the only full-stamp
+        components and few enough for the Woodbury fast path."""
+        if not 1 <= len(self.full) <= MAX_WOODBURY_RANK:
+            return None
+        if all(type(c) is NonlinearVCCS for c in self.full):
+            return list(self.full)
         return None
 
     def rank1_vectors(self) -> Tuple[np.ndarray, np.ndarray]:
@@ -266,13 +445,97 @@ class TransientAssembly:
             v[cn] -= 1.0
         return u, v
 
+    def rank1_data(self) -> Tuple[np.ndarray, float, float]:
+        """``(w, vw, w_vmax)`` of the Sherman–Morrison fast path for
+        the active step size: ``w = G_base^-1 u``, its control-space
+        projection, and the largest node-voltage magnitude of ``w``."""
+        entry = self._active
+        if entry.rank1 is None:
+            device = self.rank1_device()
+            op, on, cp, cn = device._n
+            u, _v = self.rank1_vectors()
+            w = self.lu().solve(u)
+            vw = (w[cp] if cp >= 0 else 0.0) - (w[cn] if cn >= 0 else 0.0)
+            w_v = w[: self.n_nodes]
+            w_vmax = float(np.abs(w_v).max()) if w_v.size else 0.0
+            entry.rank1 = (w, float(vw), w_vmax)
+        return entry.rank1
+
+    def rankk_structure(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Constant ``(U, cp_idx, cn_idx)`` of the rank-k update.
+
+        ``U`` is ``(size, k)`` with one output-injection column per
+        device; ``cp_idx``/``cn_idx`` are the control-node gather
+        indices (``-1`` marks ground, gathered as 0).
+        """
+        if self._rankk_U is None:
+            devices = self.rankk_devices()
+            k = len(devices)
+            U = np.zeros((self.size, k))
+            cp_idx = np.empty(k, dtype=np.intp)
+            cn_idx = np.empty(k, dtype=np.intp)
+            for j, device in enumerate(devices):
+                op, on, cp, cn = device._n
+                if op >= 0:
+                    U[op, j] += 1.0
+                if on >= 0:
+                    U[on, j] -= 1.0
+                cp_idx[j] = cp
+                cn_idx[j] = cn
+            self._rankk_U = U
+            self._rankk_ctrl = (cp_idx, cn_idx)
+        return self._rankk_U, self._rankk_ctrl[0], self._rankk_ctrl[1]
+
+    def ctrl_project(self, vec: np.ndarray) -> np.ndarray:
+        """``V^T vec``: differential control voltages of every rank-k
+        device read off a solution-space vector."""
+        _U, cp_idx, cn_idx = self.rankk_structure()
+        vp = np.where(cp_idx >= 0, vec[np.maximum(cp_idx, 0)], 0.0)
+        vn = np.where(cn_idx >= 0, vec[np.maximum(cn_idx, 0)], 0.0)
+        return vp - vn
+
+    def woodbury_data(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(WU, VWU)`` of the Woodbury fast path for the active step
+        size: ``WU = G_base^-1 U`` and ``VWU = V^T WU``."""
+        entry = self._active
+        if entry.woodbury is None:
+            U, _cp, _cn = self.rankk_structure()
+            WU = self.lu().solve(U)
+            # VWU[j, l] = v_j^T W u_l: column l is the control-space
+            # projection of W u_l.
+            VWU = np.column_stack(
+                [self.ctrl_project(WU[:, l]) for l in range(U.shape[1])]
+            )
+            entry.woodbury = (WU, VWU)
+        return entry.woodbury
+
+    # -- adaptive-step state management --------------------------------------
+
+    def snapshot_state(self, states: Dict[str, object]) -> tuple:
+        """Capture all integrator state so a trial step can be undone.
+
+        Generic component states are snapshotted by reference: the
+        engine's ``update_state`` implementations return fresh state
+        objects rather than mutating, so a shallow dict copy is a true
+        snapshot.
+        """
+        return (self.reactive.v.copy(), self.reactive.i.copy(), dict(states))
+
+    def restore_state(self, snapshot: tuple, states: Dict[str, object]) -> None:
+        """Undo every state change since the matching snapshot."""
+        v, i, generic = snapshot
+        self.reactive.v = v.copy()
+        self.reactive.i = i.copy()
+        states.clear()
+        states.update(generic)
+
     # -- once per step --------------------------------------------------------
 
     def step_rhs(
         self, time: float, states: Dict[str, object], x: np.ndarray
     ) -> np.ndarray:
         """Linear right-hand side for one step (iterate-independent)."""
-        rhs = self.reactive.companion_rhs()
+        rhs = self.reactive.companion_rhs(self._active.coeffs)
         if self.dynamic:
             ctx = self._ctx
             self._scratch.G = self.G_base  # not written by stamp_dynamic
@@ -316,7 +579,7 @@ class TransientAssembly:
         (reused by callers that gather with ground indices)."""
         xp = self._xp
         xp[: self.size] = x
-        self.reactive.commit(xp, x)
+        self.reactive.commit(self._active.coeffs, xp, x)
         if states:
             ctx = self._ctx
             ctx.x = x

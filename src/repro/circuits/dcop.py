@@ -85,11 +85,12 @@ def _newton(
     options: NewtonOptions,
     gmin: float,
     source_scale: float,
-) -> np.ndarray:
+) -> Tuple[np.ndarray, int]:
+    """One Newton solve; returns ``(solution, iterations_taken)``."""
     x = x0.copy()
     if not circuit.has_nonlinear():
         system = _assemble(circuit, x, gmin, source_scale)
-        return solve_dense(system.G, system.rhs)
+        return solve_dense(system.G, system.rhs), 1
     n_nodes = circuit.n_nodes
     last_delta = np.inf
     for iteration in range(options.max_iterations):
@@ -104,7 +105,7 @@ def _newton(
         x = x + delta
         tol = options.abstol_v + options.reltol * float(np.max(np.abs(x[:n_nodes])))
         if last_delta < tol:
-            return x
+            return x, iteration + 1
     raise ConvergenceError(
         "Newton iteration did not converge",
         iterations=options.max_iterations,
@@ -128,27 +129,31 @@ def solve_dc(
     x = x0.copy() if x0 is not None else np.zeros(circuit.size)
 
     try:
-        solution = _newton(circuit, x, options, options.gmin, 1.0)
-        return OperatingPoint(circuit, solution, iterations=0)
+        solution, iterations = _newton(circuit, x, options, options.gmin, 1.0)
+        return OperatingPoint(circuit, solution, iterations=iterations)
     except ConvergenceError:
         pass
 
     # Gmin stepping: solve with huge gmin, tighten progressively.
     try:
+        total = 0
         x_g = x.copy()
         for gmin in options.gmin_steps:
-            x_g = _newton(circuit, x_g, options, gmin, 1.0)
-        solution = _newton(circuit, x_g, options, options.gmin, 1.0)
-        return OperatingPoint(circuit, solution, iterations=0)
+            x_g, taken = _newton(circuit, x_g, options, gmin, 1.0)
+            total += taken
+        solution, taken = _newton(circuit, x_g, options, options.gmin, 1.0)
+        return OperatingPoint(circuit, solution, iterations=total + taken)
     except ConvergenceError:
         pass
 
     # Source stepping: ramp all independent sources from 0 to 100 %.
+    total = 0
     x_s = np.zeros(circuit.size)
     for k in range(1, options.source_steps + 1):
         scale = k / options.source_steps
-        x_s = _newton(circuit, x_s, options, options.gmin, scale)
-    return OperatingPoint(circuit, x_s, iterations=0)
+        x_s, taken = _newton(circuit, x_s, options, options.gmin, scale)
+        total += taken
+    return OperatingPoint(circuit, x_s, iterations=total)
 
 
 @dataclass

@@ -3,6 +3,18 @@
 A source value is either a constant or a *waveform function* of time.
 Factory helpers build the common SPICE-style stimuli (DC, sine, pulse,
 piece-wise linear).
+
+Breakpoints
+-----------
+The adaptive transient engine must not integrate *across* a stimulus
+discontinuity (a pulse edge, a PWL corner, a delayed sine turning on):
+the local-truncation-error estimate is blind to an event that falls
+strictly inside a step.  Each stimulus factory therefore annotates the
+function it returns with the times where its derivative is
+discontinuous; :func:`source_breakpoints` recovers them for any value
+function, returning an empty tuple for plain callables that carry no
+annotation (which is always safe — merely slower, never wrong, for
+genuinely smooth stimuli).
 """
 
 from __future__ import annotations
@@ -22,9 +34,27 @@ __all__ = [
     "sine",
     "pulse",
     "pwl",
+    "source_breakpoints",
 ]
 
 ValueSpec = Union[float, Callable[[float], float]]
+
+#: Safety cap on generated breakpoints (a fast periodic pulse over a
+#: long run would otherwise enumerate millions of edges).
+_MAX_BREAKPOINTS = 10_000
+
+
+def source_breakpoints(func: Callable[[float], float], t_stop: float) -> Tuple[float, ...]:
+    """Derivative-discontinuity times of a stimulus in ``(0, t_stop)``.
+
+    Stimuli built by the factories in this module carry a
+    ``breakpoints(t_stop)`` annotation; anything else (plain lambdas,
+    :func:`dc`) yields no breakpoints.
+    """
+    generator = getattr(func, "breakpoints", None)
+    if generator is None:
+        return ()
+    return tuple(t for t in generator(t_stop) if 0.0 < t < t_stop)
 
 
 def dc(value: float) -> Callable[[float], float]:
@@ -51,6 +81,8 @@ def sine(
             return offset + amplitude * math.sin(phase)
         return offset + amplitude * math.sin(2.0 * math.pi * frequency * (t - delay) + phase)
 
+    if delay > 0.0:
+        _f.breakpoints = lambda t_stop: (delay,)
     return _f
 
 
@@ -83,6 +115,21 @@ def pulse(
             return v2 + (v1 - v2) * tau / fall
         return v1
 
+    def _breakpoints(t_stop: float):
+        edges = (delay, delay + rise, delay + rise + width, delay + rise + width + fall)
+        if not math.isfinite(period):
+            return edges
+        out = []
+        cycle = 0
+        while len(out) < _MAX_BREAKPOINTS:
+            base = cycle * period
+            if base + delay >= t_stop:
+                break
+            out.extend(base + e for e in edges)
+            cycle += 1
+        return out
+
+    _f.breakpoints = _breakpoints
     return _f
 
 
@@ -98,6 +145,7 @@ def pwl(points: Sequence[Tuple[float, float]]) -> Callable[[float], float]:
     def _f(t: float) -> float:
         return float(np.interp(t, times, values))
 
+    _f.breakpoints = lambda t_stop: tuple(float(t) for t in times)
     return _f
 
 
@@ -123,6 +171,10 @@ class VoltageSource(Component):
     def set_value(self, value: ValueSpec) -> None:
         """Replace the stimulus (used by DC sweeps and fault injection)."""
         self._func = value if callable(value) else dc(float(value))
+
+    def breakpoints(self, t_stop: float) -> Tuple[float, ...]:
+        """Stimulus discontinuity times for adaptive step control."""
+        return source_breakpoints(self._func, t_stop)
 
     def stamp(self, ctx: StampContext) -> None:
         self.stamp_static(ctx)
@@ -175,6 +227,10 @@ class CurrentSource(Component):
 
     def set_value(self, value: ValueSpec) -> None:
         self._func = value if callable(value) else dc(float(value))
+
+    def breakpoints(self, t_stop: float) -> Tuple[float, ...]:
+        """Stimulus discontinuity times for adaptive step control."""
+        return source_breakpoints(self._func, t_stop)
 
     def stamp(self, ctx: StampContext) -> None:
         self.stamp_dynamic(ctx)

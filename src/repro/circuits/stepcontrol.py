@@ -1,0 +1,261 @@
+"""Local-truncation-error step control for the transient engine.
+
+The paper's headline transients are stiff-then-slow: a few hundred
+fast carrier cycles of startup followed by long envelope settling
+(Fig 16), or a supply-loss event followed by a slow amplitude decay
+(Fig 17/18).  A fixed step sized for the fastest phase pays that cost
+at every instant; :class:`StepController` lets the engine walk the
+slow phases with steps orders of magnitude larger while bounding the
+local truncation error (LTE) of every accepted step.
+
+Design
+------
+* **LTE estimate by step doubling.**  Each candidate step of size
+  ``dt`` is solved twice: once as a full step and once as two half
+  steps.  For an integrator of order ``p`` (trapezoidal: 2, backward
+  Euler: 1) the difference between the two results estimates the LTE
+  of the half-step solution as ``|x_full - x_half| / (2^p - 1)``
+  (Richardson).  The half-step solution — the more accurate one — is
+  what the engine keeps on acceptance.
+* **Accept/reject with growth clamps.**  The error ratio (estimated
+  LTE over tolerance) drives the classic controller
+  ``dt_new = dt * safety * ratio^(-1/(p+1))``, clamped to at most
+  ``max_growth`` per accepted step and halved-or-worse on rejection,
+  and always confined to ``[dt_min, dt_max]``.
+* **Quantized step sizes.**  Proposed steps snap *down* onto the grid
+  ``dt_max / 2^k``.  The controller therefore revisits a handful of
+  distinct step sizes over a whole run, which is what makes the
+  per-``dt`` assembly/factorization cache of
+  :class:`~repro.circuits.assembly.TransientAssembly` effective:
+  halving a step lands exactly on another cached entry.
+* **Breakpoint forcing.**  Source discontinuities (pulse edges, PWL
+  corners, delayed sines — see :func:`~repro.circuits.sources.
+  source_breakpoints`) and ``t_stop`` are hard step boundaries: a
+  step is truncated so it *lands exactly on* the next breakpoint
+  rather than integrating across it, and the step size restarts small
+  on the far side where the LTE history is meaningless.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = ["StepController", "collect_breakpoints"]
+
+#: Relative slack when deciding that a step "reaches" a breakpoint.
+_TIME_EPS = 1e-12
+
+
+def collect_breakpoints(circuit, t_stop: float, extra: Iterable[float] = ()) -> Tuple[float, ...]:
+    """Sorted, de-duplicated breakpoint times in ``(0, t_stop)``.
+
+    Gathers stimulus discontinuities from every component exposing a
+    ``breakpoints(t_stop)`` method (the independent sources) plus any
+    caller-supplied ``extra`` times.
+    """
+    times: List[float] = []
+    for component in circuit:
+        generator = getattr(component, "breakpoints", None)
+        if generator is not None:
+            times.extend(generator(t_stop))
+    times.extend(extra)
+    inside = sorted({float(t) for t in times if 0.0 < t < t_stop})
+    return tuple(inside)
+
+
+class StepController:
+    """Accept/reject step-size controller with breakpoint forcing.
+
+    The engine drives it in a propose/attempt/report loop::
+
+        while not controller.finished:
+            t_target, dt = controller.propose()
+            ...solve full step and two half steps to t_target...
+            ratio = controller.error_ratio(x_full, x_half, n_nodes)
+            if ratio <= 1.0:
+                controller.accept(t_target, dt, ratio)
+            else:
+                controller.reject(ratio)
+
+    Newton convergence failures count as rejections too
+    (:meth:`reject_nonconvergence`), which is how the controller walks
+    the engine through sharp nonlinear transitions a fixed step would
+    simply fail on.
+    """
+
+    def __init__(
+        self,
+        t_stop: float,
+        dt_initial: float,
+        dt_min: float,
+        dt_max: float,
+        method: str = "trap",
+        reltol: float = 1e-3,
+        abstol: float = 1e-6,
+        safety: float = 0.9,
+        max_growth: float = 2.0,
+        breakpoints: Sequence[float] = (),
+    ):
+        if not 0.0 < dt_min <= dt_max:
+            raise SimulationError("require 0 < dt_min <= dt_max")
+        if dt_max >= t_stop:
+            dt_max = t_stop / 2.0
+        if not dt_min <= dt_initial <= dt_max:
+            dt_initial = min(max(dt_initial, dt_min), dt_max)
+        if reltol <= 0.0 or abstol <= 0.0:
+            raise SimulationError("lte tolerances must be positive")
+        if not 0.0 < safety <= 1.0:
+            raise SimulationError("safety must be in (0, 1]")
+        if max_growth <= 1.0:
+            raise SimulationError("max_growth must exceed 1")
+
+        self.t_stop = float(t_stop)
+        self.dt_max = float(dt_max)
+        # Quantized grid: dt_max / 2^k down to (just below) dt_min.
+        self._max_level = max(0, int(math.ceil(math.log2(dt_max / dt_min))))
+        self.dt_min = dt_max / 2.0 ** self._max_level
+        order = 1 if method == "be" else 2
+        self._err_div = float(2 ** order - 1)
+        self._exponent = 1.0 / (order + 1)
+        self.reltol = float(reltol)
+        self.abstol = float(abstol)
+        self.safety = float(safety)
+        self.max_growth = float(max_growth)
+
+        self._breakpoints = list(breakpoints) + [self.t_stop]
+        self._bp_index = 0
+        self._landing_on_bp = False
+
+        self.t = 0.0
+        self.dt = self._quantize(dt_initial)
+        self._dt_after_reject = None
+        self._rejects_at_floor = 0
+
+        # Diagnostics.
+        self.accepted = 0
+        self.rejected = 0
+        self.breakpoints_hit = 0
+        self.min_dt_taken = math.inf
+        self.max_dt_taken = 0.0
+
+    # -- internals ------------------------------------------------------------
+
+    def _quantize(self, dt: float) -> float:
+        """Largest grid value ``dt_max / 2^k`` not exceeding ``dt``."""
+        if dt >= self.dt_max:
+            return self.dt_max
+        level = int(math.ceil(math.log2(self.dt_max / dt) - 1e-9))
+        return self.dt_max / 2.0 ** min(level, self._max_level)
+
+    # -- the propose / report loop -------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self.t >= self.t_stop * (1.0 - _TIME_EPS)
+
+    @property
+    def next_breakpoint(self) -> float:
+        return self._breakpoints[self._bp_index]
+
+    def propose(self) -> Tuple[float, float]:
+        """``(t_target, dt)`` of the next candidate step.
+
+        ``t_target`` is exact (the breakpoint itself when the step is
+        truncated), so source evaluation and recording never suffer
+        accumulated float drift at event times.
+        """
+        bp = self.next_breakpoint
+        remaining = bp - self.t
+        if self.dt >= remaining * (1.0 - 1e-9):
+            self._landing_on_bp = True
+            return bp, remaining
+        self._landing_on_bp = False
+        return self.t + self.dt, self.dt
+
+    def error_ratio(self, x_full: np.ndarray, x_half: np.ndarray, n_nodes: int) -> float:
+        """Estimated LTE over tolerance for one candidate step.
+
+        Compares node voltages only (branch currents are linear
+        consequences of the voltages); the tolerance is
+        ``abstol + reltol * |x|_inf`` so it tracks the live signal
+        scale — tiny startup seeds are not held to the tolerance of
+        the settled amplitude.
+        """
+        diff = x_full[:n_nodes] - x_half[:n_nodes]
+        if diff.size == 0:
+            return 0.0
+        err = float(np.abs(diff).max()) / self._err_div
+        scale = float(np.abs(x_half[:n_nodes]).max())
+        return err / (self.abstol + self.reltol * scale)
+
+    def accept(self, t_taken: float, dt_taken: float, ratio: float) -> None:
+        """Commit a step that met tolerance; grow the next step."""
+        self.t = t_taken
+        self.accepted += 1
+        self._rejects_at_floor = 0
+        self.min_dt_taken = min(self.min_dt_taken, dt_taken)
+        self.max_dt_taken = max(self.max_dt_taken, dt_taken)
+        if self._landing_on_bp:
+            if self._bp_index < len(self._breakpoints) - 1:
+                self._bp_index += 1
+                self.breakpoints_hit += 1
+                # The LTE history is meaningless across a
+                # discontinuity: restart a couple of grid levels down.
+                # Deliberately relative to the *grid* step, not the
+                # (possibly sliver-sized) truncated dt actually taken —
+                # plunging to dt_min after every event would re-climb
+                # the whole ladder and thrash the per-dt caches;
+                # rejection walks the step down further if the far
+                # side really needs it.
+                self.dt = self._quantize(max(self.dt_min, self.dt / 4.0))
+            self._landing_on_bp = False
+            return
+        if ratio <= 0.0:
+            growth = self.max_growth
+        else:
+            growth = min(self.max_growth, self.safety * ratio ** (-self._exponent))
+        if growth > 1.0:
+            # Quantization rounds down, so the step only actually grows
+            # when the controller clears the next grid level; a step
+            # that merely passed (ratio near 1) keeps its size — on a
+            # binary grid, shrinking an accepted step wastes work that
+            # rejection handles anyway.
+            self.dt = self._quantize(min(self.dt_max, self.dt * growth))
+
+    def reject(self, ratio: float) -> None:
+        """Shrink after a step that missed tolerance; raise on underflow."""
+        self.rejected += 1
+        self._landing_on_bp = False
+        if self.dt <= self.dt_min * (1.0 + 1e-9):
+            self._rejects_at_floor += 1
+            if self._rejects_at_floor >= 3:
+                raise SimulationError(
+                    f"adaptive step control underflow at t={self.t:.4e}: "
+                    f"LTE still {ratio:.3g}x over tolerance at dt_min="
+                    f"{self.dt_min:.3e}; loosen lte_reltol/lte_abstol or "
+                    "lower dt_min"
+                )
+            return
+        shrink = self.safety * ratio ** (-self._exponent) if ratio > 0 else 0.5
+        shrink = min(0.5, max(0.1, shrink))
+        self.dt = self._quantize(max(self.dt_min, self.dt * shrink))
+
+    def reject_nonconvergence(self) -> None:
+        """Newton failed to converge: treat like a hard LTE rejection."""
+        self.reject(ratio=32.0)
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "accepted_steps": self.accepted,
+            "rejected_steps": self.rejected,
+            "breakpoints_hit": self.breakpoints_hit,
+            "min_dt": self.min_dt_taken if self.accepted else 0.0,
+            "max_dt": self.max_dt_taken,
+        }

@@ -1,23 +1,39 @@
-"""Fixed-step transient analysis with trapezoidal or backward-Euler
-integration and Newton iteration at every time point.
+"""Transient analysis: the engine produces a time grid.
 
-The oscillator startup experiment (Fig 16) runs a few hundred carrier
-cycles of a 2–5 MHz LC tank; a fixed step of ~1/60 of the carrier
-period with trapezoidal integration keeps both amplitude and frequency
-errors well below a percent, which is plenty for shape-level
-reproduction.
+Historically this module baked a fixed step into every layer; it is
+now structured around a step *controller*: the engine integrates from
+0 to ``t_stop`` and the time grid is an output, uniform or not.  Two
+step-control modes share every other part of the stack:
 
-Engine architecture (incremental stamping)
-------------------------------------------
+* ``TransientOptions(step_control="fixed")`` (default) — the classic
+  fixed grid, ``t_k = k*dt``; bit-compatible with the seed engine and
+  pinned to :func:`~repro.circuits.reference.run_transient_reference`
+  by the golden tests.
+* ``step_control="adaptive"`` — an LTE-based
+  :class:`~repro.circuits.stepcontrol.StepController` proposes each
+  step: trapezoidal (or BE) local truncation error is estimated by
+  step doubling, steps are accepted/rejected against
+  ``lte_reltol``/``lte_abstol``, the step size walks a quantized
+  ``dt_max/2^k`` grid between ``dt_min`` and ``dt_max`` with bounded
+  growth, and source discontinuities (pulse edges, PWL corners) force
+  exact step boundaries.  Stiff-then-slow runs — oscillator startup,
+  supply-loss decay — take large steps through the slow phases that a
+  fixed carrier-resolution grid pays for at every instant.
+
+Engine architecture (incremental stamping, dt-keyed)
+----------------------------------------------------
 This is the hot path behind the startup bench, the supply-loss
 corners, and every Monte-Carlo / FMEA campaign, so the system is
 assembled incrementally via :class:`~repro.circuits.assembly.
-TransientAssembly`: linear matrix stamps once per run, the linear RHS
-once per step, and only nonlinear devices per Newton iteration.  On
-top of the cache the engine picks a solve strategy per run:
+TransientAssembly`: linear matrix stamps once per *step size* (cached
+per ``dt`` in a small LRU, so the controller's few quantized step
+sizes never thrash refactorizations), the linear RHS once per step,
+and only nonlinear devices per Newton iteration.  On top of the cache
+the engine picks a solve strategy per run:
 
-* ``linear`` — no nonlinear devices: one cached factorization
-  (:class:`~repro.circuits.linsolve.ReusableLU`) serves every step.
+* ``linear`` — no nonlinear devices: one cached factorization per
+  step size (:class:`~repro.circuits.linsolve.ReusableLU`) serves
+  every step taken at that size.
 * ``linear-restamp`` — linear circuit containing components outside
   the stamp split (possibly time-varying): fresh assembly and one
   undamped solve per step, never Newton iteration.
@@ -26,36 +42,44 @@ top of the cache the engine picks a solve strategy per run:
   base matrix plus a rank-1 update, so each Newton iterate is a
   Sherman–Morrison formula around one cached factorization — the
   inner loop performs no matrix assembly and no LAPACK call.
+* ``woodbury`` — 2–4 NonlinearVCCS devices (mirror cascades): the
+  rank-k generalization; each Newton iterate solves a k×k system via
+  the Woodbury identity around the same cached factorization.
 * ``general`` — full Newton; each iteration copies the cached parts
   and restamps only the nonlinear devices.
 * ``chord`` (opt-in via ``TransientOptions(jacobian="chord")``) —
   quasi-Newton with a frozen, factored Jacobian reused across
   iterations *and* steps; it refactors only when convergence slows
-  below ``chord_refactor_ratio`` per iteration.
+  below ``chord_refactor_ratio`` per iteration or the step size
+  changes.
 
-Results are recorded into a preallocated ``(n_records, n_columns)``
-array; pass ``record_nodes`` to store only the node voltages a
-campaign actually consumes.
+Results are recorded into a growable buffer that finalizes into a
+:class:`TransientResult` with a (possibly non-uniform) ``t``; pass
+``record_nodes`` to store only the node voltages a campaign actually
+consumes.  Downstream analysis (:class:`~repro.analysis.waveform.
+Waveform` calculus, measurements, envelope extraction) is correct on
+non-uniform grids, so adaptive results flow through unchanged.
 
-Waveform equivalence with the pre-optimization engine is pinned by the
-golden tests against :func:`~repro.circuits.reference.
-run_transient_reference`.
+Waveform equivalence of the fixed-step mode with the pre-optimization
+engine is pinned by the golden tests against :func:`~repro.circuits.
+reference.run_transient_reference`; adaptive mode is validated at
+shape level against fine fixed-step runs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..analysis.waveform import Waveform
 from ..errors import ConvergenceError, NetlistError, SimulationError
 from .assembly import TransientAssembly
-from .component import StampContext
 from .dcop import NewtonOptions, solve_dc
-from .linsolve import ReusableLU, damp_voltage_delta, solve_dense
+from .linsolve import damp_voltage_delta, solve_dense
 from .netlist import GROUND_NAMES, Circuit
+from .stepcontrol import StepController, collect_breakpoints
 
 __all__ = ["TransientOptions", "TransientResult", "run_transient"]
 
@@ -70,7 +94,8 @@ class TransientOptions:
     #: Start from DC operating point (False: start from ICs / zeros).
     use_dc_operating_point: bool = True
     newton: NewtonOptions = field(default_factory=NewtonOptions)
-    #: Record every n-th step (1 = all).
+    #: Record every n-th step (1 = all).  In adaptive mode the stride
+    #: counts *accepted* steps.
     record_stride: int = 1
     #: Node names to record (None = every unknown, including branch
     #: currents).  Campaigns that consume two traces stop paying for
@@ -83,6 +108,33 @@ class TransientOptions:
     #: Chord mode: refactor when an iteration shrinks the update by
     #: less than this factor (1.0 would demand monotone convergence).
     chord_refactor_ratio: float = 0.5
+
+    # -- step control ------------------------------------------------------
+    #: "fixed" integrates on the uniform grid t_k = k*dt; "adaptive"
+    #: lets a StepController pick each step by LTE, with ``dt`` as the
+    #: initial step size.
+    step_control: str = "fixed"
+    #: Adaptive: smallest/largest step the controller may take.
+    #: Defaults: ``dt/256`` and ``dt*16``.
+    dt_min: Optional[float] = None
+    dt_max: Optional[float] = None
+    #: Adaptive: LTE tolerance — a step is accepted when the estimated
+    #: local error of the node voltages is below
+    #: ``lte_abstol + lte_reltol * |x|_inf``.
+    lte_reltol: float = 1e-3
+    lte_abstol: float = 1e-6
+    #: Adaptive: controller safety factor and per-step growth clamp.
+    lte_safety: float = 0.9
+    max_step_growth: float = 2.0
+    #: Adaptive: extra forced step boundaries (source discontinuities
+    #: are collected automatically from the netlist).
+    breakpoints: Optional[Sequence[float]] = None
+    #: Adaptive: how many per-dt assembly/factorization cache entries
+    #: to keep alive.  The grid between dt_min and dt_max has
+    #: log2(dt_max/dt_min) levels; keep the cache at least as deep as
+    #: the levels a run actually visits or ladder re-climbs after
+    #: breakpoints will rebuild entries.
+    dt_cache_size: int = 16
 
     def __post_init__(self) -> None:
         if self.t_stop <= 0 or self.dt <= 0:
@@ -97,14 +149,45 @@ class TransientOptions:
             raise SimulationError(f"unknown jacobian mode {self.jacobian!r}")
         if not 0.0 < self.chord_refactor_ratio <= 1.0:
             raise SimulationError("chord_refactor_ratio must be in (0, 1]")
+        if self.step_control not in ("fixed", "adaptive"):
+            raise SimulationError(
+                f"unknown step_control mode {self.step_control!r}"
+            )
+        if self.dt_min is not None and self.dt_min <= 0:
+            raise SimulationError("dt_min must be positive")
+        if self.dt_max is not None and self.dt_max <= 0:
+            raise SimulationError("dt_max must be positive")
+        if (
+            self.dt_min is not None
+            and self.dt_max is not None
+            and self.dt_min > self.dt_max
+        ):
+            raise SimulationError("dt_min must not exceed dt_max")
+        if self.lte_reltol <= 0 or self.lte_abstol <= 0:
+            raise SimulationError("lte_reltol and lte_abstol must be positive")
+        if not 0.0 < self.lte_safety <= 1.0:
+            raise SimulationError("lte_safety must be in (0, 1]")
+        if self.max_step_growth <= 1.0:
+            raise SimulationError("max_step_growth must exceed 1")
+        if self.dt_cache_size < 1:
+            raise SimulationError("dt_cache_size must be >= 1")
+
+    def resolved_dt_min(self) -> float:
+        return self.dt_min if self.dt_min is not None else self.dt / 256.0
+
+    def resolved_dt_max(self) -> float:
+        return self.dt_max if self.dt_max is not None else self.dt * 16.0
 
 
 @dataclass
 class TransientResult:
     """Recorded node voltages (and branch currents) over time.
 
-    With ``record_nodes`` the column space shrinks to the requested
-    node voltages; asking for anything that was not recorded raises
+    ``t`` is uniform in fixed-step mode and non-uniform in adaptive
+    mode; every consumer downstream (Waveform calculus, measurements,
+    envelope extraction) handles both.  With ``record_nodes`` the
+    column space shrinks to the requested node voltages; asking for
+    anything that was not recorded raises
     :class:`~repro.errors.SimulationError` rather than guessing.
     """
 
@@ -114,7 +197,7 @@ class TransientResult:
     #: Column names when a ``record_nodes`` subset was recorded.
     recorded_nodes: Optional[Tuple[str, ...]] = None
     #: Engine diagnostics: strategy, Newton iteration totals, LU
-    #: refactorization count.
+    #: refactorization count, accepted/rejected step counts (adaptive).
     stats: Dict[str, object] = field(default_factory=dict)
 
     def _column(self, node: str) -> Optional[int]:
@@ -164,12 +247,57 @@ class TransientResult:
         return Waveform(self.t, self.x[:, branches[0]], name=f"i({component_name})")
 
 
+class _RecordingBuffer:
+    """Growable ``(t, x)`` recording that finalizes into result arrays.
+
+    Fixed-step runs preallocate their exact record count and never
+    grow; adaptive runs start from a capacity guess and double as
+    accepted steps accumulate, so recording stays amortized O(1) per
+    step with no per-step Python list overhead.
+    """
+
+    def __init__(
+        self,
+        n_columns: int,
+        capacity: int,
+        record_indices: Optional[np.ndarray],
+    ):
+        capacity = max(int(capacity), 4)
+        self._t = np.empty(capacity)
+        self._x = np.empty((capacity, n_columns))
+        self._indices = record_indices
+        self._n = 0
+
+    def append(self, time: float, x: np.ndarray) -> None:
+        if self._n == self._t.size:
+            new_capacity = self._t.size * 2
+            self._t = np.concatenate([self._t, np.empty(self._t.size)])
+            grown = np.empty((new_capacity, self._x.shape[1]))
+            grown[: self._n] = self._x
+            self._x = grown
+        self._t[self._n] = time
+        self._x[self._n] = x if self._indices is None else x[self._indices]
+        self._n += 1
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self._n == self._t.size:
+            return self._t, self._x
+        return self._t[: self._n].copy(), self._x[: self._n].copy()
+
+
 def _voltage_tol(x: np.ndarray, n_nodes: int, options: NewtonOptions) -> float:
     return options.abstol_v + options.reltol * float(np.abs(x[:n_nodes]).max())
 
 
 class _StepSolver:
-    """Per-run solver state shared across steps (caches, statistics)."""
+    """Per-run solver state shared across steps (caches, statistics).
+
+    All ``(dt, method)``-dependent solve data (base matrix, cached
+    factorization, rank-k vectors) lives in the assembly's active
+    per-``dt`` cache entry, so a step-size change by the adaptive
+    controller transparently switches every strategy to the right
+    cached factorization.
+    """
 
     def __init__(
         self,
@@ -184,11 +312,9 @@ class _StepSolver:
         self.newton_iterations = 0
         self.chord_refactor_ratio = chord_refactor_ratio
 
-        self.lu: Optional[ReusableLU] = None
-        device = assembly.rank1_device()
+        devices = assembly.rankk_devices()
         if assembly.is_linear:
             self.strategy = "linear"
-            self.lu = ReusableLU(assembly.G_base)
         elif not assembly.circuit.has_nonlinear():
             # Linear circuit containing components that did not opt
             # into the stamp split (their stamps may vary with time):
@@ -197,19 +323,16 @@ class _StepSolver:
             self.strategy = "linear-restamp"
         elif jacobian == "chord":
             self.strategy = "chord"
-            self.lu = ReusableLU()
-        elif device is not None and jacobian == "auto":
-            self.strategy = "rank1"
-            self.lu = ReusableLU(assembly.G_base)
-            self._device = device
-            op, on, cp, cn = device._n
-            self._cp, self._cn = cp, cn
-            u, _v = assembly.rank1_vectors()
-            self._u = u
-            self._w = self.lu.solve(u)
-            self._vw = self._ctrl_diff(self._w)
-            w_v = self._w[: self.n_nodes]
-            self._w_vmax = float(np.abs(w_v).max()) if w_v.size else 0.0
+        elif devices is not None and jacobian == "auto":
+            if len(devices) == 1:
+                self.strategy = "rank1"
+                self._device = devices[0]
+                op, on, cp, cn = self._device._n
+                self._cp, self._cn = cp, cn
+            else:
+                self.strategy = "woodbury"
+                self._devices = devices
+                self._eye_k = np.eye(len(devices))
         else:
             self.strategy = "general"
 
@@ -222,7 +345,7 @@ class _StepSolver:
 
     @property
     def lu_refactorizations(self) -> int:
-        return self.lu.n_factorizations if self.lu is not None else 0
+        return self.assembly.lu_factorizations
 
     # -- one time step ------------------------------------------------------
 
@@ -234,13 +357,15 @@ class _StepSolver:
         states: Dict[str, object],
     ) -> np.ndarray:
         if self.strategy == "linear":
-            return self.lu.solve(rhs_lin)
+            return self.assembly.lu().solve(rhs_lin)
         if self.strategy == "linear-restamp":
             G, rhs = self.assembly.assemble(x, rhs_lin, time, states)
             self.newton_iterations += 1
             return solve_dense(G, rhs)
         if self.strategy == "rank1":
             return self._step_rank1(x, rhs_lin, time, states)
+        if self.strategy == "woodbury":
+            return self._step_woodbury(x, rhs_lin, time, states)
         if self.strategy == "chord":
             return self._step_chord(x, rhs_lin, time, states)
         return self._step_general(x, rhs_lin, time, states)
@@ -284,20 +409,19 @@ class _StepSolver:
 
         The Jacobian is always ``G_base + gm*u@v.T``, so every Newton
         solve collapses to ``x_new = z_lin - q*w`` with cached vectors
-        ``z_lin`` (once per step) and ``w`` (once per run), and a
-        scalar ``q`` from the device linearization.  Once an undamped
-        iterate lands exactly on that line, the remaining iterations —
-        update, damping, convergence test — reduce to *scalar*
-        arithmetic; the solution vector is materialized once at
-        convergence.
+        ``z_lin`` (once per step) and ``w`` (once per step size), and
+        a scalar ``q`` from the device linearization.  Once an
+        undamped iterate lands exactly on that line, the remaining
+        iterations — update, damping, convergence test — reduce to
+        *scalar* arithmetic; the solution vector is materialized once
+        at convergence.
         """
         options = self.options
         linearize = self._device.linearize
-        w, vw = self._w, self._vw
-        w_vmax = self._w_vmax
+        w, vw, w_vmax = self.assembly.rank1_data()
         n = self.n_nodes
         max_step = options.max_step
-        z_lin = self.lu.solve(rhs_lin)
+        z_lin = self.assembly.lu().solve(rhs_lin)
         zl_c = self._ctrl_diff(z_lin)
         x_v = x[:n]
         tol = options.abstol_v + options.reltol * (
@@ -353,6 +477,58 @@ class _StepSolver:
                     return x
         raise self._fail(time, last_delta)
 
+    def _step_woodbury(
+        self,
+        x: np.ndarray,
+        rhs_lin: np.ndarray,
+        time: float,
+        states: Dict[str, object],
+    ) -> np.ndarray:
+        """Rank-k Newton via the Woodbury identity.
+
+        With ``k`` NonlinearVCCS devices the Jacobian is
+        ``G_base + U diag(gm) V^T`` with constant ``U, V``; each
+        iterate costs one cached triangular solve reuse
+        (``z_lin``, once per step), a few ``(size, k)`` mat-vecs and
+        one ``k×k`` dense solve — no LAPACK factorization and no
+        matrix assembly in the loop.
+        """
+        options = self.options
+        assembly = self.assembly
+        devices = self._devices
+        k = len(devices)
+        n = self.n_nodes
+        lu = assembly.lu()
+        WU, VWU = assembly.woodbury_data()
+        z_lin = lu.solve(rhs_lin)
+        gms = np.empty(k)
+        ieqs = np.empty(k)
+        v_ctrl = assembly.ctrl_project(x)
+        last_delta = np.inf
+        for _iteration in range(options.max_iterations):
+            for j, device in enumerate(devices):
+                gms[j], ieqs[j] = device.linearize(v_ctrl[j])
+            self.newton_iterations += 1
+            Wb = z_lin - WU.dot(ieqs)
+            VWb = assembly.ctrl_project(Wb)
+            M = self._eye_k + VWU * gms[np.newaxis, :]
+            try:
+                s = np.linalg.solve(M, VWb)
+                x_new = Wb - WU.dot(gms * s)
+            except np.linalg.LinAlgError:
+                # Small matrix momentarily singular along the rank-k
+                # directions; fall back to a dense solve.
+                G, rhs = assembly.assemble(x, rhs_lin, time, states)
+                x_new = solve_dense(G, rhs)
+            delta, last_delta = damp_voltage_delta(
+                x_new - x, n, options.max_step
+            )
+            x = x + delta
+            v_ctrl = assembly.ctrl_project(x)
+            if last_delta < _voltage_tol(x, n, options):
+                return x
+        raise self._fail(time, last_delta)
+
     def _step_chord(
         self,
         x: np.ndarray,
@@ -360,16 +536,23 @@ class _StepSolver:
         time: float,
         states: Dict[str, object],
     ) -> np.ndarray:
-        """Frozen-Jacobian Newton with refactor-on-slow-convergence."""
+        """Frozen-Jacobian Newton with refactor-on-slow-convergence.
+
+        The frozen LU lives in the active per-``dt`` cache entry, so
+        an adaptive run alternating between a step size and its half
+        keeps one consistent Jacobian per size instead of thrashing a
+        single slot.
+        """
         options = self.options
+        lu = self.assembly.chord_lu()
         last_delta = np.inf
         previous_delta = np.inf
         for _iteration in range(options.max_iterations):
             G, rhs = self.assembly.assemble(x, rhs_lin, time, states)
-            if not self.lu.is_factored:
-                self.lu.factor(G)
+            if not lu.is_factored:
+                lu.factor(G)
             residual = G.dot(x) - rhs
-            dx = -self.lu.solve(residual)
+            dx = -lu.solve(residual)
             self.newton_iterations += 1
             delta, last_delta = damp_voltage_delta(
                 dx, self.n_nodes, options.max_step
@@ -380,11 +563,132 @@ class _StepSolver:
             if last_delta > self.chord_refactor_ratio * previous_delta:
                 # Convergence stalled: the frozen Jacobian has drifted
                 # too far from the current linearization — refresh it.
-                self.lu.factor(G)
+                lu.factor(G)
                 previous_delta = np.inf
             else:
                 previous_delta = last_delta
         raise self._fail(time, last_delta)
+
+
+def _resolve_recording(
+    circuit: Circuit, options: TransientOptions
+) -> Tuple[Optional[np.ndarray], Optional[Tuple[str, ...]], int]:
+    """Validate ``record_nodes`` into gather indices and column count."""
+    record_indices: Optional[np.ndarray] = None
+    recorded_nodes: Optional[Tuple[str, ...]] = None
+    if options.record_nodes is not None:
+        recorded_nodes = tuple(options.record_nodes)
+        indices = []
+        for name in recorded_nodes:
+            idx = circuit.node_index(name)  # unknown name -> NetlistError
+            if idx < 0:
+                raise SimulationError(
+                    f"cannot record ground node {name!r}; it is 0 V by "
+                    "definition"
+                )
+            indices.append(idx)
+        record_indices = np.asarray(indices, dtype=np.intp)
+    n_columns = circuit.size if record_indices is None else len(record_indices)
+    return record_indices, recorded_nodes, n_columns
+
+
+def _run_fixed(
+    options: TransientOptions,
+    assembly: TransientAssembly,
+    solver: _StepSolver,
+    states: Dict[str, object],
+    x: np.ndarray,
+    recorder: _RecordingBuffer,
+) -> Dict[str, object]:
+    """The classic uniform grid: t_k = k*dt, every step accepted."""
+    n_steps = int(round(options.t_stop / options.dt))
+    stride = options.record_stride
+    recorder.append(0.0, x)
+    for step in range(1, n_steps + 1):
+        time = step * options.dt
+        rhs_lin = assembly.step_rhs(time, states, x)
+        x = solver.step(x, rhs_lin, time, states)
+        assembly.commit(x, time, states)
+        if step % stride == 0:
+            recorder.append(time, x)
+    return {"steps": n_steps}
+
+
+def _run_adaptive(
+    circuit: Circuit,
+    options: TransientOptions,
+    assembly: TransientAssembly,
+    solver: _StepSolver,
+    states: Dict[str, object],
+    x: np.ndarray,
+    recorder: _RecordingBuffer,
+) -> Dict[str, object]:
+    """LTE-controlled stepping with step-doubling error estimates.
+
+    Each candidate step is solved once at ``dt`` (the probe) and twice
+    at ``dt/2``; the Richardson difference decides acceptance and the
+    half-step solution — the more accurate of the two — is committed.
+    Both step sizes live in the assembly's dt cache, so a revisited
+    size performs no assembly or factorization work at all.
+    """
+    controller = StepController(
+        t_stop=options.t_stop,
+        dt_initial=options.dt,
+        dt_min=options.resolved_dt_min(),
+        dt_max=options.resolved_dt_max(),
+        method=options.method,
+        reltol=options.lte_reltol,
+        abstol=options.lte_abstol,
+        safety=options.lte_safety,
+        max_growth=options.max_step_growth,
+        breakpoints=collect_breakpoints(
+            circuit, options.t_stop, options.breakpoints or ()
+        ),
+    )
+    n_nodes = circuit.n_nodes
+    stride = options.record_stride
+    recorder.append(0.0, x)
+    while not controller.finished:
+        t = controller.t
+        t_target, dt = controller.propose()
+        # A breakpoint-truncated step has an arbitrary event-driven
+        # size: keep it out of the quantized-grid LRU.
+        ephemeral = dt != controller.dt
+        snapshot = assembly.snapshot_state(states)
+        try:
+            # Full-step probe (error reference only).
+            assembly.set_dt(dt, ephemeral=ephemeral)
+            rhs_lin = assembly.step_rhs(t_target, states, x)
+            x_full = solver.step(x, rhs_lin, t_target, states)
+            # Two half steps: the solution the engine keeps.
+            half = 0.5 * dt
+            t_mid = t + half
+            assembly.set_dt(half, ephemeral=ephemeral)
+            rhs_lin = assembly.step_rhs(t_mid, states, x)
+            x_mid = solver.step(x, rhs_lin, t_mid, states)
+            assembly.commit(x_mid, t_mid, states)
+            rhs_lin = assembly.step_rhs(t_target, states, x_mid)
+            x_half = solver.step(x_mid, rhs_lin, t_target, states)
+        except ConvergenceError:
+            assembly.restore_state(snapshot, states)
+            if controller.dt <= controller.dt_min * (1.0 + 1e-9):
+                raise
+            controller.reject_nonconvergence()
+            continue
+        ratio = controller.error_ratio(x_full, x_half, n_nodes)
+        if ratio <= 1.0:
+            assembly.commit(x_half, t_target, states)
+            x = x_half
+            controller.accept(t_target, dt, ratio)
+            if controller.accepted % stride == 0:
+                recorder.append(t_target, x)
+        else:
+            assembly.restore_state(snapshot, states)
+            controller.reject(ratio)
+    stats = controller.stats()
+    stats["steps"] = controller.accepted
+    stats["dt_cache_entries"] = assembly.n_dt_entries
+    return stats
 
 
 def run_transient(circuit: Circuit, options: Optional[TransientOptions] = None) -> TransientResult:
@@ -404,7 +708,11 @@ def run_transient(circuit: Circuit, options: Optional[TransientOptions] = None) 
         x = np.zeros(circuit.size)
 
     assembly = TransientAssembly(
-        circuit, options.dt, options.method, options.newton.gmin
+        circuit,
+        options.dt,
+        options.method,
+        options.newton.gmin,
+        max_dt_entries=options.dt_cache_size,
     )
     assembly.reactive.init_state(x)
     states: Dict[str, object] = {}
@@ -419,48 +727,33 @@ def run_transient(circuit: Circuit, options: Optional[TransientOptions] = None) 
         assembly, options.newton, options.jacobian, options.chord_refactor_ratio
     )
 
-    # -- preallocated recording ---------------------------------------------
-    n_steps = int(round(options.t_stop / options.dt))
-    stride = options.record_stride
-    n_records = n_steps // stride + 1
-    record_indices: Optional[np.ndarray] = None
-    recorded_nodes: Optional[Tuple[str, ...]] = None
-    if options.record_nodes is not None:
-        recorded_nodes = tuple(options.record_nodes)
-        indices = []
-        for name in recorded_nodes:
-            idx = circuit.node_index(name)  # unknown name -> NetlistError
-            if idx < 0:
-                raise SimulationError(
-                    f"cannot record ground node {name!r}; it is 0 V by "
-                    "definition"
-                )
-            indices.append(idx)
-        record_indices = np.asarray(indices, dtype=np.intp)
-    n_columns = circuit.size if record_indices is None else len(record_indices)
-    records = np.empty((n_records, n_columns))
-    times = np.empty(n_records)
+    record_indices, recorded_nodes, n_columns = _resolve_recording(
+        circuit, options
+    )
+    if options.step_control == "fixed":
+        n_steps = int(round(options.t_stop / options.dt))
+        capacity = n_steps // options.record_stride + 1
+    else:
+        # Capacity guess: the run at its initial step size; the buffer
+        # doubles if the controller ends up taking smaller steps.
+        capacity = int(options.t_stop / options.dt) // options.record_stride + 2
+    recorder = _RecordingBuffer(n_columns, capacity, record_indices)
 
-    def record(row: int, time: float, x: np.ndarray) -> None:
-        times[row] = time
-        records[row] = x if record_indices is None else x[record_indices]
+    if options.step_control == "fixed":
+        run_stats = _run_fixed(options, assembly, solver, states, x, recorder)
+    else:
+        run_stats = _run_adaptive(
+            circuit, options, assembly, solver, states, x, recorder
+        )
 
-    record(0, 0.0, x)
-    row = 1
-    for step in range(1, n_steps + 1):
-        time = step * options.dt
-        rhs_lin = assembly.step_rhs(time, states, x)
-        x = solver.step(x, rhs_lin, time, states)
-        assembly.commit(x, time, states)
-        if step % stride == 0:
-            record(row, time, x)
-            row += 1
-    stats = {
+    times, records = recorder.arrays()
+    stats: Dict[str, object] = {
         "strategy": solver.strategy,
-        "steps": n_steps,
+        "step_control": options.step_control,
         "newton_iterations": solver.newton_iterations,
         "lu_refactorizations": solver.lu_refactorizations,
     }
+    stats.update(run_stats)
     return TransientResult(
         circuit=circuit,
         t=times,

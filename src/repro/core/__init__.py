@@ -69,7 +69,11 @@ from .segments import (
     split_code,
 )
 from .startup import StartupPhase, StartupSequencer, startup_current_fraction
-from .transient_system import OscillatorNetlist, TransientStartupResult
+from .transient_system import (
+    OscillatorNetlist,
+    TransientStartupResult,
+    supply_loss_tank_circuit,
+)
 from .registers import ControlRegister, StatusRegister
 from .vref_buffer import OVERDRIVE_CONSUMPTION_TYPICAL, VrefBuffer
 from .clock_comparator import ClockComparator, supervise_waveform
@@ -143,6 +147,7 @@ __all__ = [
     "StartupSequencer",
     "startup_current_fraction",
     "OscillatorNetlist",
+    "supply_loss_tank_circuit",
     "TransientStartupResult",
     "ControlRegister",
     "StatusRegister",

@@ -3,7 +3,7 @@
 from .distributions import make_rng, relative_errors
 from .mismatch import DEFAULT_SIGMAS, MismatchProfile, MismatchSigmas
 from .pelgrom import PelgromCoefficients, current_mismatch_sigma, sigmas_for_areas
-from .montecarlo import MonteCarloResult, run_monte_carlo
+from .montecarlo import MonteCarloResult, chain_metric, run_monte_carlo
 
 __all__ = [
     "make_rng",
@@ -15,5 +15,6 @@ __all__ = [
     "current_mismatch_sigma",
     "sigmas_for_areas",
     "MonteCarloResult",
+    "chain_metric",
     "run_monte_carlo",
 ]

@@ -1,25 +1,60 @@
 """Monte-Carlo campaign runner over mismatch instances.
 
 Sample execution is delegated to the shared batch-campaign engine
-(:mod:`repro.campaigns`), so MC runs can opt into process parallelism
-with a :class:`~repro.campaigns.BatchOptions` without changing their
-statistics: sample ``i`` always uses seed ``base_seed + i`` and
-results always come back in sample order, whatever the scheduling.
+(:mod:`repro.campaigns`).  For *plain* metrics (one profile in, one
+value out) scheduling can never change the statistics: sample ``i``
+always uses seed ``base_seed + i``, results always come back in
+sample order, and any sample can be reproduced in isolation —
+whatever :class:`~repro.campaigns.BatchOptions` policy ran it.
+
+Warm-started chains
+-------------------
+MC campaigns draw *nearby* parameter perturbations, so consecutive
+samples usually converge to nearby operating points.  A metric that
+opts in via :func:`chain_metric` receives the previous sample's carry
+(typically its converged DC solution) and returns its own, and the
+campaign is routed through :func:`~repro.campaigns.run_chain` — each
+Newton solve starts from the last answer instead of from scratch.
+
+The carry deliberately trades the scheduling-independence guarantee
+for speed: a warm-started solve may converge within tolerance to a
+(slightly or, for multistable circuits, genuinely) different solution
+than a cold one, so a chain metric's values can depend on whether the
+chain actually ran.  Warm starting is therefore explicit (the
+decorator) and avoidable (``warm_start=False``); a parallel ``batch``
+policy also forces every sample cold, because no sequential carry
+exists across worker processes.  Cold runs — plain metrics, opted-out
+chains, parallel chains — are always bitwise reproducible per sample.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import partial
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
-from ..campaigns import BatchOptions, run_batch
+from ..campaigns import BatchOptions, run_batch, run_chain
 from ..errors import ConfigurationError
 from .mismatch import DEFAULT_SIGMAS, MismatchProfile, MismatchSigmas
 
-__all__ = ["MonteCarloResult", "run_monte_carlo"]
+__all__ = ["MonteCarloResult", "run_monte_carlo", "chain_metric"]
+
+F = TypeVar("F", bound=Callable)
+
+
+def chain_metric(func: F) -> F:
+    """Mark a metric as warm-startable.
+
+    The metric must accept ``(profile, carry)`` and return
+    ``(value, carry)``; the carry of sample ``i`` seeds sample
+    ``i + 1`` (the first sample receives ``None``).  Anything picklable
+    works as a carry — the converged DC solution vector is the usual
+    choice.
+    """
+    func.supports_carry = True
+    return func
 
 
 @dataclass
@@ -67,23 +102,58 @@ def _evaluate_sample(
     return float(metric(profile))
 
 
+def _evaluate_chain_sample(
+    seed: int,
+    carry,
+    metric,
+    sigmas: MismatchSigmas,
+) -> Tuple[float, object]:
+    """One seeded draw with a warm-start carry (module-level: picklable)."""
+    profile = MismatchProfile.sample(seed=seed, sigmas=sigmas)
+    value, next_carry = metric(profile, carry)
+    return float(value), next_carry
+
+
 def run_monte_carlo(
-    metric: Callable[[MismatchProfile], float],
+    metric: Callable,
     n_samples: int,
     metric_name: str = "metric",
     base_seed: int = 12345,
     sigmas: MismatchSigmas = DEFAULT_SIGMAS,
     batch: Optional[BatchOptions] = None,
+    warm_start: bool = True,
 ) -> MonteCarloResult:
     """Evaluate ``metric`` on ``n_samples`` seeded mismatch draws.
 
-    Sample ``i`` uses seed ``base_seed + i`` so individual samples can
-    be reproduced in isolation.  ``batch`` selects the execution
+    Sample ``i`` uses seed ``base_seed + i`` so individual samples'
+    *draws* can be reproduced in isolation (and their values too,
+    whenever the metric runs cold).  ``batch`` selects the execution
     policy (process parallelism needs a picklable ``metric``).
+
+    Plain metrics take one ``MismatchProfile``; metrics decorated with
+    :func:`chain_metric` take ``(profile, carry)`` and are threaded
+    through :func:`~repro.campaigns.run_chain` so each sample reuses
+    the previous sample's carry (e.g. its DC point) as a warm start —
+    see the module docstring for the reproducibility trade involved.
+    ``warm_start=False`` opts a chain metric out — every sample then
+    runs cold with ``carry=None``, which is also what a parallel
+    ``batch`` policy forces (workers have no sequential carry).
     """
     if n_samples <= 0:
         raise ConfigurationError("n_samples must be positive")
     seeds = [base_seed + i for i in range(n_samples)]
-    worker = partial(_evaluate_sample, metric=metric, sigmas=sigmas)
-    values = np.asarray(run_batch(worker, seeds, batch))
+    if getattr(metric, "supports_carry", False):
+        if warm_start and (batch is None or not batch.parallel):
+            worker = partial(_evaluate_chain_sample, metric=metric, sigmas=sigmas)
+            values = np.asarray(run_chain(worker, seeds))
+        else:
+            cold = partial(
+                _evaluate_chain_sample, carry=None, metric=metric, sigmas=sigmas
+            )
+            values = np.asarray(
+                [value for value, _carry in run_batch(cold, seeds, batch)]
+            )
+    else:
+        worker = partial(_evaluate_sample, metric=metric, sigmas=sigmas)
+        values = np.asarray(run_batch(worker, seeds, batch))
     return MonteCarloResult(metric_name=metric_name, values=values, seeds=seeds)

@@ -136,6 +136,71 @@ class TestCalculus:
         assert w.peak_to_peak() == pytest.approx(2.0, rel=1e-4)
 
 
+def make_nonuniform(func, t_stop=1.0, n=801, seed=7):
+    """Deliberately non-uniform grid: random spacings spanning 20x."""
+    rng = np.random.default_rng(seed)
+    gaps = rng.uniform(0.05, 1.0, size=n - 1)
+    t = np.concatenate([[0.0], np.cumsum(gaps)])
+    t *= t_stop / t[-1]
+    return Waveform(t, func(t))
+
+
+class TestNonUniformGrids:
+    """Regression: calculus must use the actual sample times, not an
+    assumed constant dt (the adaptive transient engine records on its
+    accepted-step grid)."""
+
+    def test_derivative_of_quadratic(self):
+        w = make_nonuniform(lambda t: t**2)
+        d = w.derivative()
+        # np.gradient with explicit t is second-order in the interior:
+        # exact on t^2 there; the one-sided endpoints are first-order.
+        assert np.allclose(d.y[1:-1], 2 * w.t[1:-1], rtol=1e-9, atol=1e-9)
+        assert np.allclose(d.y[[0, -1]], 2 * w.t[[0, -1]], atol=0.05)
+
+    def test_derivative_wrong_under_constant_dt_assumption(self):
+        """The same data interpreted with a constant dt is badly off —
+        guards against regressing to np.gradient(y) / dt0."""
+        w = make_nonuniform(lambda t: t**2)
+        dt0 = float(w.t[1] - w.t[0])
+        naive = np.gradient(w.y) / dt0
+        assert not np.allclose(naive, 2 * w.t, rtol=1e-2, atol=1e-3)
+
+    def test_integral_of_linear_is_exact(self):
+        w = make_nonuniform(lambda t: 3.0 * t + 1.0)
+        # Trapezoid is exact for piecewise-linear integrands on ANY grid.
+        assert w.integral() == pytest.approx(1.5 + 1.0, rel=1e-12)
+
+    def test_integral_of_sine(self):
+        w = make_nonuniform(lambda t: np.sin(2 * np.pi * t), n=4001)
+        assert w.integral() == pytest.approx(0.0, abs=1e-5)
+
+    def test_mean_and_rms_time_weighted(self):
+        # Value 1 for the first 10% of time (densely sampled), 0 for
+        # the rest (sparsely sampled): sample-count averaging would
+        # report ~0.5; time-weighted must report ~0.1.
+        t = np.concatenate([np.linspace(0.0, 0.1, 200), np.linspace(0.11, 1.0, 20)])
+        y = np.where(t <= 0.1, 1.0, 0.0)
+        w = Waveform(t, y)
+        assert w.mean() == pytest.approx(0.105, abs=0.01)
+        assert w.rms() == pytest.approx(np.sqrt(0.105), abs=0.02)
+
+    def test_resample_round_trip(self):
+        w = make_nonuniform(lambda t: np.cos(3 * t), n=2001)
+        uniform = w.resample_uniform()
+        assert uniform.is_uniform
+        assert not w.is_uniform
+        back = uniform.resample(w.t)
+        assert np.allclose(back.y, w.y, atol=5e-5)
+
+    def test_is_uniform_on_uniform_grid(self):
+        assert make_ramp(n=11).is_uniform
+
+    def test_resample_uniform_default_preserves_count(self):
+        w = make_nonuniform(lambda t: t, n=101)
+        assert len(w.resample_uniform()) == len(w)
+
+
 @given(
     offset=st.floats(-5, 5),
     scale=st.floats(0.1, 10),

@@ -1,0 +1,147 @@
+"""Unit tests for the LTE step controller and breakpoint collection."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, StepController, collect_breakpoints, pulse, pwl, sine
+from repro.circuits.sources import source_breakpoints
+from repro.errors import SimulationError
+
+
+def make_controller(**overrides):
+    kw = dict(
+        t_stop=1e-3,
+        dt_initial=1e-6,
+        dt_min=1e-8,
+        dt_max=8e-6,
+        method="trap",
+        reltol=1e-3,
+        abstol=1e-6,
+    )
+    kw.update(overrides)
+    return StepController(**kw)
+
+
+class TestQuantization:
+    def test_grid_is_power_of_two_ladder(self):
+        c = make_controller()
+        # 1e-6 is not on the 8e-6/2^k grid; it snaps down to 8e-6/8.
+        assert c.dt == pytest.approx(1e-6)
+        assert c.dt in [8e-6 / 2**k for k in range(0, 12)]
+
+    def test_dt_min_snaps_onto_grid(self):
+        c = make_controller(dt_min=1e-8)
+        # Effective floor is the grid value at or below the requested
+        # minimum, so halving always lands on a cached level.
+        assert c.dt_min <= 1e-8
+        ratio = 8e-6 / c.dt_min
+        assert 2 ** round(np.log2(ratio)) == pytest.approx(ratio)
+
+    def test_growth_is_clamped_and_quantized(self):
+        c = make_controller()
+        t, dt = c.propose()
+        c.accept(t, dt, ratio=1e-9)  # essentially zero error
+        assert c.dt == pytest.approx(2e-6)  # one grid level, max_growth=2
+
+    def test_accept_near_tolerance_keeps_step(self):
+        c = make_controller()
+        before = c.dt
+        t, dt = c.propose()
+        c.accept(t, dt, ratio=0.95)
+        assert c.dt == pytest.approx(before)
+
+    def test_reject_shrinks_at_least_halving(self):
+        c = make_controller()
+        before = c.dt
+        c.propose()
+        c.reject(ratio=4.0)
+        assert c.dt <= before / 2
+
+    def test_underflow_raises(self):
+        c = make_controller(dt_initial=1e-8, dt_min=1e-8)
+        with pytest.raises(SimulationError):
+            for _ in range(10):
+                c.propose()
+                c.reject(ratio=100.0)
+
+
+class TestBreakpoints:
+    def test_step_truncates_onto_breakpoint(self):
+        c = make_controller(breakpoints=(2.5e-6,))
+        # Walk until the proposal would cross the breakpoint.
+        while True:
+            t_target, dt = c.propose()
+            if t_target == 2.5e-6:
+                break
+            c.accept(t_target, dt, ratio=0.5)
+            assert t_target < 2.5e-6
+        assert dt <= c.dt
+
+    def test_step_restarts_small_after_breakpoint(self):
+        c = make_controller(breakpoints=(2.5e-6,))
+        while True:
+            t_target, dt = c.propose()
+            accepted_dt_before = c.dt
+            c.accept(t_target, dt, ratio=0.5)
+            if t_target == 2.5e-6:
+                break
+        assert c.breakpoints_hit == 1
+        assert c.dt < accepted_dt_before
+
+    def test_t_stop_is_exact(self):
+        c = make_controller(t_stop=1e-5, dt_initial=3e-6, dt_max=4e-6)
+        while not c.finished:
+            t_target, dt = c.propose()
+            c.accept(t_target, dt, ratio=0.2)
+        assert c.t == 1e-5  # exact float equality: landed, not drifted
+
+
+class TestErrorRatio:
+    def test_scales_with_difference(self):
+        c = make_controller()
+        x_half = np.array([1.0, 2.0, 0.0])
+        x_full = x_half + np.array([3e-3, 0.0, 0.0])
+        r1 = c.error_ratio(x_full, x_half, n_nodes=2)
+        r2 = c.error_ratio(x_half + 2 * (x_full - x_half), x_half, n_nodes=2)
+        assert r2 == pytest.approx(2 * r1)
+
+    def test_ignores_branch_currents(self):
+        c = make_controller()
+        x_half = np.zeros(3)
+        x_full = np.array([0.0, 0.0, 100.0])  # huge branch-current diff
+        assert c.error_ratio(x_full, x_half, n_nodes=2) == 0.0
+
+    def test_relative_scale_loosens_large_signals(self):
+        c = make_controller()
+        diff = np.array([1e-4, 0.0])
+        small = c.error_ratio(diff, np.zeros(2), n_nodes=2)
+        large = c.error_ratio(np.array([10.0, 0.0]) + diff, np.array([10.0, 0.0]), n_nodes=2)
+        assert large < small
+
+
+class TestCollectBreakpoints:
+    def test_sources_and_extras_merge_sorted(self):
+        c = Circuit()
+        c.voltage_source("V1", "a", "0", pulse(0.0, 1.0, delay=1e-5, rise=1e-8, fall=1e-8, width=2e-5))
+        c.resistor("R1", "a", "0", 1e3)
+        c.current_source("I1", "a", "0", pwl([(0.0, 0.0), (4e-5, 1e-3), (9e-5, 0.0)]))
+        c.prepare()
+        bps = collect_breakpoints(c, t_stop=1e-4, extra=(5e-5,))
+        assert bps == tuple(sorted(bps))
+        assert 1e-5 in bps  # pulse edge
+        assert 4e-5 in bps  # pwl corner
+        assert 5e-5 in bps  # extra
+        assert all(0.0 < t < 1e-4 for t in bps)
+
+    def test_delayed_sine_has_turn_on_breakpoint(self):
+        assert source_breakpoints(sine(1.0, 1e6, delay=3e-6), 1e-5) == (3e-6,)
+        assert source_breakpoints(sine(1.0, 1e6), 1e-5) == ()
+
+    def test_plain_callable_has_no_breakpoints(self):
+        assert source_breakpoints(lambda t: t, 1.0) == ()
+
+    def test_periodic_pulse_repeats_edges(self):
+        f = pulse(0.0, 1.0, delay=0.0, rise=1e-9, fall=1e-9, width=4e-7, period=1e-6)
+        bps = source_breakpoints(f, 3.5e-6)
+        assert any(abs(t - 1e-6) < 1e-12 for t in bps)
+        assert any(abs(t - 2e-6) < 1e-12 for t in bps)

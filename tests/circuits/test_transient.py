@@ -159,6 +159,73 @@ class TestWaveformAccess:
         )
 
 
+class TestResultEdgeCases:
+    """TransientResult access rules at the recording boundaries."""
+
+    def _options(self, **kw):
+        return TransientOptions(
+            t_stop=1e-5, dt=1e-7, use_dc_operating_point=False, **kw
+        )
+
+    def test_ground_waveform_on_subset_recording(self):
+        """Ground stays a synthesized zero trace even when only a
+        subset of nodes was recorded."""
+        res = run_transient(_divider(), self._options(record_nodes=("out",)))
+        w = res.waveform("0")
+        assert np.all(w.y == 0.0)
+        assert len(w) == len(res.t)
+        np.testing.assert_array_equal(
+            res.differential("out", "0").y, res.waveform("out").y
+        )
+
+    def test_branch_current_available_on_full_recording(self):
+        res = run_transient(_divider(), self._options())
+        i = res.branch_current("V1")
+        # Divider: 1 V across 2 kOhm, source sinks at n+ (SPICE sign).
+        assert np.max(np.abs(i.y)) == pytest.approx(1.0 / 2e3, rel=1e-6)
+
+    def test_branch_current_of_branchless_component_raises(self):
+        res = run_transient(_divider(), self._options())
+        with pytest.raises(SimulationError):
+            res.branch_current("R1")
+
+    def test_record_nodes_with_branch_current_raises_not_garbage(self):
+        """record_nodes drops branch columns; asking for one must be
+        an error, never a silently wrong column."""
+        res = run_transient(
+            _divider(), self._options(record_nodes=("out", "in"))
+        )
+        with pytest.raises(SimulationError):
+            res.branch_current("V1")
+        # The recorded node columns still resolve by name, not index.
+        full = run_transient(_divider(), self._options())
+        np.testing.assert_allclose(
+            res.waveform("in").y, full.waveform("in").y, rtol=0, atol=0
+        )
+
+    def test_fixed_stats_contents(self):
+        res = run_transient(_divider(), self._options())
+        stats = res.stats
+        assert stats["strategy"] == "linear"
+        assert stats["step_control"] == "fixed"
+        assert stats["steps"] == 100
+        assert stats["newton_iterations"] == 0  # cached LU, no Newton
+        assert stats["lu_refactorizations"] == 1
+
+    def test_adaptive_stats_contents(self):
+        res = run_transient(
+            _divider(),
+            self._options(step_control="adaptive", dt_max=1e-6),
+        )
+        stats = res.stats
+        assert stats["step_control"] == "adaptive"
+        assert stats["accepted_steps"] == stats["steps"]
+        assert stats["rejected_steps"] >= 0
+        assert stats["breakpoints_hit"] == 0
+        assert stats["dt_cache_entries"] >= 1
+        assert stats["newton_iterations"] == 0
+
+
 class TestRecordNodes:
     def _options(self, **kw):
         return TransientOptions(

@@ -1,0 +1,231 @@
+"""Adaptive step control: shape-level golden tests against fine
+fixed-step runs, plus engine bookkeeping on non-uniform grids.
+
+Fixed-step mode stays pinned bit-for-bit to the seed engine by
+test_transient_golden.py; adaptive mode trades bit equality for
+wall-clock and is validated here at measurement level (amplitude,
+frequency, point-wise error against the LTE tolerance).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import envelope_by_peaks, oscillation_frequency
+from repro.circuits import (
+    Circuit,
+    TransientOptions,
+    pulse,
+    run_transient,
+    sine,
+)
+from repro.core import OscillatorNetlist
+from repro.envelope import RLCTank, TanhLimiter
+from repro.errors import SimulationError
+
+TANK = RLCTank.from_frequency_and_q(4e6, 15.0, 1e-6)
+LIMITER = TanhLimiter(gm=6e-3, i_max=2e-3)
+
+
+def _rc_pulse():
+    c = Circuit()
+    c.voltage_source("V1", "in", "0", pulse(0.0, 1.0, delay=2e-5, width=1e-3))
+    c.resistor("R1", "in", "out", 1e3)
+    c.capacitor("C1", "out", "0", 1e-7)
+    return c
+
+
+class TestOptionsValidation:
+    def test_unknown_mode(self):
+        with pytest.raises(SimulationError):
+            TransientOptions(t_stop=1e-3, dt=1e-6, step_control="magic")
+
+    def test_bad_dt_bounds(self):
+        with pytest.raises(SimulationError):
+            TransientOptions(t_stop=1e-3, dt=1e-6, dt_min=-1.0)
+        with pytest.raises(SimulationError):
+            TransientOptions(t_stop=1e-3, dt=1e-6, dt_min=1e-6, dt_max=1e-7)
+
+    def test_bad_lte_tolerances(self):
+        with pytest.raises(SimulationError):
+            TransientOptions(t_stop=1e-3, dt=1e-6, lte_reltol=0.0)
+        with pytest.raises(SimulationError):
+            TransientOptions(t_stop=1e-3, dt=1e-6, lte_abstol=-1e-9)
+
+    def test_bad_growth_and_cache(self):
+        with pytest.raises(SimulationError):
+            TransientOptions(t_stop=1e-3, dt=1e-6, max_step_growth=1.0)
+        with pytest.raises(SimulationError):
+            TransientOptions(t_stop=1e-3, dt=1e-6, dt_cache_size=0)
+
+
+class TestLinearAdaptive:
+    def _run(self):
+        return run_transient(
+            _rc_pulse(),
+            TransientOptions(
+                t_stop=5e-4,
+                dt=1e-6,
+                step_control="adaptive",
+                use_dc_operating_point=False,
+                dt_max=5e-5,
+            ),
+        )
+
+    def test_grid_is_non_uniform_and_increasing(self):
+        res = self._run()
+        dt = np.diff(res.t)
+        assert np.all(dt > 0)
+        assert len({round(float(d), 15) for d in dt}) > 1
+
+    def test_matches_fine_fixed_run(self):
+        res = self._run()
+        fine = run_transient(
+            _rc_pulse(),
+            TransientOptions(t_stop=5e-4, dt=2e-7, use_dc_operating_point=False),
+        )
+        wa = res.waveform("out")
+        wf = fine.waveform("out")
+        err = np.max(np.abs(wa.resample(wf.t).y - wf.y))
+        # LTE reltol is 1e-3 of a ~1 V signal; allow interpolation slack.
+        assert err < 1e-2
+        # ... at a small fraction of the samples.
+        assert len(wa) < len(wf) / 10
+
+    def test_pulse_edges_are_step_boundaries(self):
+        res = self._run()
+        # The pulse delay edge must be an exact recorded time.
+        assert 2e-5 in res.t.tolist()
+        assert res.stats["breakpoints_hit"] >= 1
+
+    def test_far_fewer_steps_than_fixed(self):
+        res = self._run()
+        assert res.stats["steps"] < 100  # fixed grid would take 500
+
+    def test_stats_contents(self):
+        res = self._run()
+        stats = res.stats
+        assert stats["strategy"] == "linear"
+        assert stats["step_control"] == "adaptive"
+        assert stats["accepted_steps"] == stats["steps"] == len(res.t) - 1
+        assert stats["rejected_steps"] >= 0
+        assert 0 < stats["min_dt"] <= stats["max_dt"] <= 5e-5
+        assert stats["dt_cache_entries"] >= 1
+        assert stats["lu_refactorizations"] >= 1
+
+
+class TestFig16Adaptive:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        t_stop = 60 / TANK.frequency
+        netlist = OscillatorNetlist(TANK, vref=2.5)
+        adaptive = netlist.run_startup(
+            code=0, t_stop=t_stop, limiter=LIMITER, step_control="adaptive"
+        )
+        fine = netlist.run_startup(
+            code=0, t_stop=t_stop, points_per_cycle=160, limiter=LIMITER
+        )
+        return adaptive, fine, t_stop
+
+    def test_envelope_amplitude_within_one_percent(self, runs):
+        adaptive, fine, _ = runs
+        env_a = envelope_by_peaks(adaptive.differential)
+        env_f = envelope_by_peaks(fine.differential)
+        assert env_a.y[-1] == pytest.approx(env_f.y[-1], rel=0.01)
+
+    def test_frequency_within_one_percent(self, runs):
+        adaptive, fine, t_stop = runs
+        f_a = oscillation_frequency(adaptive.differential.window(0.5 * t_stop, t_stop))
+        f_f = oscillation_frequency(fine.differential.window(0.5 * t_stop, t_stop))
+        assert f_a == pytest.approx(f_f, rel=0.01)
+
+
+class TestSupplyLossAdaptive:
+    """Stiff-then-slow: forced carrier, supply loss, ring-down, quiet
+    tail — the workload adaptive stepping exists for."""
+
+    F0 = 4e6
+
+    def _build(self, t_fault):
+        from repro.core import supply_loss_tank_circuit
+
+        return supply_loss_tank_circuit(self.F0, t_fault)
+
+    def test_decay_matches_fine_fixed(self):
+        T = 1.0 / self.F0
+        t_fault = 20 * T
+        t_stop = 120 * T
+        adaptive = run_transient(
+            self._build(t_fault),
+            TransientOptions(
+                t_stop=t_stop,
+                dt=T / 40,
+                step_control="adaptive",
+                use_dc_operating_point=False,
+                dt_min=T / 640,
+                dt_max=8 * T,
+            ),
+        )
+        fine = run_transient(
+            self._build(t_fault),
+            TransientOptions(t_stop=t_stop, dt=T / 160, use_dc_operating_point=False),
+        )
+        wa = adaptive.differential("lc1", "lc2")
+        wf = fine.differential("lc1", "lc2")
+        # Pre-fault driven amplitude and immediate post-fault decay.
+        pre_a = wa.window(15 * T, t_fault).peak_to_peak()
+        pre_f = wf.window(15 * T, t_fault).peak_to_peak()
+        assert pre_a == pytest.approx(pre_f, rel=0.01)
+        post_a = wa.window(t_fault + 4 * T, t_fault + 9 * T).peak_to_peak()
+        post_f = wf.window(t_fault + 4 * T, t_fault + 9 * T).peak_to_peak()
+        assert post_a == pytest.approx(post_f, rel=0.05)
+        # The quiet tail must be quiet — and cheap.
+        assert np.abs(wa.window(80 * T, 120 * T).y).max() < 1e-6
+        assert adaptive.stats["steps"] < fine.stats["steps"] / 5
+        assert adaptive.stats["breakpoints_hit"] >= 1
+
+
+class TestAdaptiveNonlinearStrategies:
+    def _rectifier(self):
+        c = Circuit()
+        c.voltage_source("V1", "in", "0", sine(2.0, 1e5))
+        c.diode("D1", "in", "out")
+        c.resistor("RL", "out", "0", 10e3)
+        c.capacitor("CL", "out", "0", 1e-6, ic=0.0)
+        return c
+
+    def test_general_newton_under_step_control(self):
+        adaptive = run_transient(
+            self._rectifier(),
+            TransientOptions(
+                t_stop=60e-6,
+                dt=0.2e-6,
+                step_control="adaptive",
+                use_dc_operating_point=False,
+                dt_max=2e-6,
+            ),
+        )
+        fine = run_transient(
+            self._rectifier(),
+            TransientOptions(t_stop=60e-6, dt=0.05e-6, use_dc_operating_point=False),
+        )
+        assert adaptive.stats["strategy"] == "general"
+        wa = adaptive.waveform("out")
+        wf = fine.waveform("out")
+        # Compare at the adaptive solution points (the dense fixed run
+        # interpolates accurately; the sparse one does not).
+        err = np.max(np.abs(wa.y - wf.resample(wa.t).y))
+        assert err < 0.02  # 2 V scale signal: within 1 %
+
+    def test_record_stride_counts_accepted_steps(self):
+        res = run_transient(
+            _rc_pulse(),
+            TransientOptions(
+                t_stop=5e-4,
+                dt=1e-6,
+                step_control="adaptive",
+                use_dc_operating_point=False,
+                dt_max=5e-5,
+                record_stride=4,
+            ),
+        )
+        assert len(res.t) - 1 == res.stats["accepted_steps"] // 4

@@ -104,3 +104,68 @@ class TestLinearAndGeneralGolden:
         optimized = run_transient(self._rectifier(), options)
         assert optimized.stats["strategy"] == "general"
         _assert_waveforms_match(optimized, reference, ["in", "out"])
+
+
+class TestWoodburyGolden:
+    """2-4 NonlinearVCCS devices: the rank-k Woodbury fast path must
+    match both the seed engine and forced full Newton."""
+
+    def _cascade(self, n_stages=3):
+        import numpy as np
+
+        c = Circuit()
+        c.voltage_source("V1", "in", "0", sine(1.0, 1e5))
+        c.resistor("R1", "in", "a", 1e3)
+        c.resistor("R2", "a", "0", 2e3)
+        c.capacitor("Ca", "a", "0", 1e-9)
+        nodes = ["a", "b", "c", "d"]
+        for k in range(n_stages):
+            src, dst = nodes[k], nodes[k + 1]
+            c.resistor(f"RL{k}", dst, "0", 1e3)
+            c.nonlinear_vccs(
+                f"G{k}", dst, "0", src, "0",
+                (lambda scale: (lambda v: scale * np.tanh(v)))(1e-3 * (k + 1)),
+            )
+        return c
+
+    @pytest.mark.parametrize("n_stages", [2, 3])
+    def test_matches_reference_engine(self, n_stages):
+        options = TransientOptions(
+            t_stop=40e-6, dt=0.1e-6, use_dc_operating_point=False
+        )
+        reference = run_transient_reference(self._cascade(n_stages), options)
+        optimized = run_transient(self._cascade(n_stages), options)
+        assert optimized.stats["strategy"] == "woodbury"
+        _assert_waveforms_match(
+            optimized, reference, ["a", "b", "c"], rtol=1e-8
+        )
+
+    def test_matches_forced_full_newton(self):
+        options = TransientOptions(
+            t_stop=40e-6, dt=0.1e-6, use_dc_operating_point=False
+        )
+        fast = run_transient(self._cascade(), options)
+        options_full = TransientOptions(
+            t_stop=40e-6, dt=0.1e-6, use_dc_operating_point=False, jacobian="full"
+        )
+        full = run_transient(self._cascade(), options_full)
+        assert fast.stats["strategy"] == "woodbury"
+        assert full.stats["strategy"] == "general"
+        _assert_waveforms_match(fast, full, ["a", "b", "c", "d"])
+
+    def test_single_factorization_per_run(self):
+        options = TransientOptions(
+            t_stop=40e-6, dt=0.1e-6, use_dc_operating_point=False
+        )
+        fast = run_transient(self._cascade(), options)
+        assert fast.stats["lu_refactorizations"] == 1
+
+    def test_five_devices_fall_back_to_general(self):
+        c = self._cascade(3)
+        c.nonlinear_vccs("G90", "a", "0", "d", "0", lambda v: 1e-4 * v)
+        c.nonlinear_vccs("G91", "b", "0", "d", "0", lambda v: 1e-4 * v)
+        options = TransientOptions(
+            t_stop=5e-6, dt=0.1e-6, use_dc_operating_point=False
+        )
+        res = run_transient(c, options)
+        assert res.stats["strategy"] == "general"

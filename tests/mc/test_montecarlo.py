@@ -1,9 +1,10 @@
 """Tests for the Monte-Carlo runner."""
 
+import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.mc import MismatchProfile, run_monte_carlo
+from repro.mc import MismatchProfile, chain_metric, run_monte_carlo
 
 
 class TestRunner:
@@ -41,3 +42,75 @@ class TestRunner:
     def test_invalid_n(self):
         with pytest.raises(ConfigurationError):
             run_monte_carlo(lambda p: 0.0, 0)
+
+
+class TestWarmStartedChains:
+    """Chain metrics thread each sample's carry into the next one."""
+
+    def _carry_recorder(self, log):
+        @chain_metric
+        def metric(profile, carry):
+            log.append(carry)
+            return float(profile.prescale_errors[0]), len(log)
+
+        return metric
+
+    def test_carry_threads_through_samples(self):
+        log = []
+        run_monte_carlo(self._carry_recorder(log), 4, base_seed=9)
+        assert log == [None, 1, 2, 3]
+
+    def test_opt_out_runs_every_sample_cold(self):
+        log = []
+        run_monte_carlo(self._carry_recorder(log), 4, base_seed=9, warm_start=False)
+        assert log == [None, None, None, None]
+
+    def test_values_identical_warm_or_cold(self):
+        """Warm starting is an accelerator, not a statistics change —
+        for a metric whose value ignores the carry, results match."""
+        warm = run_monte_carlo(self._carry_recorder([]), 8, base_seed=3)
+        cold = run_monte_carlo(
+            self._carry_recorder([]), 8, base_seed=3, warm_start=False
+        )
+        plain = run_monte_carlo(
+            lambda p: float(p.prescale_errors[0]), 8, base_seed=3
+        )
+        np.testing.assert_array_equal(warm.values, cold.values)
+        np.testing.assert_array_equal(warm.values, plain.values)
+
+    def test_warm_start_reuses_previous_dc_point(self):
+        """End-to-end: a DC metric warm-started from the previous
+        sample's solution converges in fewer Newton iterations."""
+        from repro.circuits import Circuit
+
+        def build(profile):
+            c = Circuit()
+            c.voltage_source(
+                "V1", "in", "0", 2.0 * (1.0 + profile.prescale_errors[0])
+            )
+            c.resistor("R1", "in", "d", 1e3)
+            c.diode("D1", "d", "0")
+            return c
+
+        iterations = {"warm": 0, "cold": 0}
+
+        @chain_metric
+        def warm_metric(profile, carry):
+            from repro.circuits import solve_dc
+
+            op = solve_dc(build(profile), x0=carry)
+            iterations["warm"] += op.iterations
+            return op.voltage("d"), op.x
+
+        @chain_metric
+        def cold_metric(profile, carry):
+            from repro.circuits import solve_dc
+
+            op = solve_dc(build(profile))
+            iterations["cold"] += op.iterations
+            return op.voltage("d"), op.x
+
+        warm = run_monte_carlo(warm_metric, 10, base_seed=42)
+        cold = run_monte_carlo(cold_metric, 10, base_seed=42)
+        np.testing.assert_allclose(warm.values, cold.values, rtol=1e-6)
+        assert iterations["warm"] < iterations["cold"]
