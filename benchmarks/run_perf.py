@@ -21,6 +21,12 @@ default) so future PRs have a perf trajectory to regress against:
   startups over mismatch draws (driver gm / tank Q spread), routed
   through the shared campaign runner.  Baseline: the same campaign on
   the seed engine.
+* ``mc_startup_batched`` — the same campaign shape at 64 samples,
+  executed by the lockstep batched engine
+  (:func:`repro.circuits.run_transient_batched`): stacked
+  ``(S, n, n)`` systems, one time loop, per-sample Newton masks.
+  Baseline: the optimized *per-sample* engine run sample by sample on
+  the same machine; per-sample amplitudes must match at rtol 1e-9.
 * ``fault_coverage`` — the §7 FMEA campaign (behavioural system
   model).  Its simulation core is not MNA-based, so the recorded
   baseline is the same code path; the entry tracks absolute seconds.
@@ -44,6 +50,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 import time
@@ -59,6 +66,7 @@ from repro.campaigns import run_batch
 from repro.circuits import (
     TransientOptions,
     run_transient,
+    run_transient_batched,
     run_transient_reference,
 )
 from repro.core import FailureKind, OscillatorNetlist, supply_loss_tank_circuit
@@ -257,21 +265,38 @@ def bench_supply_loss_adaptive(cycles: int = 400) -> dict:
 # -- Monte-Carlo startup campaign -------------------------------------------
 
 
-def _mc_startup_metric(profile: MismatchProfile, engine) -> float:
-    """Startup amplitude of one mismatch instance (short run)."""
+#: Carrier frequency of the mc_startup workloads — circuit and grid
+#: derive from this one constant so they cannot desynchronize.
+_MC_F0 = 4e6
+
+
+def _mc_circuit(profile: MismatchProfile):
+    """The mc_startup netlist for one mismatch draw (gm / Q spread).
+
+    One recipe shared by the per-sample, seed-engine, and lockstep
+    campaign benches, so all three measure the same workload.
+    """
     gm_scale = 1.0 + profile.gm_stage_errors[0]
     q_scale = 1.0 + profile.prescale_errors[0]
-    tank = RLCTank.from_frequency_and_q(4e6, 15.0 * q_scale, 1e-6)
+    tank = RLCTank.from_frequency_and_q(_MC_F0, 15.0 * q_scale, 1e-6)
     limiter = TanhLimiter(gm=6e-3 * gm_scale, i_max=2e-3)
-    netlist = OscillatorNetlist(tank, vref=2.5)
-    circuit = netlist.build(limiter)
-    options = TransientOptions(
-        t_stop=20 / tank.frequency,
-        dt=1.0 / (tank.frequency * 40),
+    return OscillatorNetlist(tank, vref=2.5).build(limiter)
+
+
+def _mc_options(cycles: int = 20, record_all: bool = False) -> TransientOptions:
+    return TransientOptions(
+        t_stop=cycles / _MC_F0,
+        dt=1.0 / (_MC_F0 * 40),
         method="trap",
         use_dc_operating_point=False,
-        record_nodes=None if engine is run_transient_reference else ("lc1", "lc2"),
+        record_nodes=None if record_all else ("lc1", "lc2"),
     )
+
+
+def _mc_startup_metric(profile: MismatchProfile, engine):
+    """``(startup amplitude, stats)`` of one mismatch instance."""
+    circuit = _mc_circuit(profile)
+    options = _mc_options(record_all=engine is run_transient_reference)
     result = engine(circuit, options)
     diff = result.waveform("lc1").y - result.waveform("lc2").y
     return float(np.max(np.abs(diff))), result.stats
@@ -305,6 +330,52 @@ def bench_mc_startup(n_samples: int = 16) -> dict:
     }
 
 
+# -- Monte-Carlo startup campaign, lockstep batched --------------------------
+
+
+def _amplitudes(results) -> list:
+    return [
+        float(np.max(np.abs(r.waveform("lc1").y - r.waveform("lc2").y)))
+        for r in results
+    ]
+
+
+def bench_mc_startup_batched(n_samples: int = 64, cycles: int = 20) -> dict:
+    profiles = MismatchProfile.sample_many(n_samples, base_seed=2000).profiles()
+    options = _mc_options(cycles)
+
+    def per_sample():
+        return [run_transient(_mc_circuit(p), options) for p in profiles]
+
+    def batched():
+        return run_transient_batched(
+            [_mc_circuit(p) for p in profiles], options
+        )
+
+    seed_seconds, per_results = _timed(per_sample)
+    opt_seconds, batch_results = _timed(batched)
+    np.testing.assert_allclose(
+        _amplitudes(batch_results), _amplitudes(per_results), rtol=1e-9
+    )
+    newton = sum(r.stats["newton_iterations"] for r in batch_results)
+    newton_ref = sum(r.stats["newton_iterations"] for r in per_results)
+    return {
+        "workload": f"lockstep MC startup campaign, {n_samples} mismatch "
+        f"samples, {cycles} carrier cycles each",
+        "baseline": "per-sample optimized engine (live, same machine)",
+        "n_samples": n_samples,
+        "cycles": cycles,
+        "seed_seconds": seed_seconds,
+        "optimized_seconds": opt_seconds,
+        "speedup": seed_seconds / opt_seconds,
+        # The mask-driven lockstep Newton must do exactly the per-
+        # sample iteration work; both are recorded so the gate catches
+        # an engine change that quietly costs iterations.
+        "optimized_newton_iterations": newton,
+        "per_sample_newton_iterations": newton_ref,
+    }
+
+
 # -- FMEA fault coverage -----------------------------------------------------
 
 
@@ -332,12 +403,15 @@ def bench_fault_coverage() -> dict:
 # -- harness ----------------------------------------------------------------
 
 
-def run_benches(cycles: int, samples: int, supply_cycles: int) -> dict:
+def run_benches(
+    cycles: int, samples: int, supply_cycles: int, batched_samples: int
+) -> dict:
     return {
         "fig16_startup": bench_fig16_startup(cycles),
         "fig16_startup_adaptive": bench_fig16_adaptive(cycles),
         "supply_loss_adaptive": bench_supply_loss_adaptive(supply_cycles),
         "mc_startup": bench_mc_startup(samples),
+        "mc_startup_batched": bench_mc_startup_batched(batched_samples),
         "fault_coverage": bench_fault_coverage(),
     }
 
@@ -367,7 +441,8 @@ def check_against_baseline(baseline: dict, tolerance: float) -> int:
     cycles = recorded.get("fig16_startup", {}).get("cycles", 80)
     samples = recorded.get("mc_startup", {}).get("n_samples", 16)
     supply_cycles = recorded.get("supply_loss_adaptive", {}).get("cycles", 400)
-    fresh = run_benches(cycles, samples, supply_cycles)
+    batched_samples = recorded.get("mc_startup_batched", {}).get("n_samples", 64)
+    fresh = run_benches(cycles, samples, supply_cycles, batched_samples)
 
     failures = 0
     for name, old in recorded.items():
@@ -455,11 +530,19 @@ def main(argv=None) -> int:
     cycles = 20 if args.quick else 80
     samples = 4 if args.quick else 16
     supply_cycles = 120 if args.quick else 400
-    benches = run_benches(cycles, samples, supply_cycles)
+    batched_samples = 8 if args.quick else 64
+    benches = run_benches(cycles, samples, supply_cycles, batched_samples)
     payload = {
         "generated_by": "benchmarks/run_perf.py",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "quick": bool(args.quick),
+        # Environment stamp: speedups are hardware-independent, but
+        # comparing raw seconds across machines needs this context.
+        "environment": {
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
         "benches": benches,
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")

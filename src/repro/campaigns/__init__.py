@@ -6,14 +6,22 @@ stimulus values (DC sweeps) or process corners.  This package owns
 the execution of that shape:
 
 * :class:`BatchOptions`, :func:`run_batch` — independent tasks, with
-  optional ``concurrent.futures`` process parallelism;
+  sequential, process-parallel, or (for workers carrying a
+  ``run_many`` hook) lockstep-vectorized scheduling;
 * :func:`run_chain` — warm-started (continuation) task chains;
 * :func:`labelled_sweep`, :func:`corner_sweep` — batches keyed by a
-  task label.
+  task label;
+* :func:`run_transient_campaign`, :func:`transient_worker`,
+  :class:`TransientMetricSpec` — the transient-campaign front-end
+  (:mod:`repro.campaigns.vectorized`): lockstep stacked-array
+  execution via the batched engine, and shared-memory waveform
+  streaming for the process-parallel fallback.
 
 See :mod:`repro.campaigns.runner` for the execution semantics.  The
-package deliberately depends only on the standard library (plus the
-shared error types) so every simulation layer can build on it.
+core runner deliberately depends only on the standard library (plus
+the shared error types) so every simulation layer can import it
+without cycles; the transient front-end, which depends on the
+circuits layer, is loaded lazily on first attribute access.
 """
 
 from .runner import BatchOptions, run_batch, run_chain
@@ -25,4 +33,24 @@ __all__ = [
     "run_chain",
     "corner_sweep",
     "labelled_sweep",
+    "TransientMetricSpec",
+    "run_transient_campaign",
+    "transient_worker",
 ]
+
+#: Names served lazily from .vectorized — importing it eagerly would
+#: cycle through repro.circuits (whose DC solver imports this
+#: package's runner for continuation chains).
+_VECTORIZED_EXPORTS = (
+    "TransientMetricSpec",
+    "run_transient_campaign",
+    "transient_worker",
+)
+
+
+def __getattr__(name):
+    if name in _VECTORIZED_EXPORTS:
+        from . import vectorized
+
+        return getattr(vectorized, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -4,35 +4,54 @@ Every campaign-shaped workload in this library — Monte-Carlo sampling
 over mismatch draws, FMEA fault injection, DC continuation sweeps,
 process-corner benches — reduces to *one worker applied to a list of
 tasks*.  This module is the single execution engine for that shape, so
-scaling decisions (process parallelism, chunking, warm starts) are
-made in one place instead of being reimplemented per campaign:
+scaling decisions (process parallelism, chunking, warm starts,
+lockstep vectorization) are made in one place instead of being
+reimplemented per campaign:
 
-* :func:`run_batch` — independent tasks, optionally fanned out over a
-  ``concurrent.futures.ProcessPoolExecutor``.  Results always come
-  back in task order, so seeded campaigns stay reproducible no matter
-  how they were scheduled.
+* :func:`run_batch` — independent tasks, scheduled by the
+  :class:`BatchOptions` policy: sequential, fanned out over a
+  ``concurrent.futures.ProcessPoolExecutor``, or — for workers that
+  expose a vectorized ``run_many`` hook (see
+  :func:`~repro.campaigns.vectorized.transient_worker`) — executed as
+  one lockstep batch.  Results always come back in task order, so
+  seeded campaigns stay reproducible no matter how they were
+  scheduled.
 * :func:`run_chain` — ordered tasks threaded through a *carry* (warm
   start): each worker call receives the previous call's carry, which
   is how continuation sweeps reuse the last operating point as the
   next initial guess.
 
+A :func:`run_batch` worker exception is wrapped in
+:class:`~repro.errors.BatchTaskError` carrying the failing task's
+index (original exception chained as ``__cause__``), so a mid-campaign
+failure identifies which task died no matter how the batch was
+scheduled.  :func:`run_chain` deliberately propagates raw exceptions:
+continuation chains back pre-existing typed-error contracts
+(``dc_sweep`` documents :class:`~repro.errors.ConvergenceError`), and
+a sequential chain's traceback already names its point.
+
 Only the Python standard library is used here; the module sits below
-every simulation layer so any of them can import it without cycles.
+every simulation layer so any of them can import it without cycles
+(the vectorized transient front-end lives one module up, in
+:mod:`repro.campaigns.vectorized`).
 """
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar, Union
 
-from ..errors import ConfigurationError
+from ..errors import BatchTaskError, ConfigurationError
 
 __all__ = ["BatchOptions", "run_batch", "run_chain"]
 
 T = TypeVar("T")
 R = TypeVar("R")
 C = TypeVar("C")
+
+_BATCH_MODES = ("auto", "sequential", "process", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -46,25 +65,160 @@ class BatchOptions:
         default — always correct, and on single-core containers also
         the fastest).  Larger values fan tasks out over that many
         worker processes; the worker and its tasks must then be
-        picklable (module-level functions, no closures).
+        picklable (module-level functions, no closures).  The string
+        ``"auto"`` resolves to ``os.cpu_count()``.
     chunksize:
         Tasks submitted per inter-process message in parallel mode;
         raise it when individual tasks are much cheaper than a pickle
         round-trip.
+    batch_mode:
+        How the batch executes:
+
+        * ``"auto"`` (default) — sequential unless ``max_workers``
+          asks for processes (the historical behaviour).
+        * ``"sequential"`` — force the in-process loop regardless of
+          ``max_workers``.
+        * ``"process"`` — force the process pool (``max_workers``
+          defaults to ``"auto"`` if unset).
+        * ``"vectorized"`` — lockstep execution: the whole task list
+          is handed to the worker's ``run_many(tasks)`` hook (one
+          stacked-array simulation instead of a Python loop — see
+          :func:`~repro.campaigns.vectorized.transient_worker`).
+          Workers without the hook fall back to the sequential loop,
+          so the policy is always safe to request.
     """
 
-    max_workers: Optional[int] = None
+    max_workers: Optional[Union[int, str]] = None
     chunksize: int = 1
+    batch_mode: str = "auto"
 
     def __post_init__(self) -> None:
-        if self.max_workers is not None and self.max_workers < 0:
-            raise ConfigurationError("max_workers must be >= 0 or None")
+        if isinstance(self.max_workers, str):
+            if self.max_workers != "auto":
+                raise ConfigurationError(
+                    f"max_workers must be an int, None or 'auto', "
+                    f"got {self.max_workers!r}"
+                )
+        elif self.max_workers is not None and self.max_workers < 0:
+            raise ConfigurationError("max_workers must be >= 0, None or 'auto'")
         if self.chunksize < 1:
             raise ConfigurationError("chunksize must be >= 1")
+        if self.batch_mode not in _BATCH_MODES:
+            raise ConfigurationError(
+                f"batch_mode must be one of {_BATCH_MODES}, "
+                f"got {self.batch_mode!r}"
+            )
+        if self.batch_mode == "process" and self.max_workers == 0:
+            raise ConfigurationError(
+                "batch_mode='process' forces a pool; max_workers=0 "
+                "(sequential) contradicts it — use None, 'auto' or >= 1"
+            )
+
+    def resolved_max_workers(self) -> int:
+        """The concrete worker count this policy asks for."""
+        if self.max_workers == "auto":
+            return os.cpu_count() or 1
+        if self.max_workers is None:
+            # "process" mode with no explicit count means "use the box".
+            return (os.cpu_count() or 1) if self.batch_mode == "process" else 1
+        return int(self.max_workers)
 
     @property
     def parallel(self) -> bool:
-        return bool(self.max_workers) and self.max_workers > 1
+        if self.batch_mode in ("sequential", "vectorized"):
+            return False
+        if self.batch_mode == "process":
+            # Forced: even a pool of one worker buys process isolation
+            # (a crashing task kills a pool worker, not the campaign).
+            return True
+        return self.resolved_max_workers() > 1
+
+    @property
+    def vectorized(self) -> bool:
+        return self.batch_mode == "vectorized"
+
+
+def wrap_task_error(
+    exc: BaseException,
+    index: int,
+    task: object,
+    action: str = "batch worker failed",
+) -> BatchTaskError:
+    """Uniform :class:`BatchTaskError` construction for every path.
+
+    One helper so the campaign layers (sequential loop, process
+    drain, vectorized front-end) cannot drift in what they attach to
+    a failure.
+    """
+    return BatchTaskError(
+        f"{action} on task {index} ({task!r}): {exc}",
+        index=index,
+        task=task,
+    )
+
+
+class _IndexedWorker:
+    """Picklable worker wrapper that attributes failures child-side.
+
+    A chunked ``executor.map`` surfaces a failed chunk's exception at
+    the chunk's *first* drain position, so parent-side attribution is
+    wrong whenever ``chunksize > 1``.  Wrapping inside the worker
+    process — where the true ``(index, task)`` is in hand — makes the
+    :class:`BatchTaskError` exact; it pickles back through the pool
+    intact and the drain loop passes it through unchanged.
+    """
+
+    def __init__(self, worker: Callable):
+        self.worker = worker
+
+    def __call__(self, job):
+        index, task = job
+        try:
+            return self.worker(task)
+        except BatchTaskError:
+            raise
+        except Exception as exc:
+            raise wrap_task_error(exc, index, task) from exc
+
+
+def drain_ordered(
+    iterator,
+    tasks: Sequence,
+    action: str = "batch worker failed",
+) -> List:
+    """Drain results in task order, wrapping failures with their index.
+
+    The one drain loop shared by every executor-backed campaign path.
+    Workers that can, wrap child-side (exact attribution even with
+    ``chunksize > 1``); this parent-side wrap is the backstop for
+    pool-level failures (pickling errors, a broken pool), where the
+    index is the drain position the failure surfaced at.
+    """
+    results = []
+    for index, task in enumerate(tasks):
+        try:
+            results.append(next(iterator))
+        except BatchTaskError:
+            raise
+        except Exception as exc:
+            raise wrap_task_error(exc, index, task, action) from exc
+    return results
+
+
+def _wrap_collective(exc: BaseException, tasks: Sequence) -> BatchTaskError:
+    """Wrap a failure of a whole lockstep batch.
+
+    A vectorized solve fails collectively; when the underlying error
+    names its failing samples (the batched engine's ConvergenceError
+    carries ``failed_samples``), the first one becomes the index.
+    Otherwise the index is ``-1``: not attributable to a single task.
+    """
+    samples = getattr(exc, "failed_samples", None)
+    # Duck-typed attribute: guard against numpy arrays, whose bare
+    # truthiness raises for more than one element.
+    index = int(samples[0]) if samples is not None and len(samples) else -1
+    task = tasks[index] if 0 <= index < len(tasks) else None
+    return wrap_task_error(exc, index, task, action="vectorized batch failed")
 
 
 def run_batch(
@@ -77,15 +231,58 @@ def run_batch(
     The sequential path is a plain loop — no pickling, closures and
     stateful workers welcome.  The parallel path requires picklable
     workers/tasks and is worthwhile only when tasks are expensive and
-    cores are actually available.
+    cores are actually available.  ``batch_mode="vectorized"`` hands
+    the whole list to the worker's ``run_many`` hook when it has one.
+
+    A worker exception (anything but :class:`BatchTaskError` itself)
+    is re-raised as :class:`~repro.errors.BatchTaskError` carrying the
+    failing task's index.  In-process paths chain the original as
+    ``__cause__``; in process mode the original exception lives in the
+    worker, so it appears in the error message and the remote
+    traceback instead of as a live ``__cause__`` object.  A
+    *collective* failure of a vectorized ``run_many`` batch carries
+    the first failing sample's index when the underlying error names
+    one (``failed_samples``), else ``-1``.
     """
     task_list = list(tasks)
-    if options is None or not options.parallel or len(task_list) <= 1:
-        return [worker(task) for task in task_list]
-    with ProcessPoolExecutor(max_workers=options.max_workers) as executor:
-        return list(
-            executor.map(worker, task_list, chunksize=options.chunksize)
+    if options is not None and options.vectorized:
+        run_many = getattr(worker, "run_many", None)
+        if run_many is not None:
+            try:
+                results = list(run_many(task_list))
+            except BatchTaskError:
+                raise
+            except Exception as exc:
+                raise _wrap_collective(exc, task_list) from exc
+            if len(results) != len(task_list):
+                raise ConfigurationError(
+                    f"run_many returned {len(results)} results for "
+                    f"{len(task_list)} tasks; one result per task is "
+                    "required to keep campaigns aligned"
+                )
+            return results
+    force_process = options is not None and options.batch_mode == "process"
+    if (
+        options is None
+        or not options.parallel
+        or (len(task_list) <= 1 and not force_process)
+    ):
+        results: List[R] = []
+        for index, task in enumerate(task_list):
+            try:
+                results.append(worker(task))
+            except BatchTaskError:
+                raise
+            except Exception as exc:
+                raise wrap_task_error(exc, index, task) from exc
+        return results
+    with ProcessPoolExecutor(max_workers=options.resolved_max_workers()) as executor:
+        iterator = executor.map(
+            _IndexedWorker(worker),
+            list(enumerate(task_list)),
+            chunksize=options.chunksize,
         )
+        return drain_ordered(iterator, task_list)
 
 
 def run_chain(
@@ -100,6 +297,11 @@ def run_chain(
     This is the execution shape of continuation: a DC sweep starting
     every point from the previous solution, a corner ladder reusing
     the last bias point, a parameter stepper walking a turn-on curve.
+
+    Unlike :func:`run_batch`, failures propagate *raw*: continuation
+    callers (``dc_sweep``, warm-started Monte-Carlo) document typed
+    errors like :class:`~repro.errors.ConvergenceError`, and the
+    sequential traceback already identifies the failing point.
     """
     results: List[R] = []
     for task in tasks:

@@ -1,0 +1,387 @@
+"""Vectorized and streaming execution of transient campaigns.
+
+:mod:`repro.campaigns.runner` schedules *opaque* workers; this module
+is the campaign front-end for workers the library can see inside —
+"build a circuit per task, run one transient, evaluate the result".
+Knowing that shape unlocks two execution strategies a generic worker
+cannot offer:
+
+* **Lockstep vectorization** (``BatchOptions(batch_mode="vectorized")``)
+  — all tasks' circuits are stacked into one batched transient run
+  (:func:`~repro.circuits.batched.run_transient_batched`): one time
+  loop, batched linear algebra, per-sample Newton masks.  Netlists
+  the lockstep engine cannot stack fall back to the per-sample
+  reference path automatically.
+* **Shared-memory streaming** (process parallelism) — instead of
+  pickling per-task results back through the executor, workers write
+  their full waveform records into one preallocated
+  ``multiprocessing.shared_memory`` block, so a campaign streams
+  complete waveforms at the cost of scalars.
+
+:func:`transient_worker` adapts the same build/run/evaluate triple to
+the generic :func:`~repro.campaigns.run_batch` protocol (it carries
+the ``run_many`` hook that ``batch_mode="vectorized"`` dispatches on),
+which is how :func:`~repro.campaigns.corner_sweep` and every other
+``run_batch``-shaped campaign opt into lockstep execution without new
+plumbing.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.waveform import Waveform
+from ..circuits.batched import BatchIncompatible, run_transient_batched
+from ..circuits.netlist import Circuit
+from ..circuits.transient import (
+    TransientOptions,
+    TransientResult,
+    _fixed_record_count,
+    _resolve_recording,
+    run_transient,
+)
+from ..errors import BatchTaskError
+from .runner import (
+    BatchOptions,
+    _wrap_collective,
+    drain_ordered,
+    wrap_task_error,
+)
+
+__all__ = [
+    "TransientMetricSpec",
+    "run_transient_campaign",
+    "transient_worker",
+]
+
+
+@dataclass(frozen=True)
+class TransientMetricSpec:
+    """A transient campaign metric split into its schedulable halves.
+
+    A plain ``metric(task) -> float`` callable hides the simulation
+    inside; expressing it as *build the circuit*, *shared run
+    options*, *evaluate the result* lets the campaign layer choose the
+    execution strategy (lockstep batch, shared-memory processes,
+    plain loop).  For fixed-grid options every strategy computes the
+    same statistics (lockstep is equivalence-pinned at rtol 1e-9);
+    adaptive options lockstep only on explicit
+    ``batch_mode="vectorized"``, because the shared worst-sample grid
+    is a different discretization than per-sample adaptive grids.
+
+    Parameters
+    ----------
+    name:
+        Metric name carried into result summaries.
+    build:
+        ``task -> Circuit``.  Must be picklable (module-level) for
+        process execution; closures are fine for lockstep/sequential.
+    options:
+        One :class:`~repro.circuits.transient.TransientOptions` shared
+        by every task — the lockstep grid.  Anything that must vary
+        per task belongs in the circuit, not the options.
+    evaluate:
+        ``(task, TransientResult) -> float``.
+    waveform:
+        Optional ``TransientResult -> Waveform`` extractor.  When set,
+        campaigns that stream waveforms (e.g. :func:`~repro.mc.
+        montecarlo.run_monte_carlo`) retain one waveform per task
+        alongside the scalar values.
+    """
+
+    name: str
+    build: Callable[[object], Circuit]
+    options: TransientOptions
+    evaluate: Callable[[object, TransientResult], float]
+    waveform: Optional[Callable[[TransientResult], Waveform]] = None
+
+
+def run_transient_campaign(
+    tasks: Sequence[object],
+    build: Callable[[object], Circuit],
+    options: TransientOptions,
+    batch: Optional[BatchOptions] = None,
+) -> List[TransientResult]:
+    """Run one transient per task; results in task order.
+
+    The execution strategy follows ``batch.batch_mode``:
+
+    * ``"vectorized"`` — the lockstep batched engine; netlists it
+      cannot stack fall back to the sequential per-sample loop.
+    * ``"auto"`` (default) — lockstep for **fixed-grid** runs (where
+      the batched engine is equivalence-pinned to the per-sample path
+      at rtol 1e-9), sequential otherwise; ``max_workers`` requesting
+      processes goes parallel instead.  Adaptive runs never lockstep
+      implicitly: the shared worst-sample grid is a *different,
+      coarser-or-equal discretization* than each sample's own
+      adaptive grid, so results legitimately differ at LTE-tolerance
+      level — opting in must be explicit (``"vectorized"``).
+    * ``"process"`` (or ``"auto"`` + ``max_workers > 1``) — process
+      pool with the shared-memory record stream for fixed-grid runs
+      (adaptive runs fall back to pickled records).
+    * ``"sequential"`` — plain loop, no stacking.
+
+    All per-sample paths wrap worker failures in
+    :class:`~repro.errors.BatchTaskError` carrying the task index.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    mode = batch.batch_mode if batch is not None else "auto"
+    want_process = batch is not None and batch.parallel
+    lockstep = mode == "vectorized" or (
+        mode == "auto"
+        and not want_process
+        and options.step_control == "fixed"
+    )
+    if lockstep:
+        circuits = _build_all(tasks, build)
+        try:
+            return run_transient_batched(circuits, options)
+        except BatchIncompatible:
+            return _run_sequential(tasks, circuits, options)
+        except Exception as exc:
+            raise _wrap_collective(exc, tasks) from exc
+    if want_process:
+        return _run_process_streaming(tasks, build, options, batch)
+    circuits = _build_all(tasks, build)
+    return _run_sequential(tasks, circuits, options)
+
+
+def transient_worker(
+    build: Callable[[object], Circuit],
+    options: TransientOptions,
+    evaluate: Optional[Callable[[object, TransientResult], object]] = None,
+) -> Callable[[object], object]:
+    """Adapt a build/run/evaluate triple to the ``run_batch`` protocol.
+
+    The returned worker runs one task per call like any other batch
+    worker, and carries the ``run_many`` hook that
+    ``BatchOptions(batch_mode="vectorized")`` dispatches on — so
+    :func:`~repro.campaigns.run_batch`, :func:`~repro.campaigns.
+    corner_sweep` and :func:`~repro.campaigns.labelled_sweep`
+    campaigns built on it execute as one lockstep batch when the
+    netlists allow, with per-task fallback when they do not.
+    """
+
+    def worker(task: object) -> object:
+        result = run_transient(build(task), options)
+        return evaluate(task, result) if evaluate is not None else result
+
+    def run_many(tasks: Sequence[object]) -> List[object]:
+        tasks = list(tasks)
+        # run_many is only dispatched on an explicit vectorized
+        # policy; forward that intent so adaptive-grid options
+        # lockstep here too instead of degrading to "auto".
+        results = run_transient_campaign(
+            tasks, build, options, BatchOptions(batch_mode="vectorized")
+        )
+        if evaluate is None:
+            return results
+        values: List[object] = []
+        for index, (task, result) in enumerate(zip(tasks, results)):
+            try:
+                values.append(evaluate(task, result))
+            except Exception as exc:
+                raise wrap_task_error(
+                    exc, index, task, action="metric evaluation failed"
+                ) from exc
+        return values
+
+    worker.run_many = run_many
+    return worker
+
+
+# -- fallback paths -----------------------------------------------------------
+
+
+def _build_all(tasks: Sequence[object], build) -> List[Circuit]:
+    circuits = []
+    for index, task in enumerate(tasks):
+        try:
+            circuits.append(build(task))
+        except Exception as exc:
+            raise wrap_task_error(
+                exc, index, task, action="circuit build failed"
+            ) from exc
+    return circuits
+
+
+def _run_sequential(
+    tasks: Sequence[object],
+    circuits: Sequence[Circuit],
+    options: TransientOptions,
+) -> List[TransientResult]:
+    results = []
+    for index, circuit in enumerate(circuits):
+        try:
+            results.append(run_transient(circuit, options))
+        except Exception as exc:
+            raise wrap_task_error(
+                exc, index, tasks[index], action="transient failed"
+            ) from exc
+    return results
+
+
+# -- shared-memory streaming process pool ------------------------------------
+
+#: Worker-process state installed by the pool initializer.
+_WORKER_STATE: dict = {}
+
+
+def _stream_init(shm_name, shape, build, options) -> None:
+    shm = shared_memory.SharedMemory(name=shm_name)
+    _WORKER_STATE["shm"] = shm
+    _WORKER_STATE["records"] = np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
+    _WORKER_STATE["build"] = build
+    _WORKER_STATE["options"] = options
+
+
+def _stream_worker(job: Tuple[int, object]):
+    """Run one task, stream its records into the shared block.
+
+    Returns only the small per-task payload (time grid, stats); the
+    waveform matrix never crosses the process boundary as a pickle.
+    Failures wrap child-side so the attribution stays exact even for
+    chunked maps.
+    """
+    index, task = job
+    try:
+        build = _WORKER_STATE["build"]
+        options = _WORKER_STATE["options"]
+        result = run_transient(build(task), options)
+        _WORKER_STATE["records"][index] = result.x
+        return index, result.t, result.recorded_nodes, dict(result.stats)
+    except BatchTaskError:
+        raise
+    except Exception as exc:
+        raise wrap_task_error(
+            exc, index, task, action="transient worker failed"
+        ) from exc
+
+
+def _pickled_init(build, options) -> None:
+    _WORKER_STATE["build"] = build
+    _WORKER_STATE["options"] = options
+
+
+def _pickled_worker(job: Tuple[int, object]):
+    index, task = job
+    try:
+        result = run_transient(
+            _WORKER_STATE["build"](task), _WORKER_STATE["options"]
+        )
+        return (
+            index,
+            result.t,
+            result.x,
+            result.recorded_nodes,
+            dict(result.stats),
+        )
+    except BatchTaskError:
+        raise
+    except Exception as exc:
+        raise wrap_task_error(
+            exc, index, task, action="transient worker failed"
+        ) from exc
+
+
+def _run_process_streaming(
+    tasks: Sequence[object],
+    build,
+    options: TransientOptions,
+    batch: BatchOptions,
+) -> List[TransientResult]:
+    """Per-task transients in worker processes, records via shared memory.
+
+    Fixed-grid runs have a record count known up front, so one
+    ``multiprocessing.shared_memory`` block of shape
+    ``(n_tasks, n_records, n_columns)`` is preallocated and each
+    worker writes its rows in place — campaigns stream full waveforms
+    without pickling them.  Adaptive runs (record count unknown)
+    fall back to pickled record arrays through the same pool.
+
+    ``build``, ``options`` and the tasks must be picklable; circuits
+    are rebuilt in the parent only to label the returned results.
+    """
+    circuits = _build_all(tasks, build)
+    for circuit in circuits:
+        # Workers prepare their own pickled copies; the parent-side
+        # circuits label the returned results, so they need branch
+        # numbering too (waveform/branch_current access).
+        circuit.prepare()
+    n_workers = batch.resolved_max_workers()
+    # One shared block needs one record shape: fixed grid, and — when
+    # recording full state vectors — homogeneous unknown counts.
+    # Heterogeneous-topology campaigns (legal here, unlike lockstep)
+    # use the pickled-record pool instead.
+    streaming = options.step_control == "fixed" and (
+        options.record_nodes is not None
+        or all(c.size == circuits[0].size for c in circuits)
+    )
+    jobs = list(enumerate(tasks))
+
+    if streaming:
+        _indices, recorded_nodes, n_columns = _resolve_recording(
+            circuits[0], options
+        )
+        shape = (len(tasks), _fixed_record_count(options), n_columns)
+        shm = shared_memory.SharedMemory(
+            create=True, size=int(np.prod(shape)) * 8
+        )
+        try:
+            with ProcessPoolExecutor(
+                max_workers=n_workers,
+                initializer=_stream_init,
+                initargs=(shm.name, shape, build, options),
+            ) as executor:
+                payloads = _gather(
+                    executor.map(_stream_worker, jobs, chunksize=batch.chunksize),
+                    tasks,
+                )
+            records = np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
+            results = []
+            for index, t, nodes, stats in payloads:
+                results.append(
+                    TransientResult(
+                        circuit=circuits[index],
+                        t=t,
+                        x=np.array(records[index]),
+                        recorded_nodes=nodes,
+                        stats=stats,
+                    )
+                )
+        finally:
+            shm.close()
+            shm.unlink()
+        return results
+
+    with ProcessPoolExecutor(
+        max_workers=n_workers,
+        initializer=_pickled_init,
+        initargs=(build, options),
+    ) as executor:
+        payloads = _gather(
+            executor.map(_pickled_worker, jobs, chunksize=batch.chunksize),
+            tasks,
+        )
+    return [
+        TransientResult(
+            circuit=circuits[index],
+            t=t,
+            x=x,
+            recorded_nodes=nodes,
+            stats=stats,
+        )
+        for index, t, x, nodes, stats in payloads
+    ]
+
+
+def _gather(iterator, tasks):
+    """Drain an executor map, wrapping failures with their task index."""
+    return drain_ordered(iterator, tasks, action="transient worker failed")

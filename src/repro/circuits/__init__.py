@@ -28,6 +28,7 @@ Solver internals (importable for tests/benchmarks):
 """
 
 from .ac import ACResult, run_ac
+from .batched import BatchIncompatible, run_transient_batched
 from .corners import FAST_COLD, FAST_HOT, SLOW_COLD, SLOW_HOT, TYPICAL, ProcessCorner
 from .component import Component, MNASystem, StampContext
 from .controlled import VCCS, VCVS, NonlinearVCCS
@@ -46,6 +47,8 @@ from .transient import TransientOptions, TransientResult, run_transient
 __all__ = [
     "ACResult",
     "run_ac",
+    "BatchIncompatible",
+    "run_transient_batched",
     "ProcessCorner",
     "TYPICAL",
     "SLOW_COLD",

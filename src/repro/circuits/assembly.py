@@ -52,7 +52,7 @@ from .elements import Capacitor, Inductor
 from .linsolve import ReusableLU
 from .netlist import Circuit
 
-__all__ = ["TransientAssembly"]
+__all__ = ["DtCache", "TransientAssembly"]
 
 #: Maximum number of *additional* NonlinearVCCS devices the Woodbury
 #: fast path covers (k in 2..4); beyond that the dense general Newton
@@ -196,6 +196,67 @@ class _ReactiveSet:
         self.i = i_new
 
 
+class DtCache:
+    """dt-keyed LRU with a two-slot *ephemeral* side cache.
+
+    The policy both transient assemblies (per-sample and batched
+    lockstep) share: quantized step sizes live in an LRU of at most
+    ``max_entries`` cache entries; breakpoint-truncated one-shot step
+    sizes — arbitrary event-driven floats that will not recur — are
+    served from a two-slot scratch area (a truncated candidate step
+    solves at ``dt`` *and* ``dt/2``, and a Newton-reject retry
+    revisits the same pair) so they never evict the controller's
+    quantized grid entries.
+
+    ``build(dt)`` constructs a missing entry; the optional
+    ``retire(entry)`` hook runs when an entry leaves the cache
+    (eviction or ephemeral turnover), which is how the per-sample
+    assembly keeps its factorization counters honest.
+    """
+
+    def __init__(self, build, retire=None, max_entries: int = 8):
+        if max_entries < 1:
+            raise ValueError("max_dt_entries must be >= 1")
+        self._build = build
+        self._retire = retire
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[float, object]" = OrderedDict()
+        self._ephemeral: Dict[float, object] = {}
+
+    def get(self, dt: float, ephemeral: bool = False):
+        """The entry for ``dt``, built on demand."""
+        entry = self._entries.get(dt)
+        if entry is not None:
+            self._entries.move_to_end(dt)
+        elif ephemeral:
+            entry = self._ephemeral.get(dt)
+            if entry is None:
+                if len(self._ephemeral) >= 2:
+                    # A new truncated step: the previous pair is done.
+                    if self._retire is not None:
+                        for old in self._ephemeral.values():
+                            self._retire(old)
+                    self._ephemeral.clear()
+                entry = self._build(dt)
+                self._ephemeral[dt] = entry
+        else:
+            entry = self._build(dt)
+            self._entries[dt] = entry
+            while len(self._entries) > self.max_entries:
+                _, evicted = self._entries.popitem(last=False)
+                if self._retire is not None:
+                    self._retire(evicted)
+        return entry
+
+    def __len__(self) -> int:
+        """Number of quantized-grid (non-ephemeral) entries alive."""
+        return len(self._entries)
+
+    def live_entries(self) -> List[object]:
+        """Every entry currently held (grid + ephemeral)."""
+        return list(self._entries.values()) + list(self._ephemeral.values())
+
+
 class _DtEntry:
     """Everything the engine caches for one quantized step size."""
 
@@ -241,9 +302,6 @@ class TransientAssembly:
         self.gmin = gmin
         self.size = circuit.size
         self.n_nodes = circuit.n_nodes
-        if max_dt_entries < 1:
-            raise ValueError("max_dt_entries must be >= 1")
-        self.max_dt_entries = max_dt_entries
 
         split, full = circuit.partition_components()
         self._split: List[Component] = split
@@ -291,10 +349,9 @@ class TransientAssembly:
         #: Factorizations performed inside entries that were later
         #: evicted from the LRU (kept so diagnostics never undercount).
         self.retired_factorizations = 0
-        self._entries: "OrderedDict[float, _DtEntry]" = OrderedDict()
-        #: Scratch slots for one-shot (breakpoint-truncated) step
-        #: sizes: the (dt, dt/2) pair of the current truncated step.
-        self._ephemeral: Dict[float, _DtEntry] = {}
+        self._cache = DtCache(
+            self._build_entry, self._retire, max_entries=max_dt_entries
+        )
         self._active: _DtEntry
         self.set_dt(dt)
 
@@ -323,37 +380,12 @@ class TransientAssembly:
 
     def set_dt(self, dt: float, ephemeral: bool = False) -> None:
         """Make ``dt`` the active step size, building or reusing its
-        cache entry (LRU eviction beyond ``max_dt_entries``).
-
-        ``ephemeral`` marks a step size that will not recur — a
-        breakpoint-truncated step, whose ``dt`` is an arbitrary float
-        set by the event time.  It is served from a two-slot scratch
-        area instead of the LRU (a truncated candidate step solves at
-        ``dt`` *and* ``dt/2``, and a Newton-reject retry revisits the
-        same pair), so one-shot sizes never evict the controller's
-        quantized grid entries.
+        cache entry (:class:`DtCache` policy: LRU eviction beyond
+        ``max_dt_entries``, two ephemeral scratch slots for
+        breakpoint-truncated one-shot step sizes).
         """
         dt = float(dt)
-        entry = self._entries.get(dt)
-        if entry is not None:
-            self._entries.move_to_end(dt)
-        elif ephemeral:
-            entry = self._ephemeral.get(dt)
-            if entry is None:
-                if len(self._ephemeral) >= 2:
-                    # A new truncated step: the previous pair is done.
-                    for old in self._ephemeral.values():
-                        self._retire(old)
-                    self._ephemeral.clear()
-                entry = self._build_entry(dt)
-                self._ephemeral[dt] = entry
-        else:
-            entry = self._build_entry(dt)
-            self._entries[dt] = entry
-            while len(self._entries) > self.max_dt_entries:
-                _, evicted = self._entries.popitem(last=False)
-                self._retire(evicted)
-        self._active = entry
+        self._active = self._cache.get(dt, ephemeral=ephemeral)
         self._ctx.dt = dt
 
     def _retire(self, entry: Optional[_DtEntry]) -> None:
@@ -376,7 +408,7 @@ class TransientAssembly:
 
     @property
     def n_dt_entries(self) -> int:
-        return len(self._entries)
+        return len(self._cache)
 
     def lu(self) -> ReusableLU:
         """Cached factorization of the active base matrix (lazy)."""
@@ -396,10 +428,9 @@ class TransientAssembly:
     @property
     def lu_factorizations(self) -> int:
         """Total factorizations across all (live + evicted) entries."""
-        entries = list(self._entries.values()) + list(self._ephemeral.values())
         live = sum(
             lu.n_factorizations
-            for e in entries
+            for e in self._cache.live_entries()
             for lu in (e.lu, e.chord)
             if lu is not None
         )

@@ -1,0 +1,977 @@
+"""Batched lockstep transient engine: one time loop for S netlists.
+
+The paper's headline claims are statistical — mismatch Monte-Carlo
+and corner campaigns over the startup / supply-loss scenarios — and a
+campaign is the same small MNA system solved S times with slightly
+different element values.  Running the per-sample engine S times pays
+the whole Python interpreter cost S times: S time loops, S Newton
+drivers, S companion-state updates per step, for systems with a dozen
+unknowns where the arithmetic itself is nearly free.
+
+This module stacks the campaign instead: the S per-sample systems
+become arrays ``G_base[S, n, n]`` / ``rhs[S, n]`` and **one** lockstep
+time loop advances every sample together,
+
+* batched linear algebra — ``numpy.linalg.inv`` on the ``(S, n, n)``
+  stack once per step size, then every step's solve is one batched
+  mat-vec (the ``linear`` strategy's cached-LU path, S-wide);
+* the rank-1 Sherman–Morrison and rank-k Woodbury Newton fast paths
+  of the per-sample engine, vectorized across the sample axis, with a
+  **per-sample convergence mask**: samples whose Newton iteration has
+  converged drop out of the working set while stragglers continue —
+  ragged convergence costs only the stragglers;
+* vectorized companion-state updates: capacitor/inductor integrator
+  state lives in ``(S, m)`` arrays and one gather/scatter advances
+  all samples;
+* device linearization across samples in one call when the nonlinear
+  devices declare a *batchable characteristic family*
+  (``NonlinearVCCS.vector_pair`` — e.g. every Monte-Carlo instance of
+  the tanh driver differs only in its ``(gm, IM)`` parameters).
+
+Lockstep requires a shared time grid: fixed mode uses the common
+``t_k = k*dt`` grid, adaptive mode drives one
+:class:`~repro.circuits.stepcontrol.StepController` by the
+**worst-sample** LTE (every sample meets tolerance on every accepted
+step; the grid is simply as fine as the most demanding sample needs).
+
+The per-sample engine (:func:`~repro.circuits.transient.run_transient`)
+stays the reference: :func:`run_transient_batched` mirrors its solve
+formulas elementwise, and the equivalence tests pin the two paths to
+each other at rtol 1e-9.  Netlists the lockstep engine cannot stack —
+differing topologies, nonlinear devices other than
+:class:`~repro.circuits.controlled.NonlinearVCCS`, chord/full Jacobian
+modes — raise :class:`BatchIncompatible`, which the campaign layer
+(:mod:`repro.campaigns.vectorized`) catches to fall back to the
+per-sample path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConvergenceError, SimulationError
+from .assembly import DtCache, _ReactiveSet
+from .component import Component, MNASystem, StampContext
+from .controlled import NonlinearVCCS
+from .dcop import NewtonOptions, solve_dc
+from .elements import Capacitor, Inductor
+from .linsolve import solve_dense
+from .netlist import Circuit
+from .sources import CurrentSource, VoltageSource
+from .stepcontrol import StepController, collect_breakpoints
+from .transient import (
+    TransientOptions,
+    TransientResult,
+    _fixed_record_count,
+    _resolve_recording,
+)
+
+__all__ = ["BatchIncompatible", "BatchedTransientAssembly", "run_transient_batched"]
+
+
+class BatchIncompatible(SimulationError):
+    """The netlists cannot be executed as one lockstep batch.
+
+    Structural problems (topology mismatch, unsupported devices,
+    non-``"auto"`` Jacobian) raise during batched-assembly
+    construction, before any stepping; a singular stacked base matrix
+    raises when its step size's entry is built — at construction for
+    the initial step size, but an *adaptive* run that walks onto a new
+    step size whose system is singular raises mid-run.  The campaign
+    layer catches either case and falls back to the per-sample engine
+    (discarding any partial lockstep work)."""
+
+
+def _bsolve(inv: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Batched ``x = G^-1 rhs``: ``(S, n, n) @ (S, n) -> (S, n)``."""
+    return np.matmul(inv, rhs[..., np.newaxis])[..., 0]
+
+
+# -- lockstep compatibility ---------------------------------------------------
+
+
+def _check_lockstep(circuits: Sequence[Circuit]) -> None:
+    """Validate that all samples share one MNA structure.
+
+    Lockstep stacking requires identical topology: same components
+    (names, types, node wiring, branch numbering) and same unknown
+    ordering.  Element *values* are free to differ per sample — that
+    is the whole point.
+    """
+    first = circuits[0]
+    for s, circuit in enumerate(circuits[1:], start=1):
+        if circuit.component_names != first.component_names:
+            raise BatchIncompatible(
+                f"sample {s} has different components than sample 0"
+            )
+        if circuit.node_names != first.node_names or circuit.size != first.size:
+            raise BatchIncompatible(
+                f"sample {s} has a different node space than sample 0"
+            )
+        for name in first.component_names:
+            a, b = first[name], circuit[name]
+            if type(a) is not type(b):
+                raise BatchIncompatible(
+                    f"component {name!r}: type differs between samples"
+                )
+            if a._n != b._n or a._b != b._b:
+                raise BatchIncompatible(
+                    f"component {name!r}: wiring differs between samples"
+                )
+
+
+class _SourceColumn:
+    """One independent source, stacked across samples.
+
+    Evaluates the per-sample stimulus values at a step time and
+    scatters them into the stacked RHS.  When every sample shares the
+    *same* value function object (common for fixed supplies), the
+    stimulus is evaluated once and broadcast.
+    """
+
+    def __init__(self, components: List[object]):
+        self.components = components
+        first = components[0]
+        self.is_voltage = isinstance(first, VoltageSource)
+        if self.is_voltage:
+            self.row = first._b[0]
+        else:
+            self.a, self.b = first._n[0], first._n[1]
+        funcs = [c._func for c in components]
+        self.shared = all(f is funcs[0] for f in funcs)
+        #: Stacked values of a DC stimulus, hoisted out of the loop
+        #: (``dc()`` annotates its functions with ``constant``).
+        self.constant: Optional[np.ndarray] = None
+        if all(hasattr(f, "constant") for f in funcs):
+            self.constant = np.array([f.constant for f in funcs])
+
+    def add_rhs(self, rhs: np.ndarray, time: float) -> None:
+        if self.constant is not None:
+            values: object = self.constant
+        elif self.shared:
+            values = self.components[0].value_at(time)
+        else:
+            values = np.array([c.value_at(time) for c in self.components])
+        if self.is_voltage:
+            rhs[:, self.row] += values
+        else:
+            if self.a >= 0:
+                rhs[:, self.a] -= values
+            if self.b >= 0:
+                rhs[:, self.b] += values
+
+
+class _DeviceColumn:
+    """One :class:`NonlinearVCCS` position, stacked across samples.
+
+    Linearizes the device at a vector of per-sample control voltages.
+    When every sample's device declares the same batchable
+    ``vector_pair`` family, one vectorized call covers the whole
+    working set; otherwise a per-sample loop over ``linearize`` keeps
+    arbitrary scalar characteristics correct (just slower).
+    """
+
+    def __init__(self, devices: List[NonlinearVCCS]):
+        self.devices = devices
+        first = devices[0]
+        self.vectorized = first.vector_pair is not None and all(
+            d.vector_pair == first.vector_pair
+            and len(d.vector_params) == len(first.vector_params)
+            for d in devices
+        )
+        if self.vectorized:
+            self.family = first.vector_pair
+            # One (S,) array per family parameter.
+            self.params = tuple(
+                np.array([d.vector_params[j] for d in devices])
+                for j in range(len(first.vector_params))
+            )
+
+    def linearize(
+        self, v_ctrl: np.ndarray, rows: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(gm, i_eq)`` arrays for the sample subset ``rows``."""
+        if self.vectorized:
+            i_now, gm = self.family(v_ctrl, *(p[rows] for p in self.params))
+            return np.asarray(gm, dtype=float), np.asarray(i_now - gm * v_ctrl)
+        gm = np.empty(rows.size)
+        ieq = np.empty(rows.size)
+        for j, s in enumerate(rows):
+            gm[j], ieq[j] = self.devices[s].linearize(float(v_ctrl[j]))
+        return gm, ieq
+
+
+class _BatchedDtEntry:
+    """Everything cached for one quantized step size, stacked."""
+
+    __slots__ = ("dt", "G_base", "coeffs", "inv", "rank1", "woodbury")
+
+    def __init__(self, dt: float, G_base: np.ndarray, coeffs: tuple):
+        self.dt = dt
+        self.G_base = G_base  # (S, n, n), frozen
+        self.coeffs = coeffs  # (alpha[S,m], beta[S,m], upd_g[S,m], upd_m)
+        self.inv: Optional[np.ndarray] = None  # lazy (S, n, n)
+        self.rank1: Optional[tuple] = None  # lazy (w[S,n], vw[S], w_vmax[S])
+        self.woodbury: Optional[tuple] = None  # lazy (WU[S,n,k], VWU[S,k,k])
+
+
+class BatchedTransientAssembly:
+    """Stacked linear system(s) for one lockstep transient run.
+
+    The batched counterpart of :class:`~repro.circuits.assembly.
+    TransientAssembly`: the same assembly tiers (static once per step
+    size, RHS once per step, nonlinear devices once per Newton
+    iteration), with every product carrying a leading sample axis and
+    the ``dt``-keyed products living in a small LRU of per-step-size
+    entries.
+    """
+
+    def __init__(
+        self,
+        circuits: Sequence[Circuit],
+        dt: float,
+        method: str,
+        gmin: float,
+        max_dt_entries: int = 8,
+    ):
+        circuits = list(circuits)
+        if not circuits:
+            raise SimulationError("batched run needs at least one circuit")
+        for circuit in circuits:
+            circuit.prepare()
+        _check_lockstep(circuits)
+        self.circuits = circuits
+        self.n_samples = len(circuits)
+        self.method = method
+        self.gmin = gmin
+        self.size = circuits[0].size
+        self.n_nodes = circuits[0].n_nodes
+
+        split0, full0 = circuits[0].partition_components()
+        full_names = [c.name for c in full0]
+        for name in full_names:
+            if type(circuits[0][name]) is not NonlinearVCCS:
+                raise BatchIncompatible(
+                    f"component {name!r} ({type(circuits[0][name]).__name__}) "
+                    "is outside the lockstep engine's stamp vocabulary"
+                )
+        self._split_names = [c.name for c in split0]
+
+        # Vectorized reactive state: plain caps/inductors only (the
+        # same restriction as the per-sample engine's fast path).
+        caps0 = [c for c in split0 if type(c) is Capacitor]
+        inds0 = [c for c in split0 if type(c) is Inductor]
+        vectorized = set(c.name for c in caps0 + inds0)
+        # Topology (gather indices, scatter matrix) is shared; only
+        # the per-sample element values differ.  One _ReactiveSet per
+        # sample keeps the companion-coefficient formulas in exactly
+        # one place (_ReactiveSet.coeffs); _coeffs just stacks rows.
+        self._reactive_names = [c.name for c in caps0 + inds0]
+        self._sample_reactives = [
+            _ReactiveSet(
+                [circuit[c.name] for c in caps0],
+                [circuit[c.name] for c in inds0],
+                self.size,
+            )
+            for circuit in circuits
+        ]
+        self._topology = self._sample_reactives[0]
+        self.n_caps = len(caps0)
+        m = len(self._reactive_names)
+        self.v = np.zeros((self.n_samples, m))
+        self.i = np.zeros((self.n_samples, m))
+
+        # Per-step RHS work: stacked source columns.  Anything else
+        # with a dynamic stamp is outside the lockstep vocabulary.
+        self.sources: List[_SourceColumn] = []
+        for comp in split0:
+            if comp.name in vectorized:
+                continue
+            if type(comp).stamp_dynamic is Component.stamp_dynamic:
+                continue
+            if not isinstance(comp, (VoltageSource, CurrentSource)):
+                raise BatchIncompatible(
+                    f"component {comp.name!r} has a dynamic stamp the "
+                    "lockstep engine cannot vectorize"
+                )
+            self.sources.append(
+                _SourceColumn([c[comp.name] for c in circuits])
+            )
+
+        # Nonlinear device columns + constant rank-k structure.
+        self.devices: List[_DeviceColumn] = [
+            _DeviceColumn([c[name] for c in circuits]) for name in full_names
+        ]
+        self.k = len(self.devices)
+        if self.k:
+            U = np.zeros((self.size, self.k))
+            V = np.zeros((self.size, self.k))
+            cp_idx = np.empty(self.k, dtype=np.intp)
+            cn_idx = np.empty(self.k, dtype=np.intp)
+            for j, name in enumerate(full_names):
+                op, on, cp, cn = circuits[0][name]._n
+                if op >= 0:
+                    U[op, j] += 1.0
+                if on >= 0:
+                    U[on, j] -= 1.0
+                if cp >= 0:
+                    V[cp, j] += 1.0
+                if cn >= 0:
+                    V[cn, j] -= 1.0
+                cp_idx[j], cn_idx[j] = cp, cn
+            self.U, self.V = U, V
+            self._cp_idx, self._cn_idx = cp_idx, cn_idx
+
+        # Padded iterate buffer for ground-safe gathers on commit.
+        self._xp = np.zeros((self.n_samples, self.size + 1))
+
+        self.n_factorizations = 0
+        self._cache = DtCache(self._build_entry, max_entries=max_dt_entries)
+        self._active: _BatchedDtEntry
+        self.set_dt(dt)
+
+    # -- dt-keyed cache -------------------------------------------------------
+
+    def _build_entry(self, dt: float) -> _BatchedDtEntry:
+        S, n = self.n_samples, self.size
+        G = np.empty((S, n, n))
+        for s, circuit in enumerate(self.circuits):
+            system = MNASystem(n)
+            ctx = StampContext(
+                system=system,
+                x=np.zeros(n),
+                time=0.0,
+                dt=dt,
+                method=self.method,
+                gmin=self.gmin,
+            )
+            for name in self._split_names:
+                circuit[name].stamp_static(ctx)
+            for i in range(self.n_nodes):
+                system.add_G(i, i, self.gmin)
+            G[s] = system.G
+        G.setflags(write=False)
+        entry = _BatchedDtEntry(dt, G, self._coeffs(dt))
+        # Invert eagerly: every strategy solves against this entry on
+        # its first step anyway, and a singular sample then surfaces
+        # as BatchIncompatible *here* — at construction for the
+        # initial step size — rather than from inside the time loop.
+        try:
+            entry.inv = np.linalg.inv(G)
+        except np.linalg.LinAlgError as exc:
+            raise BatchIncompatible(
+                "singular base matrix in batch; the per-sample "
+                "engine's least-squares fallback is required"
+            ) from exc
+        self.n_factorizations += 1
+        return entry
+
+    def _coeffs(self, dt: float) -> tuple:
+        """Stacked companion coefficients for one ``(dt, method)``.
+
+        Each row is the per-sample :meth:`_ReactiveSet.coeffs` result
+        — the trap/BE companion formulas live only there.
+        """
+        rows = [
+            reactive.coeffs(dt, self.method)
+            for reactive in self._sample_reactives
+        ]
+        m = len(self._reactive_names)
+        alpha = np.stack([r.alpha for r in rows]) if m else np.zeros(
+            (self.n_samples, 0)
+        )
+        beta = np.stack([r.beta for r in rows]) if m else np.zeros(
+            (self.n_samples, 0)
+        )
+        upd_g = np.stack([r.upd_g for r in rows]) if m else np.zeros(
+            (self.n_samples, 0)
+        )
+        return alpha, beta, upd_g, rows[0].upd_m
+
+    def set_dt(self, dt: float, ephemeral: bool = False) -> None:
+        """Make ``dt`` the active step size (the shared
+        :class:`~repro.circuits.assembly.DtCache` policy)."""
+        self._active = self._cache.get(float(dt), ephemeral=ephemeral)
+
+    @property
+    def dt(self) -> float:
+        return self._active.dt
+
+    @property
+    def n_dt_entries(self) -> int:
+        return len(self._cache)
+
+    def inv(self) -> np.ndarray:
+        """Batched inverse of the active base matrices.
+
+        Mirrors the per-sample :class:`~repro.circuits.linsolve.
+        ReusableLU` small-system strategy (explicit inverse, one
+        LAPACK call for the whole stack); built eagerly with the
+        entry, where a singular sample raises
+        :class:`BatchIncompatible` — the per-sample path has the
+        least-squares fallback such a netlist needs.
+        """
+        return self._active.inv
+
+    # -- rank-k structure ------------------------------------------------------
+
+    def ctrl_project(self, vec: np.ndarray) -> np.ndarray:
+        """``V^T vec`` per sample: ``(S, size) -> (S, k)``."""
+        cp, cn = self._cp_idx, self._cn_idx
+        vp = np.where(cp >= 0, vec[:, np.maximum(cp, 0)], 0.0)
+        vn = np.where(cn >= 0, vec[:, np.maximum(cn, 0)], 0.0)
+        return vp - vn
+
+    def rank1_data(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Stacked Sherman–Morrison data ``(w[S,n], vw[S], w_vmax[S])``."""
+        entry = self._active
+        if entry.rank1 is None:
+            u = self.U[:, 0]
+            w = np.matmul(self.inv(), u)  # (S, n)
+            vw = self.ctrl_project(w)[:, 0]
+            w_v = w[:, : self.n_nodes]
+            w_vmax = (
+                np.abs(w_v).max(axis=1) if w_v.shape[1] else np.zeros(len(w))
+            )
+            entry.rank1 = (w, vw, w_vmax)
+        return entry.rank1
+
+    def woodbury_data(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Stacked Woodbury data ``(WU[S,n,k], VWU[S,k,k])``."""
+        entry = self._active
+        if entry.woodbury is None:
+            WU = np.matmul(self.inv(), self.U)  # (S, n, k)
+            # VWU[s, j, l] = v_j^T W u_l, batched over samples.
+            VWU = np.matmul(self.V.T[np.newaxis, :, :], WU)
+            entry.woodbury = (WU, VWU)
+        return entry.woodbury
+
+    # -- state ----------------------------------------------------------------
+
+    def init_state(self, x: np.ndarray) -> None:
+        """Seed integrator state per sample (honours per-element ic)."""
+        for s, circuit in enumerate(self.circuits):
+            for j, name in enumerate(self._reactive_names):
+                st = circuit[name].init_state(x[s])
+                self.v[s, j], self.i[s, j] = st.v, st.i
+
+    def snapshot_state(self) -> tuple:
+        return self.v.copy(), self.i.copy()
+
+    def restore_state(self, snapshot: tuple) -> None:
+        self.v = snapshot[0].copy()
+        self.i = snapshot[1].copy()
+
+    # -- once per step ---------------------------------------------------------
+
+    def step_rhs(self, time: float) -> np.ndarray:
+        """Stacked linear right-hand side for one step."""
+        alpha, beta, _upd_g, _upd_m = self._active.coeffs
+        if self.v.shape[1]:
+            term = alpha * self.v + beta * self.i  # (S, m)
+            rhs = term @ self._topology.scatter.T  # (S, n)
+        else:
+            rhs = np.zeros((self.n_samples, self.size))
+        for source in self.sources:
+            source.add_rhs(rhs, time)
+        return rhs
+
+    # -- after a converged step ------------------------------------------------
+
+    def commit(self, x: np.ndarray) -> None:
+        """Advance every sample's integrator state after one step."""
+        if not self.v.shape[1]:
+            return
+        _alpha, _beta, upd_g, upd_m = self._active.coeffs
+        topo = self._topology
+        xp = self._xp
+        xp[:, : self.size] = x
+        v_new = xp[:, topo.a_idx] - xp[:, topo.b_idx]
+        i_new = upd_g * (v_new - self.v)
+        if upd_m:
+            i_new -= self.i
+        if topo.br_idx.size:
+            i_new[:, self.n_caps :] = x[:, topo.br_idx]
+        self.v = v_new
+        self.i = i_new
+
+
+class _BatchedStepSolver:
+    """Per-run lockstep Newton driver with a sample convergence mask."""
+
+    def __init__(self, assembly: BatchedTransientAssembly, options: NewtonOptions):
+        self.assembly = assembly
+        self.options = options
+        self.n_nodes = assembly.n_nodes
+        S = assembly.n_samples
+        #: Per-sample Newton-solve counters (ragged convergence shows
+        #: up here: converged samples stop accumulating).
+        self.newton_per_sample = np.zeros(S, dtype=np.int64)
+        if assembly.k == 0:
+            self.strategy = "batched-linear"
+        elif assembly.k == 1:
+            self.strategy = "batched-rank1"
+            self._cp = int(assembly._cp_idx[0])
+            self._cn = int(assembly._cn_idx[0])
+        else:
+            self.strategy = "batched-woodbury"
+
+    def _ctrl1(self, vec: np.ndarray) -> np.ndarray:
+        """k=1 control projection ``(S, size) -> (S,)`` without the
+        generic gather machinery (this sits in the hot loop)."""
+        cp, cn = self._cp, self._cn
+        if cp >= 0 and cn >= 0:
+            return vec[:, cp] - vec[:, cn]
+        if cp >= 0:
+            return vec[:, cp].copy()
+        if cn >= 0:
+            return -vec[:, cn]
+        return np.zeros(len(vec))
+
+    # -- shared helpers -------------------------------------------------------
+
+    def _tol(self, x: np.ndarray) -> np.ndarray:
+        """Per-sample convergence tolerance from the node voltages."""
+        options = self.options
+        if self.n_nodes == 0:
+            return np.full(len(x), options.abstol_v)
+        return options.abstol_v + options.reltol * np.abs(
+            x[:, : self.n_nodes]
+        ).max(axis=1)
+
+    def _fail(self, time: float, active: np.ndarray) -> ConvergenceError:
+        rows = np.nonzero(active)[0]
+        error = ConvergenceError(
+            f"batched transient Newton failed at t={time:.4e} for "
+            f"sample(s) {rows.tolist()}",
+            iterations=self.options.max_iterations,
+        )
+        #: Which samples were still unconverged — the campaign layer
+        #: uses this to attribute a collective lockstep failure.
+        error.failed_samples = rows.tolist()
+        return error
+
+    def _dense_fallback(
+        self,
+        s: int,
+        x: np.ndarray,
+        rhs_lin: np.ndarray,
+        gms: np.ndarray,
+        ieqs: np.ndarray,
+    ) -> Tuple[np.ndarray, float]:
+        """One damped dense Newton step for a single stuck sample.
+
+        Mirrors the per-sample engine's singular-denominator escape:
+        assemble the full Jacobian for this sample at its current
+        linearization and take one damped dense-solve step.
+        """
+        asm = self.assembly
+        G = asm._active.G_base[s] + asm.U @ (gms[:, None] * asm.V.T)
+        rhs = rhs_lin[s] - asm.U @ ieqs
+        x_new = solve_dense(G, rhs)
+        delta = x_new - x[s]
+        v_delta = delta[: self.n_nodes]
+        max_delta = float(np.abs(v_delta).max()) if v_delta.size else 0.0
+        if max_delta > self.options.max_step:
+            delta = delta * (self.options.max_step / max_delta)
+            max_delta = self.options.max_step
+        return x[s] + delta, max_delta
+
+    # -- one lockstep time step ------------------------------------------------
+
+    def step(self, x: np.ndarray, rhs_lin: np.ndarray, time: float) -> np.ndarray:
+        if self.strategy == "batched-linear":
+            return _bsolve(self.assembly.inv(), rhs_lin)
+        if self.strategy == "batched-rank1":
+            return self._step_rank1(x, rhs_lin, time)
+        return self._step_woodbury(x, rhs_lin, time)
+
+    def _step_rank1(
+        self, x: np.ndarray, rhs_lin: np.ndarray, time: float
+    ) -> np.ndarray:
+        """Vectorized mirror of the per-sample Sherman–Morrison step.
+
+        Every sample runs exactly the scalarized iteration of
+        ``_StepSolver._step_rank1`` — same on-the-line shortcut, same
+        damping rule, same convergence estimate (``|c - q| * w_vmax``
+        is the exact node-voltage delta on the line) — just stacked,
+        with converged samples leaving the working set.
+        """
+        asm = self.assembly
+        options = self.options
+        device = asm.devices[0]
+        w, vw, w_vmax = asm.rank1_data()
+        n = self.n_nodes
+        max_step = options.max_step
+        S = asm.n_samples
+        z_lin = _bsolve(asm.inv(), rhs_lin)
+        zl_c = self._ctrl1(z_lin)
+        x = x.copy()
+        tol = self._tol(x)
+        v_ctrl = self._ctrl1(x)
+        on_line = np.zeros(S, dtype=bool)
+        c = np.zeros(S)
+        active = np.ones(S, dtype=bool)
+        for _iteration in range(options.max_iterations):
+            rows = np.nonzero(active)[0]
+            if rows.size == 0:
+                return x
+            gm, ieq = device.linearize(v_ctrl[rows], rows)
+            self.newton_per_sample[rows] += 1
+            denom = 1.0 + gm * vw[rows]
+            bad = np.abs(denom) < 1e-12
+            if bad.any():
+                # Jacobian momentarily singular along the rank-1
+                # direction for these samples: dense fallback step.
+                for j in np.nonzero(bad)[0]:
+                    s = rows[j]
+                    if on_line[s]:
+                        x[s] = z_lin[s] - c[s] * w[s]
+                        on_line[s] = False
+                    x[s], last = self._dense_fallback(
+                        s, x, rhs_lin, np.array([gm[j]]), np.array([ieq[j]])
+                    )
+                    v_ctrl[s] = asm.ctrl_project(x[s : s + 1])[0, 0]
+                    if last < tol[s]:
+                        active[s] = False
+                keep = ~bad
+                rows, gm, ieq, denom = rows[keep], gm[keep], ieq[keep], denom[keep]
+                if rows.size == 0:
+                    continue
+            q = ieq + gm * (zl_c[rows] - ieq * vw[rows]) / denom
+
+            mask_on = on_line[rows]
+            # -- samples already on the z_lin - c*w line: scalar update.
+            ro, qo = rows[mask_on], q[mask_on]
+            if ro.size:
+                last = np.abs(c[ro] - qo) * w_vmax[ro]
+                damped = last > max_step
+                if damped.any():
+                    scale = np.where(
+                        damped, max_step / np.where(damped, last, 1.0), 1.0
+                    )
+                    c[ro] = np.where(damped, c[ro] + scale * (qo - c[ro]), qo)
+                    last = np.where(damped, max_step, last)
+                else:
+                    c[ro] = qo
+                v_ctrl[ro] = zl_c[ro] - c[ro] * vw[ro]
+                conv = last < tol[ro]
+                done = ro[conv]
+                if done.size:
+                    x[done] = z_lin[done] - c[done, None] * w[done]
+                    active[done] = False
+            # -- samples still off the line: full-vector damped update.
+            rf, qf = rows[~mask_on], q[~mask_on]
+            if rf.size:
+                x_new = z_lin[rf] - qf[:, None] * w[rf]
+                delta = x_new - x[rf]
+                v_delta = np.abs(delta[:, :n])
+                maxd = v_delta.max(axis=1) if n else np.zeros(rf.size)
+                hit = maxd >= max_step  # damped (or exactly at the cap):
+                # stays off the line, like the per-sample branch.
+                if hit.any():
+                    scale = np.where(
+                        maxd > max_step,
+                        max_step / np.where(maxd > 0, maxd, 1.0),
+                        1.0,
+                    )
+                    x[rf] = np.where(
+                        hit[:, None], x[rf] + delta * scale[:, None], x_new
+                    )
+                    maxd = np.minimum(maxd, max_step)
+                    landed = ~hit
+                    lr = rf[landed]
+                    on_line[lr] = True
+                    c[lr] = qf[landed]
+                    v_ctrl[rf] = np.where(
+                        hit,
+                        self._ctrl1(x[rf]),
+                        zl_c[rf] - qf * vw[rf],
+                    )
+                else:
+                    x[rf] = x_new
+                    on_line[rf] = True
+                    c[rf] = qf
+                    v_ctrl[rf] = zl_c[rf] - qf * vw[rf]
+                conv = maxd < tol[rf]
+                active[rf[conv]] = False
+        if active.any():
+            raise self._fail(time, active)
+        return x
+
+    def _step_woodbury(
+        self, x: np.ndarray, rhs_lin: np.ndarray, time: float
+    ) -> np.ndarray:
+        """Vectorized mirror of the per-sample Woodbury Newton step."""
+        asm = self.assembly
+        options = self.options
+        k = asm.k
+        n = self.n_nodes
+        eye_k = np.eye(k)
+        WU, VWU = asm.woodbury_data()
+        z_lin = _bsolve(asm.inv(), rhs_lin)
+        x = x.copy()
+        v_ctrl = asm.ctrl_project(x)
+        active = np.ones(asm.n_samples, dtype=bool)
+        for _iteration in range(options.max_iterations):
+            rows = np.nonzero(active)[0]
+            if rows.size == 0:
+                return x
+            gms = np.empty((rows.size, k))
+            ieqs = np.empty((rows.size, k))
+            for j, column in enumerate(asm.devices):
+                gms[:, j], ieqs[:, j] = column.linearize(v_ctrl[rows, j], rows)
+            self.newton_per_sample[rows] += 1
+            Wb = z_lin[rows] - np.matmul(WU[rows], ieqs[..., None])[..., 0]
+            VWb = asm.ctrl_project(Wb)
+            M = eye_k + VWU[rows] * gms[:, None, :]
+            try:
+                s_sol = np.linalg.solve(M, VWb[..., None])[..., 0]
+                x_new = Wb - np.matmul(WU[rows], (gms * s_sol)[..., None])[..., 0]
+            except np.linalg.LinAlgError:
+                # A sample's small matrix is singular along the rank-k
+                # directions: dense fallback per affected sample, the
+                # rest proceed through the same dense path this
+                # iteration (matches the per-sample engine, which also
+                # falls back for the whole iterate).
+                x_new = np.empty_like(Wb)
+                for j, s in enumerate(rows):
+                    try:
+                        sj = np.linalg.solve(M[j], VWb[j])
+                        x_new[j] = Wb[j] - WU[s] @ (gms[j] * sj)
+                    except np.linalg.LinAlgError:
+                        G = asm._active.G_base[s] + asm.U @ (
+                            gms[j][:, None] * asm.V.T
+                        )
+                        x_new[j] = solve_dense(G, rhs_lin[s] - asm.U @ ieqs[j])
+            delta = x_new - x[rows]
+            v_delta = np.abs(delta[:, :n])
+            maxd = v_delta.max(axis=1) if n else np.zeros(rows.size)
+            over = maxd > options.max_step
+            scale = np.where(over, options.max_step / np.where(over, maxd, 1.0), 1.0)
+            x[rows] += delta * scale[:, None]
+            maxd = np.minimum(maxd, options.max_step)
+            v_ctrl[rows] = asm.ctrl_project(x[rows])
+            conv = maxd < self._tol(x[rows])
+            active[rows[conv]] = False
+        if active.any():
+            raise self._fail(time, active)
+        return x
+
+
+class _BatchedRecording:
+    """Growable stacked ``(t, x[S])`` recording buffer."""
+
+    def __init__(
+        self,
+        n_samples: int,
+        n_columns: int,
+        capacity: int,
+        record_indices: Optional[np.ndarray],
+    ):
+        capacity = max(int(capacity), 4)
+        self._t = np.empty(capacity)
+        self._x = np.empty((capacity, n_samples, n_columns))
+        self._indices = record_indices
+        self._n = 0
+
+    def append(self, time: float, x: np.ndarray) -> None:
+        if self._n == self._t.size:
+            self._t = np.concatenate([self._t, np.empty(self._t.size)])
+            grown = np.empty((self._t.size,) + self._x.shape[1:])
+            grown[: self._n] = self._x
+            self._x = grown
+        self._t[self._n] = time
+        self._x[self._n] = x if self._indices is None else x[:, self._indices]
+        self._n += 1
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self._t[: self._n].copy(), self._x[: self._n]
+
+
+def run_transient_batched(
+    circuits: Sequence[Circuit],
+    options: Optional[TransientOptions] = None,
+) -> List[TransientResult]:
+    """Integrate S same-topology circuits in one lockstep time loop.
+
+    Returns one :class:`~repro.circuits.transient.TransientResult` per
+    input circuit, in order, equivalent to running
+    :func:`~repro.circuits.transient.run_transient` per sample (the
+    equivalence tests pin this at rtol 1e-9 for the strategies the
+    lockstep engine covers).  ``step_control="adaptive"`` integrates
+    every sample on one shared grid sized by the worst sample's LTE.
+
+    Raises :class:`BatchIncompatible` when the netlists cannot be
+    stacked: differing topology, nonlinear devices other than
+    :class:`~repro.circuits.controlled.NonlinearVCCS`, a non-``"auto"``
+    Jacobian mode, components outside the stamp split's vectorizable
+    vocabulary, or a singular stacked base matrix (see the exception's
+    docstring for when each case fires).
+    """
+    options = options or TransientOptions()
+    if options.jacobian != "auto":
+        raise BatchIncompatible(
+            f"jacobian={options.jacobian!r} has no lockstep equivalent"
+        )
+    assembly = BatchedTransientAssembly(
+        circuits,
+        options.dt,
+        options.method,
+        options.newton.gmin,
+        max_dt_entries=options.dt_cache_size,
+    )
+    circuits = assembly.circuits
+    S = assembly.n_samples
+    size = assembly.size
+
+    if options.use_dc_operating_point:
+        x = np.stack(
+            [solve_dc(c, options=options.newton).x for c in circuits]
+        )
+    else:
+        x = np.zeros((S, size))
+    assembly.init_state(x)
+
+    solver = _BatchedStepSolver(assembly, options.newton)
+
+    record_indices, recorded_nodes, n_columns = _resolve_recording(
+        circuits[0], options
+    )
+    if options.step_control == "fixed":
+        capacity = _fixed_record_count(options)
+    else:
+        capacity = int(options.t_stop / options.dt) // options.record_stride + 2
+    recorder = _BatchedRecording(S, n_columns, capacity, record_indices)
+
+    if options.step_control == "fixed":
+        run_stats = _run_fixed_lockstep(options, assembly, solver, x, recorder)
+    else:
+        run_stats = _run_adaptive_lockstep(
+            circuits, options, assembly, solver, x, recorder
+        )
+
+    times, records = recorder.arrays()
+    results: List[TransientResult] = []
+    for s, circuit in enumerate(circuits):
+        stats: Dict[str, object] = {
+            "strategy": solver.strategy,
+            "step_control": options.step_control,
+            "newton_iterations": int(solver.newton_per_sample[s]),
+            "lu_refactorizations": assembly.n_factorizations,
+            "batch_samples": S,
+        }
+        stats.update(run_stats)
+        results.append(
+            TransientResult(
+                circuit=circuit,
+                t=times,
+                x=records[:, s, :].copy(),
+                recorded_nodes=recorded_nodes,
+                stats=stats,
+            )
+        )
+    return results
+
+
+def _run_fixed_lockstep(
+    options: TransientOptions,
+    assembly: BatchedTransientAssembly,
+    solver: _BatchedStepSolver,
+    x: np.ndarray,
+    recorder: _BatchedRecording,
+) -> Dict[str, object]:
+    """The classic uniform grid, S samples wide."""
+    n_steps = int(round(options.t_stop / options.dt))
+    stride = options.record_stride
+    recorder.append(0.0, x)
+    for step in range(1, n_steps + 1):
+        time = step * options.dt
+        rhs_lin = assembly.step_rhs(time)
+        x = solver.step(x, rhs_lin, time)
+        assembly.commit(x)
+        if step % stride == 0:
+            recorder.append(time, x)
+    return {"steps": n_steps}
+
+
+def _run_adaptive_lockstep(
+    circuits: Sequence[Circuit],
+    options: TransientOptions,
+    assembly: BatchedTransientAssembly,
+    solver: _BatchedStepSolver,
+    x: np.ndarray,
+    recorder: _BatchedRecording,
+) -> Dict[str, object]:
+    """Worst-sample LTE control on one shared adaptive grid.
+
+    The step-doubling structure matches the per-sample adaptive loop;
+    the acceptance test is :meth:`StepController.error_ratio_many` —
+    a candidate step commits only when *every* sample's Richardson
+    estimate meets tolerance, so the shared grid is as fine as the
+    most demanding sample requires.  Breakpoints are the union of all
+    samples' stimulus discontinuities.
+    """
+    breakpoints = sorted(
+        set(
+            t
+            for circuit in circuits
+            for t in collect_breakpoints(
+                circuit, options.t_stop, options.breakpoints or ()
+            )
+        )
+    )
+    controller = StepController(
+        t_stop=options.t_stop,
+        dt_initial=options.dt,
+        dt_min=options.resolved_dt_min(),
+        dt_max=options.resolved_dt_max(),
+        method=options.method,
+        reltol=options.lte_reltol,
+        abstol=options.lte_abstol,
+        safety=options.lte_safety,
+        max_growth=options.max_step_growth,
+        breakpoints=breakpoints,
+    )
+    n_nodes = assembly.n_nodes
+    stride = options.record_stride
+    recorder.append(0.0, x)
+    while not controller.finished:
+        t = controller.t
+        t_target, dt = controller.propose()
+        ephemeral = dt != controller.dt
+        snapshot = assembly.snapshot_state()
+        try:
+            assembly.set_dt(dt, ephemeral=ephemeral)
+            rhs_lin = assembly.step_rhs(t_target)
+            x_full = solver.step(x, rhs_lin, t_target)
+            half = 0.5 * dt
+            t_mid = t + half
+            assembly.set_dt(half, ephemeral=ephemeral)
+            rhs_lin = assembly.step_rhs(t_mid)
+            x_mid = solver.step(x, rhs_lin, t_mid)
+            assembly.commit(x_mid)
+            rhs_lin = assembly.step_rhs(t_target)
+            x_half = solver.step(x_mid, rhs_lin, t_target)
+        except ConvergenceError:
+            assembly.restore_state(snapshot)
+            if controller.dt <= controller.dt_min * (1.0 + 1e-9):
+                raise
+            controller.reject_nonconvergence()
+            continue
+        ratio = controller.error_ratio_many(x_full, x_half, n_nodes)
+        if ratio <= 1.0:
+            assembly.commit(x_half)
+            x = x_half
+            controller.accept(t_target, dt, ratio)
+            if controller.accepted % stride == 0:
+                recorder.append(t_target, x)
+        else:
+            assembly.restore_state(snapshot)
+            controller.reject(ratio)
+    stats = controller.stats()
+    stats["steps"] = controller.accepted
+    stats["dt_cache_entries"] = assembly.n_dt_entries
+    return stats

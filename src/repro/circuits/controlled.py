@@ -104,6 +104,18 @@ class NonlinearVCCS(Component):
         characteristic evaluation (one ``tanh`` instead of three)
         measurably speeds up oscillator startup runs.  Takes
         precedence over ``func``/``dfunc`` inside :meth:`linearize`.
+    vector_pair, vector_params:
+        Optional *batchable* characteristic family: ``vector_pair``
+        is a callable ``(v, *params) -> (i, di/dv)`` accepting numpy
+        arrays broadcast elementwise, and ``vector_params`` are this
+        device's parameter values within the family.  The batched
+        lockstep transient engine (:mod:`~repro.circuits.batched`)
+        uses it to linearize the *same* device across all Monte-Carlo
+        samples in one vectorized call: devices whose ``vector_pair``
+        compare equal are stacked, their per-sample ``vector_params``
+        become arrays.  Must agree with the scalar linearization
+        (``pair`` if given, else ``func``/``dfunc``) — checked at
+        construction at a few probe voltages.
     """
 
     def __init__(
@@ -117,6 +129,8 @@ class NonlinearVCCS(Component):
         dfunc: Optional[Callable[[float], float]] = None,
         fd_step: float = 1e-6,
         pair: Optional[Callable[[float], "tuple[float, float]"]] = None,
+        vector_pair: Optional[Callable[..., "tuple[np.ndarray, np.ndarray]"]] = None,
+        vector_params: "tuple[float, ...]" = (),
     ):
         super().__init__(name, (out_p, out_n, ctrl_p, ctrl_n))
         if not callable(func):
@@ -127,6 +141,29 @@ class NonlinearVCCS(Component):
         if fd_step <= 0:
             raise NetlistError(f"{name}: fd_step must be positive")
         self.fd_step = fd_step
+        self.vector_pair = vector_pair
+        self.vector_params = tuple(float(p) for p in vector_params)
+        if vector_pair is not None:
+            # Probe off-origin too: odd characteristics (every limiter
+            # family here) agree with anything at v = 0, so a wrong
+            # sign or scale must be caught away from the origin.  The
+            # reference is linearize() itself — the pair-precedence
+            # rule included — since that is exactly what the batched
+            # engine's vectorized call replaces.
+            for v_probe in (0.0, 1e-3, -1e-3):
+                i_vec, g_vec = vector_pair(v_probe, *self.vector_params)
+                g_ref, ieq_ref = self.linearize(v_probe)
+                i_ref = ieq_ref + g_ref * v_probe
+                if abs(float(i_vec) - i_ref) > 1e-9 * max(1.0, abs(i_ref)):
+                    raise NetlistError(
+                        f"{name}: vector_pair disagrees with the scalar "
+                        f"characteristic at v={v_probe}"
+                    )
+                if abs(float(g_vec) - g_ref) > 1e-5 * abs(g_ref) + 1e-9:
+                    raise NetlistError(
+                        f"{name}: vector_pair slope disagrees with the "
+                        f"scalar linearization at v={v_probe}"
+                    )
 
     def is_nonlinear(self) -> bool:
         return True

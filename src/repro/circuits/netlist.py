@@ -123,8 +123,15 @@ class Circuit:
         func: Callable[[float], float],
         dfunc: Optional[Callable[[float], float]] = None,
         pair: Optional[Callable[[float], Tuple[float, float]]] = None,
+        vector_pair: Optional[Callable[..., Tuple[np.ndarray, np.ndarray]]] = None,
+        vector_params: Tuple[float, ...] = (),
     ) -> NonlinearVCCS:
-        return self.add(NonlinearVCCS(name, out_p, out_n, ctrl_p, ctrl_n, func, dfunc, pair=pair))  # type: ignore[return-value]
+        return self.add(
+            NonlinearVCCS(
+                name, out_p, out_n, ctrl_p, ctrl_n, func, dfunc, pair=pair,
+                vector_pair=vector_pair, vector_params=vector_params,
+            )
+        )  # type: ignore[return-value]
 
     def diode(self, name: str, anode: str, cathode: str, i_sat: float = DEFAULT_IS, n: float = DEFAULT_N) -> Diode:
         return self.add(Diode(name, anode, cathode, i_sat=i_sat, n=n))  # type: ignore[return-value]

@@ -58,9 +58,14 @@ def source_breakpoints(func: Callable[[float], float], t_stop: float) -> Tuple[f
 
 
 def dc(value: float) -> Callable[[float], float]:
-    """Constant stimulus."""
+    """Constant stimulus.
+
+    The returned function carries a ``constant`` annotation so batch
+    engines can hoist the value out of their time loops.
+    """
     def _f(_t: float) -> float:
         return value
+    _f.constant = float(value)
     return _f
 
 

@@ -193,6 +193,24 @@ class StepController:
         scale = float(np.abs(x_half[:n_nodes]).max())
         return err / (self.abstol + self.reltol * scale)
 
+    def error_ratio_many(
+        self, x_full: np.ndarray, x_half: np.ndarray, n_nodes: int
+    ) -> float:
+        """Worst-sample LTE ratio of a lockstep batch.
+
+        ``x_full``/``x_half`` are stacked ``(S, size)`` iterates.  The
+        batched transient engine integrates every sample on one shared
+        grid, so a candidate step is acceptable only when the *worst*
+        sample meets tolerance; each sample's ratio uses its own
+        signal scale, exactly like :meth:`error_ratio` would.
+        """
+        diff = x_full[:, :n_nodes] - x_half[:, :n_nodes]
+        if diff.size == 0:
+            return 0.0
+        err = np.abs(diff).max(axis=1) / self._err_div
+        scale = np.abs(x_half[:, :n_nodes]).max(axis=1)
+        return float((err / (self.abstol + self.reltol * scale)).max())
+
     def accept(self, t_taken: float, dt_taken: float, ratio: float) -> None:
         """Commit a step that met tolerance; grow the next step."""
         self.t = t_taken

@@ -570,6 +570,17 @@ class _StepSolver:
         raise self._fail(time, last_delta)
 
 
+def _fixed_record_count(options: TransientOptions) -> int:
+    """Records a fixed-grid run produces (initial sample included).
+
+    Shared by the per-sample engine, the batched lockstep engine, and
+    the shared-memory campaign streamer, whose preallocated block
+    shape must agree with the engines' recording cadence exactly.
+    """
+    n_steps = int(round(options.t_stop / options.dt))
+    return n_steps // options.record_stride + 1
+
+
 def _resolve_recording(
     circuit: Circuit, options: TransientOptions
 ) -> Tuple[Optional[np.ndarray], Optional[Tuple[str, ...]], int]:
@@ -731,8 +742,7 @@ def run_transient(circuit: Circuit, options: Optional[TransientOptions] = None) 
         circuit, options
     )
     if options.step_control == "fixed":
-        n_steps = int(round(options.t_stop / options.dt))
-        capacity = n_steps // options.record_stride + 1
+        capacity = _fixed_record_count(options)
     else:
         # Capacity guess: the run at its initial step size; the buffer
         # doubles if the controller ends up taking smaller steps.

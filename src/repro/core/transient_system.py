@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from ..analysis.waveform import Waveform
 from ..circuits import Circuit, TransientOptions, run_transient
@@ -30,6 +30,25 @@ __all__ = [
     "TransientStartupResult",
     "supply_loss_tank_circuit",
 ]
+
+
+@dataclass(frozen=True)
+class _NegatedVectorPair:
+    """Sign-flipped batchable characteristic family.
+
+    The oscillator driver injects ``-limiter(v)`` (negative
+    transconductance), so the limiter's vectorized ``(i, di/dv)``
+    family must be negated too.  A frozen dataclass (rather than a
+    closure) keeps equality structural: every Monte-Carlo sample wraps
+    the *same* module-level family function, so the batched transient
+    engine recognizes the drivers as one stackable family.
+    """
+
+    inner: Callable
+
+    def __call__(self, v, *params):
+        i, g = self.inner(v, *params)
+        return -i, -g
 
 
 def supply_loss_tank_circuit(
@@ -137,6 +156,13 @@ class OscillatorNetlist:
                     i, g = limiter.value_and_slope(v)
                     return -i, -g
 
+        vector_pair = None
+        vector_params = ()
+        spec = limiter.vector_pair_spec() if hasattr(limiter, "vector_pair_spec") else None
+        if spec is not None:
+            family, vector_params = spec
+            vector_pair = _NegatedVectorPair(family)
+
         circuit.nonlinear_vccs(
             "Gdrv",
             "lc1",
@@ -145,6 +171,8 @@ class OscillatorNetlist:
             "lc2",
             driver,
             pair=pair,
+            vector_pair=vector_pair,
+            vector_params=vector_params,
         )
         return circuit
 

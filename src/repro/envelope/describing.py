@@ -33,6 +33,8 @@ __all__ = [
     "LimiterCharacteristic",
     "HardLimiter",
     "TanhLimiter",
+    "hard_limiter_pair",
+    "tanh_limiter_pair",
     "K_SQUARE_WAVE",
     "fundamental_current",
     "effective_gm",
@@ -88,6 +90,19 @@ class LimiterCharacteristic:
         """Vectorized evaluation (default: loop over scalars)."""
         return np.asarray([self(float(x)) for x in np.asarray(v).ravel()])
 
+    def vector_pair_spec(self):
+        """Batchable characteristic family, or ``None``.
+
+        Returns ``(family, params)`` where ``family(v, *params)`` is a
+        module-level callable evaluating ``(i, di/dv)`` elementwise on
+        numpy arrays — the contract of ``NonlinearVCCS.vector_pair``.
+        Two limiters of the same family differ only in ``params``, so
+        the batched transient engine can stack many Monte-Carlo
+        instances of a driver and linearize them in one call.  The
+        base class has no closed-form slope, hence no family.
+        """
+        return None
+
     # -- describing-function quantities (quadrature defaults) ----------------
 
     def fundamental(self, amplitude: float, n: int = 2048) -> float:
@@ -113,6 +128,25 @@ class LimiterCharacteristic:
         return float(np.mean(np.abs(i)))
 
 
+def hard_limiter_pair(v, gm, i_max):
+    """Elementwise ``(i, di/dv)`` of a hard limiter (batchable family).
+
+    Matches :meth:`HardLimiter.value_and_slope` bit for bit on scalars
+    (same strict-inequality clipping convention).
+    """
+    i_lin = gm * np.asarray(v, dtype=float)
+    limited = (i_lin > i_max) | (i_lin < -i_max)
+    i = np.clip(i_lin, -i_max, i_max)
+    slope = np.where(limited, 0.0, gm)
+    return i, slope
+
+
+def tanh_limiter_pair(v, gm, i_max):
+    """Elementwise ``(i, di/dv)`` of a tanh limiter (batchable family)."""
+    t = np.tanh(gm * np.asarray(v, dtype=float) / i_max)
+    return i_max * t, gm * (1.0 - t * t)
+
+
 class HardLimiter(LimiterCharacteristic):
     """Piece-wise-linear limiter of Fig 2: linear slope gm clipped at ±IM.
 
@@ -133,6 +167,9 @@ class HardLimiter(LimiterCharacteristic):
 
     def sample(self, v: np.ndarray) -> np.ndarray:
         return np.clip(self.gm * np.asarray(v, dtype=float), -self.i_max, self.i_max)
+
+    def vector_pair_spec(self):
+        return hard_limiter_pair, (self.gm, self.i_max)
 
     def fundamental(self, amplitude: float, n: int = 2048) -> float:
         if amplitude < 0:
@@ -180,6 +217,9 @@ class TanhLimiter(LimiterCharacteristic):
 
     def sample(self, v: np.ndarray) -> np.ndarray:
         return self.i_max * np.tanh(self.gm * np.asarray(v, dtype=float) / self.i_max)
+
+    def vector_pair_spec(self):
+        return tanh_limiter_pair, (self.gm, self.i_max)
 
 
 def fundamental_current(limiter: LimiterCharacteristic, amplitude: float, n: int = 2048) -> float:

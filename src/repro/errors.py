@@ -16,6 +16,7 @@ __all__ = [
     "SimulationError",
     "FaultError",
     "ConfigurationError",
+    "BatchTaskError",
 ]
 
 
@@ -67,3 +68,24 @@ class FaultError(ReproError):
 
 class ConfigurationError(ReproError):
     """Raised when user-supplied configuration values are out of range."""
+
+
+class BatchTaskError(ReproError):
+    """Raised when a batch-campaign worker fails on one task.
+
+    Wraps the worker's original exception (available as ``__cause__``)
+    with the index and task that failed, so a mid-campaign error in a
+    thousand-sample Monte-Carlo run identifies exactly which seed died
+    instead of losing that information in a bare traceback.
+    """
+
+    def __init__(self, message: str, index: int, task: object = None):
+        super().__init__(message)
+        self.index = index
+        self.task = task
+
+    def __reduce__(self):
+        # Exception pickling replays args, which hold only the
+        # message; without this, a worker process raising
+        # BatchTaskError would break the pool on unpickling.
+        return type(self), (self.args[0], self.index, self.task)

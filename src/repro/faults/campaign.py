@@ -104,6 +104,12 @@ class FaultCampaign:
         pickles the bound ``run_single`` — i.e. this whole campaign,
         ``config_factory`` and catalog included — so every field must
         then be picklable (module-level functions, no lambdas).
+        ``batch_mode="vectorized"`` is accepted and degrades to the
+        sequential loop: the fault simulation core is behavioural
+        (event-driven, not MNA), so there is no stacked-array lockstep
+        for it.  A failing injection raises
+        :class:`~repro.errors.BatchTaskError` naming the fault's index
+        in the catalog.
     """
 
     config_factory: Callable[[], OscillatorConfig]

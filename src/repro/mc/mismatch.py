@@ -19,14 +19,19 @@ non-monotonic code 96).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import ConfigurationError
 from .distributions import make_rng, relative_errors
 
-__all__ = ["MismatchProfile", "DEFAULT_SIGMAS", "MismatchSigmas"]
+__all__ = [
+    "MismatchProfile",
+    "MismatchDrawSet",
+    "DEFAULT_SIGMAS",
+    "MismatchSigmas",
+]
 
 
 @dataclass(frozen=True)
@@ -46,6 +51,44 @@ class MismatchSigmas:
 
 
 DEFAULT_SIGMAS = MismatchSigmas()
+
+
+@dataclass(frozen=True)
+class MismatchDrawSet:
+    """Struct-of-arrays Monte-Carlo draws: one row per sample.
+
+    The batched campaign engine consumes whole campaigns at once, so
+    the draws come stacked — ``prescale_errors[i]`` is row ``i``'s
+    four prescaler errors, and :meth:`profile` reconstructs the exact
+    :class:`MismatchProfile` that ``MismatchProfile.sample(seed=
+    base_seed + i)`` would return (same per-seed generator, bit for
+    bit — the equality is pinned by tests).
+    """
+
+    base_seed: int
+    prescale_errors: np.ndarray  # (n, 4)
+    fixed_mirror_errors: np.ndarray  # (n, 4)
+    binary_bit_errors: np.ndarray  # (n, 7)
+    gm_stage_errors: np.ndarray  # (n, 5)
+
+    @property
+    def n(self) -> int:
+        return len(self.prescale_errors)
+
+    def seed(self, i: int) -> int:
+        return self.base_seed + i
+
+    def profile(self, i: int) -> "MismatchProfile":
+        """Row ``i`` as a scalar profile (== ``sample(base_seed + i)``)."""
+        return MismatchProfile(
+            prescale_errors=tuple(self.prescale_errors[i]),
+            fixed_mirror_errors=tuple(self.fixed_mirror_errors[i]),
+            binary_bit_errors=tuple(self.binary_bit_errors[i]),
+            gm_stage_errors=tuple(self.gm_stage_errors[i]),
+        )
+
+    def profiles(self) -> List["MismatchProfile"]:
+        return [self.profile(i) for i in range(self.n)]
 
 
 @dataclass(frozen=True)
@@ -111,6 +154,40 @@ class MismatchProfile:
             fixed_mirror_errors=tuple(relative_errors(generator, 4, sigmas.fixed_mirror)),
             binary_bit_errors=tuple(relative_errors(generator, 7, sigmas.binary_bit)),
             gm_stage_errors=tuple(relative_errors(generator, 5, sigmas.gm_stage)),
+        )
+
+    @classmethod
+    def sample_many(
+        cls,
+        n: int,
+        base_seed: int,
+        sigmas: MismatchSigmas = DEFAULT_SIGMAS,
+    ) -> MismatchDrawSet:
+        """Draw ``n`` seeded instances as struct-of-arrays.
+
+        Row ``i`` uses seed ``base_seed + i`` — its own generator, so
+        it is bitwise identical to ``sample(seed=base_seed + i,
+        sigmas=sigmas)`` and any sample remains reproducible in
+        isolation no matter how the campaign was executed.
+        """
+        if n <= 0:
+            raise ConfigurationError("n must be positive")
+        prescale = np.empty((n, 4))
+        fixed = np.empty((n, 4))
+        binary = np.empty((n, 7))
+        gm = np.empty((n, 5))
+        for i in range(n):
+            rng = make_rng(base_seed + i)
+            prescale[i] = relative_errors(rng, 4, sigmas.prescale)
+            fixed[i] = relative_errors(rng, 4, sigmas.fixed_mirror)
+            binary[i] = relative_errors(rng, 7, sigmas.binary_bit)
+            gm[i] = relative_errors(rng, 5, sigmas.gm_stage)
+        return MismatchDrawSet(
+            base_seed=base_seed,
+            prescale_errors=prescale,
+            fixed_mirror_errors=fixed,
+            binary_bit_errors=binary,
+            gm_stage_errors=gm,
         )
 
     @classmethod

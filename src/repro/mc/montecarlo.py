@@ -36,7 +36,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 import numpy as np
 
 from ..campaigns import BatchOptions, run_batch, run_chain
-from ..errors import ConfigurationError
+from ..errors import BatchTaskError, ConfigurationError
 from .mismatch import DEFAULT_SIGMAS, MismatchProfile, MismatchSigmas
 
 __all__ = ["MonteCarloResult", "run_monte_carlo", "chain_metric"]
@@ -59,11 +59,21 @@ def chain_metric(func: F) -> F:
 
 @dataclass
 class MonteCarloResult:
-    """Per-sample metric values with summary statistics."""
+    """Per-sample metric values with summary statistics.
+
+    ``waveforms`` is populated by campaigns that stream full
+    trajectories (a :class:`~repro.campaigns.vectorized.
+    TransientMetricSpec` with a ``waveform`` extractor): one
+    :class:`~repro.analysis.waveform.Waveform` per sample, in seed
+    order, which is what turns a scalar Monte-Carlo summary into
+    amplitude percentile *bands* (:meth:`envelope_quantiles`).
+    """
 
     metric_name: str
     values: np.ndarray
     seeds: List[int]
+    #: One streamed waveform per sample (None for scalar campaigns).
+    waveforms: Optional[List] = None
 
     @property
     def n(self) -> int:
@@ -90,6 +100,33 @@ class MonteCarloResult:
             f"std={self.std:.3g} min={self.values.min():.6g} "
             f"max={self.values.max():.6g}"
         )
+
+    def envelope_quantiles(
+        self, q: Sequence[float]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Amplitude percentile bands from the streamed waveforms.
+
+        Extracts each sample's peak envelope, interpolates every
+        envelope onto the first sample's time grid (lockstep campaigns
+        share it already), and returns ``(t, bands)`` where
+        ``bands[j]`` is the ``q[j]`` quantile of the envelope across
+        samples at each time point — the campaign-level "startup
+        amplitude spread" picture the scalar summary cannot give.
+        """
+        if not self.waveforms:
+            raise ConfigurationError(
+                "no waveforms were streamed; run the campaign with a "
+                "TransientMetricSpec carrying a waveform extractor"
+            )
+        from ..analysis import envelope_by_peaks
+
+        t = self.waveforms[0].t
+        envelopes = np.empty((len(self.waveforms), t.size))
+        for i, waveform in enumerate(self.waveforms):
+            envelope = envelope_by_peaks(waveform)
+            envelopes[i] = np.interp(t, envelope.t, envelope.y)
+        bands = np.quantile(envelopes, np.asarray(q, dtype=float), axis=0)
+        return t, bands
 
 
 def _evaluate_sample(
@@ -142,6 +179,53 @@ def run_monte_carlo(
     if n_samples <= 0:
         raise ConfigurationError("n_samples must be positive")
     seeds = [base_seed + i for i in range(n_samples)]
+    # A metric split into build/evaluate halves routes through the
+    # transient-campaign front-end, which picks the execution strategy
+    # (lockstep batch, shared-memory processes, plain loop) from the
+    # BatchOptions policy.  Duck-type gate first, import second:
+    # behavioural/scalar campaigns must not pay for (or depend on)
+    # the circuits layer at all.
+    is_spec = (
+        hasattr(metric, "build")
+        and hasattr(metric, "options")
+        and hasattr(metric, "evaluate")
+    )
+    if is_spec:
+        from ..campaigns.runner import wrap_task_error
+        from ..campaigns.vectorized import (
+            TransientMetricSpec,
+            run_transient_campaign,
+        )
+
+        # A callable that merely happens to carry these attributes is
+        # still a plain metric; only real specs take this path.
+        is_spec = isinstance(metric, TransientMetricSpec)
+    if is_spec:
+        profiles = MismatchProfile.sample_many(
+            n_samples, base_seed, sigmas
+        ).profiles()
+        results = run_transient_campaign(
+            profiles, metric.build, metric.options, batch
+        )
+        values = np.empty(n_samples)
+        waveforms = [] if metric.waveform is not None else None
+        for index, (profile, result) in enumerate(zip(profiles, results)):
+            try:
+                values[index] = float(metric.evaluate(profile, result))
+                if waveforms is not None:
+                    waveforms.append(metric.waveform(result))
+            except BatchTaskError:
+                raise
+            except Exception as exc:
+                raise wrap_task_error(
+                    exc, index, profile, action="metric evaluation failed"
+                ) from exc
+        return MonteCarloResult(
+            metric_name=metric_name if metric_name != "metric" else metric.name,
+            values=values,
+            seeds=seeds,
+            waveforms=waveforms,
+        )
     if getattr(metric, "supports_carry", False):
         if warm_start and (batch is None or not batch.parallel):
             worker = partial(_evaluate_chain_sample, metric=metric, sigmas=sigmas)

@@ -88,3 +88,163 @@ class TestSweeps:
         corners = [_Corner("tt", 1.0), _Corner("ss", 2.0)]
         result = corner_sweep(lambda c: c.value * 2, corners)
         assert result == {"tt": 2.0, "ss": 4.0}
+
+
+class TestBatchModes:
+    def test_auto_workers_resolve_to_cpu_count(self):
+        import os
+
+        options = BatchOptions(max_workers="auto")
+        assert options.resolved_max_workers() == (os.cpu_count() or 1)
+
+    def test_process_mode_defaults_to_auto_workers(self):
+        import os
+
+        options = BatchOptions(batch_mode="process")
+        assert options.resolved_max_workers() == (os.cpu_count() or 1)
+
+    def test_invalid_modes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BatchOptions(batch_mode="turbo")
+        with pytest.raises(ConfigurationError):
+            BatchOptions(max_workers="all")
+
+    def test_sequential_mode_never_parallel(self):
+        assert not BatchOptions(max_workers=8, batch_mode="sequential").parallel
+        assert not BatchOptions(max_workers=8, batch_mode="vectorized").parallel
+
+    def test_vectorized_without_hook_falls_back_sequential(self):
+        calls = []
+
+        def worker(task):
+            calls.append(task)
+            return task * 2
+
+        result = run_batch(worker, [1, 2], BatchOptions(batch_mode="vectorized"))
+        assert result == [2, 4]
+        assert calls == [1, 2]
+
+    def test_vectorized_dispatches_run_many(self):
+        def worker(task):
+            raise AssertionError("per-task path must not run")
+
+        worker.run_many = lambda tasks: [t * 10 for t in tasks]
+        result = run_batch(worker, [1, 2], BatchOptions(batch_mode="vectorized"))
+        assert result == [10, 20]
+
+
+def _failing_worker(task):
+    if task == 7:
+        raise ValueError("kaboom")
+    return task
+
+
+class TestErrorWrapping:
+    def test_sequential_failure_carries_index_and_task(self):
+        from repro.errors import BatchTaskError
+
+        with pytest.raises(BatchTaskError) as excinfo:
+            run_batch(_failing_worker, [5, 6, 7, 8])
+        assert excinfo.value.index == 2
+        assert excinfo.value.task == 7
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_parallel_failure_carries_index(self):
+        from repro.errors import BatchTaskError
+
+        with pytest.raises(BatchTaskError) as excinfo:
+            run_batch(_failing_worker, [5, 7, 6], BatchOptions(max_workers=2))
+        assert excinfo.value.index == 1
+        assert excinfo.value.task == 7
+
+    def test_batch_task_error_pickles_round_trip(self):
+        # Worker processes raise BatchTaskError across the pool
+        # boundary; a non-picklable exception would break the pool.
+        import pickle
+
+        from repro.errors import BatchTaskError
+
+        error = BatchTaskError("msg", index=3, task=7)
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.index == 3
+        assert clone.task == 7
+        assert str(clone) == "msg"
+
+    def test_process_mode_is_forced_even_for_one_worker(self):
+        import os
+
+        options = BatchOptions(batch_mode="process", max_workers=1)
+        assert options.parallel
+        # A single task still goes through the pool: process isolation
+        # is the point of forcing the mode.
+        pids = run_batch(_worker_pid, [0], options)
+        assert pids[0] != os.getpid()
+
+    def test_vectorized_run_many_failure_wrapped_collectively(self):
+        from repro.errors import BatchTaskError
+
+        def worker(task):
+            raise AssertionError("per-task path must not run")
+
+        def run_many(tasks):
+            raise ValueError("lockstep died")
+
+        worker.run_many = run_many
+        with pytest.raises(BatchTaskError) as excinfo:
+            run_batch(worker, [1, 2], BatchOptions(batch_mode="vectorized"))
+        assert excinfo.value.index == -1
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_vectorized_failure_attributes_failed_samples(self):
+        from repro.errors import BatchTaskError
+
+        def worker(task):
+            raise AssertionError("per-task path must not run")
+
+        def run_many(tasks):
+            error = ValueError("sample 1 diverged")
+            error.failed_samples = [1]
+            raise error
+
+        worker.run_many = run_many
+        with pytest.raises(BatchTaskError) as excinfo:
+            run_batch(worker, ["a", "b"], BatchOptions(batch_mode="vectorized"))
+        assert excinfo.value.index == 1
+        assert excinfo.value.task == "b"
+
+
+def _worker_pid(task):
+    import os
+
+    return os.getpid()
+
+
+class TestChunkedAttribution:
+    def test_chunked_parallel_failure_attributes_true_index(self):
+        # A chunked map surfaces a failed chunk's exception at the
+        # chunk's first drain position; child-side wrapping must still
+        # name the task that actually died.
+        from repro.errors import BatchTaskError
+
+        tasks = [5, 6, 8, 9, 7, 10, 11, 12]
+        with pytest.raises(BatchTaskError) as excinfo:
+            run_batch(
+                _failing_worker,
+                tasks,
+                BatchOptions(max_workers=2, chunksize=4),
+            )
+        assert excinfo.value.index == 4
+        assert excinfo.value.task == 7
+
+
+class TestRunChainErrors:
+    def test_chain_failures_propagate_raw(self):
+        # Continuation callers (dc_sweep, warm-started MC) document
+        # typed errors; run_chain must not rewrap them.
+        def worker(task, carry):
+            if task == 3:
+                raise ValueError("diverged")
+            return task, carry
+
+        with pytest.raises(ValueError):
+            run_chain(worker, [1, 2, 3, 4])

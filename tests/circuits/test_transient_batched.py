@@ -1,0 +1,367 @@
+"""Batched lockstep engine vs the per-sample reference path.
+
+The contract under test: for every netlist family the lockstep engine
+accepts, ``run_transient_batched(circuits, options)[s]`` matches
+``run_transient(circuits[s], options)`` at rtol 1e-9 — across all
+per-sample solve strategies (``linear``/``rank1``/``woodbury``/
+``general``), both integration methods, ragged Newton convergence,
+and the recording options campaigns actually use.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    BatchIncompatible,
+    Circuit,
+    TransientOptions,
+    run_transient,
+    run_transient_batched,
+    sine,
+)
+from repro.core import OscillatorNetlist, supply_loss_tank_circuit
+from repro.envelope import RLCTank, TanhLimiter
+from repro.envelope.describing import tanh_limiter_pair
+from repro.errors import SimulationError
+
+
+F0 = 4e6
+T0 = 1.0 / F0
+
+
+def build_rlc(r, amplitude=1.0):
+    """Linear strategy: R + C + L + sources, no nonlinear devices."""
+    circuit = Circuit("rlc")
+    circuit.voltage_source("Vin", "in", "0", sine(amplitude, 1e5))
+    circuit.resistor("R", "in", "out", r)
+    circuit.capacitor("C", "out", "0", 1e-9)
+    circuit.inductor("L", "out", "tail", 1e-6)
+    circuit.resistor("R2", "tail", "0", 50.0)
+    circuit.current_source("Ib", "out", "0", 1e-4)
+    return circuit
+
+
+def build_oscillator(gm_scale, q_scale=1.0):
+    """Rank-1 strategy: the Fig 1 startup netlist, one NonlinearVCCS."""
+    tank = RLCTank.from_frequency_and_q(F0, 15.0 * q_scale, 1e-6)
+    limiter = TanhLimiter(gm=6e-3 * gm_scale, i_max=2e-3)
+    return OscillatorNetlist(tank, vref=2.5).build(limiter)
+
+
+def build_k_vccs(k, gm, vectorized=True):
+    """k NonlinearVCCS devices: woodbury (k<=4) / general (k>4)."""
+    circuit = Circuit(f"k{k}")
+    circuit.voltage_source("Vin", "in", "0", sine(0.5, 1e5))
+    circuit.resistor("R", "in", "a", 100.0)
+    circuit.capacitor("C", "a", "0", 1e-9)
+    circuit.resistor("RL", "a", "0", 1e3)
+    for j in range(k):
+        node = f"o{j}"
+        gm_j = gm * (1.0 + 0.1 * j)
+        circuit.resistor(f"Ro{j}", node, "0", 500.0)
+        circuit.capacitor(f"Co{j}", node, "0", 1e-10)
+
+        def func(v, g=gm_j):
+            return 1e-3 * np.tanh(g * v / 1e-3)
+
+        circuit.nonlinear_vccs(
+            f"G{j}",
+            node,
+            "0",
+            "a",
+            "0",
+            func,
+            vector_pair=tanh_limiter_pair if vectorized else None,
+            vector_params=(gm_j, 1e-3) if vectorized else (),
+        )
+    return circuit
+
+
+def assert_batch_equivalent(builders, options, rtol=1e-9, atol=1e-15):
+    per_sample = [run_transient(build(), options) for build in builders]
+    batched = run_transient_batched([build() for build in builders], options)
+    assert len(batched) == len(per_sample)
+    for reference, stacked in zip(per_sample, batched):
+        np.testing.assert_array_equal(stacked.t, reference.t)
+        np.testing.assert_allclose(stacked.x, reference.x, rtol=rtol, atol=atol)
+    return per_sample, batched
+
+
+@pytest.mark.parametrize("method", ["trap", "be"])
+class TestStrategyEquivalence:
+    def options(self, method, **kw):
+        kw.setdefault("t_stop", 2e-5)
+        kw.setdefault("dt", 1e-8)
+        kw.setdefault("use_dc_operating_point", True)
+        return TransientOptions(method=method, **kw)
+
+    def test_linear(self, method):
+        builders = [lambda r=r: build_rlc(r) for r in (100.0, 150.0, 220.0)]
+        per, bat = assert_batch_equivalent(builders, self.options(method))
+        assert per[0].stats["strategy"] == "linear"
+        assert bat[0].stats["strategy"] == "batched-linear"
+
+    def test_rank1(self, method):
+        options = TransientOptions(
+            t_stop=20 * T0,
+            dt=T0 / 40,
+            method=method,
+            use_dc_operating_point=False,
+        )
+        builders = [
+            lambda g=g: build_oscillator(g) for g in (0.9, 1.0, 1.15, 1.3)
+        ]
+        per, bat = assert_batch_equivalent(builders, options)
+        assert per[0].stats["strategy"] == "rank1"
+        assert bat[0].stats["strategy"] == "batched-rank1"
+
+    def test_woodbury(self, method):
+        builders = [
+            lambda g=g: build_k_vccs(3, g) for g in (2e-3, 2.5e-3, 3e-3)
+        ]
+        per, bat = assert_batch_equivalent(
+            builders, self.options(method), atol=1e-12
+        )
+        assert per[0].stats["strategy"] == "woodbury"
+        assert bat[0].stats["strategy"] == "batched-woodbury"
+
+    def test_general(self, method):
+        # 5 devices put the per-sample engine on its general full-
+        # Newton path; the lockstep engine stacks them as rank-k.
+        builders = [
+            lambda g=g: build_k_vccs(5, g) for g in (2e-3, 2.5e-3, 3e-3)
+        ]
+        per, bat = assert_batch_equivalent(
+            builders, self.options(method), atol=1e-12
+        )
+        assert per[0].stats["strategy"] == "general"
+        assert bat[0].stats["strategy"] == "batched-woodbury"
+
+    def test_scalar_linearize_fallback(self, method):
+        # Devices without a batchable family loop over linearize();
+        # the results must not change.
+        builders = [
+            lambda g=g: build_k_vccs(2, g, vectorized=False)
+            for g in (2e-3, 3e-3)
+        ]
+        assert_batch_equivalent(builders, self.options(method), atol=1e-12)
+
+
+class TestRaggedConvergence:
+    def test_samples_take_different_newton_counts(self):
+        # Widely spread drive strengths: saturation onset differs per
+        # sample, so Newton counts are ragged while results still pin
+        # to the per-sample engine.
+        options = TransientOptions(
+            t_stop=20 * T0,
+            dt=T0 / 40,
+            use_dc_operating_point=False,
+        )
+        scales = (0.8, 1.0, 1.4, 2.0)
+        builders = [lambda g=g: build_oscillator(g) for g in scales]
+        per, bat = assert_batch_equivalent(builders, options)
+        per_counts = [r.stats["newton_iterations"] for r in per]
+        bat_counts = [r.stats["newton_iterations"] for r in bat]
+        # The convergence mask reproduces each sample's own count.
+        assert bat_counts == per_counts
+        assert len(set(bat_counts)) > 1, "spread should be ragged"
+
+
+class TestRecordingOptions:
+    def test_record_nodes_and_stride(self):
+        options = TransientOptions(
+            t_stop=20 * T0,
+            dt=T0 / 40,
+            use_dc_operating_point=False,
+            record_nodes=("lc1", "lc2"),
+            record_stride=4,
+        )
+        builders = [lambda g=g: build_oscillator(g) for g in (0.9, 1.2)]
+        per, bat = assert_batch_equivalent(builders, options)
+        assert bat[0].recorded_nodes == ("lc1", "lc2")
+        assert bat[0].x.shape[1] == 2
+        # Unrecorded nodes still raise, like the per-sample result.
+        with pytest.raises(SimulationError):
+            bat[0].waveform("mid")
+
+    def test_stats_carry_batch_info(self):
+        options = TransientOptions(
+            t_stop=5 * T0, dt=T0 / 40, use_dc_operating_point=False
+        )
+        bat = run_transient_batched(
+            [build_oscillator(1.0), build_oscillator(1.1)], options
+        )
+        assert bat[0].stats["batch_samples"] == 2
+        assert bat[0].stats["steps"] == 200
+
+
+class TestAdaptiveLockstep:
+    def test_shared_worst_sample_grid(self):
+        circuits = [
+            supply_loss_tank_circuit(F0, 10 * T0, q=q) for q in (12.0, 18.0)
+        ]
+        options = TransientOptions(
+            t_stop=40 * T0,
+            dt=T0 / 40,
+            step_control="adaptive",
+            use_dc_operating_point=False,
+            dt_min=T0 / 640,
+            dt_max=4 * T0,
+        )
+        results = run_transient_batched(circuits, options)
+        # One shared (non-uniform) grid for every sample.
+        np.testing.assert_array_equal(results[0].t, results[1].t)
+        dts = np.diff(results[0].t)
+        assert dts.min() < dts.max() / 2, "grid should actually adapt"
+        # The fault breakpoint is landed on exactly.
+        assert np.any(np.isclose(results[0].t, 10 * T0, rtol=0, atol=1e-18))
+        assert results[0].stats["breakpoints_hit"] >= 1
+        # Stats parity with the per-sample adaptive engine.
+        assert results[0].stats["dt_cache_entries"] >= 1
+
+    def test_adaptive_matches_fine_fixed_shape(self):
+        circuits = lambda: [
+            supply_loss_tank_circuit(F0, 10 * T0, q=q) for q in (12.0, 18.0)
+        ]
+        adaptive = run_transient_batched(
+            circuits(),
+            TransientOptions(
+                t_stop=30 * T0,
+                dt=T0 / 40,
+                step_control="adaptive",
+                use_dc_operating_point=False,
+                dt_min=T0 / 640,
+                dt_max=2 * T0,
+                lte_reltol=2e-4,
+            ),
+        )
+        fine = [
+            run_transient(
+                c,
+                TransientOptions(
+                    t_stop=30 * T0, dt=T0 / 320, use_dc_operating_point=False
+                ),
+            )
+            for c in circuits()
+        ]
+        for a, f in zip(adaptive, fine):
+            wa = a.differential("lc1", "lc2")
+            wf = f.differential("lc1", "lc2")
+            ya = np.interp(wf.t, wa.t, wa.y)
+            mask = wf.t < 9 * T0  # driven phase
+            scale = np.max(np.abs(wf.y[mask]))
+            assert np.max(np.abs(ya[mask] - wf.y[mask])) < 0.02 * scale
+
+
+class TestIncompatibility:
+    def test_topology_mismatch(self):
+        a = build_rlc(100.0)
+        b = build_rlc(100.0)
+        b.resistor("Rextra", "out", "0", 1e4)
+        with pytest.raises(BatchIncompatible):
+            run_transient_batched(
+                [a, b], TransientOptions(t_stop=1e-6, dt=1e-9)
+            )
+
+    def test_unsupported_nonlinear_device(self):
+        def diode_circuit():
+            c = Circuit("d")
+            c.voltage_source("V", "in", "0", 1.0)
+            c.resistor("R", "in", "a", 1e3)
+            c.diode("D", "a", "0")
+            c.capacitor("C", "a", "0", 1e-9)
+            return c
+
+        with pytest.raises(BatchIncompatible):
+            run_transient_batched(
+                [diode_circuit(), diode_circuit()],
+                TransientOptions(t_stop=1e-6, dt=1e-9),
+            )
+
+    def test_non_auto_jacobian(self):
+        with pytest.raises(BatchIncompatible):
+            run_transient_batched(
+                [build_oscillator(1.0)],
+                TransientOptions(t_stop=1e-6, dt=1e-9, jacobian="chord"),
+            )
+
+    def test_empty_batch(self):
+        with pytest.raises(SimulationError):
+            run_transient_batched([], TransientOptions(t_stop=1e-6, dt=1e-9))
+
+
+class TestVectorPairContract:
+    def test_vector_pair_must_match_scalar_func(self):
+        from repro.errors import NetlistError
+
+        c = Circuit("bad")
+        with pytest.raises(NetlistError):
+            c.nonlinear_vccs(
+                "G",
+                "a",
+                "0",
+                "a",
+                "0",
+                lambda v: 1.0 + v,  # i(0) = 1
+                vector_pair=tanh_limiter_pair,  # i(0) = 0
+                vector_params=(1e-3, 1e-3),
+            )
+
+    def test_oscillator_driver_declares_family(self):
+        circuit = build_oscillator(1.0)
+        device = circuit["Gdrv"]
+        assert device.vector_pair is not None
+        # Structural equality across samples is what makes stacking
+        # possible: two builds must compare equal.
+        other = build_oscillator(2.0)["Gdrv"]
+        assert device.vector_pair == other.vector_pair
+        i, g = device.vector_pair(
+            np.array([0.0, 0.1]), *[np.array([p, p]) for p in device.vector_params]
+        )
+        gm_ref, ieq_ref = device.linearize(0.1)
+        np.testing.assert_allclose(g[1], gm_ref, rtol=1e-12)
+        np.testing.assert_allclose(i[1] - g[1] * 0.1, ieq_ref, rtol=1e-12)
+
+
+class TestVectorPairValidation:
+    def test_sign_flipped_family_rejected(self):
+        # An odd characteristic agrees with anything at v = 0; the
+        # off-origin probes must catch a sign flip.
+        from repro.errors import NetlistError
+
+        import math
+
+        def flipped(v, gm, i_max):
+            i, g = tanh_limiter_pair(v, gm, i_max)
+            return -i, -g
+
+        c = Circuit("flip")
+        with pytest.raises(NetlistError):
+            c.nonlinear_vccs(
+                "G",
+                "a",
+                "0",
+                "a",
+                "0",
+                lambda v: 1e-3 * math.tanh(2e-3 * v / 1e-3),
+                vector_pair=flipped,
+                vector_params=(2e-3, 1e-3),
+            )
+
+    def test_wrong_scale_family_rejected(self):
+        from repro.errors import NetlistError
+
+        import math
+
+        c = Circuit("scale")
+        with pytest.raises(NetlistError):
+            c.nonlinear_vccs(
+                "G",
+                "a",
+                "0",
+                "a",
+                "0",
+                lambda v: 1e-3 * math.tanh(2e-3 * v / 1e-3),
+                vector_pair=tanh_limiter_pair,
+                vector_params=(4e-3, 1e-3),  # double the real gm
+            )

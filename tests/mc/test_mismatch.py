@@ -1,5 +1,6 @@
 """Tests for mismatch profiles."""
 
+import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
@@ -80,3 +81,32 @@ def test_property_sampled_ratios_positive(seed):
     assert p.prescale_gain(8) > 0
     assert p.fixed_mirror_units(0b1111) > 0
     assert p.gm_gain(0b1111) > 0
+
+
+class TestSampleMany:
+    def test_rows_equal_per_seed_samples(self):
+        draws = MismatchProfile.sample_many(12, base_seed=777)
+        assert draws.n == 12
+        for i in range(12):
+            assert draws.profile(i) == MismatchProfile.sample(seed=777 + i)
+            assert draws.seed(i) == 777 + i
+
+    def test_struct_of_arrays_shapes(self):
+        draws = MismatchProfile.sample_many(5, base_seed=1)
+        assert draws.prescale_errors.shape == (5, 4)
+        assert draws.fixed_mirror_errors.shape == (5, 4)
+        assert draws.binary_bit_errors.shape == (5, 7)
+        assert draws.gm_stage_errors.shape == (5, 5)
+        assert len(draws.profiles()) == 5
+
+    def test_custom_sigmas_flow_through(self):
+        from repro.mc.mismatch import MismatchSigmas
+
+        sigmas = MismatchSigmas(prescale=0.0)
+        draws = MismatchProfile.sample_many(3, base_seed=5, sigmas=sigmas)
+        assert np.all(draws.prescale_errors == 0.0)
+        assert draws.profile(1) == MismatchProfile.sample(seed=6, sigmas=sigmas)
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MismatchProfile.sample_many(0, base_seed=1)

@@ -114,3 +114,101 @@ class TestWarmStartedChains:
         cold = run_monte_carlo(cold_metric, 10, base_seed=42)
         np.testing.assert_allclose(warm.values, cold.values, rtol=1e-6)
         assert iterations["warm"] < iterations["cold"]
+
+
+def _build_startup_circuit(profile):
+    """Module-level oscillator build for the vectorized metric tests."""
+    from repro.core import OscillatorNetlist
+    from repro.envelope import RLCTank, TanhLimiter
+
+    gm_scale = 1.0 + profile.gm_stage_errors[0]
+    q_scale = 1.0 + profile.prescale_errors[0]
+    tank = RLCTank.from_frequency_and_q(4e6, 15.0 * q_scale, 1e-6)
+    limiter = TanhLimiter(gm=6e-3 * gm_scale, i_max=2e-3)
+    return OscillatorNetlist(tank, vref=2.5).build(limiter)
+
+
+def _startup_amplitude(profile, result):
+    return float(
+        np.max(np.abs(result.waveform("lc1").y - result.waveform("lc2").y))
+    )
+
+
+def _startup_options():
+    from repro.circuits import TransientOptions
+
+    return TransientOptions(
+        t_stop=20 / 4e6,
+        dt=1.0 / (4e6 * 40),
+        method="trap",
+        use_dc_operating_point=False,
+        record_nodes=("lc1", "lc2"),
+    )
+
+
+def _plain_startup_metric(profile):
+    from repro.circuits import run_transient
+
+    result = run_transient(_build_startup_circuit(profile), _startup_options())
+    return _startup_amplitude(profile, result)
+
+
+class TestTransientMetricSpec:
+    def spec(self, waveform=False):
+        from repro.campaigns import TransientMetricSpec
+
+        return TransientMetricSpec(
+            name="startup_amplitude",
+            build=_build_startup_circuit,
+            options=_startup_options(),
+            evaluate=_startup_amplitude,
+            waveform=(lambda r: r.differential("lc1", "lc2"))
+            if waveform
+            else None,
+        )
+
+    def test_vectorized_matches_plain_metric(self):
+        from repro.campaigns import BatchOptions
+
+        plain = run_monte_carlo(
+            _plain_startup_metric, 6, base_seed=42, metric_name="amp"
+        )
+        vectorized = run_monte_carlo(
+            self.spec(),
+            6,
+            base_seed=42,
+            batch=BatchOptions(batch_mode="vectorized"),
+        )
+        np.testing.assert_allclose(
+            vectorized.values, plain.values, rtol=1e-9
+        )
+        assert vectorized.seeds == plain.seeds
+        assert vectorized.metric_name == "startup_amplitude"
+        assert vectorized.waveforms is None
+
+    def test_waveform_streaming_and_envelope_quantiles(self):
+        from repro.campaigns import BatchOptions
+
+        result = run_monte_carlo(
+            self.spec(waveform=True),
+            8,
+            base_seed=42,
+            batch=BatchOptions(batch_mode="vectorized"),
+        )
+        assert result.waveforms is not None
+        assert len(result.waveforms) == 8
+        t, bands = result.envelope_quantiles((0.1, 0.5, 0.9))
+        assert bands.shape == (3, t.size)
+        # Percentile bands are ordered and bracket the median tail.
+        tail = slice(-20, None)
+        assert np.all(bands[0][tail] <= bands[1][tail] + 1e-15)
+        assert np.all(bands[1][tail] <= bands[2][tail] + 1e-15)
+        # The terminal band values bracket the per-sample amplitudes.
+        assert bands[2].max() <= result.values.max() * 1.001
+
+    def test_envelope_quantiles_without_waveforms_raises(self):
+        from repro.errors import ConfigurationError
+
+        scalar = run_monte_carlo(_plain_startup_metric, 3, base_seed=1)
+        with pytest.raises(ConfigurationError):
+            scalar.envelope_quantiles((0.5,))
