@@ -27,6 +27,13 @@ default) so future PRs have a perf trajectory to regress against:
   ``(S, n, n)`` systems, one time loop, per-sample Newton masks.
   Baseline: the optimized *per-sample* engine run sample by sample on
   the same machine; per-sample amplitudes must match at rtol 1e-9.
+* ``ladder_transient_dense_vs_sparse`` — the distributed sensing-coil
+  ladder (:class:`repro.sensor.coils.DistributedCoil`): an N-segment
+  RLC transmission-line netlist with hundreds of unknowns, the first
+  workload family where the sparse backend
+  (:mod:`repro.circuits.backend`) wins.  Baseline: the dense backend
+  on the identical netlist and grid; the two waveforms must match at
+  rtol 1e-9.
 * ``fault_coverage`` — the §7 FMEA campaign (behavioural system
   model).  Its simulation core is not MNA-based, so the recorded
   baseline is the same code path; the entry tracks absolute seconds.
@@ -73,6 +80,14 @@ from repro.core import FailureKind, OscillatorNetlist, supply_loss_tank_circuit
 from repro.envelope import RLCTank, TanhLimiter
 from repro.faults import FaultCampaign
 from repro.mc.mismatch import MismatchProfile
+from repro.sensor.coils import DistributedCoil
+
+try:
+    import scipy as _scipy
+
+    SCIPY_VERSION = _scipy.__version__
+except ImportError:  # pragma: no cover - the sparse workload skips
+    SCIPY_VERSION = None
 
 from common import standard_config
 
@@ -376,6 +391,59 @@ def bench_mc_startup_batched(n_samples: int = 64, cycles: int = 20) -> dict:
     }
 
 
+# -- distributed-coil ladder: dense vs sparse backend ------------------------
+
+
+def bench_ladder_dense_vs_sparse(segments: int = 250, cycles: int = 40) -> dict:
+    """The sparse backend's raison d'être, measured honestly.
+
+    One linear N-segment coil ladder, one fixed grid, identical RHS
+    work per step — the dense and sparse runs differ *only* in the
+    linear algebra, so the speedup is the backend's own.  The
+    waveforms must agree at rtol 1e-9 (same equations, different
+    factorization), and the deterministic counters (steps, Newton
+    solves — zero for a linear netlist) gate engine regressions.
+    """
+    coil = DistributedCoil(TANK, n_segments=segments)
+
+    def options(backend):
+        return TransientOptions(
+            t_stop=cycles / TANK.frequency,
+            dt=1.0 / (TANK.frequency * 40),
+            use_dc_operating_point=False,
+            record_nodes=("lc1", "lc2"),
+            backend=backend,
+        )
+
+    dense_seconds, dense = _timed(
+        lambda: run_transient(coil.build_circuit(), options("dense"))
+    )
+    sparse_seconds, sparse = _timed(
+        lambda: run_transient(coil.build_circuit(), options("sparse"))
+    )
+    scale = float(np.abs(dense.x).max())
+    np.testing.assert_allclose(
+        sparse.x, dense.x, rtol=1e-9, atol=1e-9 * scale,
+        err_msg="sparse backend diverged from dense on the ladder",
+    )
+    assert sparse.stats["backend"] == "sparse"
+    assert dense.stats["backend"] == "dense"
+    return {
+        "workload": f"distributed-coil ladder, {segments} segments "
+        f"({coil.unknown_count} unknowns), {cycles} carrier cycles, "
+        "dense vs sparse backend",
+        "baseline": "dense backend, identical netlist/grid (live, same machine)",
+        "segments": segments,
+        "cycles": cycles,
+        "unknowns": coil.unknown_count,
+        "seed_seconds": dense_seconds,
+        "optimized_seconds": sparse_seconds,
+        "speedup": dense_seconds / sparse_seconds,
+        "optimized_newton_iterations": sparse.stats["newton_iterations"],
+        "optimized_steps": sparse.stats["steps"],
+    }
+
+
 # -- FMEA fault coverage -----------------------------------------------------
 
 
@@ -404,9 +472,13 @@ def bench_fault_coverage() -> dict:
 
 
 def run_benches(
-    cycles: int, samples: int, supply_cycles: int, batched_samples: int
+    cycles: int,
+    samples: int,
+    supply_cycles: int,
+    batched_samples: int,
+    ladder_segments: int,
 ) -> dict:
-    return {
+    benches = {
         "fig16_startup": bench_fig16_startup(cycles),
         "fig16_startup_adaptive": bench_fig16_adaptive(cycles),
         "supply_loss_adaptive": bench_supply_loss_adaptive(supply_cycles),
@@ -414,6 +486,11 @@ def run_benches(
         "mc_startup_batched": bench_mc_startup_batched(batched_samples),
         "fault_coverage": bench_fault_coverage(),
     }
+    if SCIPY_VERSION is not None:
+        benches["ladder_transient_dense_vs_sparse"] = (
+            bench_ladder_dense_vs_sparse(ladder_segments)
+        )
+    return benches
 
 
 #: Deterministic gate metrics: ratios where higher is better (gated
@@ -422,7 +499,7 @@ def run_benches(
 #: changes and are immune to machine load; wall-clock speedup is only
 #: a loose catastrophic floor on every workload.
 _RATIO_METRICS = ("newton_solve_ratio", "step_ratio")
-_WORK_METRICS = ("optimized_newton_iterations",)
+_WORK_METRICS = ("optimized_newton_iterations", "optimized_steps")
 _WALL_SLACK_FACTOR = 2.5
 
 
@@ -442,7 +519,12 @@ def check_against_baseline(baseline: dict, tolerance: float) -> int:
     samples = recorded.get("mc_startup", {}).get("n_samples", 16)
     supply_cycles = recorded.get("supply_loss_adaptive", {}).get("cycles", 400)
     batched_samples = recorded.get("mc_startup_batched", {}).get("n_samples", 64)
-    fresh = run_benches(cycles, samples, supply_cycles, batched_samples)
+    ladder_segments = recorded.get("ladder_transient_dense_vs_sparse", {}).get(
+        "segments", 250
+    )
+    fresh = run_benches(
+        cycles, samples, supply_cycles, batched_samples, ladder_segments
+    )
 
     failures = 0
     for name, old in recorded.items():
@@ -531,7 +613,10 @@ def main(argv=None) -> int:
     samples = 4 if args.quick else 16
     supply_cycles = 120 if args.quick else 400
     batched_samples = 8 if args.quick else 64
-    benches = run_benches(cycles, samples, supply_cycles, batched_samples)
+    ladder_segments = 80 if args.quick else 250
+    benches = run_benches(
+        cycles, samples, supply_cycles, batched_samples, ladder_segments
+    )
     payload = {
         "generated_by": "benchmarks/run_perf.py",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -541,6 +626,7 @@ def main(argv=None) -> int:
         "environment": {
             "python": sys.version.split()[0],
             "numpy": np.__version__,
+            "scipy": SCIPY_VERSION,
             "cpu_count": os.cpu_count(),
         },
         "benches": benches,

@@ -1,0 +1,82 @@
+"""Simulating a distributed sensing coil: the sparse backend at work.
+
+Every netlist in the paper is lumped — the sensing coil is one ``L``
+plus one ``Rs`` between the LC pins.  Physically it is a winding:
+inductance and loss distributed along hundreds of turns, with
+inter-winding capacitance to the surrounding structure.
+:class:`repro.sensor.DistributedCoil` scales the lumped tank into an
+N-segment RLC transmission line (``L/N`` + ``Rs/N`` per segment,
+shunt parasitics at every junction, the pin capacitors still lumped
+at the ends), which keeps the fundamental resonance while exposing
+the line modes — and grows the MNA system to ``3N + 1`` unknowns.
+
+That growth is what the pluggable linear-algebra backend
+(:mod:`repro.circuits.backend`) exists for:
+
+* ``backend="dense"`` — the historical path: dense matrices,
+  :class:`~repro.circuits.linsolve.ReusableLU`.  Unbeatable below
+  ~100 unknowns, O(n^2) per step beyond.
+* ``backend="sparse"`` — the same stamp stream finalized as CSR and
+  factored once per step size by ``scipy.sparse.linalg.splu``; every
+  step then costs one near-linear sparse solve.
+* ``backend="auto"`` (the default everywhere) — dense below the
+  measured crossover, sparse above; you only ever *need* to name a
+  backend in comparisons like this one.
+
+Run:  python examples/large_netlist.py
+
+Typical output (shared CI box): at 250 segments (751 unknowns) the
+sparse backend finishes the same 40-cycle transient ~7x faster than
+dense, with waveforms matching at rtol 1e-9; ``backend="auto"``
+picks sparse on its own.
+"""
+
+import time
+
+import numpy as np
+
+from repro.circuits import TransientOptions, run_transient
+from repro.envelope import RLCTank
+from repro.sensor import DistributedCoil
+
+TANK = RLCTank.from_frequency_and_q(4e6, 15.0, 1e-6)
+CYCLES = 40
+
+
+def run(n_segments: int, backend: str):
+    coil = DistributedCoil(TANK, n_segments=n_segments)
+    circuit = coil.build_circuit(drive_current=1e-3)
+    options = TransientOptions(
+        t_stop=CYCLES / TANK.frequency,
+        dt=1.0 / (TANK.frequency * 40),
+        use_dc_operating_point=False,
+        record_nodes=("lc1", "lc2"),  # campaigns never pay for 3N+1 columns
+        backend=backend,
+    )
+    start = time.perf_counter()
+    result = run_transient(circuit, options)
+    return time.perf_counter() - start, result
+
+
+def main() -> None:
+    print(f"{'N':>5} {'unknowns':>9} {'dense':>9} {'sparse':>9} "
+          f"{'speedup':>8}  auto picks")
+    for n_segments in (25, 60, 150, 250):
+        coil = DistributedCoil(TANK, n_segments=n_segments)
+        dense_s, dense = run(n_segments, "dense")
+        sparse_s, sparse = run(n_segments, "sparse")
+        _, auto = run(n_segments, "auto")
+        scale = float(np.abs(dense.x).max())
+        np.testing.assert_allclose(
+            sparse.x, dense.x, rtol=1e-9, atol=1e-9 * scale
+        )
+        print(
+            f"{n_segments:>5} {coil.unknown_count:>9} {dense_s:>8.3f}s "
+            f"{sparse_s:>8.3f}s {dense_s / sparse_s:>7.2f}x  "
+            f"{auto.stats['backend']}"
+        )
+    print("\nwaveforms agree at rtol 1e-9 on every row; 'auto' needs no tuning")
+
+
+if __name__ == "__main__":
+    main()

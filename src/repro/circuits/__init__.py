@@ -16,6 +16,10 @@ Solver internals (importable for tests/benchmarks):
 
 * :mod:`~repro.circuits.linsolve` — shared dense solve, Newton
   damping, reusable LU factorizations.
+* :mod:`~repro.circuits.backend` — pluggable dense/sparse linear-
+  algebra backends (``backend="auto"|"dense"|"sparse"`` on every
+  analysis): dense for the paper's lumped netlists, CSR + splu for
+  distributed netlists with hundreds-to-thousands of unknowns.
 * :mod:`~repro.circuits.assembly` — incremental transient stamping:
   linear stamps cached once per step size (small per-``dt`` LRU),
   nonlinear devices restamped per Newton iteration.
@@ -28,6 +32,12 @@ Solver internals (importable for tests/benchmarks):
 """
 
 from .ac import ACResult, run_ac
+from .backend import (
+    DenseBackend,
+    MatrixBackend,
+    SparseBackend,
+    resolve_backend,
+)
 from .batched import BatchIncompatible, run_transient_batched
 from .corners import FAST_COLD, FAST_HOT, SLOW_COLD, SLOW_HOT, TYPICAL, ProcessCorner
 from .component import Component, MNASystem, StampContext
@@ -47,6 +57,10 @@ from .transient import TransientOptions, TransientResult, run_transient
 __all__ = [
     "ACResult",
     "run_ac",
+    "MatrixBackend",
+    "DenseBackend",
+    "SparseBackend",
+    "resolve_backend",
     "BatchIncompatible",
     "run_transient_batched",
     "ProcessCorner",

@@ -14,6 +14,7 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from ..errors import AnalysisError
+from .backend import SparseBackend, resolve_backend
 from .component import ACStampContext
 from .dcop import NewtonOptions, OperatingPoint, solve_dc
 from .netlist import Circuit
@@ -80,23 +81,32 @@ def run_ac(
     frequencies: Sequence[float],
     operating_point: Optional[OperatingPoint] = None,
     newton: Optional[NewtonOptions] = None,
+    backend: object = "auto",
 ) -> ACResult:
     """Solve the linearized circuit at each frequency.
 
     AC stimuli are taken from each source's ``ac_magnitude``.
+    ``backend`` selects the linear-algebra path (see
+    :mod:`~repro.circuits.backend`): with the sparse backend each
+    frequency point assembles complex COO triplets and solves through
+    a CSR splu factorization instead of a dense complex matrix.
     """
-    circuit.prepare()
+    size = circuit.prepare()
+    backend_obj = resolve_backend(backend, size)
     freqs = np.asarray(list(frequencies), dtype=float)
     if freqs.size == 0 or np.any(freqs <= 0):
         raise AnalysisError("frequencies must be positive and non-empty")
     if operating_point is None:
-        operating_point = solve_dc(circuit, options=newton)
-    size = circuit.size
+        operating_point = solve_dc(circuit, options=newton, backend=backend_obj)
     solutions = np.zeros((freqs.size, size), dtype=complex)
     for k, freq in enumerate(freqs):
         omega = 2.0 * np.pi * freq
         ctx = ACStampContext(
-            G=np.zeros((size, size), dtype=complex),
+            G=(
+                np.zeros((size, size), dtype=complex)
+                if backend_obj.is_dense
+                else None
+            ),
             rhs=np.zeros(size, dtype=complex),
             omega=omega,
             x_op=operating_point.x,
@@ -104,9 +114,14 @@ def run_ac(
         for component in circuit:
             component.stamp_ac(ctx)
         for i in range(circuit.n_nodes):
-            ctx.G[i, i] += 1e-12
-        try:
-            solutions[k] = np.linalg.solve(ctx.G, ctx.rhs)
-        except np.linalg.LinAlgError:
-            solutions[k], *_ = np.linalg.lstsq(ctx.G, ctx.rhs, rcond=None)
+            ctx.add_G(i, i, 1e-12)
+        if backend_obj.is_dense:
+            try:
+                solutions[k] = np.linalg.solve(ctx.G, ctx.rhs)
+            except np.linalg.LinAlgError:
+                solutions[k], *_ = np.linalg.lstsq(ctx.G, ctx.rhs, rcond=None)
+        else:
+            rows, cols, vals = ctx.coo()
+            matrix = SparseBackend.csr_from_coo(rows, cols, vals, size)
+            solutions[k] = backend_obj.factor(matrix).solve(ctx.rhs)
     return ACResult(circuit=circuit, frequencies=freqs, x=solutions)

@@ -12,7 +12,12 @@ the system exactly as often as it can change:
 
 * **once per step size** — the base matrix ``G_base``: all linear
   matrix stamps (R, switches, L/C companion conductances, source
-  branch rows, VCVS/VCCS) plus the global ``gmin`` diagonal.  Every
+  branch rows, VCVS/VCCS) plus the global ``gmin`` diagonal,
+  recorded as a COO triplet stream and finalized by the run's
+  :class:`~repro.circuits.backend.MatrixBackend` — dense (frozen
+  ndarray + :class:`~repro.circuits.linsolve.ReusableLU`) or CSR
+  (``splu``), with the stream's sparsity pattern computed once per
+  netlist and shared by every step size.  Every
   ``(dt, method)``-dependent product — the base matrix, its cached
   factorization, the vectorized companion coefficients, the rank-k
   solve data — lives in a per-``dt`` cache entry; a small LRU of
@@ -42,14 +47,21 @@ matrix assembly or LAPACK factorization at all in the inner loop.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from .component import Component, MNASystem, StampContext
+from .backend import MatrixBackend, csr_scatter, resolve_backend
+from .component import (
+    Component,
+    MNASystem,
+    StampContext,
+    StampPattern,
+    TripletSystem,
+)
 from .controlled import NonlinearVCCS
 from .elements import Capacitor, Inductor
-from .linsolve import ReusableLU
+from .linsolve import ReusableLU, solve_dense
 from .netlist import Circuit
 
 __all__ = ["DtCache", "TransientAssembly"]
@@ -58,6 +70,14 @@ __all__ = ["DtCache", "TransientAssembly"]
 #: fast path covers (k in 2..4); beyond that the dense general Newton
 #: path wins because the small-matrix bookkeeping stops being small.
 MAX_WOODBURY_RANK = 4
+
+#: System size from which the companion-RHS scatter switches from a
+#: dense mat-vec to a CSR product.  The dense product is O(size * m)
+#: with m reactive elements — on a distributed ladder that is O(n^2)
+#: per step, dwarfing the sparse solve it feeds.  Kept well above
+#: every lumped netlist so the small-circuit hot path (and its
+#: bit-pinned goldens) is untouched.
+_SPARSE_SCATTER_MIN = 128
 
 
 class _ReactiveCoeffs:
@@ -130,6 +150,11 @@ class _ReactiveSet:
         for j, l in enumerate(inds):
             S[l._b[0], len(caps) + j] += 1.0
         self.scatter = S
+        #: CSR view of the scatter for large (distributed) systems,
+        #: where the dense mat-vec is O(size * m) of mostly zeros.
+        self.scatter_csr = (
+            csr_scatter(S) if n and size >= _SPARSE_SCATTER_MIN else None
+        )
 
         # State arrays, filled by init_state().
         self.v = np.zeros(n)
@@ -176,6 +201,8 @@ class _ReactiveSet:
         if not self.n:
             return np.zeros(self.size)
         term = co.alpha * self.v + co.beta * self.i
+        if self.scatter_csr is not None:
+            return self.scatter_csr.dot(term)
         return self.scatter.dot(term)
 
     def commit(self, co: _ReactiveCoeffs, x_padded: np.ndarray, x: np.ndarray) -> None:
@@ -258,17 +285,28 @@ class DtCache:
 
 
 class _DtEntry:
-    """Everything the engine caches for one quantized step size."""
+    """Everything the engine caches for one quantized step size.
 
-    __slots__ = ("dt", "G_base", "coeffs", "lu", "rank1", "woodbury", "chord")
+    ``G_base`` is whatever the active backend finalizes — a frozen
+    dense ndarray or a CSR matrix — and ``lu`` the matching
+    factorization object; every consumer goes through the backend-
+    agnostic ``solve`` interface.
+    """
 
-    def __init__(self, dt: float, G_base: np.ndarray, coeffs: _ReactiveCoeffs):
+    __slots__ = (
+        "dt", "G_base", "coeffs", "lu", "rank1", "woodbury", "chord", "delta"
+    )
+
+    def __init__(self, dt: float, G_base, coeffs: _ReactiveCoeffs):
         self.dt = dt
         self.G_base = G_base
         self.coeffs = coeffs
-        self.lu: Optional[ReusableLU] = None  # lazy
+        self.lu = None  # lazy backend factorization
         self.rank1: Optional[tuple] = None  # lazy (w, vw, w_vmax)
         self.woodbury: Optional[tuple] = None  # lazy (WU, VWU)
+        #: Sparse general-Newton data: (pattern_version, W = G_base^-1 U)
+        #: for the nonlinear components' touched-row selector U (lazy).
+        self.delta: Optional[tuple] = None
         #: Frozen chord-Newton Jacobian for this step size (lazy).  A
         #: per-entry slot keeps the chord strategy's whole point —
         #: reusing one factorization across iterations *and* steps —
@@ -295,6 +333,7 @@ class TransientAssembly:
         method: str,
         gmin: float,
         max_dt_entries: int = 8,
+        backend: Union[str, MatrixBackend, None] = "auto",
     ):
         circuit.prepare()
         self.circuit = circuit
@@ -302,6 +341,7 @@ class TransientAssembly:
         self.gmin = gmin
         self.size = circuit.size
         self.n_nodes = circuit.n_nodes
+        self.backend = resolve_backend(backend, self.size)
 
         split, full = circuit.partition_components()
         self._split: List[Component] = split
@@ -346,6 +386,32 @@ class TransientAssembly:
         self._rankk_U: Optional[np.ndarray] = None
         self._rankk_ctrl: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
+        #: Structure of the static stamp stream, captured on the first
+        #: entry build and reused by every later one (structure/value
+        #: split: only the values depend on dt).
+        self._pattern: Optional[StampPattern] = None
+        self._static_ctx = StampContext(
+            system=None,  # a TripletSystem per build
+            x=np.zeros(self.size),
+            time=0.0,
+            dt=dt,
+            method=method,
+            gmin=gmin,
+        )
+        # Sparse general-Newton scratch: the nonlinear components'
+        # per-iteration stamps recorded as a (tiny) triplet stream and
+        # applied against the base LU as a low-rank update.
+        self._delta_scratch = TripletSystem(self.size)
+        self._delta_rows: List[int] = []
+        self._delta_cols: List[int] = []
+        self._delta_row_pos: Dict[int, int] = {}
+        self._delta_col_pos: Dict[int, int] = {}
+        self._delta_version = 0
+        # Matrix guard handed to the RHS scratch in sparse mode: any
+        # stamp_dynamic that (incorrectly) writes matrix entries hits
+        # an empty array and fails loudly.
+        self._guard_G = np.zeros((0, 0))
+
         #: Factorizations performed inside entries that were later
         #: evicted from the LRU (kept so diagnostics never undercount).
         self.retired_factorizations = 0
@@ -358,24 +424,17 @@ class TransientAssembly:
     # -- dt-keyed cache -------------------------------------------------------
 
     def _build_entry(self, dt: float) -> _DtEntry:
-        system = MNASystem(self.size)
-        ctx = StampContext(
-            system=system,
-            x=np.zeros(self.size),
-            time=0.0,
-            dt=dt,
-            method=self.method,
-            gmin=self.gmin,
-        )
+        tri = TripletSystem(self.size)
+        ctx = self._static_ctx
+        ctx.system = tri
+        ctx.dt = dt
         for component in self._split:
             component.stamp_static(ctx)
         for i in range(self.n_nodes):
-            system.add_G(i, i, self.gmin)
-        G = system.G
-        # Freeze the cache: a stamp_dynamic that (incorrectly) writes
-        # matrix entries must fail loudly, not corrupt every later
-        # iteration's base copy.
-        G.setflags(write=False)
+            tri.add_G(i, i, self.gmin)
+        if self._pattern is None or not self._pattern.matches(tri):
+            self._pattern = tri.pattern()
+        G = self.backend.finalize(self._pattern, tri.values())
         return _DtEntry(dt, G, self.reactive.coeffs(dt, self.method))
 
     def set_dt(self, dt: float, ephemeral: bool = False) -> None:
@@ -389,12 +448,23 @@ class TransientAssembly:
         self._ctx.dt = dt
 
     def _retire(self, entry: Optional[_DtEntry]) -> None:
-        """Keep the factorization count honest across evictions."""
+        """Count, then release, an evicted entry's factorizations.
+
+        Dropping the references (rather than letting the evicted entry
+        keep them alive through stray aliases) is what bounds the
+        memory of a long adaptive run: a sparse LU of a large ladder
+        is far bigger than the CSR matrix it factors.
+        """
         if entry is None:
             return
-        for lu in (entry.lu, entry.chord):
+        for attr in ("lu", "chord"):
+            lu = getattr(entry, attr)
             if lu is not None:
                 self.retired_factorizations += lu.n_factorizations
+                setattr(entry, attr, None)
+        entry.rank1 = None
+        entry.woodbury = None
+        entry.delta = None
 
     @property
     def dt(self) -> float:
@@ -402,19 +472,22 @@ class TransientAssembly:
         return self._active.dt
 
     @property
-    def G_base(self) -> np.ndarray:
-        """The cached (frozen) base matrix of the active step size."""
+    def G_base(self):
+        """The cached base matrix of the active step size (a frozen
+        dense ndarray or a CSR matrix, per the backend)."""
         return self._active.G_base
 
     @property
     def n_dt_entries(self) -> int:
         return len(self._cache)
 
-    def lu(self) -> ReusableLU:
-        """Cached factorization of the active base matrix (lazy)."""
+    def lu(self):
+        """Cached backend factorization of the active base matrix
+        (lazy): :class:`~repro.circuits.linsolve.ReusableLU` dense,
+        :class:`~repro.circuits.backend.SparseLU` sparse."""
         entry = self._active
         if entry.lu is None:
-            entry.lu = ReusableLU(entry.G_base)
+            entry.lu = self.backend.factor(entry.G_base)
         return entry.lu
 
     def chord_lu(self) -> ReusableLU:
@@ -569,7 +642,11 @@ class TransientAssembly:
         rhs = self.reactive.companion_rhs(self._active.coeffs)
         if self.dynamic:
             ctx = self._ctx
-            self._scratch.G = self.G_base  # not written by stamp_dynamic
+            # Not written by stamp_dynamic: the frozen dense base, or
+            # an empty guard in sparse mode — either fails loudly.
+            self._scratch.G = (
+                self.G_base if self.backend.is_dense else self._guard_G
+            )
             self._scratch.rhs = rhs
             ctx.x = x
             ctx.time = time
@@ -600,6 +677,84 @@ class TransientAssembly:
             for component in self.full:
                 component.stamp(ctx)
         return G, rhs
+
+    # -- sparse general Newton: base LU + low-rank delta ----------------------
+
+    def _delta_map(self, indices: List[int], positions: Dict[int, int], order: List[int]) -> np.ndarray:
+        """Local slots of global indices, extending the union pattern."""
+        local = np.empty(len(indices), dtype=np.intp)
+        for j, idx in enumerate(indices):
+            slot = positions.get(idx)
+            if slot is None:
+                slot = len(order)
+                positions[idx] = slot
+                order.append(idx)
+                self._delta_version += 1
+            local[j] = slot
+        return local
+
+    def _delta_W(self) -> np.ndarray:
+        """``G_base^-1 U`` for the touched-row selector ``U``, cached
+        per dt entry and invalidated when the touched-position union
+        grows (a nonlinear device stamping a new position)."""
+        entry = self._active
+        if entry.delta is None or entry.delta[0] != self._delta_version:
+            U = np.zeros((self.size, len(self._delta_rows)))
+            U[self._delta_rows, np.arange(len(self._delta_rows))] = 1.0
+            entry.delta = (self._delta_version, self.lu().solve(U))
+        return entry.delta[1]
+
+    def delta_solve(
+        self,
+        x: np.ndarray,
+        rhs_lin: np.ndarray,
+        time: float,
+        states: Dict[str, object],
+    ) -> np.ndarray:
+        """Solve the fully-stamped system against the sparse base LU.
+
+        The sparse backend's replacement for ``assemble`` + dense
+        solve: the nonlinear (or split-incapable) components' stamps
+        are recorded as a tiny triplet stream, viewed as the low-rank
+        update ``G = G_base + U M V^T`` — ``U``/``V`` select the
+        touched rows/columns (a fixed, small set per netlist), ``M``
+        is the dense submatrix of this iteration's stamp values — and
+        folded into the solution by the generalized Woodbury identity
+        around the cached per-``dt`` factorization.  No sparse
+        refactorization, no dense assembly, exact to rounding: the
+        Newton iterates match the dense path at solver tolerance.
+        """
+        tri = self._delta_scratch
+        tri.clear()
+        ctx = self._ctx
+        ctx.system = tri
+        ctx.x = x
+        ctx.time = time
+        ctx.states = states
+        for component in self.full:
+            component.stamp(ctx)
+        ctx.system = self._scratch
+        b = rhs_lin + tri.rhs
+        lu = self.lu()
+        z = lu.solve(b)
+        if not tri.rows:
+            return z
+        r_loc = self._delta_map(tri.rows, self._delta_row_pos, self._delta_rows)
+        c_loc = self._delta_map(tri.cols, self._delta_col_pos, self._delta_cols)
+        W = self._delta_W()
+        M = np.zeros((len(self._delta_rows), len(self._delta_cols)))
+        np.add.at(M, (r_loc, c_loc), tri.vals)
+        cols = np.asarray(self._delta_cols, dtype=np.intp)
+        S = np.eye(len(cols)) + W[cols, :].dot(M)
+        try:
+            s = np.linalg.solve(S, z[cols])
+        except np.linalg.LinAlgError:
+            # Momentarily singular along the update directions: fall
+            # back to one dense solve (rare, never the steady path).
+            G = self.G_base.toarray()
+            np.add.at(G, (tri.rows, tri.cols), tri.vals)
+            return solve_dense(G, b)
+        return z - W.dot(M.dot(s))
 
     # -- after a converged step ----------------------------------------------
 

@@ -1,0 +1,254 @@
+"""Pluggable dense/sparse linear-algebra backends for the MNA engines.
+
+Every analysis in :mod:`repro.circuits` reduces to the same three
+operations on the assembled MNA system: *finalize* a recorded stamp
+stream into a matrix, *factor* that matrix, and *solve* against the
+factorization for many right-hand sides.  This module makes the
+storage behind those operations pluggable so the engines scale past
+the paper's hand-built netlists:
+
+* :class:`DenseBackend` — the historical path, bit-pinned to the
+  pre-refactor results: dense ``(n, n)`` matrices finalized with
+  stream-order accumulation (:meth:`~repro.circuits.component.
+  StampPattern.dense`) and factored by :class:`~repro.circuits.
+  linsolve.ReusableLU` (explicit inverse below 64 unknowns, partial-
+  pivoting LU above, least-squares degradation for singular systems).
+  Right for the few-node lumped netlists where LAPACK call overhead
+  dominates arithmetic.
+* :class:`SparseBackend` — CSR matrices finalized from the same stamp
+  stream (:meth:`~repro.circuits.component.StampPattern.csr_arrays`)
+  and factored once per step size by ``scipy.sparse.linalg.splu``;
+  the factorization is reused for every solve at that step size, and
+  the engines' Sherman–Morrison / Woodbury rank-k Newton updates are
+  applied *against* the sparse LU, so nonlinear steps never
+  re-factorize.  Right for distributed netlists (coil ladders,
+  segmented rails) with hundreds-to-thousands of unknowns, where the
+  MNA matrix is overwhelmingly empty.
+
+Selection
+---------
+Callers pass ``backend="auto" | "dense" | "sparse"`` (or an instance).
+``"auto"`` picks dense below :data:`SPARSE_AUTO_THRESHOLD` unknowns
+and sparse at or above it — the crossover measured on the ladder
+workloads of ``benchmarks/run_perf.py``.  Explicit names override for
+tests and benchmarks.
+
+scipy degradation
+-----------------
+scipy is an optional accelerator everywhere in this library
+(mirroring :mod:`~repro.circuits.linsolve`).  Without it,
+``"auto"`` silently resolves to :class:`DenseBackend` — correct on
+every netlist, merely slower on large ones — while an *explicit*
+``backend="sparse"`` request raises :class:`~repro.errors.
+SimulationError` immediately with instructions, rather than failing
+deep inside an engine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import SimulationError
+from .component import StampPattern
+from .linsolve import ReusableLU
+
+try:  # scipy is an optional accelerator; numpy covers every path.
+    from scipy import sparse as _sparse
+    from scipy.sparse.linalg import splu as _splu
+
+    _HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - exercised via the no-scipy tests
+    _sparse = None
+    _splu = None
+    _HAVE_SCIPY = False
+
+__all__ = [
+    "MatrixBackend",
+    "DenseBackend",
+    "SparseBackend",
+    "SparseLU",
+    "resolve_backend",
+    "csr_scatter",
+    "SPARSE_AUTO_THRESHOLD",
+]
+
+
+def csr_scatter(matrix: np.ndarray):
+    """CSR view of a dense scatter/gather operator, or None sans scipy.
+
+    The vectorized companion-state machinery multiplies by a
+    ``(size, m)`` scatter operator with at most two entries per
+    column; on distributed netlists the dense product is the single
+    biggest per-step cost, so large assemblies swap in this CSR view
+    when scipy allows.
+    """
+    if not _HAVE_SCIPY:
+        return None
+    return _sparse.csr_matrix(matrix)
+
+#: Unknown count at which ``backend="auto"`` switches from dense to
+#: sparse.  Below it the dense solve is a single cache-friendly BLAS
+#: call; above it the O(n^2) dense triangular solves (and the O(n^3)
+#: factorizations behind them) lose to the near-linear sparse path.
+#: Measured on the ladder workloads of ``benchmarks/run_perf.py``:
+#: dense still wins at ~60 unknowns, sparse wins ~1.6x at ~120 and
+#: the gap widens to >10x by ~1200.
+SPARSE_AUTO_THRESHOLD = 100
+
+
+class MatrixBackend:
+    """Protocol for a linear-algebra storage/factorization strategy.
+
+    A backend turns the *value* half of a stamp stream into a matrix
+    object (dense ndarray or CSR) and factors such matrices into
+    objects exposing ``solve(rhs)`` (vector or multi-column) plus an
+    ``n_factorizations`` counter for the engine diagnostics.
+    """
+
+    name: str = "abstract"
+    #: Whether matrices produced by this backend are dense ndarrays
+    #: (the engines use this to gate dense-only strategies like the
+    #: chord Jacobian and per-iteration full restamping).
+    is_dense: bool = False
+
+    def finalize(self, pattern: StampPattern, values: np.ndarray):
+        """Materialize one assembly's matrix from its value stream."""
+        raise NotImplementedError
+
+    def factor(self, matrix):
+        """Factor a finalized matrix; returns a solver object."""
+        raise NotImplementedError
+
+
+class DenseBackend(MatrixBackend):
+    """The historical dense path, bit-pinned to pre-backend results."""
+
+    name = "dense"
+    is_dense = True
+
+    def finalize(self, pattern: StampPattern, values: np.ndarray) -> np.ndarray:
+        G = pattern.dense(values)
+        # Freeze: cached base matrices are shared by reference; a stamp
+        # that (incorrectly) writes one must fail loudly.
+        G.setflags(write=False)
+        return G
+
+    def factor(self, matrix: np.ndarray) -> ReusableLU:
+        return ReusableLU(matrix)
+
+
+class SparseLU:
+    """A cached ``scipy.sparse.linalg.splu`` factorization.
+
+    The sparse counterpart of :class:`~repro.circuits.linsolve.
+    ReusableLU`: factor once, solve any number of (possibly multi-
+    column) right-hand sides, degrade to a dense least-squares solve
+    when the matrix is singular (floating nodes under fault injection)
+    so callers never need their own error handling.
+    """
+
+    def __init__(self, matrix):
+        self._matrix = matrix
+        self._lu = None
+        self._dense: Optional[np.ndarray] = None
+        self.n_factorizations = 1
+        try:
+            self._lu = _splu(matrix.tocsc())
+        except (RuntimeError, ValueError):
+            # Exactly singular: remember the densified matrix for the
+            # minimum-norm fallback (rare, never the hot path).
+            self._dense = matrix.toarray()
+
+    @property
+    def is_singular(self) -> bool:
+        return self._lu is None
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        if self._lu is not None:
+            return self._lu.solve(np.ascontiguousarray(rhs))
+        solution, *_ = np.linalg.lstsq(self._dense, rhs, rcond=None)
+        return solution
+
+
+class SparseBackend(MatrixBackend):
+    """CSR storage with splu factorization reuse.
+
+    Construction fails fast with :class:`~repro.errors.
+    SimulationError` when scipy is unavailable; use
+    :func:`resolve_backend` with ``"auto"`` for the silent dense
+    fallback instead.
+    """
+
+    name = "sparse"
+    is_dense = False
+
+    def __init__(self):
+        if not _HAVE_SCIPY:
+            raise SimulationError(
+                "backend='sparse' requires scipy (scipy.sparse.linalg.splu); "
+                "install scipy or use backend='auto'/'dense', which run "
+                "every netlist on the dense path"
+            )
+
+    def finalize(self, pattern: StampPattern, values: np.ndarray):
+        data, indices, indptr = pattern.csr_arrays(values)
+        return _sparse.csr_matrix(
+            (data, indices, indptr), shape=(pattern.size, pattern.size)
+        )
+
+    def factor(self, matrix) -> SparseLU:
+        return SparseLU(matrix)
+
+    @staticmethod
+    def csr_from_coo(
+        rows: np.ndarray, cols: np.ndarray, vals: np.ndarray, size: int
+    ):
+        """One-shot CSR from raw triplets (duplicates summed).
+
+        Used by the analyses that re-assemble per solve (DC Newton
+        iterations, AC frequency points) where caching a
+        :class:`~repro.circuits.component.StampPattern` buys nothing.
+        """
+        return _sparse.coo_matrix(
+            (vals, (rows, cols)), shape=(size, size)
+        ).tocsr()
+
+    @staticmethod
+    def block_diag(blocks):
+        """Block-diagonal CSC of per-sample matrices (batched engine)."""
+        return _sparse.block_diag(blocks, format="csc")
+
+
+#: Singleton instances — backends are stateless strategy objects.
+_DENSE = DenseBackend()
+
+
+def resolve_backend(
+    backend: Union[str, MatrixBackend, None], size: int
+) -> MatrixBackend:
+    """Resolve a backend spec to a strategy instance.
+
+    ``"auto"`` (or ``None``) picks :class:`DenseBackend` below
+    :data:`SPARSE_AUTO_THRESHOLD` unknowns — or always, when scipy is
+    missing — and :class:`SparseBackend` at or above the threshold.
+    ``"dense"``/``"sparse"`` force the choice (sparse raising a clear
+    :class:`~repro.errors.SimulationError` without scipy); an already-
+    constructed :class:`MatrixBackend` passes through untouched.
+    """
+    if isinstance(backend, MatrixBackend):
+        return backend
+    if backend is None:
+        backend = "auto"
+    if backend == "auto":
+        if _HAVE_SCIPY and size >= SPARSE_AUTO_THRESHOLD:
+            return SparseBackend()
+        return _DENSE
+    if backend == "dense":
+        return _DENSE
+    if backend == "sparse":
+        return SparseBackend()
+    raise SimulationError(
+        f"unknown backend {backend!r}; expected 'auto', 'dense', or 'sparse'"
+    )

@@ -53,7 +53,8 @@ import numpy as np
 
 from ..errors import ConvergenceError, SimulationError
 from .assembly import DtCache, _ReactiveSet
-from .component import Component, MNASystem, StampContext
+from .backend import SparseBackend, SparseLU, resolve_backend
+from .component import Component, StampContext, StampPattern, TripletSystem
 from .controlled import NonlinearVCCS
 from .dcop import NewtonOptions, solve_dc
 from .elements import Capacitor, Inductor
@@ -204,15 +205,25 @@ class _DeviceColumn:
 
 
 class _BatchedDtEntry:
-    """Everything cached for one quantized step size, stacked."""
+    """Everything cached for one quantized step size, stacked.
 
-    __slots__ = ("dt", "G_base", "coeffs", "inv", "rank1", "woodbury")
+    Dense backend: ``G_base`` is the frozen ``(S, n, n)`` stack and
+    ``inv`` its batched inverse.  Sparse backend: ``blocks`` holds the
+    per-sample CSR matrices and ``lu`` one splu factorization of
+    their block-diagonal — a single sparse solve advances the whole
+    campaign, and its cost grows with ``S * nnz`` instead of
+    ``S * n^2``.
+    """
 
-    def __init__(self, dt: float, G_base: np.ndarray, coeffs: tuple):
+    __slots__ = ("dt", "G_base", "coeffs", "inv", "blocks", "lu", "rank1", "woodbury")
+
+    def __init__(self, dt: float, coeffs: tuple):
         self.dt = dt
-        self.G_base = G_base  # (S, n, n), frozen
         self.coeffs = coeffs  # (alpha[S,m], beta[S,m], upd_g[S,m], upd_m)
-        self.inv: Optional[np.ndarray] = None  # lazy (S, n, n)
+        self.G_base: Optional[np.ndarray] = None  # dense: (S, n, n), frozen
+        self.inv: Optional[np.ndarray] = None  # dense: (S, n, n)
+        self.blocks: Optional[list] = None  # sparse: S CSR matrices
+        self.lu: Optional[SparseLU] = None  # sparse: block-diag splu
         self.rank1: Optional[tuple] = None  # lazy (w[S,n], vw[S], w_vmax[S])
         self.woodbury: Optional[tuple] = None  # lazy (WU[S,n,k], VWU[S,k,k])
 
@@ -235,6 +246,7 @@ class BatchedTransientAssembly:
         method: str,
         gmin: float,
         max_dt_entries: int = 8,
+        backend: object = "auto",
     ):
         circuits = list(circuits)
         if not circuits:
@@ -248,6 +260,14 @@ class BatchedTransientAssembly:
         self.gmin = gmin
         self.size = circuits[0].size
         self.n_nodes = circuits[0].n_nodes
+        # Auto selection keys on the *per-sample* unknown count, like
+        # the per-sample engine: the dense stack costs O(S n^3) to
+        # invert and O(S n^2) per solve, the block-diagonal CSR path
+        # O(S nnz)-ish for both.
+        self.backend = resolve_backend(backend, self.size)
+        #: Shared static-stamp structure (identical across samples by
+        #: the lockstep topology check), captured on first build.
+        self._pattern: Optional[StampPattern] = None
 
         split0, full0 = circuits[0].partition_components()
         full_names = [c.name for c in full0]
@@ -336,11 +356,11 @@ class BatchedTransientAssembly:
 
     def _build_entry(self, dt: float) -> _BatchedDtEntry:
         S, n = self.n_samples, self.size
-        G = np.empty((S, n, n))
-        for s, circuit in enumerate(self.circuits):
-            system = MNASystem(n)
+        streams = []
+        for circuit in self.circuits:
+            tri = TripletSystem(n)
             ctx = StampContext(
-                system=system,
+                system=tri,
                 x=np.zeros(n),
                 time=0.0,
                 dt=dt,
@@ -350,21 +370,42 @@ class BatchedTransientAssembly:
             for name in self._split_names:
                 circuit[name].stamp_static(ctx)
             for i in range(self.n_nodes):
-                system.add_G(i, i, self.gmin)
-            G[s] = system.G
-        G.setflags(write=False)
-        entry = _BatchedDtEntry(dt, G, self._coeffs(dt))
-        # Invert eagerly: every strategy solves against this entry on
-        # its first step anyway, and a singular sample then surfaces
-        # as BatchIncompatible *here* — at construction for the
-        # initial step size — rather than from inside the time loop.
-        try:
-            entry.inv = np.linalg.inv(G)
-        except np.linalg.LinAlgError as exc:
-            raise BatchIncompatible(
-                "singular base matrix in batch; the per-sample "
-                "engine's least-squares fallback is required"
-            ) from exc
+                tri.add_G(i, i, self.gmin)
+            streams.append(tri)
+        if self._pattern is None or not self._pattern.matches(streams[0]):
+            self._pattern = streams[0].pattern()
+        pattern = self._pattern
+        entry = _BatchedDtEntry(dt, self._coeffs(dt))
+        # Factor eagerly (dense: batched inverse, sparse: one splu of
+        # the block-diagonal): every strategy solves against this
+        # entry on its first step anyway, and a singular sample then
+        # surfaces as BatchIncompatible *here* — at construction for
+        # the initial step size — rather than from inside the time
+        # loop.
+        if self.backend.is_dense:
+            G = np.empty((S, n, n))
+            for s, tri in enumerate(streams):
+                G[s] = pattern.dense(tri.values())
+            G.setflags(write=False)
+            entry.G_base = G
+            try:
+                entry.inv = np.linalg.inv(G)
+            except np.linalg.LinAlgError as exc:
+                raise BatchIncompatible(
+                    "singular base matrix in batch; the per-sample "
+                    "engine's least-squares fallback is required"
+                ) from exc
+        else:
+            entry.blocks = [
+                self.backend.finalize(pattern, tri.values()) for tri in streams
+            ]
+            lu = SparseLU(SparseBackend.block_diag(entry.blocks))
+            if lu.is_singular:
+                raise BatchIncompatible(
+                    "singular base matrix in batch; the per-sample "
+                    "engine's least-squares fallback is required"
+                )
+            entry.lu = lu
         self.n_factorizations += 1
         return entry
 
@@ -404,7 +445,7 @@ class BatchedTransientAssembly:
         return len(self._cache)
 
     def inv(self) -> np.ndarray:
-        """Batched inverse of the active base matrices.
+        """Batched inverse of the active base matrices (dense only).
 
         Mirrors the per-sample :class:`~repro.circuits.linsolve.
         ReusableLU` small-system strategy (explicit inverse, one
@@ -414,6 +455,41 @@ class BatchedTransientAssembly:
         least-squares fallback such a netlist needs.
         """
         return self._active.inv
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Backend-agnostic base solve of a stacked ``(S, n)`` RHS.
+
+        Dense: one batched mat-vec against the cached inverses.
+        Sparse: one triangular solve against the block-diagonal splu —
+        the stacked RHS *is* the block-diagonal system's RHS.
+        """
+        entry = self._active
+        if entry.inv is not None:
+            return _bsolve(entry.inv, rhs)
+        return entry.lu.solve(rhs.reshape(-1)).reshape(rhs.shape)
+
+    def solve_columns(self, U: np.ndarray) -> np.ndarray:
+        """Base solve of shared ``(n, k)`` columns -> ``(S, n, k)``.
+
+        Every sample shares the same rank-k injection columns ``U``
+        (the lockstep topology check guarantees it), so the sparse
+        path tiles them down the block diagonal and solves all
+        samples' columns in one call.
+        """
+        entry = self._active
+        if entry.inv is not None:
+            return np.matmul(entry.inv, U)
+        stacked = np.tile(U, (self.n_samples, 1))
+        return entry.lu.solve(stacked).reshape(
+            self.n_samples, self.size, U.shape[1]
+        )
+
+    def base_dense(self, s: int) -> np.ndarray:
+        """Sample ``s``'s base matrix as a dense array (fallbacks only)."""
+        entry = self._active
+        if entry.G_base is not None:
+            return entry.G_base[s]
+        return entry.blocks[s].toarray()
 
     # -- rank-k structure ------------------------------------------------------
 
@@ -428,8 +504,7 @@ class BatchedTransientAssembly:
         """Stacked Sherman–Morrison data ``(w[S,n], vw[S], w_vmax[S])``."""
         entry = self._active
         if entry.rank1 is None:
-            u = self.U[:, 0]
-            w = np.matmul(self.inv(), u)  # (S, n)
+            w = self.solve_columns(self.U[:, :1])[..., 0]  # (S, n)
             vw = self.ctrl_project(w)[:, 0]
             w_v = w[:, : self.n_nodes]
             w_vmax = (
@@ -442,7 +517,7 @@ class BatchedTransientAssembly:
         """Stacked Woodbury data ``(WU[S,n,k], VWU[S,k,k])``."""
         entry = self._active
         if entry.woodbury is None:
-            WU = np.matmul(self.inv(), self.U)  # (S, n, k)
+            WU = self.solve_columns(self.U)  # (S, n, k)
             # VWU[s, j, l] = v_j^T W u_l, batched over samples.
             VWU = np.matmul(self.V.T[np.newaxis, :, :], WU)
             entry.woodbury = (WU, VWU)
@@ -471,7 +546,11 @@ class BatchedTransientAssembly:
         alpha, beta, _upd_g, _upd_m = self._active.coeffs
         if self.v.shape[1]:
             term = alpha * self.v + beta * self.i  # (S, m)
-            rhs = term @ self._topology.scatter.T  # (S, n)
+            topo = self._topology
+            if topo.scatter_csr is not None:
+                rhs = np.ascontiguousarray(topo.scatter_csr.dot(term.T).T)
+            else:
+                rhs = term @ topo.scatter.T  # (S, n)
         else:
             rhs = np.zeros((self.n_samples, self.size))
         for source in self.sources:
@@ -568,7 +647,7 @@ class _BatchedStepSolver:
         linearization and take one damped dense-solve step.
         """
         asm = self.assembly
-        G = asm._active.G_base[s] + asm.U @ (gms[:, None] * asm.V.T)
+        G = asm.base_dense(s) + asm.U @ (gms[:, None] * asm.V.T)
         rhs = rhs_lin[s] - asm.U @ ieqs
         x_new = solve_dense(G, rhs)
         delta = x_new - x[s]
@@ -583,7 +662,7 @@ class _BatchedStepSolver:
 
     def step(self, x: np.ndarray, rhs_lin: np.ndarray, time: float) -> np.ndarray:
         if self.strategy == "batched-linear":
-            return _bsolve(self.assembly.inv(), rhs_lin)
+            return self.assembly.solve(rhs_lin)
         if self.strategy == "batched-rank1":
             return self._step_rank1(x, rhs_lin, time)
         return self._step_woodbury(x, rhs_lin, time)
@@ -606,7 +685,7 @@ class _BatchedStepSolver:
         n = self.n_nodes
         max_step = options.max_step
         S = asm.n_samples
-        z_lin = _bsolve(asm.inv(), rhs_lin)
+        z_lin = asm.solve(rhs_lin)
         zl_c = self._ctrl1(z_lin)
         x = x.copy()
         tol = self._tol(x)
@@ -711,7 +790,7 @@ class _BatchedStepSolver:
         n = self.n_nodes
         eye_k = np.eye(k)
         WU, VWU = asm.woodbury_data()
-        z_lin = _bsolve(asm.inv(), rhs_lin)
+        z_lin = asm.solve(rhs_lin)
         x = x.copy()
         v_ctrl = asm.ctrl_project(x)
         active = np.ones(asm.n_samples, dtype=bool)
@@ -742,7 +821,7 @@ class _BatchedStepSolver:
                         sj = np.linalg.solve(M[j], VWb[j])
                         x_new[j] = Wb[j] - WU[s] @ (gms[j] * sj)
                     except np.linalg.LinAlgError:
-                        G = asm._active.G_base[s] + asm.U @ (
+                        G = asm.base_dense(s) + asm.U @ (
                             gms[j][:, None] * asm.V.T
                         )
                         x_new[j] = solve_dense(G, rhs_lin[s] - asm.U @ ieqs[j])
@@ -822,6 +901,7 @@ def run_transient_batched(
         options.method,
         options.newton.gmin,
         max_dt_entries=options.dt_cache_size,
+        backend=options.backend,
     )
     circuits = assembly.circuits
     S = assembly.n_samples
@@ -829,7 +909,10 @@ def run_transient_batched(
 
     if options.use_dc_operating_point:
         x = np.stack(
-            [solve_dc(c, options=options.newton).x for c in circuits]
+            [
+                solve_dc(c, options=options.newton, backend=options.backend).x
+                for c in circuits
+            ]
         )
     else:
         x = np.zeros((S, size))
@@ -858,6 +941,7 @@ def run_transient_batched(
     for s, circuit in enumerate(circuits):
         stats: Dict[str, object] = {
             "strategy": solver.strategy,
+            "backend": assembly.backend.name,
             "step_control": options.step_control,
             "newton_iterations": int(solver.newton_per_sample[s]),
             "lu_refactorizations": assembly.n_factorizations,

@@ -7,6 +7,30 @@ VCVS).  Each component *stamps* its contribution into the system matrix
 ``G`` and right-hand side ``rhs`` so that ``G @ x = rhs`` is the
 linearized circuit equation at the current Newton iterate.
 
+Stamp streams and the structure/value split
+-------------------------------------------
+A component never sees the storage behind the system it stamps into:
+:class:`StampContext.system` is either a dense :class:`MNASystem` or a
+:class:`TripletSystem` that *records* the stamp calls as COO triplets
+``(row, col, value)``.  The triplet form is what makes the linear-
+algebra backend pluggable (:mod:`~repro.circuits.backend`): one stamp
+stream, two finalizations —
+
+* **dense** — :meth:`StampPattern.dense` replays the stream into a
+  ``(n, n)`` array with ``np.add.at``, accumulating in exact stream
+  order, so it is bit-identical to stamping into a preallocated dense
+  matrix directly;
+* **sparse** — :meth:`StampPattern.csr_arrays` folds duplicate
+  positions into canonical CSR ``(data, indices, indptr)`` arrays.
+
+The *structure* of a netlist's stamp stream (which positions are
+touched, in what order) is a function of the topology only; the
+*values* change with ``(dt, method)`` or element parameters.
+:class:`StampPattern` captures the structure once per netlist; every
+later assembly records values only and finalizes through the cached
+pattern, which is how the per-``dt`` cache rebuilds base matrices
+without re-deriving sparsity.
+
 Sign conventions (SPICE compatible)
 -----------------------------------
 * KCL rows: currents *leaving* a node through components appear with a
@@ -27,7 +51,15 @@ import numpy as np
 
 from ..errors import NetlistError
 
-__all__ = ["MNASystem", "StampContext", "ACStampContext", "Component", "GROUND"]
+__all__ = [
+    "MNASystem",
+    "TripletSystem",
+    "StampPattern",
+    "StampContext",
+    "ACStampContext",
+    "Component",
+    "GROUND",
+]
 
 #: Index used for the ground node; stamps against it are discarded.
 GROUND = -1
@@ -68,6 +100,135 @@ class MNASystem:
         """Stamp a current flowing from node a through the element to b."""
         self.add_rhs(a, -current)
         self.add_rhs(b, current)
+
+
+class TripletSystem:
+    """A stamp target that records matrix entries as COO triplets.
+
+    Presents the same stamping interface as :class:`MNASystem`
+    (``add_G``/``add_rhs``/``stamp_conductance``/``stamp_current``), so
+    components stamp into it unchanged; instead of writing a dense
+    array it appends ``(row, col, value)`` triplets in call order.
+    The right-hand side stays a dense vector — it is a vector.
+
+    Finalize the recorded stream through :meth:`pattern` (first
+    assembly of a netlist) or an existing :class:`StampPattern` whose
+    structure the stream repeats (every later assembly).
+    """
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise NetlistError("MNA system must have at least one unknown")
+        self.size = size
+        self.rows: List[int] = []
+        self.cols: List[int] = []
+        self.vals: List[float] = []
+        self.rhs = np.zeros(size)
+
+    def clear(self) -> None:
+        self.rows.clear()
+        self.cols.clear()
+        self.vals.clear()
+        self.rhs[:] = 0.0
+
+    def add_G(self, row: int, col: int, value: float) -> None:
+        """Record ``value`` at (row, col); ground indices are ignored."""
+        if row >= 0 and col >= 0:
+            self.rows.append(row)
+            self.cols.append(col)
+            self.vals.append(value)
+
+    def add_rhs(self, row: int, value: float) -> None:
+        if row >= 0:
+            self.rhs[row] += value
+
+    def stamp_conductance(self, a: int, b: int, g: float) -> None:
+        self.add_G(a, a, g)
+        self.add_G(b, b, g)
+        self.add_G(a, b, -g)
+        self.add_G(b, a, -g)
+
+    def stamp_current(self, a: int, b: int, current: float) -> None:
+        self.add_rhs(a, -current)
+        self.add_rhs(b, current)
+
+    def values(self) -> np.ndarray:
+        """The value half of the stream as an array."""
+        return np.asarray(self.vals, dtype=float)
+
+    def pattern(self) -> "StampPattern":
+        """The structure half of the stream (see :class:`StampPattern`)."""
+        return StampPattern(self.size, self.rows, self.cols)
+
+
+class StampPattern:
+    """The structure half of a stamp stream, computed once per netlist.
+
+    Captures which ``(row, col)`` positions a stamp stream touches and
+    in what order, plus the canonical CSR structure of the distinct
+    positions.  Given the *value* stream of any assembly that repeats
+    the same structure (same components, same stamping order — the
+    per-``dt`` base-matrix rebuilds), it finalizes either way:
+
+    * :meth:`dense` replays the triplets into a dense matrix with
+      ``np.add.at``, which accumulates sequentially in stream order —
+      bit-identical to stamping into a preallocated dense array.
+    * :meth:`csr_arrays` folds duplicates into CSR ``data`` (also in
+      stream order per cell, so each cell's float value is bit-equal
+      to the dense cell).
+    """
+
+    def __init__(self, size: int, rows: Sequence[int], cols: Sequence[int]):
+        self.size = size
+        self.rows = np.asarray(rows, dtype=np.intp)
+        self.cols = np.asarray(cols, dtype=np.intp)
+        self.stream_length = len(self.rows)
+        order = np.lexsort((self.cols, self.rows))
+        r_sorted = self.rows[order]
+        c_sorted = self.cols[order]
+        if self.stream_length:
+            first = np.empty(self.stream_length, dtype=bool)
+            first[0] = True
+            first[1:] = (np.diff(r_sorted) != 0) | (np.diff(c_sorted) != 0)
+            slot_sorted = np.cumsum(first) - 1
+            #: Stream position -> index of its distinct CSR slot.
+            self.slot = np.empty(self.stream_length, dtype=np.intp)
+            self.slot[order] = slot_sorted
+            self.nnz = int(slot_sorted[-1]) + 1
+            unique_rows = r_sorted[first]
+            #: CSR column indices of the distinct positions.
+            self.indices = c_sorted[first].astype(np.int32)
+        else:
+            self.slot = np.empty(0, dtype=np.intp)
+            self.nnz = 0
+            unique_rows = np.empty(0, dtype=np.intp)
+            self.indices = np.empty(0, dtype=np.int32)
+        counts = np.bincount(unique_rows, minlength=size)
+        #: CSR row pointers of the distinct positions.
+        self.indptr = np.zeros(size + 1, dtype=np.int32)
+        np.cumsum(counts, out=self.indptr[1:])
+
+    def matches(self, system: TripletSystem) -> bool:
+        """Whether a recorded stream repeats this pattern's structure."""
+        return (
+            len(system.rows) == self.stream_length
+            and np.array_equal(self.rows, np.asarray(system.rows, dtype=np.intp))
+            and np.array_equal(self.cols, np.asarray(system.cols, dtype=np.intp))
+        )
+
+    def dense(self, values: np.ndarray) -> np.ndarray:
+        """Dense finalization of a value stream (stream-order adds)."""
+        G = np.zeros((self.size, self.size))
+        np.add.at(G, (self.rows, self.cols), values)
+        return G
+
+    def csr_arrays(
+        self, values: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR finalization ``(data, indices, indptr)`` of a value stream."""
+        data = np.zeros(self.nnz, dtype=np.asarray(values).dtype)
+        np.add.at(data, self.slot, values)
+        return data, self.indices, self.indptr
 
 
 @dataclass
@@ -124,16 +285,40 @@ class ACStampContext:
 
     ``x_op`` is the DC operating point around which nonlinear devices
     are linearized.  ``system``/``rhs`` are complex.
+
+    With ``G=None`` the context records matrix stamps as complex COO
+    triplets instead (the AC counterpart of :class:`TripletSystem`),
+    which the sparse backend finalizes into a CSR matrix; components
+    stamp identically either way.
     """
 
-    G: np.ndarray
+    G: Optional[np.ndarray]
     rhs: np.ndarray
     omega: float
     x_op: np.ndarray
 
+    def __post_init__(self) -> None:
+        self._rows: List[int] = []
+        self._cols: List[int] = []
+        self._vals: List[complex] = []
+
     def add_G(self, row: int, col: int, value: complex) -> None:
-        if row >= 0 and col >= 0:
+        if row < 0 or col < 0:
+            return
+        if self.G is not None:
             self.G[row, col] += value
+        else:
+            self._rows.append(row)
+            self._cols.append(col)
+            self._vals.append(value)
+
+    def coo(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The recorded triplet stream (triplet mode only)."""
+        return (
+            np.asarray(self._rows, dtype=np.intp),
+            np.asarray(self._cols, dtype=np.intp),
+            np.asarray(self._vals, dtype=complex),
+        )
 
     def add_rhs(self, row: int, value: complex) -> None:
         if row >= 0:

@@ -15,7 +15,8 @@ import numpy as np
 
 from ..campaigns.runner import run_chain
 from ..errors import ConvergenceError
-from .component import MNASystem, StampContext
+from .backend import MatrixBackend, SparseBackend, resolve_backend
+from .component import MNASystem, StampContext, TripletSystem
 from .linsolve import damp_voltage_delta, solve_dense
 from .netlist import Circuit
 from .sources import CurrentSource, VoltageSource
@@ -68,15 +69,51 @@ class OperatingPoint:
         return {node: self.voltage(node) for node in self.circuit.node_names}
 
 
-def _assemble(circuit: Circuit, x: np.ndarray, gmin: float, source_scale: float) -> MNASystem:
-    system = MNASystem(circuit.size)
+def _stamp_system(circuit: Circuit, system, x: np.ndarray, gmin: float, source_scale: float):
+    """Stamp the whole netlist into any system (dense or triplet).
+
+    The single home of the DC stamping sequence, so the dense and
+    sparse Newton paths cannot drift apart: every component's full
+    stamp, then the global gmin from every node to ground that keeps
+    floating nets solvable.
+    """
     ctx = StampContext(system=system, x=x, gmin=gmin, source_scale=source_scale)
     for component in circuit:
         component.stamp(ctx)
-    # Global gmin from every node to ground keeps floating nets solvable.
     for i in range(circuit.n_nodes):
         system.add_G(i, i, gmin)
     return system
+
+
+def _assemble(circuit: Circuit, x: np.ndarray, gmin: float, source_scale: float) -> MNASystem:
+    return _stamp_system(circuit, MNASystem(circuit.size), x, gmin, source_scale)
+
+
+def _solve_sparse(
+    circuit: Circuit,
+    x: np.ndarray,
+    gmin: float,
+    source_scale: float,
+    backend: MatrixBackend,
+) -> np.ndarray:
+    """One sparse linearized solve: triplet assembly, CSR, splu.
+
+    The DC Newton restamps every component per iteration anyway, so
+    the sparse path simply finalizes each iteration's triplet stream
+    into a fresh CSR factorization — O(nnz)-ish for the near-banded
+    distributed netlists this backend exists for, and far from the
+    transient hot loop where factorization reuse matters.
+    """
+    tri = _stamp_system(
+        circuit, TripletSystem(circuit.size), x, gmin, source_scale
+    )
+    matrix = SparseBackend.csr_from_coo(
+        np.asarray(tri.rows, dtype=np.intp),
+        np.asarray(tri.cols, dtype=np.intp),
+        tri.values(),
+        circuit.size,
+    )
+    return backend.factor(matrix).solve(tri.rhs)
 
 
 def _newton(
@@ -85,17 +122,23 @@ def _newton(
     options: NewtonOptions,
     gmin: float,
     source_scale: float,
+    backend: MatrixBackend,
 ) -> Tuple[np.ndarray, int]:
     """One Newton solve; returns ``(solution, iterations_taken)``."""
     x = x0.copy()
+
+    def linearized_solve(x_at: np.ndarray) -> np.ndarray:
+        if backend.is_dense:
+            system = _assemble(circuit, x_at, gmin, source_scale)
+            return solve_dense(system.G, system.rhs)
+        return _solve_sparse(circuit, x_at, gmin, source_scale, backend)
+
     if not circuit.has_nonlinear():
-        system = _assemble(circuit, x, gmin, source_scale)
-        return solve_dense(system.G, system.rhs), 1
+        return linearized_solve(x), 1
     n_nodes = circuit.n_nodes
     last_delta = np.inf
     for iteration in range(options.max_iterations):
-        system = _assemble(circuit, x, gmin, source_scale)
-        x_new = solve_dense(system.G, system.rhs)
+        x_new = linearized_solve(x)
         # Damping applies to node *voltages* only; branch currents are
         # linear consequences of the voltages and may legitimately move
         # by large amounts in one iteration.
@@ -117,19 +160,25 @@ def solve_dc(
     circuit: Circuit,
     options: Optional[NewtonOptions] = None,
     x0: Optional[np.ndarray] = None,
+    backend: object = "auto",
 ) -> OperatingPoint:
     """Compute the DC operating point.
 
     Tries a plain Newton solve first, then gmin stepping, then source
     stepping.  Raises :class:`~repro.errors.ConvergenceError` if all
-    fail.
+    fail.  ``backend`` selects the linear-algebra path (see
+    :mod:`~repro.circuits.backend`): "auto" keeps small netlists on
+    the historical dense solve and switches large ones to CSR + splu.
     """
     options = options or NewtonOptions()
-    circuit.prepare()
+    size = circuit.prepare()
+    backend = resolve_backend(backend, size)
     x = x0.copy() if x0 is not None else np.zeros(circuit.size)
 
     try:
-        solution, iterations = _newton(circuit, x, options, options.gmin, 1.0)
+        solution, iterations = _newton(
+            circuit, x, options, options.gmin, 1.0, backend
+        )
         return OperatingPoint(circuit, solution, iterations=iterations)
     except ConvergenceError:
         pass
@@ -139,9 +188,11 @@ def solve_dc(
         total = 0
         x_g = x.copy()
         for gmin in options.gmin_steps:
-            x_g, taken = _newton(circuit, x_g, options, gmin, 1.0)
+            x_g, taken = _newton(circuit, x_g, options, gmin, 1.0, backend)
             total += taken
-        solution, taken = _newton(circuit, x_g, options, options.gmin, 1.0)
+        solution, taken = _newton(
+            circuit, x_g, options, options.gmin, 1.0, backend
+        )
         return OperatingPoint(circuit, solution, iterations=total + taken)
     except ConvergenceError:
         pass
@@ -151,7 +202,9 @@ def solve_dc(
     x_s = np.zeros(circuit.size)
     for k in range(1, options.source_steps + 1):
         scale = k / options.source_steps
-        x_s, taken = _newton(circuit, x_s, options, options.gmin, scale)
+        x_s, taken = _newton(
+            circuit, x_s, options, options.gmin, scale, backend
+        )
         total += taken
     return OperatingPoint(circuit, x_s, iterations=total)
 

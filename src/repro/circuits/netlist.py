@@ -139,6 +139,46 @@ class Circuit:
     def mosfet(self, name: str, d: str, g: str, s: str, b: str, params: MosfetParams) -> Mosfet:
         return self.add(Mosfet(name, d, g, s, b, params))  # type: ignore[return-value]
 
+    def rlc_ladder(
+        self,
+        prefix: str,
+        input_node: str,
+        output_node: str,
+        n_segments: int,
+        l_segment: float,
+        r_segment: float,
+        c_segment: float,
+        ground: str = "0",
+    ) -> List[str]:
+        """Chain ``n_segments`` series R-L cells between two nodes.
+
+        The building block of distributed (transmission-line) netlists:
+        segment ``k`` is an inductor ``{prefix}L{k}`` in series with a
+        resistor ``{prefix}R{k}``, and every internal junction gets a
+        shunt capacitor ``{prefix}C{k}`` of ``c_segment`` to
+        ``ground``.  With N segments the ladder adds ``2N - 1``
+        internal nodes and ``N`` inductor branches — the first netlist
+        family in this library whose MNA system grows into sparse-
+        backend territory (see :mod:`~repro.circuits.backend`).
+
+        Returns the junction node names from ``input_node`` to
+        ``output_node`` inclusive (the shunt-capacitor taps).
+        """
+        if n_segments < 1:
+            raise NetlistError("rlc_ladder needs at least one segment")
+        junctions = [input_node]
+        node = input_node
+        for k in range(1, n_segments + 1):
+            mid = f"{prefix}m{k}"
+            nxt = output_node if k == n_segments else f"{prefix}n{k}"
+            self.inductor(f"{prefix}L{k}", node, mid, l_segment)
+            self.resistor(f"{prefix}R{k}", mid, nxt, r_segment)
+            if k < n_segments:
+                self.capacitor(f"{prefix}C{k}", nxt, ground, c_segment)
+            junctions.append(nxt)
+            node = nxt
+        return junctions
+
     # -- preparation -------------------------------------------------------------
 
     def prepare(self) -> int:

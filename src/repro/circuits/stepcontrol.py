@@ -51,18 +51,35 @@ __all__ = ["StepController", "collect_breakpoints"]
 _TIME_EPS = 1e-12
 
 
-def collect_breakpoints(circuit, t_stop: float, extra: Iterable[float] = ()) -> Tuple[float, ...]:
+def collect_breakpoints(
+    circuit,
+    t_stop: float,
+    extra: Iterable[float] = (),
+    sources: Iterable[object] = (),
+) -> Tuple[float, ...]:
     """Sorted, de-duplicated breakpoint times in ``(0, t_stop)``.
 
     Gathers stimulus discontinuities from every component exposing a
-    ``breakpoints(t_stop)`` method (the independent sources) plus any
-    caller-supplied ``extra`` times.
+    ``breakpoints(t_stop)`` method (the independent sources), known
+    event times from every object in ``sources`` exposing the same
+    hook (the digital blocks: :class:`~repro.digital.events.
+    EventScheduler` queues, :class:`~repro.digital.events.
+    RecurringEvent` ticks, watchdog deadlines, POR release times —
+    anything a mixed-signal scenario would otherwise hand-list), plus
+    any caller-supplied ``extra`` times.
     """
     times: List[float] = []
     for component in circuit:
         generator = getattr(component, "breakpoints", None)
         if generator is not None:
             times.extend(generator(t_stop))
+    for source in sources:
+        generator = getattr(source, "breakpoints", None)
+        if generator is None:
+            raise SimulationError(
+                f"breakpoint source {source!r} has no breakpoints(t_stop) hook"
+            )
+        times.extend(generator(t_stop))
     times.extend(extra)
     inside = sorted({float(t) for t in times if 0.0 < t < t_stop})
     return tuple(inside)

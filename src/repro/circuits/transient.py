@@ -76,6 +76,7 @@ import numpy as np
 from ..analysis.waveform import Waveform
 from ..errors import ConvergenceError, NetlistError, SimulationError
 from .assembly import TransientAssembly
+from .backend import MatrixBackend, resolve_backend
 from .dcop import NewtonOptions, solve_dc
 from .linsolve import damp_voltage_delta, solve_dense
 from .netlist import GROUND_NAMES, Circuit
@@ -105,6 +106,11 @@ class TransientOptions:
     #: "full" forces per-iteration assembly + solve, "chord" reuses a
     #: frozen LU factorization and refactors only when Newton slows.
     jacobian: str = "auto"
+    #: Linear-algebra backend: "auto" picks dense below the unknown-
+    #: count threshold of :mod:`~repro.circuits.backend` and sparse
+    #: (CSR + splu) at or above it; "dense"/"sparse" (or a
+    #: MatrixBackend instance) force the choice.
+    backend: object = "auto"
     #: Chord mode: refactor when an iteration shrinks the update by
     #: less than this factor (1.0 would demand monotone convergence).
     chord_refactor_ratio: float = 0.5
@@ -129,6 +135,13 @@ class TransientOptions:
     #: Adaptive: extra forced step boundaries (source discontinuities
     #: are collected automatically from the netlist).
     breakpoints: Optional[Sequence[float]] = None
+    #: Adaptive: objects whose known event times become forced step
+    #: boundaries too — anything exposing ``breakpoints(t_stop)``,
+    #: e.g. an :class:`~repro.digital.events.EventScheduler`, a
+    #: :class:`~repro.digital.watchdog.WatchdogTimer`, or a
+    #: :class:`~repro.digital.por.PowerOnReset`; mixed-signal
+    #: scenarios run adaptively without hand-listing event times.
+    breakpoint_sources: Optional[Sequence[object]] = None
     #: Adaptive: how many per-dt assembly/factorization cache entries
     #: to keep alive.  The grid between dt_min and dt_max has
     #: log2(dt_max/dt_min) levels; keep the cache at least as deep as
@@ -147,6 +160,12 @@ class TransientOptions:
             raise SimulationError("record_stride must be >= 1")
         if self.jacobian not in ("auto", "full", "chord"):
             raise SimulationError(f"unknown jacobian mode {self.jacobian!r}")
+        if not isinstance(self.backend, MatrixBackend) and self.backend not in (
+            "auto",
+            "dense",
+            "sparse",
+        ):
+            raise SimulationError(f"unknown backend {self.backend!r}")
         if not 0.0 < self.chord_refactor_ratio <= 1.0:
             raise SimulationError("chord_refactor_ratio must be in (0, 1]")
         if self.step_control not in ("fixed", "adaptive"):
@@ -343,6 +362,26 @@ class _StepSolver:
             value = value - vec[cn]
         return float(value)
 
+    def _full_solve(
+        self,
+        x: np.ndarray,
+        rhs_lin: np.ndarray,
+        time: float,
+        states: Dict[str, object],
+    ) -> np.ndarray:
+        """One fully-stamped linearized solve at iterate ``x``.
+
+        Dense backend: copy the cached parts, restamp the full-stamp
+        components, one dense solve (the historical path, bit-pinned).
+        Sparse backend: the same equations via the assembly's low-rank
+        delta update around the cached sparse LU — no refactorization.
+        """
+        assembly = self.assembly
+        if assembly.backend.is_dense:
+            G, rhs = assembly.assemble(x, rhs_lin, time, states)
+            return solve_dense(G, rhs)
+        return assembly.delta_solve(x, rhs_lin, time, states)
+
     @property
     def lu_refactorizations(self) -> int:
         return self.assembly.lu_factorizations
@@ -359,9 +398,8 @@ class _StepSolver:
         if self.strategy == "linear":
             return self.assembly.lu().solve(rhs_lin)
         if self.strategy == "linear-restamp":
-            G, rhs = self.assembly.assemble(x, rhs_lin, time, states)
             self.newton_iterations += 1
-            return solve_dense(G, rhs)
+            return self._full_solve(x, rhs_lin, time, states)
         if self.strategy == "rank1":
             return self._step_rank1(x, rhs_lin, time, states)
         if self.strategy == "woodbury":
@@ -387,8 +425,7 @@ class _StepSolver:
         options = self.options
         last_delta = np.inf
         for _iteration in range(options.max_iterations):
-            G, rhs = self.assembly.assemble(x, rhs_lin, time, states)
-            x_new = solve_dense(G, rhs)
+            x_new = self._full_solve(x, rhs_lin, time, states)
             self.newton_iterations += 1
             delta, last_delta = damp_voltage_delta(
                 x_new - x, self.n_nodes, options.max_step
@@ -441,8 +478,7 @@ class _StepSolver:
                 if on_line:
                     x = z_lin - c * w
                     on_line = False
-                G, rhs = self.assembly.assemble(x, rhs_lin, time, states)
-                x_new = solve_dense(G, rhs)
+                x_new = self._full_solve(x, rhs_lin, time, states)
                 delta, last_delta = damp_voltage_delta(
                     x_new - x, n, options.max_step
                 )
@@ -517,9 +553,8 @@ class _StepSolver:
                 x_new = Wb - WU.dot(gms * s)
             except np.linalg.LinAlgError:
                 # Small matrix momentarily singular along the rank-k
-                # directions; fall back to a dense solve.
-                G, rhs = assembly.assemble(x, rhs_lin, time, states)
-                x_new = solve_dense(G, rhs)
+                # directions; fall back to a fully-stamped solve.
+                x_new = self._full_solve(x, rhs_lin, time, states)
             delta, last_delta = damp_voltage_delta(
                 x_new - x, n, options.max_step
             )
@@ -653,7 +688,10 @@ def _run_adaptive(
         safety=options.lte_safety,
         max_growth=options.max_step_growth,
         breakpoints=collect_breakpoints(
-            circuit, options.t_stop, options.breakpoints or ()
+            circuit,
+            options.t_stop,
+            options.breakpoints or (),
+            sources=options.breakpoint_sources or (),
         ),
     )
     n_nodes = circuit.n_nodes
@@ -710,10 +748,26 @@ def run_transient(circuit: Circuit, options: Optional[TransientOptions] = None) 
     node voltages start at zero and component ``ic`` values are honored.
     """
     options = options or TransientOptions()
-    circuit.prepare()
+    size = circuit.prepare()
+
+    backend = resolve_backend(options.backend, size)
+    if options.jacobian == "chord" and not backend.is_dense:
+        # The chord strategy freezes a fully-stamped dense Jacobian;
+        # honour an explicit non-dense request — the "sparse" string
+        # or a caller-constructed MatrixBackend instance — with a
+        # clear error, and quietly keep "auto" on the always-correct
+        # dense path.
+        if options.backend == "sparse" or isinstance(
+            options.backend, MatrixBackend
+        ):
+            raise SimulationError(
+                "jacobian='chord' requires the dense backend; use "
+                "backend='dense' (or 'auto') with chord mode"
+            )
+        backend = resolve_backend("dense", size)
 
     if options.use_dc_operating_point:
-        op = solve_dc(circuit, options=options.newton)
+        op = solve_dc(circuit, options=options.newton, backend=backend)
         x = op.x.copy()
     else:
         x = np.zeros(circuit.size)
@@ -724,6 +778,7 @@ def run_transient(circuit: Circuit, options: Optional[TransientOptions] = None) 
         options.method,
         options.newton.gmin,
         max_dt_entries=options.dt_cache_size,
+        backend=backend,
     )
     assembly.reactive.init_state(x)
     states: Dict[str, object] = {}
@@ -759,6 +814,7 @@ def run_transient(circuit: Circuit, options: Optional[TransientOptions] = None) 
     times, records = recorder.arrays()
     stats: Dict[str, object] = {
         "strategy": solver.strategy,
+        "backend": assembly.backend.name,
         "step_control": options.step_control,
         "newton_iterations": solver.newton_iterations,
         "lu_refactorizations": solver.lu_refactorizations,

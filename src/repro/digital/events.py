@@ -74,6 +74,22 @@ class EventScheduler:
     def pending(self) -> int:
         return len(self._queue)
 
+    def breakpoints(self, t_stop: float) -> Tuple[float, ...]:
+        """Pending event times up to ``t_stop``, for adaptive stepping.
+
+        The hook consumed by :func:`~repro.circuits.stepcontrol.
+        collect_breakpoints`: a mixed-signal scenario hands its
+        scheduler to ``TransientOptions(breakpoint_sources=...)`` and
+        the analog engine lands a step boundary exactly on every
+        queued digital event instead of integrating across it.  Only
+        *currently scheduled* events are known (a recurring event
+        enumerates its own future ticks via
+        :meth:`RecurringEvent.breakpoints`).
+        """
+        return tuple(
+            sorted(time for time, _seq, _cb in self._queue if time <= t_stop)
+        )
+
 
 class RecurringEvent:
     """A periodic callback (e.g. the 1 ms regulation tick).
@@ -96,12 +112,14 @@ class RecurringEvent:
         self._callback = callback
         self._cancelled = False
         first = period if start_delay is None else start_delay
+        self._next_fire = scheduler.now + first
         scheduler.schedule_after(first, self._fire)
 
     def _fire(self) -> None:
         if self._cancelled:
             return
         self._callback(self._scheduler.now)
+        self._next_fire = self._scheduler.now + self._period
         self._scheduler.schedule_after(self._period, self._fire)
 
     def cancel(self) -> None:
@@ -110,3 +128,20 @@ class RecurringEvent:
     @property
     def cancelled(self) -> bool:
         return self._cancelled
+
+    def breakpoints(self, t_stop: float) -> Tuple[float, ...]:
+        """All future tick times up to ``t_stop`` (adaptive stepping).
+
+        Unlike the scheduler — which only sees the *next* occurrence,
+        because each tick schedules its successor — the recurring
+        event knows its whole comb of future firings from its period.
+        Capped defensively for very fast tickers over long windows.
+        """
+        if self._cancelled:
+            return ()
+        out: List[float] = []
+        t = self._next_fire
+        while t <= t_stop and len(out) < 10_000:
+            out.append(t)
+            t += self._period
+        return tuple(out)

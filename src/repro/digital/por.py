@@ -7,6 +7,8 @@ sequencing of the oscillator expects.
 
 from __future__ import annotations
 
+from typing import Tuple
+
 from ..errors import ConfigurationError
 
 __all__ = ["PowerOnReset"]
@@ -37,3 +39,17 @@ class PowerOnReset:
     def supply_good_since(self):
         """Time the supply last became good, or None."""
         return self._good_since
+
+    def breakpoints(self, t_stop: float) -> Tuple[float, ...]:
+        """The known reset-release time, for adaptive stepping.
+
+        Once the supply is good the release fires exactly
+        ``release_delay`` after ``supply_good_since``; exposing it
+        through the shared ``breakpoints`` hook lets startup scenarios
+        land an adaptive step on the release edge without hand-listing
+        it.
+        """
+        if self._good_since is None:
+            return ()
+        release = self._good_since + self.release_delay
+        return (release,) if release <= t_stop else ()

@@ -9,6 +9,8 @@ simulation.
 
 from __future__ import annotations
 
+from typing import Tuple
+
 from ..errors import ConfigurationError
 
 __all__ = ["WatchdogTimer"]
@@ -59,3 +61,17 @@ class WatchdogTimer:
         """Clear a latched failure and restart supervision."""
         self._latched = False
         self._last_kick = float(time)
+
+    def breakpoints(self, t_stop: float) -> Tuple[float, ...]:
+        """The pending timeout deadline, for adaptive stepping.
+
+        An armed, unlatched watchdog will trip at ``last_kick +
+        timeout`` unless a clock edge arrives first; handing the timer
+        to ``TransientOptions(breakpoint_sources=...)`` forces a step
+        boundary exactly there, so a missing-clock detection is not
+        smeared across one long adaptive step.
+        """
+        if not self._armed or self._latched:
+            return ()
+        deadline = self._last_kick + self.timeout
+        return (deadline,) if deadline <= t_stop else ()

@@ -1,6 +1,11 @@
 """Position-sensor application substrate (Fig 9)."""
 
-from .coils import CouplingProfile, ReceivingCoilPair, tank_with_parallel_load
+from .coils import (
+    CouplingProfile,
+    DistributedCoil,
+    ReceivingCoilPair,
+    tank_with_parallel_load,
+)
 from .receiver import PositionReceiver
 from .dual_cosim import DualCoSimulation, DualTrace
 from .redundant import (
@@ -11,6 +16,7 @@ from .redundant import (
 
 __all__ = [
     "CouplingProfile",
+    "DistributedCoil",
     "ReceivingCoilPair",
     "tank_with_parallel_load",
     "PositionReceiver",

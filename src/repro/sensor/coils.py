@@ -8,6 +8,14 @@ receiver compares them to extract position (§1).
 Mutual coupling between the two *excitation* coils of a redundant
 dual-oscillator system is modelled by reflecting the other system's
 loading impedance into the tank (:func:`tank_with_parallel_load`).
+
+Beyond the lumped abstraction, :class:`DistributedCoil` scales the
+same sensing coil into an N-segment RLC transmission-line netlist —
+the coil's inductance and loss spread along the winding, its
+inter-winding capacitance shunted at every junction — which is the
+first workload family in this library whose MNA system grows into
+the sparse linear-algebra backend's territory (hundreds-to-thousands
+of unknowns; see :mod:`repro.circuits.backend`).
 """
 
 from __future__ import annotations
@@ -16,10 +24,17 @@ import math
 from dataclasses import dataclass
 from typing import Tuple
 
+from ..circuits.netlist import Circuit
+from ..circuits.sources import sine
 from ..envelope.tank import RLCTank
 from ..errors import ConfigurationError
 
-__all__ = ["CouplingProfile", "ReceivingCoilPair", "tank_with_parallel_load"]
+__all__ = [
+    "CouplingProfile",
+    "ReceivingCoilPair",
+    "DistributedCoil",
+    "tank_with_parallel_load",
+]
 
 
 @dataclass(frozen=True)
@@ -70,6 +85,99 @@ class ReceivingCoilPair:
             raise ConfigurationError("excitation amplitude must be >= 0")
         k1, k2 = self.profile.couplings(theta)
         return k1 * excitation_peak, k2 * excitation_peak
+
+
+@dataclass(frozen=True)
+class DistributedCoil:
+    """The sensing coil as an N-segment RLC transmission line.
+
+    The lumped tank models the coil as one ``L`` + ``Rs`` between the
+    LC pins; physically the inductance and loss are distributed along
+    the winding, with inter-winding (parasitic) capacitance to the
+    surrounding structure.  This generator splits the coil into
+    ``n_segments`` series L-R cells (``L/N``, ``Rs/N`` each) with a
+    shunt capacitor at every internal junction carrying an equal share
+    of ``parasitic_fraction * C``; the pin capacitors of the lumped
+    tank stay lumped at the two ends, so the fundamental resonance
+    remains (to the high-Q approximation) the tank's own while the
+    netlist gains the transmission-line modes a lumped model cannot
+    show.
+
+    ``unknown_count`` grows as ``3 N + 1``: an N-segment coil at
+    N >= ~55 crosses the dense/sparse auto threshold, which is exactly
+    what this family exists to exercise (the
+    ``ladder_transient_dense_vs_sparse`` benchmark workload).
+    """
+
+    tank: RLCTank
+    n_segments: int
+    #: Total inter-winding capacitance as a fraction of one pin cap.
+    parasitic_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.n_segments < 1:
+            raise ConfigurationError("n_segments must be >= 1")
+        if not 0.0 < self.parasitic_fraction < 1.0:
+            raise ConfigurationError("parasitic_fraction must be in (0, 1)")
+
+    @property
+    def segment_inductance(self) -> float:
+        return self.tank.inductance / self.n_segments
+
+    @property
+    def segment_resistance(self) -> float:
+        return self.tank.series_resistance / self.n_segments
+
+    @property
+    def junction_capacitance(self) -> float:
+        """Shunt capacitance per internal junction (N - 1 of them)."""
+        total = self.parasitic_fraction * self.tank.capacitance
+        return total / max(self.n_segments - 1, 1)
+
+    @property
+    def unknown_count(self) -> int:
+        """MNA unknowns of :meth:`build_circuit`'s netlist.
+
+        ``2N + 1`` nodes (pins plus internal junctions) + ``N``
+        inductor branches.
+        """
+        return 3 * self.n_segments + 1
+
+    def build_circuit(self, drive_current: float = 1e-3) -> Circuit:
+        """Drivable netlist: sine current drive at the tank resonance.
+
+        The oscillator's Gm stage is a current drive, so the
+        excitation is a current source into the LC1 pin at the lumped
+        tank's resonance frequency; both pin capacitors of the lumped
+        model appear at the ends (LC2 returned to ground, as in the
+        single-ended test benches), with the distributed coil between
+        them.  The netlist is linear — one factorization serves the
+        whole run — which makes it the cleanest dense-vs-sparse
+        backend comparison: identical step count, identical RHS work,
+        only the linear algebra differs.
+        """
+        if drive_current <= 0:
+            raise ConfigurationError("drive_current must be positive")
+        circuit = Circuit(
+            f"distributed sensing coil, {self.n_segments} segments"
+        )
+        circuit.current_source(
+            "idrive", "0", "lc1", sine(drive_current, self.tank.frequency)
+        )
+        circuit.capacitor("cosc1", "lc1", "0", self.tank.capacitance)
+        circuit.rlc_ladder(
+            "coil_",
+            "lc1",
+            "lc2",
+            self.n_segments,
+            self.segment_inductance,
+            self.segment_resistance,
+            self.junction_capacitance,
+        )
+        circuit.capacitor("cosc2", "lc2", "0", self.tank.capacitance)
+        # LC2 is the driven-to-ground pin in the single-ended benches.
+        circuit.resistor("rload", "lc2", "0", 1e6)
+        return circuit
 
 
 def tank_with_parallel_load(tank: RLCTank, r_parallel: float) -> RLCTank:

@@ -1,0 +1,304 @@
+"""The pluggable linear-algebra backend layer.
+
+Three claims are pinned here:
+
+* the triplet stamp stream finalizes *bit-identically* to direct
+  dense stamping (dense backend = pre-refactor results), and the CSR
+  finalization agrees cell for cell;
+* ``backend="sparse"`` reproduces ``backend="dense"`` at rtol 1e-9 on
+  every solve-strategy family — linear, rank-1 Sherman–Morrison,
+  small-k Woodbury, and general Newton — on fixed and adaptive grids,
+  plus the DC and AC analyses and the batched lockstep engine;
+* scipy-less environments degrade gracefully: "auto" falls back to
+  dense silently, an explicit "sparse" raises a clear error.
+"""
+
+import numpy as np
+import pytest
+
+import repro.circuits.backend as backend_mod
+from repro.circuits import (
+    Circuit,
+    DenseBackend,
+    MNASystem,
+    SparseBackend,
+    StampContext,
+    TransientOptions,
+    dc,
+    resolve_backend,
+    run_ac,
+    run_transient,
+    run_transient_batched,
+    sine,
+    solve_dc,
+)
+from repro.circuits.backend import SPARSE_AUTO_THRESHOLD
+from repro.circuits.component import TripletSystem
+from repro.core import OscillatorNetlist
+from repro.envelope import RLCTank, TanhLimiter
+from repro.errors import SimulationError
+
+TANK = RLCTank.from_frequency_and_q(4e6, 15.0, 1e-6)
+LIMITER = TanhLimiter(gm=6e-3, i_max=2e-3)
+
+
+def _stamp_all(circuit, system, gmin=1e-12, dt=1e-8, method="trap"):
+    ctx = StampContext(
+        system=system, x=np.zeros(circuit.size), dt=dt, method=method, gmin=gmin
+    )
+    for component in circuit:
+        if component.supports_stamp_split and not component.is_nonlinear():
+            component.stamp_static(ctx)
+    for i in range(circuit.n_nodes):
+        system.add_G(i, i, gmin)
+
+
+def _mixed_circuit():
+    c = Circuit("mixed")
+    c.voltage_source("vin", "in", "0", sine(1.0, 1e6, offset=2.0))
+    c.resistor("r1", "in", "a", 100.0)
+    c.capacitor("c1", "a", "0", 1e-9)
+    c.inductor("l1", "a", "b", 1e-6)
+    c.resistor("r2", "b", "0", 50.0)
+    c.vccs("g1", "b", "0", "a", "0", 1e-4)
+    c.prepare()
+    return c
+
+
+class TestStampStream:
+    def test_dense_finalization_bit_identical_to_direct_stamping(self):
+        circuit = _mixed_circuit()
+        dense = MNASystem(circuit.size)
+        _stamp_all(circuit, dense)
+        tri = TripletSystem(circuit.size)
+        _stamp_all(circuit, tri)
+        G = tri.pattern().dense(tri.values())
+        assert np.array_equal(G, dense.G)  # bitwise, not approx
+
+    def test_csr_finalization_matches_dense_cell_for_cell(self):
+        pytest.importorskip("scipy")
+        circuit = _mixed_circuit()
+        tri = TripletSystem(circuit.size)
+        _stamp_all(circuit, tri)
+        pattern = tri.pattern()
+        G = pattern.dense(tri.values())
+        csr = SparseBackend().finalize(pattern, tri.values())
+        assert np.array_equal(csr.toarray(), G)
+
+    def test_pattern_value_split_across_dt(self):
+        """Same structure, different values: one pattern serves both."""
+        circuit = _mixed_circuit()
+        streams = {}
+        for dt in (1e-8, 1e-9):
+            tri = TripletSystem(circuit.size)
+            _stamp_all(circuit, tri, dt=dt)
+            streams[dt] = tri
+        pattern = streams[1e-8].pattern()
+        assert pattern.matches(streams[1e-9])
+        for dt, tri in streams.items():
+            dense = MNASystem(circuit.size)
+            _stamp_all(circuit, dense, dt=dt)
+            assert np.array_equal(pattern.dense(tri.values()), dense.G)
+
+    def test_triplet_rhs_and_ground_skipping(self):
+        tri = TripletSystem(3)
+        tri.add_G(-1, 0, 5.0)
+        tri.add_G(0, -1, 5.0)
+        tri.stamp_current(0, -1, 2.0)
+        tri.stamp_conductance(0, 1, 0.5)
+        assert tri.rhs[0] == -2.0
+        G = tri.pattern().dense(tri.values())
+        expected = np.array([[0.5, -0.5, 0.0], [-0.5, 0.5, 0.0], [0, 0, 0]])
+        assert np.array_equal(G, expected)
+
+
+class TestResolveBackend:
+    def test_auto_threshold(self):
+        pytest.importorskip("scipy")
+        assert resolve_backend("auto", SPARSE_AUTO_THRESHOLD - 1).is_dense
+        assert not resolve_backend("auto", SPARSE_AUTO_THRESHOLD).is_dense
+
+    def test_explicit_names_and_instances(self):
+        dense = resolve_backend("dense", 10_000)
+        assert dense.is_dense
+        assert resolve_backend(dense, 10_000) is dense
+        with pytest.raises(SimulationError, match="unknown backend"):
+            resolve_backend("cholesky", 8)
+
+    def test_options_validate_backend(self):
+        with pytest.raises(SimulationError, match="unknown backend"):
+            TransientOptions(t_stop=1e-6, dt=1e-9, backend="blocked")
+
+
+class TestNoScipyDegradation:
+    """The optional-scipy contract, mirrored from linsolve."""
+
+    def test_explicit_sparse_raises_clearly(self, monkeypatch):
+        monkeypatch.setattr(backend_mod, "_HAVE_SCIPY", False)
+        with pytest.raises(SimulationError, match="requires scipy"):
+            resolve_backend("sparse", 1000)
+
+    def test_auto_falls_back_to_dense(self, monkeypatch):
+        monkeypatch.setattr(backend_mod, "_HAVE_SCIPY", False)
+        assert resolve_backend("auto", 100_000).is_dense
+
+    def test_run_transient_explicit_sparse_raises(self, monkeypatch):
+        monkeypatch.setattr(backend_mod, "_HAVE_SCIPY", False)
+        circuit = _mixed_circuit()
+        options = TransientOptions(t_stop=1e-7, dt=1e-9, backend="sparse")
+        with pytest.raises(SimulationError, match="requires scipy"):
+            run_transient(circuit, options)
+
+
+def _linear_circuit():
+    c = Circuit("linear")
+    c.voltage_source("vin", "in", "0", sine(1.0, 4e6, offset=1.0))
+    c.resistor("rs", "in", "a", 50.0)
+    c.rlc_ladder("lad_", "a", "out", 6, 1e-7, 0.2, 2e-10)
+    c.resistor("rl", "out", "0", 1e3)
+    return c
+
+
+def _rank1_circuit():
+    return OscillatorNetlist(TANK, vref=2.5).build(LIMITER)
+
+
+def _woodbury_circuit():
+    c = Circuit("woodbury")
+    c.current_source("ib", "vdd", "0", dc(1e-3))
+    c.resistor("r1", "vdd", "a", 1e3)
+    c.resistor("r2", "a", "0", 2e3)
+    c.capacitor("c1", "a", "0", 1e-9)
+    c.capacitor("c2", "b", "0", 2e-9)
+    c.resistor("r3", "a", "b", 500.0)
+    for j, gain in enumerate((1e-3, 2e-3, 1.5e-3)):
+        c.nonlinear_vccs(
+            f"gm{j}", "b", "0", "a", "0",
+            func=(lambda g: lambda v: g * np.tanh(v))(gain),
+        )
+    return c
+
+
+def _general_circuit():
+    c = Circuit("general")
+    c.voltage_source("vin", "in", "0", sine(2.0, 2e6, offset=1.5))
+    c.resistor("r1", "in", "a", 200.0)
+    c.capacitor("c1", "a", "0", 1e-9)
+    c.diode("d1", "a", "b")
+    c.resistor("r2", "b", "0", 1e3)
+    c.capacitor("c2", "b", "0", 5e-10)
+    return c
+
+
+#: family -> (builder, use_dc_operating_point).  The oscillator must
+#: start from the deterministic t=0 kick, not the DC equilibrium: at
+#: the equilibrium the startup seed *is* solver rounding noise, and
+#: exponential growth amplifies any backend's last-ulp differences
+#: into macroscopic (but physically meaningless) divergence.
+FAMILIES = {
+    "linear": (_linear_circuit, True),
+    "rank1": (_rank1_circuit, False),
+    "woodbury": (_woodbury_circuit, True),
+    "general": (_general_circuit, True),
+}
+
+
+def _options(backend, step_control, use_dc=True):
+    return TransientOptions(
+        t_stop=4e-6,
+        dt=6.25e-9,
+        backend=backend,
+        step_control=step_control,
+        use_dc_operating_point=use_dc,
+    )
+
+
+class TestSparseMatchesDense:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    @pytest.mark.parametrize("step_control", ["fixed", "adaptive"])
+    def test_transient_equivalence(self, family, step_control):
+        pytest.importorskip("scipy")
+        build, use_dc = FAMILIES[family]
+        dense = run_transient(build(), _options("dense", step_control, use_dc))
+        sparse = run_transient(build(), _options("sparse", step_control, use_dc))
+        assert dense.stats["strategy"] == sparse.stats["strategy"]
+        assert sparse.stats["backend"] == "sparse"
+        assert np.array_equal(dense.t, sparse.t)
+        scale = max(float(np.abs(dense.x).max()), 1e-12)
+        np.testing.assert_allclose(
+            sparse.x, dense.x, rtol=1e-9, atol=1e-9 * scale
+        )
+
+    def test_solve_dc_equivalence(self):
+        pytest.importorskip("scipy")
+        for build in (_woodbury_circuit, _general_circuit):
+            dense = solve_dc(build(), backend="dense")
+            sparse = solve_dc(build(), backend="sparse")
+            np.testing.assert_allclose(
+                sparse.x, dense.x, rtol=1e-9, atol=1e-12
+            )
+
+    def test_run_ac_equivalence(self):
+        pytest.importorskip("scipy")
+        freqs = np.linspace(3e6, 5e6, 21)
+        dense = run_ac(_rank1_circuit(), freqs, backend="dense")
+        sparse = run_ac(_rank1_circuit(), freqs, backend="sparse")
+        np.testing.assert_allclose(
+            sparse.x, dense.x, rtol=1e-9, atol=1e-9 * np.abs(dense.x).max()
+        )
+
+    @pytest.mark.parametrize("step_control", ["fixed", "adaptive"])
+    def test_batched_block_diagonal_equivalence(self, step_control):
+        pytest.importorskip("scipy")
+        def build(scale):
+            tank = RLCTank.from_frequency_and_q(4e6, 15.0 * scale, 1e-6)
+            limiter = TanhLimiter(gm=6e-3 * scale, i_max=2e-3)
+            return OscillatorNetlist(tank, vref=2.5).build(limiter)
+
+        scales = [1.0, 1.02, 0.97, 1.05]
+        options = _options("dense", step_control)
+        options.use_dc_operating_point = False
+        dense = run_transient_batched([build(s) for s in scales], options)
+        options_s = _options("sparse", step_control)
+        options_s.use_dc_operating_point = False
+        sparse = run_transient_batched([build(s) for s in scales], options_s)
+        for rd, rs in zip(dense, sparse):
+            assert rs.stats["backend"] == "sparse"
+            assert rd.stats["newton_iterations"] == rs.stats["newton_iterations"]
+            scale = max(float(np.abs(rd.x).max()), 1e-12)
+            np.testing.assert_allclose(
+                rs.x, rd.x, rtol=1e-9, atol=1e-9 * scale
+            )
+
+    def test_chord_explicit_sparse_rejected_auto_falls_back(self):
+        pytest.importorskip("scipy")
+        options = _options("sparse", "fixed")
+        options.jacobian = "chord"
+        with pytest.raises(SimulationError, match="chord"):
+            run_transient(_general_circuit(), options)
+        # An explicitly constructed backend *instance* is just as
+        # explicit as the string: it must not be silently replaced.
+        options_inst = _options(SparseBackend(), "fixed")
+        options_inst.jacobian = "chord"
+        with pytest.raises(SimulationError, match="chord"):
+            run_transient(_general_circuit(), options_inst)
+        options_auto = _options("auto", "fixed")
+        options_auto.jacobian = "chord"
+        result = run_transient(_general_circuit(), options_auto)
+        assert result.stats["backend"] == "dense"
+
+
+class TestSparseSingularDegradation:
+    def test_singular_system_falls_back_to_lstsq(self):
+        pytest.importorskip("scipy")
+        # A floating node (current source into a capacitor-only node
+        # with gmin) is near-singular; an *exactly* singular CSR must
+        # degrade to the least-squares answer instead of raising.
+        from repro.circuits.backend import SparseLU
+        from scipy import sparse
+
+        matrix = sparse.csr_matrix(np.zeros((3, 3)))
+        lu = SparseLU(matrix)
+        assert lu.is_singular
+        solution = lu.solve(np.array([1.0, 0.0, 0.0]))
+        assert np.all(np.isfinite(solution))

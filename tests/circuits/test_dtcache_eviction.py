@@ -1,0 +1,102 @@
+"""The DtCache LRU retire path under step-size churn.
+
+The adaptive controller visits a handful of quantized step sizes, but
+nothing *guarantees* a run stays under ``max_dt_entries`` — a long
+breakpoint-heavy scenario can walk the whole dt ladder repeatedly.
+These tests drive more distinct step sizes than the cache holds and
+pin the eviction contract: the ``_retire`` hook fires, ``live_entries``
+tracks exactly the survivors, factorization counts stay honest across
+evictions, and evicted entries *release* their backend factorizations
+instead of keeping LU memory alive.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, dc, sine
+from repro.circuits.assembly import DtCache, TransientAssembly
+
+
+def _circuit():
+    c = Circuit("cache")
+    c.voltage_source("vin", "in", "0", sine(1.0, 1e6, offset=2.0))
+    c.resistor("r1", "in", "a", 100.0)
+    c.capacitor("c1", "a", "0", 1e-9)
+    c.inductor("l1", "a", "b", 1e-6)
+    c.resistor("r2", "b", "0", 50.0)
+    return c
+
+
+class TestDtCachePolicy:
+    def test_retire_fires_beyond_capacity(self):
+        retired = []
+        cache = DtCache(build=lambda dt: {"dt": dt}, retire=retired.append,
+                        max_entries=8)
+        dts = [1e-9 * 2**k for k in range(12)]
+        for dt in dts:
+            cache.get(dt)
+        assert len(cache) == 8
+        assert [e["dt"] for e in retired] == dts[:4]  # oldest first
+        live = [e["dt"] for e in cache.live_entries()]
+        assert live == dts[4:]
+
+    def test_lru_order_protects_recently_used(self):
+        cache = DtCache(build=lambda dt: {"dt": dt}, max_entries=2)
+        a = cache.get(1.0)
+        cache.get(2.0)
+        assert cache.get(1.0) is a  # touch: 1.0 becomes most recent
+        cache.get(3.0)  # evicts 2.0, not 1.0
+        assert cache.get(1.0) is a
+        assert cache.get(2.0) is not None  # rebuilt
+
+    def test_ephemeral_slots_do_not_evict_grid(self):
+        retired = []
+        cache = DtCache(build=lambda dt: {"dt": dt}, retire=retired.append,
+                        max_entries=2)
+        cache.get(1.0)
+        cache.get(2.0)
+        cache.get(0.3, ephemeral=True)
+        cache.get(0.15, ephemeral=True)
+        assert len(cache) == 2 and not retired
+        # A third ephemeral dt retires the previous scratch pair.
+        cache.get(0.7, ephemeral=True)
+        assert sorted(e["dt"] for e in retired) == [0.15, 0.3]
+
+
+class TestAssemblyEviction:
+    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    def test_factorizations_counted_and_released(self, backend):
+        if backend == "sparse":
+            pytest.importorskip("scipy")
+        assembly = TransientAssembly(
+            _circuit(), 1e-9, "trap", 1e-12, max_dt_entries=8, backend=backend
+        )
+        dts = [1e-9 * 2**k for k in range(10)]  # > 8 distinct sizes
+        factored = []
+        for dt in dts:
+            assembly.set_dt(dt)
+            lu = assembly.lu()  # force a factorization per entry
+            assert lu.solve(np.ones(assembly.size)).shape == (assembly.size,)
+            factored.append(assembly._active)
+        assert assembly.n_dt_entries == 8
+        # The two oldest entries were evicted: their factorizations are
+        # counted in the retired tally and the references released.
+        assert assembly.retired_factorizations == 2
+        assert assembly.lu_factorizations == 10
+        for entry in factored[:2]:
+            assert entry.lu is None and entry.rank1 is None
+            assert entry.woodbury is None and entry.delta is None
+        for entry in factored[2:]:
+            assert entry.lu is not None
+        live = assembly._cache.live_entries()
+        assert len(live) == 8 and factored[0] not in live
+
+    def test_revisiting_cached_dt_does_not_refactor(self):
+        assembly = TransientAssembly(_circuit(), 1e-9, "trap", 1e-12)
+        assembly.lu()
+        before = assembly.lu_factorizations
+        assembly.set_dt(2e-9)
+        assembly.lu()
+        assembly.set_dt(1e-9)  # cache hit
+        assembly.lu()
+        assert assembly.lu_factorizations == before + 1

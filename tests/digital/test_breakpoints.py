@@ -1,0 +1,103 @@
+"""Digital blocks feeding their event times into adaptive stepping.
+
+The ROADMAP item: the watchdog, POR, and event kernel *know* their own
+event times, so mixed-signal scenarios should run adaptively without
+hand-listed ``breakpoints=``.  These tests pin each block's
+``breakpoints(t_stop)`` hook, the ``collect_breakpoints`` plumbing,
+and the end-to-end path through ``TransientOptions.breakpoint_sources``
+— a forced step boundary must land exactly on the digital event.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, TransientOptions, dc, run_transient
+from repro.circuits.stepcontrol import collect_breakpoints
+from repro.digital import EventScheduler, PowerOnReset, RecurringEvent, WatchdogTimer
+from repro.errors import SimulationError
+
+
+class TestEventSchedulerHook:
+    def test_pending_events_reported_sorted(self):
+        sched = EventScheduler()
+        sched.schedule_at(3e-3, lambda: None)
+        sched.schedule_at(1e-3, lambda: None)
+        sched.schedule_at(9.0, lambda: None)  # beyond t_stop
+        assert sched.breakpoints(5e-3) == (1e-3, 3e-3)
+
+    def test_recurring_event_enumerates_future_ticks(self):
+        sched = EventScheduler()
+        tick = RecurringEvent(sched, period=1e-3, callback=lambda t: None)
+        assert tick.breakpoints(3.5e-3) == (1e-3, 2e-3, 3e-3)
+
+    def test_recurring_event_honours_start_delay_and_progress(self):
+        sched = EventScheduler()
+        tick = RecurringEvent(
+            sched, period=1e-3, callback=lambda t: None, start_delay=2.5e-4
+        )
+        assert tick.breakpoints(2e-3) == (2.5e-4, 1.25e-3)
+        sched.run_until(1e-3)  # first tick fired, next at 1.25e-3
+        assert tick.breakpoints(2e-3) == (1.25e-3,)
+        tick.cancel()
+        assert tick.breakpoints(2e-3) == ()
+
+
+class TestWatchdogAndPorHooks:
+    def test_watchdog_deadline(self):
+        wd = WatchdogTimer(timeout=2e-3)
+        assert wd.breakpoints(1.0) == ()  # not armed
+        wd.arm(1e-3)
+        assert wd.breakpoints(1.0) == (3e-3,)
+        wd.kick(2e-3)
+        assert wd.breakpoints(1.0) == (4e-3,)
+        assert wd.breakpoints(3e-3) == ()  # deadline beyond window
+        assert wd.expired(5e-3)  # latched: no pending deadline
+        assert wd.breakpoints(1.0) == ()
+
+    def test_por_release_time(self):
+        por = PowerOnReset(threshold=2.4, release_delay=10e-6)
+        assert por.breakpoints(1.0) == ()
+        por.update(1e-6, 1.0)  # below threshold
+        assert por.breakpoints(1.0) == ()
+        por.update(2e-6, 3.0)  # supply good
+        assert por.breakpoints(1.0) == (12e-6,)
+
+
+class TestCollectBreakpoints:
+    def _circuit(self):
+        c = Circuit("rc")
+        c.voltage_source("v1", "in", "0", dc(1.0))
+        c.resistor("r1", "in", "a", 1e3)
+        c.capacitor("c1", "a", "0", 1e-9)
+        return c
+
+    def test_sources_merged_with_stimulus_and_extra(self):
+        sched = EventScheduler()
+        sched.schedule_at(4e-6, lambda: None)
+        wd = WatchdogTimer(timeout=2e-6)
+        wd.arm(0.0)
+        times = collect_breakpoints(
+            self._circuit(), 1e-5, extra=(6e-6,), sources=(sched, wd)
+        )
+        assert times == (2e-6, 4e-6, 6e-6)
+
+    def test_source_without_hook_rejected(self):
+        with pytest.raises(SimulationError, match="breakpoints"):
+            collect_breakpoints(self._circuit(), 1e-5, sources=(object(),))
+
+    def test_adaptive_run_lands_on_digital_event(self):
+        sched = EventScheduler()
+        sched.schedule_at(3.3e-6, lambda: None)  # off the dt grid
+        result = run_transient(
+            self._circuit(),
+            TransientOptions(
+                t_stop=1e-5,
+                dt=1e-6,
+                step_control="adaptive",
+                use_dc_operating_point=False,
+                breakpoint_sources=(sched,),
+            ),
+        )
+        assert result.stats["breakpoints_hit"] >= 1
+        # The grid contains the event time *exactly* — no float drift.
+        assert np.any(result.t == 3.3e-6)
