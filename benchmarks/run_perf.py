@@ -17,6 +17,17 @@ default) so future PRs have a perf trajectory to regress against:
   carrier, the drive collapses at the fault breakpoint, ring-down,
   then a long quiet tail.  Stiff-then-slow — the workload class
   adaptive stepping exists for.
+* ``supply_loss_gear`` — the same supply-loss scenario at a *tight*
+  accuracy target (LTE reltol 1e-6), integrated with adaptive
+  trapezoidal (baseline) vs variable-order Gear/BDF3.  The gated
+  asset is the **accepted-step economy**: at matched amplitude error
+  the third-order formula walks the decay and quiet tail in less
+  than half the steps trap needs — on large netlists every accepted
+  step is an assembly + factorization, so the step count is the
+  hardware-independent currency.  (On this 7-unknown tank the raw
+  wall clock favours trap — the per-step cost is Python overhead,
+  not linear algebra — which is why the gate rides the deterministic
+  step ratio, not seconds.)
 * ``mc_startup`` — a Monte-Carlo campaign of short carrier-resolution
   startups over mismatch draws (driver gm / tank Q spread), routed
   through the shared campaign runner.  Baseline: the same campaign on
@@ -277,6 +288,104 @@ def bench_supply_loss_adaptive(cycles: int = 400) -> dict:
     }
 
 
+# -- supply-loss decay: adaptive trap vs variable-order Gear -----------------
+
+
+def _fitted_amplitude(waveform, t0: float, t1: float, frequency: float) -> float:
+    """Carrier amplitude over a window by least-squares sinusoid fit.
+
+    Sampling-robust: an adaptive grid at 15-30 points per cycle makes
+    raw peak-to-peak (and even parabola-refined peaks) underestimate
+    the carrier by percents, which would charge sampling density to
+    the integrator.  The two-basis fit is exact for a sinusoid at any
+    sampling density, so it measures integration error alone.
+    """
+    window = waveform.window(t0, t1)
+    basis = np.column_stack([
+        np.sin(2 * np.pi * frequency * window.t),
+        np.cos(2 * np.pi * frequency * window.t),
+    ])
+    coef, *_ = np.linalg.lstsq(basis, window.y, rcond=None)
+    return float(np.hypot(coef[0], coef[1]))
+
+
+def bench_supply_loss_gear(cycles: int = 400) -> dict:
+    f0 = TANK.frequency
+    T = 1.0 / f0
+    t_fault = (cycles / 10) * T
+    t_stop = cycles * T
+
+    def circuit():
+        return supply_loss_tank_circuit(f0, t_fault, q=40.0, inductance=TANK.inductance)
+
+    def options(method, **kw):
+        return TransientOptions(
+            t_stop=t_stop,
+            dt=T / 40,
+            method=method,
+            step_control="adaptive",
+            use_dc_operating_point=False,
+            dt_min=T / 81920,
+            dt_max=8 * T,
+            lte_reltol=1e-6,
+            lte_abstol=1e-9,
+            **kw,
+        )
+
+    # Error reference: one fine fixed-grid golden run (not timed).
+    fine = run_transient(
+        circuit(),
+        TransientOptions(t_stop=t_stop, dt=T / 160, use_dc_operating_point=False),
+    )
+    amp_ref = _fitted_amplitude(
+        fine.differential("lc1", "lc2"), 0.6 * t_fault, t_fault, f0
+    )
+
+    trap_seconds, trap = _timed(lambda: run_transient(circuit(), options("trap")))
+    gear_seconds, gear = _timed(
+        lambda: run_transient(
+            circuit(), options("gear", max_order=3, order_control=False)
+        )
+    )
+    amp_err_trap = abs(
+        _fitted_amplitude(
+            trap.differential("lc1", "lc2"), 0.6 * t_fault, t_fault, f0
+        ) / amp_ref - 1.0
+    )
+    amp_err_gear = abs(
+        _fitted_amplitude(
+            gear.differential("lc1", "lc2"), 0.6 * t_fault, t_fault, f0
+        ) / amp_ref - 1.0
+    )
+    assert amp_err_trap < ADAPTIVE_ERROR_LIMIT, f"trap amp error {amp_err_trap:.2%}"
+    assert amp_err_gear < ADAPTIVE_ERROR_LIMIT, f"gear amp error {amp_err_gear:.2%}"
+    step_ratio = trap.stats["accepted_steps"] / gear.stats["accepted_steps"]
+    assert step_ratio >= 2.0, (
+        f"gear must halve trap's accepted steps, got {step_ratio:.2f}x"
+    )
+    return {
+        "workload": f"supply-loss decay at tight accuracy (lte_reltol 1e-6), "
+        f"{cycles} cycles: adaptive trap vs variable-order Gear (BDF3)",
+        "baseline": "adaptive trapezoidal, identical tolerances (live, same machine)",
+        "cycles": cycles,
+        "seed_seconds": trap_seconds,
+        "optimized_seconds": gear_seconds,
+        "speedup": trap_seconds / gear_seconds,
+        "steps_trap": trap.stats["accepted_steps"],
+        "steps_gear": gear.stats["accepted_steps"],
+        "optimized_steps": gear.stats["accepted_steps"],
+        "step_ratio": step_ratio,
+        "rejected_trap": trap.stats["rejected_steps"],
+        "rejected_gear": gear.stats["rejected_steps"],
+        "amplitude_error_trap": amp_err_trap,
+        "amplitude_error_gear": amp_err_gear,
+        "gear_order_histogram": {
+            str(order): count
+            for order, count in gear.stats["order_histogram"].items()
+        },
+    }
+
+
 # -- Monte-Carlo startup campaign -------------------------------------------
 
 
@@ -482,6 +591,7 @@ def run_benches(
         "fig16_startup": bench_fig16_startup(cycles),
         "fig16_startup_adaptive": bench_fig16_adaptive(cycles),
         "supply_loss_adaptive": bench_supply_loss_adaptive(supply_cycles),
+        "supply_loss_gear": bench_supply_loss_gear(supply_cycles),
         "mc_startup": bench_mc_startup(samples),
         "mc_startup_batched": bench_mc_startup_batched(batched_samples),
         "fault_coverage": bench_fault_coverage(),

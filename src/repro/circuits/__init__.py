@@ -23,8 +23,13 @@ Solver internals (importable for tests/benchmarks):
 * :mod:`~repro.circuits.assembly` — incremental transient stamping:
   linear stamps cached once per step size (small per-``dt`` LRU),
   nonlinear devices restamped per Newton iteration.
+* :mod:`~repro.circuits.integration` — pluggable integration methods
+  (``method="trap"|"be"|"bdf2"|"gear"`` on the transient engines):
+  one-step trapezoidal/backward-Euler plus variable-order BDF (Gear,
+  orders 1-3) with non-uniform-history companion coefficients.
 * :mod:`~repro.circuits.stepcontrol` — LTE-based adaptive step
-  control (step-doubling error estimate, breakpoint forcing) driving
+  control (step-doubling error estimate, breakpoint forcing, and
+  order control for the variable-order methods) driving
   ``run_transient(step_control="adaptive")``.
 * :mod:`~repro.circuits.reference` — the preserved seed transient
   engine (:func:`run_transient_reference`), golden baseline for the
@@ -45,6 +50,15 @@ from .controlled import VCCS, VCVS, NonlinearVCCS
 from .dcop import NewtonOptions, OperatingPoint, SweepResult, dc_sweep, solve_dc
 from .diode import Diode, junction_iv
 from .elements import Capacitor, Inductor, Resistor, Switch
+from .integration import (
+    BDF2,
+    BackwardEuler,
+    Gear,
+    IntegrationMethod,
+    StepCoeffs,
+    Trapezoidal,
+    resolve_method,
+)
 from .mosfet import Mosfet, MosfetParams, NMOS_DEFAULT, PMOS_DEFAULT
 from .netlist import Circuit
 from .noise import NoiseResult, run_noise
@@ -86,6 +100,13 @@ __all__ = [
     "Inductor",
     "Resistor",
     "Switch",
+    "IntegrationMethod",
+    "StepCoeffs",
+    "Trapezoidal",
+    "BackwardEuler",
+    "BDF2",
+    "Gear",
+    "resolve_method",
     "Mosfet",
     "MosfetParams",
     "NMOS_DEFAULT",

@@ -17,14 +17,18 @@ the system exactly as often as it can change:
   :class:`~repro.circuits.backend.MatrixBackend` — dense (frozen
   ndarray + :class:`~repro.circuits.linsolve.ReusableLU`) or CSR
   (``splu``), with the stream's sparsity pattern computed once per
-  netlist and shared by every step size.  Every
-  ``(dt, method)``-dependent product — the base matrix, its cached
-  factorization, the vectorized companion coefficients, the rank-k
-  solve data — lives in a per-``dt`` cache entry; a small LRU of
-  those entries lets the adaptive step controller revisit its few
-  quantized step sizes without refactorizing anything
-  (:meth:`TransientAssembly.set_dt`).  A fixed-step run simply never
-  leaves its first entry.
+  netlist and shared by every step size.  Every setup-dependent
+  product — the base matrix, its cached factorization, the vectorized
+  companion coefficients, the rank-k solve data — lives in a cache
+  entry keyed by the full ``(dt, method, order)`` integration setup;
+  a small LRU of those entries lets the adaptive step/order
+  controller revisit its few quantized setups without refactorizing
+  anything (:meth:`TransientAssembly.set_dt`).  A fixed-step run
+  simply never leaves its first entry.  Multistep (BDF/Gear) methods
+  additionally keep a committed-state history ring whose
+  spacing-dependent weights are recomputed per step — deliberately
+  *outside* the cache entries, so non-uniform history never thrashes
+  the LRU.
 * **once per step** — the linear right-hand side: source values at the
   step time plus the reactive companion currents, evaluated from the
   integrator state with vectorized numpy instead of per-component
@@ -61,6 +65,7 @@ from .component import (
 )
 from .controlled import NonlinearVCCS
 from .elements import Capacitor, Inductor
+from .integration import IntegrationMethod, resolve_method
 from .linsolve import ReusableLU, solve_dense
 from .netlist import Circuit
 
@@ -81,27 +86,47 @@ _SPARSE_SCATTER_MIN = 128
 
 
 class _ReactiveCoeffs:
-    """Per-``(dt, method)`` companion coefficients of a :class:`_ReactiveSet`.
+    """Per-``(dt, method, order)`` companion coefficients of a
+    :class:`_ReactiveSet`.
 
     The integrator *state* (previous voltage/current of every plain
     cap and inductor) is step-size independent; these vectors are the
     only part of the vectorized companion model that changes when the
-    step controller picks a new ``dt``.
+    step controller picks a new ``dt`` (or the order controller a new
+    order).  One-step methods cache the full weight vectors
+    (``alpha``/``beta``) because their weights are spacing-
+    independent; multistep (BDF/Gear) entries cache only the
+    spacing-independent half — ``gcol``, the per-element companion
+    conductances/resistances — and the history weights are recomputed
+    per step from the committed-time ring buffer (see
+    :meth:`IntegrationMethod.step_weights`), which is exactly what
+    keeps non-uniform-history coefficient changes out of the
+    per-``dt`` LRU.
     """
 
-    __slots__ = ("alpha", "beta", "upd_g", "upd_m")
+    __slots__ = (
+        "alpha", "beta", "upd_g", "upd_m", "gcol", "method", "dt", "order"
+    )
 
     def __init__(
         self,
-        alpha: np.ndarray,
-        beta: np.ndarray,
-        upd_g: np.ndarray,
+        alpha: Optional[np.ndarray],
+        beta: Optional[np.ndarray],
+        upd_g: Optional[np.ndarray],
         upd_m: float,
+        gcol: Optional[np.ndarray] = None,
+        method: Optional[IntegrationMethod] = None,
+        dt: float = 0.0,
+        order: int = 0,
     ):
         self.alpha = alpha
         self.beta = beta
         self.upd_g = upd_g
         self.upd_m = upd_m
+        self.gcol = gcol
+        self.method = method
+        self.dt = dt
+        self.order = order
 
 
 class _ReactiveSet:
@@ -160,28 +185,129 @@ class _ReactiveSet:
         self.v = np.zeros(n)
         self.i = np.zeros(n)
 
-    def coeffs(self, dt: float, method: str) -> _ReactiveCoeffs:
-        """Companion coefficients for one ``(dt, method)`` setup."""
+        # Multistep history ring (older committed states, newest
+        # first), allocated by enable_history() only when the run's
+        # integration method needs depth > 1; the one-step hot path
+        # never touches it.  History is stored in *formula* form —
+        # ``h_val`` holds each element's natural state (cap voltage,
+        # inductor current) and ``h_der`` its scaled derivative (cap
+        # current, inductor voltage) — so the per-step companion term
+        # is one weighted accumulation, no cap/inductor reshuffling.
+        # The shipped BDF members weight values only (wd == 0); the
+        # derivative ring is the extension point for derivative-
+        # feedback multistep members (Adams-Moulton, a trapezoidal
+        # history bootstrap) and costs one small copy per commit.
+        self.h_depth = 0
+        self.h_val: Optional[np.ndarray] = None
+        self.h_der: Optional[np.ndarray] = None
+        self.h_t: Optional[np.ndarray] = None
+        self.h_len = 0
+        #: Time of the current committed state (multistep weights and
+        #: history pushes read it; one-step methods just carry it).
+        self.t_now = 0.0
+        #: Per-(dt, order, history) weight memo: within one adaptive
+        #: candidate the same weights are needed up to twice (RHS and
+        #: commit), and a Newton-rejected retry revisits the pair.
+        self._w_cache: Dict[tuple, tuple] = {}
+
+    # -- multistep history ------------------------------------------------
+
+    def enable_history(self, depth: int) -> None:
+        """Allocate ring buffers for ``depth`` committed points total
+        (current state + ``depth - 1`` older entries).
+
+        Growing a live ring (a mid-run ``set_method`` to a deeper
+        method) copies the surviving entries over, so the committed
+        history stays valid rather than silently pointing ``h_len``
+        at freshly zeroed rows.
+        """
+        extra = depth - 1
+        if extra <= 0 or extra <= self.h_depth:
+            return
+        old = (self.h_val, self.h_der, self.h_t, self.h_len)
+        self.h_depth = extra
+        self.h_val = np.zeros((extra, self.n))
+        self.h_der = np.zeros((extra, self.n))
+        self.h_t = np.zeros(extra)
+        if old[0] is not None and old[3]:
+            keep = old[3]
+            self.h_val[:keep] = old[0][:keep]
+            self.h_der[:keep] = old[1][:keep]
+            self.h_t[:keep] = old[2][:keep]
+
+    @property
+    def history_points(self) -> int:
+        """Committed states available, including the current one."""
+        return 1 + self.h_len
+
+    def history_times(self) -> tuple:
+        """Committed-state times, newest first (``[0]`` is current)."""
+        return (self.t_now,) + tuple(
+            float(t) for t in self.h_t[: self.h_len]
+        )
+
+    def reset_history(self) -> None:
+        """Drop the older entries (the current state stays valid);
+        used across breakpoints, where interpolating through a
+        discontinuity would poison the multistep formula."""
+        self.h_len = 0
+
+    def _val_now(self) -> np.ndarray:
+        """Current state in formula form (cap v, inductor i)."""
+        nc = self.n_caps
+        val = np.empty(self.n)
+        val[:nc] = self.v[:nc]
+        val[nc:] = self.i[nc:]
+        return val
+
+    def _push_history(self) -> None:
+        """Ring-push the current state before it is overwritten."""
+        if not self.h_depth:
+            return
+        nc = self.n_caps
+        if self.h_depth > 1:
+            self.h_val[1:] = self.h_val[:-1]
+            self.h_der[1:] = self.h_der[:-1]
+            self.h_t[1:] = self.h_t[:-1]
+        self.h_val[0] = self._val_now()
+        self.h_der[0, :nc] = self.i[:nc]
+        self.h_der[0, nc:] = self.v[nc:]
+        self.h_t[0] = self.t_now
+        self.h_len = min(self.h_len + 1, self.h_depth)
+
+    # -- coefficients -------------------------------------------------------
+
+    def coeffs(
+        self, dt: float, method: IntegrationMethod, order: int
+    ) -> _ReactiveCoeffs:
+        """Companion coefficients for one ``(dt, method, order)``."""
+        base = method.base_coeffs(order)
         geq = np.array(
-            [c.companion_conductance(dt, method) for c in self.caps], dtype=float
+            [c.companion_conductance(dt, base) for c in self.caps], dtype=float
         )
         req = np.array(
-            [l.companion_resistance(dt, method) for l in self.inds], dtype=float
+            [l.companion_resistance(dt, base) for l in self.inds], dtype=float
         )
-        trap = method != "be"
         n_inds = len(self.inds)
+        if method.is_multistep:
+            # Spacing-dependent weights are per-step products; only
+            # the companion conductances belong to the cache entry.
+            gcol = np.concatenate([geq, req])
+            return _ReactiveCoeffs(
+                None, None, None, 0.0,
+                gcol=gcol, method=method, dt=dt, order=order,
+            )
+        wv0, wd0 = base.wv0, base.wd0
         # Companion RHS term per element: alpha*v_state + beta*i_state.
-        #   cap:  ieq = -geq*v - i (trap) | -geq*v (be)
-        #   ind:  rhs = -v - req*i (trap) | -req*i (be)
-        alpha = np.concatenate([-geq, np.full(n_inds, -1.0 if trap else 0.0)])
-        beta = np.concatenate(
-            [np.full(len(self.caps), -1.0 if trap else 0.0), -req]
-        )
+        #   cap:  ieq = wv0*geq*v + wd0*i
+        #   ind:  rhs = wv0*req*i + wd0*v
+        alpha = np.concatenate([wv0 * geq, np.full(n_inds, wd0)])
+        beta = np.concatenate([np.full(len(self.caps), wd0), wv0 * req])
         # State-update coefficients: i' = upd_g*(v'-v) - upd_m*i for
-        # caps (upd_g is 2C/dt for trap, C/dt for BE); inductor slots
-        # are placeholders, overwritten by their branch currents.
+        # caps (upd_g is lead*C/dt); inductor slots are placeholders,
+        # overwritten by their branch currents.
         upd_g = np.concatenate([geq, np.zeros(n_inds)])
-        return _ReactiveCoeffs(alpha, beta, upd_g, 1.0 if trap else 0.0)
+        return _ReactiveCoeffs(alpha, beta, upd_g, float(-wd0))
 
     def init_state(self, x: np.ndarray) -> None:
         """Seed integrator state from a converged starting point.
@@ -195,47 +321,106 @@ class _ReactiveSet:
         for j, l in enumerate(self.inds):
             st = l.init_state(x)
             self.v[self.n_caps + j], self.i[self.n_caps + j] = st.v, st.i
+        self.h_len = 0
+        self.t_now = 0.0
+        self._w_cache.clear()
+
+    def step_weights(self, co: _ReactiveCoeffs) -> tuple:
+        """Memoized ``(wv, wd)`` for the active setup and history.
+
+        The key pins the full committed-history identity: the current
+        time, the fill level, and the newest older entry (consecutive
+        commits chain the rest).
+        """
+        h_t0 = float(self.h_t[0]) if self.h_len else 0.0
+        key = (co.dt, co.order, self.t_now, self.h_len, h_t0)
+        w = self._w_cache.get(key)
+        if w is None:
+            w = co.method.step_weights(co.dt, co.order, self.history_times())
+            if len(self._w_cache) > 16:
+                self._w_cache.clear()
+            self._w_cache[key] = w
+        return w
+
+    def _companion_term(self, co: _ReactiveCoeffs) -> np.ndarray:
+        """Per-element multistep companion term (cap ``ieq`` / inductor
+        branch RHS), from the method's history weights."""
+        wv, wd = self.step_weights(co)
+        nc = self.n_caps
+        acc = wv[0] * self._val_now()
+        for k in range(1, len(wv)):
+            acc += wv[k] * self.h_val[k - 1]
+        term = co.gcol * acc
+        if wd[0]:
+            term[:nc] += wd[0] * self.i[:nc]
+            term[nc:] += wd[0] * self.v[nc:]
+        for k in range(1, len(wd)):
+            if wd[k]:
+                term += wd[k] * self.h_der[k - 1]
+        return term
 
     def companion_rhs(self, co: _ReactiveCoeffs) -> np.ndarray:
         """The companion RHS of the current state (fresh vector)."""
         if not self.n:
             return np.zeros(self.size)
-        term = co.alpha * self.v + co.beta * self.i
+        if co.gcol is None:
+            term = co.alpha * self.v + co.beta * self.i
+        else:
+            term = self._companion_term(co)
         if self.scatter_csr is not None:
             return self.scatter_csr.dot(term)
         return self.scatter.dot(term)
 
-    def commit(self, co: _ReactiveCoeffs, x_padded: np.ndarray, x: np.ndarray) -> None:
+    def commit(
+        self,
+        co: _ReactiveCoeffs,
+        x_padded: np.ndarray,
+        x: np.ndarray,
+        time: float,
+    ) -> None:
         """Advance the integrator state after a converged step.
 
         ``x_padded`` is ``x`` with one trailing zero so ground indices
         gather 0.0.
         """
         if not self.n:
+            self.t_now = time
             return
         v_new = x_padded[self.a_idx] - x_padded[self.b_idx]
-        i_new = co.upd_g * (v_new - self.v)
-        if co.upd_m:
-            i_new -= self.i
+        if co.gcol is None:
+            i_new = co.upd_g * (v_new - self.v)
+            if co.upd_m:
+                i_new -= self.i
+        else:
+            # Derivative state from the integration formula itself:
+            # i_{n+1} = geq*v_{n+1} + ieq (cap slots; inductor slots
+            # are overwritten from the branch currents below).
+            i_new = co.gcol * v_new + self._companion_term(co)
         if len(self.inds):
             i_new[self.n_caps:] = x[self.br_idx]
+        self._push_history()
         self.v = v_new
         self.i = i_new
+        self.t_now = time
 
 
 class DtCache:
-    """dt-keyed LRU with a two-slot *ephemeral* side cache.
+    """Setup-keyed LRU with a two-slot *ephemeral* side cache.
 
     The policy both transient assemblies (per-sample and batched
-    lockstep) share: quantized step sizes live in an LRU of at most
-    ``max_entries`` cache entries; breakpoint-truncated one-shot step
-    sizes — arbitrary event-driven floats that will not recur — are
-    served from a two-slot scratch area (a truncated candidate step
-    solves at ``dt`` *and* ``dt/2``, and a Newton-reject retry
-    revisits the same pair) so they never evict the controller's
-    quantized grid entries.
+    lockstep) share.  Keys are opaque hashables — the assemblies key
+    every entry by the full integration setup ``(dt, method, order)``
+    rather than ``dt`` alone, so switching method or order on a live
+    assembly can never reuse a stale entry whose build closure baked
+    in a different integrator.  Quantized step sizes live in an LRU
+    of at most ``max_entries`` cache entries; breakpoint-truncated
+    one-shot step sizes — arbitrary event-driven floats that will not
+    recur — are served from a two-slot scratch area (a truncated
+    candidate step solves at ``dt`` *and* ``dt/2``, and a
+    Newton-reject retry revisits the same pair) so they never evict
+    the controller's quantized grid entries.
 
-    ``build(dt)`` constructs a missing entry; the optional
+    ``build(key)`` constructs a missing entry; the optional
     ``retire(entry)`` hook runs when an entry leaves the cache
     (eviction or ephemeral turnover), which is how the per-sample
     assembly keeps its factorization counters honest.
@@ -247,16 +432,16 @@ class DtCache:
         self._build = build
         self._retire = retire
         self.max_entries = max_entries
-        self._entries: "OrderedDict[float, object]" = OrderedDict()
-        self._ephemeral: Dict[float, object] = {}
+        self._entries: "OrderedDict[object, object]" = OrderedDict()
+        self._ephemeral: Dict[object, object] = {}
 
-    def get(self, dt: float, ephemeral: bool = False):
-        """The entry for ``dt``, built on demand."""
-        entry = self._entries.get(dt)
+    def get(self, key, ephemeral: bool = False):
+        """The entry for ``key``, built on demand."""
+        entry = self._entries.get(key)
         if entry is not None:
-            self._entries.move_to_end(dt)
+            self._entries.move_to_end(key)
         elif ephemeral:
-            entry = self._ephemeral.get(dt)
+            entry = self._ephemeral.get(key)
             if entry is None:
                 if len(self._ephemeral) >= 2:
                     # A new truncated step: the previous pair is done.
@@ -264,11 +449,11 @@ class DtCache:
                         for old in self._ephemeral.values():
                             self._retire(old)
                     self._ephemeral.clear()
-                entry = self._build(dt)
-                self._ephemeral[dt] = entry
+                entry = self._build(key)
+                self._ephemeral[key] = entry
         else:
-            entry = self._build(dt)
-            self._entries[dt] = entry
+            entry = self._build(key)
+            self._entries[key] = entry
             while len(self._entries) > self.max_entries:
                 _, evicted = self._entries.popitem(last=False)
                 if self._retire is not None:
@@ -330,14 +515,15 @@ class TransientAssembly:
         self,
         circuit: Circuit,
         dt: float,
-        method: str,
+        method: Union[str, IntegrationMethod],
         gmin: float,
         max_dt_entries: int = 8,
         backend: Union[str, MatrixBackend, None] = "auto",
     ):
         circuit.prepare()
         self.circuit = circuit
-        self.method = method
+        self.method = resolve_method(method)
+        self.method_name = self.method.name
         self.gmin = gmin
         self.size = circuit.size
         self.n_nodes = circuit.n_nodes
@@ -356,6 +542,13 @@ class TransientAssembly:
         #: vectorized arrays rather than the generic ``states`` dict.
         self.vectorized_names = {c.name for c in caps + inds}
         self.reactive = _ReactiveSet(caps, inds, self.size)
+        if self.method.is_multistep:
+            self.reactive.enable_history(
+                self.method.history_depth(self.method.max_order)
+            )
+        #: Active integration order (the startup ramp and the order
+        #: controller move it; one-step methods never do).
+        self._order = self.method.usable_order(self.method.max_order, 1)
         # Split components with per-step RHS work (sources, reactive
         # subclasses) — skip ones whose stamp_dynamic is the base
         # no-op so large resistive networks pay nothing per step.
@@ -375,8 +568,9 @@ class TransientAssembly:
             x=np.zeros(self.size),
             time=0.0,
             dt=dt,
-            method=method,
+            method=self.method_name,
             gmin=gmin,
+            coeffs=self.method.base_coeffs(self._order),
         )
         # Padded iterate buffer: trailing slot stays 0.0 so ground
         # indices gather zero.
@@ -395,8 +589,9 @@ class TransientAssembly:
             x=np.zeros(self.size),
             time=0.0,
             dt=dt,
-            method=method,
+            method=self.method_name,
             gmin=gmin,
+            coeffs=self.method.base_coeffs(self._order),
         )
         # Sparse general-Newton scratch: the nonlinear components'
         # per-iteration stamps recorded as a (tiny) triplet stream and
@@ -421,13 +616,15 @@ class TransientAssembly:
         self._active: _DtEntry
         self.set_dt(dt)
 
-    # -- dt-keyed cache -------------------------------------------------------
+    # -- (dt, method, order)-keyed cache --------------------------------------
 
-    def _build_entry(self, dt: float) -> _DtEntry:
+    def _build_entry(self, key: Tuple[float, IntegrationMethod, int]) -> _DtEntry:
+        dt, _method, order = key
         tri = TripletSystem(self.size)
         ctx = self._static_ctx
         ctx.system = tri
         ctx.dt = dt
+        ctx.coeffs = self.method.base_coeffs(order)
         for component in self._split:
             component.stamp_static(ctx)
         for i in range(self.n_nodes):
@@ -435,17 +632,73 @@ class TransientAssembly:
         if self._pattern is None or not self._pattern.matches(tri):
             self._pattern = tri.pattern()
         G = self.backend.finalize(self._pattern, tri.values())
-        return _DtEntry(dt, G, self.reactive.coeffs(dt, self.method))
+        return _DtEntry(dt, G, self.reactive.coeffs(dt, self.method, order))
 
-    def set_dt(self, dt: float, ephemeral: bool = False) -> None:
-        """Make ``dt`` the active step size, building or reusing its
-        cache entry (:class:`DtCache` policy: LRU eviction beyond
-        ``max_dt_entries``, two ephemeral scratch slots for
-        breakpoint-truncated one-shot step sizes).
+    def set_dt(
+        self, dt: float, ephemeral: bool = False, order: Optional[int] = None
+    ) -> None:
+        """Make ``(dt, order)`` the active integration setup, building
+        or reusing its cache entry (:class:`DtCache` policy: LRU
+        eviction beyond ``max_dt_entries``, two ephemeral scratch
+        slots for breakpoint-truncated one-shot step sizes).  Entries
+        are keyed by the full ``(dt, method, order)`` setup, never by
+        ``dt`` alone.
         """
         dt = float(dt)
-        self._active = self._cache.get(dt, ephemeral=ephemeral)
+        if order is not None and order != self._order:
+            self._order = int(order)
+            self._ctx.coeffs = self.method.base_coeffs(self._order)
+        # Keyed by the method *object*, not its name: the built-in
+        # names resolve to singletons (so trap -> be -> trap reuses
+        # entries), while a custom method that happens to share a name
+        # can never be served another method's matrices.
+        key = (dt, self.method, self._order)
+        self._active = self._cache.get(key, ephemeral=ephemeral)
         self._ctx.dt = dt
+
+    def set_method(
+        self,
+        method: Union[str, IntegrationMethod],
+        order: Optional[int] = None,
+    ) -> None:
+        """Switch the integration method on a live assembly.
+
+        The cache key includes the method name and order, so entries
+        built for the previous method can never be served again; they
+        age out of the LRU normally.
+        """
+        self.method = resolve_method(method)
+        self.method_name = self.method.name
+        if self.method.is_multistep:
+            self.reactive.enable_history(
+                self.method.history_depth(self.method.max_order)
+            )
+        # The step-weights memo is keyed by (dt, order, history) only;
+        # weights computed by the previous method must not survive.
+        self.reactive._w_cache.clear()
+        if order is None:
+            order = self.method.usable_order(
+                self.method.max_order, self.reactive.history_points
+            )
+        self._order = int(order)
+        self._ctx.method = self.method_name
+        self._static_ctx.method = self.method_name
+        self._ctx.coeffs = self.method.base_coeffs(self._order)
+        self.set_dt(self.dt)
+
+    @property
+    def order(self) -> int:
+        """The active integration order."""
+        return self._order
+
+    @property
+    def history_points(self) -> int:
+        """Committed states available to a multistep formula."""
+        return self.reactive.history_points
+
+    def reset_history(self) -> None:
+        """Invalidate multistep history (used across breakpoints)."""
+        self.reactive.reset_history()
 
     def _retire(self, entry: Optional[_DtEntry]) -> None:
         """Count, then release, an evicted entry's factorizations.
@@ -618,18 +871,38 @@ class TransientAssembly:
     def snapshot_state(self, states: Dict[str, object]) -> tuple:
         """Capture all integrator state so a trial step can be undone.
 
-        Generic component states are snapshotted by reference: the
-        engine's ``update_state`` implementations return fresh state
-        objects rather than mutating, so a shallow dict copy is a true
+        Includes the multistep history ring (values, derivatives,
+        times, fill level) so a rejected BDF/Gear trial step restores
+        the history *exactly* — not just the newest state.  Generic
+        component states are snapshotted by reference: the engine's
+        ``update_state`` implementations return fresh state objects
+        rather than mutating, so a shallow dict copy is a true
         snapshot.
         """
-        return (self.reactive.v.copy(), self.reactive.i.copy(), dict(states))
+        r = self.reactive
+        hist = None
+        if r.h_depth:
+            hist = (
+                r.h_val[: r.h_len].copy(),
+                r.h_der[: r.h_len].copy(),
+                r.h_t[: r.h_len].copy(),
+                r.h_len,
+            )
+        return (r.v.copy(), r.i.copy(), r.t_now, hist, dict(states))
 
     def restore_state(self, snapshot: tuple, states: Dict[str, object]) -> None:
         """Undo every state change since the matching snapshot."""
-        v, i, generic = snapshot
-        self.reactive.v = v.copy()
-        self.reactive.i = i.copy()
+        v, i, t_now, hist, generic = snapshot
+        r = self.reactive
+        r.v = v.copy()
+        r.i = i.copy()
+        r.t_now = t_now
+        if hist is not None:
+            h_val, h_der, h_t, h_len = hist
+            r.h_val[:h_len] = h_val
+            r.h_der[:h_len] = h_der
+            r.h_t[:h_len] = h_t
+            r.h_len = h_len
         states.clear()
         states.update(generic)
 
@@ -765,7 +1038,7 @@ class TransientAssembly:
         (reused by callers that gather with ground indices)."""
         xp = self._xp
         xp[: self.size] = x
-        self.reactive.commit(self._active.coeffs, xp, x)
+        self.reactive.commit(self._active.coeffs, xp, x, time)
         if states:
             ctx = self._ctx
             ctx.x = x

@@ -58,6 +58,7 @@ from .component import Component, StampContext, StampPattern, TripletSystem
 from .controlled import NonlinearVCCS
 from .dcop import NewtonOptions, solve_dc
 from .elements import Capacitor, Inductor
+from .integration import IntegrationMethod, resolve_method
 from .linsolve import solve_dense
 from .netlist import Circuit
 from .sources import CurrentSource, VoltageSource
@@ -204,6 +205,26 @@ class _DeviceColumn:
         return gm, ieq
 
 
+class _StackedCoeffs:
+    """Stacked multistep companion data for one ``(dt, method, order)``.
+
+    ``gcol`` is the ``(S, m)`` stack of per-sample companion
+    conductances/resistances; the spacing-dependent history weights
+    are scalars shared by the whole lockstep batch (one shared time
+    grid) and recomputed per step from the method.
+    """
+
+    __slots__ = ("gcol", "method", "dt", "order")
+
+    def __init__(
+        self, gcol: np.ndarray, method: IntegrationMethod, dt: float, order: int
+    ):
+        self.gcol = gcol
+        self.method = method
+        self.dt = dt
+        self.order = order
+
+
 class _BatchedDtEntry:
     """Everything cached for one quantized step size, stacked.
 
@@ -243,7 +264,7 @@ class BatchedTransientAssembly:
         self,
         circuits: Sequence[Circuit],
         dt: float,
-        method: str,
+        method: object,
         gmin: float,
         max_dt_entries: int = 8,
         backend: object = "auto",
@@ -256,7 +277,9 @@ class BatchedTransientAssembly:
         _check_lockstep(circuits)
         self.circuits = circuits
         self.n_samples = len(circuits)
-        self.method = method
+        self.method = resolve_method(method)
+        self.method_name = self.method.name
+        self._order = self.method.usable_order(self.method.max_order, 1)
         self.gmin = gmin
         self.size = circuits[0].size
         self.n_nodes = circuits[0].n_nodes
@@ -302,6 +325,24 @@ class BatchedTransientAssembly:
         m = len(self._reactive_names)
         self.v = np.zeros((self.n_samples, m))
         self.i = np.zeros((self.n_samples, m))
+        # Stacked multistep history ring (newest first), shared times:
+        # the lockstep grid is one grid for every sample.  Stored in
+        # formula form like the per-sample engine (values = cap v /
+        # inductor i, derivatives = cap i / inductor v).
+        self.h_depth = 0
+        self.h_val: Optional[np.ndarray] = None
+        self.h_der: Optional[np.ndarray] = None
+        self.h_t: Optional[np.ndarray] = None
+        self.h_len = 0
+        self.t_now = 0.0
+        self._w_cache: Dict[tuple, tuple] = {}
+        if self.method.is_multistep:
+            extra = self.method.history_depth(self.method.max_order) - 1
+            if extra > 0:
+                self.h_depth = extra
+                self.h_val = np.zeros((extra, self.n_samples, m))
+                self.h_der = np.zeros((extra, self.n_samples, m))
+                self.h_t = np.zeros(extra)
 
         # Per-step RHS work: stacked source columns.  Anything else
         # with a dynamic stamp is outside the lockstep vocabulary.
@@ -354,8 +395,12 @@ class BatchedTransientAssembly:
 
     # -- dt-keyed cache -------------------------------------------------------
 
-    def _build_entry(self, dt: float) -> _BatchedDtEntry:
+    def _build_entry(
+        self, key: Tuple[float, IntegrationMethod, int]
+    ) -> _BatchedDtEntry:
+        dt, _method, order = key
         S, n = self.n_samples, self.size
+        base_coeffs = self.method.base_coeffs(order)
         streams = []
         for circuit in self.circuits:
             tri = TripletSystem(n)
@@ -364,8 +409,9 @@ class BatchedTransientAssembly:
                 x=np.zeros(n),
                 time=0.0,
                 dt=dt,
-                method=self.method,
+                method=self.method_name,
                 gmin=self.gmin,
+                coeffs=base_coeffs,
             )
             for name in self._split_names:
                 circuit[name].stamp_static(ctx)
@@ -375,7 +421,7 @@ class BatchedTransientAssembly:
         if self._pattern is None or not self._pattern.matches(streams[0]):
             self._pattern = streams[0].pattern()
         pattern = self._pattern
-        entry = _BatchedDtEntry(dt, self._coeffs(dt))
+        entry = _BatchedDtEntry(dt, self._coeffs(dt, order))
         # Factor eagerly (dense: batched inverse, sparse: one splu of
         # the block-diagonal): every strategy solves against this
         # entry on its first step anyway, and a singular sample then
@@ -409,17 +455,22 @@ class BatchedTransientAssembly:
         self.n_factorizations += 1
         return entry
 
-    def _coeffs(self, dt: float) -> tuple:
-        """Stacked companion coefficients for one ``(dt, method)``.
+    def _coeffs(self, dt: float, order: int):
+        """Stacked companion coefficients for one ``(dt, method, order)``.
 
         Each row is the per-sample :meth:`_ReactiveSet.coeffs` result
-        — the trap/BE companion formulas live only there.
+        — the companion formulas live only there.
         """
         rows = [
-            reactive.coeffs(dt, self.method)
+            reactive.coeffs(dt, self.method, order)
             for reactive in self._sample_reactives
         ]
         m = len(self._reactive_names)
+        if self.method.is_multistep:
+            gcol = np.stack([r.gcol for r in rows]) if m else np.zeros(
+                (self.n_samples, 0)
+            )
+            return _StackedCoeffs(gcol, self.method, dt, order)
         alpha = np.stack([r.alpha for r in rows]) if m else np.zeros(
             (self.n_samples, 0)
         )
@@ -431,10 +482,34 @@ class BatchedTransientAssembly:
         )
         return alpha, beta, upd_g, rows[0].upd_m
 
-    def set_dt(self, dt: float, ephemeral: bool = False) -> None:
-        """Make ``dt`` the active step size (the shared
-        :class:`~repro.circuits.assembly.DtCache` policy)."""
-        self._active = self._cache.get(float(dt), ephemeral=ephemeral)
+    def set_dt(
+        self, dt: float, ephemeral: bool = False, order: Optional[int] = None
+    ) -> None:
+        """Make ``(dt, order)`` the active setup (the shared
+        :class:`~repro.circuits.assembly.DtCache` policy, keyed by the
+        full ``(dt, method, order)`` setup)."""
+        if order is not None:
+            self._order = int(order)
+        # Method-object key, matching the per-sample assembly.
+        key = (float(dt), self.method, self._order)
+        self._active = self._cache.get(key, ephemeral=ephemeral)
+
+    @property
+    def order(self) -> int:
+        """The active integration order."""
+        return self._order
+
+    @property
+    def history_points(self) -> int:
+        """Committed states available, including the current one."""
+        return 1 + self.h_len
+
+    def history_times(self) -> tuple:
+        return (self.t_now,) + tuple(float(t) for t in self.h_t[: self.h_len])
+
+    def reset_history(self) -> None:
+        """Invalidate multistep history (used across breakpoints)."""
+        self.h_len = 0
 
     @property
     def dt(self) -> float:
@@ -531,21 +606,81 @@ class BatchedTransientAssembly:
             for j, name in enumerate(self._reactive_names):
                 st = circuit[name].init_state(x[s])
                 self.v[s, j], self.i[s, j] = st.v, st.i
+        self.h_len = 0
+        self.t_now = 0.0
+        self._w_cache.clear()
 
     def snapshot_state(self) -> tuple:
-        return self.v.copy(), self.i.copy()
+        hist = None
+        if self.h_depth:
+            hist = (
+                self.h_val[: self.h_len].copy(),
+                self.h_der[: self.h_len].copy(),
+                self.h_t[: self.h_len].copy(),
+                self.h_len,
+            )
+        return self.v.copy(), self.i.copy(), self.t_now, hist
 
     def restore_state(self, snapshot: tuple) -> None:
-        self.v = snapshot[0].copy()
-        self.i = snapshot[1].copy()
+        v, i, t_now, hist = snapshot
+        self.v = v.copy()
+        self.i = i.copy()
+        self.t_now = t_now
+        if hist is not None:
+            h_val, h_der, h_t, h_len = hist
+            self.h_val[:h_len] = h_val
+            self.h_der[:h_len] = h_der
+            self.h_t[:h_len] = h_t
+            self.h_len = h_len
+
+    def _val_now(self) -> np.ndarray:
+        nc = self.n_caps
+        val = np.empty_like(self.v)
+        val[:, :nc] = self.v[:, :nc]
+        val[:, nc:] = self.i[:, nc:]
+        return val
+
+    def step_weights(self, co: _StackedCoeffs) -> tuple:
+        """Memoized ``(wv, wd)`` — same policy as the per-sample
+        :meth:`~repro.circuits.assembly._ReactiveSet.step_weights`."""
+        h_t0 = float(self.h_t[0]) if self.h_len else 0.0
+        key = (co.dt, co.order, self.t_now, self.h_len, h_t0)
+        w = self._w_cache.get(key)
+        if w is None:
+            w = co.method.step_weights(co.dt, co.order, self.history_times())
+            if len(self._w_cache) > 16:
+                self._w_cache.clear()
+            self._w_cache[key] = w
+        return w
+
+    def _companion_term(self, co: _StackedCoeffs) -> np.ndarray:
+        """Stacked ``(S, m)`` multistep companion term (cap ``ieq`` /
+        inductor branch RHS); weights shared across the batch."""
+        wv, wd = self.step_weights(co)
+        nc = self.n_caps
+        acc = wv[0] * self._val_now()
+        for k in range(1, len(wv)):
+            acc += wv[k] * self.h_val[k - 1]
+        term = co.gcol * acc
+        if wd[0]:
+            term[:, :nc] += wd[0] * self.i[:, :nc]
+            term[:, nc:] += wd[0] * self.v[:, nc:]
+        for k in range(1, len(wd)):
+            if wd[k]:
+                term += wd[k] * self.h_der[k - 1]
+        return term
 
     # -- once per step ---------------------------------------------------------
 
     def step_rhs(self, time: float) -> np.ndarray:
         """Stacked linear right-hand side for one step."""
-        alpha, beta, _upd_g, _upd_m = self._active.coeffs
+        co = self._active.coeffs
         if self.v.shape[1]:
-            term = alpha * self.v + beta * self.i  # (S, m)
+            if isinstance(co, _StackedCoeffs):
+                term = self._companion_term(co)  # (S, m)
+            else:
+                alpha, beta, _upd_g, _upd_m = co
+                term = alpha * self.v + beta * self.i  # (S, m)
             topo = self._topology
             if topo.scatter_csr is not None:
                 rhs = np.ascontiguousarray(topo.scatter_csr.dot(term.T).T)
@@ -559,22 +694,43 @@ class BatchedTransientAssembly:
 
     # -- after a converged step ------------------------------------------------
 
-    def commit(self, x: np.ndarray) -> None:
+    def _push_history(self) -> None:
+        if not self.h_depth:
+            return
+        nc = self.n_caps
+        if self.h_depth > 1:
+            self.h_val[1:] = self.h_val[:-1]
+            self.h_der[1:] = self.h_der[:-1]
+            self.h_t[1:] = self.h_t[:-1]
+        self.h_val[0] = self._val_now()
+        self.h_der[0, :, :nc] = self.i[:, :nc]
+        self.h_der[0, :, nc:] = self.v[:, nc:]
+        self.h_t[0] = self.t_now
+        self.h_len = min(self.h_len + 1, self.h_depth)
+
+    def commit(self, x: np.ndarray, time: float) -> None:
         """Advance every sample's integrator state after one step."""
         if not self.v.shape[1]:
+            self.t_now = time
             return
-        _alpha, _beta, upd_g, upd_m = self._active.coeffs
+        co = self._active.coeffs
         topo = self._topology
         xp = self._xp
         xp[:, : self.size] = x
         v_new = xp[:, topo.a_idx] - xp[:, topo.b_idx]
-        i_new = upd_g * (v_new - self.v)
-        if upd_m:
-            i_new -= self.i
+        if isinstance(co, _StackedCoeffs):
+            i_new = co.gcol * v_new + self._companion_term(co)
+        else:
+            _alpha, _beta, upd_g, upd_m = co
+            i_new = upd_g * (v_new - self.v)
+            if upd_m:
+                i_new -= self.i
         if topo.br_idx.size:
             i_new[:, self.n_caps :] = x[:, topo.br_idx]
+        self._push_history()
         self.v = v_new
         self.i = i_new
+        self.t_now = time
 
 
 class _BatchedStepSolver:
@@ -898,7 +1054,7 @@ def run_transient_batched(
     assembly = BatchedTransientAssembly(
         circuits,
         options.dt,
-        options.method,
+        options.resolved_method(),
         options.newton.gmin,
         max_dt_entries=options.dt_cache_size,
         backend=options.backend,
@@ -971,14 +1127,29 @@ def _run_fixed_lockstep(
     n_steps = int(round(options.t_stop / options.dt))
     stride = options.record_stride
     recorder.append(0.0, x)
+    method = assembly.method
+    multistep = method.is_multistep
+    order_histogram: Dict[int, int] = {}
     for step in range(1, n_steps + 1):
         time = step * options.dt
+        if multistep:
+            # Gear startup ramp: the whole batch shares one order
+            # schedule, clamped by the shared committed history.
+            order = method.usable_order(
+                method.max_order, assembly.history_points
+            )
+            if order != assembly.order:
+                assembly.set_dt(options.dt, order=order)
+            order_histogram[order] = order_histogram.get(order, 0) + 1
         rhs_lin = assembly.step_rhs(time)
         x = solver.step(x, rhs_lin, time)
-        assembly.commit(x)
+        assembly.commit(x, time)
         if step % stride == 0:
             recorder.append(time, x)
-    return {"steps": n_steps}
+    stats: Dict[str, object] = {"steps": n_steps}
+    if multistep:
+        stats["order_histogram"] = order_histogram
+    return stats
 
 
 def _run_adaptive_lockstep(
@@ -1007,36 +1178,46 @@ def _run_adaptive_lockstep(
             )
         )
     )
+    method = assembly.method
     controller = StepController(
         t_stop=options.t_stop,
         dt_initial=options.dt,
         dt_min=options.resolved_dt_min(),
         dt_max=options.resolved_dt_max(),
-        method=options.method,
+        method=method,
         reltol=options.lte_reltol,
         abstol=options.lte_abstol,
         safety=options.lte_safety,
         max_growth=options.max_step_growth,
         breakpoints=breakpoints,
+        order_control=options.resolved_order_control(method),
     )
+    multistep = method.is_multistep
     n_nodes = assembly.n_nodes
     stride = options.record_stride
     recorder.append(0.0, x)
     while not controller.finished:
         t = controller.t
         t_target, dt = controller.propose()
+        # One order schedule for the whole batch: the controller's
+        # target clamped by the shared committed history.
+        order = (
+            controller.candidate_order(assembly.history_points)
+            if multistep
+            else None
+        )
         ephemeral = dt != controller.dt
         snapshot = assembly.snapshot_state()
         try:
-            assembly.set_dt(dt, ephemeral=ephemeral)
+            assembly.set_dt(dt, ephemeral=ephemeral, order=order)
             rhs_lin = assembly.step_rhs(t_target)
             x_full = solver.step(x, rhs_lin, t_target)
             half = 0.5 * dt
             t_mid = t + half
-            assembly.set_dt(half, ephemeral=ephemeral)
+            assembly.set_dt(half, ephemeral=ephemeral, order=order)
             rhs_lin = assembly.step_rhs(t_mid)
             x_mid = solver.step(x, rhs_lin, t_mid)
-            assembly.commit(x_mid)
+            assembly.commit(x_mid, t_mid)
             rhs_lin = assembly.step_rhs(t_target)
             x_half = solver.step(x_mid, rhs_lin, t_target)
         except ConvergenceError:
@@ -1047,9 +1228,11 @@ def _run_adaptive_lockstep(
             continue
         ratio = controller.error_ratio_many(x_full, x_half, n_nodes)
         if ratio <= 1.0:
-            assembly.commit(x_half)
+            assembly.commit(x_half, t_target)
             x = x_half
             controller.accept(t_target, dt, ratio)
+            if multistep and controller.crossed_breakpoint:
+                assembly.reset_history()
             if controller.accepted % stride == 0:
                 recorder.append(t_target, x)
         else:

@@ -50,6 +50,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import NetlistError
+from .integration import StepCoeffs, resolve_method
 
 __all__ = [
     "MNASystem",
@@ -246,8 +247,16 @@ class StampContext:
     dt:
         Time step, or ``None`` for DC / operating-point analysis.
     method:
-        Integration method, ``"trap"`` or ``"be"`` (backward Euler);
-        only meaningful when ``dt`` is not ``None``.
+        Integration-method *name* (``"trap"``, ``"be"``, ``"bdf2"``,
+        ``"gear"``); informational — components never branch on it.
+    coeffs:
+        The :class:`~repro.circuits.integration.StepCoeffs` driving
+        the companion formulas (leading coefficient for the matrix
+        side, newest-point history weights for the one-step RHS
+        side).  Auto-resolved from ``method`` for the one-step
+        methods when not supplied, so existing context constructors
+        keep working; multistep engines install the active order's
+        coefficients explicitly.
     source_scale:
         Homotopy factor in [0, 1] applied to independent sources during
         source-stepping; 1.0 for normal solves.
@@ -267,6 +276,26 @@ class StampContext:
     source_scale: float = 1.0
     gmin: float = 1e-12
     states: Dict[str, object] = field(default_factory=dict)
+    coeffs: Optional[StepCoeffs] = None
+
+    def __post_init__(self) -> None:
+        if (
+            self.coeffs is None
+            and self.dt is not None
+            and isinstance(self.method, str)
+        ):
+            # Transient contexts need companion coefficients; a typo'd
+            # method name fails here (SimulationError naming it) rather
+            # than as an opaque AttributeError inside a stamp call.
+            method = resolve_method(self.method)
+            if method.is_multistep:
+                raise NetlistError(
+                    f"method {method.name!r} needs engine-installed "
+                    "StepCoeffs (a committed-state history); generic "
+                    "StampContext construction supports the one-step "
+                    "methods only"
+                )
+            self.coeffs = method.base_coeffs(method.max_order)
 
     def v(self, index: int) -> float:
         """Voltage (or branch current) at unknown ``index``; ground is 0 V."""

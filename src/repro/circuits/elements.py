@@ -56,10 +56,13 @@ class _CapState:
 class Capacitor(Component):
     """Linear capacitor.  Open in DC, companion model in transient.
 
-    The companion conductance ``geq`` depends only on ``(dt, method)``,
-    so it lands in the static half of the stamp split; the companion
-    current ``ieq`` tracks the integrator state and is re-stamped each
-    step by :meth:`stamp_dynamic`.
+    The companion conductance ``geq`` depends only on the step size
+    and the integration method's leading coefficient, so it lands in
+    the static half of the stamp split; the companion current ``ieq``
+    tracks the integrator state and is re-stamped each step by
+    :meth:`stamp_dynamic`.  Both formulas are driven entirely by the
+    coefficients the method supplies (:class:`~repro.circuits.
+    integration.StepCoeffs`) — the component knows no method names.
     """
 
     supports_stamp_split = True
@@ -75,11 +78,9 @@ class Capacitor(Component):
     def _voltage(self, ctx: StampContext) -> float:
         return ctx.v(self._n[0]) - ctx.v(self._n[1])
 
-    def companion_conductance(self, dt: float, method: str) -> float:
-        """``geq`` of the companion model for the given integrator."""
-        if method == "be":
-            return self.capacitance / dt
-        return 2.0 * self.capacitance / dt
+    def companion_conductance(self, dt: float, coeffs) -> float:
+        """``geq = lead * C / dt`` for the integrator coefficients."""
+        return coeffs.lead * self.capacitance / dt
 
     def stamp(self, ctx: StampContext) -> None:
         if not ctx.is_transient:
@@ -90,16 +91,16 @@ class Capacitor(Component):
         self.stamp_dynamic(ctx)
 
     def stamp_static(self, ctx: StampContext) -> None:
-        geq = self.companion_conductance(ctx.dt, ctx.method)
+        geq = self.companion_conductance(ctx.dt, ctx.coeffs)
         ctx.system.stamp_conductance(self._n[0], self._n[1], geq)
 
     def stamp_dynamic(self, ctx: StampContext) -> None:
+        co = ctx.coeffs.require_one_step(self.name)
         state: _CapState = ctx.states[self.name]
-        geq = self.companion_conductance(ctx.dt, ctx.method)
-        if ctx.method == "be":
-            ieq = -geq * state.v
-        else:  # trapezoidal
-            ieq = -geq * state.v - state.i
+        geq = self.companion_conductance(ctx.dt, co)
+        ieq = co.wv0 * (geq * state.v)
+        if co.wd0:
+            ieq += co.wd0 * state.i
         # Companion current source from a to b: i = geq*v + ieq
         ctx.system.stamp_current(self._n[0], self._n[1], ieq)
 
@@ -113,12 +114,12 @@ class Capacitor(Component):
         return _CapState(v=v0, i=0.0)
 
     def update_state(self, ctx: StampContext) -> _CapState:
+        co = ctx.coeffs.require_one_step(self.name)
         v_new = self._voltage(ctx)
         state: _CapState = ctx.states[self.name]
-        if ctx.method == "be":
-            i_new = self.capacitance * (v_new - state.v) / ctx.dt
-        else:
-            i_new = 2.0 * self.capacitance * (v_new - state.v) / ctx.dt - state.i
+        i_new = co.lead * self.capacitance * (v_new - state.v) / ctx.dt
+        if co.wd0:
+            i_new += co.wd0 * state.i
         return _CapState(v=v_new, i=i_new)
 
 
@@ -150,11 +151,9 @@ class Inductor(Component):
         #: Optional initial current for use_ic transient starts.
         self.ic = ic
 
-    def companion_resistance(self, dt: float, method: str) -> float:
-        """``req`` of the companion model for the given integrator."""
-        if method == "be":
-            return self.inductance / dt
-        return 2.0 * self.inductance / dt
+    def companion_resistance(self, dt: float, coeffs) -> float:
+        """``req = lead * L / dt`` for the integrator coefficients."""
+        return coeffs.lead * self.inductance / dt
 
     def stamp(self, ctx: StampContext) -> None:
         if ctx.is_transient:
@@ -181,17 +180,18 @@ class Inductor(Component):
         # Branch (KVL) row: v(a) - v(b) - req*i = <state terms>.
         sys.add_G(br, a, 1.0)
         sys.add_G(br, b, -1.0)
-        sys.add_G(br, br, -self.companion_resistance(ctx.dt, ctx.method))
+        sys.add_G(br, br, -self.companion_resistance(ctx.dt, ctx.coeffs))
 
     def stamp_dynamic(self, ctx: StampContext) -> None:
+        co = ctx.coeffs.require_one_step(self.name)
         state: _IndState = ctx.states[self.name]
-        req = self.companion_resistance(ctx.dt, ctx.method)
-        if ctx.method == "be":
-            # v_n = (L/dt) (i_n - i_prev)
-            ctx.system.add_rhs(self._b[0], -req * state.i)
-        else:
-            # (v_n + v_prev)/2 = (L/dt)(i_n - i_prev)
-            ctx.system.add_rhs(self._b[0], -state.v - req * state.i)
+        req = self.companion_resistance(ctx.dt, co)
+        # Branch-row state term: wv0*req*i_prev (+ wd0*v_prev for
+        # methods that feed back the previous derivative).
+        rhs = co.wv0 * (req * state.i)
+        if co.wd0:
+            rhs += co.wd0 * state.v
+        ctx.system.add_rhs(self._b[0], rhs)
 
     def stamp_ac(self, ctx: ACStampContext) -> None:
         a, b = self._n

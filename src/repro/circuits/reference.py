@@ -31,9 +31,10 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..errors import ConvergenceError
+from ..errors import ConvergenceError, SimulationError
 from .component import MNASystem, StampContext
 from .dcop import NewtonOptions, solve_dc
+from .integration import resolve_method
 from .linsolve import damp_voltage_delta, solve_dense
 from .netlist import Circuit
 from .transient import TransientOptions, TransientResult
@@ -47,7 +48,7 @@ def _newton_step(
     states: Dict[str, object],
     time: float,
     dt: float,
-    method: str,
+    method,
     options: NewtonOptions,
 ) -> np.ndarray:
     x = x_guess.copy()
@@ -61,9 +62,10 @@ def _newton_step(
             x=x,
             time=time,
             dt=dt,
-            method=method,
+            method=method.name,
             gmin=options.gmin,
             states=states,
+            coeffs=method.base_coeffs(method.max_order),
         )
         for component in circuit:
             component.stamp(ctx)
@@ -93,6 +95,15 @@ def run_transient_reference(
 ) -> TransientResult:
     """Integrate with the naive full-restamp engine (see module doc)."""
     options = options or TransientOptions()
+    method = resolve_method(options.method)
+    if method.is_multistep:
+        # The seed engine's per-component states hold one previous
+        # point; it predates (and must stay pinned to) the one-step
+        # companion formulas.
+        raise SimulationError(
+            "run_transient_reference supports the one-step methods "
+            f"('trap', 'be'); got {method.name!r}"
+        )
     circuit.prepare()
 
     if options.use_dc_operating_point:
@@ -114,7 +125,7 @@ def run_transient_reference(
     for step in range(1, n_steps + 1):
         time = step * options.dt
         x = _newton_step(
-            circuit, x, states, time, options.dt, options.method, options.newton
+            circuit, x, states, time, options.dt, method, options.newton
         )
         # Commit integrator states.
         ctx = StampContext(
@@ -122,8 +133,9 @@ def run_transient_reference(
             x=x,
             time=time,
             dt=options.dt,
-            method=options.method,
+            method=method.name,
             states=states,
+            coeffs=method.base_coeffs(method.max_order),
         )
         for component in circuit:
             if component.name in states:

@@ -13,10 +13,24 @@ Design
 * **LTE estimate by step doubling.**  Each candidate step of size
   ``dt`` is solved twice: once as a full step and once as two half
   steps.  For an integrator of order ``p`` (trapezoidal: 2, backward
-  Euler: 1) the difference between the two results estimates the LTE
-  of the half-step solution as ``|x_full - x_half| / (2^p - 1)``
-  (Richardson).  The half-step solution — the more accurate one — is
-  what the engine keeps on acceptance.
+  Euler: 1, BDF at its active order) the difference between the two
+  results estimates the LTE of the half-step solution as
+  ``|x_full - x_half| / (2^p - 1)`` (Richardson).  The half-step
+  solution — the more accurate one — is what the engine keeps on
+  acceptance.
+* **Order control (variable-order Gear).**  When the integration
+  method spans several orders and ``order_control`` is on, the
+  controller also decides the *target order* of each candidate on the
+  same step-doubling machinery: the per-order Richardson estimate at
+  the order actually used drives accept/reject exactly as for a fixed
+  method, a streak of comfortable accepts (ratio well under
+  tolerance) raises the order, repeated rejections lower it, and a
+  breakpoint crossing drops back to first order because the multistep
+  history is meaningless across a discontinuity.  The *usable* order
+  of a candidate is the target clamped by the committed history the
+  engine actually has (the classic Gear startup ramp); per-order
+  accepted/rejected counts are reported by :meth:`StepController.
+  stats`.
 * **Accept/reject with growth clamps.**  The error ratio (estimated
   LTE over tolerance) drives the classic controller
   ``dt_new = dt * safety * ratio^(-1/(p+1))``, clamped to at most
@@ -39,16 +53,28 @@ Design
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..errors import SimulationError
+from .integration import IntegrationMethod, resolve_method
 
 __all__ = ["StepController", "collect_breakpoints"]
 
 #: Relative slack when deciding that a step "reaches" a breakpoint.
 _TIME_EPS = 1e-12
+
+#: Order-raise policy: this many consecutive accepts, each with an
+#: error ratio below the threshold, promote the target order one tier.
+_ORDER_RAISE_ACCEPTS = 3
+_ORDER_RAISE_RATIO = 0.25
+
+#: Order-lower policy: this many consecutive rejections demote one tier
+#: (the step size is already shrinking; a persistent rejection streak
+#: says the high-order formula itself is misbehaving, e.g. BDF3 on an
+#: oscillatory segment).
+_ORDER_LOWER_REJECTS = 2
 
 
 def collect_breakpoints(
@@ -111,12 +137,13 @@ class StepController:
         dt_initial: float,
         dt_min: float,
         dt_max: float,
-        method: str = "trap",
+        method: Union[str, IntegrationMethod] = "trap",
         reltol: float = 1e-3,
         abstol: float = 1e-6,
         safety: float = 0.9,
         max_growth: float = 2.0,
         breakpoints: Sequence[float] = (),
+        order_control: bool = False,
     ):
         if not 0.0 < dt_min <= dt_max:
             raise SimulationError("require 0 < dt_min <= dt_max")
@@ -136,9 +163,18 @@ class StepController:
         # Quantized grid: dt_max / 2^k down to (just below) dt_min.
         self._max_level = max(0, int(math.ceil(math.log2(dt_max / dt_min))))
         self.dt_min = dt_max / 2.0 ** self._max_level
-        order = 1 if method == "be" else 2
-        self._err_div = float(2 ** order - 1)
-        self._exponent = 1.0 / (order + 1)
+        self.method = resolve_method(method)
+        #: Order decisions only exist when the method spans several.
+        self.order_control = (
+            bool(order_control) and self.method.max_order > self.method.min_order
+        )
+        #: Target integration order; candidates may run below it while
+        #: the committed history ramps up (see candidate_order).
+        self.order = (
+            self.method.min_order if self.order_control else self.method.max_order
+        )
+        self._order_used = self.order
+        self._set_lte_order(self.order)
         self.reltol = float(reltol)
         self.abstol = float(abstol)
         self.safety = float(safety)
@@ -159,8 +195,38 @@ class StepController:
         self.breakpoints_hit = 0
         self.min_dt_taken = math.inf
         self.max_dt_taken = 0.0
+        self.accepted_by_order: Dict[int, int] = {}
+        self.rejected_by_order: Dict[int, int] = {}
+        self.order_raises = 0
+        self.order_lowers = 0
+        #: Whether the last accepted step landed on (and consumed) a
+        #: breakpoint — engines reset multistep history when it did.
+        self.crossed_breakpoint = False
+        self._good_accepts = 0
+        self._reject_streak = 0
 
     # -- internals ------------------------------------------------------------
+
+    def _set_lte_order(self, order: int) -> None:
+        p = self.method.lte_order(order)
+        self._err_div = float(2 ** p - 1)
+        self._exponent = 1.0 / (p + 1)
+
+    def candidate_order(self, history_points: int = 1) -> int:
+        """The order the next candidate step should integrate at.
+
+        The target order is clamped by the committed history actually
+        available (``history_points`` counts committed states
+        including the current one) — the classic Gear startup ramp.
+        The returned order is also the one the subsequent
+        :meth:`error_ratio` / :meth:`accept` / :meth:`reject` calls
+        attribute the candidate to.
+        """
+        effective = self.method.usable_order(self.order, history_points)
+        if effective != self._order_used:
+            self._order_used = effective
+            self._set_lte_order(effective)
+        return effective
 
     def _quantize(self, dt: float) -> float:
         """Largest grid value ``dt_max / 2^k`` not exceeding ``dt``."""
@@ -233,12 +299,17 @@ class StepController:
         self.t = t_taken
         self.accepted += 1
         self._rejects_at_floor = 0
+        self._reject_streak = 0
         self.min_dt_taken = min(self.min_dt_taken, dt_taken)
         self.max_dt_taken = max(self.max_dt_taken, dt_taken)
+        order = self._order_used
+        self.accepted_by_order[order] = self.accepted_by_order.get(order, 0) + 1
+        self.crossed_breakpoint = False
         if self._landing_on_bp:
             if self._bp_index < len(self._breakpoints) - 1:
                 self._bp_index += 1
                 self.breakpoints_hit += 1
+                self.crossed_breakpoint = True
                 # The LTE history is meaningless across a
                 # discontinuity: restart a couple of grid levels down.
                 # Deliberately relative to the *grid* step, not the
@@ -248,8 +319,25 @@ class StepController:
                 # rejection walks the step down further if the far
                 # side really needs it.
                 self.dt = self._quantize(max(self.dt_min, self.dt / 4.0))
+                if self.order_control:
+                    # Multistep history restarts on the far side.
+                    self.order = self.method.min_order
+                self._good_accepts = 0
             self._landing_on_bp = False
             return
+        if self.order_control and self.order < self.method.max_order:
+            # Raise the target order after a streak of comfortable
+            # accepts at the (un-clamped) target — the per-order LTE
+            # estimate says the formula has headroom to spend on
+            # larger steps at higher order.
+            if order == self.order and ratio < _ORDER_RAISE_RATIO:
+                self._good_accepts += 1
+                if self._good_accepts >= _ORDER_RAISE_ACCEPTS:
+                    self.order += 1
+                    self.order_raises += 1
+                    self._good_accepts = 0
+            else:
+                self._good_accepts = 0
         if ratio <= 0.0:
             growth = self.max_growth
         else:
@@ -266,6 +354,18 @@ class StepController:
         """Shrink after a step that missed tolerance; raise on underflow."""
         self.rejected += 1
         self._landing_on_bp = False
+        order = self._order_used
+        self.rejected_by_order[order] = self.rejected_by_order.get(order, 0) + 1
+        self._good_accepts = 0
+        if self.order_control:
+            self._reject_streak += 1
+            if (
+                self._reject_streak >= _ORDER_LOWER_REJECTS
+                and self.order > self.method.min_order
+            ):
+                self.order -= 1
+                self.order_lowers += 1
+                self._reject_streak = 0
         if self.dt <= self.dt_min * (1.0 + 1e-9):
             self._rejects_at_floor += 1
             if self._rejects_at_floor >= 3:
@@ -287,10 +387,22 @@ class StepController:
     # -- diagnostics ----------------------------------------------------------
 
     def stats(self) -> dict:
-        return {
+        # Order diagnostics: the histogram *is* the per-order accepted
+        # count — published under both names so histogram consumers and
+        # accepted/rejected-pair consumers read naturally, built once.
+        accepted_by_order = dict(sorted(self.accepted_by_order.items()))
+        stats = {
             "accepted_steps": self.accepted,
             "rejected_steps": self.rejected,
             "breakpoints_hit": self.breakpoints_hit,
             "min_dt": self.min_dt_taken if self.accepted else 0.0,
             "max_dt": self.max_dt_taken,
+            "order_histogram": accepted_by_order,
+            "accepted_by_order": accepted_by_order,
+            "rejected_by_order": dict(sorted(self.rejected_by_order.items())),
+            "final_order": self._order_used,
         }
+        if self.order_control:
+            stats["order_raises"] = self.order_raises
+            stats["order_lowers"] = self.order_lowers
+        return stats

@@ -11,7 +11,7 @@ step-control modes share every other part of the stack:
   by the golden tests.
 * ``step_control="adaptive"`` — an LTE-based
   :class:`~repro.circuits.stepcontrol.StepController` proposes each
-  step: trapezoidal (or BE) local truncation error is estimated by
+  step: the active method's local truncation error is estimated by
   step doubling, steps are accepted/rejected against
   ``lte_reltol``/``lte_abstol``, the step size walks a quantized
   ``dt_max/2^k`` grid between ``dt_min`` and ``dt_max`` with bounded
@@ -19,6 +19,18 @@ step-control modes share every other part of the stack:
   exact step boundaries.  Stiff-then-slow runs — oscillator startup,
   supply-loss decay — take large steps through the slow phases that a
   fixed carrier-resolution grid pays for at every instant.
+
+The integrator itself is pluggable (:mod:`~repro.circuits.
+integration`): ``method`` accepts ``"trap"``/``"be"`` (the bit-pinned
+one-step classics), ``"bdf2"``, and ``"gear"`` — variable-order BDF
+with order control on the same LTE machinery (``order_control``,
+``max_order``).  The BDF members are strongly damping at large
+``omega*dt``, which is what lets them stride through stiff decays and
+quiet tails that trapezoidal must keep resolving; the flip side is
+numerical damping of *live* oscillatory content (a driven or growing
+carrier sags by roughly Q times the per-step damping), so trap
+remains the right default for carrier-resolved runs and the BDF tiers
+are the tool for decay/tail-dominated scenarios.
 
 Engine architecture (incremental stamping, dt-keyed)
 ----------------------------------------------------
@@ -78,6 +90,11 @@ from ..errors import ConvergenceError, NetlistError, SimulationError
 from .assembly import TransientAssembly
 from .backend import MatrixBackend, resolve_backend
 from .dcop import NewtonOptions, solve_dc
+from .integration import (
+    KNOWN_METHODS,
+    IntegrationMethod,
+    resolve_method,
+)
 from .linsolve import damp_voltage_delta, solve_dense
 from .netlist import GROUND_NAMES, Circuit
 from .stepcontrol import StepController, collect_breakpoints
@@ -91,7 +108,9 @@ class TransientOptions:
 
     t_stop: float = 1e-3
     dt: float = 1e-6
-    method: str = "trap"
+    #: Integration method: "trap", "be", "bdf2", "gear", or a custom
+    #: :class:`~repro.circuits.integration.IntegrationMethod` instance.
+    method: object = "trap"
     #: Start from DC operating point (False: start from ICs / zeros).
     use_dc_operating_point: bool = True
     newton: NewtonOptions = field(default_factory=NewtonOptions)
@@ -114,6 +133,17 @@ class TransientOptions:
     #: Chord mode: refactor when an iteration shrinks the update by
     #: less than this factor (1.0 would demand monotone convergence).
     chord_refactor_ratio: float = 0.5
+
+    # -- integration-method knobs -------------------------------------------
+    #: Variable-order methods only (``method="gear"``): whether the
+    #: adaptive controller moves the target order up and down on the
+    #: LTE machinery.  ``None`` means "on when the method spans more
+    #: than one order"; fixed-order methods ignore it.
+    order_control: Optional[bool] = None
+    #: ``method="gear"`` only: highest BDF order the run may reach
+    #: (1-3; default 2 — order 3 is stiffly stable but not A-stable,
+    #: so it is an explicit opt-in for strongly damped problems).
+    max_order: Optional[int] = None
 
     # -- step control ------------------------------------------------------
     #: "fixed" integrates on the uniform grid t_k = k*dt; "adaptive"
@@ -154,8 +184,18 @@ class TransientOptions:
             raise SimulationError("t_stop and dt must be positive")
         if self.dt >= self.t_stop:
             raise SimulationError("dt must be smaller than t_stop")
-        if self.method not in ("trap", "be"):
+        if (
+            not isinstance(self.method, IntegrationMethod)
+            and self.method not in KNOWN_METHODS
+        ):
             raise SimulationError(f"unknown method {self.method!r}")
+        if self.max_order is not None:
+            if self.method != "gear":
+                raise SimulationError(
+                    "max_order applies to method='gear' only"
+                )
+            if not 1 <= self.max_order <= 3:
+                raise SimulationError("max_order must be 1..3")
         if self.record_stride < 1:
             raise SimulationError("record_stride must be >= 1")
         if self.jacobian not in ("auto", "full", "chord"):
@@ -196,6 +236,15 @@ class TransientOptions:
 
     def resolved_dt_max(self) -> float:
         return self.dt_max if self.dt_max is not None else self.dt * 16.0
+
+    def resolved_method(self) -> IntegrationMethod:
+        """The integration-method instance this run uses."""
+        return resolve_method(self.method, max_order=self.max_order)
+
+    def resolved_order_control(self, method: IntegrationMethod) -> bool:
+        if self.order_control is None:
+            return method.max_order > method.min_order
+        return bool(self.order_control)
 
 
 @dataclass
@@ -646,18 +695,40 @@ def _run_fixed(
     x: np.ndarray,
     recorder: _RecordingBuffer,
 ) -> Dict[str, object]:
-    """The classic uniform grid: t_k = k*dt, every step accepted."""
+    """The classic uniform grid: t_k = k*dt, every step accepted.
+
+    Multistep methods ramp their order with the committed history
+    (the Gear startup policy: first step at order 1, and so on), so
+    the same loop serves trap/BE and BDF/Gear; the one-step path
+    stays free of any order bookkeeping.
+    """
     n_steps = int(round(options.t_stop / options.dt))
     stride = options.record_stride
     recorder.append(0.0, x)
+    method = assembly.method
+    if not method.is_multistep:
+        for step in range(1, n_steps + 1):
+            time = step * options.dt
+            rhs_lin = assembly.step_rhs(time, states, x)
+            x = solver.step(x, rhs_lin, time, states)
+            assembly.commit(x, time, states)
+            if step % stride == 0:
+                recorder.append(time, x)
+        return {"steps": n_steps}
+    target = method.max_order
+    order_histogram: Dict[int, int] = {}
     for step in range(1, n_steps + 1):
         time = step * options.dt
+        order = method.usable_order(target, assembly.history_points)
+        if order != assembly.order:
+            assembly.set_dt(options.dt, order=order)
+        order_histogram[order] = order_histogram.get(order, 0) + 1
         rhs_lin = assembly.step_rhs(time, states, x)
         x = solver.step(x, rhs_lin, time, states)
         assembly.commit(x, time, states)
         if step % stride == 0:
             recorder.append(time, x)
-    return {"steps": n_steps}
+    return {"steps": n_steps, "order_histogram": order_histogram}
 
 
 def _run_adaptive(
@@ -677,12 +748,13 @@ def _run_adaptive(
     Both step sizes live in the assembly's dt cache, so a revisited
     size performs no assembly or factorization work at all.
     """
+    method = assembly.method
     controller = StepController(
         t_stop=options.t_stop,
         dt_initial=options.dt,
         dt_min=options.resolved_dt_min(),
         dt_max=options.resolved_dt_max(),
-        method=options.method,
+        method=method,
         reltol=options.lte_reltol,
         abstol=options.lte_abstol,
         safety=options.lte_safety,
@@ -693,26 +765,35 @@ def _run_adaptive(
             options.breakpoints or (),
             sources=options.breakpoint_sources or (),
         ),
+        order_control=options.resolved_order_control(method),
     )
+    multistep = method.is_multistep
     n_nodes = circuit.n_nodes
     stride = options.record_stride
     recorder.append(0.0, x)
     while not controller.finished:
         t = controller.t
         t_target, dt = controller.propose()
+        # The whole candidate (probe + both halves) integrates at one
+        # order: the controller's target clamped by committed history.
+        order = (
+            controller.candidate_order(assembly.history_points)
+            if multistep
+            else None
+        )
         # A breakpoint-truncated step has an arbitrary event-driven
         # size: keep it out of the quantized-grid LRU.
         ephemeral = dt != controller.dt
         snapshot = assembly.snapshot_state(states)
         try:
             # Full-step probe (error reference only).
-            assembly.set_dt(dt, ephemeral=ephemeral)
+            assembly.set_dt(dt, ephemeral=ephemeral, order=order)
             rhs_lin = assembly.step_rhs(t_target, states, x)
             x_full = solver.step(x, rhs_lin, t_target, states)
             # Two half steps: the solution the engine keeps.
             half = 0.5 * dt
             t_mid = t + half
-            assembly.set_dt(half, ephemeral=ephemeral)
+            assembly.set_dt(half, ephemeral=ephemeral, order=order)
             rhs_lin = assembly.step_rhs(t_mid, states, x)
             x_mid = solver.step(x, rhs_lin, t_mid, states)
             assembly.commit(x_mid, t_mid, states)
@@ -729,6 +810,10 @@ def _run_adaptive(
             assembly.commit(x_half, t_target, states)
             x = x_half
             controller.accept(t_target, dt, ratio)
+            if multistep and controller.crossed_breakpoint:
+                # Interpolating across the discontinuity would poison
+                # the BDF history; restart from the committed point.
+                assembly.reset_history()
             if controller.accepted % stride == 0:
                 recorder.append(t_target, x)
         else:
@@ -772,10 +857,11 @@ def run_transient(circuit: Circuit, options: Optional[TransientOptions] = None) 
     else:
         x = np.zeros(circuit.size)
 
+    method = options.resolved_method()
     assembly = TransientAssembly(
         circuit,
         options.dt,
-        options.method,
+        method,
         options.newton.gmin,
         max_dt_entries=options.dt_cache_size,
         backend=backend,
@@ -788,6 +874,15 @@ def run_transient(circuit: Circuit, options: Optional[TransientOptions] = None) 
         state = component.init_state(x)
         if state is not None:
             states[component.name] = state
+    if method.is_multistep and states:
+        # Generic integrator states are scalar (one previous point);
+        # only the vectorized plain-capacitor/inductor path carries
+        # the committed history a multistep formula needs.
+        raise SimulationError(
+            f"method={method.name!r} requires plain Capacitor/Inductor "
+            "reactive elements; components "
+            f"{sorted(states)} keep generic one-step integrator state"
+        )
 
     solver = _StepSolver(
         assembly, options.newton, options.jacobian, options.chord_refactor_ratio

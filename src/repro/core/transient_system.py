@@ -184,6 +184,7 @@ class OscillatorNetlist:
         limiter: Optional[LimiterCharacteristic] = None,
         step_control: str = "fixed",
         lte_reltol: float = 1e-3,
+        method: str = "trap",
     ) -> TransientStartupResult:
         """Simulate startup at a fixed DAC code (Fig 16).
 
@@ -207,7 +208,7 @@ class OscillatorNetlist:
         options = TransientOptions(
             t_stop=t_stop,
             dt=dt,
-            method="trap",
+            method=method,
             use_dc_operating_point=False,
             # Startup analysis consumes the two tank nodes only; skip
             # recording the remaining unknowns.

@@ -100,3 +100,80 @@ class TestAssemblyEviction:
         assembly.set_dt(1e-9)  # cache hit
         assembly.lu()
         assert assembly.lu_factorizations == before + 1
+
+
+class TestSetupKeying:
+    """Entries are keyed by the full (dt, method, order) setup.
+
+    The regression this pins: the build closure captures the
+    assembly's method, so a dt-only key would happily serve a stale
+    entry built for a *different* integrator after a live method
+    switch."""
+
+    def test_switching_method_cannot_reuse_stale_entry(self):
+        assembly = TransientAssembly(_circuit(), 1e-9, "trap", 1e-12)
+        trap_entry = assembly._active
+        trap_G = np.array(assembly.G_base)
+        assembly.set_method("be")
+        assembly.set_dt(1e-9)
+        assert assembly._active is not trap_entry
+        # The capacitor companion conductance halves under BE; a
+        # stale trap entry would keep the 2C/dt stamp.
+        assert not np.allclose(np.array(assembly.G_base), trap_G)
+        # Switching back is a cache hit on the original entry.
+        assembly.set_method("trap")
+        assembly.set_dt(1e-9)
+        assert assembly._active is trap_entry
+
+    def test_switching_order_cannot_reuse_stale_entry(self):
+        assembly = TransientAssembly(_circuit(), 1e-9, "gear", 1e-12)
+        assert assembly.order == 1  # startup: no history yet
+        order1_entry = assembly._active
+        order1_G = np.array(assembly.G_base)
+        assembly.set_dt(1e-9, order=2)
+        assert assembly._active is not order1_entry
+        # BDF2's leading coefficient is 3/2 vs BE's 1.
+        assert not np.allclose(np.array(assembly.G_base), order1_G)
+
+    def test_same_setup_same_entry_across_methods_objects(self):
+        assembly = TransientAssembly(_circuit(), 1e-9, "trap", 1e-12)
+        entry = assembly._active
+        assembly.set_dt(2e-9)
+        assembly.set_dt(1e-9)
+        assert assembly._active is entry
+
+    def test_live_method_upgrade_preserves_history_and_drops_weights(self):
+        """Switching to a deeper-history method mid-run must keep the
+        committed history valid (no zeroed rows behind a stale h_len)
+        and must not serve the previous method's memoized weights."""
+        from repro.circuits import Gear
+
+        assembly = TransientAssembly(_circuit(), 1e-9, "gear", 1e-12)
+        x = np.zeros(assembly.size)
+        for step, order in ((1, None), (2, 2), (3, 2)):
+            if order is not None:
+                assembly.set_dt(1e-9, order=order)
+            rhs = assembly.step_rhs(step * 1e-9, {}, x)
+            x = assembly.lu().solve(rhs)
+            assembly.commit(x, step * 1e-9, {})
+        r = assembly.reactive
+        h_len = r.h_len
+        assert h_len >= 2
+        times_before = r.history_times()
+        old_weights = r.step_weights(assembly._active.coeffs)
+
+        assembly.set_method(Gear(max_order=3))
+        # History survived the ring growth: same times, same fill.
+        assert r.h_len == h_len
+        assert r.history_times() == times_before
+        assert not np.isnan(r.h_val[:h_len]).any()
+        # The weight memo was dropped with the method; the new
+        # method's order-3 weights are served, not the stale pair.
+        assembly.set_dt(1e-9, order=3)
+        new_weights = r.step_weights(assembly._active.coeffs)
+        assert new_weights[0] != old_weights[0]
+        # ...and the upgraded assembly keeps integrating.
+        rhs = assembly.step_rhs(4e-9, {}, x)
+        x = assembly.lu().solve(rhs)
+        assembly.commit(x, 4e-9, {})
+        assert np.isfinite(x).all()

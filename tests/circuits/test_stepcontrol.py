@@ -119,6 +119,109 @@ class TestErrorRatio:
         assert large < small
 
 
+class TestOrderControl:
+    def make_gear(self, **overrides):
+        kw = dict(method="gear", order_control=True)
+        kw.update(overrides)
+        return make_controller(**kw)
+
+    def test_one_step_methods_have_fixed_order(self):
+        c = make_controller(method="trap", order_control=True)
+        assert not c.order_control  # nothing to control
+        assert c.order == 2
+        assert c.candidate_order(1) == 2  # no startup ramp for trap
+        c = make_controller(method="be")
+        assert c.order == 1
+
+    def test_candidate_order_clamped_by_history(self):
+        c = self.make_gear()
+        assert c.order == 1  # starts at the bottom
+        c.order = 2  # force a raised target
+        assert c.candidate_order(1) == 1
+        assert c.candidate_order(2) == 2
+        assert c.candidate_order(10) == 2
+
+    def test_err_div_tracks_candidate_order(self):
+        c = self.make_gear()
+        c.order = 2
+        c.candidate_order(1)
+        assert c._err_div == 1.0  # order 1: 2^1 - 1
+        c.candidate_order(5)
+        assert c._err_div == 3.0  # order 2: 2^2 - 1
+
+    def test_order_raises_after_streak_of_good_accepts(self):
+        c = self.make_gear()
+        for _ in range(3):
+            assert c.order == 1
+            c.candidate_order(10)
+            t, dt = c.propose()
+            c.accept(t, dt, ratio=0.01)
+        assert c.order == 2
+        assert c.order_raises == 1
+
+    def test_marginal_accepts_do_not_raise(self):
+        c = self.make_gear()
+        for _ in range(6):
+            c.candidate_order(10)
+            t, dt = c.propose()
+            c.accept(t, dt, ratio=0.8)  # passed, but not comfortably
+        assert c.order == 1
+
+    def test_reject_streak_lowers_order(self):
+        c = self.make_gear()
+        c.order = 2
+        c.candidate_order(10)
+        c.propose()
+        c.reject(ratio=4.0)
+        assert c.order == 2  # one rejection only shrinks dt
+        c.propose()
+        c.reject(ratio=4.0)
+        assert c.order == 1
+        assert c.order_lowers == 1
+
+    def test_breakpoint_resets_order_and_flags_crossing(self):
+        c = self.make_gear(breakpoints=(2.5e-6,))
+        c.order = 2
+        while True:
+            c.candidate_order(10)
+            t_target, dt = c.propose()
+            c.accept(t_target, dt, ratio=0.5)
+            if t_target == 2.5e-6:
+                break
+            assert not c.crossed_breakpoint
+        assert c.crossed_breakpoint
+        assert c.order == 1
+
+    def test_stats_order_histogram_and_per_order_counts(self):
+        c = self.make_gear()
+        c.candidate_order(10)  # order 1
+        t, dt = c.propose()
+        c.accept(t, dt, ratio=0.5)
+        c.order = 2
+        c.candidate_order(10)
+        c.propose()
+        c.reject(ratio=4.0)
+        c.candidate_order(10)
+        t, dt = c.propose()
+        c.accept(t, dt, ratio=0.5)
+        stats = c.stats()
+        assert stats["order_histogram"] == {1: 1, 2: 1}
+        assert stats["accepted_by_order"] == {1: 1, 2: 1}
+        assert stats["rejected_by_order"] == {2: 1}
+        assert stats["final_order"] == 2
+        assert stats["order_raises"] == 0
+        assert stats["order_lowers"] == 0
+
+    def test_trap_stats_keep_existing_shape(self):
+        c = make_controller()
+        t, dt = c.propose()
+        c.accept(t, dt, ratio=0.5)
+        stats = c.stats()
+        assert stats["accepted_steps"] == 1
+        assert stats["order_histogram"] == {2: 1}
+        assert "order_raises" not in stats  # no order control active
+
+
 class TestCollectBreakpoints:
     def test_sources_and_extras_merge_sorted(self):
         c = Circuit()

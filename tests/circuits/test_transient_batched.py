@@ -365,3 +365,78 @@ class TestVectorPairValidation:
                 vector_pair=tanh_limiter_pair,
                 vector_params=(4e-3, 1e-3),  # double the real gm
             )
+
+
+class TestMultistepLockstep:
+    """BDF2/Gear through the batched engine: one shared order schedule,
+    stacked multistep history, per-sample equivalence at rtol 1e-9."""
+
+    def test_bdf2_fixed_grid_matches_per_sample(self):
+        builders = [lambda r=r: build_rlc(r) for r in (100.0, 150.0, 220.0)]
+        options = TransientOptions(
+            t_stop=2e-5, dt=1e-8, method="bdf2", use_dc_operating_point=True
+        )
+        per, bat = assert_batch_equivalent(builders, options)
+        assert bat[0].stats["strategy"] == "batched-linear"
+        assert bat[0].stats["order_histogram"] == per[0].stats["order_histogram"]
+
+    def test_gear3_fixed_grid_rank1_matches_per_sample(self):
+        builders = [
+            lambda s=s: build_oscillator(s) for s in (0.9, 1.0, 1.1)
+        ]
+        options = TransientOptions(
+            t_stop=20 * T0,
+            dt=T0 / 40,
+            method="gear",
+            max_order=3,
+            use_dc_operating_point=False,
+        )
+        per, bat = assert_batch_equivalent(builders, options)
+        assert bat[0].stats["strategy"] == "batched-rank1"
+        hist = bat[0].stats["order_histogram"]
+        assert hist[3] > 0  # the batch reached order 3 together
+
+    def test_gear_adaptive_lockstep_shared_order_schedule(self):
+        builders = [lambda r=r: build_rlc(r) for r in (100.0, 220.0)]
+        options = TransientOptions(
+            t_stop=2e-5,
+            dt=1e-8,
+            method="gear",
+            step_control="adaptive",
+            use_dc_operating_point=True,
+            dt_max=4e-7,
+        )
+        results = run_transient_batched(
+            [build() for build in builders], options
+        )
+        stats = results[0].stats
+        assert stats["accepted_steps"] > 0
+        assert sum(stats["order_histogram"].values()) == stats["accepted_steps"]
+        # One lockstep grid: both samples share it exactly.
+        np.testing.assert_array_equal(results[0].t, results[1].t)
+
+    def test_gear_adaptive_supply_loss_matches_per_sample_shape(self):
+        def build(q):
+            return supply_loss_tank_circuit(F0, 20 * T0, q=q, inductance=1e-6)
+
+        options = TransientOptions(
+            t_stop=80 * T0,
+            dt=T0 / 40,
+            method="bdf2",
+            step_control="adaptive",
+            use_dc_operating_point=False,
+            dt_min=T0 / 640,
+            dt_max=4 * T0,
+        )
+        batched = run_transient_batched([build(12.0), build(18.0)], options)
+        fine = run_transient(
+            build(12.0),
+            TransientOptions(
+                t_stop=80 * T0, dt=T0 / 160, use_dc_operating_point=False
+            ),
+        )
+        wa = batched[0].differential("lc1", "lc2")
+        wf = fine.differential("lc1", "lc2")
+        pre = wa.window(10 * T0, 20 * T0).peak_to_peak()
+        pre_f = wf.window(10 * T0, 20 * T0).peak_to_peak()
+        assert pre == pytest.approx(pre_f, rel=0.05)
