@@ -67,6 +67,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import pathlib
@@ -673,6 +674,75 @@ def check_against_baseline(baseline: dict, tolerance: float) -> int:
     return failures
 
 
+def check_rescue_overhead(cycles: int = 20) -> int:
+    """Gate the fault-tolerance layer's zero-overhead guarantee.
+
+    Healthy workloads must be *bit-identical* with the rescue ladder,
+    budgets and quarantine armed: the fault-tolerance code may only
+    engage after a ConvergenceError, never add Newton work to a run
+    that converges.  Runs live (no baseline needed): the Fig 16
+    startup on both grids, per-sample and batched, nominal vs armed,
+    comparing the deterministic work counters and the waveforms
+    themselves.  Returns the number of failures (0 = gate passes).
+    """
+    failures = 0
+    armed_fields = dict(
+        rescue=True,
+        quarantine=True,
+        max_steps=10**9,
+        max_wall_time=3600.0,
+    )
+    netlist = OscillatorNetlist(TANK, vref=2.5)
+    for step_control in ("fixed", "adaptive"):
+        options = dataclasses.replace(
+            _startup_options(cycles), step_control=step_control
+        )
+        armed = dataclasses.replace(options, **armed_fields)
+        plain = run_transient(netlist.build(LIMITER), options)
+        guarded = run_transient(netlist.build(LIMITER), armed)
+        same = (
+            plain.stats["newton_iterations"] == guarded.stats["newton_iterations"]
+            and plain.stats["steps"] == guarded.stats["steps"]
+            and np.array_equal(plain.x, guarded.x)
+        )
+        label = f"rescue_overhead_{step_control}"
+        if not same:
+            failures += 1
+            print(
+                f"{label:24s} FAIL: armed run differs "
+                f"(newton {plain.stats['newton_iterations']} -> "
+                f"{guarded.stats['newton_iterations']}, steps "
+                f"{plain.stats['steps']} -> {guarded.stats['steps']})"
+            )
+        else:
+            print(
+                f"{label:24s} newton_iterations "
+                f"{plain.stats['newton_iterations']:>6} unchanged, "
+                "waveform bit-identical  ok"
+            )
+    # Batched lockstep engine with quarantine armed.
+    circuits_plain = [netlist.build(LIMITER) for _ in range(4)]
+    circuits_armed = [netlist.build(LIMITER) for _ in range(4)]
+    options = _startup_options(cycles)
+    armed = dataclasses.replace(options, **armed_fields)
+    plain = run_transient_batched(circuits_plain, options)
+    guarded = run_transient_batched(circuits_armed, armed)
+    same = all(
+        a.stats["newton_iterations"] == b.stats["newton_iterations"]
+        and np.array_equal(a.x, b.x)
+        for a, b in zip(plain, guarded)
+    )
+    if not same:
+        failures += 1
+        print("rescue_overhead_batched  FAIL: armed lockstep run differs")
+    else:
+        print(
+            "rescue_overhead_batched  per-sample counters unchanged, "
+            "waveforms bit-identical  ok"
+        )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -712,9 +782,14 @@ def main(argv=None) -> int:
             return 2
         baseline = json.loads(args.baseline.read_text())
         failures = check_against_baseline(baseline, args.tolerance)
-        if failures:
-            print(f"FAIL: {failures} workload(s) regressed > "
-                  f"{args.tolerance:.0%} vs {args.baseline}")
+        overhead_failures = check_rescue_overhead()
+        if failures or overhead_failures:
+            if failures:
+                print(f"FAIL: {failures} workload(s) regressed > "
+                      f"{args.tolerance:.0%} vs {args.baseline}")
+            if overhead_failures:
+                print(f"FAIL: {overhead_failures} healthy workload(s) "
+                      "changed with the rescue ladder armed")
             return 1
         print(f"bench gate ok (within {args.tolerance:.0%} of {args.baseline})")
         return 0

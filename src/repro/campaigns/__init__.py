@@ -7,7 +7,10 @@ the execution of that shape:
 
 * :class:`BatchOptions`, :func:`run_batch` — independent tasks, with
   sequential, process-parallel, or (for workers carrying a
-  ``run_many`` hook) lockstep-vectorized scheduling;
+  ``run_many`` hook) lockstep-vectorized scheduling, plus the
+  fault-tolerance policy: ``on_error`` skip/retry modes backed by
+  :class:`RetryPolicy`, structured :class:`~repro.errors.TaskFailure`
+  records, and checkpoint/resume;
 * :func:`run_chain` — warm-started (continuation) task chains;
 * :func:`labelled_sweep`, :func:`corner_sweep` — batches keyed by a
   task label;
@@ -24,11 +27,14 @@ without cycles; the transient front-end, which depends on the
 circuits layer, is loaded lazily on first attribute access.
 """
 
-from .runner import BatchOptions, run_batch, run_chain
+from ..errors import TaskFailure
+from .runner import BatchOptions, RetryPolicy, run_batch, run_chain
 from .sweeps import corner_sweep, labelled_sweep
 
 __all__ = [
     "BatchOptions",
+    "RetryPolicy",
+    "TaskFailure",
     "run_batch",
     "run_chain",
     "corner_sweep",

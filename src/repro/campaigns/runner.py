@@ -30,6 +30,19 @@ continuation chains back pre-existing typed-error contracts
 (``dc_sweep`` documents :class:`~repro.errors.ConvergenceError`), and
 a sequential chain's traceback already names its point.
 
+Fault-tolerant campaigns opt in through :class:`BatchOptions`:
+``on_error="skip"`` records a structured
+:class:`~repro.errors.TaskFailure` in the failing task's slot instead
+of aborting the batch; ``on_error="retry"`` re-attempts each failed
+task under a :class:`RetryPolicy` (backoff delays, a per-attempt
+``adjust`` hook that can e.g. enable transient rescue) before
+recording the failure; ``checkpoint_path`` persists completed results
+periodically so a killed campaign resumes with
+``run_batch(..., resume_from=path)`` re-running only the missing
+tasks.  A :class:`~concurrent.futures.process.BrokenProcessPool`
+flushes the checkpoint before surfacing as a
+:class:`~repro.errors.BatchTaskError` naming the in-flight task.
+
 Only the Python standard library is used here; the module sits below
 every simulation layer so any of them can import it without cycles
 (the vectorized transient front-end lives one module up, in
@@ -38,20 +51,88 @@ every simulation layer so any of them can import it without cycles
 
 from __future__ import annotations
 
+import concurrent.futures
 import os
+import pickle
+import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
-from ..errors import BatchTaskError, ConfigurationError
+from ..errors import (
+    BatchTaskError,
+    ConfigurationError,
+    ConvergenceError,
+    TaskFailure,
+)
 
-__all__ = ["BatchOptions", "run_batch", "run_chain"]
+__all__ = ["BatchOptions", "RetryPolicy", "run_batch", "run_chain"]
 
 T = TypeVar("T")
 R = TypeVar("R")
 C = TypeVar("C")
 
 _BATCH_MODES = ("auto", "sequential", "process", "vectorized")
+_ON_ERROR_MODES = ("raise", "skip", "retry")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How :func:`run_batch` re-attempts a failed task.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts per task (first try included).
+    delay, backoff:
+        Seconds slept before attempt ``k+1`` is
+        ``delay * backoff**(k-1)`` — exponential backoff, no sleep
+        before the first retry when ``delay`` is 0 (the default;
+        simulation failures are deterministic, so backoff only matters
+        when the ``adjust`` hook changes the task between attempts or
+        the failure is environmental).
+    adjust:
+        ``adjust(task, attempt) -> task`` transforms the *original*
+        task for attempt number ``attempt`` (2, 3, ...).  This is the
+        escalation hook: a transient campaign can re-run a failed
+        sample with ``rescue=True``, a looser tolerance, or a smaller
+        initial dt.  Must be picklable for process pools only if it is
+        baked into tasks — the hook itself runs parent-side.
+    """
+
+    max_attempts: int = 3
+    delay: float = 0.0
+    backoff: float = 2.0
+    adjust: Optional[Callable[[object, int], object]] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.delay < 0:
+            raise ConfigurationError("delay must be >= 0")
+        if self.backoff < 1:
+            raise ConfigurationError("backoff must be >= 1")
+
+    def wait(self, attempt: int) -> float:
+        """Seconds to sleep before attempt ``attempt + 1``."""
+        return self.delay * self.backoff ** (attempt - 1)
+
+    def task_for_attempt(self, task: object, attempt: int) -> object:
+        if attempt <= 1 or self.adjust is None:
+            return task
+        return self.adjust(task, attempt)
 
 
 @dataclass(frozen=True)
@@ -86,13 +167,45 @@ class BatchOptions:
           :func:`~repro.campaigns.vectorized.transient_worker`).
           Workers without the hook fall back to the sequential loop,
           so the policy is always safe to request.
+    on_error:
+        What a task failure does to the rest of the batch:
+
+        * ``"raise"`` (default) — abort with
+          :class:`~repro.errors.BatchTaskError` (the historical
+          behaviour).
+        * ``"skip"`` — record a :class:`~repro.errors.TaskFailure` in
+          that task's result slot; the batch finishes.
+        * ``"retry"`` — re-attempt per ``retry`` (a default
+          :class:`RetryPolicy` if unset), then record the
+          :class:`~repro.errors.TaskFailure` if every attempt failed.
+    retry:
+        The :class:`RetryPolicy` used by ``on_error="retry"``.
+    checkpoint_path:
+        When set, completed task results are pickled to this path
+        (atomically, every ``checkpoint_every`` completions and at
+        the end) so a killed campaign can resume via
+        ``run_batch(..., resume_from=checkpoint_path)``.  Failures are
+        *not* checkpointed — a resume re-attempts them.
+    checkpoint_every:
+        Completions between checkpoint writes.
     """
 
     max_workers: Optional[Union[int, str]] = None
     chunksize: int = 1
     batch_mode: str = "auto"
+    on_error: str = "raise"
+    retry: Optional[RetryPolicy] = None
+    checkpoint_path: Optional[str] = None
+    checkpoint_every: int = 16
 
     def __post_init__(self) -> None:
+        if self.on_error not in _ON_ERROR_MODES:
+            raise ConfigurationError(
+                f"on_error must be one of {_ON_ERROR_MODES}, "
+                f"got {self.on_error!r}"
+            )
+        if self.checkpoint_every < 1:
+            raise ConfigurationError("checkpoint_every must be >= 1")
         if isinstance(self.max_workers, str):
             if self.max_workers != "auto":
                 raise ConfigurationError(
@@ -148,12 +261,20 @@ def wrap_task_error(
 
     One helper so the campaign layers (sequential loop, process
     drain, vectorized front-end) cannot drift in what they attach to
-    a failure.
+    a failure.  The rendered traceback of the original exception rides
+    along as ``cause_text``: a live ``__cause__`` chain does not
+    survive pickling back through a process pool, the string does.
     """
+    cause_text = getattr(exc, "cause_text", None)
+    if cause_text is None:
+        cause_text = "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
     return BatchTaskError(
         f"{action} on task {index} ({task!r}): {exc}",
         index=index,
         task=task,
+        cause_text=cause_text,
     )
 
 
@@ -221,10 +342,255 @@ def _wrap_collective(exc: BaseException, tasks: Sequence) -> BatchTaskError:
     return wrap_task_error(exc, index, task, action="vectorized batch failed")
 
 
+# -- fault-tolerant execution -------------------------------------------------
+
+
+def _failure_context(exc: BaseException) -> Dict[str, object]:
+    """Structured context attached to a :class:`TaskFailure`."""
+    context: Dict[str, object] = {}
+    if isinstance(exc, ConvergenceError):
+        context.update(exc.context())
+    cause = exc.__cause__
+    if isinstance(cause, ConvergenceError):
+        context.update(cause.context())
+    cause_text = getattr(exc, "cause_text", None)
+    if cause_text:
+        context["cause_text"] = cause_text
+    return context
+
+
+class _Checkpointer:
+    """Periodic, atomic pickle of the completed-results map.
+
+    The payload is ``{"version": 1, "n_tasks": N, "done": {index:
+    result}}`` — successes only, so a resume re-attempts every task
+    that failed or never ran.  Writes go through a temp file and
+    ``os.replace`` so a kill mid-write leaves the previous checkpoint
+    intact.
+    """
+
+    def __init__(self, path: Optional[str], n_tasks: int, done: Dict[int, object], every: int):
+        self.path = path
+        self.n_tasks = n_tasks
+        self.done = done
+        self.every = max(1, int(every))
+        self._dirty = 0
+
+    def tick(self) -> None:
+        if self.path is None:
+            return
+        self._dirty += 1
+        if self._dirty >= self.every:
+            self.flush()
+
+    def flush(self) -> None:
+        if self.path is None or self._dirty == 0:
+            return
+        payload = {"version": 1, "n_tasks": self.n_tasks, "done": dict(self.done)}
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "wb") as fh:
+            pickle.dump(payload, fh)
+        os.replace(tmp, self.path)
+        self._dirty = 0
+
+
+def _load_checkpoint(path: str, n_tasks: int) -> Dict[int, object]:
+    try:
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+    except FileNotFoundError:
+        raise ConfigurationError(
+            f"resume_from checkpoint {path!r} does not exist"
+        ) from None
+    except (OSError, pickle.UnpicklingError, EOFError) as exc:
+        raise ConfigurationError(
+            f"resume_from checkpoint {path!r} is unreadable: {exc}"
+        ) from exc
+    if not isinstance(payload, dict) or payload.get("version") != 1:
+        raise ConfigurationError(f"{path!r} is not a run_batch checkpoint")
+    if payload.get("n_tasks") != n_tasks:
+        raise ConfigurationError(
+            f"checkpoint {path!r} was written for {payload.get('n_tasks')} "
+            f"tasks; this batch has {n_tasks} — resuming would misalign "
+            "results"
+        )
+    return {int(k): v for k, v in payload["done"].items()}
+
+
+def _attempt_task(
+    worker: Callable,
+    index: int,
+    task: object,
+    options: "BatchOptions",
+    policy: RetryPolicy,
+):
+    """All attempts of one task, in-process.
+
+    Returns ``(result, None)`` on success, ``(None, TaskFailure)``
+    when every attempt failed.
+    """
+    attempts = policy.max_attempts if options.on_error == "retry" else 1
+    last: Optional[BaseException] = None
+    for attempt in range(1, attempts + 1):
+        if attempt > 1 and policy.delay:
+            time.sleep(policy.wait(attempt - 1))
+        try:
+            return worker(policy.task_for_attempt(task, attempt)), None
+        except Exception as exc:  # noqa: BLE001 — failures become records
+            last = exc
+    return None, TaskFailure(
+        index=index,
+        task=task,
+        error=last,
+        attempts=attempts,
+        context=_failure_context(last),
+    )
+
+
+def _drain_resilient_pool(
+    worker: Callable,
+    task_list: Sequence,
+    missing: Sequence[int],
+    options: "BatchOptions",
+    policy: RetryPolicy,
+    done: Dict[int, object],
+    failures: Dict[int, TaskFailure],
+    saver: _Checkpointer,
+) -> None:
+    """Submit-based process drain that survives individual failures.
+
+    ``executor.map`` ties the whole drain to the first failure;
+    per-task futures let completed results land (and checkpoint) no
+    matter which tasks die, and failed tasks resubmit for their
+    retries while the rest of the pool keeps working.  A broken pool
+    flushes the checkpoint and raises a :class:`BatchTaskError`
+    naming one in-flight task.
+    """
+    indexed = _IndexedWorker(worker)
+    attempts = {index: 1 for index in missing}
+    with ProcessPoolExecutor(max_workers=options.resolved_max_workers()) as executor:
+        pending = {
+            executor.submit(indexed, (index, task_list[index])): index
+            for index in missing
+        }
+        while pending:
+            ready, _ = concurrent.futures.wait(
+                pending, return_when=concurrent.futures.FIRST_COMPLETED
+            )
+            for future in ready:
+                index = pending.pop(future)
+                exc = future.exception()
+                if exc is None:
+                    done[index] = future.result()
+                    saver.tick()
+                    continue
+                if isinstance(exc, BrokenProcessPool):
+                    saver.flush()
+                    in_flight = sorted([index] + list(pending.values()))
+                    raise wrap_task_error(
+                        exc,
+                        index,
+                        task_list[index],
+                        action=(
+                            "worker process pool broke with task(s) "
+                            f"{in_flight} in flight"
+                        ),
+                    ) from exc
+                if (
+                    options.on_error == "retry"
+                    and attempts[index] < policy.max_attempts
+                ):
+                    attempts[index] += 1
+                    if policy.delay:
+                        time.sleep(policy.wait(attempts[index] - 1))
+                    retry_task = policy.task_for_attempt(
+                        task_list[index], attempts[index]
+                    )
+                    pending[executor.submit(indexed, (index, retry_task))] = index
+                    continue
+                failure = TaskFailure(
+                    index=index,
+                    task=task_list[index],
+                    error=exc,
+                    attempts=attempts[index],
+                    context=_failure_context(exc),
+                )
+                if options.on_error == "raise":
+                    saver.flush()
+                    raise exc
+                failures[index] = failure
+
+
+def _run_batch_resilient(
+    worker: Callable,
+    task_list: Sequence,
+    options: "BatchOptions",
+    resume_from: Optional[str],
+) -> List:
+    """The fault-tolerant :func:`run_batch` body."""
+    n_tasks = len(task_list)
+    done: Dict[int, object] = {}
+    if resume_from is not None:
+        done = _load_checkpoint(resume_from, n_tasks)
+    save_path = options.checkpoint_path or resume_from
+    saver = _Checkpointer(save_path, n_tasks, done, options.checkpoint_every)
+    policy = options.retry or RetryPolicy()
+    failures: Dict[int, TaskFailure] = {}
+    missing = [index for index in range(n_tasks) if index not in done]
+
+    collective_failed = False
+    if options.vectorized and missing:
+        run_many = getattr(worker, "run_many", None)
+        if run_many is not None:
+            subset = [task_list[index] for index in missing]
+            try:
+                results = list(run_many(subset))
+            except Exception:  # noqa: BLE001 — fall back per task
+                collective_failed = True
+            else:
+                if len(results) != len(subset):
+                    raise ConfigurationError(
+                        f"run_many returned {len(results)} results for "
+                        f"{len(subset)} tasks; one result per task is "
+                        "required to keep campaigns aligned"
+                    )
+                for index, result in zip(missing, results):
+                    done[index] = result
+                    saver.tick()
+                missing = []
+
+    if missing and options.parallel and not collective_failed:
+        _drain_resilient_pool(
+            worker, task_list, missing, options, policy, done, failures, saver
+        )
+    else:
+        for index in missing:
+            result, failure = _attempt_task(
+                worker, index, task_list[index], options, policy
+            )
+            if failure is None:
+                done[index] = result
+                saver.tick()
+                continue
+            if options.on_error == "raise":
+                saver.flush()
+                error = failure.error
+                if isinstance(error, BatchTaskError):
+                    raise error
+                raise wrap_task_error(error, index, task_list[index]) from error
+            failures[index] = failure
+    saver.flush()
+    return [
+        done[index] if index in done else failures[index]
+        for index in range(n_tasks)
+    ]
+
+
 def run_batch(
     worker: Callable[[T], R],
     tasks: Iterable[T],
     options: Optional[BatchOptions] = None,
+    resume_from: Optional[str] = None,
 ) -> List[R]:
     """Apply ``worker`` to every task; results in task order.
 
@@ -243,8 +609,36 @@ def run_batch(
     *collective* failure of a vectorized ``run_many`` batch carries
     the first failing sample's index when the underlying error names
     one (``failed_samples``), else ``-1``.
+
+    Fault tolerance — engaged when ``options.on_error`` is not
+    ``"raise"``, a ``checkpoint_path`` is set, or ``resume_from`` is
+    given; the plain path below is otherwise byte-for-byte the
+    historical one:
+
+    * failed tasks come back as :class:`~repro.errors.TaskFailure`
+      records in their result slots (always falsy, so truthy results
+      filter with ``[r for r in results if r]``), after
+      ``options.retry`` attempts under ``on_error="retry"``;
+    * completed results checkpoint to ``options.checkpoint_path``;
+      ``resume_from=path`` loads a checkpoint and re-runs only tasks
+      without a stored result (failures are never stored, so a resume
+      re-attempts them) while continuing to checkpoint to the same
+      file unless ``checkpoint_path`` overrides it;
+    * a vectorized batch that fails *collectively* falls back to the
+      per-task loop so individual failures are attributed;
+    * a broken process pool flushes the checkpoint, then raises a
+      :class:`~repro.errors.BatchTaskError` naming the in-flight
+      tasks.
     """
     task_list = list(tasks)
+    fault_tolerant = resume_from is not None or (
+        options is not None
+        and (options.on_error != "raise" or options.checkpoint_path is not None)
+    )
+    if fault_tolerant:
+        return _run_batch_resilient(
+            worker, task_list, options or BatchOptions(), resume_from
+        )
     if options is not None and options.vectorized:
         run_many = getattr(worker, "run_many", None)
         if run_many is not None:

@@ -29,7 +29,7 @@ plumbing.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from multiprocessing import shared_memory
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -45,7 +45,7 @@ from ..circuits.transient import (
     _resolve_recording,
     run_transient,
 )
-from ..errors import BatchTaskError
+from ..errors import BatchTaskError, ConvergenceError, SimulationError
 from .runner import (
     BatchOptions,
     _wrap_collective,
@@ -128,6 +128,13 @@ def run_transient_campaign(
 
     All per-sample paths wrap worker failures in
     :class:`~repro.errors.BatchTaskError` carrying the task index.
+
+    With ``options.quarantine`` the lockstep path tolerates diverging
+    samples (they are masked out and flagged ``quarantined`` in their
+    stats while the rest of the batch finishes), and when
+    ``options.rescue`` is *also* set each quarantined sample gets a
+    solo second chance through the per-sample engine's rescue ladder
+    — see :func:`_rerun_quarantined`.
     """
     tasks = list(tasks)
     if not tasks:
@@ -142,11 +149,14 @@ def run_transient_campaign(
     if lockstep:
         circuits = _build_all(tasks, build)
         try:
-            return run_transient_batched(circuits, options)
+            results = run_transient_batched(circuits, options)
         except BatchIncompatible:
             return _run_sequential(tasks, circuits, options)
         except Exception as exc:
             raise _wrap_collective(exc, tasks) from exc
+        if options.quarantine and options.rescue:
+            _rerun_quarantined(circuits, options, results)
+        return results
     if want_process:
         return _run_process_streaming(tasks, build, options, batch)
     circuits = _build_all(tasks, build)
@@ -226,6 +236,46 @@ def _run_sequential(
                 exc, index, tasks[index], action="transient failed"
             ) from exc
     return results
+
+
+def _rerun_quarantined(
+    circuits: Sequence[Circuit],
+    options: TransientOptions,
+    results: List[TransientResult],
+) -> None:
+    """Give lockstep-quarantined samples a solo second chance.
+
+    A quarantined sample was killed under the *shared* lockstep grid
+    and batch discipline; alone — on its own grid, with the rescue
+    ladder — it may well finish.  Each quarantined sample re-runs
+    through the per-sample engine with rescue enabled: success
+    replaces the frozen partial result (``quarantined`` flips to
+    False, the original ``quarantine`` record stays for traceability
+    alongside ``solo_rerun=True``); failure keeps the partial result
+    and records why in ``stats["rescue_failed"]``.  Mutates
+    ``results`` in place.
+    """
+    solo = replace(options, quarantine=False)
+    for s, result in enumerate(results):
+        if not result.stats.get("quarantined"):
+            continue
+        try:
+            rerun = run_transient(circuits[s], solo)
+        except (ConvergenceError, SimulationError) as exc:
+            result.stats["rescue_failed"] = str(exc)
+            continue
+        if rerun.stats.get("completed") is False:
+            # on_abort="partial" solo rerun that aborted again: the
+            # quarantined lockstep result stands.
+            result.stats["rescue_failed"] = str(
+                rerun.stats.get("abort_error")
+                or rerun.stats.get("abort_reason")
+            )
+            continue
+        rerun.stats["quarantined"] = False
+        rerun.stats["quarantine"] = result.stats.get("quarantine")
+        rerun.stats["solo_rerun"] = True
+        results[s] = rerun
 
 
 # -- shared-memory streaming process pool ------------------------------------

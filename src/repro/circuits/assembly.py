@@ -951,6 +951,46 @@ class TransientAssembly:
                 component.stamp(ctx)
         return G, rhs
 
+    def assemble_dense(
+        self,
+        x: np.ndarray,
+        rhs_lin: np.ndarray,
+        time: float,
+        states: Dict[str, object],
+        extra_gmin: float = 0.0,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fully-stamped *dense* ``(G, rhs)`` at iterate ``x``, on any
+        backend, with an optional extra node-to-ground conductance.
+
+        This is the rescue ladder's system builder: a per-step gmin
+        ramp needs the Jacobian with ``extra_gmin`` added on every
+        node's diagonal, and a residual-continuation stage needs the
+        raw ``(G, rhs)`` pair to offset.  Rescue only runs after a
+        Newton failure, so materializing the sparse base as dense here
+        is fine — this is never the healthy hot path.
+        """
+        if self.backend.is_dense:
+            G, rhs = self.assemble(x, rhs_lin, time, states)
+        else:
+            tri = self._delta_scratch
+            tri.clear()
+            ctx = self._ctx
+            ctx.system = tri
+            ctx.x = x
+            ctx.time = time
+            ctx.states = states
+            for component in self.full:
+                component.stamp(ctx)
+            ctx.system = self._scratch
+            G = self.G_base.toarray()
+            if tri.rows:
+                np.add.at(G, (tri.rows, tri.cols), tri.vals)
+            rhs = rhs_lin + tri.rhs
+        if extra_gmin:
+            idx = np.arange(self.n_nodes)
+            G[idx, idx] += extra_gmin
+        return G, rhs
+
     # -- sparse general Newton: base LU + low-rank delta ----------------------
 
     def _delta_map(self, indices: List[int], positions: Dict[int, int], order: List[int]) -> np.ndarray:

@@ -68,6 +68,8 @@ from .transient import (
     TransientResult,
     _fixed_record_count,
     _resolve_recording,
+    _RunAbort,
+    _RunBudget,
 )
 
 __all__ = ["BatchIncompatible", "BatchedTransientAssembly", "run_transient_batched"]
@@ -708,8 +710,16 @@ class BatchedTransientAssembly:
         self.h_t[0] = self.t_now
         self.h_len = min(self.h_len + 1, self.h_depth)
 
-    def commit(self, x: np.ndarray, time: float) -> None:
-        """Advance every sample's integrator state after one step."""
+    def commit(
+        self, x: np.ndarray, time: float, freeze: Optional[np.ndarray] = None
+    ) -> None:
+        """Advance every sample's integrator state after one step.
+
+        ``freeze`` (boolean ``(S,)``) marks quarantined samples whose
+        companion state must stay exactly where their last converged
+        step left it: recomputing it from their frozen iterate rows
+        through the companion formulas would drift it instead.
+        """
         if not self.v.shape[1]:
             self.t_now = time
             return
@@ -727,6 +737,9 @@ class BatchedTransientAssembly:
                 i_new -= self.i
         if topo.br_idx.size:
             i_new[:, self.n_caps :] = x[:, topo.br_idx]
+        if freeze is not None:
+            v_new[freeze] = self.v[freeze]
+            i_new[freeze] = self.i[freeze]
         self._push_history()
         self.v = v_new
         self.i = i_new
@@ -734,9 +747,23 @@ class BatchedTransientAssembly:
 
 
 class _BatchedStepSolver:
-    """Per-run lockstep Newton driver with a sample convergence mask."""
+    """Per-run lockstep Newton driver with a sample convergence mask.
 
-    def __init__(self, assembly: BatchedTransientAssembly, options: NewtonOptions):
+    Two masks with different lifetimes: the per-iteration ``active``
+    working set (converged samples drop out of a step's Newton loop)
+    and the per-run ``quarantined`` mask — samples the engine has
+    given up on.  Quarantined samples never enter another Newton
+    working set, their iterate rows stay frozen at the last converged
+    step, and their companion state is frozen on commit; the rest of
+    the batch integrates on untouched.
+    """
+
+    def __init__(
+        self,
+        assembly: BatchedTransientAssembly,
+        options: NewtonOptions,
+        quarantine: bool = False,
+    ):
         self.assembly = assembly
         self.options = options
         self.n_nodes = assembly.n_nodes
@@ -744,6 +771,11 @@ class _BatchedStepSolver:
         #: Per-sample Newton-solve counters (ragged convergence shows
         #: up here: converged samples stop accumulating).
         self.newton_per_sample = np.zeros(S, dtype=np.int64)
+        self.quarantine_enabled = bool(quarantine)
+        self.quarantined = np.zeros(S, dtype=bool)
+        #: One record per quarantined sample: sample index, the time
+        #: the sample died, and why.
+        self.quarantine_records: List[Dict[str, object]] = []
         if assembly.k == 0:
             self.strategy = "batched-linear"
         elif assembly.k == 1:
@@ -778,15 +810,43 @@ class _BatchedStepSolver:
 
     def _fail(self, time: float, active: np.ndarray) -> ConvergenceError:
         rows = np.nonzero(active)[0]
-        error = ConvergenceError(
+        # failed_samples names the still-unconverged samples: the
+        # quarantine loops mask exactly these out, and the campaign
+        # layer uses them to attribute a collective lockstep failure.
+        return ConvergenceError(
             f"batched transient Newton failed at t={time:.4e} for "
             f"sample(s) {rows.tolist()}",
             iterations=self.options.max_iterations,
+            time=time,
+            dt=self.assembly.dt,
+            phase="step",
+            failed_samples=rows.tolist(),
         )
-        #: Which samples were still unconverged — the campaign layer
-        #: uses this to attribute a collective lockstep failure.
-        error.failed_samples = rows.tolist()
-        return error
+
+    def quarantine(self, rows, time: float, reason: str) -> None:
+        """Mask samples out of the batch; record what died and why."""
+        for s in rows:
+            s = int(s)
+            if not self.quarantined[s]:
+                self.quarantined[s] = True
+                self.quarantine_records.append(
+                    {"sample": s, "time": float(time), "reason": reason}
+                )
+
+    def _injected(self, time: float) -> Optional[np.ndarray]:
+        """Fault-injection mask from the test-only fail hook."""
+        hook = self.options.fail_hook
+        if hook is None:
+            return None
+        circuits = self.assembly.circuits
+        inject = np.array(
+            [
+                not self.quarantined[s] and bool(hook(time, "step", circuits[s]))
+                for s in range(self.assembly.n_samples)
+            ],
+            dtype=bool,
+        )
+        return inject if inject.any() else None
 
     def _dense_fallback(
         self,
@@ -817,8 +877,14 @@ class _BatchedStepSolver:
     # -- one lockstep time step ------------------------------------------------
 
     def step(self, x: np.ndarray, rhs_lin: np.ndarray, time: float) -> np.ndarray:
+        inject = self._injected(time)
+        if inject is not None:
+            raise self._fail(time, inject)
         if self.strategy == "batched-linear":
-            return self.assembly.solve(rhs_lin)
+            x_new = self.assembly.solve(rhs_lin)
+            if self.quarantined.any():
+                x_new[self.quarantined] = x[self.quarantined]
+            return x_new
         if self.strategy == "batched-rank1":
             return self._step_rank1(x, rhs_lin, time)
         return self._step_woodbury(x, rhs_lin, time)
@@ -848,7 +914,9 @@ class _BatchedStepSolver:
         v_ctrl = self._ctrl1(x)
         on_line = np.zeros(S, dtype=bool)
         c = np.zeros(S)
-        active = np.ones(S, dtype=bool)
+        # Quarantined samples never enter the working set: their rows
+        # of ``x`` stay frozen at the last converged iterate.
+        active = ~self.quarantined
         for _iteration in range(options.max_iterations):
             rows = np.nonzero(active)[0]
             if rows.size == 0:
@@ -949,7 +1017,7 @@ class _BatchedStepSolver:
         z_lin = asm.solve(rhs_lin)
         x = x.copy()
         v_ctrl = asm.ctrl_project(x)
-        active = np.ones(asm.n_samples, dtype=bool)
+        active = ~self.quarantined
         for _iteration in range(options.max_iterations):
             rows = np.nonzero(active)[0]
             if rows.size == 0:
@@ -1045,6 +1113,17 @@ def run_transient_batched(
     Jacobian mode, components outside the stamp split's vectorizable
     vocabulary, or a singular stacked base matrix (see the exception's
     docstring for when each case fires).
+
+    Fault tolerance mirrors the per-sample engine's options:
+    ``options.quarantine`` masks a sample whose Newton fails (fixed
+    grid: on any step; adaptive: at the dt floor, or on LTE underflow)
+    out of the lockstep batch — its iterate and companion state freeze
+    at the last converged step, its stats gain ``quarantined=True``
+    and a ``quarantine`` record, and the survivors finish.
+    ``max_steps`` / ``max_wall_time`` budgets and ``on_abort``
+    ("raise" vs "partial") behave exactly as in
+    :func:`~repro.circuits.transient.run_transient`; an all-samples
+    quarantine aborts with reason ``"all_quarantined"``.
     """
     options = options or TransientOptions()
     if options.jacobian != "auto":
@@ -1074,7 +1153,9 @@ def run_transient_batched(
         x = np.zeros((S, size))
     assembly.init_state(x)
 
-    solver = _BatchedStepSolver(assembly, options.newton)
+    solver = _BatchedStepSolver(
+        assembly, options.newton, quarantine=options.quarantine
+    )
 
     record_indices, recorded_nodes, n_columns = _resolve_recording(
         circuits[0], options
@@ -1085,12 +1166,35 @@ def run_transient_batched(
         capacity = int(options.t_stop / options.dt) // options.record_stride + 2
     recorder = _BatchedRecording(S, n_columns, capacity, record_indices)
 
-    if options.step_control == "fixed":
-        run_stats = _run_fixed_lockstep(options, assembly, solver, x, recorder)
-    else:
-        run_stats = _run_adaptive_lockstep(
-            circuits, options, assembly, solver, x, recorder
-        )
+    try:
+        if options.step_control == "fixed":
+            run_stats = _run_fixed_lockstep(options, assembly, solver, x, recorder)
+        else:
+            run_stats = _run_adaptive_lockstep(
+                circuits, options, assembly, solver, x, recorder
+            )
+    except _RunAbort as abort:
+        if options.on_abort == "raise":
+            if abort.error is not None:
+                raise abort.error
+            raise SimulationError(
+                f"batched transient aborted: {abort.reason} budget "
+                f"exhausted at t={abort.stats.get('t_abort', 0.0):.4e}"
+            )
+        run_stats = dict(abort.stats)
+        run_stats["abort_reason"] = abort.reason
+        run_stats["completed"] = False
+        if abort.error is not None:
+            run_stats["abort_error"] = str(abort.error)
+
+    quarantine_by_sample: Dict[int, Dict[str, object]] = {}
+    if solver.quarantine_enabled:
+        run_stats["quarantined_samples"] = np.nonzero(solver.quarantined)[
+            0
+        ].tolist()
+        quarantine_by_sample = {
+            int(record["sample"]): record for record in solver.quarantine_records
+        }
 
     times, records = recorder.arrays()
     results: List[TransientResult] = []
@@ -1104,6 +1208,10 @@ def run_transient_batched(
             "batch_samples": S,
         }
         stats.update(run_stats)
+        if solver.quarantine_enabled:
+            stats["quarantined"] = bool(solver.quarantined[s])
+            if s in quarantine_by_sample:
+                stats["quarantine"] = quarantine_by_sample[s]
         results.append(
             TransientResult(
                 circuit=circuit,
@@ -1123,15 +1231,36 @@ def _run_fixed_lockstep(
     x: np.ndarray,
     recorder: _BatchedRecording,
 ) -> Dict[str, object]:
-    """The classic uniform grid, S samples wide."""
+    """The classic uniform grid, S samples wide.
+
+    With ``options.quarantine`` a sample whose Newton fails is masked
+    out of the batch (iterate and companion state frozen) and the step
+    is retried with the survivors; the loop only aborts when every
+    sample is dead.  Budgets charge once per grid step.
+    """
     n_steps = int(round(options.t_stop / options.dt))
     stride = options.record_stride
     recorder.append(0.0, x)
     method = assembly.method
     multistep = method.is_multistep
     order_histogram: Dict[int, int] = {}
+    budget = _RunBudget.for_options(options)
+
+    def partial_stats(step: int) -> Dict[str, object]:
+        stats: Dict[str, object] = {
+            "steps": step - 1,
+            "t_abort": (step - 1) * options.dt,
+        }
+        if multistep:
+            stats["order_histogram"] = order_histogram
+        return stats
+
     for step in range(1, n_steps + 1):
         time = step * options.dt
+        if budget is not None:
+            exhausted = budget.charge()
+            if exhausted is not None:
+                raise _RunAbort(exhausted, stats=partial_stats(step))
         if multistep:
             # Gear startup ramp: the whole batch shares one order
             # schedule, clamped by the shared committed history.
@@ -1142,8 +1271,22 @@ def _run_fixed_lockstep(
                 assembly.set_dt(options.dt, order=order)
             order_histogram[order] = order_histogram.get(order, 0) + 1
         rhs_lin = assembly.step_rhs(time)
-        x = solver.step(x, rhs_lin, time)
-        assembly.commit(x, time)
+        while True:
+            try:
+                x = solver.step(x, rhs_lin, time)
+                break
+            except ConvergenceError as exc:
+                failed = getattr(exc, "failed_samples", None)
+                if not solver.quarantine_enabled or not failed:
+                    raise
+                solver.quarantine(failed, time, "newton")
+                if solver.quarantined.all():
+                    raise _RunAbort(
+                        "all_quarantined", error=exc, stats=partial_stats(step)
+                    )
+                # Retry the same step with the survivors only.
+        freeze = solver.quarantined if solver.quarantined.any() else None
+        assembly.commit(x, time, freeze=freeze)
         if step % stride == 0:
             recorder.append(time, x)
     stats: Dict[str, object] = {"steps": n_steps}
@@ -1196,8 +1339,21 @@ def _run_adaptive_lockstep(
     n_nodes = assembly.n_nodes
     stride = options.record_stride
     recorder.append(0.0, x)
+    budget = _RunBudget.for_options(options)
+
+    def abort(reason: str, error: Optional[BaseException] = None) -> _RunAbort:
+        stats = controller.stats()
+        stats["steps"] = controller.accepted
+        stats["dt_cache_entries"] = assembly.n_dt_entries
+        stats["t_abort"] = controller.t
+        return _RunAbort(reason, error=error, stats=stats)
+
     while not controller.finished:
         t = controller.t
+        if budget is not None:
+            exhausted = budget.charge()
+            if exhausted is not None:
+                raise abort(exhausted)
         t_target, dt = controller.propose()
         # One order schedule for the whole batch: the controller's
         # target clamped by the shared committed history.
@@ -1208,6 +1364,7 @@ def _run_adaptive_lockstep(
         )
         ephemeral = dt != controller.dt
         snapshot = assembly.snapshot_state()
+        freeze = solver.quarantined if solver.quarantined.any() else None
         try:
             assembly.set_dt(dt, ephemeral=ephemeral, order=order)
             rhs_lin = assembly.step_rhs(t_target)
@@ -1217,18 +1374,29 @@ def _run_adaptive_lockstep(
             assembly.set_dt(half, ephemeral=ephemeral, order=order)
             rhs_lin = assembly.step_rhs(t_mid)
             x_mid = solver.step(x, rhs_lin, t_mid)
-            assembly.commit(x_mid, t_mid)
+            assembly.commit(x_mid, t_mid, freeze=freeze)
             rhs_lin = assembly.step_rhs(t_target)
             x_half = solver.step(x_mid, rhs_lin, t_target)
-        except ConvergenceError:
+        except ConvergenceError as exc:
             assembly.restore_state(snapshot)
-            if controller.dt <= controller.dt_min * (1.0 + 1e-9):
+            if not controller.at_dt_floor:
+                controller.reject_nonconvergence()
+                continue
+            # Newton is dead at the dt floor.  Quarantine the failed
+            # samples (when enabled) so the survivors keep going, or
+            # propagate — the seed behaviour.
+            failed = getattr(exc, "failed_samples", None)
+            if not solver.quarantine_enabled or not failed:
                 raise
-            controller.reject_nonconvergence()
+            solver.quarantine(failed, t, "newton_dt_min")
+            controller.reset_floor_rejections()
+            if solver.quarantined.all():
+                raise abort("all_quarantined", error=exc)
             continue
-        ratio = controller.error_ratio_many(x_full, x_half, n_nodes)
+        mask = None if freeze is None else ~solver.quarantined
+        ratio = controller.error_ratio_many(x_full, x_half, n_nodes, mask=mask)
         if ratio <= 1.0:
-            assembly.commit(x_half, t_target)
+            assembly.commit(x_half, t_target, freeze=freeze)
             x = x_half
             controller.accept(t_target, dt, ratio)
             if multistep and controller.crossed_breakpoint:
@@ -1237,7 +1405,23 @@ def _run_adaptive_lockstep(
                 recorder.append(t_target, x)
         else:
             assembly.restore_state(snapshot)
-            controller.reject(ratio)
+            try:
+                controller.reject(ratio)
+            except SimulationError as exc:
+                # LTE underflow: dt cannot shrink further.  Quarantine
+                # the samples whose Richardson estimate is still over
+                # tolerance; the shared grid then answers only to the
+                # survivors.
+                if not solver.quarantine_enabled:
+                    raise abort("step_underflow", error=exc)
+                ratios = controller.error_ratio_samples(x_full, x_half, n_nodes)
+                culprits = np.nonzero((ratios > 1.0) & ~solver.quarantined)[0]
+                if culprits.size == 0:
+                    raise abort("step_underflow", error=exc)
+                solver.quarantine(culprits, t, "lte_underflow")
+                controller.reset_floor_rejections()
+                if solver.quarantined.all():
+                    raise abort("all_quarantined", error=exc)
     stats = controller.stats()
     stats["steps"] = controller.accepted
     stats["dt_cache_entries"] = assembly.n_dt_entries

@@ -9,7 +9,7 @@ sweeps of Fig 17/18.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -21,7 +21,14 @@ from .linsolve import damp_voltage_delta, solve_dense
 from .netlist import Circuit
 from .sources import CurrentSource, VoltageSource
 
-__all__ = ["NewtonOptions", "OperatingPoint", "solve_dc", "dc_sweep", "SweepResult"]
+__all__ = [
+    "NewtonOptions",
+    "OperatingPoint",
+    "continuation_ladder",
+    "solve_dc",
+    "dc_sweep",
+    "SweepResult",
+]
 
 
 @dataclass
@@ -38,6 +45,14 @@ class NewtonOptions:
     gmin_steps: Sequence[float] = (1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10, 1e-12)
     #: Number of source-stepping points.
     source_steps: int = 20
+    #: Test-only deterministic fault injection for the transient
+    #: engines: ``fail_hook(time, phase, circuit) -> bool`` is
+    #: consulted before each transient Newton step (``phase="step"``)
+    #: and each rescue-ladder stage (``phase="rescue"``); returning
+    #: True makes that solve fail as if Newton diverged.  The hook
+    #: must be picklable (module-level) for process campaigns.  The
+    #: DC solver ignores it.
+    fail_hook: Optional[Callable[[float, str, object], bool]] = None
 
 
 @dataclass
@@ -156,6 +171,32 @@ def _newton(
     )
 
 
+def continuation_ladder(
+    solve: Callable[[float, np.ndarray], Tuple[np.ndarray, int]],
+    stages: Sequence[float],
+    x0: np.ndarray,
+) -> Tuple[np.ndarray, int]:
+    """Warm-started homotopy walk along a stage ladder.
+
+    ``solve(stage, x_warm)`` performs one Newton solve of the
+    ``stage``-parameterized system from the warm start ``x_warm`` and
+    returns ``(solution, iterations_taken)``; each stage's solution
+    seeds the next.  This is the shared skeleton of every homotopy in
+    the library — DC gmin stepping (stages are descending gmin
+    values), DC source stepping (stages are source scale factors),
+    and the transient rescue ladder (stages are per-step extra-gmin
+    rungs or residual-ramp waypoints).  Raises whatever ``solve``
+    raises when a stage fails; the caller decides whether another
+    ladder exists to fall back to.
+    """
+    x = x0
+    total = 0
+    for stage in stages:
+        x, taken = solve(stage, x)
+        total += taken
+    return x, total
+
+
 def solve_dc(
     circuit: Circuit,
     options: Optional[NewtonOptions] = None,
@@ -185,28 +226,22 @@ def solve_dc(
 
     # Gmin stepping: solve with huge gmin, tighten progressively.
     try:
-        total = 0
-        x_g = x.copy()
-        for gmin in options.gmin_steps:
-            x_g, taken = _newton(circuit, x_g, options, gmin, 1.0, backend)
-            total += taken
-        solution, taken = _newton(
-            circuit, x_g, options, options.gmin, 1.0, backend
+        solution, total = continuation_ladder(
+            lambda gmin, xw: _newton(circuit, xw, options, gmin, 1.0, backend),
+            tuple(options.gmin_steps) + (options.gmin,),
+            x.copy(),
         )
-        return OperatingPoint(circuit, solution, iterations=total + taken)
+        return OperatingPoint(circuit, solution, iterations=total)
     except ConvergenceError:
         pass
 
     # Source stepping: ramp all independent sources from 0 to 100 %.
-    total = 0
-    x_s = np.zeros(circuit.size)
-    for k in range(1, options.source_steps + 1):
-        scale = k / options.source_steps
-        x_s, taken = _newton(
-            circuit, x_s, options, options.gmin, scale, backend
-        )
-        total += taken
-    return OperatingPoint(circuit, x_s, iterations=total)
+    solution, total = continuation_ladder(
+        lambda scale, xw: _newton(circuit, xw, options, options.gmin, scale, backend),
+        [k / options.source_steps for k in range(1, options.source_steps + 1)],
+        np.zeros(circuit.size),
+    )
+    return OperatingPoint(circuit, solution, iterations=total)
 
 
 @dataclass

@@ -53,7 +53,7 @@ Design
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -242,6 +242,23 @@ class StepController:
         return self.t >= self.t_stop * (1.0 - _TIME_EPS)
 
     @property
+    def at_dt_floor(self) -> bool:
+        """Whether the working step size sits on ``dt_min`` — the
+        point where non-convergence can no longer be answered by
+        shrinking and escalation (rescue, quarantine, abort) begins."""
+        return self.dt <= self.dt_min * (1.0 + 1e-9)
+
+    def reset_floor_rejections(self) -> None:
+        """Forgive the accumulated at-floor rejections.
+
+        The batched engine calls this after quarantining the samples
+        responsible for an LTE underflow: the remaining samples get a
+        fresh underflow allowance instead of inheriting the dead
+        samples' strike count.
+        """
+        self._rejects_at_floor = 0
+
+    @property
     def next_breakpoint(self) -> float:
         return self._breakpoints[self._bp_index]
 
@@ -276,23 +293,45 @@ class StepController:
         scale = float(np.abs(x_half[:n_nodes]).max())
         return err / (self.abstol + self.reltol * scale)
 
-    def error_ratio_many(
+    def error_ratio_samples(
         self, x_full: np.ndarray, x_half: np.ndarray, n_nodes: int
+    ) -> np.ndarray:
+        """Per-sample LTE ratios of a lockstep batch, shape ``(S,)``.
+
+        Each sample's ratio uses its own signal scale, exactly like
+        :meth:`error_ratio` would; the batched engine uses the full
+        vector to attribute an LTE underflow to the samples actually
+        responsible before quarantining them.
+        """
+        diff = x_full[:, :n_nodes] - x_half[:, :n_nodes]
+        if diff.size == 0:
+            return np.zeros(len(x_full))
+        err = np.abs(diff).max(axis=1) / self._err_div
+        scale = np.abs(x_half[:, :n_nodes]).max(axis=1)
+        return err / (self.abstol + self.reltol * scale)
+
+    def error_ratio_many(
+        self,
+        x_full: np.ndarray,
+        x_half: np.ndarray,
+        n_nodes: int,
+        mask: Optional[np.ndarray] = None,
     ) -> float:
         """Worst-sample LTE ratio of a lockstep batch.
 
         ``x_full``/``x_half`` are stacked ``(S, size)`` iterates.  The
         batched transient engine integrates every sample on one shared
         grid, so a candidate step is acceptable only when the *worst*
-        sample meets tolerance; each sample's ratio uses its own
-        signal scale, exactly like :meth:`error_ratio` would.
+        sample meets tolerance.  ``mask`` (boolean, ``(S,)``) selects
+        the samples that count — quarantined samples' frozen states
+        must not veto the healthy ones' steps.
         """
-        diff = x_full[:, :n_nodes] - x_half[:, :n_nodes]
-        if diff.size == 0:
+        ratios = self.error_ratio_samples(x_full, x_half, n_nodes)
+        if mask is not None:
+            ratios = ratios[mask]
+        if ratios.size == 0:
             return 0.0
-        err = np.abs(diff).max(axis=1) / self._err_div
-        scale = np.abs(x_half[:, :n_nodes]).max(axis=1)
-        return float((err / (self.abstol + self.reltol * scale)).max())
+        return float(ratios.max())
 
     def accept(self, t_taken: float, dt_taken: float, ratio: float) -> None:
         """Commit a step that met tolerance; grow the next step."""
@@ -366,7 +405,7 @@ class StepController:
                 self.order -= 1
                 self.order_lowers += 1
                 self._reject_streak = 0
-        if self.dt <= self.dt_min * (1.0 + 1e-9):
+        if self.at_dt_floor:
             self._rejects_at_floor += 1
             if self._rejects_at_floor >= 3:
                 raise SimulationError(

@@ -80,6 +80,8 @@ shape level against fine fixed-step runs.
 
 from __future__ import annotations
 
+import time as time_module
+
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -89,7 +91,7 @@ from ..analysis.waveform import Waveform
 from ..errors import ConvergenceError, NetlistError, SimulationError
 from .assembly import TransientAssembly
 from .backend import MatrixBackend, resolve_backend
-from .dcop import NewtonOptions, solve_dc
+from .dcop import NewtonOptions, continuation_ladder, solve_dc
 from .integration import (
     KNOWN_METHODS,
     IntegrationMethod,
@@ -179,6 +181,43 @@ class TransientOptions:
     #: breakpoints will rebuild entries.
     dt_cache_size: int = 16
 
+    # -- fault tolerance ----------------------------------------------------
+    #: Per-step Newton rescue ladder.  When a step's Newton fails (on
+    #: the fixed grid: immediately; on the adaptive grid: after step
+    #: shrinking has reached ``dt_min``), the engine escalates through
+    #: a per-step gmin ramp and then a residual ("source-ramp")
+    #: continuation before giving up — the transient analogue of the
+    #: DC solver's homotopy fallbacks.  Off by default so the seed
+    #: contract (raise on first hard failure) is opt-out; the healthy
+    #: path is bit-identical either way because rescue only ever
+    #: engages *after* a ConvergenceError.
+    rescue: bool = False
+    #: Budget: rescued steps allowed per run before aborting.
+    max_rescues: int = 8
+    #: Rescue stage 1: descending extra node-to-ground conductances;
+    #: each rung's solution warm-starts the next, and a final rung at
+    #: the nominal gmin recovers the true step equations.
+    rescue_gmin_ladder: Sequence[float] = (1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10)
+    #: Rescue stage 2: number of residual-continuation waypoints on
+    #: the way from "previous state satisfies the step equations" to
+    #: the true step system.
+    rescue_ramp_steps: int = 8
+    #: Budgets: cap on attempted steps (fixed: grid steps; adaptive:
+    #: proposed candidates) and wall-clock seconds.  None = unlimited.
+    max_steps: Optional[int] = None
+    max_wall_time: Optional[float] = None
+    #: What to do when the run cannot continue — Newton dead at the
+    #: dt floor after any rescue, adaptive LTE underflow, or an
+    #: exhausted budget.  "raise" propagates the error (the seed
+    #: behaviour); "partial" returns the waveform integrated so far
+    #: with ``stats["abort_reason"]`` and ``stats["t_abort"]`` set.
+    on_abort: str = "raise"
+    #: Batched lockstep engine only: mask a sample whose Newton
+    #: exhausts escalation out of the batch (state frozen, flagged in
+    #: its stats) so the remaining samples finish, instead of one
+    #: pathological sample killing the whole campaign.
+    quarantine: bool = False
+
     def __post_init__(self) -> None:
         if self.t_stop <= 0 or self.dt <= 0:
             raise SimulationError("t_stop and dt must be positive")
@@ -230,6 +269,20 @@ class TransientOptions:
             raise SimulationError("max_step_growth must exceed 1")
         if self.dt_cache_size < 1:
             raise SimulationError("dt_cache_size must be >= 1")
+        if self.on_abort not in ("raise", "partial"):
+            raise SimulationError(
+                f"on_abort must be 'raise' or 'partial', got {self.on_abort!r}"
+            )
+        if self.max_rescues < 0:
+            raise SimulationError("max_rescues must be >= 0")
+        if self.rescue_ramp_steps < 1:
+            raise SimulationError("rescue_ramp_steps must be >= 1")
+        if any(g <= 0 for g in self.rescue_gmin_ladder):
+            raise SimulationError("rescue_gmin_ladder entries must be positive")
+        if self.max_steps is not None and self.max_steps < 1:
+            raise SimulationError("max_steps must be >= 1 (or None)")
+        if self.max_wall_time is not None and self.max_wall_time <= 0:
+            raise SimulationError("max_wall_time must be positive (or None)")
 
     def resolved_dt_min(self) -> float:
         return self.dt_min if self.dt_min is not None else self.dt / 256.0
@@ -357,6 +410,195 @@ def _voltage_tol(x: np.ndarray, n_nodes: int, options: NewtonOptions) -> float:
     return options.abstol_v + options.reltol * float(np.abs(x[:n_nodes]).max())
 
 
+class _RunAbort(Exception):
+    """Internal control flow: the run cannot continue.
+
+    Carries the machine-readable reason, the underlying error (when
+    the abort was a solver failure rather than a budget), and the
+    loop's partial stats.  :func:`run_transient` translates it per
+    ``options.on_abort``: re-raise the real error, or finalize the
+    recording made so far into a partial result.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        error: Optional[BaseException] = None,
+        stats: Optional[Dict[str, object]] = None,
+    ):
+        super().__init__(reason)
+        self.reason = reason
+        self.error = error
+        self.stats = stats or {}
+
+
+class _RunBudget:
+    """Step / wall-clock budget charged once per attempted step.
+
+    Only constructed when a limit is actually set, so budget-free runs
+    pay nothing; the wall clock is read only when a deadline exists.
+    """
+
+    __slots__ = ("max_steps", "deadline", "steps")
+
+    def __init__(self, options: TransientOptions):
+        self.max_steps = options.max_steps
+        self.deadline = (
+            time_module.monotonic() + options.max_wall_time
+            if options.max_wall_time is not None
+            else None
+        )
+        self.steps = 0
+
+    @classmethod
+    def for_options(cls, options: TransientOptions) -> Optional["_RunBudget"]:
+        if options.max_steps is None and options.max_wall_time is None:
+            return None
+        return cls(options)
+
+    def charge(self) -> Optional[str]:
+        """Account one attempted step; the exhausted budget's name or None."""
+        self.steps += 1
+        if self.max_steps is not None and self.steps > self.max_steps:
+            return "max_steps"
+        if self.deadline is not None and time_module.monotonic() > self.deadline:
+            return "max_wall_time"
+        return None
+
+
+class _StepRescue:
+    """Per-step Newton rescue ladder: gmin ramp, then residual ramp.
+
+    The transient analogue of ``solve_dc``'s homotopy fallbacks,
+    applied to *one step's* companion-model equations after plain
+    Newton (every fast path plus its own fallbacks) has failed:
+
+    1. **Gmin ramp** — damped Newton with a large extra conductance
+       from every node to ground, tightened rung by rung down
+       ``rescue_gmin_ladder`` (each rung warm-starting the next) and
+       finishing at the nominal gmin, which *is* the true step system.
+    2. **Residual ("source-ramp") continuation** — solve
+       ``F(x) - (1 - lam) * F(x_prev) = 0`` along a ``lam`` ladder
+       from near 0 to 1.  At small ``lam`` the previous state is
+       almost a solution by construction; at ``lam = 1`` the offset
+       vanishes and the true step system is recovered.  Since the
+       step residual at ``x_prev`` is dominated by the stimulus and
+       companion-source change over the step, this ramps the step's
+       forcing in gradually — source stepping without needing a
+       per-component scale hook.
+
+    Both ladders share :func:`~repro.circuits.dcop.continuation_ladder`
+    with the DC solver.  All solves are damped dense Newton against
+    :meth:`~repro.circuits.assembly.TransientAssembly.assemble_dense`
+    — rescue is rare by construction, so generality beats speed here,
+    and none of this code runs (or allocates) on a healthy step.
+    """
+
+    def __init__(self, assembly: TransientAssembly, options: TransientOptions):
+        self.assembly = assembly
+        self.options = options
+        self.newton = options.newton
+        self.rescues = 0
+        self.by_stage: Dict[str, int] = {}
+
+    # -- one damped dense Newton solve ------------------------------------
+
+    def _solve(
+        self,
+        x0: np.ndarray,
+        rhs_lin: np.ndarray,
+        time: float,
+        states: Dict[str, object],
+        extra_gmin: float = 0.0,
+        rhs_offset: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, int]:
+        options = self.newton
+        assembly = self.assembly
+        n_nodes = assembly.n_nodes
+        x = x0.copy()
+        last_delta = np.inf
+        for iteration in range(options.max_iterations):
+            G, rhs = assembly.assemble_dense(
+                x, rhs_lin, time, states, extra_gmin=extra_gmin
+            )
+            if rhs_offset is not None:
+                rhs = rhs + rhs_offset
+            x_new = solve_dense(G, rhs)
+            delta, last_delta = damp_voltage_delta(
+                x_new - x, n_nodes, options.max_step
+            )
+            x = x + delta
+            if last_delta < _voltage_tol(x, n_nodes, options):
+                return x, iteration + 1
+        raise ConvergenceError(
+            f"rescue Newton failed at t={time:.4e}",
+            iterations=options.max_iterations,
+            residual=last_delta,
+            time=time,
+            dt=assembly.dt,
+            phase="rescue",
+        )
+
+    def _residual(
+        self,
+        x: np.ndarray,
+        rhs_lin: np.ndarray,
+        time: float,
+        states: Dict[str, object],
+    ) -> np.ndarray:
+        G, rhs = self.assembly.assemble_dense(x, rhs_lin, time, states)
+        return G.dot(x) - rhs
+
+    # -- the ladder -------------------------------------------------------
+
+    def rescue(
+        self,
+        x_prev: np.ndarray,
+        rhs_lin: np.ndarray,
+        time: float,
+        states: Dict[str, object],
+    ) -> np.ndarray:
+        """Solve one step's equations that plain Newton gave up on.
+
+        Returns the converged solution of the *unmodified* step system
+        (both ladders end at the nominal equations); raises the last
+        stage's :class:`~repro.errors.ConvergenceError` when every
+        ladder fails.
+        """
+        hook = self.newton.fail_hook
+        if hook is not None and hook(time, "rescue", self.assembly.circuit):
+            raise ConvergenceError(
+                f"injected rescue failure at t={time:.4e}",
+                time=time,
+                dt=self.assembly.dt,
+                phase="rescue",
+            )
+        self.rescues += 1
+        try:
+            x, _ = continuation_ladder(
+                lambda gmin, xw: self._solve(
+                    xw, rhs_lin, time, states, extra_gmin=gmin
+                ),
+                tuple(self.options.rescue_gmin_ladder) + (0.0,),
+                x_prev,
+            )
+            self.by_stage["gmin_ramp"] = self.by_stage.get("gmin_ramp", 0) + 1
+            return x
+        except ConvergenceError:
+            pass
+        f0 = self._residual(x_prev, rhs_lin, time, states)
+        m = self.options.rescue_ramp_steps
+        x, _ = continuation_ladder(
+            lambda lam, xw: self._solve(
+                xw, rhs_lin, time, states, rhs_offset=(1.0 - lam) * f0
+            ),
+            [k / m for k in range(1, m + 1)],
+            x_prev,
+        )
+        self.by_stage["source_ramp"] = self.by_stage.get("source_ramp", 0) + 1
+        return x
+
+
 class _StepSolver:
     """Per-run solver state shared across steps (caches, statistics).
 
@@ -444,6 +686,9 @@ class _StepSolver:
         time: float,
         states: Dict[str, object],
     ) -> np.ndarray:
+        hook = self.options.fail_hook
+        if hook is not None and hook(time, "step", self.assembly.circuit):
+            raise self._fail(time, float("inf"))
         if self.strategy == "linear":
             return self.assembly.lu().solve(rhs_lin)
         if self.strategy == "linear-restamp":
@@ -462,6 +707,9 @@ class _StepSolver:
             f"transient Newton failed at t={time:.4e}",
             iterations=self.options.max_iterations,
             residual=residual,
+            time=time,
+            dt=self.assembly.dt,
+            phase="step",
         )
 
     def _step_general(
@@ -706,29 +954,56 @@ def _run_fixed(
     stride = options.record_stride
     recorder.append(0.0, x)
     method = assembly.method
-    if not method.is_multistep:
-        for step in range(1, n_steps + 1):
-            time = step * options.dt
-            rhs_lin = assembly.step_rhs(time, states, x)
-            x = solver.step(x, rhs_lin, time, states)
-            assembly.commit(x, time, states)
-            if step % stride == 0:
-                recorder.append(time, x)
-        return {"steps": n_steps}
+    multistep = method.is_multistep
     target = method.max_order
     order_histogram: Dict[int, int] = {}
+    budget = _RunBudget.for_options(options)
+    rescue = _StepRescue(assembly, options) if options.rescue else None
+
+    def partial_stats(step: int) -> Dict[str, object]:
+        stats: Dict[str, object] = {"steps": step - 1, "t_abort": (step - 1) * options.dt}
+        if multistep:
+            stats["order_histogram"] = order_histogram
+        if rescue is not None:
+            stats["rescues"] = rescue.rescues
+            stats["rescue_stages"] = dict(rescue.by_stage)
+        return stats
+
     for step in range(1, n_steps + 1):
         time = step * options.dt
-        order = method.usable_order(target, assembly.history_points)
-        if order != assembly.order:
-            assembly.set_dt(options.dt, order=order)
-        order_histogram[order] = order_histogram.get(order, 0) + 1
+        if budget is not None:
+            exhausted = budget.charge()
+            if exhausted is not None:
+                raise _RunAbort(exhausted, stats=partial_stats(step))
+        if multistep:
+            order = method.usable_order(target, assembly.history_points)
+            if order != assembly.order:
+                assembly.set_dt(options.dt, order=order)
+            order_histogram[order] = order_histogram.get(order, 0) + 1
         rhs_lin = assembly.step_rhs(time, states, x)
-        x = solver.step(x, rhs_lin, time, states)
+        try:
+            x = solver.step(x, rhs_lin, time, states)
+        except ConvergenceError as exc:
+            if rescue is None:
+                raise
+            if rescue.rescues >= options.max_rescues:
+                raise _RunAbort("max_rescues", error=exc, stats=partial_stats(step))
+            try:
+                x = rescue.rescue(x, rhs_lin, time, states)
+            except ConvergenceError as rescue_exc:
+                raise _RunAbort(
+                    "newton", error=rescue_exc, stats=partial_stats(step)
+                )
         assembly.commit(x, time, states)
         if step % stride == 0:
             recorder.append(time, x)
-    return {"steps": n_steps, "order_histogram": order_histogram}
+    stats: Dict[str, object] = {"steps": n_steps}
+    if multistep:
+        stats["order_histogram"] = order_histogram
+    if rescue is not None:
+        stats["rescues"] = rescue.rescues
+        stats["rescue_stages"] = dict(rescue.by_stage)
+    return stats
 
 
 def _run_adaptive(
@@ -771,8 +1046,25 @@ def _run_adaptive(
     n_nodes = circuit.n_nodes
     stride = options.record_stride
     recorder.append(0.0, x)
+    budget = _RunBudget.for_options(options)
+    rescue = _StepRescue(assembly, options) if options.rescue else None
+
+    def abort(reason: str, error: Optional[BaseException] = None) -> _RunAbort:
+        stats = controller.stats()
+        stats["steps"] = controller.accepted
+        stats["dt_cache_entries"] = assembly.n_dt_entries
+        stats["t_abort"] = controller.t
+        if rescue is not None:
+            stats["rescues"] = rescue.rescues
+            stats["rescue_stages"] = dict(rescue.by_stage)
+        return _RunAbort(reason, error=error, stats=stats)
+
     while not controller.finished:
         t = controller.t
+        if budget is not None:
+            exhausted = budget.charge()
+            if exhausted is not None:
+                raise abort(exhausted)
         t_target, dt = controller.propose()
         # The whole candidate (probe + both halves) integrates at one
         # order: the controller's target clamped by committed history.
@@ -799,11 +1091,32 @@ def _run_adaptive(
             assembly.commit(x_mid, t_mid, states)
             rhs_lin = assembly.step_rhs(t_target, states, x_mid)
             x_half = solver.step(x_mid, rhs_lin, t_target, states)
-        except ConvergenceError:
+        except ConvergenceError as exc:
             assembly.restore_state(snapshot, states)
-            if controller.dt <= controller.dt_min * (1.0 + 1e-9):
+            if not controller.at_dt_floor:
+                controller.reject_nonconvergence()
+                continue
+            # Shrinking is exhausted.  Escalate: rescue the candidate
+            # as a single full step at the proposed size (no LTE test
+            # — the alternative is losing the run), then abort.
+            if rescue is None:
                 raise
-            controller.reject_nonconvergence()
+            if rescue.rescues >= options.max_rescues:
+                raise abort("max_rescues", error=exc)
+            try:
+                assembly.set_dt(dt, ephemeral=ephemeral, order=order)
+                rhs_lin = assembly.step_rhs(t_target, states, x)
+                x_rescued = rescue.rescue(x, rhs_lin, t_target, states)
+            except ConvergenceError as rescue_exc:
+                assembly.restore_state(snapshot, states)
+                raise abort("newton_dt_min", error=rescue_exc)
+            assembly.commit(x_rescued, t_target, states)
+            x = x_rescued
+            controller.accept(t_target, dt, ratio=1.0)
+            if multistep and controller.crossed_breakpoint:
+                assembly.reset_history()
+            if controller.accepted % stride == 0:
+                recorder.append(t_target, x)
             continue
         ratio = controller.error_ratio(x_full, x_half, n_nodes)
         if ratio <= 1.0:
@@ -818,10 +1131,17 @@ def _run_adaptive(
                 recorder.append(t_target, x)
         else:
             assembly.restore_state(snapshot, states)
-            controller.reject(ratio)
+            try:
+                controller.reject(ratio)
+            except SimulationError as exc:
+                # Controller underflow: LTE still failing at dt_min.
+                raise abort("step_underflow", error=exc)
     stats = controller.stats()
     stats["steps"] = controller.accepted
     stats["dt_cache_entries"] = assembly.n_dt_entries
+    if rescue is not None:
+        stats["rescues"] = rescue.rescues
+        stats["rescue_stages"] = dict(rescue.by_stage)
     return stats
 
 
@@ -831,6 +1151,24 @@ def run_transient(circuit: Circuit, options: Optional[TransientOptions] = None) 
     The initial condition is the DC operating point (sources evaluated
     at t = 0) unless ``use_dc_operating_point`` is False, in which case
     node voltages start at zero and component ``ic`` values are honored.
+
+    Fault tolerance (all opt-in; the healthy path is bit-identical
+    with or without them, and performs zero extra Newton solves):
+
+    * ``rescue=True`` — a step whose Newton fails (fixed grid) or
+      fails with the adaptive step already at ``dt_min`` escalates
+      through the per-step gmin ramp and residual continuation of
+      :class:`_StepRescue` before the run gives up; ``max_rescues``
+      bounds the escalations per run.
+    * ``max_steps`` / ``max_wall_time`` — hard budgets on attempted
+      steps and wall-clock seconds.
+    * ``on_abort="partial"`` — when the run cannot continue (Newton
+      dead after rescue, LTE underflow, budget exhausted), return the
+      waveform integrated so far instead of raising; the result's
+      ``stats`` carry ``abort_reason`` (one of ``"newton"``,
+      ``"newton_dt_min"``, ``"step_underflow"``, ``"max_rescues"``,
+      ``"max_steps"``, ``"max_wall_time"``), ``t_abort``, and
+      ``completed=False``.
     """
     options = options or TransientOptions()
     size = circuit.prepare()
@@ -899,12 +1237,26 @@ def run_transient(circuit: Circuit, options: Optional[TransientOptions] = None) 
         capacity = int(options.t_stop / options.dt) // options.record_stride + 2
     recorder = _RecordingBuffer(n_columns, capacity, record_indices)
 
-    if options.step_control == "fixed":
-        run_stats = _run_fixed(options, assembly, solver, states, x, recorder)
-    else:
-        run_stats = _run_adaptive(
-            circuit, options, assembly, solver, states, x, recorder
-        )
+    try:
+        if options.step_control == "fixed":
+            run_stats = _run_fixed(options, assembly, solver, states, x, recorder)
+        else:
+            run_stats = _run_adaptive(
+                circuit, options, assembly, solver, states, x, recorder
+            )
+    except _RunAbort as abort:
+        if options.on_abort == "raise":
+            if abort.error is not None:
+                raise abort.error
+            raise SimulationError(
+                f"transient aborted: {abort.reason} budget exhausted at "
+                f"t={abort.stats.get('t_abort', 0.0):.4e}"
+            )
+        run_stats = dict(abort.stats)
+        run_stats["abort_reason"] = abort.reason
+        run_stats["completed"] = False
+        if abort.error is not None:
+            run_stats["abort_error"] = str(abort.error)
 
     times, records = recorder.arrays()
     stats: Dict[str, object] = {

@@ -1,11 +1,18 @@
-"""Exception hierarchy for the :mod:`repro` library.
+"""Exception hierarchy (and failure records) for the :mod:`repro` library.
 
 All exceptions raised intentionally by the library derive from
 :class:`ReproError` so callers can catch library errors without
-catching programming mistakes (``TypeError`` etc.).
+catching programming mistakes (``TypeError`` etc.).  The module also
+holds :class:`TaskFailure`, the structured *record* of a failed batch
+task that fault-tolerant campaigns return in place of a result — it
+lives here with the exceptions it wraps so every layer can import it
+without cycles.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 __all__ = [
     "ReproError",
@@ -18,6 +25,11 @@ __all__ = [
     "ConfigurationError",
     "BatchTaskError",
 ]
+
+# TaskFailure is deliberately not in __all__: it is a result *record*,
+# not an exception, and ``__all__`` here is the exception hierarchy
+# contract (everything in it derives from ReproError).  Import it
+# explicitly, or via :mod:`repro.campaigns`, which re-exports it.
 
 
 class ReproError(Exception):
@@ -37,13 +49,62 @@ class ConvergenceError(ReproError):
     """Raised when a nonlinear (Newton) solve fails to converge.
 
     Carries the iteration count and the final residual norm so the
-    caller can decide whether to retry with different homotopy settings.
+    caller can decide whether to retry with different homotopy
+    settings, plus — when raised from inside a transient engine —
+    structured context identifying *where* the solve died: the step
+    time, the step size, the solve phase (``"step"`` for an ordinary
+    Newton step, ``"rescue"`` for a failed rescue-ladder stage), and
+    in the batched lockstep engine the indices of the samples still
+    unconverged.  :meth:`context` returns the populated fields as a
+    plain dict for quarantine logs and
+    :class:`TaskFailure` records.
     """
 
-    def __init__(self, message: str, iterations: int = 0, residual: float = float("nan")):
+    def __init__(
+        self,
+        message: str,
+        iterations: int = 0,
+        residual: float = float("nan"),
+        *,
+        time: Optional[float] = None,
+        dt: Optional[float] = None,
+        phase: Optional[str] = None,
+        failed_samples: Optional[List[int]] = None,
+    ):
         super().__init__(message)
         self.iterations = iterations
         self.residual = residual
+        self.time = time
+        self.dt = dt
+        self.phase = phase
+        self.failed_samples = failed_samples
+
+    def context(self) -> Dict[str, object]:
+        """The populated structured fields as a plain dict."""
+        items = {
+            "iterations": self.iterations,
+            "residual": self.residual,
+            "time": self.time,
+            "dt": self.dt,
+            "phase": self.phase,
+            "failed_samples": self.failed_samples,
+        }
+        return {key: value for key, value in items.items() if value is not None}
+
+    def __reduce__(self):
+        # Exception pickling replays positional args only; the keyword
+        # context would silently drop crossing a process pool without
+        # the state dict (applied to __dict__ on unpickling).
+        return (
+            type(self),
+            (self.args[0], self.iterations, self.residual),
+            {
+                "time": self.time,
+                "dt": self.dt,
+                "phase": self.phase,
+                "failed_samples": self.failed_samples,
+            },
+        )
 
 
 class AnalysisError(ReproError):
@@ -77,15 +138,62 @@ class BatchTaskError(ReproError):
     with the index and task that failed, so a mid-campaign error in a
     thousand-sample Monte-Carlo run identifies exactly which seed died
     instead of losing that information in a bare traceback.
+
+    A live ``__cause__`` object cannot survive pickling back through a
+    process pool (exception pickling replays constructor args only),
+    so ``cause_text`` carries the worker's original traceback as a
+    rendered string: attribution survives even when the exception
+    object itself does not.
     """
 
-    def __init__(self, message: str, index: int, task: object = None):
+    def __init__(
+        self,
+        message: str,
+        index: int,
+        task: object = None,
+        cause_text: Optional[str] = None,
+    ):
         super().__init__(message)
         self.index = index
         self.task = task
+        self.cause_text = cause_text
 
     def __reduce__(self):
         # Exception pickling replays args, which hold only the
         # message; without this, a worker process raising
-        # BatchTaskError would break the pool on unpickling.
-        return type(self), (self.args[0], self.index, self.task)
+        # BatchTaskError would break the pool on unpickling — and
+        # without cause_text in the replayed args, the chained
+        # worker traceback would be lost in transit.
+        return type(self), (self.args[0], self.index, self.task, self.cause_text)
+
+
+@dataclass
+class TaskFailure:
+    """Structured record of one failed batch task.
+
+    Fault-tolerant campaigns (``BatchOptions(on_error="skip")`` /
+    ``"retry"``) return these *in place* of the failed tasks' results,
+    so a 1000-sample run with 3 pathological samples yields 997
+    results plus 3 records instead of one exception and nothing.  The
+    record identifies what died (``index``, ``task``), why
+    (``error``, with any structured :class:`ConvergenceError` context
+    flattened into ``context``), and how hard the runner tried
+    (``attempts``).
+    """
+
+    index: int
+    task: object
+    error: BaseException
+    attempts: int = 1
+    #: Structured failure context (time/dt/phase/failed samples for a
+    #: ConvergenceError, rendered worker traceback for a pool failure).
+    context: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def message(self) -> str:
+        return str(self.error)
+
+    def __bool__(self) -> bool:
+        # A failure is falsy so campaign code can split results with
+        # the natural `if result:` / `filter` idioms.
+        return False
