@@ -38,6 +38,16 @@ default) so future PRs have a perf trajectory to regress against:
   ``(S, n, n)`` systems, one time loop, per-sample Newton masks.
   Baseline: the optimized *per-sample* engine run sample by sample on
   the same machine; per-sample amplitudes must match at rtol 1e-9.
+* ``mc_startup_sharded`` — the same 64-sample lockstep campaign
+  executed by the sharded campaign layer
+  (``BatchOptions(batch_mode="sharded")``): sub-batches dispatched
+  across a process pool, fixed-grid records streamed through shared
+  memory, merges bit-identical to the single-batch run.  Baseline:
+  the PR-3 single lockstep batch on the same machine.  On multi-core
+  hosts the sharded run must win >= 1.5x; on one core it must degrade
+  gracefully to sequential in-process shards within 10% of the
+  single batch.  The entry stamps the effective worker and shard
+  counts so recorded speedups carry their hardware context.
 * ``ladder_transient_dense_vs_sparse`` — the distributed sensing-coil
   ladder (:class:`repro.sensor.coils.DistributedCoil`): an N-segment
   RLC transmission-line netlist with hundreds of unknowns, the first
@@ -81,7 +91,8 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 import numpy as np
 
 from repro.analysis import envelope_by_peaks, oscillation_frequency
-from repro.campaigns import run_batch
+from repro.campaigns import BatchOptions, run_batch
+from repro.campaigns.vectorized import run_transient_campaign
 from repro.circuits import (
     TransientOptions,
     run_transient,
@@ -501,6 +512,73 @@ def bench_mc_startup_batched(n_samples: int = 64, cycles: int = 20) -> dict:
     }
 
 
+# -- Monte-Carlo startup campaign, sharded across cores ----------------------
+
+
+def _mc_sharded_build(index: int):
+    """Module-level (picklable) build for the sharded campaign bench."""
+    return _mc_circuit(MismatchProfile.sample(seed=2000 + index))
+
+
+def bench_mc_startup_sharded(n_samples: int = 64, cycles: int = 20) -> dict:
+    """Sharded campaign vs the single lockstep batch it decomposes.
+
+    The contract has two halves, both asserted live: the shard merge
+    is *bit-identical* to the unsharded vectorized run (every
+    per-sample solve is independent of batch membership), and the
+    wall clock scales with cores — >= 1.5x on multi-core hosts, and
+    within 10% of the single batch on one core, where the shards
+    degrade to a sequential in-process loop with no pool or shared
+    memory.  The effective worker/shard counts are stamped into the
+    entry: a recorded speedup is meaningless without its hardware
+    context, so it should never be compared across machines blind.
+    """
+    options = _mc_options(cycles)
+    tasks = list(range(n_samples))
+
+    def campaign(mode):
+        return run_transient_campaign(
+            tasks, _mc_sharded_build, options, BatchOptions(batch_mode=mode)
+        )
+
+    seed_seconds, vec_results = _timed(lambda: campaign("vectorized"))
+    opt_seconds, shard_results = _timed(lambda: campaign("sharded"))
+    for s, (vec, shard) in enumerate(zip(vec_results, shard_results)):
+        assert np.array_equal(vec.x, shard.x), (
+            f"sharded merge diverged from the single batch on sample {s}"
+        )
+    workers = int(shard_results[0].stats["shard_workers"])
+    n_shards = int(shard_results[0].stats["n_shards"])
+    speedup = seed_seconds / opt_seconds
+    if workers > 1:
+        assert speedup >= 1.5, (
+            f"sharded campaign on {workers} workers must beat the single "
+            f"batch >= 1.5x, got {speedup:.2f}x"
+        )
+    else:
+        assert speedup >= 0.9, (
+            f"sequential shard degradation must stay within 10% of the "
+            f"single batch, got {speedup:.2f}x"
+        )
+    newton = sum(r.stats["newton_iterations"] for r in shard_results)
+    newton_ref = sum(r.stats["newton_iterations"] for r in vec_results)
+    assert newton == newton_ref, "sharding changed the Newton work"
+    return {
+        "workload": f"sharded MC startup campaign, {n_samples} mismatch "
+        f"samples, {cycles} carrier cycles each",
+        "baseline": "single lockstep batch (vectorized campaign, live, "
+        "same machine)",
+        "n_samples": n_samples,
+        "cycles": cycles,
+        "effective_workers": workers,
+        "effective_shards": n_shards,
+        "seed_seconds": seed_seconds,
+        "optimized_seconds": opt_seconds,
+        "speedup": speedup,
+        "optimized_newton_iterations": newton,
+    }
+
+
 # -- distributed-coil ladder: dense vs sparse backend ------------------------
 
 
@@ -595,12 +673,19 @@ def run_benches(
         "supply_loss_gear": bench_supply_loss_gear(supply_cycles),
         "mc_startup": bench_mc_startup(samples),
         "mc_startup_batched": bench_mc_startup_batched(batched_samples),
+        "mc_startup_sharded": bench_mc_startup_sharded(batched_samples),
         "fault_coverage": bench_fault_coverage(),
     }
     if SCIPY_VERSION is not None:
         benches["ladder_transient_dense_vs_sparse"] = (
             bench_ladder_dense_vs_sparse(ladder_segments)
         )
+    # Every entry carries its effective parallelism so recorded wall
+    # numbers are never read without their hardware context; only the
+    # sharded campaign uses more than one worker today.
+    for bench in benches.values():
+        bench.setdefault("effective_workers", 1)
+        bench.setdefault("effective_shards", 1)
     return benches
 
 

@@ -84,7 +84,7 @@ T = TypeVar("T")
 R = TypeVar("R")
 C = TypeVar("C")
 
-_BATCH_MODES = ("auto", "sequential", "process", "vectorized")
+_BATCH_MODES = ("auto", "sequential", "process", "vectorized", "sharded")
 _ON_ERROR_MODES = ("raise", "skip", "retry")
 
 
@@ -167,6 +167,16 @@ class BatchOptions:
           :func:`~repro.campaigns.vectorized.transient_worker`).
           Workers without the hook fall back to the sequential loop,
           so the policy is always safe to request.
+        * ``"sharded"`` — lockstep execution split into sub-batches
+          ("shards") of ``shard_size`` samples, dispatched across
+          ``max_workers`` processes; within :func:`run_batch` the mode
+          behaves like ``"vectorized"`` (it dispatches on the same
+          ``run_many`` hook), and the transient front-end
+          (:func:`~repro.campaigns.vectorized.run_transient_campaign`)
+          implements the actual sharding.  One worker (or one core)
+          degrades gracefully to running the shards sequentially
+          in-process; fixed-grid results are bit-identical to the
+          unsharded lockstep run either way.
     on_error:
         What a task failure does to the rest of the batch:
 
@@ -188,6 +198,18 @@ class BatchOptions:
         *not* checkpointed — a resume re-attempts them.
     checkpoint_every:
         Completions between checkpoint writes.
+    shard_size:
+        ``batch_mode="sharded"`` only: samples per sub-batch.  ``None``
+        (default) divides the campaign evenly over the resolved worker
+        count (``ceil(S / workers)``).
+    stiffness_bins:
+        ``batch_mode="sharded"`` only: when > 1, a lockstep probe step
+        ranks samples by first-step LTE ratio
+        (:func:`~repro.circuits.batched.probe_stiffness_ratios`) and
+        shards are cut *within* this many stiffness quantile bins
+        (:func:`~repro.circuits.stepcontrol.stiffness_bins`), so an
+        adaptive shard's shared worst-sample grid answers to peers of
+        similar stiffness.  1 (default) keeps task order.
     """
 
     max_workers: Optional[Union[int, str]] = None
@@ -197,6 +219,8 @@ class BatchOptions:
     retry: Optional[RetryPolicy] = None
     checkpoint_path: Optional[str] = None
     checkpoint_every: int = 16
+    shard_size: Optional[int] = None
+    stiffness_bins: int = 1
 
     def __post_init__(self) -> None:
         if self.on_error not in _ON_ERROR_MODES:
@@ -226,19 +250,27 @@ class BatchOptions:
                 "batch_mode='process' forces a pool; max_workers=0 "
                 "(sequential) contradicts it — use None, 'auto' or >= 1"
             )
+        if self.shard_size is not None and self.shard_size < 1:
+            raise ConfigurationError("shard_size must be >= 1 or None")
+        if self.stiffness_bins < 1:
+            raise ConfigurationError("stiffness_bins must be >= 1")
 
     def resolved_max_workers(self) -> int:
         """The concrete worker count this policy asks for."""
         if self.max_workers == "auto":
             return os.cpu_count() or 1
         if self.max_workers is None:
-            # "process" mode with no explicit count means "use the box".
-            return (os.cpu_count() or 1) if self.batch_mode == "process" else 1
+            # "process"/"sharded" with no explicit count: use the box.
+            if self.batch_mode in ("process", "sharded"):
+                return os.cpu_count() or 1
+            return 1
         return int(self.max_workers)
 
     @property
     def parallel(self) -> bool:
-        if self.batch_mode in ("sequential", "vectorized"):
+        # "sharded" runs its own shard-level pool inside the transient
+        # front-end; the generic per-task pool must not also engage.
+        if self.batch_mode in ("sequential", "vectorized", "sharded"):
             return False
         if self.batch_mode == "process":
             # Forced: even a pool of one worker buys process isolation
@@ -248,7 +280,10 @@ class BatchOptions:
 
     @property
     def vectorized(self) -> bool:
-        return self.batch_mode == "vectorized"
+        # Both modes dispatch run_batch on the worker's run_many hook;
+        # a sharded-aware hook (transient_worker(batch=...)) carries
+        # the shard policy itself.
+        return self.batch_mode in ("vectorized", "sharded")
 
 
 def wrap_task_error(

@@ -17,6 +17,17 @@ cannot offer:
   their full waveform records into one preallocated
   ``multiprocessing.shared_memory`` block, so a campaign streams
   complete waveforms at the cost of scalars.
+* **Sharded lockstep** (``BatchOptions(batch_mode="sharded")``, and
+  the ``"auto"`` choice for fixed-grid campaigns on multi-core
+  machines) — the lockstep batch split into sub-batches dispatched
+  across a process pool, each shard streaming its fixed-grid records
+  into one shared block at global per-sample offsets.  Because every
+  per-sample solve in the lockstep engine (block-diagonal LU,
+  per-sample Newton masks, batched DC seed) is independent of batch
+  membership, fixed-grid shard merges are bit-identical to the
+  unsharded run; ``stiffness_bins`` additionally clusters samples of
+  similar stiffness into the same shard so adaptive sharded runs are
+  not dragged to one outlier's step size.
 
 :func:`transient_worker` adapts the same build/run/evaluate triple to
 the generic :func:`~repro.campaigns.run_batch` protocol (it carries
@@ -28,6 +39,9 @@ plumbing.
 
 from __future__ import annotations
 
+import math
+import os
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from multiprocessing import shared_memory
@@ -36,8 +50,13 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..analysis.waveform import Waveform
-from ..circuits.batched import BatchIncompatible, run_transient_batched
+from ..circuits.batched import (
+    BatchIncompatible,
+    probe_stiffness_ratios,
+    run_transient_batched,
+)
 from ..circuits.netlist import Circuit
+from ..circuits.stepcontrol import stiffness_bins
 from ..circuits.transient import (
     TransientOptions,
     TransientResult,
@@ -48,6 +67,8 @@ from ..circuits.transient import (
 from ..errors import BatchTaskError, ConvergenceError, SimulationError
 from .runner import (
     BatchOptions,
+    RetryPolicy,
+    _attempt_task,
     _wrap_collective,
     drain_ordered,
     wrap_task_error,
@@ -113,14 +134,34 @@ def run_transient_campaign(
 
     * ``"vectorized"`` — the lockstep batched engine; netlists it
       cannot stack fall back to the sequential per-sample loop.
+    * ``"sharded"`` — the lockstep engine split into sub-batches of
+      ``batch.shard_size`` samples (default: the campaign divided
+      evenly over the resolved worker count), dispatched across a
+      shard-level process pool with records streamed through one
+      shared-memory block at per-sample global offsets.  One worker
+      (or one core) degrades gracefully to running the shards
+      sequentially in-process.  Fixed-grid shard merges are
+      **bit-identical** to the unsharded lockstep run — every
+      per-sample solve (block-diagonal LU, per-sample Newton masks,
+      batched DC seed) is independent of batch membership.  With
+      ``batch.stiffness_bins > 1`` a probe step ranks samples by
+      first-step LTE ratio and shards are cut within stiffness
+      quantile bins — on *adaptive* grids (a deliberate, explicit
+      choice: each shard then integrates its own worst-sample grid,
+      a different discretization than the unsharded batch) this
+      keeps one stiff outlier from dragging a shard of benign
+      samples to its dt.
     * ``"auto"`` (default) — lockstep for **fixed-grid** runs (where
       the batched engine is equivalence-pinned to the per-sample path
-      at rtol 1e-9), sequential otherwise; ``max_workers`` requesting
-      processes goes parallel instead.  Adaptive runs never lockstep
-      implicitly: the shared worst-sample grid is a *different,
-      coarser-or-equal discretization* than each sample's own
-      adaptive grid, so results legitimately differ at LTE-tolerance
-      level — opting in must be explicit (``"vectorized"``).
+      at rtol 1e-9) — sharded across cores when the machine has more
+      than one (bit-identical, so the upgrade is safe), single-batch
+      lockstep otherwise; sequential for adaptive runs;
+      ``max_workers`` requesting processes goes parallel instead.
+      Adaptive runs never lockstep implicitly: the shared
+      worst-sample grid is a *different, coarser-or-equal
+      discretization* than each sample's own adaptive grid, so
+      results legitimately differ at LTE-tolerance level — opting in
+      must be explicit (``"vectorized"`` or ``"sharded"``).
     * ``"process"`` (or ``"auto"`` + ``max_workers > 1``) — process
       pool with the shared-memory record stream for fixed-grid runs
       (adaptive runs fall back to pickled records).
@@ -141,6 +182,20 @@ def run_transient_campaign(
         return []
     mode = batch.batch_mode if batch is not None else "auto"
     want_process = batch is not None and batch.parallel
+    sharded = mode == "sharded" or (
+        mode == "auto"
+        and not want_process
+        and options.step_control == "fixed"
+        and len(tasks) > 1
+        and (os.cpu_count() or 1) > 1
+    )
+    if sharded:
+        policy = batch if batch is not None else BatchOptions()
+        if policy.batch_mode != "sharded":
+            # "auto" promotion: re-key the policy so worker resolution
+            # ("use the box") and validation follow the sharded rules.
+            policy = replace(policy, batch_mode="sharded")
+        return _run_sharded(tasks, build, options, policy)
     lockstep = mode == "vectorized" or (
         mode == "auto"
         and not want_process
@@ -167,16 +222,22 @@ def transient_worker(
     build: Callable[[object], Circuit],
     options: TransientOptions,
     evaluate: Optional[Callable[[object, TransientResult], object]] = None,
+    batch: Optional[BatchOptions] = None,
 ) -> Callable[[object], object]:
     """Adapt a build/run/evaluate triple to the ``run_batch`` protocol.
 
     The returned worker runs one task per call like any other batch
     worker, and carries the ``run_many`` hook that
-    ``BatchOptions(batch_mode="vectorized")`` dispatches on — so
-    :func:`~repro.campaigns.run_batch`, :func:`~repro.campaigns.
-    corner_sweep` and :func:`~repro.campaigns.labelled_sweep`
-    campaigns built on it execute as one lockstep batch when the
-    netlists allow, with per-task fallback when they do not.
+    ``BatchOptions(batch_mode="vectorized")`` (or ``"sharded"``)
+    dispatches on — so :func:`~repro.campaigns.run_batch`,
+    :func:`~repro.campaigns.corner_sweep` and
+    :func:`~repro.campaigns.labelled_sweep` campaigns built on it
+    execute as one lockstep batch when the netlists allow, with
+    per-task fallback when they do not.  ``batch`` overrides the
+    policy ``run_many`` forwards to the campaign front-end — pass a
+    ``BatchOptions(batch_mode="sharded", ...)`` to shard the lockstep
+    batch over processes (the ``run_batch`` options only select *that*
+    ``run_many`` is used, not how it executes internally).
     """
 
     def worker(task: object) -> object:
@@ -185,12 +246,13 @@ def transient_worker(
 
     def run_many(tasks: Sequence[object]) -> List[object]:
         tasks = list(tasks)
-        # run_many is only dispatched on an explicit vectorized
-        # policy; forward that intent so adaptive-grid options
-        # lockstep here too instead of degrading to "auto".
-        results = run_transient_campaign(
-            tasks, build, options, BatchOptions(batch_mode="vectorized")
+        # run_many is only dispatched on an explicit vectorized (or
+        # sharded) policy; forward that intent so adaptive-grid
+        # options lockstep here too instead of degrading to "auto".
+        policy = batch if batch is not None else BatchOptions(
+            batch_mode="vectorized"
         )
+        results = run_transient_campaign(tasks, build, options, policy)
         if evaluate is None:
             return results
         values: List[object] = []
@@ -276,6 +338,329 @@ def _rerun_quarantined(
         rerun.stats["quarantine"] = result.stats.get("quarantine")
         rerun.stats["solo_rerun"] = True
         results[s] = rerun
+
+
+# -- sharded lockstep execution -----------------------------------------------
+
+
+def _plan_shards(
+    circuits: Sequence[Circuit],
+    options: TransientOptions,
+    batch: BatchOptions,
+    workers: int,
+) -> List[List[int]]:
+    """Cut the campaign into shards of global sample indices.
+
+    With ``batch.stiffness_bins > 1`` the samples are first grouped
+    into stiffness quantile bins by a lockstep probe step (cluster
+    first), then each bin is chunked into shards (shard within
+    clusters) — so no shard mixes a stiff outlier with benign
+    samples.  A failed probe degrades to task order.  Shards always
+    partition ``range(S)`` exactly, each in ascending sample order.
+    """
+    S = len(circuits)
+    bins = [np.arange(S)]
+    if batch.stiffness_bins > 1 and S > 1:
+        ratios = probe_stiffness_ratios(circuits, options)
+        if ratios is not None:
+            bins = stiffness_bins(ratios, batch.stiffness_bins)
+    shard_size = batch.shard_size or max(1, math.ceil(S / max(workers, 1)))
+    shards: List[List[int]] = []
+    for bin_indices in bins:
+        for k in range(0, len(bin_indices), shard_size):
+            shards.append([int(i) for i in bin_indices[k : k + shard_size]])
+    return shards
+
+
+def _run_one_shard(
+    circuits: Sequence[Circuit],
+    tasks: Sequence[object],
+    indices: Sequence[int],
+    options: TransientOptions,
+) -> List[TransientResult]:
+    """One shard through the lockstep engine — parent- or child-side.
+
+    Mirrors the unsharded lockstep path exactly: netlists the engine
+    cannot stack fall back to the per-sample loop (failures attributed
+    to *global* task indices), and quarantined samples get their solo
+    rescue rerun inside the shard.
+    """
+    try:
+        results = run_transient_batched(circuits, options)
+    except BatchIncompatible:
+        results = []
+        for local, circuit in enumerate(circuits):
+            try:
+                results.append(run_transient(circuit, options))
+            except Exception as exc:
+                raise wrap_task_error(
+                    exc, indices[local], tasks[local], action="transient failed"
+                ) from exc
+        return results
+    if options.quarantine and options.rescue:
+        _rerun_quarantined(circuits, options, results)
+    return results
+
+
+def _globalize_quarantine(stats: dict, indices: Sequence[int]) -> None:
+    """Remap shard-local sample indices in quarantine stats to global."""
+    record = stats.get("quarantine")
+    if record and "sample" in record:
+        record = dict(record)
+        record["sample"] = int(indices[int(record["sample"])])
+        stats["quarantine"] = record
+    local_list = stats.get("quarantined_samples")
+    if local_list:
+        stats["quarantined_samples"] = [int(indices[int(s)]) for s in local_list]
+
+
+def _stamp_shard(stats: dict, shard_no: int, n_shards: int, n_workers: int) -> None:
+    stats["shard"] = shard_no
+    stats["n_shards"] = n_shards
+    stats["shard_workers"] = n_workers
+
+
+def _shard_solo_fallback(
+    indices: Sequence[int],
+    tasks: Sequence[object],
+    build,
+    options: TransientOptions,
+    batch: BatchOptions,
+    results: List[object],
+) -> None:
+    """Recover a failed shard sample-by-sample (``on_error != "raise"``).
+
+    A collective shard failure rarely implicates every member; each
+    sample re-runs solo through the per-sample engine under the batch
+    retry policy, so innocents recover (their slot gets a real result,
+    flagged ``shard_fallback``) and persistent failures land as
+    :class:`~repro.errors.TaskFailure` records in their own slots.
+    """
+    policy = batch.retry or RetryPolicy()
+
+    def worker(task: object) -> TransientResult:
+        return run_transient(build(task), options)
+
+    for g in indices:
+        result, failure = _attempt_task(worker, g, tasks[g], batch, policy)
+        if failure is None:
+            result.stats["shard_fallback"] = True
+            results[g] = result
+        else:
+            results[g] = failure
+
+
+def _run_sharded(
+    tasks: Sequence[object],
+    build,
+    options: TransientOptions,
+    batch: BatchOptions,
+) -> List[object]:
+    """Lockstep execution in sub-batches across a shard-level pool.
+
+    The campaign is cut into shards (stiffness-clustered when asked)
+    and each shard runs the existing vectorized lockstep engine.
+    Fixed-grid records stream through *one* shared-memory block —
+    every worker writes its samples' rows at their global offsets, so
+    the waveforms never cross the process boundary as pickles.  With
+    one worker (or one core) the shards run sequentially in-process:
+    same merges, no pool, no shared memory.  Results always come back
+    in task order; a failed shard either raises (``on_error="raise"``,
+    attributed to the first failing sample's global index) or falls
+    back to per-sample solo attempts whose failures become
+    :class:`~repro.errors.TaskFailure` slots.
+    """
+    circuits = _build_all(tasks, build)
+    S = len(tasks)
+    workers = batch.resolved_max_workers()
+    shards = _plan_shards(circuits, options, batch, workers)
+    n_shards = len(shards)
+    n_workers = max(1, min(workers, n_shards))
+    if n_workers <= 1:
+        results: List[object] = [None] * S
+        for shard_no, indices in enumerate(shards):
+            sub_circuits = [circuits[i] for i in indices]
+            sub_tasks = [tasks[i] for i in indices]
+            try:
+                shard_results = _run_one_shard(
+                    sub_circuits, sub_tasks, indices, options
+                )
+            except Exception as exc:
+                if batch.on_error == "raise":
+                    if isinstance(exc, BatchTaskError):
+                        raise
+                    samples = getattr(exc, "failed_samples", None)
+                    g = (
+                        int(indices[int(samples[0])])
+                        if samples is not None and len(samples)
+                        else -1
+                    )
+                    task = tasks[g] if 0 <= g < S else None
+                    raise wrap_task_error(
+                        exc, g, task, action="sharded batch failed"
+                    ) from exc
+                _shard_solo_fallback(
+                    indices, tasks, build, options, batch, results
+                )
+                continue
+            for local, g in enumerate(indices):
+                result = shard_results[local]
+                _globalize_quarantine(result.stats, indices)
+                _stamp_shard(result.stats, shard_no, n_shards, 1)
+                results[g] = result
+        return results
+    return _run_sharded_process(
+        tasks, circuits, build, options, batch, shards, n_workers
+    )
+
+
+def _run_sharded_process(
+    tasks: Sequence[object],
+    circuits: Sequence[Circuit],
+    build,
+    options: TransientOptions,
+    batch: BatchOptions,
+    shards: List[List[int]],
+    n_workers: int,
+) -> List[object]:
+    """The multi-worker sharded path: one pool, one shared block."""
+    for circuit in circuits:
+        # Workers rebuild their own circuits; the parent-side ones
+        # label the merged results, so they need branch numbering too.
+        circuit.prepare()
+    S = len(tasks)
+    n_shards = len(shards)
+    jobs = [
+        (shard_no, indices, [tasks[i] for i in indices])
+        for shard_no, indices in enumerate(shards)
+    ]
+    # One shared block needs one record shape: fixed grid and — when
+    # recording full state vectors — homogeneous unknown counts (the
+    # BatchIncompatible per-sample fallback may legally mix sizes).
+    streaming = options.step_control == "fixed" and (
+        options.record_nodes is not None
+        or all(c.size == circuits[0].size for c in circuits)
+    )
+    results: List[object] = [None] * S
+    failed: List[tuple] = []
+
+    def merge(payload, records) -> None:
+        if payload[0] == "failed":
+            failed.append(payload[1:])
+            return
+        _tag, shard_no, items = payload
+        for item in items:
+            if records is not None:
+                g, t, nodes, stats = item
+                x = np.array(records[g])
+            else:
+                g, t, x, nodes, stats = item
+            _stamp_shard(stats, shard_no, n_shards, n_workers)
+            results[g] = TransientResult(
+                circuit=circuits[g],
+                t=t,
+                x=x,
+                recorded_nodes=nodes,
+                stats=stats,
+            )
+
+    if streaming:
+        _indices, _nodes, n_columns = _resolve_recording(circuits[0], options)
+        shape = (S, _fixed_record_count(options), n_columns)
+        shm = shared_memory.SharedMemory(
+            create=True, size=int(np.prod(shape)) * 8
+        )
+        try:
+            with ProcessPoolExecutor(
+                max_workers=n_workers,
+                initializer=_shard_init,
+                initargs=(shm.name, shape, build, options),
+            ) as executor:
+                payloads = list(executor.map(_shard_worker, jobs))
+            records = np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
+            for payload in payloads:
+                merge(payload, records)
+        finally:
+            shm.close()
+            shm.unlink()
+    else:
+        with ProcessPoolExecutor(
+            max_workers=n_workers,
+            initializer=_shard_init,
+            initargs=(None, None, build, options),
+        ) as executor:
+            for payload in executor.map(_shard_worker, jobs):
+                merge(payload, None)
+
+    for shard_no, g, message, cause in failed:
+        indices = shards[shard_no]
+        if batch.on_error == "raise":
+            task = tasks[g] if 0 <= g < S else None
+            raise BatchTaskError(
+                f"sharded batch failed on task {g} ({task!r}): {message}",
+                index=g,
+                task=task,
+                cause_text=cause,
+            )
+        _shard_solo_fallback(indices, tasks, build, options, batch, results)
+    return results
+
+
+def _shard_init(shm_name, shape, build, options) -> None:
+    if shm_name is not None:
+        shm = shared_memory.SharedMemory(name=shm_name)
+        _WORKER_STATE["shm"] = shm
+        _WORKER_STATE["records"] = np.ndarray(
+            shape, dtype=np.float64, buffer=shm.buf
+        )
+    else:
+        _WORKER_STATE.pop("records", None)
+    _WORKER_STATE["build"] = build
+    _WORKER_STATE["options"] = options
+
+
+def _shard_worker(job):
+    """Run one shard child-side; stream records, return small payloads.
+
+    Never raises: a failed shard comes back as a ``("failed", ...)``
+    payload (shard number, first failing local sample, message,
+    rendered traceback) so sibling shards finish and the parent
+    applies its ``on_error`` policy — an exception through the pool's
+    map would abort the whole drain at the first failure.
+    """
+    shard_no, indices, tasks = job
+    build = _WORKER_STATE["build"]
+    options = _WORKER_STATE["options"]
+    try:
+        circuits = [build(task) for task in tasks]
+        shard_results = _run_one_shard(circuits, tasks, indices, options)
+    except Exception as exc:  # noqa: BLE001 — becomes a failure payload
+        # Attribute to a *global* sample index when the error names
+        # one: a per-sample fallback failure carries it directly, a
+        # collective lockstep failure names its shard-local samples.
+        g = -1
+        if isinstance(exc, BatchTaskError):
+            g = int(getattr(exc, "index", -1))
+        else:
+            samples = getattr(exc, "failed_samples", None)
+            if samples is not None and len(samples):
+                g = int(indices[int(samples[0])])
+        cause = getattr(exc, "cause_text", None) or "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
+        return ("failed", shard_no, g, f"{type(exc).__name__}: {exc}", cause)
+    records = _WORKER_STATE.get("records")
+    payloads = []
+    for g, result in zip(indices, shard_results):
+        _globalize_quarantine(result.stats, indices)
+        if records is not None:
+            records[g] = result.x
+            payloads.append((g, result.t, result.recorded_nodes, dict(result.stats)))
+        else:
+            payloads.append(
+                (g, result.t, result.x, result.recorded_nodes, dict(result.stats))
+            )
+    return ("ok", shard_no, payloads)
 
 
 # -- shared-memory streaming process pool ------------------------------------

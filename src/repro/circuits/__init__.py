@@ -43,7 +43,13 @@ from .backend import (
     SparseBackend,
     resolve_backend,
 )
-from .batched import BatchIncompatible, run_transient_batched
+from .batched import (
+    BatchIncompatible,
+    BatchedOperatingPoints,
+    probe_stiffness_ratios,
+    run_transient_batched,
+    solve_dc_batched,
+)
 from .corners import FAST_COLD, FAST_HOT, SLOW_COLD, SLOW_HOT, TYPICAL, ProcessCorner
 from .component import Component, MNASystem, StampContext
 from .controlled import VCCS, VCVS, NonlinearVCCS
@@ -65,7 +71,7 @@ from .noise import NoiseResult, run_noise
 from .subcircuit import CellBuilder, SubcircuitDefinition
 from .reference import run_transient_reference
 from .sources import CurrentSource, VoltageSource, dc, pulse, pwl, sine, source_breakpoints
-from .stepcontrol import StepController, collect_breakpoints
+from .stepcontrol import StepController, collect_breakpoints, stiffness_bins
 from .transient import TransientOptions, TransientResult, run_transient
 
 __all__ = [
@@ -76,7 +82,10 @@ __all__ = [
     "SparseBackend",
     "resolve_backend",
     "BatchIncompatible",
+    "BatchedOperatingPoints",
+    "probe_stiffness_ratios",
     "run_transient_batched",
+    "solve_dc_batched",
     "ProcessCorner",
     "TYPICAL",
     "SLOW_COLD",
@@ -125,6 +134,7 @@ __all__ = [
     "source_breakpoints",
     "StepController",
     "collect_breakpoints",
+    "stiffness_bins",
     "TransientOptions",
     "TransientResult",
     "run_transient",

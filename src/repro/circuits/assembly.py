@@ -129,6 +129,193 @@ class _ReactiveCoeffs:
         self.order = order
 
 
+class _HistoryRing:
+    """Committed-state ring + weight memo for one multistep integrator.
+
+    Both transient assemblies share this helper: the per-sample
+    :class:`_ReactiveSet` stores ``(m,)`` state rows, the batched
+    lockstep assembly ``(S, m)`` stacks — every operation indexes the
+    element axis with ``...``, so the two layouts run the exact same
+    code.  History is stored newest-first in *formula* form (``val``
+    holds each element's natural state — cap voltage, inductor
+    current — and ``der`` its conjugate derivative), so the per-step
+    companion term is one weighted accumulation.
+
+    The ring also owns the spacing-dependent weight memo.  Weights
+    depend only on ``(dt, order)`` and the history spacing *relative*
+    to the current time — Lagrange interpolation is translation
+    invariant — so the memo keys on the relative offsets and the
+    method is handed times shifted to ``t_now = 0``.  On the
+    quantized adaptive grid the same ``(dt, offsets)`` products recur
+    constantly (every uniform stretch is one key), which is what keeps
+    multistep runs from re-deriving their interpolation weights on
+    every single step.
+    """
+
+    __slots__ = (
+        "state_shape", "depth", "fv", "fd", "t", "fill", "t_now", "_w_cache"
+    )
+
+    def __init__(self, state_shape: Tuple[int, ...]):
+        self.state_shape = tuple(state_shape)
+        self.depth = 0
+        #: Formula-form buffers with the *current* state in row 0 and
+        #: the committed history in rows 1..fill — the companion term
+        #: is then a single weighted contraction over the leading axis.
+        self.fv: Optional[np.ndarray] = None
+        self.fd: Optional[np.ndarray] = None
+        self.t: Optional[np.ndarray] = None
+        self.fill = 0
+        #: Time of the current committed state (weights and pushes
+        #: read it; one-step methods just carry it).
+        self.t_now = 0.0
+        self._w_cache: Dict[tuple, tuple] = {}
+
+    @property
+    def val(self) -> Optional[np.ndarray]:
+        """History values, newest first (``val[0]`` is one step back)."""
+        return None if self.fv is None else self.fv[1:]
+
+    @property
+    def der(self) -> Optional[np.ndarray]:
+        """History derivatives, newest first."""
+        return None if self.fd is None else self.fd[1:]
+
+    def enable(self, depth: int) -> None:
+        """Allocate ring buffers for ``depth`` committed points total
+        (current state + ``depth - 1`` older entries).
+
+        Growing a live ring (a mid-run ``set_method`` to a deeper
+        method) copies the surviving entries over, so the committed
+        history stays valid rather than silently pointing the fill
+        level at freshly zeroed rows.
+        """
+        extra = depth - 1
+        if extra <= 0 or extra <= self.depth:
+            return
+        old = (self.fv, self.fd, self.t, self.fill)
+        self.depth = extra
+        self.fv = np.zeros((extra + 1,) + self.state_shape)
+        self.fd = np.zeros((extra + 1,) + self.state_shape)
+        self.t = np.zeros(extra)
+        if old[0] is not None:
+            keep = old[3]
+            self.fv[: keep + 1] = old[0][: keep + 1]
+            self.fd[: keep + 1] = old[1][: keep + 1]
+            self.t[:keep] = old[2][:keep]
+
+    @property
+    def points(self) -> int:
+        """Committed states available, including the current one."""
+        return 1 + self.fill
+
+    def times(self) -> tuple:
+        """Committed-state times, newest first (``[0]`` is current)."""
+        return (self.t_now,) + tuple(float(t) for t in self.t[: self.fill])
+
+    def reset(self) -> None:
+        """Drop the older entries (the current state stays valid);
+        used across breakpoints, where interpolating through a
+        discontinuity would poison the multistep formula."""
+        self.fill = 0
+
+    def restart(self) -> None:
+        """Back to an empty ring at t=0 (run (re)initialization)."""
+        self.fill = 0
+        self.t_now = 0.0
+        self._w_cache.clear()
+
+    def clear_weights(self) -> None:
+        """Invalidate memoized weights (method switch on a live run)."""
+        self._w_cache.clear()
+
+    def val_now(self, v: np.ndarray, i: np.ndarray, nc: int) -> np.ndarray:
+        """Current state in formula form (cap v, inductor i)."""
+        val = np.empty_like(v)
+        val[..., :nc] = v[..., :nc]
+        val[..., nc:] = i[..., nc:]
+        return val
+
+    def set_current(self, v: np.ndarray, i: np.ndarray, nc: int) -> None:
+        """Refresh row 0 from the live state arrays (after a commit,
+        a restore, or an init; no-op semantics require depth > 0)."""
+        self.fv[0][..., :nc] = v[..., :nc]
+        self.fv[0][..., nc:] = i[..., nc:]
+        self.fd[0][..., :nc] = i[..., :nc]
+        self.fd[0][..., nc:] = v[..., nc:]
+
+    def push(self) -> None:
+        """Ring-push the current state (row 0) into the history; the
+        caller refreshes row 0 via :meth:`set_current` afterwards."""
+        if not self.depth:
+            return
+        self.fv[1:] = self.fv[:-1]
+        self.fd[1:] = self.fd[:-1]
+        self.t[1:] = self.t[:-1]
+        self.t[0] = self.t_now
+        self.fill = min(self.fill + 1, self.depth)
+
+    def companion_term(
+        self, wv: np.ndarray, wd: np.ndarray, gcol: np.ndarray
+    ) -> np.ndarray:
+        """``gcol * sum_k wv[k]*val_k + sum_k wd[k]*der_k`` over the
+        current state (row 0) and the committed history, as a single
+        weighted contraction per buffer (shape-agnostic: the leading
+        row axis is flattened into one gemv regardless of whether the
+        state rows are ``(m,)`` or ``(S, m)``)."""
+        rows = self.fv[: len(wv)]
+        term = gcol * (wv @ rows.reshape(len(wv), -1)).reshape(rows.shape[1:])
+        if wd.any():
+            rows = self.fd[: len(wd)]
+            term += (wd @ rows.reshape(len(wd), -1)).reshape(rows.shape[1:])
+        return term
+
+    def step_weights(self, co) -> tuple:
+        """Memoized ``(wv, wd)`` weight arrays for the active setup
+        and history.
+
+        Keyed by the *relative* history offsets, so every uniform
+        stretch of a run — regardless of where on the time axis it
+        sits — resolves to one cached entry.
+        """
+        offsets = self.t_now - self.t[: self.fill]
+        key = (co.dt, co.order, offsets.tobytes())
+        w = self._w_cache.get(key)
+        if w is None:
+            times = (0.0,) + tuple(-float(off) for off in offsets)
+            wv, wd = co.method.step_weights(co.dt, co.order, times)
+            w = (np.asarray(wv, dtype=float), np.asarray(wd, dtype=float))
+            if len(self._w_cache) > 64:
+                self._w_cache.clear()
+            self._w_cache[key] = w
+        return w
+
+    def snapshot(self) -> tuple:
+        """Capture ``(t_now, history)`` so a trial step can be undone."""
+        if not self.depth:
+            return (self.t_now, None)
+        return (
+            self.t_now,
+            (
+                self.val[: self.fill].copy(),
+                self.der[: self.fill].copy(),
+                self.t[: self.fill].copy(),
+                self.fill,
+            ),
+        )
+
+    def restore(self, snap: tuple) -> None:
+        """Undo every ring change since the matching snapshot."""
+        t_now, hist = snap
+        self.t_now = t_now
+        if hist is not None:
+            val, der, t, fill = hist
+            self.val[:fill] = val
+            self.der[:fill] = der
+            self.t[:fill] = t
+            self.fill = fill
+
+
 class _ReactiveSet:
     """Vectorized companion-model state for plain capacitors/inductors.
 
@@ -188,92 +375,76 @@ class _ReactiveSet:
         # Multistep history ring (older committed states, newest
         # first), allocated by enable_history() only when the run's
         # integration method needs depth > 1; the one-step hot path
-        # never touches it.  History is stored in *formula* form —
-        # ``h_val`` holds each element's natural state (cap voltage,
-        # inductor current) and ``h_der`` its scaled derivative (cap
-        # current, inductor voltage) — so the per-step companion term
-        # is one weighted accumulation, no cap/inductor reshuffling.
-        # The shipped BDF members weight values only (wd == 0); the
-        # derivative ring is the extension point for derivative-
-        # feedback multistep members (Adams-Moulton, a trapezoidal
-        # history bootstrap) and costs one small copy per commit.
-        self.h_depth = 0
-        self.h_val: Optional[np.ndarray] = None
-        self.h_der: Optional[np.ndarray] = None
-        self.h_t: Optional[np.ndarray] = None
-        self.h_len = 0
-        #: Time of the current committed state (multistep weights and
-        #: history pushes read it; one-step methods just carry it).
-        self.t_now = 0.0
-        #: Per-(dt, order, history) weight memo: within one adaptive
-        #: candidate the same weights are needed up to twice (RHS and
-        #: commit), and a Newton-rejected retry revisits the pair.
-        self._w_cache: Dict[tuple, tuple] = {}
+        # never touches it.  The ring logic (and the spacing-dependent
+        # weight memo) is shared with the batched lockstep assembly
+        # through :class:`_HistoryRing` — only the state shape
+        # differs.  The shipped BDF members weight values only
+        # (wd == 0); the derivative ring is the extension point for
+        # derivative-feedback multistep members (Adams-Moulton, a
+        # trapezoidal history bootstrap) and costs one small copy per
+        # commit.
+        self.ring = _HistoryRing((n,))
+        #: Single-slot companion-term memo: within one candidate step
+        #: the identical term is needed by the step RHS *and* the
+        #: commit.  ``(dt, order, t_now, fill)`` pins the state —
+        #: ``t_now`` strictly advances on every commit, and a restored
+        #: snapshot restores exactly the state the memo was computed
+        #: from.
+        self._cterm: Optional[tuple] = None
 
     # -- multistep history ------------------------------------------------
 
     def enable_history(self, depth: int) -> None:
         """Allocate ring buffers for ``depth`` committed points total
-        (current state + ``depth - 1`` older entries).
+        (current state + ``depth - 1`` older entries)."""
+        self.ring.enable(depth)
+        if self.ring.depth:
+            self.ring.set_current(self.v, self.i, self.n_caps)
 
-        Growing a live ring (a mid-run ``set_method`` to a deeper
-        method) copies the surviving entries over, so the committed
-        history stays valid rather than silently pointing ``h_len``
-        at freshly zeroed rows.
-        """
-        extra = depth - 1
-        if extra <= 0 or extra <= self.h_depth:
-            return
-        old = (self.h_val, self.h_der, self.h_t, self.h_len)
-        self.h_depth = extra
-        self.h_val = np.zeros((extra, self.n))
-        self.h_der = np.zeros((extra, self.n))
-        self.h_t = np.zeros(extra)
-        if old[0] is not None and old[3]:
-            keep = old[3]
-            self.h_val[:keep] = old[0][:keep]
-            self.h_der[:keep] = old[1][:keep]
-            self.h_t[:keep] = old[2][:keep]
+    # Read views of the ring for diagnostics and white-box tests; all
+    # mutation goes through the ring itself.
+    @property
+    def h_depth(self) -> int:
+        return self.ring.depth
+
+    @property
+    def h_val(self) -> Optional[np.ndarray]:
+        return self.ring.val
+
+    @property
+    def h_der(self) -> Optional[np.ndarray]:
+        return self.ring.der
+
+    @property
+    def h_t(self) -> Optional[np.ndarray]:
+        return self.ring.t
+
+    @property
+    def h_len(self) -> int:
+        return self.ring.fill
+
+    @property
+    def t_now(self) -> float:
+        return self.ring.t_now
 
     @property
     def history_points(self) -> int:
         """Committed states available, including the current one."""
-        return 1 + self.h_len
+        return self.ring.points
 
     def history_times(self) -> tuple:
         """Committed-state times, newest first (``[0]`` is current)."""
-        return (self.t_now,) + tuple(
-            float(t) for t in self.h_t[: self.h_len]
-        )
+        return self.ring.times()
 
     def reset_history(self) -> None:
         """Drop the older entries (the current state stays valid);
         used across breakpoints, where interpolating through a
         discontinuity would poison the multistep formula."""
-        self.h_len = 0
+        self.ring.reset()
 
     def _val_now(self) -> np.ndarray:
         """Current state in formula form (cap v, inductor i)."""
-        nc = self.n_caps
-        val = np.empty(self.n)
-        val[:nc] = self.v[:nc]
-        val[nc:] = self.i[nc:]
-        return val
-
-    def _push_history(self) -> None:
-        """Ring-push the current state before it is overwritten."""
-        if not self.h_depth:
-            return
-        nc = self.n_caps
-        if self.h_depth > 1:
-            self.h_val[1:] = self.h_val[:-1]
-            self.h_der[1:] = self.h_der[:-1]
-            self.h_t[1:] = self.h_t[:-1]
-        self.h_val[0] = self._val_now()
-        self.h_der[0, :nc] = self.i[:nc]
-        self.h_der[0, nc:] = self.v[nc:]
-        self.h_t[0] = self.t_now
-        self.h_len = min(self.h_len + 1, self.h_depth)
+        return self.ring.val_now(self.v, self.i, self.n_caps)
 
     # -- coefficients -------------------------------------------------------
 
@@ -321,42 +492,38 @@ class _ReactiveSet:
         for j, l in enumerate(self.inds):
             st = l.init_state(x)
             self.v[self.n_caps + j], self.i[self.n_caps + j] = st.v, st.i
-        self.h_len = 0
-        self.t_now = 0.0
-        self._w_cache.clear()
+        self.ring.restart()
+        if self.ring.depth:
+            self.ring.set_current(self.v, self.i, self.n_caps)
+        self._cterm = None
 
     def step_weights(self, co: _ReactiveCoeffs) -> tuple:
-        """Memoized ``(wv, wd)`` for the active setup and history.
-
-        The key pins the full committed-history identity: the current
-        time, the fill level, and the newest older entry (consecutive
-        commits chain the rest).
-        """
-        h_t0 = float(self.h_t[0]) if self.h_len else 0.0
-        key = (co.dt, co.order, self.t_now, self.h_len, h_t0)
-        w = self._w_cache.get(key)
-        if w is None:
-            w = co.method.step_weights(co.dt, co.order, self.history_times())
-            if len(self._w_cache) > 16:
-                self._w_cache.clear()
-            self._w_cache[key] = w
-        return w
+        """Memoized ``(wv, wd)`` for the active setup and history
+        (the :class:`_HistoryRing` relative-offset memo)."""
+        return self.ring.step_weights(co)
 
     def _companion_term(self, co: _ReactiveCoeffs) -> np.ndarray:
         """Per-element multistep companion term (cap ``ieq`` / inductor
-        branch RHS), from the method's history weights."""
+        branch RHS), from the method's history weights.
+
+        Single-slot memoized: the step RHS and the commit of the same
+        candidate evaluate the identical term (the solve in between
+        never touches integrator state), and callers treat the
+        returned vector as read-only.
+        """
+        ring = self.ring
+        memo = self._cterm
+        if (
+            memo is not None
+            and memo[0] == co.dt
+            and memo[1] == co.order
+            and memo[2] == ring.t_now
+            and memo[3] == ring.fill
+        ):
+            return memo[4]
         wv, wd = self.step_weights(co)
-        nc = self.n_caps
-        acc = wv[0] * self._val_now()
-        for k in range(1, len(wv)):
-            acc += wv[k] * self.h_val[k - 1]
-        term = co.gcol * acc
-        if wd[0]:
-            term[:nc] += wd[0] * self.i[:nc]
-            term[nc:] += wd[0] * self.v[nc:]
-        for k in range(1, len(wd)):
-            if wd[k]:
-                term += wd[k] * self.h_der[k - 1]
+        term = ring.companion_term(wv, wd, co.gcol)
+        self._cterm = (co.dt, co.order, ring.t_now, ring.fill, term)
         return term
 
     def companion_rhs(self, co: _ReactiveCoeffs) -> np.ndarray:
@@ -384,7 +551,7 @@ class _ReactiveSet:
         gather 0.0.
         """
         if not self.n:
-            self.t_now = time
+            self.ring.t_now = time
             return
         v_new = x_padded[self.a_idx] - x_padded[self.b_idx]
         if co.gcol is None:
@@ -398,10 +565,12 @@ class _ReactiveSet:
             i_new = co.gcol * v_new + self._companion_term(co)
         if len(self.inds):
             i_new[self.n_caps:] = x[self.br_idx]
-        self._push_history()
+        self.ring.push()
         self.v = v_new
         self.i = i_new
-        self.t_now = time
+        if self.ring.depth:
+            self.ring.set_current(v_new, i_new, self.n_caps)
+        self.ring.t_now = time
 
 
 class DtCache:
@@ -674,8 +843,10 @@ class TransientAssembly:
                 self.method.history_depth(self.method.max_order)
             )
         # The step-weights memo is keyed by (dt, order, history) only;
-        # weights computed by the previous method must not survive.
-        self.reactive._w_cache.clear()
+        # weights (and companion terms) computed by the previous
+        # method must not survive.
+        self.reactive.ring.clear_weights()
+        self.reactive._cterm = None
         if order is None:
             order = self.method.usable_order(
                 self.method.max_order, self.reactive.history_points
@@ -880,29 +1051,17 @@ class TransientAssembly:
         snapshot.
         """
         r = self.reactive
-        hist = None
-        if r.h_depth:
-            hist = (
-                r.h_val[: r.h_len].copy(),
-                r.h_der[: r.h_len].copy(),
-                r.h_t[: r.h_len].copy(),
-                r.h_len,
-            )
-        return (r.v.copy(), r.i.copy(), r.t_now, hist, dict(states))
+        return (r.v.copy(), r.i.copy(), r.ring.snapshot(), dict(states))
 
     def restore_state(self, snapshot: tuple, states: Dict[str, object]) -> None:
         """Undo every state change since the matching snapshot."""
-        v, i, t_now, hist, generic = snapshot
+        v, i, ring_snap, generic = snapshot
         r = self.reactive
         r.v = v.copy()
         r.i = i.copy()
-        r.t_now = t_now
-        if hist is not None:
-            h_val, h_der, h_t, h_len = hist
-            r.h_val[:h_len] = h_val
-            r.h_der[:h_len] = h_der
-            r.h_t[:h_len] = h_t
-            r.h_len = h_len
+        r.ring.restore(ring_snap)
+        if r.ring.depth:
+            r.ring.set_current(r.v, r.i, r.n_caps)
         states.clear()
         states.update(generic)
 

@@ -69,6 +69,7 @@ __all__ = [
     "DenseBackend",
     "SparseBackend",
     "SparseLU",
+    "BlockDiagLU",
     "resolve_backend",
     "csr_scatter",
     "SPARSE_AUTO_THRESHOLD",
@@ -170,6 +171,100 @@ class SparseLU:
             return self._lu.solve(np.ascontiguousarray(rhs))
         solution, *_ = np.linalg.lstsq(self._dense, rhs, rcond=None)
         return solution
+
+
+class BlockDiagLU:
+    """Symbolic-once LU of ``S`` same-structure diagonal blocks.
+
+    The batched lockstep engine factors ``S`` per-sample MNA matrices
+    that share one CSR structure (the lockstep topology check
+    guarantees it).  Factoring the assembled ``(S*n, S*n)``
+    block-diagonal matrix with a single ``splu`` redoes the
+    fill-reducing column analysis over the full structure on every
+    ``dt`` entry; this class runs that *symbolic* phase once — the
+    COLAMD ordering depends only on the sparsity pattern, which every
+    block shares — and then performs only the *numeric* factorization
+    per block, by pre-permuting each block's columns and handing
+    ``splu`` ``permc_spec="NATURAL"``.
+
+    Because each sample's block is factored independently of its
+    batch-mates (same ordering, same pivot path for the same values),
+    a sample's solution does not depend on which batch — or campaign
+    *shard* — it rides in.  The sharded campaign merge relies on
+    exactly this for bit-identical results.
+
+    scipy's API has no pure-symbolic entry point, so the ordering is
+    harvested from a throwaway ``splu`` of the first block; when even
+    that fails (singular probe block) the per-block factorizations
+    fall back to letting each ``splu`` analyse itself.
+    """
+
+    def __init__(self, blocks, perm_c: Optional[np.ndarray] = None):
+        if not _HAVE_SCIPY:  # pragma: no cover - callers gate on scipy
+            raise SimulationError(
+                "BlockDiagLU requires scipy (scipy.sparse.linalg.splu)"
+            )
+        self.n = int(blocks[0].shape[0])
+        if perm_c is None:
+            perm_c = self.column_ordering(blocks[0])
+        self.perm_c = perm_c
+        self.n_factorizations = len(blocks)
+        self._lus = []
+        self._dense = []
+        for block in blocks:
+            csc = block.tocsc()
+            try:
+                if perm_c is not None:
+                    lu = _splu(csc[:, perm_c], permc_spec="NATURAL")
+                else:
+                    lu = _splu(csc)
+                self._lus.append(lu)
+                self._dense.append(None)
+            except (RuntimeError, ValueError):
+                # Exactly singular block: remember it densified for the
+                # minimum-norm fallback (mirrors SparseLU; the batched
+                # engine raises BatchIncompatible before solving).
+                self._lus.append(None)
+                self._dense.append(block.toarray())
+
+    @staticmethod
+    def column_ordering(block) -> Optional[np.ndarray]:
+        """Fill-reducing column permutation of one block's structure.
+
+        Purely structural, so one call covers every same-pattern block
+        (and every later ``dt`` entry).  Returns ``None`` when the
+        probe factorization fails — callers then let each block's
+        ``splu`` run its own analysis.
+        """
+        try:
+            return _splu(block.tocsc()).perm_c
+        except (RuntimeError, ValueError):
+            return None
+
+    @property
+    def is_singular(self) -> bool:
+        return any(lu is None for lu in self._lus)
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve the block-diagonal system for a stacked RHS.
+
+        ``rhs`` is ``(S*n,)`` or ``(S*n, k)`` — the same contract as
+        the single big-matrix :class:`SparseLU` this replaces.
+        """
+        n = self.n
+        out = np.empty(rhs.shape, dtype=float)
+        perm = self.perm_c
+        for s, lu in enumerate(self._lus):
+            seg = np.ascontiguousarray(rhs[s * n : (s + 1) * n])
+            if lu is None:
+                sol, *_ = np.linalg.lstsq(self._dense[s], seg, rcond=None)
+                out[s * n : (s + 1) * n] = sol
+            elif perm is None:
+                out[s * n : (s + 1) * n] = lu.solve(seg)
+            else:
+                # Factored A[:, perm], so A x = b  =>  x[perm] = y.
+                out[s * n : (s + 1) * n][perm] = lu.solve(seg)
+        return out
 
 
 class SparseBackend(MatrixBackend):

@@ -52,14 +52,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import ConvergenceError, SimulationError
-from .assembly import DtCache, _ReactiveSet
-from .backend import SparseBackend, SparseLU, resolve_backend
-from .component import Component, StampContext, StampPattern, TripletSystem
+from .assembly import DtCache, _HistoryRing, _ReactiveSet
+from .backend import BlockDiagLU, resolve_backend
+from .component import MNASystem, Component, StampContext, StampPattern, TripletSystem
 from .controlled import NonlinearVCCS
-from .dcop import NewtonOptions, solve_dc
+from .dcop import NewtonOptions, OperatingPoint, solve_dc
 from .elements import Capacitor, Inductor
 from .integration import IntegrationMethod, resolve_method
-from .linsolve import solve_dense
+from .linsolve import damp_voltage_delta, solve_dense
 from .netlist import Circuit
 from .sources import CurrentSource, VoltageSource
 from .stepcontrol import StepController, collect_breakpoints
@@ -72,7 +72,14 @@ from .transient import (
     _RunBudget,
 )
 
-__all__ = ["BatchIncompatible", "BatchedTransientAssembly", "run_transient_batched"]
+__all__ = [
+    "BatchIncompatible",
+    "BatchedTransientAssembly",
+    "BatchedOperatingPoints",
+    "probe_stiffness_ratios",
+    "run_transient_batched",
+    "solve_dc_batched",
+]
 
 
 class BatchIncompatible(SimulationError):
@@ -124,6 +131,248 @@ def _check_lockstep(circuits: Sequence[Circuit]) -> None:
                 raise BatchIncompatible(
                     f"component {name!r}: wiring differs between samples"
                 )
+
+
+class BatchedOperatingPoints:
+    """DC operating points of S same-topology circuits, stacked.
+
+    ``x`` is the ``(S, size)`` solution stack and ``iterations`` the
+    per-sample Newton iteration counts — ragged, exactly as the
+    per-sample :func:`~repro.circuits.dcop.solve_dc` calls they
+    replace would report them.
+    """
+
+    def __init__(
+        self,
+        circuits: List[Circuit],
+        x: np.ndarray,
+        iterations: np.ndarray,
+    ):
+        self.circuits = circuits
+        self.x = x
+        self.iterations = iterations
+
+    def __len__(self) -> int:
+        return len(self.circuits)
+
+    def op(self, s: int) -> OperatingPoint:
+        """Sample ``s`` as a standard :class:`OperatingPoint`."""
+        return OperatingPoint(
+            self.circuits[s], self.x[s], int(self.iterations[s])
+        )
+
+
+def _bsolve_dc(G: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Batched dense solve with the scalar path's singular fallback.
+
+    ``np.linalg.solve`` rejects the whole stack when any one matrix is
+    singular; degrading to per-sample :func:`~repro.circuits.linsolve.
+    solve_dense` keeps the scalar semantics — least-squares for the
+    singular samples only.
+    """
+    try:
+        return np.linalg.solve(G, rhs[..., None])[..., 0]
+    except np.linalg.LinAlgError:
+        return np.stack(
+            [solve_dense(G[k], rhs[k]) for k in range(G.shape[0])]
+        )
+
+
+def solve_dc_batched(
+    circuits: Sequence[Circuit],
+    options: Optional[NewtonOptions] = None,
+    x0: Optional[np.ndarray] = None,
+    backend: object = "auto",
+) -> BatchedOperatingPoints:
+    """DC operating points of S same-topology circuits, stacked.
+
+    The batched counterpart of :func:`~repro.circuits.dcop.solve_dc`:
+    one Newton loop drives all S samples as ``(S, n, n)`` / ``(S, n)``
+    stacks with a per-sample convergence mask, so the per-iteration
+    work is the x-*dependent* stamps (the nonlinear devices) plus one
+    batched linear solve — the x-independent stamps are assembled once
+    per sample up front instead of on every iteration of every sample.
+
+    Per-sample semantics are preserved exactly: each sample's damping,
+    tolerance, and stopping decisions evaluate the same expressions as
+    the scalar Newton, a converged sample's iterate freezes (its count
+    is the iteration it converged on, ragged across the batch), and a
+    sample that exhausts ``max_iterations`` falls back to the scalar
+    :func:`solve_dc` continuation ladder from the original seed — so
+    its ``(x, iterations)`` is the ladder's by construction.  Batches
+    the lockstep vocabulary cannot stack (topology mismatch, nonlinear
+    devices other than :class:`~repro.circuits.controlled.
+    NonlinearVCCS`, sparse backends) degrade to per-sample
+    :func:`solve_dc` calls wholesale.
+    """
+    options = options or NewtonOptions()
+    circuits = list(circuits)
+    if not circuits:
+        raise SimulationError("solve_dc_batched requires at least one circuit")
+    size = circuits[0].prepare()
+    for circuit in circuits[1:]:
+        circuit.prepare()
+    resolved = resolve_backend(backend, size)
+    S = len(circuits)
+
+    def _seed(s: int) -> Optional[np.ndarray]:
+        return None if x0 is None else np.asarray(x0[s], dtype=float)
+
+    def _per_sample(indices) -> List[OperatingPoint]:
+        return [
+            solve_dc(
+                circuits[s], options=options, x0=_seed(s), backend=backend
+            )
+            for s in indices
+        ]
+
+    nl_names: List[str] = []
+    lockstep = resolved.is_dense
+    if lockstep:
+        try:
+            _check_lockstep(circuits)
+        except BatchIncompatible:
+            lockstep = False
+    if lockstep:
+        nl_names = [
+            name
+            for name in circuits[0].component_names
+            if circuits[0][name].is_nonlinear()
+        ]
+        if any(
+            not isinstance(circuits[0][name], NonlinearVCCS)
+            for name in nl_names
+        ):
+            lockstep = False
+    if not lockstep:
+        ops = _per_sample(range(S))
+        return BatchedOperatingPoints(
+            circuits,
+            np.stack([op.x for op in ops]),
+            np.array([op.iterations for op in ops], dtype=np.intp),
+        )
+
+    n_nodes = circuits[0].n_nodes
+    nl_set = set(nl_names)
+    lin_names = [
+        name for name in circuits[0].component_names if name not in nl_set
+    ]
+    # The x-independent stamps: once per sample, not once per Newton
+    # iteration.  The gmin diagonal is re-added per iteration *after*
+    # the nonlinear stamps so the accumulation order tracks the
+    # scalar path (components first, gmin last).
+    G_lin = np.empty((S, size, size))
+    rhs_lin = np.empty((S, size))
+    x_probe = np.zeros(size)
+    for s, circuit in enumerate(circuits):
+        system = MNASystem(size)
+        ctx = StampContext(system=system, x=x_probe, gmin=options.gmin)
+        for name in lin_names:
+            circuit[name].stamp(ctx)
+        G_lin[s] = system.G
+        rhs_lin[s] = system.rhs
+    diag = np.arange(n_nodes)
+
+    x = (
+        np.array(x0, dtype=float, copy=True)
+        if x0 is not None
+        else np.zeros((S, size))
+    )
+    if x.shape != (S, size):
+        raise SimulationError(
+            f"x0 must have shape ({S}, {size}), got {x.shape}"
+        )
+
+    if not nl_names:
+        G = G_lin.copy()
+        G[:, diag, diag] += options.gmin
+        solution = _bsolve_dc(G, rhs_lin)
+        return BatchedOperatingPoints(
+            circuits, solution, np.ones(S, dtype=np.intp)
+        )
+
+    # Per-device stacked linearization plans: vectorized across the
+    # batch when every sample shares one characteristic family
+    # (``vector_pair``), scalar per sample otherwise.
+    plans = []
+    for name in nl_names:
+        devices = [circuit[name] for circuit in circuits]
+        op_, on_, cp_, cn_ = devices[0]._n
+        vp = devices[0].vector_pair
+        if vp is not None and all(d.vector_pair is vp for d in devices):
+            params = np.array([d.vector_params for d in devices])
+            plans.append((op_, on_, cp_, cn_, vp, params, devices))
+        else:
+            plans.append((op_, on_, cp_, cn_, None, None, devices))
+
+    iterations = np.zeros(S, dtype=np.intp)
+    converged = np.zeros(S, dtype=bool)
+    for it in range(options.max_iterations):
+        idx = np.flatnonzero(~converged)
+        if idx.size == 0:
+            break
+        G = G_lin[idx].copy()
+        rhs = rhs_lin[idx].copy()
+        xa = x[idx]
+        for op_, on_, cp_, cn_, vp, params, devices in plans:
+            v_ctrl = (xa[:, cp_] if cp_ >= 0 else 0.0) - (
+                xa[:, cn_] if cn_ >= 0 else 0.0
+            )
+            if vp is not None:
+                i_now, gm = vp(v_ctrl, *params[idx].T)
+                gm = np.asarray(gm, dtype=float)
+                i_eq = np.asarray(i_now, dtype=float) - gm * v_ctrl
+            else:
+                gm = np.empty(idx.size)
+                i_eq = np.empty(idx.size)
+                for k, s in enumerate(idx):
+                    gm[k], i_eq[k] = devices[s].linearize(float(v_ctrl[k]))
+            if op_ >= 0:
+                if cp_ >= 0:
+                    G[:, op_, cp_] += gm
+                if cn_ >= 0:
+                    G[:, op_, cn_] -= gm
+                rhs[:, op_] -= i_eq
+            if on_ >= 0:
+                if cp_ >= 0:
+                    G[:, on_, cp_] -= gm
+                if cn_ >= 0:
+                    G[:, on_, cn_] += gm
+                rhs[:, on_] += i_eq
+        G[:, diag, diag] += options.gmin
+        x_new = _bsolve_dc(G, rhs)
+        # Damping and convergence, vectorized but expression-for-
+        # expression the scalar Newton's: scale by the largest node-
+        # voltage move, compare against abstol + reltol * max|v|.
+        delta = x_new - xa
+        if n_nodes:
+            max_delta = np.abs(delta[:, :n_nodes]).max(axis=1)
+        else:
+            max_delta = np.zeros(idx.size)
+        over = max_delta > options.max_step
+        if over.any():
+            delta[over] *= (options.max_step / max_delta[over])[:, None]
+            max_delta = np.minimum(max_delta, options.max_step)
+        x[idx] = xa + delta
+        tol = options.abstol_v + options.reltol * (
+            np.abs(x[idx][:, :n_nodes]).max(axis=1)
+            if n_nodes
+            else np.zeros(idx.size)
+        )
+        done = max_delta < tol
+        hit = idx[done]
+        converged[hit] = True
+        iterations[hit] = it + 1
+
+    stuck = np.flatnonzero(~converged)
+    if stuck.size:
+        # The lockstep loop *is* the scalar plain-Newton attempt; a
+        # sample that exhausted it gets the scalar continuation ladder
+        # from its original seed, exactly as solve_dc would.
+        for op_point, s in zip(_per_sample(stuck), stuck):
+            x[s] = op_point.x
+            iterations[s] = op_point.iterations
+    return BatchedOperatingPoints(circuits, x, iterations)
 
 
 class _SourceColumn:
@@ -246,7 +495,7 @@ class _BatchedDtEntry:
         self.G_base: Optional[np.ndarray] = None  # dense: (S, n, n), frozen
         self.inv: Optional[np.ndarray] = None  # dense: (S, n, n)
         self.blocks: Optional[list] = None  # sparse: S CSR matrices
-        self.lu: Optional[SparseLU] = None  # sparse: block-diag splu
+        self.lu: Optional[BlockDiagLU] = None  # sparse: per-block splu
         self.rank1: Optional[tuple] = None  # lazy (w[S,n], vw[S], w_vmax[S])
         self.woodbury: Optional[tuple] = None  # lazy (WU[S,n,k], VWU[S,k,k])
 
@@ -328,23 +577,18 @@ class BatchedTransientAssembly:
         self.v = np.zeros((self.n_samples, m))
         self.i = np.zeros((self.n_samples, m))
         # Stacked multistep history ring (newest first), shared times:
-        # the lockstep grid is one grid for every sample.  Stored in
-        # formula form like the per-sample engine (values = cap v /
-        # inductor i, derivatives = cap i / inductor v).
-        self.h_depth = 0
-        self.h_val: Optional[np.ndarray] = None
-        self.h_der: Optional[np.ndarray] = None
-        self.h_t: Optional[np.ndarray] = None
-        self.h_len = 0
-        self.t_now = 0.0
-        self._w_cache: Dict[tuple, tuple] = {}
+        # the lockstep grid is one grid for every sample.  The ring
+        # logic and weight memo are the per-sample engine's
+        # :class:`~repro.circuits.assembly._HistoryRing`, just with
+        # ``(S, m)`` state rows.
+        self.ring = _HistoryRing((self.n_samples, m))
         if self.method.is_multistep:
-            extra = self.method.history_depth(self.method.max_order) - 1
-            if extra > 0:
-                self.h_depth = extra
-                self.h_val = np.zeros((extra, self.n_samples, m))
-                self.h_der = np.zeros((extra, self.n_samples, m))
-                self.h_t = np.zeros(extra)
+            self.ring.enable(self.method.history_depth(self.method.max_order))
+            self.ring.set_current(self.v, self.i, self.n_caps)
+        # Single-slot companion-term memo (same policy as the
+        # per-sample _ReactiveSet._cterm): step RHS and commit of one
+        # candidate share the identical term.
+        self._cterm: Optional[tuple] = None
 
         # Per-step RHS work: stacked source columns.  Anything else
         # with a dynamic stamp is outside the lockstep vocabulary.
@@ -391,6 +635,10 @@ class BatchedTransientAssembly:
         self._xp = np.zeros((self.n_samples, self.size + 1))
 
         self.n_factorizations = 0
+        #: Shared fill-reducing column ordering for the sparse blocks
+        #: (False = not yet probed; None = probe failed, let each
+        #: block's splu analyse itself).
+        self._sparse_perm: object = False
         self._cache = DtCache(self._build_entry, max_entries=max_dt_entries)
         self._active: _BatchedDtEntry
         self.set_dt(dt)
@@ -447,7 +695,14 @@ class BatchedTransientAssembly:
             entry.blocks = [
                 self.backend.finalize(pattern, tri.values()) for tri in streams
             ]
-            lu = SparseLU(SparseBackend.block_diag(entry.blocks))
+            # Symbolic-once: the fill-reducing ordering is structural,
+            # so one probe covers every sample and every later dt
+            # entry; only the numeric phase runs per block.
+            if self._sparse_perm is False:
+                self._sparse_perm = BlockDiagLU.column_ordering(
+                    entry.blocks[0]
+                )
+            lu = BlockDiagLU(entry.blocks, perm_c=self._sparse_perm)
             if lu.is_singular:
                 raise BatchIncompatible(
                     "singular base matrix in batch; the per-sample "
@@ -504,14 +759,14 @@ class BatchedTransientAssembly:
     @property
     def history_points(self) -> int:
         """Committed states available, including the current one."""
-        return 1 + self.h_len
+        return self.ring.points
 
     def history_times(self) -> tuple:
-        return (self.t_now,) + tuple(float(t) for t in self.h_t[: self.h_len])
+        return self.ring.times()
 
     def reset_history(self) -> None:
         """Invalidate multistep history (used across breakpoints)."""
-        self.h_len = 0
+        self.ring.reset()
 
     @property
     def dt(self) -> float:
@@ -608,68 +863,47 @@ class BatchedTransientAssembly:
             for j, name in enumerate(self._reactive_names):
                 st = circuit[name].init_state(x[s])
                 self.v[s, j], self.i[s, j] = st.v, st.i
-        self.h_len = 0
-        self.t_now = 0.0
-        self._w_cache.clear()
+        self.ring.restart()
+        if self.ring.depth:
+            self.ring.set_current(self.v, self.i, self.n_caps)
+        self._cterm = None
 
     def snapshot_state(self) -> tuple:
-        hist = None
-        if self.h_depth:
-            hist = (
-                self.h_val[: self.h_len].copy(),
-                self.h_der[: self.h_len].copy(),
-                self.h_t[: self.h_len].copy(),
-                self.h_len,
-            )
-        return self.v.copy(), self.i.copy(), self.t_now, hist
+        return self.v.copy(), self.i.copy(), self.ring.snapshot()
 
     def restore_state(self, snapshot: tuple) -> None:
-        v, i, t_now, hist = snapshot
+        v, i, ring_snap = snapshot
         self.v = v.copy()
         self.i = i.copy()
-        self.t_now = t_now
-        if hist is not None:
-            h_val, h_der, h_t, h_len = hist
-            self.h_val[:h_len] = h_val
-            self.h_der[:h_len] = h_der
-            self.h_t[:h_len] = h_t
-            self.h_len = h_len
+        self.ring.restore(ring_snap)
+        if self.ring.depth:
+            self.ring.set_current(self.v, self.i, self.n_caps)
 
     def _val_now(self) -> np.ndarray:
-        nc = self.n_caps
-        val = np.empty_like(self.v)
-        val[:, :nc] = self.v[:, :nc]
-        val[:, nc:] = self.i[:, nc:]
-        return val
+        return self.ring.val_now(self.v, self.i, self.n_caps)
 
     def step_weights(self, co: _StackedCoeffs) -> tuple:
-        """Memoized ``(wv, wd)`` — same policy as the per-sample
-        :meth:`~repro.circuits.assembly._ReactiveSet.step_weights`."""
-        h_t0 = float(self.h_t[0]) if self.h_len else 0.0
-        key = (co.dt, co.order, self.t_now, self.h_len, h_t0)
-        w = self._w_cache.get(key)
-        if w is None:
-            w = co.method.step_weights(co.dt, co.order, self.history_times())
-            if len(self._w_cache) > 16:
-                self._w_cache.clear()
-            self._w_cache[key] = w
-        return w
+        """Memoized ``(wv, wd)`` — the shared :class:`_HistoryRing`
+        relative-offset memo; weights are scalars shared by the whole
+        lockstep batch (one shared time grid)."""
+        return self.ring.step_weights(co)
 
     def _companion_term(self, co: _StackedCoeffs) -> np.ndarray:
         """Stacked ``(S, m)`` multistep companion term (cap ``ieq`` /
         inductor branch RHS); weights shared across the batch."""
+        ring = self.ring
+        memo = self._cterm
+        if (
+            memo is not None
+            and memo[0] == co.dt
+            and memo[1] == co.order
+            and memo[2] == ring.t_now
+            and memo[3] == ring.fill
+        ):
+            return memo[4]
         wv, wd = self.step_weights(co)
-        nc = self.n_caps
-        acc = wv[0] * self._val_now()
-        for k in range(1, len(wv)):
-            acc += wv[k] * self.h_val[k - 1]
-        term = co.gcol * acc
-        if wd[0]:
-            term[:, :nc] += wd[0] * self.i[:, :nc]
-            term[:, nc:] += wd[0] * self.v[:, nc:]
-        for k in range(1, len(wd)):
-            if wd[k]:
-                term += wd[k] * self.h_der[k - 1]
+        term = ring.companion_term(wv, wd, co.gcol)
+        self._cterm = (co.dt, co.order, ring.t_now, ring.fill, term)
         return term
 
     # -- once per step ---------------------------------------------------------
@@ -696,20 +930,6 @@ class BatchedTransientAssembly:
 
     # -- after a converged step ------------------------------------------------
 
-    def _push_history(self) -> None:
-        if not self.h_depth:
-            return
-        nc = self.n_caps
-        if self.h_depth > 1:
-            self.h_val[1:] = self.h_val[:-1]
-            self.h_der[1:] = self.h_der[:-1]
-            self.h_t[1:] = self.h_t[:-1]
-        self.h_val[0] = self._val_now()
-        self.h_der[0, :, :nc] = self.i[:, :nc]
-        self.h_der[0, :, nc:] = self.v[:, nc:]
-        self.h_t[0] = self.t_now
-        self.h_len = min(self.h_len + 1, self.h_depth)
-
     def commit(
         self, x: np.ndarray, time: float, freeze: Optional[np.ndarray] = None
     ) -> None:
@@ -721,7 +941,7 @@ class BatchedTransientAssembly:
         through the companion formulas would drift it instead.
         """
         if not self.v.shape[1]:
-            self.t_now = time
+            self.ring.t_now = time
             return
         co = self._active.coeffs
         topo = self._topology
@@ -740,10 +960,12 @@ class BatchedTransientAssembly:
         if freeze is not None:
             v_new[freeze] = self.v[freeze]
             i_new[freeze] = self.i[freeze]
-        self._push_history()
+        self.ring.push()
         self.v = v_new
         self.i = i_new
-        self.t_now = time
+        if self.ring.depth:
+            self.ring.set_current(v_new, i_new, self.n_caps)
+        self.ring.t_now = time
 
 
 class _BatchedStepSolver:
@@ -1143,12 +1365,9 @@ def run_transient_batched(
     size = assembly.size
 
     if options.use_dc_operating_point:
-        x = np.stack(
-            [
-                solve_dc(c, options=options.newton, backend=options.backend).x
-                for c in circuits
-            ]
-        )
+        x = solve_dc_batched(
+            circuits, options=options.newton, backend=options.backend
+        ).x
     else:
         x = np.zeros((S, size))
     assembly.init_state(x)
@@ -1222,6 +1441,78 @@ def run_transient_batched(
             )
         )
     return results
+
+
+def probe_stiffness_ratios(
+    circuits: Sequence[Circuit],
+    options: Optional[TransientOptions] = None,
+) -> Optional[np.ndarray]:
+    """Rank samples by stiffness: per-sample first-step LTE ratios.
+
+    One lockstep probe — a full step of ``options.dt`` and the same
+    step as two halves, both from the DC operating point — yields each
+    sample's Richardson LTE estimate over tolerance
+    (:meth:`~repro.circuits.stepcontrol.StepController.
+    error_ratio_samples`).  A large ratio means the sample needs a
+    small step to hold tolerance: it is *stiff* relative to its batch
+    peers.  The sharded campaign layer feeds this ranking to
+    :func:`~repro.circuits.stepcontrol.stiffness_bins` so sub-batches
+    group samples of similar stiffness.
+
+    The probe is advisory: any failure — netlists the lockstep engine
+    cannot stack, a diverging DC or probe Newton solve — returns
+    ``None`` and the caller proceeds unclustered.  Probe state is
+    thrown away; the actual campaign re-runs from its own DC seed.
+    """
+    options = options or TransientOptions()
+    if options.jacobian != "auto":
+        return None
+    try:
+        assembly = BatchedTransientAssembly(
+            circuits,
+            options.dt,
+            options.resolved_method(),
+            options.newton.gmin,
+            max_dt_entries=options.dt_cache_size,
+            backend=options.backend,
+        )
+        S = assembly.n_samples
+        if options.use_dc_operating_point:
+            x = solve_dc_batched(
+                assembly.circuits, options=options.newton, backend=options.backend
+            ).x
+        else:
+            x = np.zeros((S, assembly.size))
+        assembly.init_state(x)
+        solver = _BatchedStepSolver(assembly, options.newton, quarantine=False)
+        method = assembly.method
+        controller = StepController(
+            t_stop=options.t_stop,
+            dt_initial=options.dt,
+            dt_min=options.resolved_dt_min(),
+            dt_max=options.resolved_dt_max(),
+            method=method,
+            reltol=options.lte_reltol,
+            abstol=options.lte_abstol,
+            safety=options.lte_safety,
+            max_growth=options.max_step_growth,
+        )
+        dt = options.dt
+        order = (
+            controller.candidate_order(assembly.history_points)
+            if method.is_multistep
+            else None
+        )
+        assembly.set_dt(dt, order=order)
+        x_full = solver.step(x, assembly.step_rhs(dt), dt)
+        half = 0.5 * dt
+        assembly.set_dt(half, ephemeral=True, order=order)
+        x_mid = solver.step(x, assembly.step_rhs(half), half)
+        assembly.commit(x_mid, half)
+        x_half = solver.step(x_mid, assembly.step_rhs(dt), dt)
+    except (BatchIncompatible, ConvergenceError, SimulationError):
+        return None
+    return controller.error_ratio_samples(x_full, x_half, assembly.n_nodes)
 
 
 def _run_fixed_lockstep(

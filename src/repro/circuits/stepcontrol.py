@@ -60,7 +60,7 @@ import numpy as np
 from ..errors import SimulationError
 from .integration import IntegrationMethod, resolve_method
 
-__all__ = ["StepController", "collect_breakpoints"]
+__all__ = ["StepController", "collect_breakpoints", "stiffness_bins"]
 
 #: Relative slack when deciding that a step "reaches" a breakpoint.
 _TIME_EPS = 1e-12
@@ -109,6 +109,44 @@ def collect_breakpoints(
     times.extend(extra)
     inside = sorted({float(t) for t in times if 0.0 < t < t_stop})
     return tuple(inside)
+
+
+def stiffness_bins(
+    ratios: Sequence[float],
+    n_bins: int,
+) -> List[np.ndarray]:
+    """Cluster sample indices into quantile bins by stiffness ratio.
+
+    ``ratios`` are per-sample first-step LTE ratios (see
+    :meth:`StepController.error_ratio_samples` — larger means stiffer:
+    the sample demands a smaller step to hold tolerance).  The samples
+    are ranked by ratio and split into ``n_bins`` contiguous quantile
+    groups, benign first, stiffest last.  The sharded campaign layer
+    cuts its sub-batches *within* these bins so an adaptive shard's
+    worst-sample grid answers to peers of similar stiffness instead of
+    one outlier dragging a batch of benign samples to its dt.
+
+    Deterministic by construction: ties rank by sample index (stable
+    sort), each bin's indices come back ascending, and non-finite
+    ratios (a failed probe step — maximally stiff) sort last.  Bins
+    that would be empty (``n_bins > len(ratios)``) are dropped, so the
+    returned list always partitions ``range(len(ratios))`` exactly.
+    """
+    ratios = np.asarray(ratios, dtype=float)
+    if n_bins < 1:
+        raise SimulationError("n_bins must be >= 1")
+    n = len(ratios)
+    if n == 0:
+        return []
+    # NaN/inf mark probe failures: rank them stiffest, not undefined.
+    keys = np.where(np.isfinite(ratios), ratios, np.inf)
+    order = np.argsort(keys, kind="stable")
+    bins = [
+        np.sort(chunk)
+        for chunk in np.array_split(order, min(n_bins, n))
+        if chunk.size
+    ]
+    return bins
 
 
 class StepController:

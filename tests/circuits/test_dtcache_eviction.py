@@ -171,7 +171,7 @@ class TestSetupKeying:
         # method's order-3 weights are served, not the stale pair.
         assembly.set_dt(1e-9, order=3)
         new_weights = r.step_weights(assembly._active.coeffs)
-        assert new_weights[0] != old_weights[0]
+        assert not np.array_equal(new_weights[0], old_weights[0])
         # ...and the upgraded assembly keeps integrating.
         rhs = assembly.step_rhs(4e-9, {}, x)
         x = assembly.lu().solve(rhs)
