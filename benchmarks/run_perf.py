@@ -83,6 +83,7 @@ import os
 import pathlib
 import sys
 import time
+import warnings
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -828,6 +829,104 @@ def check_rescue_overhead(cycles: int = 20) -> int:
     return failures
 
 
+def check_health_overhead(cycles: int = 20) -> int:
+    """Gate the health layer's bit-identity + bounded-overhead guarantee.
+
+    Healthy workloads must be *bit-identical* with preflight lint,
+    NaN/conditioning guards and post-step certification armed: the
+    health layer may only *read* (residual recompute, condition
+    estimate against the cached LU), never perturb the iterate or the
+    step sequence.  Certification does extra arithmetic per accepted
+    step, so armed wall clock gets a generous fixed budget
+    (``_HEALTH_WALL_FACTOR`` x plain + slack) — enough headroom for
+    shared-machine noise, tight enough to catch an accidental extra
+    factorization per step.  A healthy startup must also certify every
+    step and file zero health reports.  Returns the number of failures
+    (0 = gate passes).
+    """
+    failures = 0
+    armed_fields = dict(guards=True, certify=True, preflight="warn")
+    netlist = OscillatorNetlist(TANK, vref=2.5)
+    for step_control in ("fixed", "adaptive"):
+        options = dataclasses.replace(
+            _startup_options(cycles), step_control=step_control
+        )
+        armed = dataclasses.replace(options, **armed_fields)
+        t0 = time.perf_counter()
+        plain = run_transient(netlist.build(LIMITER), options)
+        t_plain = time.perf_counter() - t0
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            t0 = time.perf_counter()
+            guarded = run_transient(netlist.build(LIMITER), armed)
+        t_armed = time.perf_counter() - t0
+        label = f"health_overhead_{step_control}"
+        identical = (
+            plain.stats["newton_iterations"] == guarded.stats["newton_iterations"]
+            and plain.stats["steps"] == guarded.stats["steps"]
+            and np.array_equal(plain.x, guarded.x)
+        )
+        clean = (
+            not guarded.stats.get("health")
+            and guarded.stats.get("certified_steps", 0) > 0
+        )
+        budget = _HEALTH_WALL_FACTOR * t_plain + _HEALTH_WALL_SLACK
+        if not identical:
+            failures += 1
+            print(f"{label:24s} FAIL: armed run differs from unarmed")
+        elif not clean:
+            failures += 1
+            print(
+                f"{label:24s} FAIL: healthy run filed "
+                f"{len(guarded.stats.get('health', []))} health report(s), "
+                f"certified {guarded.stats.get('certified_steps', 0)} steps"
+            )
+        elif t_armed > budget:
+            failures += 1
+            print(
+                f"{label:24s} FAIL: armed wall {t_armed:.3f}s over budget "
+                f"{budget:.3f}s (plain {t_plain:.3f}s)"
+            )
+        else:
+            print(
+                f"{label:24s} bit-identical, "
+                f"{guarded.stats['certified_steps']:>6} steps certified, "
+                f"wall {t_armed / max(t_plain, 1e-9):4.2f}x  ok"
+            )
+    # Batched lockstep engine, armed vs unarmed.
+    circuits_plain = [netlist.build(LIMITER) for _ in range(4)]
+    circuits_armed = [netlist.build(LIMITER) for _ in range(4)]
+    options = _startup_options(cycles)
+    armed = dataclasses.replace(options, **armed_fields)
+    plain = run_transient_batched(circuits_plain, options)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        guarded = run_transient_batched(circuits_armed, armed)
+    same = all(
+        a.stats["newton_iterations"] == b.stats["newton_iterations"]
+        and np.array_equal(a.x, b.x)
+        and not b.stats.get("health")
+        for a, b in zip(plain, guarded)
+    )
+    if not same:
+        failures += 1
+        print("health_overhead_batched  FAIL: armed lockstep run differs")
+    else:
+        print(
+            "health_overhead_batched  per-sample counters unchanged, "
+            "waveforms bit-identical, zero reports  ok"
+        )
+    return failures
+
+
+#: Armed-run wall budget: certification recomputes the step residual
+#: (one dense mat-vec + device re-linearization per accepted step), so
+#: some overhead is the *point*; 3x plus absolute slack catches an
+#: accidental extra factorization without tripping on machine noise.
+_HEALTH_WALL_FACTOR = 3.0
+_HEALTH_WALL_SLACK = 0.5
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -868,13 +967,17 @@ def main(argv=None) -> int:
         baseline = json.loads(args.baseline.read_text())
         failures = check_against_baseline(baseline, args.tolerance)
         overhead_failures = check_rescue_overhead()
-        if failures or overhead_failures:
+        health_failures = check_health_overhead()
+        if failures or overhead_failures or health_failures:
             if failures:
                 print(f"FAIL: {failures} workload(s) regressed > "
                       f"{args.tolerance:.0%} vs {args.baseline}")
             if overhead_failures:
                 print(f"FAIL: {overhead_failures} healthy workload(s) "
                       "changed with the rescue ladder armed")
+            if health_failures:
+                print(f"FAIL: {health_failures} healthy workload(s) "
+                      "changed or overran with the health layer armed")
             return 1
         print(f"bench gate ok (within {args.tolerance:.0%} of {args.baseline})")
         return 0

@@ -1,0 +1,202 @@
+"""The numerical health layer, end to end.
+
+A simulator's worst answer is a *wrong-looking-right* one: a netlist
+typo held up by gmin, a NaN from a bad device model silently smeared
+across the waveform, an ill-conditioned system with three trustworthy
+digits presented as twelve.  The health layer turns each of those
+into a structured, inspectable record, on three levels:
+
+1. **Preflight lint** — ``preflight="warn"`` (or ``"raise"``) on any
+   analysis runs :func:`repro.circuits.check_netlist` before the
+   first solve: dangling nodes, islands with no DC path to ground,
+   voltage-source loops, a gmin=0 singularity probe, extreme
+   parameter spreads, out-of-range breakpoints.  Findings are
+   :class:`~repro.circuits.Diagnostic` records; error-severity ones
+   abort under ``"raise"``.
+
+2. **Runtime guards** — ``TransientOptions(guards=True)`` checks
+   every step solution for NaN/Inf and estimates the condition
+   number of each new factorization (a few triangular solves against
+   the cached LU — never a refactorization).  A poisoned run aborts
+   with ``phase="health"`` instead of returning garbage; in the
+   batched engine with ``quarantine=True`` only the guilty sample is
+   masked out while the rest of the batch finishes.
+
+3. **Post-step certification** — ``TransientOptions(certify=True)``
+   recomputes the accepted step's residual from an independent
+   assembly, checks reactive charge/flux consistency and the time
+   grid, and files :class:`~repro.circuits.HealthReport` records in
+   ``stats["health"]``.  Campaigns aggregate them per sample
+   (``MonteCarloResult.health``).
+
+Healthy runs pay nothing but arithmetic: armed results are
+bit-identical to unarmed ones (``benchmarks/run_perf.py --check``
+gates exactly that).
+
+Run:  python examples/health_checks.py
+"""
+
+import warnings
+
+import numpy as np
+
+from repro.campaigns import BatchOptions
+from repro.campaigns.vectorized import run_transient_campaign
+from repro.circuits import (
+    Circuit,
+    TransientOptions,
+    check_netlist,
+    dc,
+    run_transient,
+    sine,
+)
+from repro.errors import ConvergenceError, PreflightError
+
+
+def build_healthy():
+    circuit = Circuit("rc")
+    circuit.voltage_source("Vin", "in", "0", sine(1.0, 1e5))
+    circuit.resistor("R", "in", "out", 1e3)
+    circuit.capacitor("C", "out", "0", 1e-9)
+    return circuit
+
+
+OPTIONS = TransientOptions(t_stop=1e-6, dt=1e-9, step_control="fixed")
+
+
+def demo_preflight() -> None:
+    print("1. preflight lint")
+
+    # A typo'd netlist: the load returns to 'vss' — a brand-new node
+    # this library does *not* alias to ground — and an AC-coupled
+    # divider has no DC path at all.  Both solve "fine" through gmin;
+    # preflight names them instead.
+    circuit = Circuit("typo")
+    circuit.voltage_source("Vin", "in", "0", dc(1.0))
+    circuit.resistor("R1", "in", "mid", 1e3)
+    circuit.resistor("R2", "mid", "vss", 1e3)  # meant "0"
+    circuit.capacitor("Cc", "in", "flt1", 1e-9)
+    circuit.resistor("R3", "flt1", "flt2", 1e3)
+    circuit.capacitor("Cc2", "flt2", "0", 1e-9)
+    for diag in check_netlist(circuit, analysis="dc"):
+        print(f"   [{diag.severity}] {diag.code}: nodes {diag.nodes}")
+
+    # Error-severity findings abort under preflight="raise": two
+    # voltage sources in parallel overdetermine KVL.
+    loop = Circuit("loop")
+    loop.voltage_source("V1", "a", "0", dc(1.0))
+    loop.voltage_source("V2", "a", "0", dc(2.0))
+    loop.resistor("R", "a", "0", 1e3)
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            run_transient(
+                loop,
+                TransientOptions(t_stop=1e-6, dt=1e-9, preflight="raise"),
+            )
+    except PreflightError as exc:
+        print(f"   preflight='raise' aborted: {exc}")
+
+
+T_NAN = 5e-7
+
+
+def nan_after(t):
+    """A broken device model: returns NaN past 0.5 us."""
+    return float("nan") if t > T_NAN else 1e-3
+
+
+def build_poisoned():
+    circuit = Circuit("poisoned")
+    circuit.resistor("R", "out", "0", 1e3)
+    circuit.capacitor("C", "out", "0", 1e-9)
+    circuit.current_source("I", "0", "out", nan_after)
+    return circuit
+
+
+def demo_guards() -> None:
+    print("2. runtime guards")
+
+    # Unguarded, the NaN propagates silently into the waveform:
+    silent = run_transient(build_poisoned(), OPTIONS)
+    print(f"   unguarded run 'succeeds' with "
+          f"{int(np.isnan(silent.x).sum())} NaN entries in the waveform")
+
+    # Guarded, the run aborts at the poisoned step, structured:
+    armed = TransientOptions(
+        t_stop=1e-6, dt=1e-9, guards=True, on_abort="partial"
+    )
+    partial = run_transient(build_poisoned(), armed)
+    print(f"   guarded run aborts: reason="
+          f"{partial.stats['abort_reason']!r} at t={partial.t[-1]:.2e}s, "
+          f"partial waveform finite: {bool(np.isfinite(partial.x).all())}")
+    try:
+        run_transient(
+            build_poisoned(),
+            TransientOptions(t_stop=1e-6, dt=1e-9, guards=True),
+        )
+    except ConvergenceError as exc:
+        print(f"   (on_abort='raise' gives phase={exc.phase!r}: {exc})")
+
+
+def demo_certification_and_campaign() -> None:
+    print("3. certification + campaign quarantine")
+
+    armed = TransientOptions(
+        t_stop=1e-6,
+        dt=1e-9,
+        step_control="fixed",
+        guards=True,
+        certify=True,
+        quarantine=True,
+        on_abort="partial",
+    )
+
+    # 8-sample campaign, sample 3 poisoned: the batched engine
+    # quarantines it alone, the other 7 certify every step.  All
+    # samples share one topology (the lockstep engine stacks
+    # homogeneous netlists); only the poisoned source differs.
+    def build(task):
+        circuit = Circuit(f"s{task}")
+        circuit.resistor("R", "out", "0", 1e3 * (1.0 + 0.01 * task))
+        circuit.capacitor("C", "out", "0", 1e-9)
+        circuit.current_source(
+            "I", "0", "out", nan_after if task == 3 else 1e-3
+        )
+        return circuit
+
+    results = run_transient_campaign(
+        list(range(8)), build, armed, BatchOptions(batch_mode="vectorized")
+    )
+    for s, result in enumerate(results):
+        if result.stats.get("quarantined"):
+            record = result.stats["quarantine"]
+            reports = result.stats["health"]
+            print(f"   sample {s}: QUARANTINED reason={record['reason']!r} "
+                  f"at t={record['time']:.2e}s, {len(reports)} health "
+                  f"report(s), first: {reports[0].kind!r}")
+        else:
+            print(f"   sample {s}: {result.stats['certified_steps']} steps "
+                  f"certified, {len(result.stats['health'])} reports")
+
+    # Bit-identity: arming the layer changes nothing on healthy runs.
+    plain = run_transient(build_healthy(), OPTIONS)
+    checked = run_transient(
+        build_healthy(),
+        TransientOptions(
+            t_stop=1e-6, dt=1e-9, step_control="fixed",
+            guards=True, certify=True,
+        ),
+    )
+    print(f"   healthy armed run bit-identical: "
+          f"{bool(np.array_equal(plain.x, checked.x))}")
+
+
+def main() -> None:
+    demo_preflight()
+    demo_guards()
+    demo_certification_and_campaign()
+
+
+if __name__ == "__main__":
+    main()

@@ -54,6 +54,7 @@ from __future__ import annotations
 import concurrent.futures
 import os
 import pickle
+import signal
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
@@ -210,6 +211,16 @@ class BatchOptions:
         (:func:`~repro.circuits.stepcontrol.stiffness_bins`), so an
         adaptive shard's shared worst-sample grid answers to peers of
         similar stiffness.  1 (default) keeps task order.
+    task_timeout:
+        Watchdog deadline in seconds for pool-executed tasks (process
+        and sharded modes).  A task observed *running* longer than
+        this is presumed hung (a worker spinning in native code, a
+        deadlocked import): its worker processes are killed, the pool
+        is rebuilt, the unfinished peers are resubmitted, and the hung
+        task records a :class:`~repro.errors.TaskFailure` with
+        ``kind="timeout"`` (or retries, under ``on_error="retry"``).
+        ``None`` (default) disables the watchdog.  Sequential
+        in-process execution cannot be interrupted and ignores it.
     """
 
     max_workers: Optional[Union[int, str]] = None
@@ -221,6 +232,7 @@ class BatchOptions:
     checkpoint_every: int = 16
     shard_size: Optional[int] = None
     stiffness_bins: int = 1
+    task_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.on_error not in _ON_ERROR_MODES:
@@ -254,6 +266,8 @@ class BatchOptions:
             raise ConfigurationError("shard_size must be >= 1 or None")
         if self.stiffness_bins < 1:
             raise ConfigurationError("stiffness_bins must be >= 1")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ConfigurationError("task_timeout must be > 0 or None")
 
     def resolved_max_workers(self) -> int:
         """The concrete worker count this policy asks for."""
@@ -482,6 +496,37 @@ def _attempt_task(
     )
 
 
+def _pool_worker_init() -> None:  # pragma: no cover - runs in workers
+    """Reset inherited signal handlers in forked pool workers.
+
+    The parent maps SIGTERM onto :class:`KeyboardInterrupt` for its
+    own graceful-checkpoint cleanup; a forked worker inheriting that
+    handler would print a spurious traceback every time the watchdog
+    (or the pool shutdown) terminates it.
+    """
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):
+        pass
+
+
+def _kill_pool(executor: ProcessPoolExecutor) -> None:
+    """Terminate a pool's workers without waiting on hung tasks.
+
+    ``shutdown(wait=True)`` joins workers, which never returns while
+    one is hung — the whole point of the watchdog is not to wait.
+    Terminating the processes first makes the non-blocking shutdown
+    safe.
+    """
+    processes = getattr(executor, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except OSError:  # pragma: no cover - already dead
+            pass
+    executor.shutdown(wait=False, cancel_futures=True)
+
+
 def _drain_resilient_pool(
     worker: Callable,
     task_list: Sequence,
@@ -500,60 +545,152 @@ def _drain_resilient_pool(
     retries while the rest of the pool keeps working.  A broken pool
     flushes the checkpoint and raises a :class:`BatchTaskError`
     naming one in-flight task.
+
+    With ``options.task_timeout`` set, a watchdog polls the in-flight
+    futures: a task observed running past the deadline is presumed
+    hung, its worker processes are killed (the only way to interrupt
+    arbitrary native code), the pool is rebuilt, and the unfinished
+    peers resubmit on the fresh pool.  The hung task records a
+    ``kind="timeout"`` :class:`~repro.errors.TaskFailure` — or
+    retries, when attempts remain.
     """
     indexed = _IndexedWorker(worker)
     attempts = {index: 1 for index in missing}
-    with ProcessPoolExecutor(max_workers=options.resolved_max_workers()) as executor:
-        pending = {
-            executor.submit(indexed, (index, task_list[index])): index
-            for index in missing
-        }
-        while pending:
-            ready, _ = concurrent.futures.wait(
-                pending, return_when=concurrent.futures.FIRST_COMPLETED
-            )
-            for future in ready:
-                index = pending.pop(future)
-                exc = future.exception()
-                if exc is None:
-                    done[index] = future.result()
-                    saver.tick()
-                    continue
-                if isinstance(exc, BrokenProcessPool):
-                    saver.flush()
-                    in_flight = sorted([index] + list(pending.values()))
-                    raise wrap_task_error(
-                        exc,
+    timeout = options.task_timeout
+    wait_timeout = None if timeout is None else min(1.0, timeout / 4.0)
+    queue = list(missing)
+    while queue:
+        executor = ProcessPoolExecutor(
+            max_workers=options.resolved_max_workers(),
+            initializer=_pool_worker_init,
+        )
+        rebuild = False
+        try:
+            pending = {
+                executor.submit(
+                    indexed,
+                    (
                         index,
-                        task_list[index],
-                        action=(
-                            "worker process pool broke with task(s) "
-                            f"{in_flight} in flight"
+                        policy.task_for_attempt(
+                            task_list[index], attempts[index]
                         ),
-                    ) from exc
-                if (
-                    options.on_error == "retry"
-                    and attempts[index] < policy.max_attempts
-                ):
-                    attempts[index] += 1
-                    if policy.delay:
-                        time.sleep(policy.wait(attempts[index] - 1))
-                    retry_task = policy.task_for_attempt(
-                        task_list[index], attempts[index]
-                    )
-                    pending[executor.submit(indexed, (index, retry_task))] = index
-                    continue
-                failure = TaskFailure(
-                    index=index,
-                    task=task_list[index],
-                    error=exc,
-                    attempts=attempts[index],
-                    context=_failure_context(exc),
+                    ),
+                ): index
+                for index in queue
+            }
+            queue = []
+            running_since: Dict[object, float] = {}
+            while pending:
+                ready, _ = concurrent.futures.wait(
+                    pending,
+                    timeout=wait_timeout,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
                 )
-                if options.on_error == "raise":
-                    saver.flush()
-                    raise exc
-                failures[index] = failure
+                for future in ready:
+                    index = pending.pop(future)
+                    running_since.pop(future, None)
+                    exc = future.exception()
+                    if exc is None:
+                        done[index] = future.result()
+                        saver.tick()
+                        continue
+                    if isinstance(exc, BrokenProcessPool):
+                        saver.flush()
+                        in_flight = sorted([index] + list(pending.values()))
+                        raise wrap_task_error(
+                            exc,
+                            index,
+                            task_list[index],
+                            action=(
+                                "worker process pool broke with task(s) "
+                                f"{in_flight} in flight"
+                            ),
+                        ) from exc
+                    if (
+                        options.on_error == "retry"
+                        and attempts[index] < policy.max_attempts
+                    ):
+                        attempts[index] += 1
+                        if policy.delay:
+                            time.sleep(policy.wait(attempts[index] - 1))
+                        retry_task = policy.task_for_attempt(
+                            task_list[index], attempts[index]
+                        )
+                        pending[
+                            executor.submit(indexed, (index, retry_task))
+                        ] = index
+                        continue
+                    failure = TaskFailure(
+                        index=index,
+                        task=task_list[index],
+                        error=exc,
+                        attempts=attempts[index],
+                        context=_failure_context(exc),
+                    )
+                    if options.on_error == "raise":
+                        saver.flush()
+                        raise exc
+                    failures[index] = failure
+                if timeout is None:
+                    continue
+                # -- watchdog: the deadline clock starts when a future
+                # is first *observed* running, so queued tasks waiting
+                # for a worker are never miscounted as hung.
+                now = time.monotonic()
+                overdue = []
+                for future in pending:
+                    if future in running_since:
+                        if now - running_since[future] > timeout:
+                            overdue.append(future)
+                    elif future.running():
+                        running_since[future] = now
+                if not overdue:
+                    continue
+                for future in overdue:
+                    index = pending.pop(future)
+                    if (
+                        options.on_error == "retry"
+                        and attempts[index] < policy.max_attempts
+                    ):
+                        attempts[index] += 1
+                        queue.append(index)
+                        continue
+                    error: BaseException = TimeoutError(
+                        f"task {index} exceeded task_timeout="
+                        f"{timeout}s; its worker was killed"
+                    )
+                    if options.on_error == "raise":
+                        saver.flush()
+                        rebuild = True
+                        raise wrap_task_error(
+                            error,
+                            index,
+                            task_list[index],
+                            action="task watchdog fired",
+                        ) from error
+                    failures[index] = TaskFailure(
+                        index=index,
+                        task=task_list[index],
+                        error=error,
+                        attempts=attempts[index],
+                        kind="timeout",
+                    )
+                # Unfinished peers die with the killed pool; resubmit
+                # them on the fresh one without charging an attempt.
+                queue.extend(pending.values())
+                pending.clear()
+                rebuild = True
+                break
+        finally:
+            if rebuild:
+                _kill_pool(executor)
+            else:
+                executor.shutdown(wait=True)
+
+
+def _sigterm_to_interrupt(signum, frame):  # pragma: no cover - signal path
+    """SIGTERM handler: surface as KeyboardInterrupt for one cleanup."""
+    raise KeyboardInterrupt(f"terminated by signal {signum}")
 
 
 def _run_batch_resilient(
@@ -562,13 +699,52 @@ def _run_batch_resilient(
     options: "BatchOptions",
     resume_from: Optional[str],
 ) -> List:
-    """The fault-tolerant :func:`run_batch` body."""
+    """The fault-tolerant :func:`run_batch` body.
+
+    SIGINT and SIGTERM are graceful here: the completed-results
+    checkpoint is flushed before the interrupt propagates, and — when
+    a checkpoint path is configured — the re-raised interrupt names
+    the ``resume_from=`` path that picks the campaign back up.
+    (SIGTERM is mapped onto :class:`KeyboardInterrupt` for the
+    duration of the batch; restored afterwards.  Only the main thread
+    can install signal handlers — elsewhere SIGTERM keeps its default
+    behaviour and only SIGINT is graceful.)
+    """
     n_tasks = len(task_list)
     done: Dict[int, object] = {}
     if resume_from is not None:
         done = _load_checkpoint(resume_from, n_tasks)
     save_path = options.checkpoint_path or resume_from
     saver = _Checkpointer(save_path, n_tasks, done, options.checkpoint_every)
+    restore = None
+    try:
+        restore = signal.signal(signal.SIGTERM, _sigterm_to_interrupt)
+    except ValueError:  # pragma: no cover - non-main thread
+        restore = None
+    try:
+        return _run_batch_resilient_body(worker, task_list, options, done, saver)
+    except KeyboardInterrupt as exc:
+        saver.flush()
+        if save_path is not None:
+            raise KeyboardInterrupt(
+                f"batch interrupted with {len(done)}/{n_tasks} results "
+                f"checkpointed; resume with run_batch(..., "
+                f"resume_from={save_path!r})"
+            ) from exc
+        raise
+    finally:
+        if restore is not None:
+            signal.signal(signal.SIGTERM, restore)
+
+
+def _run_batch_resilient_body(
+    worker: Callable,
+    task_list: Sequence,
+    options: "BatchOptions",
+    done: Dict[int, object],
+    saver: _Checkpointer,
+) -> List:
+    n_tasks = len(task_list)
     policy = options.retry or RetryPolicy()
     failures: Dict[int, TaskFailure] = {}
     missing = [index for index in range(n_tasks) if index not in done]
@@ -668,7 +844,11 @@ def run_batch(
     task_list = list(tasks)
     fault_tolerant = resume_from is not None or (
         options is not None
-        and (options.on_error != "raise" or options.checkpoint_path is not None)
+        and (
+            options.on_error != "raise"
+            or options.checkpoint_path is not None
+            or options.task_timeout is not None
+        )
     )
     if fault_tolerant:
         return _run_batch_resilient(

@@ -39,10 +39,12 @@ plumbing.
 
 from __future__ import annotations
 
+import atexit
 import math
 import os
+import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, replace
 from multiprocessing import shared_memory
 from typing import Callable, List, Optional, Sequence, Tuple
@@ -64,11 +66,12 @@ from ..circuits.transient import (
     _resolve_recording,
     run_transient,
 )
-from ..errors import BatchTaskError, ConvergenceError, SimulationError
+from ..errors import BatchTaskError, ConvergenceError, SimulationError, TaskFailure
 from .runner import (
     BatchOptions,
     RetryPolicy,
     _attempt_task,
+    _kill_pool,
     _wrap_collective,
     drain_ordered,
     wrap_task_error,
@@ -340,6 +343,47 @@ def _rerun_quarantined(
         results[s] = rerun
 
 
+# -- shared-memory lifecycle --------------------------------------------------
+
+#: Parent-side shared blocks created but not yet released.  The
+#: streaming paths release their block in a ``finally``, but a block
+#: can still outlive them — ``KeyboardInterrupt`` landing between
+#: creation and the ``try``, or an exception raised *by* the release
+#: itself — so an atexit backstop unlinks anything left over rather
+#: than leaking ``/dev/shm`` segments past the interpreter.
+_LIVE_SHM: dict = {}
+
+
+def _create_shared_block(shape: Tuple[int, ...]) -> shared_memory.SharedMemory:
+    """Create (and register for cleanup) one float64 record block."""
+    shm = shared_memory.SharedMemory(
+        create=True, size=int(np.prod(shape)) * 8
+    )
+    _LIVE_SHM[shm.name] = shm
+    return shm
+
+
+def _release_shared_block(shm: shared_memory.SharedMemory) -> None:
+    """Close and unlink a block; safe to call twice."""
+    _LIVE_SHM.pop(shm.name, None)
+    try:
+        shm.close()
+    finally:
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+@atexit.register
+def _reap_shared_blocks() -> None:  # pragma: no cover - teardown path
+    for shm in list(_LIVE_SHM.values()):
+        try:
+            _release_shared_block(shm)
+        except Exception:
+            pass
+
+
 # -- sharded lockstep execution -----------------------------------------------
 
 
@@ -403,7 +447,13 @@ def _run_one_shard(
 
 
 def _globalize_quarantine(stats: dict, indices: Sequence[int]) -> None:
-    """Remap shard-local sample indices in quarantine stats to global."""
+    """Remap shard-local sample indices in per-sample stats to global.
+
+    Covers the quarantine records and the health layer's
+    :class:`~repro.circuits.health.HealthReport` list, so a report
+    filed against shard-local sample 2 names the campaign's global
+    sample index by the time anyone reads the merged results.
+    """
     record = stats.get("quarantine")
     if record and "sample" in record:
         record = dict(record)
@@ -412,6 +462,14 @@ def _globalize_quarantine(stats: dict, indices: Sequence[int]) -> None:
     local_list = stats.get("quarantined_samples")
     if local_list:
         stats["quarantined_samples"] = [int(indices[int(s)]) for s in local_list]
+    health = stats.get("health")
+    if health:
+        stats["health"] = [
+            replace(report, sample=int(indices[int(report.sample)]))
+            if getattr(report, "sample", None) is not None
+            else report
+            for report in health
+        ]
 
 
 def _stamp_shard(stats: dict, shard_no: int, n_shards: int, n_workers: int) -> None:
@@ -567,32 +625,28 @@ def _run_sharded_process(
     if streaming:
         _indices, _nodes, n_columns = _resolve_recording(circuits[0], options)
         shape = (S, _fixed_record_count(options), n_columns)
-        shm = shared_memory.SharedMemory(
-            create=True, size=int(np.prod(shape)) * 8
-        )
+        shm = _create_shared_block(shape)
         try:
-            with ProcessPoolExecutor(
-                max_workers=n_workers,
-                initializer=_shard_init,
-                initargs=(shm.name, shape, build, options),
-            ) as executor:
-                payloads = list(executor.map(_shard_worker, jobs))
+            payloads = _drain_shard_pool(
+                jobs,
+                n_workers,
+                (shm.name, shape, build, options),
+                batch.task_timeout,
+            )
             records = np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
             for payload in payloads:
                 merge(payload, records)
         finally:
-            shm.close()
-            shm.unlink()
+            _release_shared_block(shm)
     else:
-        with ProcessPoolExecutor(
-            max_workers=n_workers,
-            initializer=_shard_init,
-            initargs=(None, None, build, options),
-        ) as executor:
-            for payload in executor.map(_shard_worker, jobs):
-                merge(payload, None)
+        payloads = _drain_shard_pool(
+            jobs, n_workers, (None, None, build, options), batch.task_timeout
+        )
+        for payload in payloads:
+            merge(payload, None)
 
-    for shard_no, g, message, cause in failed:
+    for shard_no, g, message, cause, *rest in failed:
+        kind = rest[0] if rest else "error"
         indices = shards[shard_no]
         if batch.on_error == "raise":
             task = tasks[g] if 0 <= g < S else None
@@ -602,8 +656,105 @@ def _run_sharded_process(
                 task=task,
                 cause_text=cause,
             )
+        if kind == "timeout":
+            # A hung shard's samples must NOT re-run solo in the
+            # parent — whatever hung the worker would hang us.  They
+            # land as structured timeout failures instead.
+            for g_i in indices:
+                results[g_i] = TaskFailure(
+                    index=g_i,
+                    task=tasks[g_i],
+                    error=TimeoutError(message),
+                    attempts=1,
+                    kind="timeout",
+                )
+            continue
         _shard_solo_fallback(indices, tasks, build, options, batch, results)
     return results
+
+
+def _drain_shard_pool(
+    jobs: List[tuple],
+    n_workers: int,
+    initargs: tuple,
+    timeout: Optional[float],
+) -> List[tuple]:
+    """Run shard jobs through a pool, with an optional per-shard watchdog.
+
+    Without ``BatchOptions.task_timeout`` this is a plain pool map.
+    With it, every in-flight shard gets a deadline from the moment it
+    is first observed *running* (queue time never counts); an overdue
+    shard's pool is torn down — the only way to stop a hung child —
+    the shard comes back as a ``("failed", ..., kind="timeout")``
+    payload for the parent's ``on_error`` policy, and the surviving
+    shards are resubmitted to a fresh pool.
+    """
+
+    def make_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=n_workers,
+            initializer=_shard_init,
+            initargs=initargs,
+        )
+
+    if timeout is None:
+        with make_pool() as executor:
+            return list(executor.map(_shard_worker, jobs))
+
+    payloads: List[tuple] = [None] * len(jobs)  # type: ignore[list-item]
+    queue = list(range(len(jobs)))
+    wait_timeout = min(1.0, timeout / 4.0)
+    while queue:
+        rebuild = False
+        executor = make_pool()
+        try:
+            pending = {executor.submit(_shard_worker, jobs[k]): k for k in queue}
+            queue = []
+            running_since: dict = {}
+            while pending:
+                done, _ = wait(
+                    set(pending), timeout=wait_timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                now = time.monotonic()
+                for future in done:
+                    k = pending.pop(future)
+                    running_since.pop(future, None)
+                    # _shard_worker never raises; result() only fails
+                    # on pool breakage, which should propagate exactly
+                    # as it would out of the map-based drain.
+                    payloads[k] = future.result()
+                for future in pending:
+                    if future not in running_since and future.running():
+                        running_since[future] = now
+                overdue = [
+                    (future, k)
+                    for future, k in pending.items()
+                    if future in running_since
+                    and now - running_since[future] > timeout
+                ]
+                if overdue:
+                    for future, k in overdue:
+                        pending.pop(future)
+                        shard_no = jobs[k][0]
+                        payloads[k] = (
+                            "failed",
+                            shard_no,
+                            -1,
+                            f"shard watchdog fired after {timeout:.1f}s",
+                            f"TimeoutError: shard {shard_no} exceeded "
+                            f"task_timeout={timeout!r}s",
+                            "timeout",
+                        )
+                    queue = list(pending.values())
+                    rebuild = True
+                    break
+        finally:
+            if rebuild:
+                _kill_pool(executor)
+            else:
+                executor.shutdown(wait=True)
+    return payloads
 
 
 def _shard_init(shm_name, shape, build, options) -> None:
@@ -613,6 +764,8 @@ def _shard_init(shm_name, shape, build, options) -> None:
         _WORKER_STATE["records"] = np.ndarray(
             shape, dtype=np.float64, buffer=shm.buf
         )
+        # Detach cleanly at worker exit; the parent owns the unlink.
+        atexit.register(shm.close)
     else:
         _WORKER_STATE.pop("records", None)
     _WORKER_STATE["build"] = build
@@ -673,6 +826,8 @@ def _stream_init(shm_name, shape, build, options) -> None:
     shm = shared_memory.SharedMemory(name=shm_name)
     _WORKER_STATE["shm"] = shm
     _WORKER_STATE["records"] = np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
+    # Detach cleanly at worker exit; the parent owns the unlink.
+    atexit.register(shm.close)
     _WORKER_STATE["build"] = build
     _WORKER_STATE["options"] = options
 
@@ -766,9 +921,7 @@ def _run_process_streaming(
             circuits[0], options
         )
         shape = (len(tasks), _fixed_record_count(options), n_columns)
-        shm = shared_memory.SharedMemory(
-            create=True, size=int(np.prod(shape)) * 8
-        )
+        shm = _create_shared_block(shape)
         try:
             with ProcessPoolExecutor(
                 max_workers=n_workers,
@@ -792,8 +945,7 @@ def _run_process_streaming(
                     )
                 )
         finally:
-            shm.close()
-            shm.unlink()
+            _release_shared_block(shm)
         return results
 
     with ProcessPoolExecutor(

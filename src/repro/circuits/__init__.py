@@ -34,6 +34,12 @@ Solver internals (importable for tests/benchmarks):
 * :mod:`~repro.circuits.reference` — the preserved seed transient
   engine (:func:`run_transient_reference`), golden baseline for the
   optimized engine.
+* :mod:`~repro.circuits.preflight` / :mod:`~repro.circuits.health` —
+  the numerical health layer: structural netlist lint before any
+  solve (``preflight="warn"|"raise"`` on every analysis), NaN /
+  conditioning guards and post-step certification during transients
+  (``TransientOptions(guards=True, certify=True)``), with structured
+  :class:`HealthReport` records in ``stats["health"]``.
 """
 
 from .ac import ACResult, run_ac
@@ -65,8 +71,10 @@ from .integration import (
     Trapezoidal,
     resolve_method,
 )
+from .health import CONDITION_LIMIT, HealthReport
 from .mosfet import Mosfet, MosfetParams, NMOS_DEFAULT, PMOS_DEFAULT
 from .netlist import Circuit
+from .preflight import Diagnostic, PreflightWarning, check_netlist
 from .noise import NoiseResult, run_noise
 from .subcircuit import CellBuilder, SubcircuitDefinition
 from .reference import run_transient_reference
@@ -121,6 +129,11 @@ __all__ = [
     "NMOS_DEFAULT",
     "PMOS_DEFAULT",
     "Circuit",
+    "CONDITION_LIMIT",
+    "HealthReport",
+    "Diagnostic",
+    "PreflightWarning",
+    "check_netlist",
     "NoiseResult",
     "run_noise",
     "CellBuilder",

@@ -82,6 +82,7 @@ def run_ac(
     operating_point: Optional[OperatingPoint] = None,
     newton: Optional[NewtonOptions] = None,
     backend: object = "auto",
+    preflight: str = "off",
 ) -> ACResult:
     """Solve the linearized circuit at each frequency.
 
@@ -90,8 +91,14 @@ def run_ac(
     :mod:`~repro.circuits.backend`): with the sparse backend each
     frequency point assembles complex COO triplets and solves through
     a CSR splu factorization instead of a dense complex matrix.
+    ``preflight`` runs the structural netlist lint first (``"warn"``
+    emits warnings, ``"raise"`` aborts on error findings).
     """
     size = circuit.prepare()
+    if preflight != "off":
+        from .preflight import apply_preflight
+
+        apply_preflight(circuit, preflight, analysis="ac")
     backend_obj = resolve_backend(backend, size)
     freqs = np.asarray(list(frequencies), dtype=float)
     if freqs.size == 0 or np.any(freqs <= 0):

@@ -154,6 +154,7 @@ class SparseLU:
         self._matrix = matrix
         self._lu = None
         self._dense: Optional[np.ndarray] = None
+        self._condest: Optional[float] = None
         self.n_factorizations = 1
         try:
             self._lu = _splu(matrix.tocsc())
@@ -168,9 +169,47 @@ class SparseLU:
 
     def solve(self, rhs: np.ndarray) -> np.ndarray:
         if self._lu is not None:
-            return self._lu.solve(np.ascontiguousarray(rhs))
+            solution = self._lu.solve(np.ascontiguousarray(rhs))
+            if np.isfinite(solution).all() or not np.isfinite(rhs).all():
+                return solution
+            # splu accepted the factorization but a (near-)zero pivot
+            # produced Inf/NaN at solve time: degrade to the dense
+            # minimum-norm path, permanently.
+            self._lu = None
+            self._condest = None
+            self._dense = self._matrix.toarray()
         solution, *_ = np.linalg.lstsq(self._dense, rhs, rcond=None)
         return solution
+
+    def solve_transposed(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``A.T @ x = rhs`` (condition-estimator support)."""
+        if self._lu is not None:
+            return self._lu.solve(np.ascontiguousarray(rhs), trans="T")
+        if self._dense is None:  # pragma: no cover - defensive
+            self._dense = self._matrix.toarray()
+        solution, *_ = np.linalg.lstsq(self._dense.T, rhs, rcond=None)
+        return solution
+
+    def condest(self) -> float:
+        """Estimated 1-norm condition number (Hager; cached).
+
+        ``inf`` for singular/degraded factorizations.  Costs a few
+        triangular solves against the existing LU and mutates nothing,
+        so arming it never changes results.
+        """
+        if self._condest is not None:
+            return self._condest
+        if self._lu is None:
+            self._condest = float("inf")
+            return self._condest
+        from .health import condest_from_solves
+
+        norm_a = float(np.max(np.abs(self._matrix).sum(axis=0)))
+        estimate = condest_from_solves(
+            norm_a, self.solve, self.solve_transposed, self._matrix.shape[0]
+        )
+        self._condest = float(estimate) if np.isfinite(estimate) else float("inf")
+        return self._condest
 
 
 class BlockDiagLU:
@@ -209,6 +248,8 @@ class BlockDiagLU:
             perm_c = self.column_ordering(blocks[0])
         self.perm_c = perm_c
         self.n_factorizations = len(blocks)
+        self._blocks = list(blocks)
+        self._condest: Optional[np.ndarray] = None
         self._lus = []
         self._dense = []
         for block in blocks:
@@ -259,11 +300,77 @@ class BlockDiagLU:
             if lu is None:
                 sol, *_ = np.linalg.lstsq(self._dense[s], seg, rcond=None)
                 out[s * n : (s + 1) * n] = sol
-            elif perm is None:
-                out[s * n : (s + 1) * n] = lu.solve(seg)
+                continue
+            if perm is None:
+                sol = lu.solve(seg)
             else:
                 # Factored A[:, perm], so A x = b  =>  x[perm] = y.
-                out[s * n : (s + 1) * n][perm] = lu.solve(seg)
+                sol = np.empty(seg.shape, dtype=float)
+                sol[perm] = lu.solve(seg)
+            if not np.isfinite(sol).all() and np.isfinite(seg).all():
+                # Zero pivot survived factorization of this block:
+                # degrade it (and only it) to minimum-norm, permanently.
+                self._lus[s] = None
+                self._dense[s] = self._blocks[s].toarray()
+                self._condest = None
+                sol, *_ = np.linalg.lstsq(self._dense[s], seg, rcond=None)
+            out[s * n : (s + 1) * n] = sol
+        return out
+
+    def solve_block_transposed(self, s: int, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``A_s.T @ x = rhs`` for one block (condest support)."""
+        lu = self._lus[s]
+        if lu is None:
+            dense = self._dense[s]
+            if dense is None:  # pragma: no cover - defensive
+                dense = self._blocks[s].toarray()
+            sol, *_ = np.linalg.lstsq(dense.T, rhs, rcond=None)
+            return sol
+        perm = self.perm_c
+        if perm is None:
+            return lu.solve(np.ascontiguousarray(rhs), trans="T")
+        # Factored M = A[:, perm] = A P, so A.T x = c  <=>  M.T x = c[perm].
+        return lu.solve(np.ascontiguousarray(rhs[perm]), trans="T")
+
+    def solve_block(self, s: int, rhs: np.ndarray) -> np.ndarray:
+        """Solve one block's system (condest support)."""
+        lu = self._lus[s]
+        if lu is None:
+            dense = self._dense[s]
+            if dense is None:  # pragma: no cover - defensive
+                dense = self._blocks[s].toarray()
+            sol, *_ = np.linalg.lstsq(dense, rhs, rcond=None)
+            return sol
+        perm = self.perm_c
+        if perm is None:
+            return lu.solve(np.ascontiguousarray(rhs))
+        sol = np.empty(rhs.shape, dtype=float)
+        sol[perm] = lu.solve(np.ascontiguousarray(rhs))
+        return sol
+
+    def condest_blocks(self) -> np.ndarray:
+        """Per-block estimated 1-norm condition numbers, ``(S,)``.
+
+        Hager estimate per block against the cached numeric LU;
+        ``inf`` for singular/degraded blocks.  Cached; read-only.
+        """
+        if self._condest is not None:
+            return self._condest
+        from .health import condest_from_solves
+
+        out = np.empty(len(self._lus))
+        for s, lu in enumerate(self._lus):
+            if lu is None:
+                out[s] = np.inf
+                continue
+            norm_a = float(np.max(np.abs(self._blocks[s]).sum(axis=0)))
+            out[s] = condest_from_solves(
+                norm_a,
+                lambda b, s=s: self.solve_block(s, b),
+                lambda b, s=s: self.solve_block_transposed(s, b),
+                self.n,
+            )
+        self._condest = out
         return out
 
 

@@ -58,9 +58,16 @@ from .component import MNASystem, Component, StampContext, StampPattern, Triplet
 from .controlled import NonlinearVCCS
 from .dcop import NewtonOptions, OperatingPoint, solve_dc
 from .elements import Capacitor, Inductor
+from .health import (
+    CONDITION_LIMIT,
+    HealthReport,
+    check_grid_invariants,
+    nonfinite_sample_rows,
+)
 from .integration import IntegrationMethod, resolve_method
 from .linsolve import damp_voltage_delta, solve_dense
 from .netlist import Circuit
+from .preflight import apply_preflight
 from .sources import CurrentSource, VoltageSource
 from .stepcontrol import StepController, collect_breakpoints
 from .transient import (
@@ -487,7 +494,17 @@ class _BatchedDtEntry:
     ``S * n^2``.
     """
 
-    __slots__ = ("dt", "G_base", "coeffs", "inv", "blocks", "lu", "rank1", "woodbury")
+    __slots__ = (
+        "dt",
+        "G_base",
+        "coeffs",
+        "inv",
+        "blocks",
+        "lu",
+        "rank1",
+        "woodbury",
+        "cond",
+    )
 
     def __init__(self, dt: float, coeffs: tuple):
         self.dt = dt
@@ -498,6 +515,7 @@ class _BatchedDtEntry:
         self.lu: Optional[BlockDiagLU] = None  # sparse: per-block splu
         self.rank1: Optional[tuple] = None  # lazy (w[S,n], vw[S], w_vmax[S])
         self.woodbury: Optional[tuple] = None  # lazy (WU[S,n,k], VWU[S,k,k])
+        self.cond: Optional[np.ndarray] = None  # lazy (S,) condition estimates
 
 
 class BatchedTransientAssembly:
@@ -823,6 +841,64 @@ class BatchedTransientAssembly:
             return entry.G_base[s]
         return entry.blocks[s].toarray()
 
+    def condest_samples(self) -> np.ndarray:
+        """Per-sample 1-norm condition estimates of the active entry.
+
+        Dense: exact ``||G||_1 * ||G^-1||_1`` from the cached batched
+        inverse (one vectorized reduction, no new factorizations).
+        Sparse: Hager estimation against the block-diagonal splu, one
+        block per sample.  Cached on the entry; read-only.
+        """
+        entry = self._active
+        if entry.cond is not None:
+            return entry.cond
+        if entry.inv is not None:
+            norm_g = np.abs(entry.G_base).sum(axis=-2).max(axis=-1)
+            norm_inv = np.abs(entry.inv).sum(axis=-2).max(axis=-1)
+            cond = norm_g * norm_inv
+        else:
+            cond = entry.lu.condest_blocks()
+        entry.cond = np.asarray(cond, dtype=float)
+        return entry.cond
+
+    def residual_norms(
+        self, x: np.ndarray, rhs_lin: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-sample residual data for post-step certification.
+
+        Returns ``(res, norm_g, scale)``: the inf-norm residual of the
+        full nonlinear system ``G_base x + U i_dev(x) - rhs_lin`` per
+        sample, the inf-norm of each sample's base matrix, and the
+        magnitude scale ``max(|G x|, |rhs|)`` the relative margin
+        applies to.  Pure recomputation at the committed iterate.
+        """
+        entry = self._active
+        if entry.G_base is not None:
+            gx = np.matmul(entry.G_base, x[..., None])[..., 0]
+            norm_g = np.abs(entry.G_base).sum(axis=-1).max(axis=-1)
+        else:
+            gx = np.stack(
+                [entry.blocks[s].dot(x[s]) for s in range(self.n_samples)]
+            )
+            norm_g = np.array(
+                [np.abs(b).sum(axis=1).max() for b in entry.blocks]
+            )
+        r = gx - rhs_lin
+        if self.k:
+            rows = np.arange(self.n_samples)
+            v_ctrl = self.ctrl_project(x)
+            i_now = np.empty((self.n_samples, self.k))
+            for j, column in enumerate(self.devices):
+                gm, ieq = column.linearize(v_ctrl[:, j], rows)
+                i_now[:, j] = ieq + gm * v_ctrl[:, j]
+            r = r + i_now @ self.U.T
+        res = np.abs(r).max(axis=1) if r.size else np.zeros(self.n_samples)
+        scale = np.maximum(
+            np.abs(gx).max(axis=1) if gx.size else 0.0,
+            np.abs(rhs_lin).max(axis=1) if rhs_lin.size else 0.0,
+        )
+        return res, norm_g, np.maximum(scale, 1e-30)
+
     # -- rank-k structure ------------------------------------------------------
 
     def ctrl_project(self, vec: np.ndarray) -> np.ndarray:
@@ -985,6 +1061,9 @@ class _BatchedStepSolver:
         assembly: BatchedTransientAssembly,
         options: NewtonOptions,
         quarantine: bool = False,
+        guards: bool = False,
+        condition_limit: float = CONDITION_LIMIT,
+        health: Optional[list] = None,
     ):
         self.assembly = assembly
         self.options = options
@@ -998,6 +1077,10 @@ class _BatchedStepSolver:
         #: One record per quarantined sample: sample index, the time
         #: the sample died, and why.
         self.quarantine_records: List[Dict[str, object]] = []
+        self.guards = bool(guards)
+        self.condition_limit = condition_limit
+        self.health = health if health is not None else []
+        self._cond_checked: set = set()
         if assembly.k == 0:
             self.strategy = "batched-linear"
         elif assembly.k == 1:
@@ -1044,6 +1127,60 @@ class _BatchedStepSolver:
             phase="step",
             failed_samples=rows.tolist(),
         )
+
+    def _fail_health(self, time: float, rows: np.ndarray, why: str) -> ConvergenceError:
+        """A health-guard failure for specific samples.
+
+        ``phase="health"`` routes it through the same quarantine loops
+        as a Newton failure, but with the ``"health"`` reason and —
+        in the adaptive loop — without pointless dt shrinking (the
+        same NaN reappears at any step size).
+        """
+        rows = [int(s) for s in rows]
+        return ConvergenceError(
+            f"{why} at t={time:.4e} for sample(s) {rows}",
+            time=time,
+            dt=self.assembly.dt,
+            phase="health",
+            failed_samples=rows,
+        )
+
+    def _guard_conditioning(self, time: float) -> None:
+        """One-time per-dt-entry condition screen of the batch.
+
+        Ill-conditioned samples get a warning
+        :class:`~repro.circuits.health.HealthReport`; when quarantine
+        is enabled they are additionally masked out of the batch via a
+        health-phase failure (their waveforms would be numerically
+        meaningless).
+        """
+        entry = self.assembly._active
+        key = id(entry)
+        if key in self._cond_checked:
+            return
+        self._cond_checked.add(key)
+        cond = self.assembly.condest_samples()
+        bad = (~np.isfinite(cond) | (cond > self.condition_limit)) & (
+            ~self.quarantined
+        )
+        rows = np.flatnonzero(bad)
+        if rows.size == 0:
+            return
+        for s in rows:
+            self.health.append(
+                HealthReport(
+                    "ill_conditioned",
+                    f"sample {int(s)} condition estimate {cond[s]:.3e} "
+                    f"exceeds limit {self.condition_limit:.1e} at "
+                    f"t={time:.4e}",
+                    severity="warning",
+                    time=time,
+                    sample=int(s),
+                    value=float(cond[s]),
+                )
+            )
+        if self.quarantine_enabled:
+            raise self._fail_health(time, rows, "ill-conditioned factorization")
 
     def quarantine(self, rows, time: float, reason: str) -> None:
         """Mask samples out of the batch; record what died and why."""
@@ -1102,14 +1239,39 @@ class _BatchedStepSolver:
         inject = self._injected(time)
         if inject is not None:
             raise self._fail(time, inject)
+        if self.guards:
+            self._guard_conditioning(time)
+            # Screen the stimulus before burning Newton iterations on
+            # samples whose RHS is already poisoned.
+            rows = nonfinite_sample_rows(rhs_lin, eligible=~self.quarantined)
+            if rows.size:
+                self._record_nonfinite(rows, time, "non-finite step RHS")
+                raise self._fail_health(time, rows, "non-finite step RHS")
         if self.strategy == "batched-linear":
             x_new = self.assembly.solve(rhs_lin)
             if self.quarantined.any():
                 x_new[self.quarantined] = x[self.quarantined]
-            return x_new
-        if self.strategy == "batched-rank1":
-            return self._step_rank1(x, rhs_lin, time)
-        return self._step_woodbury(x, rhs_lin, time)
+        elif self.strategy == "batched-rank1":
+            x_new = self._step_rank1(x, rhs_lin, time)
+        else:
+            x_new = self._step_woodbury(x, rhs_lin, time)
+        if self.guards:
+            rows = nonfinite_sample_rows(x_new, eligible=~self.quarantined)
+            if rows.size:
+                self._record_nonfinite(rows, time, "non-finite step solution")
+                raise self._fail_health(time, rows, "non-finite step solution")
+        return x_new
+
+    def _record_nonfinite(self, rows: np.ndarray, time: float, why: str) -> None:
+        for s in rows:
+            self.health.append(
+                HealthReport(
+                    "nonfinite",
+                    f"{why} for sample {int(s)} at t={time:.4e}",
+                    time=time,
+                    sample=int(s),
+                )
+            )
 
     def _step_rank1(
         self, x: np.ndarray, rhs_lin: np.ndarray, time: float
@@ -1286,6 +1448,66 @@ class _BatchedStepSolver:
         return x
 
 
+class _BatchedCertifier:
+    """Post-step certification, S samples wide.
+
+    The lockstep counterpart of the per-sample engine's certifier:
+    every accepted step's full nonlinear residual is recomputed at the
+    committed iterate (base matrix product plus device currents) and
+    checked per sample against the same Newton-tolerance-derived
+    threshold.  Quarantined samples are exempt — their rows are
+    frozen, not solved.  Pure recomputation; never mutates the run.
+    """
+
+    def __init__(
+        self,
+        assembly: BatchedTransientAssembly,
+        options: TransientOptions,
+        health: list,
+    ):
+        self.assembly = assembly
+        self.newton = options.newton
+        self.rtol = options.certify_rtol
+        self.health = health
+        self.checked = 0
+
+    def check_step(
+        self,
+        x: np.ndarray,
+        rhs_lin: np.ndarray,
+        time: float,
+        eligible: Optional[np.ndarray] = None,
+    ) -> None:
+        self.checked += 1
+        asm = self.assembly
+        res, norm_g, scale = asm.residual_norms(x, rhs_lin)
+        n = asm.n_nodes
+        if n:
+            v_max = np.abs(x[:, :n]).max(axis=1)
+        else:
+            v_max = np.zeros(len(x))
+        tol_v = self.newton.abstol_v + self.newton.reltol * v_max
+        threshold = 10.0 * norm_g * tol_v + self.rtol * scale
+        bad = ~np.isfinite(res) | (res > threshold)
+        if eligible is not None:
+            bad &= eligible
+        for s in np.flatnonzero(bad):
+            self.health.append(
+                HealthReport(
+                    "residual",
+                    f"sample {int(s)} accepted-step residual "
+                    f"{res[s]:.3e} exceeds the certification threshold "
+                    f"{threshold[s]:.3e} at t={time:.4e}",
+                    time=time,
+                    sample=int(s),
+                    value=float(res[s]),
+                )
+            )
+
+    def check_grid(self, times: np.ndarray, options: TransientOptions) -> None:
+        check_grid_invariants(times, options.t_stop, self.health)
+
+
 class _BatchedRecording:
     """Growable stacked ``(t, x[S])`` recording buffer."""
 
@@ -1352,6 +1574,14 @@ def run_transient_batched(
         raise BatchIncompatible(
             f"jacobian={options.jacobian!r} has no lockstep equivalent"
         )
+    # Lockstep batches share one topology; linting the first sample
+    # covers the structural findings for all of them.  Empty batches
+    # fall through to the assembly's own BatchIncompatible.
+    preflight_diags = (
+        apply_preflight(circuits[0], options.preflight, options, analysis="tran")
+        if circuits
+        else []
+    )
     assembly = BatchedTransientAssembly(
         circuits,
         options.dt,
@@ -1372,8 +1602,19 @@ def run_transient_batched(
         x = np.zeros((S, size))
     assembly.init_state(x)
 
+    health: List[HealthReport] = []
     solver = _BatchedStepSolver(
-        assembly, options.newton, quarantine=options.quarantine
+        assembly,
+        options.newton,
+        quarantine=options.quarantine,
+        guards=options.guards,
+        condition_limit=options.condition_limit,
+        health=health,
+    )
+    certifier = (
+        _BatchedCertifier(assembly, options, health)
+        if options.certify
+        else None
     )
 
     record_indices, recorded_nodes, n_columns = _resolve_recording(
@@ -1387,10 +1628,12 @@ def run_transient_batched(
 
     try:
         if options.step_control == "fixed":
-            run_stats = _run_fixed_lockstep(options, assembly, solver, x, recorder)
+            run_stats = _run_fixed_lockstep(
+                options, assembly, solver, x, recorder, certifier
+            )
         else:
             run_stats = _run_adaptive_lockstep(
-                circuits, options, assembly, solver, x, recorder
+                circuits, options, assembly, solver, x, recorder, certifier
             )
     except _RunAbort as abort:
         if options.on_abort == "raise":
@@ -1416,6 +1659,8 @@ def run_transient_batched(
         }
 
     times, records = recorder.arrays()
+    if certifier is not None:
+        certifier.check_grid(times, options)
     results: List[TransientResult] = []
     for s, circuit in enumerate(circuits):
         stats: Dict[str, object] = {
@@ -1431,6 +1676,14 @@ def run_transient_batched(
             stats["quarantined"] = bool(solver.quarantined[s])
             if s in quarantine_by_sample:
                 stats["quarantine"] = quarantine_by_sample[s]
+        if options.guards or options.certify:
+            stats["health"] = [
+                r for r in health if r.sample in (None, s)
+            ]
+            if certifier is not None:
+                stats["certified_steps"] = certifier.checked
+        if options.preflight != "off":
+            stats["preflight"] = preflight_diags
         results.append(
             TransientResult(
                 circuit=circuit,
@@ -1521,6 +1774,7 @@ def _run_fixed_lockstep(
     solver: _BatchedStepSolver,
     x: np.ndarray,
     recorder: _BatchedRecording,
+    certifier: Optional[_BatchedCertifier] = None,
 ) -> Dict[str, object]:
     """The classic uniform grid, S samples wide.
 
@@ -1568,15 +1822,26 @@ def _run_fixed_lockstep(
                 break
             except ConvergenceError as exc:
                 failed = getattr(exc, "failed_samples", None)
+                health_failure = getattr(exc, "phase", None) == "health"
                 if not solver.quarantine_enabled or not failed:
+                    if health_failure:
+                        raise _RunAbort(
+                            "health", error=exc, stats=partial_stats(step)
+                        )
                     raise
-                solver.quarantine(failed, time, "newton")
+                solver.quarantine(
+                    failed, time, "health" if health_failure else "newton"
+                )
                 if solver.quarantined.all():
                     raise _RunAbort(
                         "all_quarantined", error=exc, stats=partial_stats(step)
                     )
                 # Retry the same step with the survivors only.
         freeze = solver.quarantined if solver.quarantined.any() else None
+        if certifier is not None:
+            certifier.check_step(
+                x, rhs_lin, time, eligible=None if freeze is None else ~freeze
+            )
         assembly.commit(x, time, freeze=freeze)
         if step % stride == 0:
             recorder.append(time, x)
@@ -1593,6 +1858,7 @@ def _run_adaptive_lockstep(
     solver: _BatchedStepSolver,
     x: np.ndarray,
     recorder: _BatchedRecording,
+    certifier: Optional[_BatchedCertifier] = None,
 ) -> Dict[str, object]:
     """Worst-sample LTE control on one shared adaptive grid.
 
@@ -1670,7 +1936,10 @@ def _run_adaptive_lockstep(
             x_half = solver.step(x_mid, rhs_lin, t_target)
         except ConvergenceError as exc:
             assembly.restore_state(snapshot)
-            if not controller.at_dt_floor:
+            health_failure = getattr(exc, "phase", None) == "health"
+            # A non-finite sample fails identically at any step size:
+            # skip the dt shrinking and quarantine it directly.
+            if not controller.at_dt_floor and not health_failure:
                 controller.reject_nonconvergence()
                 continue
             # Newton is dead at the dt floor.  Quarantine the failed
@@ -1678,8 +1947,12 @@ def _run_adaptive_lockstep(
             # propagate — the seed behaviour.
             failed = getattr(exc, "failed_samples", None)
             if not solver.quarantine_enabled or not failed:
+                if health_failure:
+                    raise abort("health", error=exc)
                 raise
-            solver.quarantine(failed, t, "newton_dt_min")
+            solver.quarantine(
+                failed, t, "health" if health_failure else "newton_dt_min"
+            )
             controller.reset_floor_rejections()
             if solver.quarantined.all():
                 raise abort("all_quarantined", error=exc)
@@ -1687,6 +1960,8 @@ def _run_adaptive_lockstep(
         mask = None if freeze is None else ~solver.quarantined
         ratio = controller.error_ratio_many(x_full, x_half, n_nodes, mask=mask)
         if ratio <= 1.0:
+            if certifier is not None:
+                certifier.check_step(x_half, rhs_lin, t_target, eligible=mask)
             assembly.commit(x_half, t_target, freeze=freeze)
             x = x_half
             controller.accept(t_target, dt, ratio)

@@ -202,6 +202,7 @@ def solve_dc(
     options: Optional[NewtonOptions] = None,
     x0: Optional[np.ndarray] = None,
     backend: object = "auto",
+    preflight: str = "off",
 ) -> OperatingPoint:
     """Compute the DC operating point.
 
@@ -210,9 +211,17 @@ def solve_dc(
     fail.  ``backend`` selects the linear-algebra path (see
     :mod:`~repro.circuits.backend`): "auto" keeps small netlists on
     the historical dense solve and switches large ones to CSR + splu.
+    ``preflight`` runs the structural netlist lint
+    (:func:`~repro.circuits.preflight.check_netlist`) first:
+    ``"warn"`` emits warnings, ``"raise"`` aborts on error-severity
+    findings, ``"off"`` (default) skips it.
     """
     options = options or NewtonOptions()
     size = circuit.prepare()
+    if preflight != "off":
+        from .preflight import apply_preflight
+
+        apply_preflight(circuit, preflight, analysis="dc")
     backend = resolve_backend(backend, size)
     x = x0.copy() if x0 is not None else np.zeros(circuit.size)
 

@@ -96,6 +96,7 @@ class ReusableLU:
         self._lu = None
         self._g: Optional[np.ndarray] = None
         self._singular = False
+        self._condest: Optional[float] = None
         self.n_factorizations = 0
         if G is not None:
             self.factor(G)
@@ -106,6 +107,7 @@ class ReusableLU:
         self._inv = None
         self._lu = None
         self._singular = False
+        self._condest = None
         self.n_factorizations += 1
         try:
             if G.shape[0] < _SMALL_SYSTEM or not _HAVE_SCIPY:
@@ -119,6 +121,10 @@ class ReusableLU:
     def is_factored(self) -> bool:
         return self._g is not None
 
+    @property
+    def is_singular(self) -> bool:
+        return self._singular
+
     def solve(self, rhs: np.ndarray) -> np.ndarray:
         """Solve against the captured matrix for one right-hand side."""
         if self._g is None:
@@ -127,5 +133,66 @@ class ReusableLU:
             solution, *_ = np.linalg.lstsq(self._g, rhs, rcond=None)
             return solution
         if self._inv is not None:
-            return self._inv.dot(rhs)
-        return _lu_solve(self._lu, rhs, check_finite=False)
+            solution = self._inv.dot(rhs)
+        else:
+            solution = _lu_solve(self._lu, rhs, check_finite=False)
+        if not np.isfinite(solution).all() and np.isfinite(rhs).all():
+            # A zero/denormal pivot slipped through factorization
+            # (partial-pivoting LU of an exactly singular matrix does
+            # not raise; it just produces Inf/NaN at solve time).
+            # Degrade to the minimum-norm answer, permanently, like
+            # the factor-time singular path.
+            self._singular = True
+            self._condest = None
+            try:
+                solution, *_ = np.linalg.lstsq(self._g, rhs, rcond=None)
+            except np.linalg.LinAlgError:  # pragma: no cover - defensive
+                self._singular = False
+        return solution
+
+    def solve_transposed(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``G.T @ x = rhs`` against the same factorization.
+
+        Used only by the 1-norm condition estimator; singular systems
+        fall back to least squares on the transpose.
+        """
+        if self._g is None:
+            raise ValueError("ReusableLU.solve_transposed() before factor()")
+        if self._singular:
+            solution, *_ = np.linalg.lstsq(self._g.T, rhs, rcond=None)
+            return solution
+        if self._inv is not None:
+            return self._inv.T.dot(rhs)
+        return _lu_solve(self._lu, rhs, trans=1, check_finite=False)
+
+    def condest(self) -> float:
+        """Estimated 1-norm condition number of the captured matrix.
+
+        Exact when the explicit inverse is cached (small systems);
+        otherwise a Hager-style estimate costing a few triangular
+        solves.  ``inf`` for singular (degraded) factorizations.
+        Cached per factorization; read-only with respect to solver
+        state, so arming it never changes results.
+        """
+        if self._condest is not None:
+            return self._condest
+        if self._g is None:
+            raise ValueError("ReusableLU.condest() before factor()")
+        if self._singular:
+            self._condest = float("inf")
+            return self._condest
+        norm_g = float(np.abs(self._g).sum(axis=0).max()) if self._g.size else 0.0
+        if not np.isfinite(norm_g):
+            self._condest = float("inf")
+            return self._condest
+        if self._inv is not None:
+            norm_inv = float(np.abs(self._inv).sum(axis=0).max())
+            estimate = norm_g * norm_inv
+        else:
+            from .health import condest_from_solves
+
+            estimate = condest_from_solves(
+                norm_g, self.solve, self.solve_transposed, self._g.shape[0]
+            )
+        self._condest = float(estimate) if np.isfinite(estimate) else float("inf")
+        return self._condest

@@ -1,0 +1,384 @@
+"""Preflight netlist lint: structural diagnostics before any solve.
+
+``check_netlist()`` inspects a prepared :class:`~repro.circuits.
+netlist.Circuit` — and optionally the transient options about to run
+against it — and returns structured :class:`Diagnostic` records for
+the classic silent-failure topologies:
+
+* **Dangling nodes** — a node wired to fewer than two component
+  terminals has no defined current balance.
+* **Floating islands** — connected groups of nodes with no DC
+  conduction path to ground; solvable only through ``gmin``, so every
+  voltage in the island is an artifact of the regularization.
+* **Zero rows / columns** — unknowns whose matrix row or column is
+  structurally empty (or stamped entirely with zeros) in a ``gmin=0``
+  probe assembly: the MNA system is singular before numerics even
+  start.
+* **Voltage-source / inductor loops** — cycles of voltage-defined
+  branches overdetermine KVL (V loops) or leave the DC loop current
+  indeterminate (L loops).
+* **Parameter spread** — stamped conductance magnitudes spanning more
+  than ~12 decades forecast an ill-conditioned system regardless of
+  topology.
+* **Breakpoint sanity** — user breakpoints that are non-finite or
+  outside ``(0, t_stop)`` are silently dropped by the step controller;
+  preflight names them.
+
+The probe assembly stamps into a throwaway
+:class:`~repro.circuits.component.TripletSystem` and never touches
+engine caches, so linting is side-effect free.  Engines wire it behind
+``preflight="warn" | "raise" | "off"``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, PreflightError
+from .component import StampContext, TripletSystem
+from .controlled import VCCS, VCVS, NonlinearVCCS
+from .elements import Capacitor, Inductor
+from .sources import CurrentSource, VoltageSource
+from .stepcontrol import collect_breakpoints
+
+__all__ = [
+    "Diagnostic",
+    "PreflightWarning",
+    "check_netlist",
+    "apply_preflight",
+    "PREFLIGHT_MODES",
+]
+
+PREFLIGHT_MODES = ("off", "warn", "raise")
+
+#: Stamped-magnitude ratio above which the conditioning heuristic fires.
+SPREAD_LIMIT = 1e12
+
+
+class PreflightWarning(UserWarning):
+    """Emitted (under ``preflight="warn"``) for each lint finding."""
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured preflight finding.
+
+    ``severity`` is ``"error"`` for topologies that make the system
+    singular or overdetermined (these abort under ``preflight="raise"``)
+    and ``"warning"`` for degradations the solver survives through
+    regularization (gmin-held islands, extreme spreads, dropped
+    breakpoints).
+    """
+
+    severity: str
+    code: str
+    nodes: Tuple[str, ...]
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"[{self.severity}] {self.code}: {self.message}"
+
+
+class _UnionFind:
+    """Tiny DSU over node indices (ground = -1 is a regular member)."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[int, int] = {}
+
+    def find(self, a: int) -> int:
+        parent = self._parent
+        root = parent.setdefault(a, a)
+        while parent[root] != root:
+            root = parent[root]
+        while parent[a] != root:
+            parent[a], a = root, parent[a]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge; returns False when a and b were already connected."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self._parent[rb] = ra
+        return True
+
+
+def _conduction_pairs(component, transient: bool) -> List[Tuple[int, int]]:
+    """Terminal pairs through which DC (or companion) current can flow."""
+    n = component._n
+    if isinstance(component, (CurrentSource, VCCS, NonlinearVCCS)):
+        return []
+    if isinstance(component, Capacitor):
+        # Open at DC; a finite companion conductance in transient/AC.
+        return [(n[0], n[1])] if transient else []
+    if isinstance(component, VCVS):
+        return [(n[0], n[1])]
+    if len(n) >= 2 and isinstance(
+        component, (VoltageSource, Inductor)
+    ):
+        return [(n[0], n[1])]
+    # Unknown/behavioural component types: assume every terminal pair
+    # conducts.  Errs toward fewer false "floating" findings.
+    return [(a, b) for i, a in enumerate(n) for b in n[i + 1 :]]
+
+
+def _unknown_label(index: int, circuit, branch_owner: Dict[int, str]) -> str:
+    names = circuit.node_names
+    if index < len(names):
+        return names[index]
+    owner = branch_owner.get(index)
+    return f"branch[{index}]" + (f" ({owner})" if owner else "")
+
+
+def check_netlist(circuit, options=None, analysis: str = "tran") -> List[Diagnostic]:
+    """Lint a circuit; returns structured diagnostics (possibly empty).
+
+    ``options`` may be a :class:`~repro.circuits.transient.
+    TransientOptions` (enables breakpoint checks and sets the probe
+    step size); ``analysis`` is ``"tran"``, ``"ac"`` or ``"dc"`` and
+    decides whether reactive elements count as conducting.
+    """
+    circuit.prepare()
+    diags: List[Diagnostic] = []
+    n_nodes = circuit.n_nodes
+    size = circuit.size
+    names = circuit.node_names
+    transient = analysis in ("tran", "ac")
+
+    branch_owner: Dict[int, str] = {}
+    for component in circuit:
+        for b in component._b:
+            branch_owner[b] = component.name
+
+    # -- connection counting / dangling nodes ------------------------------
+    touch = np.zeros(n_nodes, dtype=int)
+    for component in circuit:
+        for idx in component._n:
+            if idx >= 0:
+                touch[idx] += 1
+    for idx in np.flatnonzero(touch < 2):
+        diags.append(
+            Diagnostic(
+                "warning",
+                "dangling_node",
+                (names[idx],),
+                f"node {names[idx]!r} is wired to "
+                f"{int(touch[idx])} terminal(s); its KCL row is "
+                "under-determined",
+            )
+        )
+
+    # -- DC-path-to-ground islands -----------------------------------------
+    dsu = _UnionFind()
+    dsu.find(-1)
+    for idx in range(n_nodes):
+        dsu.find(idx)
+    for component in circuit:
+        for a, b in _conduction_pairs(component, transient=transient):
+            dsu.union(a, b)
+    ground_root = dsu.find(-1)
+    islands: Dict[int, List[str]] = {}
+    for idx in range(n_nodes):
+        root = dsu.find(idx)
+        if root != ground_root:
+            islands.setdefault(root, []).append(names[idx])
+    for members in islands.values():
+        diags.append(
+            Diagnostic(
+                "warning",
+                "floating_island",
+                tuple(members),
+                "node(s) " + ", ".join(repr(m) for m in members)
+                + " have no conduction path to ground"
+                + ("" if transient else " at DC")
+                + "; their voltages are held only by gmin",
+            )
+        )
+
+    # -- voltage-defined loops ---------------------------------------------
+    loop_dsu = _UnionFind()
+    for component in circuit:
+        if isinstance(component, (VoltageSource, VCVS)):
+            a, b = component._n[0], component._n[1]
+            if not loop_dsu.union(a, b):
+                diags.append(
+                    Diagnostic(
+                        "error",
+                        "vsource_loop",
+                        tuple(
+                            _unknown_label(i, circuit, branch_owner)
+                            for i in (a, b)
+                            if i >= 0
+                        ),
+                        f"voltage source {component.name!r} closes a loop "
+                        "of voltage-defined branches; KVL is "
+                        "overdetermined and the MNA system singular",
+                    )
+                )
+    for component in circuit:
+        if isinstance(component, Inductor):
+            a, b = component._n[0], component._n[1]
+            if not loop_dsu.union(a, b):
+                diags.append(
+                    Diagnostic(
+                        "warning",
+                        "inductor_loop",
+                        tuple(
+                            _unknown_label(i, circuit, branch_owner)
+                            for i in (a, b)
+                            if i >= 0
+                        ),
+                        f"inductor {component.name!r} closes a loop of "
+                        "voltage-defined branches; the DC loop current "
+                        "is indeterminate",
+                    )
+                )
+
+    # -- gmin=0 probe assembly: zero rows/columns, parameter spread --------
+    try:
+        tri = TripletSystem(size)
+        x0 = np.zeros(size)
+        states = {}
+        dt = None
+        if transient:
+            dt = getattr(options, "dt", None) or 1e-9
+            for component in circuit:
+                state = component.init_state(x0)
+                if state is not None:
+                    states[component.name] = state
+        ctx = StampContext(
+            system=tri,
+            x=x0,
+            time=0.0,
+            dt=dt,
+            method="trap",
+            gmin=0.0,
+            states=states,
+        )
+        for component in circuit:
+            component.stamp(ctx)
+    except Exception as exc:  # pragma: no cover - defensive
+        diags.append(
+            Diagnostic(
+                "warning",
+                "probe_failed",
+                (),
+                f"probe assembly failed during lint: {exc}",
+            )
+        )
+    else:
+        rows = np.asarray(tri.rows, dtype=np.intp)
+        cols = np.asarray(tri.cols, dtype=np.intp)
+        vals = np.abs(np.asarray(tri.vals, dtype=float))
+        row_mag = np.zeros(size)
+        col_mag = np.zeros(size)
+        if rows.size:
+            np.maximum.at(row_mag, rows, vals)
+            np.maximum.at(col_mag, cols, vals)
+        for axis, mag in (("row", row_mag), ("col", col_mag)):
+            for idx in np.flatnonzero(mag == 0.0):
+                idx = int(idx)
+                label = _unknown_label(idx, circuit, branch_owner)
+                if idx < n_nodes:
+                    # gmin regularizes empty *node* rows/diagonals;
+                    # flag, but as a survivable degradation.
+                    severity, code = "warning", f"zero_{axis}"
+                else:
+                    # Branch equations get no gmin: structurally fatal.
+                    severity, code = "error", f"zero_{axis}"
+                diags.append(
+                    Diagnostic(
+                        severity,
+                        code,
+                        (label,),
+                        f"unknown {label!r} has an all-zero matrix "
+                        f"{axis} in a gmin=0 probe assembly; the "
+                        "system is singular without regularization",
+                    )
+                )
+        nonzero = vals[vals > 0.0]
+        if nonzero.size:
+            spread = float(nonzero.max() / nonzero.min())
+            if spread > SPREAD_LIMIT:
+                diags.append(
+                    Diagnostic(
+                        "warning",
+                        "parameter_spread",
+                        (),
+                        f"stamped magnitudes span a {spread:.2e} ratio "
+                        f"(> {SPREAD_LIMIT:.0e}); expect an "
+                        "ill-conditioned system and noisy waveforms",
+                    )
+                )
+
+    # -- breakpoint sanity --------------------------------------------------
+    if options is not None and transient:
+        t_stop = getattr(options, "t_stop", None)
+        extra = getattr(options, "breakpoints", None) or ()
+        if t_stop is not None:
+            for t in extra:
+                t = float(t)
+                if not np.isfinite(t) or t <= 0.0 or t >= t_stop:
+                    diags.append(
+                        Diagnostic(
+                            "warning",
+                            "breakpoint",
+                            (),
+                            f"breakpoint {t!r} is outside (0, "
+                            f"{t_stop}) and will be silently dropped "
+                            "by the step controller",
+                        )
+                    )
+            try:
+                collect_breakpoints(
+                    circuit,
+                    t_stop,
+                    extra=[t for t in extra if np.isfinite(t)],
+                    sources=getattr(options, "breakpoint_sources", None) or (),
+                )
+            except Exception as exc:  # pragma: no cover - defensive
+                diags.append(
+                    Diagnostic(
+                        "warning",
+                        "breakpoint",
+                        (),
+                        f"breakpoint collection failed: {exc}",
+                    )
+                )
+
+    return diags
+
+
+def apply_preflight(
+    circuit, mode: str, options=None, analysis: str = "tran"
+) -> List[Diagnostic]:
+    """Run the lint and act on ``mode``; returns the diagnostics.
+
+    ``"off"`` skips the lint entirely; ``"warn"`` emits one
+    :class:`PreflightWarning` per finding; ``"raise"`` additionally
+    raises :class:`~repro.errors.PreflightError` when any finding has
+    ``severity == "error"``.
+    """
+    if mode not in PREFLIGHT_MODES:
+        raise ConfigurationError(
+            f"preflight must be one of {PREFLIGHT_MODES}, got {mode!r}"
+        )
+    if mode == "off":
+        return []
+    diags = check_netlist(circuit, options=options, analysis=analysis)
+    for diag in diags:
+        warnings.warn(str(diag), PreflightWarning, stacklevel=3)
+    if mode == "raise":
+        errors = [d for d in diags if d.severity == "error"]
+        if errors:
+            raise PreflightError(
+                "preflight lint found "
+                f"{len(errors)} error(s): "
+                + "; ".join(d.message for d in errors),
+                diagnostics=diags,
+            )
+    return diags

@@ -92,6 +92,7 @@ from ..errors import ConvergenceError, NetlistError, SimulationError
 from .assembly import TransientAssembly
 from .backend import MatrixBackend, resolve_backend
 from .dcop import NewtonOptions, continuation_ladder, solve_dc
+from .health import CONDITION_LIMIT, HealthReport, check_grid_invariants
 from .integration import (
     KNOWN_METHODS,
     IntegrationMethod,
@@ -99,6 +100,7 @@ from .integration import (
 )
 from .linsolve import damp_voltage_delta, solve_dense
 from .netlist import GROUND_NAMES, Circuit
+from .preflight import PREFLIGHT_MODES, apply_preflight
 from .stepcontrol import StepController, collect_breakpoints
 
 __all__ = ["TransientOptions", "TransientResult", "run_transient"]
@@ -218,6 +220,35 @@ class TransientOptions:
     #: pathological sample killing the whole campaign.
     quarantine: bool = False
 
+    # -- numerical health ---------------------------------------------------
+    #: Preflight netlist lint before any stamping: "off" (default),
+    #: "warn" (one PreflightWarning per finding), or "raise" (abort
+    #: on error-severity findings with PreflightError).  Findings land
+    #: in ``stats["preflight"]`` either way.
+    preflight: str = "off"
+    #: Runtime NaN/Inf + conditioning guards.  A non-finite step
+    #: solution raises a ``phase="health"`` ConvergenceError — routed
+    #: through the rescue ladder / quarantine machinery like any other
+    #: Newton death — and each cached factorization gets a one-time
+    #: 1-norm condition estimate (violations become warning
+    #: HealthReports).  Guards only *read* solver state, so healthy
+    #: armed runs are bit-identical to unarmed runs.
+    guards: bool = False
+    #: Post-step certification: recompute each accepted step's
+    #: residual ||F(x)||, spot-check reactive charge/flux consistency
+    #: after commit, and enforce time-grid invariants at the end of
+    #: the run.  Violations become HealthReport entries in
+    #: ``stats["health"]``.  Pure recomputation — never mutates the
+    #: accepted solution — so armed healthy runs stay bit-identical.
+    certify: bool = False
+    #: Condition-estimate threshold for the ``guards`` conditioning
+    #: check (and per-sample quarantine in the batched engine).
+    condition_limit: float = CONDITION_LIMIT
+    #: Relative residual tolerance of the ``certify`` check (on top of
+    #: the Newton-tolerance floor the accepted iterate legitimately
+    #: carries).
+    certify_rtol: float = 1e-6
+
     def __post_init__(self) -> None:
         if self.t_stop <= 0 or self.dt <= 0:
             raise SimulationError("t_stop and dt must be positive")
@@ -283,6 +314,15 @@ class TransientOptions:
             raise SimulationError("max_steps must be >= 1 (or None)")
         if self.max_wall_time is not None and self.max_wall_time <= 0:
             raise SimulationError("max_wall_time must be positive (or None)")
+        if self.preflight not in PREFLIGHT_MODES:
+            raise SimulationError(
+                f"preflight must be one of {PREFLIGHT_MODES}, "
+                f"got {self.preflight!r}"
+            )
+        if self.condition_limit <= 0:
+            raise SimulationError("condition_limit must be positive")
+        if self.certify_rtol <= 0:
+            raise SimulationError("certify_rtol must be positive")
 
     def resolved_dt_min(self) -> float:
         return self.dt_min if self.dt_min is not None else self.dt / 256.0
@@ -599,6 +639,122 @@ class _StepRescue:
         return x
 
 
+class _Certifier:
+    """Post-step certification: recompute what the solver claimed.
+
+    ``check_step`` re-assembles the accepted step's *dense* system at
+    the converged iterate and certifies ``||G x - rhs||_inf`` against
+    a threshold that allows what an accepted Newton iterate
+    legitimately carries (``~||G||_inf`` times the voltage tolerance)
+    plus a relative ``certify_rtol`` margin; ``check_state`` verifies
+    the committed reactive charge/flux state is finite and consistent
+    with the committed node voltages / branch currents.  Violations
+    become :class:`~repro.circuits.health.HealthReport` entries —
+    certification only ever *reads*, so the accepted waveform is
+    bit-identical with or without it.
+    """
+
+    def __init__(
+        self,
+        assembly: TransientAssembly,
+        options: TransientOptions,
+        health: list,
+    ):
+        self.assembly = assembly
+        self.newton = options.newton
+        self.rtol = options.certify_rtol
+        self.health = health
+        self.checked = 0
+        size = assembly.circuit.size
+        self._size = size
+        self._xp = np.zeros(size + 1)
+
+    def check_step(
+        self,
+        x: np.ndarray,
+        rhs_lin: np.ndarray,
+        time: float,
+        states: Dict[str, object],
+    ) -> None:
+        """Certify the residual of the (pre-commit) accepted step."""
+        self.checked += 1
+        assembly = self.assembly
+        G, rhs = assembly.assemble_dense(x, rhs_lin, time, states)
+        gx = G.dot(x)
+        residual = float(np.abs(gx - rhs).max()) if gx.size else 0.0
+        n = assembly.n_nodes
+        x_v = x[:n]
+        tol_v = self.newton.abstol_v + self.newton.reltol * (
+            float(np.abs(x_v).max()) if x_v.size else 0.0
+        )
+        norm_g = float(np.abs(G).sum(axis=1).max()) if G.size else 0.0
+        scale = max(float(np.abs(gx).max()), float(np.abs(rhs).max()), 1e-30)
+        threshold = 10.0 * norm_g * tol_v + self.rtol * scale
+        if not np.isfinite(residual) or residual > threshold:
+            self.health.append(
+                HealthReport(
+                    "residual",
+                    f"accepted-step residual {residual:.3e} exceeds the "
+                    f"certification threshold {threshold:.3e} at "
+                    f"t={time:.4e}",
+                    time=time,
+                    value=residual,
+                )
+            )
+
+    def check_state(self, x: np.ndarray, time: float) -> None:
+        """Charge/flux spot-check of the committed reactive state."""
+        reactive = self.assembly.reactive
+        if not reactive.n:
+            return
+        v, i = reactive.v, reactive.i
+        if not (np.isfinite(v).all() and np.isfinite(i).all()):
+            self.health.append(
+                HealthReport(
+                    "state",
+                    f"non-finite reactive integrator state at t={time:.4e}",
+                    time=time,
+                )
+            )
+            return
+        xp = self._xp
+        xp[: self._size] = x
+        v_expected = xp[reactive.a_idx] - xp[reactive.b_idx]
+        tol = 1e-12 * (1.0 + float(np.abs(v_expected).max(initial=0.0)))
+        if float(np.abs(v - v_expected).max(initial=0.0)) > tol:
+            self.health.append(
+                HealthReport(
+                    "state",
+                    "reactive charge state disagrees with committed node "
+                    f"voltages at t={time:.4e}",
+                    time=time,
+                )
+            )
+            return
+        if reactive.br_idx.size:
+            i_br = x[reactive.br_idx]
+            itol = 1e-12 * (1.0 + float(np.abs(i_br).max(initial=0.0)))
+            drift = float(
+                np.abs(i[reactive.n_caps :] - i_br).max(initial=0.0)
+            )
+            if drift > itol:
+                self.health.append(
+                    HealthReport(
+                        "state",
+                        "inductor flux state disagrees with committed "
+                        f"branch currents at t={time:.4e}",
+                        time=time,
+                        value=drift,
+                    )
+                )
+
+    def check_grid(
+        self, times: np.ndarray, options: TransientOptions
+    ) -> None:
+        """Time-grid invariants of the finished recording."""
+        check_grid_invariants(times, options.t_stop, self.health)
+
+
 class _StepSolver:
     """Per-run solver state shared across steps (caches, statistics).
 
@@ -615,12 +771,19 @@ class _StepSolver:
         options: NewtonOptions,
         jacobian: str,
         chord_refactor_ratio: float,
+        guards: bool = False,
+        condition_limit: float = CONDITION_LIMIT,
+        health: Optional[list] = None,
     ):
         self.assembly = assembly
         self.options = options
         self.n_nodes = assembly.n_nodes
         self.newton_iterations = 0
         self.chord_refactor_ratio = chord_refactor_ratio
+        self.guards = guards
+        self.condition_limit = condition_limit
+        self.health = health if health is not None else []
+        self._cond_checked: set = set()
 
         devices = assembly.rankk_devices()
         if assembly.is_linear:
@@ -689,18 +852,63 @@ class _StepSolver:
         hook = self.options.fail_hook
         if hook is not None and hook(time, "step", self.assembly.circuit):
             raise self._fail(time, float("inf"))
+        if self.guards:
+            self._guard_conditioning(time)
         if self.strategy == "linear":
-            return self.assembly.lu().solve(rhs_lin)
-        if self.strategy == "linear-restamp":
+            x_new = self.assembly.lu().solve(rhs_lin)
+        elif self.strategy == "linear-restamp":
             self.newton_iterations += 1
-            return self._full_solve(x, rhs_lin, time, states)
-        if self.strategy == "rank1":
-            return self._step_rank1(x, rhs_lin, time, states)
-        if self.strategy == "woodbury":
-            return self._step_woodbury(x, rhs_lin, time, states)
-        if self.strategy == "chord":
-            return self._step_chord(x, rhs_lin, time, states)
-        return self._step_general(x, rhs_lin, time, states)
+            x_new = self._full_solve(x, rhs_lin, time, states)
+        elif self.strategy == "rank1":
+            x_new = self._step_rank1(x, rhs_lin, time, states)
+        elif self.strategy == "woodbury":
+            x_new = self._step_woodbury(x, rhs_lin, time, states)
+        elif self.strategy == "chord":
+            x_new = self._step_chord(x, rhs_lin, time, states)
+        else:
+            x_new = self._step_general(x, rhs_lin, time, states)
+        if self.guards and not np.isfinite(x_new).all():
+            raise ConvergenceError(
+                f"non-finite step solution at t={time:.4e}",
+                time=time,
+                dt=self.assembly.dt,
+                phase="health",
+            )
+        return x_new
+
+    def _guard_conditioning(self, time: float) -> None:
+        """One-time condition estimate of each cached factorization.
+
+        Only the strategies that already materialize the cached LU are
+        checked — estimating conditioning must never *cause* a
+        factorization the unarmed run would not perform.  Findings are
+        warnings: the dense/sparse factorizations degrade gracefully
+        (least-squares fallbacks), so an ill-conditioned scalar run is
+        flagged, not killed.
+        """
+        if self.strategy not in ("linear", "rank1", "woodbury"):
+            return
+        lu = self.assembly.lu()
+        key = id(lu)
+        if key in self._cond_checked:
+            return
+        self._cond_checked.add(key)
+        condest = getattr(lu, "condest", None)
+        if condest is None:  # pragma: no cover - foreign backend object
+            return
+        value = condest()
+        if not np.isfinite(value) or value > self.condition_limit:
+            self.health.append(
+                HealthReport(
+                    "ill_conditioned",
+                    f"cached factorization condition estimate {value:.3e} "
+                    f"exceeds limit {self.condition_limit:.1e} "
+                    f"(first used at t={time:.4e})",
+                    severity="warning",
+                    time=time,
+                    value=float(value),
+                )
+            )
 
     def _fail(self, time: float, residual: float) -> ConvergenceError:
         return ConvergenceError(
@@ -942,6 +1150,7 @@ def _run_fixed(
     states: Dict[str, object],
     x: np.ndarray,
     recorder: _RecordingBuffer,
+    certifier: Optional[_Certifier] = None,
 ) -> Dict[str, object]:
     """The classic uniform grid: t_k = k*dt, every step accepted.
 
@@ -984,7 +1193,12 @@ def _run_fixed(
         try:
             x = solver.step(x, rhs_lin, time, states)
         except ConvergenceError as exc:
+            health_failure = getattr(exc, "phase", None) == "health"
             if rescue is None:
+                if health_failure:
+                    raise _RunAbort(
+                        "health", error=exc, stats=partial_stats(step)
+                    )
                 raise
             if rescue.rescues >= options.max_rescues:
                 raise _RunAbort("max_rescues", error=exc, stats=partial_stats(step))
@@ -992,9 +1206,15 @@ def _run_fixed(
                 x = rescue.rescue(x, rhs_lin, time, states)
             except ConvergenceError as rescue_exc:
                 raise _RunAbort(
-                    "newton", error=rescue_exc, stats=partial_stats(step)
+                    "health" if health_failure else "newton",
+                    error=rescue_exc,
+                    stats=partial_stats(step),
                 )
+        if certifier is not None:
+            certifier.check_step(x, rhs_lin, time, states)
         assembly.commit(x, time, states)
+        if certifier is not None:
+            certifier.check_state(x, time)
         if step % stride == 0:
             recorder.append(time, x)
     stats: Dict[str, object] = {"steps": n_steps}
@@ -1014,6 +1234,7 @@ def _run_adaptive(
     states: Dict[str, object],
     x: np.ndarray,
     recorder: _RecordingBuffer,
+    certifier: Optional[_Certifier] = None,
 ) -> Dict[str, object]:
     """LTE-controlled stepping with step-doubling error estimates.
 
@@ -1093,13 +1314,19 @@ def _run_adaptive(
             x_half = solver.step(x_mid, rhs_lin, t_target, states)
         except ConvergenceError as exc:
             assembly.restore_state(snapshot, states)
-            if not controller.at_dt_floor:
+            health_failure = getattr(exc, "phase", None) == "health"
+            # A non-finite solution is not a step-size problem: the
+            # same NaN/Inf reappears at any dt, so skip straight to
+            # the rescue ladder instead of grinding down to dt_min.
+            if not controller.at_dt_floor and not health_failure:
                 controller.reject_nonconvergence()
                 continue
             # Shrinking is exhausted.  Escalate: rescue the candidate
             # as a single full step at the proposed size (no LTE test
             # — the alternative is losing the run), then abort.
             if rescue is None:
+                if health_failure:
+                    raise abort("health", error=exc)
                 raise
             if rescue.rescues >= options.max_rescues:
                 raise abort("max_rescues", error=exc)
@@ -1109,7 +1336,12 @@ def _run_adaptive(
                 x_rescued = rescue.rescue(x, rhs_lin, t_target, states)
             except ConvergenceError as rescue_exc:
                 assembly.restore_state(snapshot, states)
-                raise abort("newton_dt_min", error=rescue_exc)
+                raise abort(
+                    "health" if health_failure else "newton_dt_min",
+                    error=rescue_exc,
+                )
+            if certifier is not None:
+                certifier.check_step(x_rescued, rhs_lin, t_target, states)
             assembly.commit(x_rescued, t_target, states)
             x = x_rescued
             controller.accept(t_target, dt, ratio=1.0)
@@ -1120,8 +1352,12 @@ def _run_adaptive(
             continue
         ratio = controller.error_ratio(x_full, x_half, n_nodes)
         if ratio <= 1.0:
+            if certifier is not None:
+                certifier.check_step(x_half, rhs_lin, t_target, states)
             assembly.commit(x_half, t_target, states)
             x = x_half
+            if certifier is not None:
+                certifier.check_state(x, t_target)
             controller.accept(t_target, dt, ratio)
             if multistep and controller.crossed_breakpoint:
                 # Interpolating across the discontinuity would poison
@@ -1167,11 +1403,26 @@ def run_transient(circuit: Circuit, options: Optional[TransientOptions] = None) 
       waveform integrated so far instead of raising; the result's
       ``stats`` carry ``abort_reason`` (one of ``"newton"``,
       ``"newton_dt_min"``, ``"step_underflow"``, ``"max_rescues"``,
-      ``"max_steps"``, ``"max_wall_time"``), ``t_abort``, and
-      ``completed=False``.
+      ``"max_steps"``, ``"max_wall_time"``, ``"health"``), ``t_abort``,
+      and ``completed=False``.
+
+    Numerical health (also opt-in; see :mod:`~repro.circuits.health`):
+
+    * ``preflight="warn" | "raise"`` — structural netlist lint before
+      any solve; findings land in ``stats["preflight"]``.
+    * ``guards=True`` — NaN/Inf screening of every accepted step plus
+      one condition estimate per cached factorization; a non-finite
+      step raises (or aborts with reason ``"health"``), conditioning
+      findings are warnings in ``stats["health"]``.
+    * ``certify=True`` — accepted steps are re-verified (residual,
+      reactive state consistency, grid invariants); violations land in
+      ``stats["health"]``.
     """
     options = options or TransientOptions()
     size = circuit.prepare()
+    preflight_diags = apply_preflight(
+        circuit, options.preflight, options, analysis="tran"
+    )
 
     backend = resolve_backend(options.backend, size)
     if options.jacobian == "chord" and not backend.is_dense:
@@ -1222,8 +1473,18 @@ def run_transient(circuit: Circuit, options: Optional[TransientOptions] = None) 
             f"{sorted(states)} keep generic one-step integrator state"
         )
 
+    health: List[HealthReport] = []
     solver = _StepSolver(
-        assembly, options.newton, options.jacobian, options.chord_refactor_ratio
+        assembly,
+        options.newton,
+        options.jacobian,
+        options.chord_refactor_ratio,
+        guards=options.guards,
+        condition_limit=options.condition_limit,
+        health=health,
+    )
+    certifier = (
+        _Certifier(assembly, options, health) if options.certify else None
     )
 
     record_indices, recorded_nodes, n_columns = _resolve_recording(
@@ -1239,10 +1500,12 @@ def run_transient(circuit: Circuit, options: Optional[TransientOptions] = None) 
 
     try:
         if options.step_control == "fixed":
-            run_stats = _run_fixed(options, assembly, solver, states, x, recorder)
+            run_stats = _run_fixed(
+                options, assembly, solver, states, x, recorder, certifier
+            )
         else:
             run_stats = _run_adaptive(
-                circuit, options, assembly, solver, states, x, recorder
+                circuit, options, assembly, solver, states, x, recorder, certifier
             )
     except _RunAbort as abort:
         if options.on_abort == "raise":
@@ -1259,6 +1522,8 @@ def run_transient(circuit: Circuit, options: Optional[TransientOptions] = None) 
             run_stats["abort_error"] = str(abort.error)
 
     times, records = recorder.arrays()
+    if certifier is not None:
+        certifier.check_grid(times, options)
     stats: Dict[str, object] = {
         "strategy": solver.strategy,
         "backend": assembly.backend.name,
@@ -1266,6 +1531,12 @@ def run_transient(circuit: Circuit, options: Optional[TransientOptions] = None) 
         "newton_iterations": solver.newton_iterations,
         "lu_refactorizations": solver.lu_refactorizations,
     }
+    if options.guards or options.certify:
+        stats["health"] = health
+        if certifier is not None:
+            stats["certified_steps"] = certifier.checked
+    if options.preflight != "off":
+        stats["preflight"] = preflight_diags
     stats.update(run_stats)
     return TransientResult(
         circuit=circuit,

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 __all__ = [
     "ReproError",
     "NetlistError",
+    "PreflightError",
     "ConvergenceError",
     "AnalysisError",
     "CodingError",
@@ -43,6 +44,22 @@ class NetlistError(ReproError):
     nodes, components with a non-positive element value where one is
     required.
     """
+
+
+class PreflightError(NetlistError):
+    """Raised by ``preflight="raise"`` when netlist lint finds errors.
+
+    Carries the full diagnostic list (:class:`~repro.circuits.
+    preflight.Diagnostic` records) as ``diagnostics`` so callers can
+    inspect every finding, not just the error that aborted the run.
+    """
+
+    def __init__(self, message: str, diagnostics: Optional[List[object]] = None):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics or [])
+
+    def __reduce__(self):
+        return type(self), (self.args[0], self.diagnostics)
 
 
 class ConvergenceError(ReproError):
@@ -188,6 +205,9 @@ class TaskFailure:
     #: Structured failure context (time/dt/phase/failed samples for a
     #: ConvergenceError, rendered worker traceback for a pool failure).
     context: Dict[str, object] = field(default_factory=dict)
+    #: Failure class: ``"error"`` for an exception raised by the task,
+    #: ``"timeout"`` for a hung worker killed by the pool watchdog.
+    kind: str = "error"
 
     @property
     def message(self) -> str:

@@ -29,7 +29,7 @@ chains, parallel chains — are always bitwise reproducible per sample.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from functools import partial
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
@@ -74,6 +74,15 @@ class MonteCarloResult:
     seeds: List[int]
     #: One streamed waveform per sample (None for scalar campaigns).
     waveforms: Optional[List] = None
+    #: Aggregated :class:`~repro.circuits.health.HealthReport` records
+    #: across the campaign, each with ``sample`` remapped to the
+    #: campaign's global sample index.  Empty when the health layer was
+    #: disarmed (no guards/certify/preflight) or nothing was flagged.
+    health: List = field(default_factory=list)
+
+    def health_for(self, sample: int) -> List:
+        """The health reports attributed to one sample."""
+        return [r for r in self.health if r.sample == sample]
 
     @property
     def n(self) -> int:
@@ -209,7 +218,14 @@ def run_monte_carlo(
         )
         values = np.empty(n_samples)
         waveforms = [] if metric.waveform is not None else None
+        health: List = []
         for index, (profile, result) in enumerate(zip(profiles, results)):
+            stats = getattr(result, "stats", None)
+            if stats:
+                for report in stats.get("health") or []:
+                    # Attribute every report — including run-level ones
+                    # filed with sample=None — to its campaign sample.
+                    health.append(replace(report, sample=index))
             try:
                 values[index] = float(metric.evaluate(profile, result))
                 if waveforms is not None:
@@ -225,6 +241,7 @@ def run_monte_carlo(
             values=values,
             seeds=seeds,
             waveforms=waveforms,
+            health=health,
         )
     if getattr(metric, "supports_carry", False):
         if warm_start and (batch is None or not batch.parallel):

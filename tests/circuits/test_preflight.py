@@ -1,0 +1,213 @@
+"""Preflight netlist lint: structural diagnostics and engine wiring.
+
+Each classic silent-failure topology gets a minimal netlist that
+triggers exactly the expected :class:`Diagnostic`, plus the negative
+control (a healthy netlist lints clean).  The wiring tests pin the
+``preflight="off" | "warn" | "raise"`` contract on every analysis
+front-end: off is free, warn emits ``PreflightWarning`` per finding,
+raise aborts with :class:`~repro.errors.PreflightError` only on
+error-severity findings.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    PreflightWarning,
+    TransientOptions,
+    check_netlist,
+    dc,
+    run_ac,
+    run_transient,
+    sine,
+    solve_dc,
+)
+from repro.circuits.preflight import apply_preflight
+from repro.errors import ConfigurationError, PreflightError
+
+
+def build_rc():
+    c = Circuit("rc")
+    c.voltage_source("Vin", "in", "0", sine(1.0, 1e5))
+    c.resistor("R", "in", "out", 1e3)
+    c.capacitor("C", "out", "0", 1e-9)
+    return c
+
+
+def codes(diags, severity=None):
+    return {
+        d.code
+        for d in diags
+        if severity is None or d.severity == severity
+    }
+
+
+class TestFindings:
+    def test_healthy_netlist_lints_clean(self):
+        assert check_netlist(build_rc()) == []
+
+    def test_dangling_node(self):
+        c = build_rc()
+        c.resistor("Rstub", "out", "stub", 1e3)  # 'stub' touched once
+        diags = check_netlist(c)
+        assert "dangling_node" in codes(diags, "warning")
+        (diag,) = [d for d in diags if d.code == "dangling_node"]
+        assert diag.nodes == ("stub",)
+
+    def test_floating_island_at_dc(self):
+        c = build_rc()
+        # Two nodes joined by a resistor, isolated from ground by
+        # capacitors on both sides: conducting in transient, floating
+        # at DC.
+        c.capacitor("Cf1", "in", "f1", 1e-9)
+        c.resistor("Rf", "f1", "f2", 1e3)
+        c.capacitor("Cf2", "f2", "0", 1e-9)
+        assert "floating_island" in codes(check_netlist(c, analysis="dc"))
+        assert "floating_island" not in codes(check_netlist(c, analysis="tran"))
+
+    def test_vsource_loop_is_error(self):
+        c = Circuit("loop")
+        c.voltage_source("V1", "a", "0", dc(1.0))
+        c.voltage_source("V2", "a", "0", dc(2.0))
+        c.resistor("R", "a", "0", 1e3)
+        diags = check_netlist(c)
+        assert "vsource_loop" in codes(diags, "error")
+
+    def test_inductor_loop_is_warning(self):
+        c = Circuit("lloop")
+        c.voltage_source("V1", "a", "0", dc(1.0))
+        c.inductor("L1", "a", "b", 1e-6)
+        c.inductor("L2", "a", "b", 1e-6)
+        c.resistor("R", "b", "0", 1e3)
+        diags = check_netlist(c)
+        assert "inductor_loop" in codes(diags, "warning")
+
+    def test_isolated_node_zero_row(self):
+        c = build_rc()
+        # Current source into a node with no other connection: the
+        # node's KCL row has no conductance entries at gmin=0.
+        c.current_source("I1", "0", "iso", dc(1e-3))
+        diags = check_netlist(c)
+        assert "zero_row" in codes(diags, "warning")
+        assert "dangling_node" in codes(diags, "warning")
+
+    def test_parameter_spread(self):
+        c = build_rc()
+        c.resistor("Rtiny", "in", "out", 1e-9)  # 1e9 S vs 1e-9 S of Rgiant
+        c.resistor("Rgiant", "out", "0", 1e9)
+        diags = check_netlist(c)
+        assert "parameter_spread" in codes(diags, "warning")
+
+    def test_breakpoint_sanity(self):
+        c = build_rc()
+        options = TransientOptions(
+            t_stop=1e-6, dt=1e-9, breakpoints=(2e-6, float("nan"), 5e-7)
+        )
+        diags = check_netlist(c, options=options)
+        bad = [d for d in diags if d.code == "breakpoint"]
+        assert len(bad) == 2  # 2e-6 beyond t_stop, nan; 5e-7 is fine
+
+
+class TestApplyPreflight:
+    def test_off_is_silent(self):
+        c = Circuit("loop")
+        c.voltage_source("V1", "a", "0", dc(1.0))
+        c.voltage_source("V2", "a", "0", dc(2.0))
+        c.resistor("R", "a", "0", 1e3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert apply_preflight(c, "off") == []
+
+    def test_warn_emits_one_warning_per_finding(self):
+        c = build_rc()
+        c.resistor("Rstub", "out", "stub", 1e3)
+        with pytest.warns(PreflightWarning):
+            diags = apply_preflight(c, "warn")
+        assert diags
+
+    def test_raise_only_on_error_severity(self):
+        benign = build_rc()
+        benign.resistor("Rstub", "out", "stub", 1e3)  # warning only
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            apply_preflight(benign, "raise")  # survives
+
+        fatal = Circuit("loop")
+        fatal.voltage_source("V1", "a", "0", dc(1.0))
+        fatal.voltage_source("V2", "a", "0", dc(2.0))
+        fatal.resistor("R", "a", "0", 1e3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            with pytest.raises(PreflightError) as excinfo:
+                apply_preflight(fatal, "raise")
+        assert any(d.code == "vsource_loop" for d in excinfo.value.diagnostics)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            apply_preflight(build_rc(), "maybe")
+
+
+class TestEngineWiring:
+    def test_transient_preflight_warn_and_stats(self):
+        options = TransientOptions(
+            t_stop=1e-6, dt=1e-9, step_control="fixed", preflight="warn"
+        )
+        c = build_rc()
+        c.resistor("Rstub", "out", "stub", 1e3)
+        with pytest.warns(PreflightWarning):
+            result = run_transient(c, options)
+        assert any(
+            d.code == "dangling_node" for d in result.stats["preflight"]
+        )
+
+    def test_transient_preflight_raise(self):
+        c = Circuit("loop")
+        c.voltage_source("V1", "a", "0", dc(1.0))
+        c.voltage_source("V2", "a", "0", dc(2.0))
+        c.resistor("R", "a", "0", 1e3)
+        options = TransientOptions(
+            t_stop=1e-6, dt=1e-9, step_control="fixed", preflight="raise"
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            with pytest.raises(PreflightError):
+                run_transient(c, options)
+
+    def test_preflight_off_bit_identical(self):
+        base = TransientOptions(t_stop=1e-6, dt=1e-9, step_control="fixed")
+        linted = TransientOptions(
+            t_stop=1e-6, dt=1e-9, step_control="fixed", preflight="warn"
+        )
+        plain = run_transient(build_rc(), base)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            checked = run_transient(build_rc(), linted)
+        assert np.array_equal(plain.x, checked.x)
+        assert "preflight" not in plain.stats
+
+    def test_dc_and_ac_preflight(self):
+        fatal = Circuit("loop")
+        fatal.voltage_source("V1", "a", "0", dc(1.0))
+        fatal.voltage_source("V2", "a", "0", dc(2.0))
+        fatal.resistor("R", "a", "0", 1e3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            with pytest.raises(PreflightError):
+                solve_dc(fatal, preflight="raise")
+            with pytest.raises(PreflightError):
+                run_ac(fatal, [1e6], preflight="raise")
+        # off (the default) never lints — the loop solves via lstsq.
+        solve_dc(fatal)
+
+    def test_preflight_is_side_effect_free(self):
+        """Linting must not touch engine caches or circuit state."""
+        c = build_rc()
+        before = check_netlist(c)
+        options = TransientOptions(t_stop=1e-6, dt=1e-9, step_control="fixed")
+        baseline = run_transient(build_rc(), options)
+        after_lint = run_transient(c, options)
+        assert np.array_equal(baseline.x, after_lint.x)
+        assert check_netlist(c) == before
