@@ -55,7 +55,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from .backend import MatrixBackend, csr_scatter, resolve_backend
+from .backend import MatrixBackend, resolve_backend, triplet_scatter
 from .component import (
     Component,
     MNASystem,
@@ -352,21 +352,39 @@ class _ReactiveSet:
         # Scatter matrix: rhs += S @ term.  A cap's ieq flows a->b
         # (rhs[a] -= ieq, rhs[b] += ieq); an inductor's term lands on
         # its own branch row.
-        S = np.zeros((size, n))
+        rows: List[int] = []
+        s_cols: List[int] = []
+        s_vals: List[float] = []
         for j, c in enumerate(caps):
             a, b = c._n
             if a >= 0:
-                S[a, j] -= 1.0
+                rows.append(a)
+                s_cols.append(j)
+                s_vals.append(-1.0)
             if b >= 0:
-                S[b, j] += 1.0
+                rows.append(b)
+                s_cols.append(j)
+                s_vals.append(1.0)
         for j, l in enumerate(inds):
-            S[l._b[0], len(caps) + j] += 1.0
-        self.scatter = S
-        #: CSR view of the scatter for large (distributed) systems,
-        #: where the dense mat-vec is O(size * m) of mostly zeros.
+            rows.append(l._b[0])
+            s_cols.append(len(caps) + j)
+            s_vals.append(1.0)
+        #: CSR scatter for large (distributed) systems, where the
+        #: dense mat-vec is O(size * m) of mostly zeros — built
+        #: straight from the triplets, because the dense operator
+        #: itself is a multi-gigabyte intermediate at mesh scale.
         self.scatter_csr = (
-            csr_scatter(S) if n and size >= _SPARSE_SCATTER_MIN else None
+            triplet_scatter(rows, s_cols, s_vals, (size, n))
+            if n and size >= _SPARSE_SCATTER_MIN
+            else None
         )
+        if self.scatter_csr is None:
+            S = np.zeros((size, n))
+            np.add.at(S, (rows, s_cols), s_vals)
+            self.scatter = S
+        else:
+            # Never materialized; every consumer goes through the CSR.
+            self.scatter = None
 
         # State arrays, filled by init_state().
         self.v = np.zeros(n)
@@ -753,6 +771,19 @@ class TransientAssembly:
         #: entry build and reused by every later one (structure/value
         #: split: only the values depend on dt).
         self._pattern: Optional[StampPattern] = None
+        #: Per-``(method, order)`` affine models of the static value
+        #: stream, ``values(dt) = c + s / dt`` — for plain R/L/C
+        #: netlists the only dt-dependent stamps are the companion
+        #: terms ``lead*C/dt`` and ``-lead*L/dt``, so the whole stream
+        #: is affine in ``1/dt`` once the method's leading coefficient
+        #: is fixed.  Fitted from two probe stamps and verified
+        #: against a third by :meth:`_fit_affine`; a family maps to
+        #: ``None`` when verification failed (some component stamps a
+        #: non-affine value) and every entry re-stamps the slow way.
+        #: Only consulted for iterative backends: the reconstruction
+        #: is exact up to rounding, which a tolerance-based solve
+        #: absorbs but a bit-pinned direct factorization must not see.
+        self._affine: Dict[tuple, Optional[tuple]] = {}
         self._static_ctx = StampContext(
             system=None,  # a TripletSystem per build
             x=np.zeros(self.size),
@@ -787,8 +818,8 @@ class TransientAssembly:
 
     # -- (dt, method, order)-keyed cache --------------------------------------
 
-    def _build_entry(self, key: Tuple[float, IntegrationMethod, int]) -> _DtEntry:
-        dt, _method, order = key
+    def _stamp_values(self, dt: float, order: int) -> TripletSystem:
+        """One full static stamp pass at ``(dt, order)``."""
         tri = TripletSystem(self.size)
         ctx = self._static_ctx
         ctx.system = tri
@@ -798,9 +829,58 @@ class TransientAssembly:
             component.stamp_static(ctx)
         for i in range(self.n_nodes):
             tri.add_G(i, i, self.gmin)
+        return tri
+
+    def _fit_affine(
+        self, dt: float, order: int, v1: np.ndarray
+    ) -> Optional[tuple]:
+        """Fit ``values(dt) = c + s / dt`` for the active method/order.
+
+        ``v1`` is the stream just stamped at ``dt``; two more probe
+        stamps (at ``2*dt`` and ``dt/2``) identify the affine model
+        and verify it, so a component whose static stamp is *not*
+        affine in ``1/dt`` (or that changes the stamp structure with
+        the step size) falls back to per-entry stamping instead of
+        being served a wrong matrix.  Returns ``(c, s)`` or ``None``.
+        """
+        tri2 = self._stamp_values(2.0 * dt, order)
+        tri3 = self._stamp_values(0.5 * dt, order)
+        if not (self._pattern.matches(tri2) and self._pattern.matches(tri3)):
+            return None
+        t1 = 1.0 / dt
+        v2 = tri2.values()  # at t1 / 2
+        v3 = tri3.values()  # at t1 * 2
+        s = (v1 - v2) / (t1 - 0.5 * t1)
+        c = v1 - s * t1
+        predicted = c + s * (2.0 * t1)
+        scale = float(np.max(np.abs(v3))) if v3.size else 0.0
+        if not np.allclose(predicted, v3, rtol=1e-9, atol=1e-12 * scale):
+            return None
+        return c, s
+
+    def _build_entry(self, key: Tuple[float, IntegrationMethod, int]) -> _DtEntry:
+        dt, _method, order = key
+        family = (self.method, order)
+        # False = family not probed yet; None = probed, not affine.
+        model = (
+            self._affine.get(family, False)
+            if self.backend.is_iterative
+            else None
+        )
+        if model:
+            c, s = model
+            G = self.backend.finalize(self._pattern, c + s * (1.0 / dt))
+            return _DtEntry(dt, G, self.reactive.coeffs(dt, self.method, order))
+        tri = self._stamp_values(dt, order)
         if self._pattern is None or not self._pattern.matches(tri):
             self._pattern = tri.pattern()
-        G = self.backend.finalize(self._pattern, tri.values())
+            # Fitted value models are pinned to the old structure.
+            self._affine.clear()
+            model = False if self.backend.is_iterative else None
+        values = tri.values()
+        if model is False:
+            self._affine[family] = self._fit_affine(dt, order, values)
+        G = self.backend.finalize(self._pattern, values)
         return _DtEntry(dt, G, self.reactive.coeffs(dt, self.method, order))
 
     def set_dt(
@@ -1208,6 +1288,15 @@ class TransientAssembly:
         ctx.system = self._scratch
         b = rhs_lin + tri.rhs
         lu = self.lu()
+        if tri.rows:
+            solve_updated = getattr(lu, "solve_updated", None)
+            if solve_updated is not None:
+                # Matrix-free path (Krylov backend): the Jacobian-vector
+                # product is applied as base-CSR times vector plus a
+                # triplet scatter — no Woodbury bookkeeping, and no
+                # multi-column ``W = G_base^-1 U`` whose per-column
+                # iterative solves would dwarf the step itself.
+                return solve_updated(b, tri.rows, tri.cols, tri.vals)
         z = lu.solve(b)
         if not tri.rows:
             return z

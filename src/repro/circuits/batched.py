@@ -53,7 +53,7 @@ import numpy as np
 
 from ..errors import ConvergenceError, SimulationError
 from .assembly import DtCache, _HistoryRing, _ReactiveSet
-from .backend import BlockDiagLU, resolve_backend
+from .backend import BlockDiagLU, KrylovBackend, resolve_backend
 from .component import MNASystem, Component, StampContext, StampPattern, TripletSystem
 from .controlled import NonlinearVCCS
 from .dcop import NewtonOptions, OperatingPoint, solve_dc
@@ -709,6 +709,22 @@ class BatchedTransientAssembly:
                     "singular base matrix in batch; the per-sample "
                     "engine's least-squares fallback is required"
                 ) from exc
+        elif isinstance(self.backend, KrylovBackend):
+            entry.blocks = [
+                self.backend.finalize(pattern, tri.values()) for tri in streams
+            ]
+            # Per-sample *stale* preconditioners, BlockDiagLU style:
+            # the first entry factors every sample (symbolic-once
+            # ordering shared); later entries ride each sample's stale
+            # LU iteratively and refresh per sample only when its
+            # iteration counts degrade.
+            lu = self.backend.factor_blocks(entry.blocks)
+            if lu.is_singular:
+                raise BatchIncompatible(
+                    "singular base matrix in batch; the per-sample "
+                    "engine's least-squares fallback is required"
+                )
+            entry.lu = lu
         else:
             entry.blocks = [
                 self.backend.finalize(pattern, tri.values()) for tri in streams
@@ -841,13 +857,17 @@ class BatchedTransientAssembly:
             return entry.G_base[s]
         return entry.blocks[s].toarray()
 
-    def condest_samples(self) -> np.ndarray:
+    def condest_samples(self) -> Optional[np.ndarray]:
         """Per-sample 1-norm condition estimates of the active entry.
 
         Dense: exact ``||G||_1 * ||G^-1||_1`` from the cached batched
         inverse (one vectorized reduction, no new factorizations).
         Sparse: Hager estimation against the block-diagonal splu, one
-        block per sample.  Cached on the entry; read-only.
+        block per sample.  Cached on the entry; read-only.  Returns
+        ``None`` when the active solver keeps no direct factorization
+        to estimate against (the Krylov block solver's stale
+        preconditioner may belong to a *different* matrix, so Hager
+        estimation through it would certify the wrong operator).
         """
         entry = self._active
         if entry.cond is not None:
@@ -857,7 +877,10 @@ class BatchedTransientAssembly:
             norm_inv = np.abs(entry.inv).sum(axis=-2).max(axis=-1)
             cond = norm_g * norm_inv
         else:
-            cond = entry.lu.condest_blocks()
+            condest_blocks = getattr(entry.lu, "condest_blocks", None)
+            if condest_blocks is None:
+                return None
+            cond = condest_blocks()
         entry.cond = np.asarray(cond, dtype=float)
         return entry.cond
 
@@ -1081,6 +1104,7 @@ class _BatchedStepSolver:
         self.condition_limit = condition_limit
         self.health = health if health is not None else []
         self._cond_checked: set = set()
+        self._condest_skip_noted = False
         if assembly.k == 0:
             self.strategy = "batched-linear"
         elif assembly.k == 1:
@@ -1160,6 +1184,21 @@ class _BatchedStepSolver:
             return
         self._cond_checked.add(key)
         cond = self.assembly.condest_samples()
+        if cond is None:
+            if not self._condest_skip_noted:
+                self._condest_skip_noted = True
+                self.health.append(
+                    HealthReport(
+                        "condest_skipped",
+                        "condition estimation skipped: the active "
+                        "solver keeps no direct factorization of the "
+                        "stepping matrices; NaN/Inf screening stays "
+                        "armed",
+                        severity="info",
+                        time=time,
+                    )
+                )
+            return
         bad = (~np.isfinite(cond) | (cond > self.condition_limit)) & (
             ~self.quarantined
         )
@@ -1700,15 +1739,20 @@ def probe_stiffness_ratios(
     circuits: Sequence[Circuit],
     options: Optional[TransientOptions] = None,
 ) -> Optional[np.ndarray]:
-    """Rank samples by stiffness: per-sample first-step LTE ratios.
+    """Rank samples by stiffness: per-sample probe-step LTE ratios.
 
-    One lockstep probe — a full step of ``options.dt`` and the same
+    A lockstep probe — a full step of ``options.dt`` and the same
     step as two halves, both from the DC operating point — yields each
     sample's Richardson LTE estimate over tolerance
     (:meth:`~repro.circuits.stepcontrol.StepController.
     error_ratio_samples`).  A large ratio means the sample needs a
     small step to hold tolerance: it is *stiff* relative to its batch
-    peers.  The sharded campaign layer feeds this ranking to
+    peers.  When the stimuli declare breakpoints (pulse/pwl sources),
+    a second probe runs just past the *earliest* breakpoint and the
+    rankings combine by elementwise max: a pulse-driven netlist is
+    electrically inert at t=0, so a first-step-only probe would rank
+    every sample identically and the clustering would be noise.  The
+    sharded campaign layer feeds this ranking to
     :func:`~repro.circuits.stepcontrol.stiffness_bins` so sub-batches
     group samples of similar stiffness.
 
@@ -1751,21 +1795,45 @@ def probe_stiffness_ratios(
             max_growth=options.max_step_growth,
         )
         dt = options.dt
+        half = 0.5 * dt
         order = (
             controller.candidate_order(assembly.history_points)
             if method.is_multistep
             else None
         )
-        assembly.set_dt(dt, order=order)
-        x_full = solver.step(x, assembly.step_rhs(dt), dt)
-        half = 0.5 * dt
-        assembly.set_dt(half, ephemeral=True, order=order)
-        x_mid = solver.step(x, assembly.step_rhs(half), half)
-        assembly.commit(x_mid, half)
-        x_half = solver.step(x_mid, assembly.step_rhs(dt), dt)
+
+        def probe_at(t0: float) -> np.ndarray:
+            """One full/half Richardson probe starting at ``t0``.
+
+            Companion state is snapshotted and restored so probes are
+            independent; every probe steps from the same DC iterate.
+            """
+            snapshot = assembly.snapshot_state()
+            try:
+                assembly.set_dt(dt, order=order)
+                x_full = solver.step(x, assembly.step_rhs(t0 + dt), t0 + dt)
+                assembly.set_dt(half, ephemeral=True, order=order)
+                x_mid = solver.step(x, assembly.step_rhs(t0 + half), t0 + half)
+                assembly.commit(x_mid, t0 + half)
+                x_half = solver.step(
+                    x_mid, assembly.step_rhs(t0 + dt), t0 + dt
+                )
+            finally:
+                assembly.restore_state(snapshot)
+            return controller.error_ratio_samples(
+                x_full, x_half, assembly.n_nodes
+            )
+
+        ratios = probe_at(0.0)
+        bp: set = set()
+        for circuit in circuits:
+            bp.update(collect_breakpoints(circuit, options.t_stop))
+        inside = sorted(t for t in bp if t + dt <= options.t_stop)
+        if inside:
+            ratios = np.maximum(ratios, probe_at(inside[0]))
     except (BatchIncompatible, ConvergenceError, SimulationError):
         return None
-    return controller.error_ratio_samples(x_full, x_half, assembly.n_nodes)
+    return ratios
 
 
 def _run_fixed_lockstep(

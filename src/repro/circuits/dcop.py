@@ -111,13 +111,18 @@ def _solve_sparse(
     source_scale: float,
     backend: MatrixBackend,
 ) -> np.ndarray:
-    """One sparse linearized solve: triplet assembly, CSR, splu.
+    """One sparse linearized solve: triplet assembly, CSR, factor.
 
     The DC Newton restamps every component per iteration anyway, so
     the sparse path simply finalizes each iteration's triplet stream
     into a fresh CSR factorization — O(nnz)-ish for the near-banded
     distributed netlists this backend exists for, and far from the
-    transient hot loop where factorization reuse matters.
+    transient hot loop where factorization reuse matters.  With the
+    Krylov backend this refactorization disappears on its own: each
+    iteration's ``factor`` hands back a solver riding the backend's
+    stale LU, so only the first iteration (and iteration-count-
+    triggered refreshes) pays a factorization — the Jacobians of a
+    converging Newton sequence are ideal stale-preconditioner fodder.
     """
     tri = _stamp_system(
         circuit, TripletSystem(circuit.size), x, gmin, source_scale

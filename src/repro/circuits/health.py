@@ -56,10 +56,14 @@ class HealthReport:
         the limit), ``"residual"`` (accepted-step residual failed to
         certify), ``"state"`` (reactive charge/flux inconsistency),
         ``"grid"`` (time-grid invariant broken), ``"preflight"``
-        (carried over from netlist lint).
+        (carried over from netlist lint), ``"condest_skipped"`` (the
+        active backend keeps no direct factorization to estimate
+        conditioning against).
     severity:
         ``"error"`` for violations that invalidate the waveform,
-        ``"warning"`` for degradations the solve survived.
+        ``"warning"`` for degradations the solve survived, ``"info"``
+        for notes that flag no degradation at all (a guard that
+        skipped).
     time:
         Simulation time of the observation, when stepwise.
     sample:

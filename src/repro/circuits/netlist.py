@@ -179,6 +179,53 @@ class Circuit:
             node = nxt
         return junctions
 
+    def coil_mesh(
+        self,
+        prefix: str,
+        nx: int,
+        ny: int,
+        l_segment: float,
+        r_segment: float,
+        c_node: float,
+        ground: str = "0",
+    ) -> List[List[str]]:
+        """2-D grid of series L-R coil segments with shunt-C nodes.
+
+        The two-dimensional generalization of :meth:`rlc_ladder`: grid
+        node ``(i, j)`` is ``{prefix}n{i}_{j}``, every horizontal and
+        vertical neighbor pair is joined by an inductor
+        (``{prefix}Lh{i}_{j}`` / ``Lv``) in series with a resistor
+        (``Rh``/``Rv``) through a mid junction, and every grid node
+        carries a shunt capacitor ``{prefix}C{i}_{j}`` of ``c_node``
+        to ``ground``.  With ``E = nx*(ny-1) + ny*(nx-1)`` edges the
+        mesh contributes ``nx*ny + 2E`` MNA unknowns (grid nodes, mid
+        junctions, inductor branches) — roughly ``5 * nx * ny`` — so a
+        100x100 grid lands at ~50k unknowns: the 10k–100k territory
+        the Krylov backend exists for.
+
+        Returns the grid node names as ``nx`` rows of ``ny`` names.
+        """
+        if nx < 1 or ny < 1:
+            raise NetlistError("coil_mesh needs nx >= 1 and ny >= 1")
+        if nx * ny < 2:
+            raise NetlistError("coil_mesh needs at least two grid nodes")
+        grid = [
+            [f"{prefix}n{i}_{j}" for j in range(ny)] for i in range(nx)
+        ]
+        for i in range(nx):
+            for j in range(ny):
+                node = grid[i][j]
+                self.capacitor(f"{prefix}C{i}_{j}", node, ground, c_node)
+                if j + 1 < ny:
+                    mid = f"{prefix}hm{i}_{j}"
+                    self.inductor(f"{prefix}Lh{i}_{j}", node, mid, l_segment)
+                    self.resistor(f"{prefix}Rh{i}_{j}", mid, grid[i][j + 1], r_segment)
+                if i + 1 < nx:
+                    mid = f"{prefix}vm{i}_{j}"
+                    self.inductor(f"{prefix}Lv{i}_{j}", node, mid, l_segment)
+                    self.resistor(f"{prefix}Rv{i}_{j}", mid, grid[i + 1][j], r_segment)
+        return grid
+
     # -- preparation -------------------------------------------------------------
 
     def prepare(self) -> int:

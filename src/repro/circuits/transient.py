@@ -90,7 +90,7 @@ import numpy as np
 from ..analysis.waveform import Waveform
 from ..errors import ConvergenceError, NetlistError, SimulationError
 from .assembly import TransientAssembly
-from .backend import MatrixBackend, resolve_backend
+from .backend import KrylovBackend, MatrixBackend, resolve_backend
 from .dcop import NewtonOptions, continuation_ladder, solve_dc
 from .health import CONDITION_LIMIT, HealthReport, check_grid_invariants
 from .integration import (
@@ -274,6 +274,7 @@ class TransientOptions:
             "auto",
             "dense",
             "sparse",
+            "krylov",
         ):
             raise SimulationError(f"unknown backend {self.backend!r}")
         if not 0.0 < self.chord_refactor_ratio <= 1.0:
@@ -784,6 +785,7 @@ class _StepSolver:
         self.condition_limit = condition_limit
         self.health = health if health is not None else []
         self._cond_checked: set = set()
+        self._condest_skip_noted = False
 
         devices = assembly.rankk_devices()
         if assembly.is_linear:
@@ -885,6 +887,12 @@ class _StepSolver:
         warnings: the dense/sparse factorizations degrade gracefully
         (least-squares fallbacks), so an ill-conditioned scalar run is
         flagged, not killed.
+
+        Backends with no direct factorization of the active matrix —
+        the Krylov backend's solvers answer iteratively against a
+        stale preconditioner — cannot provide an estimate; the guard
+        degrades gracefully (NaN/Inf screening of every step stays
+        armed) and records the skip once in ``stats["health"]``.
         """
         if self.strategy not in ("linear", "rank1", "woodbury"):
             return
@@ -894,7 +902,20 @@ class _StepSolver:
             return
         self._cond_checked.add(key)
         condest = getattr(lu, "condest", None)
-        if condest is None:  # pragma: no cover - foreign backend object
+        if condest is None:
+            if not self._condest_skip_noted:
+                self._condest_skip_noted = True
+                self.health.append(
+                    HealthReport(
+                        "condest_skipped",
+                        "condition estimation skipped: backend "
+                        f"{self.assembly.backend.name!r} keeps no direct "
+                        "factorization of the active matrix; NaN/Inf "
+                        "screening stays armed",
+                        severity="info",
+                        time=time,
+                    )
+                )
             return
         value = condest()
         if not np.isfinite(value) or value > self.condition_limit:
@@ -1431,7 +1452,7 @@ def run_transient(circuit: Circuit, options: Optional[TransientOptions] = None) 
         # or a caller-constructed MatrixBackend instance — with a
         # clear error, and quietly keep "auto" on the always-correct
         # dense path.
-        if options.backend == "sparse" or isinstance(
+        if options.backend in ("sparse", "krylov") or isinstance(
             options.backend, MatrixBackend
         ):
             raise SimulationError(
@@ -1439,6 +1460,12 @@ def run_transient(circuit: Circuit, options: Optional[TransientOptions] = None) 
                 "backend='dense' (or 'auto') with chord mode"
             )
         backend = resolve_backend("dense", size)
+
+    # Krylov iteration diagnostics cover this run only, even when the
+    # caller shares one stateful backend instance across runs.
+    krylov_base = (
+        backend.counters() if isinstance(backend, KrylovBackend) else None
+    )
 
     if options.use_dc_operating_point:
         op = solve_dc(circuit, options=options.newton, backend=backend)
@@ -1531,6 +1558,9 @@ def run_transient(circuit: Circuit, options: Optional[TransientOptions] = None) 
         "newton_iterations": solver.newton_iterations,
         "lu_refactorizations": solver.lu_refactorizations,
     }
+    if krylov_base is not None:
+        now = backend.counters()
+        stats["krylov"] = {k: now[k] - krylov_base[k] for k in now}
     if options.guards or options.certify:
         stats["health"] = health
         if certifier is not None:

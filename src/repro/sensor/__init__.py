@@ -1,9 +1,11 @@
 """Position-sensor application substrate (Fig 9)."""
 
 from .coils import (
+    CoilMesh,
     CouplingProfile,
     DistributedCoil,
     ReceivingCoilPair,
+    coil_mesh_array,
     tank_with_parallel_load,
 )
 from .receiver import PositionReceiver
@@ -15,6 +17,8 @@ from .redundant import (
 )
 
 __all__ = [
+    "CoilMesh",
+    "coil_mesh_array",
     "CouplingProfile",
     "DistributedCoil",
     "ReceivingCoilPair",

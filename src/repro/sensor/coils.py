@@ -15,17 +15,22 @@ the coil's inductance and loss spread along the winding, its
 inter-winding capacitance shunted at every junction — which is the
 first workload family in this library whose MNA system grows into
 the sparse linear-algebra backend's territory (hundreds-to-thousands
-of unknowns; see :mod:`repro.circuits.backend`).
+of unknowns; see :mod:`repro.circuits.backend`).  :class:`CoilMesh`
+generalizes the same idea to two dimensions — a planar winding
+spread over an ``nx x ny`` surface grid of coupled L-R segments —
+reaching the 10k–100k-unknown territory of the Krylov backend, and
+:func:`coil_mesh_array` spreads a mesh into a same-topology
+multi-coil array for the batched campaign engines.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Tuple
+from typing import List, Tuple
 
 from ..circuits.netlist import Circuit
-from ..circuits.sources import sine
+from ..circuits.sources import pulse, sine
 from ..envelope.tank import RLCTank
 from ..errors import ConfigurationError
 
@@ -33,6 +38,8 @@ __all__ = [
     "CouplingProfile",
     "ReceivingCoilPair",
     "DistributedCoil",
+    "CoilMesh",
+    "coil_mesh_array",
     "tank_with_parallel_load",
 ]
 
@@ -178,6 +185,167 @@ class DistributedCoil:
         # LC2 is the driven-to-ground pin in the single-ended benches.
         circuit.resistor("rload", "lc2", "0", 1e6)
         return circuit
+
+
+@dataclass(frozen=True)
+class CoilMesh:
+    """The sensing coil as a 2-D ``nx x ny`` surface mesh.
+
+    :class:`DistributedCoil` strings the winding out in one dimension;
+    physically a planar sensing coil is a *surface*, its inductance
+    and loss spread over a two-dimensional grid of coupled segments
+    with distributed capacitance to the surrounding structure at every
+    point of the surface.  This generator splits the lumped tank over
+    a ``Circuit.coil_mesh`` grid: each of the ``E`` edges carries
+    ``L/E`` and ``Rs/E`` (so the total series inductance and loss seen
+    corner-to-corner stay of the tank's order), and each grid node
+    shunts an equal share of ``parasitic_fraction * C``.
+
+    ``unknown_count`` grows as ``~5 * nx * ny``: a 46x46 mesh crosses
+    10k unknowns and a 100x100 mesh lands at ~50k, which is the
+    workload family the stale-LU Krylov backend
+    (:class:`~repro.circuits.backend.KrylovBackend`) exists for.
+    """
+
+    tank: RLCTank
+    nx: int
+    ny: int
+    #: Total distributed capacitance as a fraction of one pin cap.
+    parasitic_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.nx < 2 or self.ny < 2:
+            raise ConfigurationError("coil mesh needs nx >= 2 and ny >= 2")
+        if not 0.0 < self.parasitic_fraction < 1.0:
+            raise ConfigurationError("parasitic_fraction must be in (0, 1)")
+
+    @property
+    def n_edges(self) -> int:
+        return self.nx * (self.ny - 1) + self.ny * (self.nx - 1)
+
+    @property
+    def segment_inductance(self) -> float:
+        return self.tank.inductance / self.n_edges
+
+    @property
+    def segment_resistance(self) -> float:
+        return self.tank.series_resistance / self.n_edges
+
+    @property
+    def node_capacitance(self) -> float:
+        """Shunt capacitance per grid node."""
+        total = self.parasitic_fraction * self.tank.capacitance
+        return total / (self.nx * self.ny)
+
+    @property
+    def unknown_count(self) -> int:
+        """MNA unknowns of :meth:`build_circuit`'s netlist.
+
+        ``nx*ny`` grid nodes + per edge one mid junction and one
+        inductor branch, plus the drive pin.
+        """
+        return self.nx * self.ny + 2 * self.n_edges + 1
+
+    def build_circuit(
+        self,
+        drive_current: float = 1e-3,
+        drive: str = "sine",
+        pulse_period: float = 0.0,
+    ) -> Circuit:
+        """Drivable netlist: current drive into one corner of the mesh.
+
+        ``drive="sine"`` excites at the lumped tank's resonance — the
+        linear single-factorization workload, the cleanest backend
+        wall-clock comparison.  ``drive="pulse"`` is a repetitive
+        scan-pulse train (period ``pulse_period``, default eight
+        periods of the tank resonance): every edge is a stimulus
+        breakpoint, so an adaptive run truncates steps onto the edges
+        and churns through one-shot dt-cache entries — the
+        refactorization-bound regime the stale-LU Krylov backend
+        amortizes.
+        """
+        if drive_current <= 0:
+            raise ConfigurationError("drive_current must be positive")
+        if drive not in ("sine", "pulse"):
+            raise ConfigurationError("drive must be 'sine' or 'pulse'")
+        circuit = Circuit(
+            f"coil mesh {self.nx}x{self.ny} ({self.unknown_count} unknowns)"
+        )
+        if drive == "sine":
+            stimulus = sine(drive_current, self.tank.frequency)
+        else:
+            period = pulse_period or 8.0 / self.tank.frequency
+            stimulus = pulse(
+                0.0,
+                drive_current,
+                delay=0.1 * period,
+                rise=0.02 * period,
+                fall=0.02 * period,
+                width=0.4 * period,
+                period=period,
+            )
+        circuit.current_source("idrive", "0", "pin", stimulus)
+        circuit.capacitor("cpin", "pin", "0", self.tank.capacitance)
+        grid = circuit.coil_mesh(
+            "mesh_",
+            self.nx,
+            self.ny,
+            self.segment_inductance,
+            self.segment_resistance,
+            self.node_capacitance,
+        )
+        # Feed the corner, load the opposite corner.
+        circuit.resistor("rfeed", "pin", grid[0][0], self.segment_resistance)
+        circuit.resistor("rload", grid[self.nx - 1][self.ny - 1], "0", 1e6)
+        return circuit
+
+
+def coil_mesh_array(
+    mesh: CoilMesh,
+    n_coils: int,
+    spread: float = 0.05,
+    drive_current: float = 1e-3,
+    drive: str = "sine",
+) -> List[Circuit]:
+    """Same-topology multi-coil array: one netlist per coil position.
+
+    Manufacturing spread moves each coil's element values a
+    deterministic few percent from nominal (coil ``k`` scales L, Rs,
+    and C by ``1 + spread * sin``-spaced offsets), so the list feeds
+    the batched/sharded campaign engines directly: identical
+    structure, per-sample values — the regime the per-sample
+    stale-preconditioner block solver
+    (:class:`~repro.circuits.backend.KrylovBlockDiag`) amortizes.
+    """
+    if n_coils < 1:
+        raise ConfigurationError("n_coils must be >= 1")
+    if not 0.0 <= spread < 0.5:
+        raise ConfigurationError("spread must be in [0, 0.5)")
+    circuits = []
+    for k in range(n_coils):
+        # Deterministic, well-spread offsets in [-spread, spread].
+        phase = 2.0 * math.pi * (k + 0.5) / n_coils
+        scale_l = 1.0 + spread * math.sin(phase)
+        scale_c = 1.0 + spread * math.cos(phase)
+        scale_r = 1.0 + spread * math.sin(2.0 * phase)
+        tank = RLCTank(
+            mesh.tank.inductance * scale_l,
+            mesh.tank.capacitance * scale_c,
+            mesh.tank.series_resistance * scale_r,
+        )
+        varied = CoilMesh(tank, mesh.nx, mesh.ny, mesh.parasitic_fraction)
+        # One scanner drives the whole array: the pulse train's timing
+        # comes from the *nominal* tank so every coil shares the same
+        # stimulus breakpoints (spread moves the elements, not the
+        # scan clock).
+        circuits.append(
+            varied.build_circuit(
+                drive_current=drive_current,
+                drive=drive,
+                pulse_period=8.0 / mesh.tank.frequency,
+            )
+        )
+    return circuits
 
 
 def tank_with_parallel_load(tank: RLCTank, r_parallel: float) -> RLCTank:

@@ -102,3 +102,66 @@ class TestDistributedCoil:
         # (amplitude far above the off-resonance drive * |Z|).
         assert freq == pytest.approx(TANK.frequency, rel=0.02)
         assert wave.y[-400:].max() > 0.05
+
+
+class TestCoilMesh:
+    def test_netlist_structure(self):
+        c = Circuit("mesh")
+        grid = c.coil_mesh("m_", 3, 4, 1e-7, 0.1, 1e-12)
+        assert len(grid) == 3 and all(len(row) == 4 for row in grid)
+        assert grid[0][0] == "m_n0_0" and grid[2][3] == "m_n2_3"
+        # E = nx*(ny-1) + ny*(nx-1) edges, one L + one R + one mid
+        # junction each; one shunt cap per grid node.
+        edges = 3 * 3 + 4 * 2
+        assert "m_C2_3" in c and "m_Lh0_0" in c and "m_Rv1_2" in c
+        # unknowns: nx*ny grid nodes + E mids + E inductor branches.
+        assert c.prepare() == 3 * 4 + 2 * edges
+
+    def test_rejects_degenerate_grids(self):
+        c = Circuit("bad")
+        with pytest.raises(NetlistError):
+            c.coil_mesh("m_", 0, 4, 1e-7, 0.1, 1e-12)
+        with pytest.raises(NetlistError):
+            c.coil_mesh("m_", 1, 1, 1e-7, 0.1, 1e-12)
+
+    def test_coilmesh_unknown_count_matches_prepared_circuit(self):
+        from repro.sensor import CoilMesh
+
+        for nx, ny in ((2, 2), (4, 3), (6, 6)):
+            mesh = CoilMesh(TANK, nx=nx, ny=ny)
+            assert mesh.build_circuit().prepare() == mesh.unknown_count
+
+    def test_coilmesh_conserves_tank_totals(self):
+        from repro.sensor import CoilMesh
+
+        mesh = CoilMesh(TANK, nx=5, ny=7)
+        e = mesh.n_edges
+        assert mesh.segment_inductance * e == pytest.approx(TANK.inductance)
+        assert mesh.segment_resistance * e == pytest.approx(
+            TANK.series_resistance
+        )
+        assert mesh.node_capacitance * 35 == pytest.approx(
+            0.05 * TANK.capacitance
+        )
+
+    def test_coilmesh_validation(self):
+        from repro.sensor import CoilMesh
+
+        with pytest.raises(ConfigurationError):
+            CoilMesh(TANK, nx=1, ny=5)
+        with pytest.raises(ConfigurationError):
+            CoilMesh(TANK, nx=4, ny=4, parasitic_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            CoilMesh(TANK, nx=4, ny=4).build_circuit(drive="square")
+
+    def test_mesh_array_same_topology(self):
+        from repro.sensor import CoilMesh, coil_mesh_array
+
+        mesh = CoilMesh(TANK, nx=3, ny=3)
+        circuits = coil_mesh_array(mesh, 3, spread=0.2)
+        sizes = {c.prepare() for c in circuits}
+        assert sizes == {mesh.unknown_count}
+        with pytest.raises(ConfigurationError):
+            coil_mesh_array(mesh, 0)
+        with pytest.raises(ConfigurationError):
+            coil_mesh_array(mesh, 2, spread=0.7)
