@@ -28,6 +28,25 @@ default) so future PRs have a perf trajectory to regress against:
   wall clock favours trap — the per-step cost is Python overhead,
   not linear algebra — which is why the gate rides the deterministic
   step ratio, not seconds.)
+* ``fig16_startup_envelope`` — the Fig 16 startup integrated by the
+  cycle-skipping envelope engine
+  (:func:`repro.circuits.run_transient_envelope`): resolve a few
+  anchor cycles, advance N periods via the describing-function
+  amplitude ODE, re-anchor with a correction burst whose mismatch
+  controls N.  Gated on the deterministic resolved-cycle economy
+  (>= 5x fewer resolved cycles than the carrier run) and Newton-solve
+  count at <= 1% settled-amplitude error; wall clock is a loose
+  floor.  The ``skip="off"`` escape hatch is gated separately by the
+  live ``envelope_identity`` check in ``--check`` mode.
+* ``supply_loss_envelope`` — the supply-loss corner integrated
+  multi-rate: a :class:`repro.circuits.PhaseSchedule` runs trap at
+  carrier resolution until the fault, then switches live to L-stable
+  Gear/BDF3 with a coarse dt for the ring-down and quiet tail
+  (multistep history bootstrapped at the boundary).  Baseline:
+  adaptive trap over the whole run at identical tolerances; gated on
+  the settle-phase accepted-step economy at matched pre-fault
+  amplitude and frequency error (the carrier phase is deliberately
+  identical to the baseline, so only the tail can win).
 * ``mc_startup`` — a Monte-Carlo campaign of short carrier-resolution
   startups over mismatch draws (driver gm / tank Q spread), routed
   through the shared campaign runner.  Baseline: the same campaign on
@@ -108,13 +127,16 @@ from repro.analysis import envelope_by_peaks, oscillation_frequency
 from repro.campaigns import BatchOptions, run_batch
 from repro.campaigns.vectorized import run_transient_campaign
 from repro.circuits import (
+    EnvelopeOptions,
+    PhaseSchedule,
     TransientOptions,
     run_transient,
     run_transient_batched,
+    run_transient_envelope,
     run_transient_reference,
 )
 from repro.core import FailureKind, OscillatorNetlist, supply_loss_tank_circuit
-from repro.envelope import RLCTank, TanhLimiter
+from repro.envelope import EnvelopeModel, RLCTank, TanhLimiter
 from repro.faults import FaultCampaign
 from repro.mc.mismatch import MismatchProfile
 from repro.sensor.coils import CoilMesh, DistributedCoil
@@ -409,6 +431,189 @@ def bench_supply_loss_gear(cycles: int = 400) -> dict:
             str(order): count
             for order, count in gear.stats["order_histogram"].items()
         },
+    }
+
+
+# -- multi-rate envelope following ------------------------------------------
+
+
+def _envelope_recipe(**kw) -> EnvelopeOptions:
+    """The describing-function skip recipe for the bench tank/limiter."""
+    return EnvelopeOptions(
+        period=1.0 / TANK.frequency,
+        nodes=("lc1", "lc2"),
+        model=EnvelopeModel(TANK, LIMITER),
+        **kw,
+    )
+
+
+def bench_fig16_startup_envelope(cycles: int = 400) -> dict:
+    """Cycle-skipping envelope startup vs the carrier-resolved run.
+
+    The gated assets are *deterministic*: the resolved-cycle economy
+    (the envelope engine must integrate >= 5x fewer carrier cycles
+    than the plain engine on the same grid) and the Newton-solve
+    count, both immune to machine load.  Envelope accuracy (settled
+    amplitude vs the carrier-resolved golden run) is asserted inside
+    the bench; wall clock rides the usual loose floor.
+    """
+    # The skip ladder needs room to grow past the startup transient;
+    # below ~120 cycles the anchor + correction bursts dominate and
+    # the economy measures burst overhead, not skipping.
+    cycles = max(cycles, 120)
+    T = 1.0 / TANK.frequency
+    options = dataclasses.replace(
+        _startup_options(cycles), record_nodes=("lc1", "lc2")
+    )
+    netlist = OscillatorNetlist(TANK, vref=2.5)
+
+    carrier_seconds, carrier = _timed(
+        lambda: run_transient(netlist.build(LIMITER), options)
+    )
+    env_seconds, env = _timed(
+        lambda: run_transient_envelope(
+            netlist.build(LIMITER), options, _envelope_recipe()
+        )
+    )
+    e = env.stats["envelope"]
+    cycle_ratio = e["total_cycles"] / max(e["resolved_cycles"], 1)
+    assert cycle_ratio >= 5.0, (
+        f"envelope must resolve >= 5x fewer cycles, got {cycle_ratio:.1f}x"
+    )
+    a_gold = 0.5 * carrier.differential("lc1", "lc2").window(
+        options.t_stop - 2 * T, options.t_stop
+    ).peak_to_peak()
+    envelope_error = abs(e["final"]["amplitude"] - a_gold) / a_gold
+    assert envelope_error <= ADAPTIVE_ERROR_LIMIT, (
+        f"envelope amplitude error {envelope_error:.2%}"
+    )
+    return {
+        "workload": f"cycle-skipping envelope startup, {cycles} cycles "
+        "(describing-function predictor, adaptive skip length)",
+        "baseline": "carrier-resolved trap on the same grid (live, same machine)",
+        "cycles": cycles,
+        "seed_seconds": carrier_seconds,
+        "optimized_seconds": env_seconds,
+        "speedup": carrier_seconds / env_seconds,
+        "resolved_cycles": e["resolved_cycles"],
+        "total_cycles": e["total_cycles"],
+        "resolved_cycle_ratio": cycle_ratio,
+        "optimized_newton_iterations": env.stats["newton_iterations"],
+        "envelope_amplitude_error": envelope_error,
+        "skips_attempted": len(e["skip_history"]),
+        "final_skip": e["final"]["skip"],
+    }
+
+
+def bench_supply_loss_envelope(cycles: int = 400) -> dict:
+    """Multi-rate supply-loss: phased trap->Gear vs whole-run trap.
+
+    The envelope-following treatment of the supply-loss corner: the
+    carrier phase is integrated with trapezoidal at carrier
+    resolution, then the schedule switches to L-stable Gear/BDF3 with
+    a coarse dt at the fault breakpoint — switched live, multistep
+    history bootstrapped at the boundary.  Baseline: adaptive trap
+    over the whole run at identical tolerances.  The gated asset is
+    the *settle-phase* accepted-step economy at matched pre-fault
+    amplitude error: the carrier phase is deliberately identical to
+    the baseline (that is the point of phasing — keep trap's carrier
+    accuracy), so the total step ratio only reflects how much of the
+    run the tail occupies, while the post-fault ratio isolates what
+    the live switch buys.
+    """
+    f0 = TANK.frequency
+    T = 1.0 / f0
+    t_fault = (cycles / 10) * T
+    t_stop = cycles * T
+
+    def circuit():
+        return supply_loss_tank_circuit(
+            f0, t_fault, q=40.0, inductance=TANK.inductance
+        )
+
+    def options(**kw):
+        return TransientOptions(
+            t_stop=t_stop,
+            dt=T / 40,
+            step_control="adaptive",
+            use_dc_operating_point=False,
+            dt_min=T / 81920,
+            dt_max=8 * T,
+            lte_reltol=1e-6,
+            lte_abstol=1e-9,
+            **kw,
+        )
+
+    # Error reference: one fine fixed-grid golden run (not timed).
+    fine = run_transient(
+        circuit(),
+        TransientOptions(t_stop=t_stop, dt=T / 160, use_dc_operating_point=False),
+    )
+    amp_ref = _fitted_amplitude(
+        fine.differential("lc1", "lc2"), 0.6 * t_fault, t_fault, f0
+    )
+
+    trap_seconds, trap = _timed(lambda: run_transient(circuit(), options()))
+    phased_seconds, phased = _timed(
+        lambda: run_transient(
+            circuit(),
+            options(
+                phases=PhaseSchedule.carrier_then_settle(
+                    t_fault,
+                    carrier_dt=T / 40,
+                    settle_dt=T / 4,
+                    settle_method="gear",
+                    max_order=3,
+                )
+            ),
+        )
+    )
+    amp_err = abs(
+        _fitted_amplitude(
+            phased.differential("lc1", "lc2"), 0.6 * t_fault, t_fault, f0
+        ) / amp_ref - 1.0
+    )
+    freq_ref = oscillation_frequency(
+        fine.differential("lc1", "lc2").window(0.6 * t_fault, t_fault)
+    )
+    freq_phased = oscillation_frequency(
+        phased.differential("lc1", "lc2").window(0.6 * t_fault, t_fault)
+    )
+    freq_err = abs(freq_phased / freq_ref - 1.0)
+    assert amp_err < ADAPTIVE_ERROR_LIMIT, f"phased amp error {amp_err:.2%}"
+    assert freq_err < ADAPTIVE_ERROR_LIMIT, f"phased freq error {freq_err:.2%}"
+    assert phased.stats["phase_switches"] == 1, (
+        f"expected one live phase switch, got {phased.stats['phase_switches']}"
+    )
+    step_ratio = trap.stats["accepted_steps"] / phased.stats["accepted_steps"]
+    # Post-fault accepted steps: one record per accepted step, so the
+    # record timestamps partition deterministically at the fault.
+    settle_trap = int(np.sum(trap.t > t_fault))
+    settle_phased = int(np.sum(phased.t > t_fault))
+    settle_step_ratio = settle_trap / settle_phased
+    assert settle_step_ratio >= 1.5, (
+        "phase schedule must cut settle-phase accepted steps >= 1.5x, "
+        f"got {settle_step_ratio:.2f}x"
+    )
+    return {
+        "workload": f"supply-loss multi-rate (lte_reltol 1e-6), {cycles} cycles: "
+        "trap carrier then Gear/BDF3 settle via live phase switch",
+        "baseline": "adaptive trapezoidal whole-run, identical tolerances "
+        "(live, same machine)",
+        "cycles": cycles,
+        "seed_seconds": trap_seconds,
+        "optimized_seconds": phased_seconds,
+        "speedup": trap_seconds / phased_seconds,
+        "steps_trap": trap.stats["accepted_steps"],
+        "steps_phased": phased.stats["accepted_steps"],
+        "optimized_steps": phased.stats["accepted_steps"],
+        "step_ratio": step_ratio,
+        "settle_steps_trap": settle_trap,
+        "settle_steps_phased": settle_phased,
+        "settle_step_ratio": settle_step_ratio,
+        "phase_switches": phased.stats["phase_switches"],
+        "amplitude_error": amp_err,
+        "frequency_error": freq_err,
     }
 
 
@@ -793,6 +998,8 @@ def run_benches(
         "fig16_startup_adaptive": bench_fig16_adaptive(cycles),
         "supply_loss_adaptive": bench_supply_loss_adaptive(supply_cycles),
         "supply_loss_gear": bench_supply_loss_gear(supply_cycles),
+        "fig16_startup_envelope": bench_fig16_startup_envelope(supply_cycles),
+        "supply_loss_envelope": bench_supply_loss_envelope(supply_cycles),
         "mc_startup": bench_mc_startup(samples),
         "mc_startup_batched": bench_mc_startup_batched(batched_samples),
         "mc_startup_sharded": bench_mc_startup_sharded(batched_samples),
@@ -817,7 +1024,12 @@ def run_benches(
 #: a ceiling).  These move when the engine's algorithmic efficiency
 #: changes and are immune to machine load; wall-clock speedup is only
 #: a loose catastrophic floor on every workload.
-_RATIO_METRICS = ("newton_solve_ratio", "step_ratio")
+_RATIO_METRICS = (
+    "newton_solve_ratio",
+    "step_ratio",
+    "resolved_cycle_ratio",
+    "settle_step_ratio",
+)
 _WORK_METRICS = (
     "optimized_newton_iterations",
     "optimized_steps",
@@ -1048,6 +1260,55 @@ def check_health_overhead(cycles: int = 20) -> int:
     return failures
 
 
+def check_envelope_identity(cycles: int = 20) -> int:
+    """Gate the envelope engine's ``skip="off"`` bit-identity contract.
+
+    With skipping disabled the envelope front-end must delegate to
+    the plain engine and only *annotate* the result: identical time
+    grid, identical records, identical Newton-solve count, with the
+    provenance metadata marking every record as resolved.  Runs live
+    (no baseline needed) on the Fig 16 startup.  Returns the number
+    of failures (0 = gate passes).
+    """
+    failures = 0
+    options = dataclasses.replace(
+        _startup_options(cycles), record_nodes=("lc1", "lc2")
+    )
+    netlist = OscillatorNetlist(TANK, vref=2.5)
+    plain = run_transient(netlist.build(LIMITER), options)
+    off = run_transient_envelope(
+        netlist.build(LIMITER), options, _envelope_recipe(skip="off")
+    )
+    identical = (
+        plain.stats["newton_iterations"] == off.stats["newton_iterations"]
+        and np.array_equal(plain.t, off.t)
+        and np.array_equal(plain.x, off.x)
+    )
+    e = off.stats["envelope"]
+    annotated = e["skip"] == "off" and all(
+        p == "resolved" for p in e["provenance"]
+    )
+    if not identical:
+        failures += 1
+        print(
+            "envelope_identity        FAIL: skip=off differs from the plain "
+            f"engine (newton {plain.stats['newton_iterations']} -> "
+            f"{off.stats['newton_iterations']})"
+        )
+    elif not annotated:
+        failures += 1
+        print(
+            "envelope_identity        FAIL: skip=off provenance is not "
+            "all-resolved"
+        )
+    else:
+        print(
+            "envelope_identity        skip=off bit-identical, "
+            f"{len(off.t):>6} records all resolved  ok"
+        )
+    return failures
+
+
 #: Armed-run wall budget: certification recomputes the step residual
 #: (one dense mat-vec + device re-linearization per accepted step), so
 #: some overhead is the *point*; 3x plus absolute slack catches an
@@ -1097,7 +1358,8 @@ def main(argv=None) -> int:
         failures = check_against_baseline(baseline, args.tolerance)
         overhead_failures = check_rescue_overhead()
         health_failures = check_health_overhead()
-        if failures or overhead_failures or health_failures:
+        envelope_failures = check_envelope_identity()
+        if failures or overhead_failures or health_failures or envelope_failures:
             if failures:
                 print(f"FAIL: {failures} workload(s) regressed > "
                       f"{args.tolerance:.0%} vs {args.baseline}")
@@ -1107,6 +1369,9 @@ def main(argv=None) -> int:
             if health_failures:
                 print(f"FAIL: {health_failures} healthy workload(s) "
                       "changed or overran with the health layer armed")
+            if envelope_failures:
+                print("FAIL: envelope skip=off run is not bit-identical "
+                      "to the plain engine")
             return 1
         print(f"bench gate ok (within {args.tolerance:.0%} of {args.baseline})")
         return 0

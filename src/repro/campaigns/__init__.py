@@ -28,18 +28,26 @@ circuits layer, is loaded lazily on first attribute access.
 """
 
 from ..errors import TaskFailure
-from .runner import BatchOptions, RetryPolicy, run_batch, run_chain
+from .runner import (
+    BatchOptions,
+    RetryPolicy,
+    nearest_neighbor_chain,
+    run_batch,
+    run_chain,
+)
 from .sweeps import corner_sweep, labelled_sweep
 
 __all__ = [
     "BatchOptions",
     "RetryPolicy",
     "TaskFailure",
+    "nearest_neighbor_chain",
     "run_batch",
     "run_chain",
     "corner_sweep",
     "labelled_sweep",
     "TransientMetricSpec",
+    "run_envelope_campaign",
     "run_transient_campaign",
     "transient_worker",
 ]
@@ -49,6 +57,7 @@ __all__ = [
 #: package's runner for continuation chains).
 _VECTORIZED_EXPORTS = (
     "TransientMetricSpec",
+    "run_envelope_campaign",
     "run_transient_campaign",
     "transient_worker",
 )

@@ -79,7 +79,13 @@ from ..errors import (
     TaskFailure,
 )
 
-__all__ = ["BatchOptions", "RetryPolicy", "run_batch", "run_chain"]
+__all__ = [
+    "BatchOptions",
+    "RetryPolicy",
+    "nearest_neighbor_chain",
+    "run_batch",
+    "run_chain",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -325,6 +331,62 @@ def wrap_task_error(
         task=task,
         cause_text=cause_text,
     )
+
+
+def nearest_neighbor_chain(
+    points: Sequence,
+    start: int = 0,
+) -> List[int]:
+    """Greedy nearest-neighbour visiting order over parameter vectors.
+
+    Warm-started campaigns (continuation chains, envelope-following
+    Monte-Carlo) converge fastest when consecutive tasks are *similar*:
+    each run seeds the next, and the seed is only as good as the
+    parameter distance between neighbours.  This orders the tasks as a
+    greedy chain — start at ``start``, repeatedly hop to the nearest
+    unvisited point (Euclidean; ties broken by index for determinism).
+
+    ``points`` holds one scalar or one fixed-length numeric sequence
+    per task.  O(n^2) in pure Python, which is fine for campaign sizes
+    (hundreds of samples around millisecond-to-seconds simulations).
+    """
+    pts: List[tuple] = []
+    for p in points:
+        if isinstance(p, (list, tuple)):
+            pts.append(tuple(float(v) for v in p))
+        else:
+            try:
+                pts.append(tuple(float(v) for v in p))
+            except TypeError:
+                pts.append((float(p),))
+    n = len(pts)
+    if n == 0:
+        return []
+    if not 0 <= start < n:
+        raise ValueError(f"start index {start} out of range for {n} points")
+    dim = len(pts[0])
+    for i, p in enumerate(pts):
+        if len(p) != dim:
+            raise ValueError(
+                f"point {i} has {len(p)} coordinates, expected {dim}"
+            )
+    order = [start]
+    remaining = set(range(n))
+    remaining.discard(start)
+    current = start
+    while remaining:
+        here = pts[current]
+        best = min(
+            remaining,
+            key=lambda j: (
+                sum((a - b) ** 2 for a, b in zip(here, pts[j])),
+                j,
+            ),
+        )
+        order.append(best)
+        remaining.discard(best)
+        current = best
+    return order
 
 
 class _IndexedWorker:

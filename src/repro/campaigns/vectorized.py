@@ -57,6 +57,7 @@ from ..circuits.batched import (
     probe_stiffness_ratios,
     run_transient_batched,
 )
+from ..circuits.envelope_transient import EnvelopeOptions, run_transient_envelope
 from ..circuits.netlist import Circuit
 from ..circuits.stepcontrol import stiffness_bins
 from ..circuits.transient import (
@@ -74,11 +75,13 @@ from .runner import (
     _kill_pool,
     _wrap_collective,
     drain_ordered,
+    nearest_neighbor_chain,
     wrap_task_error,
 )
 
 __all__ = [
     "TransientMetricSpec",
+    "run_envelope_campaign",
     "run_transient_campaign",
     "transient_worker",
 ]
@@ -855,6 +858,70 @@ def _stream_worker(job: Tuple[int, object]):
         ) from exc
 
 
+def _ragged_record_capacity(options: TransientOptions) -> int:
+    """Per-sample record capacity for the ragged streaming block.
+
+    Adaptive runs have no record count known up front; reserve 4x the
+    fixed-grid count at the *initial* dt.  The adaptive controller
+    shrinks below dt only transiently (near breakpoints or stiffness
+    onsets), so a sample overflowing 4x is rare — and legal: its
+    worker just falls back to pickling that one sample's arrays.
+    """
+    return 4 * (_fixed_record_count(options) + 2)
+
+
+def _ragged_init(shm_name, shape, capacity, n_columns, build, options) -> None:
+    shm = shared_memory.SharedMemory(name=shm_name)
+    _WORKER_STATE["shm"] = shm
+    _WORKER_STATE["records"] = np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
+    atexit.register(shm.close)
+    _WORKER_STATE["capacity"] = capacity
+    _WORKER_STATE["n_columns"] = n_columns
+    _WORKER_STATE["build"] = build
+    _WORKER_STATE["options"] = options
+
+
+def _ragged_worker(job: Tuple[int, object]):
+    """Run one task, stream its ragged records into the shared block.
+
+    Each sample owns one fixed-size slot laid out as
+    ``[n_records, t[0:capacity], x.ravel()[0:capacity * n_columns]]``
+    — a length header followed by the time grid and the row-major
+    record matrix at fixed offsets, so per-sample record counts may
+    differ (adaptive grids, envelope runs).  A result that outgrows
+    the slot is returned as a pickled 5-tuple for that sample only;
+    fits return the small 4-tuple payload like the fixed-grid path.
+    """
+    index, task = job
+    try:
+        build = _WORKER_STATE["build"]
+        options = _WORKER_STATE["options"]
+        result = run_transient(build(task), options)
+        capacity = _WORKER_STATE["capacity"]
+        n_columns = _WORKER_STATE["n_columns"]
+        n = len(result.t)
+        if n <= capacity and result.x.shape == (n, n_columns):
+            slot = _WORKER_STATE["records"][index]
+            slot[0] = float(n)
+            slot[1 : 1 + n] = result.t
+            flat = np.ascontiguousarray(result.x).ravel()
+            slot[1 + capacity : 1 + capacity + n * n_columns] = flat
+            return index, None, result.recorded_nodes, dict(result.stats)
+        return (
+            index,
+            result.t,
+            result.x,
+            result.recorded_nodes,
+            dict(result.stats),
+        )
+    except BatchTaskError:
+        raise
+    except Exception as exc:
+        raise wrap_task_error(
+            exc, index, task, action="transient worker failed"
+        ) from exc
+
+
 def _pickled_init(build, options) -> None:
     _WORKER_STATE["build"] = build
     _WORKER_STATE["options"] = options
@@ -893,8 +960,13 @@ def _run_process_streaming(
     ``multiprocessing.shared_memory`` block of shape
     ``(n_tasks, n_records, n_columns)`` is preallocated and each
     worker writes its rows in place — campaigns stream full waveforms
-    without pickling them.  Adaptive runs (record count unknown)
-    fall back to pickled record arrays through the same pool.
+    without pickling them.  Adaptive runs (record count unknown per
+    sample) stream through a *ragged* block instead: one fixed-size
+    slot per sample holding a length header, the time grid, and the
+    record matrix, sized by :func:`_ragged_record_capacity`; a sample
+    overflowing its slot falls back to pickling just its own arrays.
+    Only campaigns with no single record-column count (heterogeneous
+    full-state recording) use the fully pickled pool.
 
     ``build``, ``options`` and the tasks must be picklable; circuits
     are rebuilt in the parent only to label the returned results.
@@ -906,17 +978,17 @@ def _run_process_streaming(
         # numbering too (waveform/branch_current access).
         circuit.prepare()
     n_workers = batch.resolved_max_workers()
-    # One shared block needs one record shape: fixed grid, and — when
-    # recording full state vectors — homogeneous unknown counts.
-    # Heterogeneous-topology campaigns (legal here, unlike lockstep)
-    # use the pickled-record pool instead.
-    streaming = options.step_control == "fixed" and (
+    # One shared block needs one record *width*: explicit record_nodes,
+    # or — when recording full state vectors — homogeneous unknown
+    # counts.  Heterogeneous-topology campaigns (legal here, unlike
+    # lockstep) use the pickled-record pool instead.
+    streaming = (
         options.record_nodes is not None
         or all(c.size == circuits[0].size for c in circuits)
     )
     jobs = list(enumerate(tasks))
 
-    if streaming:
+    if streaming and options.step_control == "fixed":
         _indices, recorded_nodes, n_columns = _resolve_recording(
             circuits[0], options
         )
@@ -940,6 +1012,50 @@ def _run_process_streaming(
                         circuit=circuits[index],
                         t=t,
                         x=np.array(records[index]),
+                        recorded_nodes=nodes,
+                        stats=stats,
+                    )
+                )
+        finally:
+            _release_shared_block(shm)
+        return results
+
+    if streaming:
+        _indices, recorded_nodes, n_columns = _resolve_recording(
+            circuits[0], options
+        )
+        capacity = _ragged_record_capacity(options)
+        # Slot layout: [n, t(capacity), x.ravel()(capacity * n_columns)].
+        shape = (len(tasks), 1 + capacity * (1 + n_columns))
+        shm = _create_shared_block(shape)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=n_workers,
+                initializer=_ragged_init,
+                initargs=(shm.name, shape, capacity, n_columns, build, options),
+            ) as executor:
+                payloads = _gather(
+                    executor.map(_ragged_worker, jobs, chunksize=batch.chunksize),
+                    tasks,
+                )
+            records = np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
+            results = []
+            for payload in payloads:
+                if len(payload) == 5:  # overflowed its slot: pickled
+                    index, t, x, nodes, stats = payload
+                else:
+                    index, _sentinel, nodes, stats = payload
+                    slot = records[index]
+                    n = int(slot[0])
+                    t = np.array(slot[1 : 1 + n])
+                    x = np.array(
+                        slot[1 + capacity : 1 + capacity + n * n_columns]
+                    ).reshape(n, n_columns)
+                results.append(
+                    TransientResult(
+                        circuit=circuits[index],
+                        t=t,
+                        x=x,
                         recorded_nodes=nodes,
                         stats=stats,
                     )
@@ -972,3 +1088,91 @@ def _run_process_streaming(
 def _gather(iterator, tasks):
     """Drain an executor map, wrapping failures with their task index."""
     return drain_ordered(iterator, tasks, action="transient worker failed")
+
+
+# -- warm-started envelope campaigns ------------------------------------------
+
+
+def run_envelope_campaign(
+    tasks: Sequence[object],
+    build: Callable[[object], Circuit],
+    options: TransientOptions,
+    envelope,
+    params: Optional[Sequence] = None,
+    start: int = 0,
+) -> List[TransientResult]:
+    """Envelope-following transients over a campaign, warm-started.
+
+    Runs :func:`~repro.circuits.envelope_transient.
+    run_transient_envelope` once per task, visiting the tasks in
+    greedy nearest-neighbour order over ``params`` (one scalar or
+    parameter vector per task — typically the Monte-Carlo draws) so
+    that each sample's settled envelope state
+    (``stats["envelope"]["final"]``) seeds the next sample's skip
+    schedule via ``EnvelopeOptions.warm_start``.  Nearby draws settle
+    to nearby envelopes, so a warm-started sample starts skipping at
+    the neighbour's converged skip length instead of re-climbing from
+    ``skip_initial``.
+
+    The chain is self-correcting: the engine's correction burst
+    measures every skip against the describing-function prediction, so
+    a warm start carried across a parameter cliff is *rejected*
+    (``stats["envelope"]["warm_start"] == "rejected"``) and that
+    sample falls back to the cold ``skip_initial`` schedule — a bad
+    seed costs resolved cycles, never accuracy.
+
+    ``envelope`` is either one shared
+    :class:`~repro.circuits.envelope_transient.EnvelopeOptions` or a
+    callable ``task -> EnvelopeOptions`` — campaigns whose draws
+    perturb the tank or limiter need a per-task describing-function
+    model, and only the task knows the draw.  Without ``params`` the
+    tasks run in the given order, still chaining warm starts.  Results
+    are returned in task order, each with
+    ``stats["envelope"]["chain_rank"]`` recording its position in the
+    visiting chain.  ``skip == "off"`` degrades to plain
+    carrier-resolved runs (no warm state to carry).
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    env_for = (
+        envelope
+        if callable(envelope) and not isinstance(envelope, EnvelopeOptions)
+        else (lambda _task: envelope)
+    )
+    if params is not None:
+        params = list(params)
+        if len(params) != len(tasks):
+            raise SimulationError(
+                f"params has {len(params)} entries for {len(tasks)} tasks"
+            )
+        order = nearest_neighbor_chain(params, start=start)
+    else:
+        order = list(range(len(tasks)))
+    results: List[Optional[TransientResult]] = [None] * len(tasks)
+    warm: Optional[dict] = None
+    for rank, g in enumerate(order):
+        base = env_for(tasks[g])
+        if not isinstance(base, EnvelopeOptions):
+            raise SimulationError(
+                "envelope must be an EnvelopeOptions or a callable "
+                f"returning one, got {type(base).__name__}"
+            )
+        env = replace(base, warm_start=warm)
+        try:
+            result = run_transient_envelope(build(tasks[g]), options, env)
+        except BatchTaskError:
+            raise
+        except Exception as exc:
+            raise wrap_task_error(
+                exc, g, tasks[g], action="envelope campaign task failed"
+            ) from exc
+        stats = result.stats.get("envelope")
+        if isinstance(stats, dict):
+            stats["chain_rank"] = rank
+            final = stats.get("final")
+            warm = dict(final) if isinstance(final, dict) else None
+        else:
+            warm = None
+        results[g] = result
+    return results

@@ -78,8 +78,15 @@ from .preflight import Diagnostic, PreflightWarning, check_netlist
 from .noise import NoiseResult, run_noise
 from .subcircuit import CellBuilder, SubcircuitDefinition
 from .reference import run_transient_reference
+from .envelope_transient import EnvelopeOptions, run_transient_envelope
 from .sources import CurrentSource, VoltageSource, dc, pulse, pwl, sine, source_breakpoints
-from .stepcontrol import StepController, collect_breakpoints, stiffness_bins
+from .stepcontrol import (
+    Phase,
+    PhaseSchedule,
+    StepController,
+    collect_breakpoints,
+    stiffness_bins,
+)
 from .transient import TransientOptions, TransientResult, run_transient
 
 __all__ = [
@@ -145,9 +152,13 @@ __all__ = [
     "pwl",
     "sine",
     "source_breakpoints",
+    "Phase",
+    "PhaseSchedule",
     "StepController",
     "collect_breakpoints",
     "stiffness_bins",
+    "EnvelopeOptions",
+    "run_transient_envelope",
     "TransientOptions",
     "TransientResult",
     "run_transient",

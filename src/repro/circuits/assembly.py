@@ -290,6 +290,30 @@ class _HistoryRing:
             self._w_cache[key] = w
         return w
 
+    def bootstrap(self, dt: float, derivative: np.ndarray) -> int:
+        """Synthesize a full committed history behind the current state.
+
+        Fills every history row with the first-order backward
+        extrapolation ``val(t_now - k*dt) = val(t_now) - k*dt*val'`` —
+        the same accuracy class as one trapezoidal startup step, which
+        is why a multistep phase entered mid-run through this bootstrap
+        starts at its full order instead of ramping through the
+        ``usable_order`` history clamp.  ``derivative`` is the
+        per-element time derivative of the formula-form value (cap
+        ``dv/dt``, inductor ``di/dt``); the derivative rows are held
+        constant (exact for the linear-in-time states the
+        extrapolation itself assumes).  Returns the number of history
+        rows synthesized (0 when the ring has no depth).
+        """
+        if not self.depth:
+            return 0
+        for k in range(1, self.depth + 1):
+            self.fv[k] = self.fv[0] - (k * dt) * derivative
+            self.fd[k] = self.fd[0]
+            self.t[k - 1] = self.t_now - k * dt
+        self.fill = self.depth
+        return self.depth
+
     def snapshot(self) -> tuple:
         """Capture ``(t_now, history)`` so a trial step can be undone."""
         if not self.depth:
@@ -402,6 +426,10 @@ class _ReactiveSet:
         # trapezoidal history bootstrap) and costs one small copy per
         # commit.
         self.ring = _HistoryRing((n,))
+        #: Per-element energy-storage values (C for caps, L for
+        #: inductors), built lazily by :meth:`bootstrap_history` to
+        #: convert the conjugate-derivative row into state derivatives.
+        self._energy: Optional[np.ndarray] = None
         #: Single-slot companion-term memo: within one candidate step
         #: the identical term is needed by the step RHS *and* the
         #: commit.  ``(dt, order, t_now, fill)`` pins the state —
@@ -459,6 +487,32 @@ class _ReactiveSet:
         used across breakpoints, where interpolating through a
         discontinuity would poison the multistep formula."""
         self.ring.reset()
+
+    def bootstrap_history(self, dt: float) -> int:
+        """One-step trap bootstrap of the multistep history ring.
+
+        The conjugate-derivative row the ring already carries (cap
+        current ``i = C v'``, inductor voltage ``v = L i'``) *is* the
+        state derivative up to the element value, so a consistent
+        uniform history at spacing ``dt`` can be synthesized from the
+        current committed state alone — no extra solves.  A Gear phase
+        entered mid-run at order >= 2 then starts from this history at
+        its full target order instead of the classic startup ramp.
+        Returns the number of history rows synthesized.
+        """
+        if not self.ring.depth or not self.n:
+            return 0
+        if self._energy is None:
+            self._energy = np.concatenate(
+                [
+                    np.array([c.capacitance for c in self.caps], dtype=float),
+                    np.array([l.inductance for l in self.inds], dtype=float),
+                ]
+            )
+        self.ring.set_current(self.v, self.i, self.n_caps)
+        filled = self.ring.bootstrap(dt, self.ring.fd[0] / self._energy)
+        self._cterm = None
+        return filled
 
     def _val_now(self) -> np.ndarray:
         """Current state in formula form (cap v, inductor i)."""
@@ -909,12 +963,20 @@ class TransientAssembly:
         self,
         method: Union[str, IntegrationMethod],
         order: Optional[int] = None,
+        bootstrap_dt: Optional[float] = None,
     ) -> None:
         """Switch the integration method on a live assembly.
 
         The cache key includes the method name and order, so entries
         built for the previous method can never be served again; they
         age out of the LRU normally.
+
+        ``bootstrap_dt`` (multistep targets only) discards whatever
+        committed history survives the switch and synthesizes a fresh
+        uniform one at that spacing from the current state and its
+        derivative (:meth:`_ReactiveSet.bootstrap_history`), so a
+        phase switch into Gear starts at full order immediately
+        instead of ramping.
         """
         self.method = resolve_method(method)
         self.method_name = self.method.name
@@ -927,6 +989,9 @@ class TransientAssembly:
         # method must not survive.
         self.reactive.ring.clear_weights()
         self.reactive._cterm = None
+        if bootstrap_dt is not None and self.method.is_multistep:
+            self.reactive.reset_history()
+            self.reactive.bootstrap_history(float(bootstrap_dt))
         if order is None:
             order = self.method.usable_order(
                 self.method.max_order, self.reactive.history_points

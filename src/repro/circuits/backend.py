@@ -658,26 +658,41 @@ class KrylovSolver:
         return SparseLU(updated).solve(b)
 
 
+class _BlockAnchor:
+    """One pooled per-sample preconditioner: the block it factored
+    (strong ref, so identity checks never alias a recycled object),
+    its LU — or the dense least-squares fallback when the
+    factorization hit a zero pivot — and the sketch fingerprint used
+    for nearest-anchor selection."""
+
+    __slots__ = ("mat", "lu", "dense", "scale")
+
+    def __init__(self, mat, lu, dense, scale: float):
+        self.mat = mat
+        self.lu = lu
+        self.dense = dense
+        self.scale = scale
+
+
 class _BlockStaleState:
     """Per-sample stale preconditioners of one :class:`KrylovBackend`.
 
     Lives on the backend instance (not on a dt entry) so the batched
     assembly's cache entries all share it — the ``BlockDiagLU``-style
-    symbolic-once column ordering plus one stale numeric LU per
-    sample, refreshed independently per sample.
+    symbolic-once column ordering plus one small LRU *pool* of stale
+    anchors per sample.  A dt ladder that alternates entries (adaptive
+    probe/half steps, envelope correction bursts re-entering a hot
+    dt) keeps an anchor per rung instead of thrashing a single slot.
     """
 
-    __slots__ = ("n", "n_samples", "perm", "lus", "dense", "mats", "last_applies")
+    __slots__ = ("n", "n_samples", "perm", "pools", "last_applies")
 
     def __init__(self, n: int, n_samples: int, perm: Optional[np.ndarray]):
         self.n = n
         self.n_samples = n_samples
         self.perm = perm
-        self.lus = [None] * n_samples
-        self.dense = [None] * n_samples
-        #: The block each sample's stale LU factored (strong refs, so
-        #: identity checks can never alias a recycled object).
-        self.mats = [None] * n_samples
+        #: Per-sample anchor pools, least-recently-used first.
+        self.pools: List[List[_BlockAnchor]] = [[] for _ in range(n_samples)]
         self.last_applies = [0] * n_samples
 
 
@@ -687,11 +702,16 @@ class KrylovBlockDiag:
     The Krylov counterpart of :class:`BlockDiagLU` for the batched
     lockstep engine: same stacked-RHS ``solve`` contract, same
     per-sample isolation (a sample that degrades to least-squares
-    poisons no shard-mate), but the per-block numeric factorization
-    happens only on the *first* dt entry (and on per-sample refreshes)
-    — later entries ride each sample's stale LU iteratively.
-    ``n_factorizations`` counts the factorizations this object
-    triggered.
+    poisons no shard-mate).  Numeric factorizations are lazy —
+    first-touch per sample — and land in per-sample LRU *anchor
+    pools* keyed by a sketch fingerprint of the block's value stream:
+    a solve whose block an anchor already factored direct-solves it,
+    any other block rides its sample's nearest-fingerprint anchor
+    iteratively, refreshing (pooling a new anchor) only when the
+    iteration counts degrade.  Envelope correction bursts and
+    adaptive probe/half ladders therefore re-enter hot dt rungs
+    without refactoring.  ``n_factorizations`` counts the
+    factorizations this object triggered.
     """
 
     def __init__(self, blocks, backend: "KrylovBackend"):
@@ -706,19 +726,22 @@ class KrylovBlockDiag:
             or state.n_samples != len(blocks)
         ):
             perm = BlockDiagLU.column_ordering(blocks[0])
-            state = _BlockStaleState(self.n, len(blocks), perm)
-            backend._block_state = state
-            # Eager BlockDiagLU-style factorization of every sample on
-            # the first entry: is_singular is meaningful up front, and
-            # every later entry starts from a fully-armed stale set.
-            for s in range(len(blocks)):
-                self._refresh_sample(s)
+            backend._block_state = _BlockStaleState(self.n, len(blocks), perm)
+            # No eager per-sample factorization: each sample anchors
+            # on first touch (first solve, or the constructor-time
+            # ``is_singular`` gate probing empty pools).
 
     @property
     def _state(self) -> _BlockStaleState:
         return self._backend._block_state
 
-    def _refresh_sample(self, s: int) -> None:
+    def _fingerprint(self, block) -> float:
+        data = block.data
+        return float(np.dot(data, self._backend._sketch_for(data.shape[0])))
+
+    def _anchor_sample(self, s: int) -> _BlockAnchor:
+        """Factor sample ``s``'s current block into its anchor pool,
+        evicting the least-recently-used anchor past the pool cap."""
         state = self._state
         block = self._blocks[s]
         csc = block.tocsc()
@@ -727,72 +750,111 @@ class KrylovBlockDiag:
                 lu = _splu(csc[:, state.perm], permc_spec="NATURAL")
             else:
                 lu = _splu(csc)
-            state.lus[s] = lu
-            state.dense[s] = None
+            anchor = _BlockAnchor(block, lu, None, self._fingerprint(block))
         except (RuntimeError, ValueError):
             # Singular for this sample's values: least-squares for it,
             # untouched direct path for its shard-mates.
-            state.lus[s] = None
-            state.dense[s] = block.toarray()
-        state.mats[s] = block
+            anchor = _BlockAnchor(
+                block, None, block.toarray(), self._fingerprint(block)
+            )
+        pool = state.pools[s]
+        pool.append(anchor)
+        if len(pool) > self._backend.pool_size:
+            pool.pop(0)
         state.last_applies[s] = 0
         self.n_factorizations += 1
         self._backend.n_refreshes += 1
+        return anchor
 
-    def _degrade_sample(self, s: int) -> None:
+    def _anchor_for_sample(self, s: int) -> Optional[_BlockAnchor]:
+        """The pool anchor serving sample ``s``'s current block: its
+        own slot when one exists, else the nearest by sketch
+        fingerprint (same-pattern anchors preferred); ``None`` when
+        the pool is empty (first touch).  The chosen slot moves to the
+        most-recently-used end, which eviction keys on."""
         state = self._state
-        state.lus[s] = None
-        state.dense[s] = self._blocks[s].toarray()
-        state.mats[s] = self._blocks[s]
+        block = self._blocks[s]
+        pool = state.pools[s]
+        best = None
+        for a in pool:
+            if a.mat is block:
+                best = a
+                break
+        if best is None:
+            if not pool:
+                return None
+            nnz = block.data.shape[0]
+            same = [a for a in pool if a.mat.data.shape[0] == nnz]
+            scale = self._fingerprint(block)
+            best = min(same or pool, key=lambda a: abs(a.scale - scale))
+        if pool[-1] is not best:
+            pool.remove(best)
+            pool.append(best)
+        return best
 
-    def _apply_precond(self, s: int, rhs: np.ndarray) -> np.ndarray:
-        state = self._state
-        lu = state.lus[s]
-        if lu is None:
-            sol, *_ = np.linalg.lstsq(state.dense[s], rhs, rcond=None)
+    def _apply_anchor(self, anchor: _BlockAnchor, rhs: np.ndarray) -> np.ndarray:
+        if anchor.lu is None:
+            sol, *_ = np.linalg.lstsq(anchor.dense, rhs, rcond=None)
             return sol
-        if state.perm is None:
-            return lu.solve(np.ascontiguousarray(rhs))
+        perm = self._state.perm
+        if perm is None:
+            return anchor.lu.solve(np.ascontiguousarray(rhs))
         sol = np.empty(rhs.shape, dtype=float)
-        sol[state.perm] = lu.solve(np.ascontiguousarray(rhs))
+        sol[perm] = anchor.lu.solve(np.ascontiguousarray(rhs))
         return sol
 
     @property
     def is_singular(self) -> bool:
-        state = self._state
-        return any(
-            state.lus[s] is None and state.mats[s] is self._blocks[s]
-            for s in range(len(self._blocks))
-        )
+        """True when some sample's *current* block factored singular.
+
+        Samples whose pools are empty are probed here (their
+        first-touch factorization, not an extra one) so the batched
+        engine's first-entry gate stays meaningful; samples already
+        holding anchors are left alone — a later dt entry answers
+        from pooled evidence without refactoring anything.
+        """
+        bad = False
+        for s, block in enumerate(self._blocks):
+            pool = self._state.pools[s]
+            anchor = next((a for a in pool if a.mat is block), None)
+            if anchor is None and not pool:
+                anchor = self._anchor_sample(s)
+            if anchor is not None and anchor.lu is None:
+                bad = True
+        return bad
 
     def _solve_sample(self, s: int, seg: np.ndarray) -> np.ndarray:
         backend = self._backend
         state = self._state
         block = self._blocks[s]
-        if state.mats[s] is block:
+        anchor = self._anchor_for_sample(s)
+        if anchor is None:
+            anchor = self._anchor_sample(s)
+        if anchor.mat is block:
             backend.n_solves += 1
-            sol = self._apply_precond(s, seg)
+            sol = self._apply_anchor(anchor, seg)
             if np.isfinite(sol).all() or not np.isfinite(seg).all():
                 return sol
             # Zero pivot survived this sample's factorization: degrade
-            # it (and only it) to minimum-norm, permanently.
-            self._degrade_sample(s)
+            # its slot (and only it) to minimum-norm, permanently.
+            anchor.lu = None
+            anchor.dense = block.toarray()
             backend.n_fallback_solves += 1
-            return self._apply_precond(s, seg)
+            return self._apply_anchor(anchor, seg)
         if state.last_applies[s] > backend.refresh_iterations:
-            self._refresh_sample(s)
+            anchor = self._anchor_sample(s)
             backend.n_solves += 1
-            return self._apply_precond(s, seg)
+            return self._apply_anchor(anchor, seg)
         x, applies, converged = backend._iterate(
-            block.dot, seg, float, precond=lambda r: self._apply_precond(s, r)
+            block.dot, seg, float, precond=lambda r: self._apply_anchor(anchor, r)
         )
         backend.n_solves += 1
         backend.n_iterations += applies
         state.last_applies[s] = applies
         if converged:
             return x
-        self._refresh_sample(s)
-        return self._apply_precond(s, seg)
+        anchor = self._anchor_sample(s)
+        return self._apply_anchor(anchor, seg)
 
     def solve(self, rhs: np.ndarray) -> np.ndarray:
         """Solve the block-diagonal system for a stacked RHS

@@ -1097,6 +1097,14 @@ class _BatchedStepSolver:
         self.newton_per_sample = np.zeros(S, dtype=np.int64)
         self.quarantine_enabled = bool(quarantine)
         self.quarantined = np.zeros(S, dtype=bool)
+        #: Per-step *skip* mask (envelope campaigns): samples masked
+        #: here sit this step out exactly like quarantined ones —
+        #: frozen iterate, frozen companion state — but the mask is
+        #: re-evaluated every step, so a sample in a skipped envelope
+        #: phase coexists in the stack with carrier-resolved
+        #: neighbours and resumes when its mask clears.
+        self.skipped = np.zeros(S, dtype=bool)
+        self.skipped_steps = np.zeros(S, dtype=np.int64)
         #: One record per quarantined sample: sample index, the time
         #: the sample died, and why.
         self.quarantine_records: List[Dict[str, object]] = []
@@ -1113,6 +1121,25 @@ class _BatchedStepSolver:
             self._cn = int(assembly._cn_idx[0])
         else:
             self.strategy = "batched-woodbury"
+
+    @property
+    def frozen(self) -> np.ndarray:
+        """Samples sitting this step out (quarantined or skipped)."""
+        if not self.skipped.any():
+            return self.quarantined
+        return self.quarantined | self.skipped
+
+    def set_skipped(self, mask: Optional[np.ndarray]) -> None:
+        """Install this step's skip mask (``None`` clears it)."""
+        if mask is None:
+            self.skipped[:] = False
+            return
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != self.skipped.shape:
+            raise SimulationError(
+                f"skip mask shape {mask.shape} != ({len(self.skipped)},)"
+            )
+        np.copyto(self.skipped, mask)
 
     def _ctrl1(self, vec: np.ndarray) -> np.ndarray:
         """k=1 control projection ``(S, size) -> (S,)`` without the
@@ -1282,20 +1309,21 @@ class _BatchedStepSolver:
             self._guard_conditioning(time)
             # Screen the stimulus before burning Newton iterations on
             # samples whose RHS is already poisoned.
-            rows = nonfinite_sample_rows(rhs_lin, eligible=~self.quarantined)
+            rows = nonfinite_sample_rows(rhs_lin, eligible=~self.frozen)
             if rows.size:
                 self._record_nonfinite(rows, time, "non-finite step RHS")
                 raise self._fail_health(time, rows, "non-finite step RHS")
         if self.strategy == "batched-linear":
             x_new = self.assembly.solve(rhs_lin)
-            if self.quarantined.any():
-                x_new[self.quarantined] = x[self.quarantined]
+            frozen = self.frozen
+            if frozen.any():
+                x_new[frozen] = x[frozen]
         elif self.strategy == "batched-rank1":
             x_new = self._step_rank1(x, rhs_lin, time)
         else:
             x_new = self._step_woodbury(x, rhs_lin, time)
         if self.guards:
-            rows = nonfinite_sample_rows(x_new, eligible=~self.quarantined)
+            rows = nonfinite_sample_rows(x_new, eligible=~self.frozen)
             if rows.size:
                 self._record_nonfinite(rows, time, "non-finite step solution")
                 raise self._fail_health(time, rows, "non-finite step solution")
@@ -1337,9 +1365,9 @@ class _BatchedStepSolver:
         v_ctrl = self._ctrl1(x)
         on_line = np.zeros(S, dtype=bool)
         c = np.zeros(S)
-        # Quarantined samples never enter the working set: their rows
-        # of ``x`` stay frozen at the last converged iterate.
-        active = ~self.quarantined
+        # Quarantined and skipped samples never enter the working set:
+        # their rows of ``x`` stay frozen at the last converged iterate.
+        active = ~self.frozen
         for _iteration in range(options.max_iterations):
             rows = np.nonzero(active)[0]
             if rows.size == 0:
@@ -1440,7 +1468,7 @@ class _BatchedStepSolver:
         z_lin = asm.solve(rhs_lin)
         x = x.copy()
         v_ctrl = asm.ctrl_project(x)
-        active = ~self.quarantined
+        active = ~self.frozen
         for _iteration in range(options.max_iterations):
             rows = np.nonzero(active)[0]
             if rows.size == 0:
@@ -1580,6 +1608,7 @@ class _BatchedRecording:
 def run_transient_batched(
     circuits: Sequence[Circuit],
     options: Optional[TransientOptions] = None,
+    skip_mask=None,
 ) -> List[TransientResult]:
     """Integrate S same-topology circuits in one lockstep time loop.
 
@@ -1607,6 +1636,14 @@ def run_transient_batched(
     ("raise" vs "partial") behave exactly as in
     :func:`~repro.circuits.transient.run_transient`; an all-samples
     quarantine aborts with reason ``"all_quarantined"``.
+
+    ``skip_mask(time) -> (S,) bool array or None`` is the per-sample
+    envelope skip hook: samples masked at a step keep their iterate
+    and companion state frozen for that step (exactly the quarantine
+    freeze, but re-evaluated every step), so samples in skipped
+    envelope phases coexist in one stack with carrier-resolved
+    neighbours.  Per-sample ``stats["skipped_steps"]`` counts the
+    steps each sample sat out.
     """
     options = options or TransientOptions()
     if options.jacobian != "auto":
@@ -1668,11 +1705,18 @@ def run_transient_batched(
     try:
         if options.step_control == "fixed":
             run_stats = _run_fixed_lockstep(
-                options, assembly, solver, x, recorder, certifier
+                options, assembly, solver, x, recorder, certifier, skip_mask
             )
         else:
             run_stats = _run_adaptive_lockstep(
-                circuits, options, assembly, solver, x, recorder, certifier
+                circuits,
+                options,
+                assembly,
+                solver,
+                x,
+                recorder,
+                certifier,
+                skip_mask,
             )
     except _RunAbort as abort:
         if options.on_abort == "raise":
@@ -1710,6 +1754,8 @@ def run_transient_batched(
             "lu_refactorizations": assembly.n_factorizations,
             "batch_samples": S,
         }
+        if skip_mask is not None:
+            stats["skipped_steps"] = int(solver.skipped_steps[s])
         stats.update(run_stats)
         if solver.quarantine_enabled:
             stats["quarantined"] = bool(solver.quarantined[s])
@@ -1843,6 +1889,7 @@ def _run_fixed_lockstep(
     x: np.ndarray,
     recorder: _BatchedRecording,
     certifier: Optional[_BatchedCertifier] = None,
+    skip_mask=None,
 ) -> Dict[str, object]:
     """The classic uniform grid, S samples wide.
 
@@ -1850,6 +1897,10 @@ def _run_fixed_lockstep(
     out of the batch (iterate and companion state frozen) and the step
     is retried with the survivors; the loop only aborts when every
     sample is dead.  Budgets charge once per grid step.
+
+    ``skip_mask(time) -> (S,) bool`` (or ``None``) marks samples that
+    sit this step out with frozen state — the per-sample envelope
+    skip: samples in skipped phases coexist with resolved neighbours.
     """
     n_steps = int(round(options.t_stop / options.dt))
     stride = options.record_stride
@@ -1874,6 +1925,9 @@ def _run_fixed_lockstep(
             exhausted = budget.charge()
             if exhausted is not None:
                 raise _RunAbort(exhausted, stats=partial_stats(step))
+        if skip_mask is not None:
+            solver.set_skipped(skip_mask(time))
+            solver.skipped_steps[solver.skipped] += 1
         if multistep:
             # Gear startup ramp: the whole batch shares one order
             # schedule, clamped by the shared committed history.
@@ -1905,7 +1959,8 @@ def _run_fixed_lockstep(
                         "all_quarantined", error=exc, stats=partial_stats(step)
                     )
                 # Retry the same step with the survivors only.
-        freeze = solver.quarantined if solver.quarantined.any() else None
+        frozen = solver.frozen
+        freeze = frozen if frozen.any() else None
         if certifier is not None:
             certifier.check_step(
                 x, rhs_lin, time, eligible=None if freeze is None else ~freeze
@@ -1927,6 +1982,7 @@ def _run_adaptive_lockstep(
     x: np.ndarray,
     recorder: _BatchedRecording,
     certifier: Optional[_BatchedCertifier] = None,
+    skip_mask=None,
 ) -> Dict[str, object]:
     """Worst-sample LTE control on one shared adaptive grid.
 
@@ -1980,6 +2036,11 @@ def _run_adaptive_lockstep(
             if exhausted is not None:
                 raise abort(exhausted)
         t_target, dt = controller.propose()
+        if skip_mask is not None:
+            # One skip decision per candidate step (evaluated at the
+            # step's landing time), shared by the probe and halves so
+            # the Richardson pair sees one consistent working set.
+            solver.set_skipped(skip_mask(t_target))
         # One order schedule for the whole batch: the controller's
         # target clamped by the shared committed history.
         order = (
@@ -1989,7 +2050,8 @@ def _run_adaptive_lockstep(
         )
         ephemeral = dt != controller.dt
         snapshot = assembly.snapshot_state()
-        freeze = solver.quarantined if solver.quarantined.any() else None
+        frozen = solver.frozen
+        freeze = frozen if frozen.any() else None
         try:
             assembly.set_dt(dt, ephemeral=ephemeral, order=order)
             rhs_lin = assembly.step_rhs(t_target)
@@ -2025,13 +2087,15 @@ def _run_adaptive_lockstep(
             if solver.quarantined.all():
                 raise abort("all_quarantined", error=exc)
             continue
-        mask = None if freeze is None else ~solver.quarantined
+        mask = None if freeze is None else ~frozen
         ratio = controller.error_ratio_many(x_full, x_half, n_nodes, mask=mask)
         if ratio <= 1.0:
             if certifier is not None:
                 certifier.check_step(x_half, rhs_lin, t_target, eligible=mask)
             assembly.commit(x_half, t_target, freeze=freeze)
             x = x_half
+            if skip_mask is not None:
+                solver.skipped_steps[solver.skipped] += 1
             controller.accept(t_target, dt, ratio)
             if multistep and controller.crossed_breakpoint:
                 assembly.reset_history()
@@ -2049,7 +2113,7 @@ def _run_adaptive_lockstep(
                 if not solver.quarantine_enabled:
                     raise abort("step_underflow", error=exc)
                 ratios = controller.error_ratio_samples(x_full, x_half, n_nodes)
-                culprits = np.nonzero((ratios > 1.0) & ~solver.quarantined)[0]
+                culprits = np.nonzero((ratios > 1.0) & ~solver.frozen)[0]
                 if culprits.size == 0:
                     raise abort("step_underflow", error=exc)
                 solver.quarantine(culprits, t, "lte_underflow")

@@ -53,6 +53,7 @@ Design
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -60,7 +61,13 @@ import numpy as np
 from ..errors import SimulationError
 from .integration import IntegrationMethod, resolve_method
 
-__all__ = ["StepController", "collect_breakpoints", "stiffness_bins"]
+__all__ = [
+    "Phase",
+    "PhaseSchedule",
+    "StepController",
+    "collect_breakpoints",
+    "stiffness_bins",
+]
 
 #: Relative slack when deciding that a step "reaches" a breakpoint.
 _TIME_EPS = 1e-12
@@ -109,6 +116,146 @@ def collect_breakpoints(
     times.extend(extra)
     inside = sorted({float(t) for t in times if 0.0 < t < t_stop})
     return tuple(inside)
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One integration phase of a :class:`PhaseSchedule`.
+
+    ``t_start`` is the phase's onset (the schedule's first phase must
+    start at 0).  ``method`` is an integration-method name or instance
+    — typically ``"trap"`` for carrier-resolved phases and ``"gear"``
+    for decay/settle phases.  ``dt`` optionally suggests the working
+    step size the controller should restart at on entering the phase
+    (``None`` keeps whatever step the controller reached).
+    ``max_order`` applies to ``"gear"`` only.  ``bootstrap`` asks the
+    engine to synthesize a consistent multistep history at the phase
+    boundary (:meth:`~repro.circuits.assembly.TransientAssembly.
+    set_method` with a bootstrap spacing) so Gear phases entered
+    mid-run start at full order instead of ramping.
+    """
+
+    t_start: float
+    method: Union[str, IntegrationMethod] = "trap"
+    dt: Optional[float] = None
+    max_order: Optional[int] = None
+    name: Optional[str] = None
+    bootstrap: bool = True
+
+    def resolved_method(self) -> IntegrationMethod:
+        return resolve_method(self.method, max_order=self.max_order)
+
+    def label(self) -> str:
+        return self.name or self.resolved_method().name
+
+
+class PhaseSchedule:
+    """Partition of a transient run into per-phase integration setups.
+
+    The paper's headline scenarios are stiff-then-slow: carrier-
+    resolved stretches (startup kicks, fault edges) where trapezoidal
+    at fine dt is the right tool, separated at stimulus breakpoints
+    from long decay/settle stretches where a strongly damping Gear
+    member at coarse dt strides through the quiet tail.  A schedule
+    lists those stretches as :class:`Phase` entries; the adaptive
+    engine forces exact step boundaries at every phase onset (they
+    join the breakpoint list) and performs a live
+    ``TransientAssembly.set_method`` switch — with controller rebind
+    and history reset/bootstrap — each time a boundary is crossed.
+
+    Phases must be sorted by ``t_start`` with the first at 0; times
+    are absolute run times.
+    """
+
+    def __init__(self, phases: Sequence[Phase]):
+        phases = tuple(phases)
+        if not phases:
+            raise SimulationError("PhaseSchedule needs at least one phase")
+        if abs(phases[0].t_start) > _TIME_EPS:
+            raise SimulationError(
+                "the first phase must start at t=0, got "
+                f"t_start={phases[0].t_start!r}"
+            )
+        for previous, current in zip(phases, phases[1:]):
+            if current.t_start <= previous.t_start:
+                raise SimulationError(
+                    "phase onsets must be strictly increasing; "
+                    f"{current.t_start!r} follows {previous.t_start!r}"
+                )
+        for phase in phases:
+            phase.resolved_method()  # validate names/orders eagerly
+            if phase.dt is not None and phase.dt <= 0:
+                raise SimulationError("phase dt must be positive")
+        self.phases = phases
+        self._index = 0
+
+    @classmethod
+    def carrier_then_settle(
+        cls,
+        t_switch: float,
+        carrier_dt: Optional[float] = None,
+        settle_dt: Optional[float] = None,
+        settle_method: Union[str, IntegrationMethod] = "gear",
+        max_order: Optional[int] = None,
+    ) -> "PhaseSchedule":
+        """The canonical two-phase schedule: carrier-resolved trap
+        until ``t_switch``, then a damped multistep settle phase."""
+        if t_switch <= 0:
+            raise SimulationError("t_switch must be positive")
+        return cls(
+            (
+                Phase(0.0, "trap", dt=carrier_dt, name="carrier"),
+                Phase(
+                    t_switch,
+                    settle_method,
+                    dt=settle_dt,
+                    max_order=max_order,
+                    name="settle",
+                ),
+            )
+        )
+
+    @property
+    def initial_phase(self) -> Phase:
+        return self.phases[0]
+
+    def boundaries(self) -> Tuple[float, ...]:
+        """Interior phase onsets — forced step boundaries."""
+        return tuple(p.t_start for p in self.phases[1:])
+
+    def restart(self) -> Phase:
+        """Reset the cursor to the first phase (run initialization)."""
+        self._index = 0
+        return self.phases[0]
+
+    def phase_at(self, t: float) -> Phase:
+        """The phase governing time ``t`` (stateless lookup)."""
+        active = self.phases[0]
+        for phase in self.phases[1:]:
+            if t >= phase.t_start * (1.0 - _TIME_EPS):
+                active = phase
+            else:
+                break
+        return active
+
+    def advance_to(self, t: float) -> Optional[Phase]:
+        """Move the cursor to the phase governing ``t``.
+
+        Returns the newly entered phase when ``t`` crossed one or more
+        boundaries since the last call, ``None`` while the active
+        phase is unchanged.  The engine calls this after every
+        accepted step; onsets are exact step boundaries, so the cursor
+        advances exactly at the landing step.
+        """
+        moved = None
+        while self._index + 1 < len(self.phases):
+            onset = self.phases[self._index + 1].t_start
+            if t >= onset * (1.0 - _TIME_EPS):
+                self._index += 1
+                moved = self.phases[self._index]
+            else:
+                break
+        return moved
 
 
 def stiffness_bins(
@@ -265,6 +412,49 @@ class StepController:
             self._order_used = effective
             self._set_lte_order(effective)
         return effective
+
+    def rebind_method(
+        self,
+        method: Union[str, IntegrationMethod],
+        dt: Optional[float] = None,
+        order: Optional[int] = None,
+        order_control: Optional[bool] = None,
+    ) -> None:
+        """Point the controller at a new integration method mid-run.
+
+        The phase-switching engine calls this when a
+        :class:`PhaseSchedule` boundary is crossed: the LTE order, the
+        order-control target, and the accept/reject streak state all
+        belong to the outgoing method and must not leak into the new
+        phase.  ``dt`` restarts the working step size (quantized onto
+        the grid); ``order`` seeds the target order — pass the
+        method's full order when the history ring was bootstrapped at
+        the boundary, so an order-controlled Gear phase does not
+        re-climb from first order.
+        """
+        self.method = resolve_method(method)
+        if order_control is None:
+            order_control = self.method.max_order > self.method.min_order
+        self.order_control = (
+            bool(order_control)
+            and self.method.max_order > self.method.min_order
+        )
+        if order is None:
+            order = (
+                self.method.min_order
+                if self.order_control
+                else self.method.max_order
+            )
+        self.order = max(
+            self.method.min_order, min(int(order), self.method.max_order)
+        )
+        self._order_used = self.order
+        self._set_lte_order(self.order)
+        self._good_accepts = 0
+        self._reject_streak = 0
+        self._rejects_at_floor = 0
+        if dt is not None:
+            self.dt = self._quantize(min(max(dt, self.dt_min), self.dt_max))
 
     def _quantize(self, dt: float) -> float:
         """Largest grid value ``dt_max / 2^k`` not exceeding ``dt``."""

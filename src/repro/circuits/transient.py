@@ -83,7 +83,7 @@ from __future__ import annotations
 import time as time_module
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -101,7 +101,12 @@ from .integration import (
 from .linsolve import damp_voltage_delta, solve_dense
 from .netlist import GROUND_NAMES, Circuit
 from .preflight import PREFLIGHT_MODES, apply_preflight
-from .stepcontrol import StepController, collect_breakpoints
+from .stepcontrol import (
+    Phase,
+    PhaseSchedule,
+    StepController,
+    collect_breakpoints,
+)
 
 __all__ = ["TransientOptions", "TransientResult", "run_transient"]
 
@@ -176,6 +181,15 @@ class TransientOptions:
     #: :class:`~repro.digital.por.PowerOnReset`; mixed-signal
     #: scenarios run adaptively without hand-listing event times.
     breakpoint_sources: Optional[Sequence[object]] = None
+    #: Adaptive: per-phase method switching.  A
+    #: :class:`~repro.circuits.stepcontrol.PhaseSchedule` partitions
+    #: the run at stimulus breakpoints into carrier-resolved phases
+    #: (trap, fine dt) and decay/settle phases (Gear, coarse dt); each
+    #: phase onset is a forced step boundary at which the engine
+    #: performs a live ``set_method`` switch with controller rebind
+    #: and history reset/bootstrap.  The first phase's method
+    #: overrides ``method`` for the whole run's assembly.
+    phases: Optional[PhaseSchedule] = None
     #: Adaptive: how many per-dt assembly/factorization cache entries
     #: to keep alive.  The grid between dt_min and dt_max has
     #: log2(dt_max/dt_min) levels; keep the cache at least as deep as
@@ -301,6 +315,16 @@ class TransientOptions:
             raise SimulationError("max_step_growth must exceed 1")
         if self.dt_cache_size < 1:
             raise SimulationError("dt_cache_size must be >= 1")
+        if self.phases is not None:
+            if not isinstance(self.phases, PhaseSchedule):
+                raise SimulationError(
+                    "phases must be a PhaseSchedule instance"
+                )
+            if self.step_control != "adaptive":
+                raise SimulationError(
+                    "phases requires step_control='adaptive' (phase "
+                    "boundaries are forced adaptive step boundaries)"
+                )
         if self.on_abort not in ("raise", "partial"):
             raise SimulationError(
                 f"on_abort must be 'raise' or 'partial', got {self.on_abort!r}"
@@ -332,7 +356,13 @@ class TransientOptions:
         return self.dt_max if self.dt_max is not None else self.dt * 16.0
 
     def resolved_method(self) -> IntegrationMethod:
-        """The integration-method instance this run uses."""
+        """The integration-method instance this run starts with.
+
+        With a :class:`~repro.circuits.stepcontrol.PhaseSchedule` the
+        first phase decides (later phases switch the live assembly).
+        """
+        if self.phases is not None:
+            return self.phases.initial_phase.resolved_method()
         return resolve_method(self.method, max_order=self.max_order)
 
     def resolved_order_control(self, method: IntegrationMethod) -> bool:
@@ -1247,6 +1277,36 @@ def _run_fixed(
     return stats
 
 
+def _apply_phase(
+    assembly: TransientAssembly,
+    controller: StepController,
+    phase: Phase,
+) -> None:
+    """Perform one live phase switch at an exact phase boundary.
+
+    Switches the assembly's integration method (with a history
+    bootstrap when the phase asks for one and the target is
+    multistep), then rebinds the controller so LTE order, order
+    targets, and streak state start fresh for the new phase.  When
+    the history was bootstrapped the controller's target order seeds
+    at the assembly's post-bootstrap order — full order immediately,
+    no startup ramp.
+    """
+    new_method = phase.resolved_method()
+    dt_hint = phase.dt if phase.dt is not None else controller.dt
+    bootstrap_dt = (
+        float(dt_hint)
+        if phase.bootstrap and new_method.is_multistep
+        else None
+    )
+    assembly.set_method(new_method, bootstrap_dt=bootstrap_dt)
+    controller.rebind_method(
+        new_method,
+        dt=phase.dt,
+        order=assembly.order if bootstrap_dt is not None else None,
+    )
+
+
 def _run_adaptive(
     circuit: Circuit,
     options: TransientOptions,
@@ -1264,11 +1324,24 @@ def _run_adaptive(
     half-step solution — the more accurate of the two — is committed.
     Both step sizes live in the assembly's dt cache, so a revisited
     size performs no assembly or factorization work at all.
+
+    With ``options.phases`` the schedule's onsets join the breakpoint
+    list (exact landings) and every accepted step that crosses one
+    triggers a live method switch (:func:`_apply_phase`).
     """
     method = assembly.method
+    schedule = options.phases
+    phase_log: List[Dict[str, object]] = []
+    extra_breakpoints = tuple(options.breakpoints or ())
+    dt_initial = options.dt
+    if schedule is not None:
+        first = schedule.restart()
+        extra_breakpoints = extra_breakpoints + schedule.boundaries()
+        if first.dt is not None:
+            dt_initial = first.dt
     controller = StepController(
         t_stop=options.t_stop,
-        dt_initial=options.dt,
+        dt_initial=dt_initial,
         dt_min=options.resolved_dt_min(),
         dt_max=options.resolved_dt_max(),
         method=method,
@@ -1279,7 +1352,7 @@ def _run_adaptive(
         breakpoints=collect_breakpoints(
             circuit,
             options.t_stop,
-            options.breakpoints or (),
+            extra_breakpoints,
             sources=options.breakpoint_sources or (),
         ),
         order_control=options.resolved_order_control(method),
@@ -1299,7 +1372,36 @@ def _run_adaptive(
         if rescue is not None:
             stats["rescues"] = rescue.rescues
             stats["rescue_stages"] = dict(rescue.by_stage)
+        if schedule is not None:
+            stats["phase_switches"] = len(phase_log)
+            stats["phases"] = list(phase_log)
         return _RunAbort(reason, error=error, stats=stats)
+
+    def maybe_switch_phase(t_now: float) -> None:
+        # Phase onsets are registered as breakpoints, so accepted
+        # steps land exactly on them; the crossed-breakpoint history
+        # reset above runs first, then the switch re-seeds (or
+        # bootstraps) history for the incoming method.
+        nonlocal multistep
+        if schedule is None:
+            return
+        phase = schedule.advance_to(t_now)
+        if phase is None:
+            return
+        _apply_phase(assembly, controller, phase)
+        multistep = assembly.method.is_multistep
+        phase_log.append(
+            {
+                "t": t_now,
+                "phase": phase.label(),
+                "method": assembly.method.name,
+                "order": assembly.order,
+                "dt": controller.dt,
+                "bootstrapped": bool(
+                    phase.bootstrap and assembly.method.is_multistep
+                ),
+            }
+        )
 
     while not controller.finished:
         t = controller.t
@@ -1368,6 +1470,7 @@ def _run_adaptive(
             controller.accept(t_target, dt, ratio=1.0)
             if multistep and controller.crossed_breakpoint:
                 assembly.reset_history()
+            maybe_switch_phase(t_target)
             if controller.accepted % stride == 0:
                 recorder.append(t_target, x)
             continue
@@ -1384,6 +1487,7 @@ def _run_adaptive(
                 # Interpolating across the discontinuity would poison
                 # the BDF history; restart from the committed point.
                 assembly.reset_history()
+            maybe_switch_phase(t_target)
             if controller.accepted % stride == 0:
                 recorder.append(t_target, x)
         else:
@@ -1399,6 +1503,9 @@ def _run_adaptive(
     if rescue is not None:
         stats["rescues"] = rescue.rescues
         stats["rescue_stages"] = dict(rescue.by_stage)
+    if schedule is not None:
+        stats["phase_switches"] = len(phase_log)
+        stats["phases"] = list(phase_log)
     return stats
 
 
@@ -1490,7 +1597,13 @@ def run_transient(circuit: Circuit, options: Optional[TransientOptions] = None) 
         state = component.init_state(x)
         if state is not None:
             states[component.name] = state
-    if method.is_multistep and states:
+    needs_history = method.is_multistep or (
+        options.phases is not None
+        and any(
+            p.resolved_method().is_multistep for p in options.phases.phases
+        )
+    )
+    if needs_history and states:
         # Generic integrator states are scalar (one previous point);
         # only the vectorized plain-capacitor/inductor path carries
         # the committed history a multistep formula needs.

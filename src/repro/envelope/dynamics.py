@@ -114,6 +114,35 @@ class EnvelopeModel:
         """Steady-state peak amplitude (0 if it cannot oscillate)."""
         return steady_state_amplitude(self.tank, self.limiter)
 
+    def advance(
+        self,
+        a0: float,
+        duration: float,
+        max_step: Optional[float] = None,
+    ) -> float:
+        """Amplitude after ``duration`` starting from ``a0``.
+
+        Deterministic fixed-step RK4 on the scalar envelope ODE — the
+        cycle-skipping transient engine calls this once per skip, so
+        it must be cheap and bit-reproducible (no adaptive solver
+        heuristics).  ``max_step`` caps the RK4 substep; the default
+        resolves the interval with 64 substeps.
+        """
+        if duration <= 0:
+            return max(float(a0), 0.0)
+        n = 64
+        if max_step is not None and max_step > 0:
+            n = max(n, int(math.ceil(duration / max_step)))
+        h = duration / n
+        a = max(float(a0), 0.0)
+        for _ in range(n):
+            k1 = self.derivative(a)
+            k2 = self.derivative(a + 0.5 * h * k1)
+            k3 = self.derivative(a + 0.5 * h * k2)
+            k4 = self.derivative(a + h * k3)
+            a = max(a + (h / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4), 0.0)
+        return a
+
     def simulate(
         self,
         t_stop: float,

@@ -1,0 +1,97 @@
+"""Tests for warm-started envelope campaigns and the chain ordering."""
+
+import numpy as np
+import pytest
+
+from repro.campaigns import nearest_neighbor_chain, run_envelope_campaign
+from repro.circuits import EnvelopeOptions, TransientOptions
+from repro.core import OscillatorNetlist
+from repro.envelope import EnvelopeModel, RLCTank, TanhLimiter
+
+F = 4e6
+T = 1.0 / F
+
+
+def _tank():
+    return RLCTank.from_frequency_and_q(F, 15.0, 1e-6)
+
+
+def build_oscillator(i_max):
+    return OscillatorNetlist(_tank(), vref=2.5).build(
+        TanhLimiter(gm=6e-3, i_max=i_max)
+    )
+
+
+def envelope_for(i_max):
+    model = EnvelopeModel(_tank(), TanhLimiter(gm=6e-3, i_max=i_max))
+    return EnvelopeOptions(period=T, nodes=("lc1", "lc2"), model=model)
+
+
+OPTIONS = TransientOptions(
+    t_stop=200 * T,
+    dt=T / 40,
+    method="trap",
+    use_dc_operating_point=False,
+    record_nodes=("lc1", "lc2"),
+)
+
+
+class TestNearestNeighborChain:
+    def test_scalar_chain_greedy(self):
+        assert nearest_neighbor_chain([3.0, 1.0, 2.5, 0.5]) == [0, 2, 1, 3]
+
+    def test_vector_chain(self):
+        pts = [(0.0, 0.0), (5.0, 5.0), (1.0, 0.0), (5.0, 6.0)]
+        assert nearest_neighbor_chain(pts) == [0, 2, 1, 3]
+
+    def test_start_index(self):
+        assert nearest_neighbor_chain([0.0, 10.0, 1.0], start=1) == [1, 2, 0]
+
+    def test_empty_and_validation(self):
+        assert nearest_neighbor_chain([]) == []
+        with pytest.raises(ValueError):
+            nearest_neighbor_chain([1.0], start=3)
+        with pytest.raises(ValueError):
+            nearest_neighbor_chain([(1.0, 2.0), (1.0,)])
+
+
+class TestRunEnvelopeCampaign:
+    def test_warm_chain_accepts_and_saves_cycles(self):
+        draws = [2.0e-3, 2.05e-3, 1.95e-3]
+        results = run_envelope_campaign(
+            draws, build_oscillator, OPTIONS, envelope_for, params=draws
+        )
+        stats = [r.stats["envelope"] for r in results]
+        # Results come back in task order, each stamped with its chain
+        # position.
+        assert sorted(s["chain_rank"] for s in stats) == [0, 1, 2]
+        first = next(s for s in stats if s["chain_rank"] == 0)
+        assert first["warm_start"] is None
+        followers = [s for s in stats if s["chain_rank"] > 0]
+        assert all(s["warm_start"] == "accepted" for s in followers)
+        # A warm-started neighbour resolves fewer cycles than the cold
+        # chain head.
+        assert all(
+            s["resolved_cycles"] < first["resolved_cycles"] for s in followers
+        )
+        # Settled amplitude tracks the drive strength across the chain.
+        amp = {d: s["final"]["amplitude"] for d, s in zip(draws, stats)}
+        assert amp[1.95e-3] < amp[2.0e-3] < amp[2.05e-3]
+
+    def test_shared_options_and_empty(self):
+        assert run_envelope_campaign([], build_oscillator, OPTIONS, envelope_for) == []
+        # One shared EnvelopeOptions (not a callable) is accepted too.
+        results = run_envelope_campaign(
+            [2.0e-3], build_oscillator, OPTIONS, envelope_for(2.0e-3)
+        )
+        assert results[0].stats["envelope"]["chain_rank"] == 0
+
+    def test_skip_off_campaign_degrades_to_carrier_runs(self):
+        from dataclasses import replace
+
+        env = replace(envelope_for(2.0e-3), skip="off")
+        results = run_envelope_campaign(
+            [2.0e-3, 2.05e-3], build_oscillator, OPTIONS, env
+        )
+        for r in results:
+            assert r.stats["envelope"]["skip"] == "off"

@@ -77,7 +77,34 @@ class TestRunTransientCampaign:
             np.testing.assert_allclose(res.x, ref.x, rtol=0, atol=0)
             assert res.stats["strategy"] == ref.stats["strategy"]
 
-    def test_process_adaptive_falls_back_to_pickled_records(self):
+    def test_process_adaptive_streams_ragged_records(self):
+        # Adaptive grids have per-sample record counts; the process
+        # path streams them through the ragged shared block (length
+        # header per sample) and the round-trip is bit-identical.
+        options = TransientOptions(
+            t_stop=2e-5,
+            dt=1e-8,
+            step_control="adaptive",
+            use_dc_operating_point=True,
+        )
+        reference = self.reference(options=options)
+        streamed = run_transient_campaign(
+            TASKS,
+            build_rc,
+            options,
+            BatchOptions(max_workers=2, batch_mode="process"),
+        )
+        for ref, res in zip(reference, streamed):
+            np.testing.assert_array_equal(res.t, ref.t)
+            np.testing.assert_allclose(res.x, ref.x, rtol=0, atol=0)
+
+    def test_process_adaptive_slot_overflow_falls_back_per_sample(self, monkeypatch):
+        # A sample outgrowing its ragged slot must come back pickled —
+        # same numbers, just a slower lane.  Shrink the capacity so
+        # every sample overflows.
+        from repro.campaigns import vectorized
+
+        monkeypatch.setattr(vectorized, "_ragged_record_capacity", lambda _o: 2)
         options = TransientOptions(
             t_stop=2e-5,
             dt=1e-8,

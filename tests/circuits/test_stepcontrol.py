@@ -248,3 +248,40 @@ class TestCollectBreakpoints:
         bps = source_breakpoints(f, 3.5e-6)
         assert any(abs(t - 1e-6) < 1e-12 for t in bps)
         assert any(abs(t - 2e-6) < 1e-12 for t in bps)
+
+
+class TestPhaseSchedule:
+    def _schedule(self):
+        from repro.circuits import PhaseSchedule
+
+        return PhaseSchedule.carrier_then_settle(
+            2e-6,
+            carrier_dt=1e-8,
+            settle_dt=1e-7,
+            settle_method="gear",
+            max_order=3,
+        )
+
+    def test_carrier_then_settle_shape(self):
+        schedule = self._schedule()
+        assert len(schedule.phases) == 2
+        carrier, settle = schedule.phases
+        assert carrier.t_start == 0.0
+        assert settle.t_start == pytest.approx(2e-6)
+        assert carrier.resolved_method().name == "trap"
+        assert settle.resolved_method().name == "gear"
+        assert schedule.boundaries() == (pytest.approx(2e-6),)
+
+    def test_phase_cursor(self):
+        schedule = self._schedule()
+        first = schedule.restart()
+        assert first is schedule.phases[0]
+        assert schedule.phase_at(1e-6) is schedule.phases[0]
+        assert schedule.phase_at(3e-6) is schedule.phases[1]
+        # advance_to only fires when a boundary is crossed, once.
+        assert schedule.advance_to(1e-6) is None
+        assert schedule.advance_to(2.5e-6) is schedule.phases[1]
+        assert schedule.advance_to(3e-6) is None
+        # restart rewinds the cursor.
+        schedule.restart()
+        assert schedule.advance_to(2.5e-6) is schedule.phases[1]

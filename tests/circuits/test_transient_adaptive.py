@@ -229,3 +229,56 @@ class TestAdaptiveNonlinearStrategies:
             ),
         )
         assert len(res.t) - 1 == res.stats["accepted_steps"] // 4
+
+
+class TestPhaseSwitching:
+    """Per-phase method switching: trap through the carrier phase,
+    Gear through the settle phase, switched live at the boundary."""
+
+    def _phased_options(self, **kw):
+        from repro.circuits import PhaseSchedule
+
+        schedule = PhaseSchedule.carrier_then_settle(
+            2e-5,
+            carrier_dt=1e-7,
+            settle_dt=1e-6,
+            settle_method="gear",
+            max_order=3,
+        )
+        options = TransientOptions(
+            t_stop=1e-4,
+            dt=1e-7,
+            step_control="adaptive",
+            phases=schedule,
+            **kw,
+        )
+        return options
+
+    def test_phase_switch_fires_once_and_logs(self):
+        result = run_transient(_rc_pulse(), self._phased_options())
+        assert result.stats["phase_switches"] == 1
+        (switch,) = result.stats["phases"]
+        assert switch["method"] == "gear"
+        assert switch["t"] >= 2e-5
+        assert switch["bootstrapped"]
+
+    def test_phased_run_tracks_unphased_solution(self):
+        plain = run_transient(
+            _rc_pulse(),
+            TransientOptions(t_stop=1e-4, dt=1e-7, step_control="adaptive"),
+        )
+        phased = run_transient(_rc_pulse(), self._phased_options())
+        # Different grids; compare the settled tail against the LTE
+        # budget rather than point-wise.
+        v_plain = plain.waveform("out").y[-1]
+        v_phased = phased.waveform("out").y[-1]
+        assert v_phased == pytest.approx(v_plain, rel=1e-3, abs=1e-6)
+
+    def test_phases_require_adaptive_control(self):
+        from repro.circuits import PhaseSchedule
+
+        schedule = PhaseSchedule.carrier_then_settle(2e-5)
+        with pytest.raises(SimulationError):
+            TransientOptions(
+                t_stop=1e-4, dt=1e-7, step_control="fixed", phases=schedule
+            )
